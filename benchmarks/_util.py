@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's artifacts (see DESIGN.md's
+per-experiment index).  Besides the pytest-benchmark timing, each bench
+*asserts the qualitative shape* the paper claims and emits a rendered
+table to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
+refreshed from the files.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> str:
+    """Write a bench's rendered table; also returns it for printing."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text.rstrip() + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return text

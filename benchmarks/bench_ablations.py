@@ -1,0 +1,123 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+* Token hold (idle pacing): an idle ring with pacing disabled spins the
+  token at network speed; pacing should cut simulator event volume
+  substantially without hurting delivery latency noticeably.
+* Garbage-collection slack: retention keeps retransmission races
+  servable; the ablation measures the message-store footprint with and
+  without GC.
+* Wire codec: encode/decode microbenchmark (every simulated packet pays
+  this cost).
+"""
+
+import dataclasses
+
+from _util import emit
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.harness.metrics import BenchRow, latency_summary, render_table
+from repro.net import codec
+from repro.totem.messages import Token
+from repro.totem.timers import TotemConfig
+from repro.types import DeliveryRequirement, RingId
+
+
+def run_idle_ring(idle_pace, n):
+    totem = dataclasses.replace(TotemConfig(), token_idle_pace=idle_pace)
+    cluster = SimCluster.of_size(n, options=ClusterOptions(seed=2, totem=totem))
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(cluster.pids), timeout=10.0)
+    before = cluster.scheduler.events_processed
+    cluster.run_for(1.0)  # one idle virtual second
+    idle_events = cluster.scheduler.events_processed - before
+    # Now measure latency with traffic to confirm pacing doesn't hurt.
+    for i in range(30):
+        cluster.send(cluster.pids[i % n], b"x%d" % i, DeliveryRequirement.SAFE)
+    assert cluster.settle(timeout=30.0)
+    safe = latency_summary(cluster.history)[DeliveryRequirement.SAFE]
+    return idle_events, safe
+
+
+def test_ablation_token_hold(benchmark):
+    results = {}
+
+    def sweep():
+        for n in (1, 5):
+            for pace in (0.0, 0.004):
+                results[(n, pace)] = run_idle_ring(pace, n)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for (n, pace), (idle_events, safe) in results.items():
+        rows.append(
+            BenchRow(
+                f"n={n} token_idle_pace={pace * 1000:.0f}ms",
+                {
+                    "idle_events_per_sim_second": idle_events,
+                    "safe_latency_p50": f"{safe.p50 * 1000:.2f}ms",
+                },
+            )
+        )
+    # The hold pays off where it matters: a singleton configuration (an
+    # isolated or booting process) otherwise spins its token at loopback
+    # speed.  On multi-member rings the rotation is already paced by the
+    # network latency and the hold is roughly a wash - retransmit-timer
+    # noise eats the savings - which the emitted table documents.
+    assert results[(1, 0.004)][0] < results[(1, 0.0)][0] / 2
+    emit("ablation_token_hold", render_table("Ablation: token hold (idle pacing)", rows))
+
+
+def run_gc(slack, enabled=True):
+    totem = dataclasses.replace(TotemConfig(), gc_slack=slack)
+    cluster = SimCluster.of_size(3, options=ClusterOptions(seed=4, totem=totem))
+    if not enabled:
+        # Disable GC by monkey-level configuration: enormous slack.
+        totem = dataclasses.replace(TotemConfig(), gc_slack=10**9)
+        cluster = SimCluster.of_size(3, options=ClusterOptions(seed=4, totem=totem))
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(cluster.pids), timeout=10.0)
+    for i in range(400):
+        cluster.send(cluster.pids[i % 3], b"g%d" % i, DeliveryRequirement.AGREED)
+        if i % 50 == 49:
+            cluster.run_for(0.05)
+    assert cluster.settle(timeout=60.0)
+    stores = [
+        len(cluster.processes[p].engine.controller.ring.messages)
+        for p in cluster.pids
+    ]
+    return max(stores)
+
+
+def test_ablation_gc_slack(benchmark):
+    results = {}
+
+    def sweep():
+        results["gc on (slack=64)"] = run_gc(64)
+        results["gc off"] = run_gc(0, enabled=False)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        BenchRow(label, {"max_buffered_messages": count})
+        for label, count in results.items()
+    ]
+    assert results["gc on (slack=64)"] < results["gc off"]
+    emit("ablation_gc", render_table("Ablation: message-store garbage collection", rows))
+
+
+def test_codec_microbenchmark(benchmark):
+    token = Token(
+        ring=RingId(100, "a"),
+        token_seq=12345,
+        seq=999,
+        aru={f"p{i}": 900 + i for i in range(8)},
+        rtr=tuple(range(950, 960)),
+    )
+
+    def roundtrip():
+        return codec.decode(codec.encode(token))
+
+    result = benchmark(roundtrip)
+    assert result == token

@@ -1,0 +1,72 @@
+"""Experiment F1 - Figure 1 (Specification 1, Basic Delivery).
+
+The paper depicts Specs 1.1-1.4 as space-time diagrams; the executable
+form is a conformance campaign: randomized traffic under loss and
+partitions, then :func:`check_basic_delivery` over the recorded history.
+Expected shape: zero violations in every run.
+"""
+
+from _util import emit
+
+from repro.harness.cluster import ClusterOptions
+from repro.harness.faults import FaultProfile, random_scenario
+from repro.harness.scenario import ScenarioRunner
+from repro.harness.metrics import BenchRow, render_table
+from repro.net.network import NetworkParams
+from repro.spec import evs_checker
+
+SEEDS = (11, 12, 13)
+LOSS = 0.03
+
+
+PROFILE = FaultProfile(partition=2.0, merge=2.0, crash=0.5, recover=1.0, burst=8.0)
+
+
+def run_campaign(seed):
+    pids = [f"p{i}" for i in range(5)]
+    scenario = random_scenario(seed, pids, steps=12, profile=PROFILE)
+    runner = ScenarioRunner(
+        ClusterOptions(seed=seed, network=NetworkParams(loss_rate=LOSS))
+    )
+    result = runner.run(scenario)
+    violations = evs_checker.check_basic_delivery(result.history)
+    return result, violations
+
+
+def test_fig1_basic_delivery(benchmark):
+    outcomes = []
+
+    def campaign():
+        seed = SEEDS[len(outcomes) % len(SEEDS)]
+        result, violations = run_campaign(seed)
+        outcomes.append((seed, result, violations))
+        return violations
+
+    benchmark.pedantic(campaign, rounds=len(SEEDS), iterations=1)
+
+    rows = []
+    for seed, result, violations in outcomes:
+        sends = len(result.history.send_events())
+        delivers = sum(len(v) for v in result.history.deliveries().values())
+        rows.append(
+            BenchRow(
+                f"seed={seed} loss={LOSS}",
+                {
+                    "sends": sends,
+                    "delivery_events": delivers,
+                    "violations": len(violations),
+                    "quiescent": result.quiescent,
+                },
+            )
+        )
+        assert violations == [], [str(v) for v in violations]
+    emit(
+        "fig1_basic_delivery",
+        render_table("F1 / Figure 1: Basic Delivery (Spec 1.1-1.4)", rows),
+    )
+
+
+if __name__ == "__main__":
+    for seed in SEEDS:
+        result, violations = run_campaign(seed)
+        print(seed, "violations:", len(violations))

@@ -1,0 +1,60 @@
+"""Experiment F2 - Figure 2 (Specification 2, Configuration Changes).
+
+Crash/recover-heavy campaigns; every send/deliver/fail event must sit
+inside exactly the configuration whose change message was delivered
+last, and quiescent runs must end with all members agreeing on the final
+configuration.  Expected shape: zero violations.
+"""
+
+from _util import emit
+
+from repro.harness.cluster import ClusterOptions
+from repro.harness.faults import FaultProfile, random_scenario
+from repro.harness.scenario import ScenarioRunner
+from repro.harness.metrics import BenchRow, render_table
+from repro.spec import evs_checker
+
+SEEDS = (21, 22, 23)
+PROFILE = FaultProfile(partition=1.0, merge=1.5, crash=3.0, recover=3.5, burst=3.0)
+
+
+def run_campaign(seed):
+    pids = [f"p{i}" for i in range(5)]
+    scenario = random_scenario(seed, pids, steps=12, profile=PROFILE)
+    result = ScenarioRunner(ClusterOptions(seed=seed)).run(scenario)
+    violations = evs_checker.check_configuration_changes(
+        result.history, quiescent=result.quiescent
+    )
+    return result, violations
+
+
+def test_fig2_configuration_changes(benchmark):
+    outcomes = []
+
+    def campaign():
+        seed = SEEDS[len(outcomes) % len(SEEDS)]
+        outcome = run_campaign(seed)
+        outcomes.append((seed, *outcome))
+        return outcome
+
+    benchmark.pedantic(campaign, rounds=len(SEEDS), iterations=1)
+
+    rows = []
+    for seed, result, violations in outcomes:
+        n_confs = sum(len(v) for v in result.history.conf_changes().values())
+        rows.append(
+            BenchRow(
+                f"seed={seed} crash-heavy",
+                {
+                    "conf_changes": n_confs,
+                    "failures": len(result.history.fails()),
+                    "violations": len(violations),
+                    "quiescent": result.quiescent,
+                },
+            )
+        )
+        assert violations == [], [str(v) for v in violations]
+    emit(
+        "fig2_config_changes",
+        render_table("F2 / Figure 2: Configuration Changes (Spec 2.1-2.4)", rows),
+    )

@@ -1,0 +1,70 @@
+"""Experiment F3 - Figure 3 (Specification 3, Self-Delivery).
+
+Senders are partitioned away immediately after submitting bursts, so
+their messages can often be delivered only in their own transitional
+configurations - precisely the self-delivery obligation.  Expected
+shape: zero violations; isolated senders deliver 100% of their own
+messages.
+"""
+
+from _util import emit
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.harness.metrics import BenchRow, render_table
+from repro.spec import evs_checker
+
+SEEDS = (31, 32, 33)
+
+
+def run_isolation_scenario(seed):
+    pids = ["a", "b", "c", "d", "e"]
+    cluster = SimCluster(pids, options=ClusterOptions(seed=seed))
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(pids), timeout=10.0)
+    # a submits a burst and is ripped out mid-flight.
+    for i in range(8):
+        cluster.send("a", f"s{seed}-{i}".encode())
+    cluster.run_for(0.004)
+    cluster.partition({"a"}, {"b", "c", "d", "e"})
+    assert cluster.wait_until(
+        lambda: cluster.converged(["a"]) and cluster.converged(["b", "c", "d", "e"]),
+        timeout=10.0,
+    )
+    assert cluster.settle(["a"], timeout=10.0)
+    assert cluster.settle(["b", "c", "d", "e"], timeout=10.0)
+    cluster.merge_all()
+    assert cluster.wait_until(lambda: cluster.converged(pids), timeout=15.0)
+    assert cluster.settle(timeout=10.0)
+    violations = evs_checker.check_self_delivery(cluster.history, quiescent=True)
+    own = [p for p in cluster.listeners["a"].payloads() if p.startswith(b"s")]
+    return cluster, violations, own
+
+
+def test_fig3_self_delivery(benchmark):
+    outcomes = []
+
+    def campaign():
+        seed = SEEDS[len(outcomes) % len(SEEDS)]
+        outcome = run_isolation_scenario(seed)
+        outcomes.append((seed, *outcome))
+        return outcome
+
+    benchmark.pedantic(campaign, rounds=len(SEEDS), iterations=1)
+
+    rows = []
+    for seed, cluster, violations, own in outcomes:
+        rows.append(
+            BenchRow(
+                f"seed={seed} sender isolated mid-burst",
+                {
+                    "own_messages_delivered": f"{len(own)}/8",
+                    "violations": len(violations),
+                },
+            )
+        )
+        assert violations == [], [str(v) for v in violations]
+        assert len(own) == 8  # every own message self-delivered
+    emit(
+        "fig3_self_delivery",
+        render_table("F3 / Figure 3: Self-Delivery (Spec 3)", rows),
+    )

@@ -1,0 +1,69 @@
+"""Experiment F4 - Figure 4 (Specification 4, Failure Atomicity).
+
+Partitions are injected while bursts are in flight, so the surviving
+pairs that move together between configurations must still deliver
+identical message sets.  Expected shape: zero violations across all
+co-moving pairs.
+"""
+
+from _util import emit
+
+from repro.harness.cluster import ClusterOptions
+from repro.harness.faults import FaultProfile, random_scenario
+from repro.harness.scenario import ScenarioRunner
+from repro.harness.metrics import BenchRow, render_table
+from repro.net.network import NetworkParams
+from repro.spec import evs_checker
+
+SEEDS = (41, 42, 43)
+PROFILE = FaultProfile(partition=5.0, merge=3.0, crash=1.0, recover=1.5, burst=5.0)
+
+
+def run_campaign(seed):
+    pids = [f"p{i}" for i in range(6)]
+    scenario = random_scenario(seed, pids, steps=14, profile=PROFILE)
+    runner = ScenarioRunner(
+        ClusterOptions(seed=seed, network=NetworkParams(loss_rate=0.02))
+    )
+    result = runner.run(scenario)
+    violations = evs_checker.check_failure_atomicity(result.history)
+    # Count the co-moving transitions the check covered.
+    transitions = 0
+    for pid in result.history.processes:
+        confs = [
+            e
+            for e in result.history.events_of(pid)
+            if type(e).__name__ == "ConfChangeEvent"
+        ]
+        transitions += max(0, len(confs) - 1)
+    return result, violations, transitions
+
+
+def test_fig4_failure_atomicity(benchmark):
+    outcomes = []
+
+    def campaign():
+        seed = SEEDS[len(outcomes) % len(SEEDS)]
+        outcome = run_campaign(seed)
+        outcomes.append((seed, *outcome))
+        return outcome
+
+    benchmark.pedantic(campaign, rounds=len(SEEDS), iterations=1)
+
+    rows = []
+    for seed, result, violations, transitions in outcomes:
+        rows.append(
+            BenchRow(
+                f"seed={seed} partition-heavy",
+                {
+                    "configuration_transitions": transitions,
+                    "violations": len(violations),
+                    "quiescent": result.quiescent,
+                },
+            )
+        )
+        assert violations == [], [str(v) for v in violations]
+    emit(
+        "fig4_failure_atomicity",
+        render_table("F4 / Figure 4: Failure Atomicity (Spec 4)", rows),
+    )

@@ -1,0 +1,30 @@
+"""Experiment F6 - Figure 6 (Configuration Changes and Message Delivery).
+
+Regenerates the paper's worked example and asserts its narrative point
+by point: l and m self-delivered only in p's transitional {p}; m
+discarded at q and r; n delivered in transitional {q, r}; q and r shift
+{p,q,r} -> {q,r} -> {q,r,s,t}.
+"""
+
+from _util import emit
+
+from repro.harness.figures import figure6_scenario
+
+
+def test_fig6_partition_merge_scenario(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure6_scenario(seed=0), rounds=3, iterations=1
+    )
+
+    # The paper's claims, verbatim (see tests/integration/test_figure6.py
+    # for the finer-grained versions).
+    assert result.qr_transitional_observed
+    assert result.qrst_regular_observed
+    assert result.delivered_l["p"] == ("transitional", ("p",))
+    assert result.delivered_m["p"] == ("transitional", ("p",))
+    assert result.delivered_l["q"] is None and result.delivered_m["q"] is None
+    assert result.delivered_n["q"] == ("transitional", ("q", "r"))
+    assert result.delivered_n["r"] == ("transitional", ("q", "r"))
+    assert result.delivered_n["p"] is None
+
+    emit("fig6_scenario", result.narrative())

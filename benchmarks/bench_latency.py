@@ -1,0 +1,55 @@
+"""Experiment X2 (added): delivery latency by service level.
+
+Shape expectation: agreed delivery needs contiguous receipt only
+(~ a network latency), while safe delivery must additionally observe the
+acknowledgment vector cover the message (~ one to two token rotations),
+so safe latency is strictly higher.  Causal (delivered in total order
+here) tracks agreed.
+"""
+
+from _util import emit
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.harness.metrics import BenchRow, latency_summary, render_table
+from repro.types import DeliveryRequirement
+
+N = 5
+PER_LEVEL = 60
+
+
+def run_latency():
+    cluster = SimCluster.of_size(N, options=ClusterOptions(seed=9))
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(cluster.pids), timeout=10.0)
+    for i in range(PER_LEVEL):
+        cluster.send(cluster.pids[i % N], b"a%d" % i, DeliveryRequirement.AGREED)
+        cluster.send(cluster.pids[(i + 1) % N], b"s%d" % i, DeliveryRequirement.SAFE)
+        cluster.send(cluster.pids[(i + 2) % N], b"c%d" % i, DeliveryRequirement.CAUSAL)
+        cluster.run_for(0.002)
+    assert cluster.settle(timeout=60.0)
+    return latency_summary(cluster.history)
+
+
+def test_latency_by_service_level(benchmark):
+    summary = benchmark.pedantic(run_latency, rounds=2, iterations=1)
+
+    rows = [
+        BenchRow(
+            req.name.lower(),
+            {
+                "n": s.count,
+                "mean": f"{s.mean * 1000:.2f}ms",
+                "p50": f"{s.p50 * 1000:.2f}ms",
+                "p95": f"{s.p95 * 1000:.2f}ms",
+            },
+        )
+        for req, s in sorted(summary.items(), key=lambda kv: kv[0])
+    ]
+    safe = summary[DeliveryRequirement.SAFE]
+    agreed = summary[DeliveryRequirement.AGREED]
+    # Shape: safe costs acknowledgment rotations on top of agreed.
+    assert safe.mean > agreed.mean
+    emit(
+        "latency",
+        render_table("X2: delivery latency by service level (n=5 ring)", rows),
+    )

@@ -1,0 +1,59 @@
+"""Ablation: deployment timing profiles (failover time vs robustness).
+
+The paper's termination property ties membership convergence to the
+timeout structure; this bench quantifies the operational trade-off the
+profiles encode: the fast-failover profile reconfigures around a crash
+several times faster than the LAN default, while the WAN profile trades
+detection speed for stability on high-latency links.
+"""
+
+from _util import emit
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.harness.metrics import BenchRow, blackout_after, render_table
+from repro.net.network import NetworkParams
+from repro.totem.timers import TotemConfig
+
+
+def failover_time(totem, latency=(0.001, 0.003), seed=0):
+    pids = ["a", "b", "c", "d"]
+    cluster = SimCluster(
+        pids,
+        options=ClusterOptions(
+            seed=seed,
+            totem=totem,
+            network=NetworkParams(latency_min=latency[0], latency_max=latency[1]),
+        ),
+    )
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(pids), timeout=60.0)
+    t0 = cluster.now
+    cluster.crash("d")
+    rest = ["a", "b", "c"]
+    assert cluster.wait_until(lambda: cluster.converged(rest), timeout=60.0)
+    return max(blackout_after(cluster.history, t0)[p] for p in rest)
+
+
+def test_profile_failover_ablation(benchmark):
+    results = {}
+
+    def sweep():
+        results["fast_failover (LAN)"] = failover_time(TotemConfig.fast_failover())
+        results["lan default"] = failover_time(TotemConfig.lan())
+        results["wan (30-80ms links)"] = failover_time(
+            TotemConfig.wan(), latency=(0.030, 0.080)
+        )
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        BenchRow(label, {"crash_to_new_configuration": f"{t * 1000:.0f}ms"})
+        for label, t in results.items()
+    ]
+    assert results["fast_failover (LAN)"] < results["lan default"] / 2
+    assert results["lan default"] < results["wan (30-80ms links)"]
+    emit(
+        "profiles",
+        render_table("Ablation: timing profiles (failover after a crash)", rows),
+    )

@@ -1,0 +1,78 @@
+"""Experiment F5b - Specifications 6 and 7 (no figure in the paper:
+"more difficult to depict and so are not shown").
+
+Total order: a logical ord function must exist (constructed by the
+checker); safe delivery: every safe message delivered anywhere is
+delivered by all configuration members or excused by their failure.
+Expected shape: zero violations under partition + crash campaigns with
+safe-heavy traffic.
+"""
+
+from _util import emit
+
+from repro.harness.cluster import ClusterOptions
+from repro.harness.faults import random_scenario
+from repro.harness.scenario import ScenarioRunner
+from repro.harness.metrics import BenchRow, render_table
+from repro.net.network import NetworkParams
+from repro.spec import evs_checker
+from repro.types import DeliveryRequirement
+
+SEEDS = (61, 62, 63)
+
+
+def run_campaign(seed):
+    pids = [f"p{i}" for i in range(5)]
+    scenario = random_scenario(
+        seed,
+        pids,
+        steps=12,
+        requirements=(DeliveryRequirement.SAFE,),  # all-safe traffic
+    )
+    runner = ScenarioRunner(
+        ClusterOptions(seed=seed, network=NetworkParams(loss_rate=0.02))
+    )
+    result = runner.run(scenario)
+    v6 = evs_checker.check_total_order(result.history)
+    v7 = evs_checker.check_safe_delivery(result.history, quiescent=result.quiescent)
+    return result, v6, v7
+
+
+def test_spec6_7_total_order_and_safe_delivery(benchmark):
+    outcomes = []
+
+    def campaign():
+        seed = SEEDS[len(outcomes) % len(SEEDS)]
+        outcome = run_campaign(seed)
+        outcomes.append((seed, *outcome))
+        return outcome
+
+    benchmark.pedantic(campaign, rounds=len(SEEDS), iterations=1)
+
+    rows = []
+    for seed, result, v6, v7 in outcomes:
+        safe_deliveries = sum(
+            1
+            for ds in result.history.deliveries().values()
+            for d in ds
+            if d.requirement == DeliveryRequirement.SAFE
+        )
+        rows.append(
+            BenchRow(
+                f"seed={seed} all-safe traffic",
+                {
+                    "safe_delivery_events": safe_deliveries,
+                    "spec6_violations": len(v6),
+                    "spec7_violations": len(v7),
+                    "quiescent": result.quiescent,
+                },
+            )
+        )
+        assert v6 == [], [str(x) for x in v6]
+        assert v7 == [], [str(x) for x in v7]
+    emit(
+        "spec6_7_order_safety",
+        render_table(
+            "F5b / Specs 6-7: Totally Ordered + Safe Delivery", rows
+        ),
+    )

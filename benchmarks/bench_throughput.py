@@ -1,0 +1,77 @@
+"""Experiment X1 (added; the paper reports no performance numbers):
+ordering throughput and safe-delivery latency versus ring size.
+
+Shape expectations: bulk agreed throughput is window-limited and stays
+roughly flat with ring size (each rotation takes longer but carries
+proportionally more messages), while safe-delivery latency grows with
+ring size (safety needs acknowledgment rotations that visit every
+member).
+"""
+
+from _util import emit
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.harness.metrics import BenchRow, latency_summary, render_table
+from repro.types import DeliveryRequirement
+
+SIZES = (2, 3, 5, 8, 10)
+MESSAGES = 200
+
+
+def run_throughput(n):
+    cluster = SimCluster.of_size(n, options=ClusterOptions(seed=n))
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(cluster.pids), timeout=10.0)
+    start = cluster.now
+    for i in range(MESSAGES):
+        cluster.send(cluster.pids[i % n], f"m{i}".encode(), DeliveryRequirement.AGREED)
+    assert cluster.settle(timeout=60.0), cluster.describe()
+    elapsed = cluster.now - start
+    orders = list(cluster.delivery_orders().values())
+    assert all(o == orders[0] for o in orders) and len(orders[0]) == MESSAGES
+    # Paced safe traffic to expose the rotation-bound latency.
+    for i in range(30):
+        cluster.send(cluster.pids[i % n], b"s%d" % i, DeliveryRequirement.SAFE)
+        cluster.run_for(0.004)
+    assert cluster.settle(timeout=60.0)
+    safe = latency_summary(cluster.history)[DeliveryRequirement.SAFE]
+    return elapsed, safe, cluster
+
+
+def test_throughput_vs_ring_size(benchmark):
+    results = {}
+
+    def sweep():
+        for n in SIZES:
+            results[n] = run_throughput(n)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    rates = {}
+    safe_p50 = {}
+    for n, (elapsed, safe, cluster) in results.items():
+        rate = MESSAGES / elapsed
+        rates[n] = rate
+        safe_p50[n] = safe.p50
+        rows.append(
+            BenchRow(
+                f"ring size n={n}",
+                {
+                    "messages": MESSAGES,
+                    "agreed_throughput": f"{rate:.0f} msg/s",
+                    "safe_latency_p50": f"{safe.p50 * 1000:.2f}ms",
+                    "tokens": cluster.processes[cluster.pids[0]]
+                    .engine.controller.stats.tokens_handled,
+                },
+            )
+        )
+    # Shapes: bulk throughput does not collapse with ring size, and safe
+    # latency grows with it (acknowledgment rotations visit every member).
+    assert rates[max(SIZES)] > 0.15 * rates[min(SIZES)]
+    assert safe_p50[10] > safe_p50[2]
+    emit(
+        "throughput",
+        render_table("X1: throughput and safe latency vs ring size", rows),
+    )

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: a three-process group with totally ordered, safe delivery.
+
+Run:  python examples/quickstart.py
+
+Forms a group {p, q, r} on the simulated network, multicasts a few
+messages at each service level, and shows that every process observes
+the same configuration changes and the same total order - the basic EVS
+promise.
+"""
+
+from repro import DeliveryRequirement, SimCluster
+
+
+def main() -> None:
+    cluster = SimCluster(["p", "q", "r"])
+    cluster.start_all()
+    cluster.wait_until(lambda: cluster.converged(["p", "q", "r"]), timeout=5.0)
+    print("group formed:")
+    print(cluster.describe())
+
+    print("\nsending: 3 safe, 2 agreed, 1 causal message ...")
+    for i in range(3):
+        cluster.send("p", f"safe-{i}".encode(), DeliveryRequirement.SAFE)
+    for i in range(2):
+        cluster.send("q", f"agreed-{i}".encode(), DeliveryRequirement.AGREED)
+    cluster.send("r", b"causal-0", DeliveryRequirement.CAUSAL)
+    cluster.settle(timeout=5.0)
+
+    print("\ndelivery order at each process (identical by Spec 6):")
+    for pid, order in cluster.delivery_orders().items():
+        print(f"  {pid}: {[p.decode() for p in order]}")
+
+    print("\nconfiguration history at p:")
+    for config in cluster.listeners["p"].configurations:
+        print(f"  {config}")
+
+    from repro.spec import evs_checker
+
+    violations = evs_checker.check_all(cluster.history, quiescent=True)
+    print(f"\nspecification check: {len(violations)} violations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": ["repro-evs = repro.cli:main"],
+    }
+)

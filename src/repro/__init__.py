@@ -1,0 +1,95 @@
+"""repro: a complete reproduction of "Extended Virtual Synchrony"
+(L. E. Moser, Y. Amir, P. M. Melliar-Smith, D. A. Agarwal, ICDCS 1994).
+
+The package provides, bottom-up:
+
+* :mod:`repro.net`    - deterministic discrete-event simulator, a
+  partitionable lossy broadcast network, the wire codec, and an asyncio
+  UDP transport (same sans-io protocol core on both).
+* :mod:`repro.totem`  - the Totem-style single-ring substrate: token
+  ordering, membership consensus, and the recovery exchange.
+* :mod:`repro.core`   - the paper's contribution: regular/transitional
+  configurations, the three delivery services, obligation sets, and the
+  EVS recovery algorithm (Step 6 as a pure, testable function).
+* :mod:`repro.vs`     - the Section 5 filter implementing Isis virtual
+  synchrony on top of EVS, with pluggable primary-component strategies.
+* :mod:`repro.spec`   - machine-checkable encodings of every
+  specification in the paper (EVS Specs 1-7, the primary-component model,
+  and Birman's C1-C3 / L1-L5), evaluated against recorded histories.
+* :mod:`repro.apps`   - the motivating applications (airline reservation,
+  ATM, radar) and replication utilities.
+* :mod:`repro.harness`- clusters, scenarios, fault injection, metrics and
+  executable reproductions of the paper's figures.
+
+Quickstart::
+
+    from repro import SimCluster, DeliveryRequirement
+
+    cluster = SimCluster(["p", "q", "r"])
+    cluster.start_all()
+    cluster.wait_until(lambda: cluster.converged(["p", "q", "r"]))
+    cluster.send("p", b"hello", DeliveryRequirement.SAFE)
+    cluster.settle()
+    print(cluster.delivery_orders())
+"""
+
+from repro.core.configuration import (
+    Configuration,
+    Delivery,
+    Listener,
+    SendReceipt,
+)
+from repro.core.process import EvsProcess
+from repro.errors import (
+    CodecError,
+    NotOperationalError,
+    ProcessCrashedError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    SpecificationViolation,
+    StableStorageError,
+)
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.net.network import Network, NetworkParams
+from repro.spec.history import History
+from repro.totem.timers import TotemConfig
+from repro.types import (
+    ConfigurationId,
+    ConfigurationKind,
+    DeliveryRequirement,
+    MessageId,
+    ProcessId,
+    RingId,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterOptions",
+    "CodecError",
+    "Configuration",
+    "ConfigurationId",
+    "ConfigurationKind",
+    "Delivery",
+    "DeliveryRequirement",
+    "EvsProcess",
+    "History",
+    "Listener",
+    "MessageId",
+    "Network",
+    "NetworkParams",
+    "NotOperationalError",
+    "ProcessCrashedError",
+    "ProcessId",
+    "ProtocolError",
+    "ReproError",
+    "RingId",
+    "SendReceipt",
+    "SimCluster",
+    "SimulationError",
+    "SpecificationViolation",
+    "StableStorageError",
+    "TotemConfig",
+    "__version__",
+]

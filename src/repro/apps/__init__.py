@@ -1,0 +1,35 @@
+"""The paper's motivating applications and replication utilities."""
+
+from repro.apps.airline import AirlineReservation
+from repro.apps.atm import AtmReplica
+from repro.apps.counter import ReplicatedAccount
+from repro.apps.kvstore import ReplicatedKVStore
+from repro.apps.lock import DistributedLock
+from repro.apps.radar import RadarNode, Reading
+from repro.apps.reconcile import (
+    GCounter,
+    LWWRegister,
+    ReconcilingApp,
+    UnionLog,
+    decode_op,
+    encode_op,
+)
+from repro.apps.replicated_log import LogEntry, ReplicatedLog
+
+__all__ = [
+    "AirlineReservation",
+    "AtmReplica",
+    "DistributedLock",
+    "GCounter",
+    "LWWRegister",
+    "LogEntry",
+    "RadarNode",
+    "Reading",
+    "ReconcilingApp",
+    "ReplicatedAccount",
+    "ReplicatedKVStore",
+    "ReplicatedLog",
+    "UnionLog",
+    "decode_op",
+    "encode_op",
+]

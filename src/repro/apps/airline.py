@@ -1,0 +1,141 @@
+"""The paper's airline reservation example.
+
+"An airline reservation system must continue to sell tickets even if the
+system becomes partitioned.  Airlines have devised heuristics for use in
+non-primary components, based only on local data, that aim to maximize
+the number of tickets that can be sold while minimizing the risk of
+overbooking."
+
+Design: a sale *request* is multicast, and the accept/reject decision is
+made **at delivery time**, in the configuration's total order.  Because
+every replica in a component delivers the same operation sequence in the
+same configurations (Specifications 4 and 6), every replica reaches the
+same verdict for every request - no extra coordination needed.  The
+decision rule depends on the mode:
+
+* **primary component** (strict majority of the site universe): accept
+  while the reconciled total stays within capacity;
+* **non-primary component**: the heuristic allots the component a
+  proportional share of the seats believed unsold when the partition
+  episode began::
+
+      allotment = floor(remaining_at_episode_start * |component| / |universe|)
+
+  and accepts sale requests while the episode's sales stay within it.
+
+On remerge, per-site grow-only counters reconcile by pointwise max; any
+overbooking (possible exactly when detached components sold from stale
+data) becomes visible and is reported - the trade-off the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.apps.reconcile import GCounter, ReconcilingApp
+from repro.core.configuration import Configuration, Delivery
+from repro.types import ProcessId
+
+
+class AirlineReservation(ReconcilingApp):
+    """One booking site of the replicated reservation system."""
+
+    def __init__(self, pid: ProcessId, seats: int, universe) -> None:
+        super().__init__(pid)
+        if seats < 0:
+            raise ValueError("seats must be non-negative")
+        self.seats = seats
+        self.universe = frozenset(universe)
+        self.sales = GCounter()
+        #: Outcomes of this site's own requests: ticket id -> bool.
+        self.outcomes: Dict[int, bool] = {}
+        self._ticket_counter = 0
+        #: Heuristic state for the current non-primary episode.
+        self._partition_allotment: Optional[int] = None
+        self._partition_sold_start = 0
+
+    # -- mode -------------------------------------------------------------
+
+    @property
+    def in_primary(self) -> bool:
+        if self.config is None:
+            return False
+        present = len(self.config.members & self.universe)
+        return 2 * present > len(self.universe)
+
+    def on_config(self, config: Configuration) -> None:
+        if not config.is_regular:
+            return
+        if self.in_primary:
+            self._partition_allotment = None
+        else:
+            remaining = max(0, self.seats - self.sales.value)
+            share = len(config.members & self.universe) / max(1, len(self.universe))
+            self._partition_allotment = int(remaining * share)
+            self._partition_sold_start = self.sales.value
+
+    # -- client API --------------------------------------------------------------
+
+    def request_sale(self, count: int = 1) -> int:
+        """Submit a sale request for ``count`` tickets; returns a ticket
+        id.  The accept/reject verdict is made in delivery order (query
+        it with :meth:`outcome` once the request settles)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self._ticket_counter += 1
+        ticket = self._ticket_counter
+        self.submit(
+            {"op": "sell", "site": self.pid, "count": count, "ticket": ticket}
+        )
+        return ticket
+
+    def outcome(self, ticket: int) -> Optional[bool]:
+        """True = sold, False = rejected, None = not yet decided."""
+        return self.outcomes.get(ticket)
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for ok in self.outcomes.values() if ok)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for ok in self.outcomes.values() if not ok)
+
+    # -- replication -----------------------------------------------------------
+
+    def apply(self, op: Dict[str, Any], delivery: Delivery) -> None:
+        if op.get("op") != "sell":
+            return
+        count = int(op["count"])
+        verdict = self._decide(count)
+        if verdict:
+            self.sales.add(op["site"], count)
+        if op["site"] == self.pid:
+            self.outcomes[int(op["ticket"])] = verdict
+
+    def _decide(self, count: int) -> bool:
+        """The deterministic delivery-order decision rule."""
+        if self.in_primary:
+            return self.sales.value + count <= self.seats
+        if self._partition_allotment is None:
+            return False
+        sold_this_episode = self.sales.value - self._partition_sold_start
+        return sold_this_episode + count <= self._partition_allotment
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"sales": self.sales.to_json()}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        self.sales.merge(GCounter.from_json(snapshot["sales"]))
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def sold(self) -> int:
+        return self.sales.value
+
+    @property
+    def overbooked(self) -> int:
+        """Seats sold beyond capacity (visible after reconciliation)."""
+        return max(0, self.sales.value - self.seats)

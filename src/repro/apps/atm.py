@@ -1,0 +1,194 @@
+"""The paper's ATM example.
+
+"An ATM machine, operating in a fully connected system, records each
+transaction in its database, checking that cumulative withdrawals do not
+exceed the account balance.  When operating in a non-primary component,
+however, it consults a small database to authorize a withdrawal without
+checking for cumulative withdrawals at different locations, and delays
+posting the transaction until the system becomes reconnected."
+
+Two authorization paths, mirroring the paper exactly:
+
+* **Connected (primary component)**: a withdrawal is a *request* op whose
+  verdict is decided at delivery time against the fully replicated
+  balance - every replica reaches the same verdict because they deliver
+  the same operations in the same order (Specs 4/6), so cumulative
+  withdrawals at different ATMs can never overdraw the account.
+* **Non-primary component**: the ATM authorizes locally against a small
+  per-episode ``offline_limit`` without the cumulative check, queues the
+  transaction, and posts it on reconnection.  Reconciled balances may go
+  negative - the overdraft risk the heuristic knowingly accepts.
+
+State is a union-by-id transaction log (order-independent fold), so any
+number of merging components converge to identical balances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.apps.reconcile import ReconcilingApp, UnionLog
+from repro.core.configuration import Configuration, Delivery
+from repro.types import ProcessId
+
+
+class AtmReplica(ReconcilingApp):
+    """One ATM site of the replicated banking system."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        universe,
+        opening_balances: Dict[str, int],
+        offline_limit: int = 100,
+    ) -> None:
+        super().__init__(pid)
+        self.universe = frozenset(universe)
+        self.opening = dict(opening_balances)
+        self.offline_limit = offline_limit
+        self.transactions = UnionLog()
+        #: Withdrawals authorized while non-primary, awaiting posting.
+        self.deferred: List[Dict[str, Any]] = []
+        #: Offline spend per account for the current non-primary episode.
+        self._offline_spent: Dict[str, int] = {}
+        #: Verdicts for this site's own online withdrawal requests.
+        self.outcomes: Dict[str, bool] = {}
+        self._txn_counter = 0
+
+    # -- mode -------------------------------------------------------------
+
+    @property
+    def in_primary(self) -> bool:
+        if self.config is None:
+            return False
+        present = len(self.config.members & self.universe)
+        return 2 * present > len(self.universe)
+
+    def on_config(self, config: Configuration) -> None:
+        if not config.is_regular:
+            return
+        if self.in_primary:
+            self._offline_spent = {}
+            # Reconnected: post any deferred transactions ("delays
+            # posting the transaction until the system becomes
+            # reconnected").
+            pending, self.deferred = self.deferred, []
+            for txn in pending:
+                self.submit({"op": "post", "txn": txn})
+
+    # -- client API --------------------------------------------------------------
+
+    def balance(self, account: str) -> int:
+        """The replicated balance as currently known at this site."""
+
+        def fold(acc: int, entry: Dict[str, Any]) -> int:
+            if entry["account"] != account:
+                return acc
+            return acc + entry["amount"]
+
+        return self.transactions.fold(fold, self.opening.get(account, 0))
+
+    def _new_txn_id(self) -> str:
+        self._txn_counter += 1
+        return f"{self.pid}-{self._txn_counter}"
+
+    def deposit(self, account: str, amount: int) -> str:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        txn_id = self._new_txn_id()
+        self.submit(
+            {
+                "op": "post",
+                "txn": {
+                    "id": txn_id,
+                    "account": account,
+                    "amount": amount,
+                    "deferred": False,
+                },
+            }
+        )
+        return txn_id
+
+    def withdraw(self, account: str, amount: int) -> str:
+        """Submit a withdrawal.  Returns the transaction id; query
+        :meth:`outcome` after the request settles (online path), or rely
+        on the offline authorization verdict raised here (offline path
+        raises nothing: a declined offline withdrawal simply records
+        outcome False immediately)."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        txn_id = self._new_txn_id()
+        if self.in_primary:
+            # Online: verdict at delivery time, against the replicated
+            # cumulative balance.
+            self.submit(
+                {
+                    "op": "withdraw_req",
+                    "txn": {
+                        "id": txn_id,
+                        "account": account,
+                        "amount": -amount,
+                        "deferred": False,
+                    },
+                }
+            )
+            return txn_id
+        # Offline: authorize against the local per-episode limit, without
+        # the cumulative check.
+        spent = self._offline_spent.get(account, 0)
+        if spent + amount > self.offline_limit:
+            self.outcomes[txn_id] = False
+            return txn_id
+        self._offline_spent[account] = spent + amount
+        self.outcomes[txn_id] = True
+        txn = {
+            "id": txn_id,
+            "account": account,
+            "amount": -amount,
+            "deferred": True,
+        }
+        self.deferred.append(txn)
+        # Also replicate within the component so sibling ATMs see the
+        # exposure immediately.
+        self.submit({"op": "post", "txn": txn})
+        return txn_id
+
+    def outcome(self, txn_id: str) -> Optional[bool]:
+        """True = authorized, False = declined, None = not yet decided."""
+        return self.outcomes.get(txn_id)
+
+    @property
+    def declined(self) -> int:
+        return sum(1 for ok in self.outcomes.values() if not ok)
+
+    # -- replication -----------------------------------------------------------
+
+    def apply(self, op: Dict[str, Any], delivery: Delivery) -> None:
+        kind = op.get("op")
+        if kind == "post":
+            self.transactions.add(op["txn"]["id"], op["txn"])
+        elif kind == "withdraw_req":
+            txn = op["txn"]
+            verdict = self.balance(txn["account"]) >= -txn["amount"]
+            if verdict:
+                self.transactions.add(txn["id"], txn)
+            if txn["id"].startswith(f"{self.pid}-") and txn["id"] not in self.outcomes:
+                self.outcomes[txn["id"]] = verdict
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"transactions": self.transactions.to_json()}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        self.transactions.merge(UnionLog.from_json(snapshot["transactions"]))
+
+    # -- reporting ------------------------------------------------------------
+
+    def overdrafts(self) -> Dict[str, int]:
+        """Accounts whose reconciled balance is negative (the accepted
+        risk of offline authorization)."""
+        accounts = set(self.opening)
+        for entry in self.transactions.entries.values():
+            accounts.add(entry["account"])
+        return {
+            a: bal for a in sorted(accounts) if (bal := self.balance(a)) < 0
+        }

@@ -1,0 +1,71 @@
+"""A replicated bank-account state machine (no partition heuristics).
+
+The simplest deterministic EVS application: operations are applied in
+the configuration's total order, withdrawals that would overdraw are
+rejected *identically at every replica* (the rejection decision depends
+only on the delivered prefix, which Specifications 4 and 6 make equal),
+so replicas never diverge while they share configurations.
+
+Contrast with :mod:`repro.apps.atm`, which adds the paper's non-primary
+heuristics and reconciliation; this class is used by tests that verify
+plain state-machine replication over EVS and by the quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.apps.reconcile import decode_op, encode_op
+from repro.core.configuration import Configuration, Delivery, Listener
+from repro.types import DeliveryRequirement, ProcessId
+
+
+class ReplicatedAccount(Listener):
+    """A single shared account, replicated by totally ordered multicast."""
+
+    def __init__(self, pid: ProcessId, opening_balance: int = 0) -> None:
+        self.pid = pid
+        self.process = None
+        self.balance = opening_balance
+        self.applied: List[Tuple[str, int]] = []
+        self.rejected: List[Tuple[str, int]] = []
+
+    def bind(self, process) -> None:
+        self.process = process
+
+    # -- client API --------------------------------------------------------------
+
+    def deposit(self, amount: int) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        self._submit({"op": "deposit", "amount": amount})
+
+    def withdraw(self, amount: int) -> None:
+        """Request a withdrawal; it is validated in delivery order, so
+        every replica accepts or rejects it identically."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        self._submit({"op": "withdraw", "amount": amount})
+
+    def _submit(self, op: Dict[str, Any]) -> None:
+        if self.process is None:
+            raise RuntimeError("account not bound to a process")
+        self.process.send(encode_op(op), DeliveryRequirement.SAFE)
+
+    # -- Listener ------------------------------------------------------------
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        op = decode_op(delivery.payload)
+        kind, amount = op["op"], int(op["amount"])
+        if kind == "deposit":
+            self.balance += amount
+            self.applied.append((kind, amount))
+        elif kind == "withdraw":
+            if amount <= self.balance:
+                self.balance -= amount
+                self.applied.append((kind, amount))
+            else:
+                self.rejected.append((kind, amount))
+
+    def on_configuration_change(self, config: Configuration) -> None:
+        pass

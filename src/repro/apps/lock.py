@@ -1,0 +1,131 @@
+"""A distributed mutual-exclusion lock over totally ordered multicast.
+
+The classic group-communication construction: lock requests and releases
+are multicast with safe delivery; every replica applies them in the same
+total order, so every replica computes the same owner queue - no extra
+coordination protocol needed.  The EVS twist is partition behavior:
+
+* the lock is *primary-committed*: a component holding a majority of the
+  site universe may grant the lock; minority components refuse grants
+  (the owner might be on the other side), which is the conservative
+  reading of the paper's blocked-application discussion;
+* on remerge, queues reconcile through the sync path; a grant made in
+  the primary survives, and requests queued in the minority join behind
+  it in deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps.reconcile import ReconcilingApp, UnionLog
+from repro.core.configuration import Delivery
+from repro.types import ProcessId
+
+
+class DistributedLock(ReconcilingApp):
+    """One replica of a named lock service."""
+
+    def __init__(self, pid: ProcessId, universe) -> None:
+        super().__init__(pid)
+        self.universe = frozenset(universe)
+        #: All requests/releases ever seen, by id (merge = union).
+        self.log = UnionLog()
+        self._req_counter = 0
+
+    # -- mode -------------------------------------------------------------
+
+    @property
+    def in_primary(self) -> bool:
+        if self.config is None:
+            return False
+        present = len(self.config.members & self.universe)
+        return 2 * present > len(self.universe)
+
+    # -- client API --------------------------------------------------------------
+
+    def request(self, lock: str) -> str:
+        """Queue a lock request; returns its request id."""
+        self._req_counter += 1
+        req_id = f"{self.pid}-{self._req_counter}"
+        self.submit(
+            {"op": "lock-req", "lock": lock, "id": req_id, "site": self.pid}
+        )
+        return req_id
+
+    def release(self, lock: str, req_id: str) -> None:
+        """Release a previously granted request."""
+        self.submit(
+            {"op": "lock-rel", "lock": lock, "id": req_id, "site": self.pid}
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def _queue(self, lock: str) -> List[Tuple[Tuple, str, str]]:
+        """Outstanding requests for ``lock`` in arrival (total) order."""
+        entries = []
+        released = set()
+        for entry_id, entry in self.log.entries.items():
+            if entry["lock"] != lock:
+                continue
+            if entry["kind"] == "rel":
+                released.add(entry["req"])
+        for entry_id, entry in self.log.entries.items():
+            if entry["lock"] != lock or entry["kind"] != "req":
+                continue
+            if entry["req"] in released:
+                continue
+            entries.append((tuple(entry["pos"]), entry["req"], entry["site"]))
+        entries.sort()
+        return entries
+
+    def owner(self, lock: str) -> Optional[ProcessId]:
+        """The site currently holding ``lock``, by this replica's view.
+
+        Returns None while nobody holds it, or while this replica is in
+        a non-primary component (the true owner may be unreachable, so a
+        minority replica must not claim to know)."""
+        if not self.in_primary:
+            return None
+        queue = self._queue(lock)
+        return queue[0][2] if queue else None
+
+    def holds(self, lock: str, req_id: str) -> bool:
+        """True when ``req_id`` is at the head of the queue and this
+        replica may make grant claims (primary component)."""
+        if not self.in_primary:
+            return False
+        queue = self._queue(lock)
+        return bool(queue) and queue[0][1] == req_id
+
+    def waiting(self, lock: str) -> List[str]:
+        return [req for _, req, _ in self._queue(lock)]
+
+    # -- replication -----------------------------------------------------------
+
+    def apply(self, op: Dict[str, Any], delivery: Delivery) -> None:
+        kind = op.get("op")
+        if kind == "lock-req":
+            self.log.add(
+                f"req:{op['id']}",
+                {
+                    "kind": "req",
+                    "lock": op["lock"],
+                    "req": op["id"],
+                    "site": op["site"],
+                    # Total-order position: makes the queue identical at
+                    # every replica and stable across merges.
+                    "pos": [delivery.message_id.ring.seq, delivery.message_id.seq],
+                },
+            )
+        elif kind == "lock-rel":
+            self.log.add(
+                f"rel:{op['id']}",
+                {"kind": "rel", "lock": op["lock"], "req": op["id"], "site": op["site"]},
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"log": self.log.to_json()}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        self.log.merge(UnionLog.from_json(snapshot["log"]))

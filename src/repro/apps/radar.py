@@ -1,0 +1,118 @@
+"""The paper's radar example.
+
+"A radar system combines a number of sensors, as well as a number of
+displays, in different locations.  The most accurate available
+information, obtained from the sensor with the best view should be
+displayed to the operator.  In the case of a network partition, however,
+it is better to display lower quality information from the connected
+sensors than to do nothing."
+
+Implementation: sensor processes periodically multicast readings (an
+agreed multicast suffices - a display needs order, not all-stable
+guarantees).  Each display keeps the latest reading per sensor in a
+last-writer-wins register and shows the highest-quality reading among
+the sensors *in its current configuration*.  When the network partitions
+the display automatically degrades to the best connected sensor; on
+remerge the sync/merge path restores the globally best one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.apps.reconcile import LWWRegister, ReconcilingApp
+from repro.core.configuration import Delivery
+from repro.types import DeliveryRequirement, ProcessId
+
+
+class Reading:
+    """One sensor observation."""
+
+    __slots__ = ("sensor", "quality", "track", "time")
+
+    def __init__(self, sensor: ProcessId, quality: float, track: Any, time: float):
+        self.sensor = sensor
+        self.quality = quality
+        self.track = track
+        self.time = time
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "sensor": self.sensor,
+            "quality": self.quality,
+            "track": self.track,
+            "time": self.time,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Reading":
+        return cls(data["sensor"], data["quality"], data["track"], data["time"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Reading({self.sensor}, q={self.quality}, t={self.time})"
+
+
+class RadarNode(ReconcilingApp):
+    """A radar system participant: sensor, display, or both."""
+
+    requirement = DeliveryRequirement.AGREED
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        quality: Optional[float] = None,
+    ) -> None:
+        """``quality`` is this node's sensor accuracy (None for a pure
+        display node)."""
+        super().__init__(pid)
+        self.quality = quality
+        #: Latest reading per sensor (LWW on observation time).
+        self.latest: Dict[ProcessId, LWWRegister] = {}
+        self._obs_counter = 0
+
+    # -- sensor side ----------------------------------------------------------
+
+    def observe(self, track: Any, time: float) -> None:
+        """Multicast a new observation from this node's sensor."""
+        if self.quality is None:
+            raise RuntimeError(f"{self.pid} has no sensor")
+        self._obs_counter += 1
+        reading = Reading(self.pid, self.quality, track, time)
+        self.submit({"op": "reading", "reading": reading.to_json()})
+
+    # -- display side -----------------------------------------------------------
+
+    def best_reading(self) -> Optional[Reading]:
+        """The highest-quality reading among sensors in the current
+        configuration (the paper's degradation rule)."""
+        if self.config is None:
+            return None
+        candidates = []
+        for sensor, reg in self.latest.items():
+            if sensor not in self.config.members:
+                continue  # detached sensor: its data may be arbitrarily stale
+            if reg.value is not None:
+                candidates.append(Reading.from_json(reg.value))
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: (r.quality, r.time, r.sensor))
+
+    def displayed_quality(self) -> Optional[float]:
+        best = self.best_reading()
+        return None if best is None else best.quality
+
+    # -- replication -----------------------------------------------------------
+
+    def apply(self, op: Dict[str, Any], delivery: Delivery) -> None:
+        if op.get("op") == "reading":
+            reading = Reading.from_json(op["reading"])
+            reg = self.latest.setdefault(reading.sensor, LWWRegister())
+            reg.set(reading.to_json(), reading.time, reading.sensor)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"latest": {s: r.to_json() for s, r in self.latest.items()}}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        for sensor, reg_json in snapshot["latest"].items():
+            reg = self.latest.setdefault(sensor, LWWRegister())
+            reg.merge(LWWRegister.from_json(reg_json))

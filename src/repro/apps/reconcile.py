@@ -1,0 +1,225 @@
+"""Application-level state reconciliation over EVS.
+
+The paper's introduction motivates *continued operation in all
+components*: an airline keeps selling tickets, an ATM keeps authorizing
+withdrawals, a radar display keeps showing the sensors it can reach.
+When components remerge, their divergent states must be reconciled - the
+part the application owns ("it is then up to the application to determine
+how to proceed with this information").
+
+:class:`ReconcilingApp` packages the standard recipe:
+
+* every operation is a JSON-encoded multicast applied deterministically
+  in EVS delivery order, so replicas that deliver the same message
+  sequence hold identical state (Specification 4 makes "same sequence"
+  exactly the processes that move between configurations together);
+* on installing a regular configuration whose membership differs from
+  the previous one, each member multicasts a *sync* message carrying a
+  snapshot of its state;
+* snapshots merge through order-independent (join-semilattice) data
+  types - grow-only counters, union-by-id logs, last-writer-wins
+  registers - so every member converges to the same reconciled state no
+  matter how many components merged at once.
+
+The concrete applications in this package subclass it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.configuration import Configuration, Delivery, Listener
+from repro.types import DeliveryRequirement, ProcessId
+
+
+# ---------------------------------------------------------------------------
+# Mergeable state primitives
+
+
+class GCounter:
+    """Grow-only counter: per-site counts merged by pointwise maximum."""
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    def add(self, site: str, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("GCounter only grows")
+        self.counts[site] = self.counts.get(site, 0) + n
+
+    def merge(self, other: "GCounter") -> None:
+        for site, n in other.counts.items():
+            if site not in self.counts or n > self.counts[site]:
+                self.counts[site] = n
+
+    @property
+    def value(self) -> int:
+        return sum(self.counts.values())
+
+    def to_json(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, int]) -> "GCounter":
+        return cls(data)
+
+
+class LWWRegister:
+    """Last-writer-wins register ordered by (timestamp, site)."""
+
+    def __init__(self, value: Any = None, stamp: Tuple[float, str] = (-1.0, "")) -> None:
+        self.value = value
+        self.stamp = tuple(stamp)
+
+    def set(self, value: Any, time: float, site: str) -> None:
+        stamp = (time, site)
+        if stamp > self.stamp:
+            self.value = value
+            self.stamp = stamp
+
+    def merge(self, other: "LWWRegister") -> None:
+        if tuple(other.stamp) > tuple(self.stamp):
+            self.value = other.value
+            self.stamp = tuple(other.stamp)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"value": self.value, "stamp": list(self.stamp)}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "LWWRegister":
+        return cls(data["value"], tuple(data["stamp"]))
+
+
+class UnionLog:
+    """Union-by-id operation log: merge is set union, value queries fold
+    deterministically over id order."""
+
+    def __init__(self, entries: Optional[Dict[str, Dict[str, Any]]] = None) -> None:
+        self.entries: Dict[str, Dict[str, Any]] = dict(entries or {})
+
+    def add(self, entry_id: str, entry: Dict[str, Any]) -> bool:
+        if entry_id in self.entries:
+            return False
+        self.entries[entry_id] = dict(entry)
+        return True
+
+    def merge(self, other: "UnionLog") -> None:
+        for entry_id, entry in other.entries.items():
+            self.entries.setdefault(entry_id, dict(entry))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, entry_id: str) -> bool:
+        return entry_id in self.entries
+
+    def fold(self, fn, initial):
+        acc = initial
+        for entry_id in sorted(self.entries):
+            acc = fn(acc, self.entries[entry_id])
+        return acc
+
+    def to_json(self) -> Dict[str, Dict[str, Any]]:
+        return {k: dict(v) for k, v in self.entries.items()}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Dict[str, Any]]) -> "UnionLog":
+        return cls(data)
+
+
+# ---------------------------------------------------------------------------
+# The reconciling application base
+
+
+def encode_op(op: Dict[str, Any]) -> bytes:
+    return json.dumps(op, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def decode_op(payload: bytes) -> Dict[str, Any]:
+    return json.loads(payload.decode("utf-8"))
+
+
+class ReconcilingApp(Listener):
+    """Deterministic replicated application with merge-time state sync.
+
+    Subclasses implement :meth:`apply` (one operation, in delivery
+    order), :meth:`snapshot` (mergeable state out) and :meth:`merge`
+    (fold a peer's snapshot in), plus optionally :meth:`on_config` to
+    react to configuration changes (e.g. switch partition heuristics).
+    """
+
+    #: Delivery service used for operations and sync messages.
+    requirement = DeliveryRequirement.SAFE
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.process = None  # bound later (the EvsProcess to send through)
+        self.config: Optional[Configuration] = None
+        self._prev_regular_members: Optional[frozenset] = None
+        self._sync_counter = 0
+        self.ops_applied = 0
+        self.syncs_sent = 0
+        self.syncs_merged = 0
+
+    def bind(self, process) -> None:
+        """Attach the EvsProcess this application sends through."""
+        self.process = process
+
+    # -- sending ------------------------------------------------------------
+
+    def submit(self, op: Dict[str, Any]) -> None:
+        """Multicast an operation to the current configuration."""
+        if self.process is None:
+            raise RuntimeError("application not bound to a process")
+        self.process.send(encode_op(op), self.requirement)
+
+    # -- Listener ------------------------------------------------------------
+
+    def on_configuration_change(self, config: Configuration) -> None:
+        self.config = config
+        self.on_config(config)
+        if not config.is_regular:
+            return
+        members = frozenset(config.members)
+        if (
+            self._prev_regular_members is not None
+            and members != self._prev_regular_members
+            and len(members) > 1
+        ):
+            # Membership changed: offer our state for reconciliation.
+            self._sync_counter += 1
+            self.submit(
+                {
+                    "__sync": self.snapshot(),
+                    "from": self.pid,
+                    "nr": self._sync_counter,
+                }
+            )
+            self.syncs_sent += 1
+        self._prev_regular_members = members
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        op = decode_op(delivery.payload)
+        if "__sync" in op:
+            if op["from"] != self.pid:
+                self.merge(op["__sync"])
+            self.syncs_merged += 1
+            return
+        self.apply(op, delivery)
+        self.ops_applied += 1
+
+    # -- subclass API -----------------------------------------------------------
+
+    def apply(self, op: Dict[str, Any], delivery: Delivery) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def on_config(self, config: Configuration) -> None:
+        """Optional hook for configuration-change reactions."""

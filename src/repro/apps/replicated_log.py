@@ -1,0 +1,104 @@
+"""A totally ordered replicated log - the canonical EVS application.
+
+Every delivered message is appended together with the configuration it
+was delivered in, giving each replica a *consistent, though perhaps
+incomplete, history of the system* (the paper's phrase for what EVS
+guarantees to all components).  The class also exposes the comparisons
+the tests and examples lean on:
+
+* replicas that moved between the same configurations hold identical
+  log segments (Specification 4);
+* any two replicas' logs restricted to one configuration are related by
+  prefix (total order, Specification 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.configuration import Configuration, Delivery, Listener
+from repro.types import ConfigurationId, MessageId, ProcessId
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One appended message."""
+
+    message_id: MessageId
+    sender: ProcessId
+    payload: bytes
+    config_id: ConfigurationId
+    index: int  # position in this replica's log
+
+
+class ReplicatedLog(Listener):
+    """Per-replica append-only log of delivered messages."""
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.entries: List[LogEntry] = []
+        self.configurations: List[Configuration] = []
+        #: Log index at which each configuration was installed.
+        self.cuts: List[Tuple[ConfigurationId, int]] = []
+
+    # -- Listener -----------------------------------------------------------
+
+    def on_configuration_change(self, config: Configuration) -> None:
+        self.configurations.append(config)
+        self.cuts.append((config.id, len(self.entries)))
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        self.entries.append(
+            LogEntry(
+                message_id=delivery.message_id,
+                sender=delivery.sender,
+                payload=delivery.payload,
+                config_id=delivery.config_id,
+                index=len(self.entries),
+            )
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def payloads(self) -> List[bytes]:
+        return [e.payload for e in self.entries]
+
+    def entries_in(self, config_id: ConfigurationId) -> List[LogEntry]:
+        return [e for e in self.entries if e.config_id == config_id]
+
+    def segment_between(
+        self, config_id: ConfigurationId, next_config_id: ConfigurationId
+    ) -> Optional[List[LogEntry]]:
+        """Entries appended while this replica was in ``config_id``
+        immediately before installing ``next_config_id`` (None if the
+        replica never made that transition)."""
+        for i, (cid, start) in enumerate(self.cuts):
+            if cid != config_id or i + 1 >= len(self.cuts):
+                continue
+            nxt_cid, end = self.cuts[i + 1]
+            if nxt_cid == next_config_id:
+                return self.entries[start:end]
+        return None
+
+    def is_prefix_consistent_with(self, other: "ReplicatedLog") -> bool:
+        """True when, for every configuration both replicas delivered in,
+        one replica's per-configuration message sequence is a prefix of
+        the other's."""
+        mine = self._per_config_sequences()
+        theirs = other._per_config_sequences()
+        for cid in set(mine) & set(theirs):
+            a, b = mine[cid], theirs[cid]
+            short, long_ = (a, b) if len(a) <= len(b) else (b, a)
+            if long_[: len(short)] != short:
+                return False
+        return True
+
+    def _per_config_sequences(self) -> Dict[ConfigurationId, List[MessageId]]:
+        out: Dict[ConfigurationId, List[MessageId]] = {}
+        for e in self.entries:
+            out.setdefault(e.config_id, []).append(e.message_id)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        - form a group, order messages, print the histories;
+* ``figure6``     - reproduce the paper's Figure 6 scenario and print the
+  narrative plus the space-time diagram;
+* ``conformance`` - run seeded random fault campaigns and evaluate every
+  EVS specification (the Figures 1-5 experiment, from the shell), with
+  optional ``--save`` of the recorded traces;
+* ``check``       - evaluate all specifications against a saved trace;
+* ``timeline``    - run a short partition/merge demo and render it as an
+  ASCII space-time diagram.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.harness.faults import random_scenario
+from repro.harness.figures import figure6_scenario, render_timeline
+from repro.harness.scenario import ScenarioRunner
+from repro.net.network import NetworkParams
+from repro.spec import tracefile
+from repro.spec.report import pool_reports, run_conformance
+from repro.types import DeliveryRequirement
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    pids = [f"p{i}" for i in range(args.processes)]
+    cluster = SimCluster(pids, options=ClusterOptions(seed=args.seed))
+    cluster.start_all()
+    if not cluster.wait_until(lambda: cluster.converged(pids), timeout=10.0):
+        print("group failed to form", file=sys.stderr)
+        return 1
+    print(f"group formed: {pids}")
+    for i in range(args.messages):
+        cluster.send(pids[i % len(pids)], f"m{i}".encode(), DeliveryRequirement.SAFE)
+    cluster.settle(timeout=30.0)
+    for pid, order in cluster.delivery_orders().items():
+        print(f"  {pid}: {[p.decode() for p in order]}")
+    report = run_conformance(cluster.history, quiescent=True)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def cmd_figure6(args: argparse.Namespace) -> int:
+    result = figure6_scenario(seed=args.seed)
+    print(result.narrative())
+    if args.timeline:
+        print()
+        print(render_timeline(result.history, max_rows=args.rows))
+    ok = (
+        result.qr_transitional_observed
+        and result.qrst_regular_observed
+        and result.delivered_n["q"] == ("transitional", ("q", "r"))
+    )
+    print(f"\nFigure 6 narrative reproduced: {'yes' if ok else 'NO'}")
+    return 0 if ok else 1
+
+
+def cmd_conformance(args: argparse.Namespace) -> int:
+    pids = [f"p{i}" for i in range(args.processes)]
+    reports = []
+    for seed in range(args.seed, args.seed + args.seeds):
+        scenario = random_scenario(seed, pids, steps=args.steps)
+        runner = ScenarioRunner(
+            ClusterOptions(seed=seed, network=NetworkParams(loss_rate=args.loss))
+        )
+        result = runner.run(scenario)
+        if args.save:
+            path = f"{args.save.rstrip('/')}/trace-{seed}.json"
+            tracefile.save(result.history, path)
+            print(f"trace written: {path}")
+        reports.append(run_conformance(result.history, quiescent=result.quiescent))
+        status = "PASS" if reports[-1].passed else "FAIL"
+        print(
+            f"seed={seed:<6d} events={reports[-1].events:<6d} "
+            f"quiescent={result.quiescent!s:<5s} {status}"
+        )
+    pooled = pool_reports(reports)
+    print()
+    print(pooled.render())
+    return 0 if pooled.passed else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    history = tracefile.load(args.trace)
+    report = run_conformance(history, quiescent=not args.truncated)
+    print(history.summary())
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    pids = ["p", "q", "r"]
+    cluster = SimCluster(pids, options=ClusterOptions(seed=args.seed))
+    cluster.start_all()
+    cluster.wait_until(lambda: cluster.converged(pids), timeout=10.0)
+    cluster.send("p", b"one")
+    cluster.settle(timeout=10.0)
+    cluster.partition({"p"}, {"q", "r"})
+    cluster.wait_until(
+        lambda: cluster.converged(["p"]) and cluster.converged(["q", "r"]),
+        timeout=10.0,
+    )
+    cluster.send("q", b"two")
+    cluster.settle(["q", "r"], timeout=10.0)
+    cluster.merge_all()
+    cluster.wait_until(lambda: cluster.converged(pids), timeout=15.0)
+    cluster.settle(timeout=10.0)
+    print(render_timeline(cluster.history, max_rows=args.rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Extended Virtual Synchrony reproduction (Moser et al., "
+        "ICDCS 1994)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="form a group and order messages")
+    demo.add_argument("--processes", type=int, default=3)
+    demo.add_argument("--messages", type=int, default=6)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(fn=cmd_demo)
+
+    fig6 = sub.add_parser("figure6", help="reproduce the paper's Figure 6")
+    fig6.add_argument("--seed", type=int, default=0)
+    fig6.add_argument("--timeline", action="store_true")
+    fig6.add_argument("--rows", type=int, default=60)
+    fig6.set_defaults(fn=cmd_figure6)
+
+    conf = sub.add_parser(
+        "conformance", help="random fault campaigns checked against Specs 1-7"
+    )
+    conf.add_argument("--seeds", type=int, default=5)
+    conf.add_argument("--seed", type=int, default=0, help="first seed")
+    conf.add_argument("--processes", type=int, default=5)
+    conf.add_argument("--steps", type=int, default=12)
+    conf.add_argument("--loss", type=float, default=0.02)
+    conf.add_argument(
+        "--save", default=None, help="directory to write trace-<seed>.json files"
+    )
+    conf.set_defaults(fn=cmd_conformance)
+
+    check = sub.add_parser("check", help="evaluate a saved trace file")
+    check.add_argument("trace", help="path to a trace .json written by --save")
+    check.add_argument(
+        "--truncated",
+        action="store_true",
+        help="the trace did not end quiescent: check safety fragments only",
+    )
+    check.set_defaults(fn=cmd_check)
+
+    tl = sub.add_parser("timeline", help="render a partition/merge timeline")
+    tl.add_argument("--seed", type=int, default=0)
+    tl.add_argument("--rows", type=int, default=80)
+    tl.set_defaults(fn=cmd_timeline)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

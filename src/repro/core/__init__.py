@@ -1,0 +1,27 @@
+"""The paper's primary contribution: the extended virtual synchrony layer."""
+
+from repro.core.configuration import (
+    Configuration,
+    Delivery,
+    Listener,
+    SendReceipt,
+    regular_configuration,
+    transitional_configuration,
+)
+from repro.core.engine import EvsEngine
+from repro.core.process import EvsProcess
+from repro.core.recovery import RecoveryPlan, combined_ack_vector, plan_step6
+
+__all__ = [
+    "Configuration",
+    "Delivery",
+    "EvsEngine",
+    "EvsProcess",
+    "Listener",
+    "RecoveryPlan",
+    "SendReceipt",
+    "combined_ack_vector",
+    "plan_step6",
+    "regular_configuration",
+    "transitional_configuration",
+]

@@ -1,0 +1,157 @@
+"""Configurations and application-facing delivery events.
+
+Section 2 of the paper: "Each process executes a low-level membership
+algorithm to determine the processes that are members of its component.
+This membership, together with a unique identifier, is called a
+*configuration*."  EVS presents two kinds to the application: *regular*
+configurations in which new messages are broadcast and delivered, and
+*transitional* configurations in which no new messages are broadcast but
+the remaining messages of the prior regular configuration are delivered.
+
+The application observes exactly two event streams, mirroring the paper's
+``deliver_conf`` and ``deliver`` events:
+
+* :class:`Configuration` values via ``on_configuration_change`` - each one
+  terminates the previous configuration and initiates the new one;
+* :class:`Delivery` values via ``on_deliver`` - each message tagged with
+  the configuration in which it is delivered, so the application can
+  "determine how to proceed with this information".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.types import (
+    ConfigurationId,
+    ConfigurationKind,
+    DeliveryRequirement,
+    MessageId,
+    ProcessId,
+    RingId,
+    representative,
+)
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A regular or transitional configuration as delivered to the app.
+
+    For a transitional configuration, ``preceding_regular`` identifies
+    reg_p(c) - the regular configuration whose leftover messages it
+    delivers - and ``following_ring`` the ring of the single regular
+    configuration that will follow it.  For a regular configuration both
+    are ``None``/self-evident.
+    """
+
+    id: ConfigurationId
+    members: frozenset
+    preceding_regular: Optional[ConfigurationId] = None
+    following_ring: Optional[RingId] = None
+
+    @property
+    def kind(self) -> ConfigurationKind:
+        return self.id.kind
+
+    @property
+    def is_regular(self) -> bool:
+        return self.id.is_regular
+
+    @property
+    def is_transitional(self) -> bool:
+        return self.id.is_transitional
+
+    @property
+    def ring(self) -> RingId:
+        return self.id.ring
+
+    def __str__(self) -> str:
+        kind = "regular" if self.is_regular else "transitional"
+        return f"{kind}({','.join(sorted(self.members))})@{self.id}"
+
+
+def regular_configuration(ring: RingId, members) -> Configuration:
+    """The regular configuration installed on ``ring``."""
+    return Configuration(
+        id=ConfigurationId.regular(ring), members=frozenset(members)
+    )
+
+
+def transitional_configuration(
+    new_ring: RingId, old_ring: RingId, group, old_regular: ConfigurationId
+) -> Configuration:
+    """The transitional configuration bridging ``old_ring`` to ``new_ring``
+    for the component whose surviving members are ``group``.
+
+    Per Section 2: "a transitional configuration consists of the members
+    of the next regular configuration that have the same preceding
+    regular configuration".
+    """
+    group = frozenset(group)
+    return Configuration(
+        id=ConfigurationId.transitional(new_ring, old_ring, representative(group)),
+        members=group,
+        preceding_regular=old_regular,
+        following_ring=new_ring,
+    )
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A message delivery event handed to the application.
+
+    ``config_id`` is the configuration in which the message is delivered
+    (which may be the transitional configuration following the one in
+    which it was sent); ``message_id.ring`` identifies the regular
+    configuration in which it was *sent*.  ``ordinal`` repeats the total
+    order position within that regular configuration.
+    """
+
+    message_id: MessageId
+    sender: ProcessId
+    payload: bytes
+    requirement: DeliveryRequirement
+    config_id: ConfigurationId
+    origin_seq: int
+
+    @property
+    def ordinal(self) -> int:
+        return self.message_id.seq
+
+    @property
+    def sent_in_ring(self) -> RingId:
+        return self.message_id.ring
+
+
+class Listener:
+    """Application callback interface (subclass or duck-type it).
+
+    The default implementations do nothing, so applications override only
+    what they need.
+    """
+
+    def on_configuration_change(self, config: Configuration) -> None:
+        """A configuration change message was delivered."""
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        """A message was delivered in the current configuration."""
+
+
+@dataclass(frozen=True)
+class SendReceipt:
+    """Returned by ``EvsProcess.send``: correlates a submission with its
+    eventual delivery via ``(sender, origin_seq)``."""
+
+    sender: ProcessId
+    origin_seq: int
+    requirement: DeliveryRequirement
+
+
+#: Convenience alias used across the harness: a delivered-message key that
+#: is stable across encode/decode, ``(sender, origin_seq)``.
+OriginKey = Tuple[ProcessId, int]
+
+
+def origin_key(delivery: Delivery) -> OriginKey:
+    return (delivery.sender, delivery.origin_seq)

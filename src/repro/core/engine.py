@@ -1,0 +1,202 @@
+"""The EVS engine: protocol outcomes -> application-visible EVS events.
+
+The engine sits between the Totem controller and the application.  It
+owns the *configuration* abstraction (the controller thinks in rings),
+executes Steps 6.b-6.e of the recovery algorithm when the controller
+installs a new ring, records every EVS event into a history recorder for
+the specification checkers, and maintains stable storage so a process can
+fail and recover "with its stable storage intact" and the same
+identifier.
+
+Event mapping (paper Section 2 -> engine):
+
+=========================  =================================================
+``deliver_conf_p(c)``      :meth:`_deliver_conf` - boot configuration,
+                           transitional configuration (Step 6.c), new
+                           regular configuration (Step 6.e)
+``send_p(m, c)``           :meth:`on_message_sent` - the ordinal was
+                           assigned on ring c
+``deliver_p(m, c)``        :meth:`on_operational_deliver` (Step 1) and the
+                           plan deliveries of :meth:`on_install` (6.b, 6.d)
+``fail_p(c)``              :meth:`crash`
+=========================  =================================================
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.core.configuration import (
+    Configuration,
+    Delivery,
+    Listener,
+    regular_configuration,
+    transitional_configuration,
+)
+from repro.core.recovery import RecoveryPlan
+from repro.net.transport import Host
+from repro.spec.history import History
+from repro.stable.storage import InMemoryStableStore, StableStore
+from repro.totem.controller import ControllerState, EngineHooks, TotemController
+from repro.totem.messages import RegularMessage
+from repro.totem.timers import TotemConfig
+from repro.types import (
+    ConfigurationId,
+    MessageId,
+    ProcessId,
+    RingId,
+)
+
+
+class EvsEngine(EngineHooks):
+    """Per-process EVS layer bound to one controller and one listener."""
+
+    def __init__(
+        self,
+        host: Host,
+        listener: Listener,
+        history: Optional[History] = None,
+        stable: Optional[StableStore] = None,
+        totem_config: Optional[TotemConfig] = None,
+    ) -> None:
+        self.host = host
+        self.pid: ProcessId = host.pid
+        self.listener = listener
+        self.history = history if history is not None else History()
+        self.stable = stable if stable is not None else InMemoryStableStore()
+        self.controller = TotemController(host, self, totem_config)
+        self.current_config: Optional[Configuration] = None
+        self.started = False
+        # SimHost and AsyncioHost both expose bind(); other Hosts must
+        # wire the controller themselves.
+        bind = getattr(host, "bind", None)
+        if bind is not None:
+            bind(self.controller.on_packet, self.controller.on_timer)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Boot (first start or restart after a crash): install the
+        singleton boot configuration and begin membership."""
+        state = self.stable.load()
+        boot_epoch = int(state.get("boot_epoch", 0)) + 1
+        max_ring_seq = int(state.get("max_ring_seq", 0))
+        boot_seq = max(max_ring_seq, boot_epoch) + 1
+        origin_counter = int(state.get("origin_counter", 0))
+        state.update(
+            boot_epoch=boot_epoch,
+            max_ring_seq=boot_seq,
+            origin_counter=origin_counter,
+        )
+        self.stable.save(state)
+
+        boot_ring = RingId(seq=boot_seq, rep=self.pid)
+        boot_config = regular_configuration(boot_ring, (self.pid,))
+        self._deliver_conf(boot_config)
+        self.controller.set_origin_counter(origin_counter)
+        self.controller.max_ring_seq_seen = boot_seq
+        self.controller.start(boot_ring)
+        self.started = True
+
+    def crash(self) -> None:
+        """fail_p(c): lose volatile state; stable storage survives."""
+        if self.current_config is not None:
+            self.history.record_fail(
+                self.pid, self.current_config.id, self.host.now
+            )
+        self.stable.put("origin_counter", self.controller.origin_counter)
+        self.controller.crash()
+        self.current_config = None
+        self.started = False
+        host_crash = getattr(self.host, "crash", None)
+        if host_crash is not None:
+            host_crash()
+
+    def recover(self) -> None:
+        """Restart after a crash with stable storage intact and the same
+        process identifier, installing a fresh singleton configuration as
+        the model prescribes."""
+        host_recover = getattr(self.host, "recover", None)
+        if host_recover is not None:
+            host_recover()
+        self.start()
+
+    # -------------------------------------------------------- EngineHooks
+
+    def on_message_sent(self, message: RegularMessage) -> None:
+        mid = MessageId(ring=message.ring, seq=message.seq)
+        self.history.record_send(
+            self.pid,
+            mid,
+            ConfigurationId.regular(message.ring),
+            message.requirement,
+            message.origin_seq,
+            self.host.now,
+        )
+        self.stable.put("origin_counter", self.controller.origin_counter)
+
+    def on_operational_deliver(self, message: RegularMessage) -> None:
+        config = self.current_config
+        assert config is not None and config.is_regular
+        assert config.ring == message.ring, "delivery outside its configuration"
+        self._deliver(message, config.id)
+
+    def on_install(
+        self,
+        old_members: FrozenSet[ProcessId],
+        plan: RecoveryPlan,
+        new_ring: RingId,
+        new_members: FrozenSet[ProcessId],
+    ) -> None:
+        old_regular = ConfigurationId.regular(plan.old_ring)
+        # Step 6.b: deliveries completing the old regular configuration.
+        for message in plan.deliver_in_regular:
+            self._deliver(message, old_regular)
+        # Step 6.c: the transitional configuration change.
+        trans = transitional_configuration(
+            new_ring, plan.old_ring, plan.transitional_members, old_regular
+        )
+        self._deliver_conf(trans)
+        # Step 6.d: remaining deliveries in the transitional configuration.
+        for message in plan.deliver_in_transitional:
+            self._deliver(message, trans.id)
+        # Step 6.e: install the new regular configuration.
+        regular = regular_configuration(new_ring, new_members)
+        self._deliver_conf(regular)
+        self.stable.update(
+            max_ring_seq=new_ring.seq,
+            last_ring=[new_ring.seq, new_ring.rep],
+            origin_counter=self.controller.origin_counter,
+        )
+
+    def on_state_change(self, state: ControllerState) -> None:  # pragma: no cover
+        pass
+
+    # ------------------------------------------------------------ internals
+
+    def _deliver(self, message: RegularMessage, config_id: ConfigurationId) -> None:
+        mid = MessageId(ring=message.ring, seq=message.seq)
+        self.history.record_deliver(
+            self.pid,
+            mid,
+            config_id,
+            message.sender,
+            message.requirement,
+            message.origin_seq,
+            self.host.now,
+        )
+        self.listener.on_deliver(
+            Delivery(
+                message_id=mid,
+                sender=message.sender,
+                payload=message.payload,
+                requirement=message.requirement,
+                config_id=config_id,
+                origin_seq=message.origin_seq,
+            )
+        )
+
+    def _deliver_conf(self, config: Configuration) -> None:
+        self.current_config = config
+        self.history.record_conf_change(self.pid, config, self.host.now)
+        self.listener.on_configuration_change(config)

@@ -1,0 +1,120 @@
+"""The public entry point: one extended-virtual-synchrony process.
+
+:class:`EvsProcess` bundles a transport host, the Totem protocol stack
+and the EVS engine behind the small API a group-communication user needs:
+
+>>> proc = EvsProcess("p", host, listener=my_listener)
+>>> proc.start()
+>>> proc.send(b"hello", DeliveryRequirement.SAFE)
+
+The listener receives ``on_configuration_change(Configuration)`` and
+``on_deliver(Delivery)`` callbacks in the order the EVS model mandates:
+a configuration change message terminates the previous configuration and
+initiates the next, and every delivery is tagged with the configuration
+(regular or transitional) in which it occurs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.configuration import Configuration, Listener, SendReceipt
+from repro.core.engine import EvsEngine
+from repro.errors import ProcessCrashedError
+from repro.net.transport import Host
+from repro.spec.history import History
+from repro.stable.storage import StableStore
+from repro.totem.controller import ControllerState
+from repro.totem.timers import TotemConfig
+from repro.types import DeliveryRequirement, ProcessId
+
+
+class EvsProcess:
+    """A single process of the distributed system."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        host: Host,
+        listener: Optional[Listener] = None,
+        history: Optional[History] = None,
+        stable: Optional[StableStore] = None,
+        totem_config: Optional[TotemConfig] = None,
+    ) -> None:
+        if host.pid != pid:
+            raise ValueError(f"host is bound to {host.pid}, not {pid}")
+        self.pid = pid
+        self.listener = listener if listener is not None else Listener()
+        self.engine = EvsEngine(
+            host,
+            self.listener,
+            history=history,
+            stable=stable,
+            totem_config=totem_config,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Boot the process: it installs its singleton configuration and
+        begins merging with whatever component it can reach."""
+        self.engine.start()
+
+    def crash(self) -> None:
+        """Fail the process (volatile state lost, stable storage kept)."""
+        if not self.engine.started:
+            raise ProcessCrashedError(f"{self.pid} is already crashed")
+        self.engine.crash()
+
+    def recover(self) -> None:
+        """Recover after a crash with the same identifier and intact
+        stable storage; a singleton configuration is installed first, as
+        the model prescribes."""
+        if self.engine.started:
+            raise ProcessCrashedError(f"{self.pid} is not crashed")
+        self.engine.recover()
+
+    # -- messaging ------------------------------------------------------------
+
+    def send(
+        self,
+        payload: bytes,
+        requirement: DeliveryRequirement = DeliveryRequirement.SAFE,
+    ) -> SendReceipt:
+        """Multicast ``payload`` to the current configuration with the
+        requested delivery service.  While the process is between regular
+        configurations the message is buffered (EVS algorithm Step 2) and
+        originated in the next regular configuration."""
+        if not isinstance(payload, bytes):
+            raise TypeError("payload must be bytes")
+        origin_seq = self.engine.controller.submit(payload, requirement)
+        return SendReceipt(
+            sender=self.pid, origin_seq=origin_seq, requirement=requirement
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def current_configuration(self) -> Optional[Configuration]:
+        return self.engine.current_config
+
+    @property
+    def protocol_state(self) -> ControllerState:
+        return self.engine.controller.state
+
+    @property
+    def is_operational(self) -> bool:
+        """True when a regular configuration is installed and message
+        flow is active (not recovering, not crashed)."""
+        return self.engine.controller.state is ControllerState.OPERATIONAL
+
+    @property
+    def history(self) -> History:
+        return self.engine.history
+
+    @property
+    def obligation_set(self) -> frozenset:
+        return frozenset(self.engine.controller.obligation)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EvsProcess({self.pid}, {self.protocol_state.value})"

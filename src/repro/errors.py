@@ -1,0 +1,52 @@
+"""Exception hierarchy for the EVS reproduction.
+
+Every exception raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while tests can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CodecError(ReproError):
+    """A wire message could not be encoded or decoded."""
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine received an input that violates its
+    invariants (e.g. a token for a ring the process never joined)."""
+
+
+class NotOperationalError(ReproError):
+    """An operation requiring an installed regular configuration was
+    attempted while the process was recovering or crashed."""
+
+
+class ProcessCrashedError(ReproError):
+    """An API call was made on a process that is currently crashed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation harness was misused (e.g. scheduling
+    into the past)."""
+
+
+class StableStorageError(ReproError):
+    """Stable storage could not be read or written."""
+
+
+class SpecificationViolation(ReproError):
+    """Raised by checkers in ``raise_on_violation`` mode when a recorded
+    history fails one of the paper's specifications."""
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        summary = "; ".join(str(v) for v in self.violations[:5])
+        extra = len(self.violations) - 5
+        if extra > 0:
+            summary += f"; ... and {extra} more"
+        super().__init__(f"{len(self.violations)} specification violation(s): {summary}")

@@ -1,0 +1,22 @@
+"""Clusters, scenarios, fault injection, metrics and figure reproductions."""
+
+from repro.harness.cluster import ClusterOptions, RecordingListener, SimCluster
+from repro.harness.faults import FaultProfile, random_scenario
+from repro.harness.figures import figure6_scenario, render_timeline
+from repro.harness.scenario import Action, Scenario, ScenarioResult, ScenarioRunner
+from repro.harness.vs_cluster import VsCluster
+
+__all__ = [
+    "Action",
+    "ClusterOptions",
+    "FaultProfile",
+    "RecordingListener",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "SimCluster",
+    "VsCluster",
+    "figure6_scenario",
+    "random_scenario",
+    "render_timeline",
+]

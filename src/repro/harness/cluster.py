@@ -1,0 +1,283 @@
+"""SimCluster: a whole EVS system on the deterministic simulator.
+
+This is the workhorse of the test suite, the benchmarks and the examples:
+it wires N processes to a partitionable simulated network, records one
+shared :class:`~repro.spec.history.History` for the specification
+checkers, and exposes fault-injection controls (partition, merge, crash,
+recover) plus predicates for waiting until the system stabilizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.configuration import Configuration, Delivery, Listener
+from repro.core.process import EvsProcess
+from repro.errors import SimulationError
+from repro.net.network import Network, NetworkParams
+from repro.net.sim import EventScheduler
+from repro.net.transport import SimHost
+from repro.spec.history import History
+from repro.stable.storage import InMemoryStableStore
+from repro.totem.controller import ControllerState
+from repro.totem.timers import TotemConfig
+from repro.types import DeliveryRequirement, ProcessId
+
+
+class RecordingListener(Listener):
+    """Collects the application-visible event stream of one process."""
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.configurations: List[Configuration] = []
+        self.deliveries: List[Delivery] = []
+        #: Deliveries per configuration id, in delivery order.
+        self.by_config: Dict = {}
+
+    def on_configuration_change(self, config: Configuration) -> None:
+        self.configurations.append(config)
+        self.by_config.setdefault(config.id, [])
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        self.deliveries.append(delivery)
+        self.by_config.setdefault(delivery.config_id, []).append(delivery)
+
+    @property
+    def current(self) -> Optional[Configuration]:
+        return self.configurations[-1] if self.configurations else None
+
+    def payloads(self) -> List[bytes]:
+        return [d.payload for d in self.deliveries]
+
+
+@dataclass
+class ClusterOptions:
+    """Construction knobs for :class:`SimCluster`."""
+
+    seed: int = 0
+    network: NetworkParams = field(default_factory=NetworkParams)
+    totem: TotemConfig = field(default_factory=TotemConfig)
+
+
+class SimCluster:
+    """N EVS processes on one simulated, partitionable broadcast domain."""
+
+    def __init__(
+        self,
+        pids: Sequence[ProcessId],
+        options: Optional[ClusterOptions] = None,
+        extra_listeners: Optional[Dict[ProcessId, Listener]] = None,
+    ) -> None:
+        if len(set(pids)) != len(pids):
+            raise SimulationError("duplicate process ids")
+        self.options = options or ClusterOptions()
+        self.scheduler = EventScheduler()
+        self.rng = random.Random(self.options.seed)
+        self.network = Network(self.scheduler, self.rng, self.options.network)
+        self.history = History()
+        self.pids = list(pids)
+        self.listeners: Dict[ProcessId, RecordingListener] = {}
+        self.processes: Dict[ProcessId, EvsProcess] = {}
+        self.stores: Dict[ProcessId, InMemoryStableStore] = {}
+        self._extra = extra_listeners or {}
+        for pid in self.pids:
+            host = SimHost(pid, self.scheduler, self.network)
+            listener = _FanoutListener(
+                RecordingListener(pid), self._extra.get(pid)
+            )
+            store = InMemoryStableStore()
+            proc = EvsProcess(
+                pid,
+                host,
+                listener=listener,
+                history=self.history,
+                stable=store,
+                totem_config=self.options.totem,
+            )
+            self.listeners[pid] = listener.primary
+            self.processes[pid] = proc
+            self.stores[pid] = store
+
+    def attach_extra_listener(self, pid: ProcessId, listener: Listener) -> None:
+        """Attach another listener to a process (e.g. a VS filter or an
+        application).  Events already delivered are not replayed."""
+        fanout = self.processes[pid].listener
+        fanout.add(listener)  # type: ignore[attr-defined]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def of_size(cls, n: int, **kwargs) -> "SimCluster":
+        """A cluster named p0..p{n-1} (zero-padded so sort order is
+        numeric)."""
+        width = len(str(max(n - 1, 0)))
+        return cls([f"p{str(i).zfill(width)}" for i in range(n)], **kwargs)
+
+    def start_all(self) -> None:
+        for proc in self.processes.values():
+            proc.start()
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def run_for(self, seconds: float, max_events: Optional[int] = None) -> None:
+        self.scheduler.run_until(self.scheduler.now + seconds, max_events)
+
+    def wait_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 10.0,
+        check_interval: float = 0.005,
+    ) -> bool:
+        """Advance simulated time until ``predicate()`` holds; returns
+        False if ``timeout`` simulated seconds elapse first."""
+        deadline = self.scheduler.now + timeout
+        while self.scheduler.now < deadline:
+            if predicate():
+                return True
+            self.scheduler.run_until(
+                min(self.scheduler.now + check_interval, deadline)
+            )
+        return predicate()
+
+    # -- fault injection -----------------------------------------------------
+
+    def partition(self, *groups: Iterable[ProcessId]) -> None:
+        self.network.set_partition([set(g) for g in groups])
+
+    def merge_all(self) -> None:
+        self.network.merge_all()
+
+    def crash(self, pid: ProcessId) -> None:
+        self.processes[pid].crash()
+
+    def recover(self, pid: ProcessId) -> None:
+        self.processes[pid].recover()
+
+    # -- traffic ------------------------------------------------------------
+
+    def send(
+        self,
+        pid: ProcessId,
+        payload: bytes,
+        requirement: DeliveryRequirement = DeliveryRequirement.SAFE,
+    ):
+        return self.processes[pid].send(payload, requirement)
+
+    def broadcast_burst(
+        self,
+        pid: ProcessId,
+        count: int,
+        requirement: DeliveryRequirement = DeliveryRequirement.SAFE,
+        prefix: bytes = b"m",
+    ) -> List:
+        return [
+            self.send(pid, prefix + str(i).encode(), requirement)
+            for i in range(count)
+        ]
+
+    # -- predicates -----------------------------------------------------------
+
+    def alive(self) -> List[ProcessId]:
+        return [p for p in self.pids if self.processes[p].engine.started]
+
+    def operational(self, pids: Optional[Iterable[ProcessId]] = None) -> bool:
+        """True when every listed (default: alive) process is in an
+        installed regular configuration."""
+        pids = list(pids) if pids is not None else self.alive()
+        return all(
+            self.processes[p].protocol_state is ControllerState.OPERATIONAL
+            for p in pids
+        )
+
+    def converged(self, pids: Iterable[ProcessId]) -> bool:
+        """True when the listed processes are all operational members of
+        one shared regular configuration containing exactly them."""
+        pids = sorted(pids)
+        configs = []
+        for p in pids:
+            proc = self.processes[p]
+            if proc.protocol_state is not ControllerState.OPERATIONAL:
+                return False
+            config = proc.current_configuration
+            if config is None or not config.is_regular:
+                return False
+            configs.append(config)
+        first = configs[0]
+        return all(c.id == first.id for c in configs) and set(first.members) == set(
+            pids
+        )
+
+    def drained(self, pids: Optional[Iterable[ProcessId]] = None) -> bool:
+        """True when no listed process has submissions awaiting an
+        ordinal."""
+        pids = list(pids) if pids is not None else self.alive()
+        return all(
+            not self.processes[p].engine.controller.pending_submits for p in pids
+        )
+
+    def settle(
+        self, pids: Optional[Iterable[ProcessId]] = None, timeout: float = 10.0
+    ) -> bool:
+        """Wait until the listed processes converge into one regular
+        configuration with all submissions sent and delivered."""
+        pids = list(pids) if pids is not None else self.alive()
+
+        def ready() -> bool:
+            if not self.converged(pids):
+                return False
+            if not self.drained(pids):
+                return False
+            # Every member must have delivered up to the group-wide
+            # highest ordinal (a member's own high_seq lags while the
+            # newest broadcast is still in flight, so comparing each
+            # member only against itself would return too early).
+            rings = [self.processes[p].engine.controller.ring for p in pids]
+            if any(r is None for r in rings):
+                return False
+            high = max(r.high_seq for r in rings)
+            return all(r.delivered_seq == high for r in rings)
+
+        return self.wait_until(ready, timeout=timeout)
+
+    # -- reporting -----------------------------------------------------------
+
+    def delivery_orders(self) -> Dict[ProcessId, List[bytes]]:
+        return {p: self.listeners[p].payloads() for p in self.pids}
+
+    def describe(self) -> str:
+        lines = [f"t={self.now:.3f}s  {self.history.summary()}"]
+        for pid in self.pids:
+            proc = self.processes[pid]
+            config = proc.current_configuration
+            members = ",".join(sorted(config.members)) if config else "-"
+            lines.append(
+                f"  {pid}: {proc.protocol_state.value:12s} conf=({members}) "
+                f"deliveries={len(self.listeners[pid].deliveries)}"
+            )
+        return "\n".join(lines)
+
+
+class _FanoutListener(Listener):
+    """Dispatch events to the recording listener plus any number of
+    user-supplied ones."""
+
+    def __init__(self, primary: RecordingListener, extra: Optional[Listener]) -> None:
+        self.primary = primary
+        self.extras: List[Listener] = [extra] if extra is not None else []
+
+    def add(self, listener: Listener) -> None:
+        self.extras.append(listener)
+
+    def on_configuration_change(self, config: Configuration) -> None:
+        self.primary.on_configuration_change(config)
+        for extra in self.extras:
+            extra.on_configuration_change(config)
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        self.primary.on_deliver(delivery)
+        for extra in self.extras:
+            extra.on_deliver(delivery)

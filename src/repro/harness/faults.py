@@ -1,0 +1,123 @@
+"""Random fault-schedule generation for conformance campaigns.
+
+The specification checkers are only as convincing as the adversary that
+drives them.  :func:`random_scenario` produces seeded scenarios mixing
+partitions (arbitrary component splits), remerges, process crashes,
+recoveries with stable storage, and mixed-service traffic bursts - the
+full failure model of the paper - with a final heal so the quiescent
+specification clauses are decidable.
+
+Used by the property-based tests (hypothesis draws the seed and shape
+parameters) and by the Figure 1-5 conformance benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.harness.scenario import Action, Scenario
+from repro.types import DeliveryRequirement, ProcessId
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Relative weights of the fault/traffic actions in a campaign."""
+
+    partition: float = 2.0
+    merge: float = 2.0
+    crash: float = 1.0
+    recover: float = 1.5
+    burst: float = 4.0
+
+    def choices(self) -> Tuple[Tuple[str, float], ...]:
+        return (
+            ("partition", self.partition),
+            ("merge", self.merge),
+            ("crash", self.crash),
+            ("recover", self.recover),
+            ("burst", self.burst),
+        )
+
+
+def random_partition(
+    rng: random.Random, pids: Sequence[ProcessId]
+) -> Tuple[Tuple[ProcessId, ...], ...]:
+    """A uniformly random split of ``pids`` into 2..len components."""
+    pids = list(pids)
+    rng.shuffle(pids)
+    k = rng.randint(2, max(2, len(pids)))
+    groups: List[List[ProcessId]] = [[] for _ in range(min(k, len(pids)))]
+    for i, pid in enumerate(pids):
+        groups[i % len(groups)].append(pid)
+    return tuple(tuple(g) for g in groups if g)
+
+
+def random_scenario(
+    seed: int,
+    pids: Sequence[ProcessId],
+    steps: int = 14,
+    step_gap: Tuple[float, float] = (0.05, 0.35),
+    profile: Optional[FaultProfile] = None,
+    max_crashed: Optional[int] = None,
+    requirements: Sequence[DeliveryRequirement] = (
+        DeliveryRequirement.SAFE,
+        DeliveryRequirement.AGREED,
+        DeliveryRequirement.CAUSAL,
+    ),
+) -> Scenario:
+    """Generate one seeded random fault campaign.
+
+    The generated script tracks its own crash bookkeeping so ``recover``
+    actions always target genuinely crashed processes and at least one
+    process stays alive (the paper permits total failure, but a campaign
+    that kills everyone exercises nothing).
+    """
+    rng = random.Random(seed)
+    profile = profile or FaultProfile()
+    if max_crashed is None:
+        max_crashed = max(0, len(pids) - 2)
+    names, weights = zip(*profile.choices())
+
+    actions: List[Action] = []
+    t = 0.4  # give the initial configuration time to form
+    crashed: set = set()
+    counter = 0
+    for _ in range(steps):
+        t += rng.uniform(*step_gap)
+        kind = rng.choices(names, weights=weights)[0]
+        alive = [p for p in pids if p not in crashed]
+        if kind == "partition" and len(alive) >= 2:
+            actions.append(
+                Action(at=t, kind="partition", groups=random_partition(rng, alive))
+            )
+        elif kind == "merge":
+            actions.append(Action(at=t, kind="merge_all"))
+        elif kind == "crash" and len(crashed) < max_crashed:
+            victim = rng.choice(alive)
+            crashed.add(victim)
+            actions.append(Action(at=t, kind="crash", pid=victim))
+        elif kind == "recover" and crashed:
+            victim = rng.choice(sorted(crashed))
+            crashed.discard(victim)
+            actions.append(Action(at=t, kind="recover", pid=victim))
+        elif kind == "burst":
+            sender = rng.choice(alive)
+            counter += 1
+            actions.append(
+                Action(
+                    at=t,
+                    kind="burst",
+                    pid=sender,
+                    count=rng.randint(1, 6),
+                    payload=f"b{counter}".encode(),
+                    requirement=rng.choice(list(requirements)),
+                )
+            )
+    return Scenario(
+        pids=tuple(pids),
+        actions=tuple(actions),
+        duration=t + 0.3,
+        final_heal=True,
+    )

@@ -1,0 +1,196 @@
+"""Measurement helpers over recorded histories.
+
+The paper reports no performance numbers (its evaluation is the formal
+model), so these metrics back the *added* performance benchmarks (X1-X3
+in DESIGN.md): delivery latency per service level, ordering throughput,
+and membership/recovery durations extracted from configuration-change
+timestamps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.spec.history import ConfChangeEvent, History
+from repro.types import DeliveryRequirement, MessageId, ProcessId
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample in seconds (or any unit)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def of(cls, samples: List[float]) -> "Summary":
+        if not samples:
+            return cls(0, math.nan, math.nan, math.nan, math.nan)
+        ordered = sorted(samples)
+        n = len(ordered)
+
+        def pct(p: float) -> float:
+            return ordered[min(n - 1, int(p * n))]
+
+        return cls(
+            count=n,
+            mean=sum(ordered) / n,
+            p50=pct(0.50),
+            p95=pct(0.95),
+            maximum=ordered[-1],
+        )
+
+    def __str__(self) -> str:
+        if self.count == 0:
+            return "n=0"
+        return (
+            f"n={self.count} mean={self.mean * 1000:.2f}ms "
+            f"p50={self.p50 * 1000:.2f}ms p95={self.p95 * 1000:.2f}ms "
+            f"max={self.maximum * 1000:.2f}ms"
+        )
+
+
+def delivery_latencies(
+    history: History,
+) -> Dict[DeliveryRequirement, List[float]]:
+    """Send-to-delivery latency samples, grouped by service level.
+
+    One sample per (message, delivering process).  The send timestamp is
+    the ordinal-assignment instant, matching the paper's send event.
+    """
+    send_times: Dict[MessageId, float] = {
+        mid: e.time for mid, e in history.sends().items()
+    }
+    out: Dict[DeliveryRequirement, List[float]] = {}
+    for mid, delivers in history.deliveries().items():
+        t0 = send_times.get(mid)
+        if t0 is None:
+            continue
+        for d in delivers:
+            out.setdefault(d.requirement, []).append(d.time - t0)
+    return out
+
+
+def latency_summary(history: History) -> Dict[DeliveryRequirement, Summary]:
+    return {
+        req: Summary.of(samples)
+        for req, samples in delivery_latencies(history).items()
+    }
+
+
+def delivered_message_count(history: History) -> int:
+    """Distinct messages that reached at least one delivery."""
+    return len(history.deliveries())
+
+
+def total_delivery_events(history: History) -> int:
+    return sum(len(v) for v in history.deliveries().values())
+
+
+def throughput(history: History, duration: float) -> float:
+    """Distinct ordered-and-delivered messages per second."""
+    if duration <= 0:
+        return 0.0
+    return delivered_message_count(history) / duration
+
+
+@dataclass(frozen=True)
+class MembershipTransition:
+    """One observed configuration change at one process: the time between
+    installing consecutive configurations (regular->regular spans a whole
+    membership + recovery episode)."""
+
+    pid: ProcessId
+    from_config: str
+    to_config: str
+    duration: float
+
+
+def membership_transitions(history: History) -> List[MembershipTransition]:
+    out: List[MembershipTransition] = []
+    for pid in history.processes:
+        prev: Optional[ConfChangeEvent] = None
+        for e in history.events_of(pid):
+            if isinstance(e, ConfChangeEvent):
+                if prev is not None:
+                    out.append(
+                        MembershipTransition(
+                            pid=pid,
+                            from_config=str(prev.config_id),
+                            to_config=str(e.config_id),
+                            duration=e.time - prev.time,
+                        )
+                    )
+                prev = e
+    return out
+
+
+def regular_to_regular_durations(history: History) -> List[float]:
+    """Durations from installing a transitional configuration to
+    installing the next regular configuration.
+
+    Note: in this implementation EVS algorithm Step 6 is an atomic local
+    action, so both configuration changes carry (nearly) the same
+    timestamp and the measured window is ~0 - itself a reproducible
+    property of the algorithm ("the parts of Step 6 are performed locally
+    as an atomic action").  For the user-visible outage of a membership
+    episode, measure from the fault instant instead:
+    :func:`blackout_after`."""
+    out: List[float] = []
+    for pid in history.processes:
+        left_at: Optional[float] = None
+        for e in history.events_of(pid):
+            if isinstance(e, ConfChangeEvent):
+                if e.config_id.is_transitional:
+                    if left_at is None:
+                        left_at = e.time
+                elif left_at is not None:
+                    out.append(e.time - left_at)
+                    left_at = None
+    return out
+
+
+def blackout_after(history: History, t0: float) -> Dict[ProcessId, float]:
+    """Per process: time from ``t0`` (a fault injection instant) to the
+    first regular configuration installed strictly after ``t0`` - the
+    duration the process spends without a current regular configuration
+    following the fault."""
+    out: Dict[ProcessId, float] = {}
+    for pid in history.processes:
+        for e in history.events_of(pid):
+            if (
+                isinstance(e, ConfChangeEvent)
+                and e.config_id.is_regular
+                and e.time > t0
+            ):
+                out[pid] = e.time - t0
+                break
+    return out
+
+
+@dataclass
+class BenchRow:
+    """One row of benchmark output: a labeled set of measurements, with a
+    uniform rendering used by every bench so EXPERIMENTS.md tables can be
+    regenerated by copy-paste."""
+
+    label: str
+    values: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        cells = "  ".join(f"{k}={v}" for k, v in self.values.items())
+        return f"{self.label:<38s} {cells}"
+
+
+def render_table(title: str, rows: List[BenchRow]) -> str:
+    width = max([len(title) + 4] + [len(str(r)) for r in rows]) if rows else 40
+    bar = "-" * width
+    lines = [bar, title, bar]
+    lines.extend(str(r) for r in rows)
+    lines.append(bar)
+    return "\n".join(lines)

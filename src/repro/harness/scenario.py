@@ -1,0 +1,158 @@
+"""Declarative fault/traffic scenarios over a SimCluster.
+
+A :class:`Scenario` is a timed script: partition at t=0.5, send a burst
+at t=0.7, crash q at t=1.0, heal at t=2.0 ...  The runner schedules every
+action on the cluster's event scheduler, runs to the end, optionally
+performs a *final heal* (recover every crashed process, merge all
+components, wait for convergence and drain) so the liveness-flavored
+specification clauses become checkable, and returns the recorded history
+plus outcome flags.
+
+The random campaign generator in :mod:`repro.harness.faults` produces
+instances of this type, so scripted tests, property-based tests and
+benchmarks all share one execution path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.spec.history import History
+from repro.types import DeliveryRequirement, ProcessId
+
+
+@dataclass(frozen=True)
+class Action:
+    """One timed scenario step.
+
+    ``kind`` is one of ``partition`` (args: groups, a tuple of tuples of
+    pids), ``merge_all``, ``merge`` (args: groups), ``crash`` (args: pid),
+    ``recover`` (args: pid), ``send`` (args: pid, payload, requirement),
+    ``burst`` (args: pid, count, requirement).
+    """
+
+    at: float
+    kind: str
+    pid: Optional[ProcessId] = None
+    groups: Tuple[Tuple[ProcessId, ...], ...] = ()
+    payload: bytes = b""
+    count: int = 0
+    requirement: DeliveryRequirement = DeliveryRequirement.SAFE
+
+
+@dataclass
+class Scenario:
+    """A timed action script plus overall run parameters."""
+
+    pids: Tuple[ProcessId, ...]
+    actions: Tuple[Action, ...]
+    duration: float
+    #: Heal + recover everything at the end and wait for convergence so
+    #: the quiescent specification clauses apply.
+    final_heal: bool = True
+    settle_timeout: float = 20.0
+
+    def validate(self) -> None:
+        known = set(self.pids)
+        for a in self.actions:
+            if a.at < 0 or a.at > self.duration:
+                raise SimulationError(f"action at t={a.at} outside scenario")
+            if a.pid is not None and a.pid not in known:
+                raise SimulationError(f"action references unknown pid {a.pid}")
+            for g in a.groups:
+                for pid in g:
+                    if pid not in known:
+                        raise SimulationError(f"group references unknown pid {pid}")
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    cluster: SimCluster
+    history: History
+    #: True when the final heal converged and drained - the precondition
+    #: for checking the liveness-flavored specification clauses.
+    quiescent: bool
+    #: Count of messages submitted by the script.
+    submitted: int
+    #: Wall time inside the simulation.
+    sim_duration: float
+
+
+class ScenarioRunner:
+    """Executes scenarios on a fresh SimCluster."""
+
+    def __init__(self, options: Optional[ClusterOptions] = None) -> None:
+        self.options = options or ClusterOptions()
+
+    def run(self, scenario: Scenario) -> ScenarioResult:
+        scenario.validate()
+        cluster = SimCluster(list(scenario.pids), options=self.options)
+        crashed: Dict[ProcessId, bool] = {p: False for p in scenario.pids}
+        submitted = [0]
+
+        def apply(action: Action) -> None:
+            if action.kind == "partition":
+                live_groups = [
+                    tuple(p for p in g) for g in action.groups if g
+                ]
+                cluster.partition(*live_groups)
+            elif action.kind == "merge_all":
+                cluster.merge_all()
+            elif action.kind == "merge":
+                cluster.network.merge([list(g) for g in action.groups])
+            elif action.kind == "crash":
+                assert action.pid is not None
+                if not crashed[action.pid]:
+                    cluster.crash(action.pid)
+                    crashed[action.pid] = True
+            elif action.kind == "recover":
+                assert action.pid is not None
+                if crashed[action.pid]:
+                    cluster.recover(action.pid)
+                    crashed[action.pid] = False
+            elif action.kind == "send":
+                assert action.pid is not None
+                if not crashed[action.pid]:
+                    cluster.send(action.pid, action.payload, action.requirement)
+                    submitted[0] += 1
+            elif action.kind == "burst":
+                assert action.pid is not None
+                if not crashed[action.pid]:
+                    for i in range(action.count):
+                        cluster.send(
+                            action.pid,
+                            action.payload + b"#" + str(i).encode(),
+                            action.requirement,
+                        )
+                        submitted[0] += 1
+            else:
+                raise SimulationError(f"unknown action kind {action.kind!r}")
+
+        cluster.start_all()
+        for action in sorted(scenario.actions, key=lambda a: a.at):
+            cluster.scheduler.call_at(action.at, lambda a=action: apply(a))
+        cluster.run_for(scenario.duration)
+
+        quiescent = False
+        if scenario.final_heal:
+            for pid, is_crashed in crashed.items():
+                if is_crashed:
+                    cluster.recover(pid)
+                    crashed[pid] = False
+            cluster.merge_all()
+            quiescent = cluster.wait_until(
+                lambda: cluster.converged(list(scenario.pids)),
+                timeout=scenario.settle_timeout,
+            ) and cluster.settle(timeout=scenario.settle_timeout)
+        return ScenarioResult(
+            cluster=cluster,
+            history=cluster.history,
+            quiescent=quiescent,
+            submitted=submitted[0],
+            sim_duration=cluster.now,
+        )

@@ -1,0 +1,92 @@
+"""A virtually synchronous process group on the simulator.
+
+Wraps :class:`~repro.harness.cluster.SimCluster` so every process runs
+the §5 filter over its EVS stack, sharing one
+:class:`~repro.vs.views.VsHistory` for the §5.1 checker.  Used by the
+Figure 7 benchmark, the VS integration tests, and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.types import ProcessId
+from repro.vs.filter import VsListener
+from repro.vs.primary import MajorityStrategy, PrimaryStrategy
+from repro.vs.process import VsProcess
+from repro.vs.views import View, VsDeliverEvent, VsHistory
+
+
+class RecordingVsListener(VsListener):
+    """Collects one process's VS-visible stream (views + payloads)."""
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.views: List[View] = []
+        self.deliveries: List[VsDeliverEvent] = []
+        self.payloads: List[bytes] = []
+
+    def on_view(self, view: View) -> None:
+        self.views.append(view)
+
+    def on_deliver(self, event: VsDeliverEvent, payload: bytes) -> None:
+        self.deliveries.append(event)
+        self.payloads.append(payload)
+
+
+class VsCluster:
+    """SimCluster + a VS filter per process."""
+
+    def __init__(
+        self,
+        pids: Sequence[ProcessId],
+        options: Optional[ClusterOptions] = None,
+        strategy_factory: Optional[Callable[[], PrimaryStrategy]] = None,
+        reidentify: bool = False,
+    ) -> None:
+        self.sim = SimCluster(list(pids), options=options)
+        factory = strategy_factory or (lambda: MajorityStrategy(pids))
+        self.vs_history = VsHistory()
+        self.vs_listeners: Dict[ProcessId, RecordingVsListener] = {}
+        self.vs_processes: Dict[ProcessId, VsProcess] = {}
+        for pid in self.sim.pids:
+            listener = RecordingVsListener(pid)
+            vsp = VsProcess(
+                self.sim.processes[pid],
+                strategy=factory(),
+                vs_listener=listener,
+                vs_history=self.vs_history,
+                reidentify=reidentify,
+            )
+            self.sim.attach_extra_listener(pid, vsp.filter)
+            self.vs_listeners[pid] = listener
+            self.vs_processes[pid] = vsp
+
+    # Delegate the cluster control surface.
+
+    def __getattr__(self, name: str):
+        return getattr(self.sim, name)
+
+    def stop(self, pid: ProcessId) -> None:
+        """Fail-stop a member (records the VS stop event)."""
+        self.vs_processes[pid].stop()
+
+    def unblocked(self, pids: Optional[Sequence[ProcessId]] = None) -> List[ProcessId]:
+        pids = list(pids) if pids is not None else self.sim.pids
+        return [p for p in pids if not self.vs_processes[p].blocked]
+
+    def views_of(self, pid: ProcessId) -> List[View]:
+        return self.vs_listeners[pid].views
+
+    def describe_vs(self) -> str:
+        lines = [self.vs_history.summary()]
+        for pid in self.sim.pids:
+            vsp = self.vs_processes[pid]
+            state = "BLOCKED" if vsp.blocked else str(vsp.current_view)
+            lines.append(
+                f"  {pid}: {state} "
+                f"(discarded={vsp.filter.discarded}, "
+                f"masked={vsp.filter.masked_transitionals})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Transports: the discrete-event simulator, the partitionable broadcast
+network, the wire codec, and the asyncio UDP deployment."""
+
+from repro.net.network import Network, NetworkParams, NetworkStats
+from repro.net.sim import EventScheduler, Timer
+from repro.net.transport import Host, SimHost
+
+__all__ = [
+    "EventScheduler",
+    "Host",
+    "Network",
+    "NetworkParams",
+    "NetworkStats",
+    "SimHost",
+    "Timer",
+]

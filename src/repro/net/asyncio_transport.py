@@ -1,0 +1,253 @@
+"""Real-socket deployment: the protocol stack over asyncio UDP.
+
+The controller and engine are sans-io, so this module only supplies the
+effects: an :class:`AsyncioHost` maps ``broadcast``/``unicast`` onto UDP
+datagrams (loopback "multicast" is realized by sending to every peer's
+port, which is how LAN multicast behaves from the receiver's
+perspective), and named timers onto ``loop.call_later``.
+
+:class:`AsyncioCluster` runs a whole group inside one event loop for the
+examples and the socket integration test; in a real deployment each
+process would construct its own host from an address book.  Partitions
+can be injected for demonstrations with :meth:`AsyncioCluster.partition`
+(receivers drop datagrams from outside their component - the receiving
+end is where a partition manifests physically).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.configuration import Listener
+from repro.core.process import EvsProcess
+from repro.net import codec
+from repro.net.transport import Host
+from repro.spec.history import History
+from repro.totem.timers import TotemConfig
+from repro.types import ProcessId
+
+Address = Tuple[str, int]
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    def __init__(self, host: "AsyncioHost") -> None:
+        self.host = host
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self.host._datagram(data, addr)
+
+
+class AsyncioHost(Host):
+    """Host implementation over a bound UDP socket."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        address_book: Dict[ProcessId, Address],
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ) -> None:
+        if pid not in address_book:
+            raise ValueError(f"{pid} missing from address book")
+        self._pid = pid
+        self.address_book = dict(address_book)
+        self._addr_to_pid = {addr: p for p, addr in address_book.items()}
+        self.loop = loop or asyncio.get_event_loop()
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._timers: Dict[str, asyncio.TimerHandle] = {}
+        self._on_packet: Optional[Callable[[ProcessId, Any], None]] = None
+        self._on_timer: Optional[Callable[[str], None]] = None
+        self._alive = True
+        #: Optional component restriction: peers we accept datagrams from
+        #: (None = everyone).  Used to demonstrate partitions on loopback.
+        self.allowed_peers: Optional[frozenset] = None
+
+    async def open(self) -> None:
+        """Bind the UDP socket at this process's address."""
+        transport, _ = await self.loop.create_datagram_endpoint(
+            lambda: _UdpProtocol(self),
+            local_addr=self.address_book[self._pid],
+            family=socket.AF_INET,
+        )
+        self._transport = transport
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind(
+        self,
+        on_packet: Callable[[ProcessId, Any], None],
+        on_timer: Callable[[str], None],
+    ) -> None:
+        self._on_packet = on_packet
+        self._on_timer = on_timer
+
+    # -- Host ------------------------------------------------------------------
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    @property
+    def now(self) -> float:
+        return self.loop.time()
+
+    def broadcast(self, message: Any) -> None:
+        if not self._alive or self._transport is None:
+            return
+        data = codec.encode(message)
+        for peer, addr in self.address_book.items():
+            self._transport.sendto(data, addr)
+
+    def unicast(self, dest: ProcessId, message: Any) -> None:
+        if not self._alive or self._transport is None:
+            return
+        addr = self.address_book.get(dest)
+        if addr is not None:
+            self._transport.sendto(codec.encode(message), addr)
+
+    def set_timer(self, name: str, delay: float) -> None:
+        self.cancel_timer(name)
+        self._timers[name] = self.loop.call_later(
+            delay, lambda: self._fire(name)
+        )
+
+    def cancel_timer(self, name: str) -> None:
+        handle = self._timers.pop(name, None)
+        if handle is not None:
+            handle.cancel()
+
+    # -- crash/recover ----------------------------------------------------------
+
+    def crash(self) -> None:
+        self._alive = False
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+
+    def recover(self) -> None:
+        self._alive = True
+
+    # -- internals ------------------------------------------------------------
+
+    def _datagram(self, data: bytes, addr: Address) -> None:
+        if not self._alive or self._on_packet is None:
+            return
+        src = self._addr_to_pid.get(addr)
+        if src is None:
+            return
+        if (
+            self.allowed_peers is not None
+            and src != self._pid
+            and src not in self.allowed_peers
+        ):
+            return  # partitioned away
+        try:
+            message = codec.decode(data)
+        except Exception:
+            return  # malformed datagram: drop, as UDP would garbage
+        self._on_packet(src, message)
+
+    def _fire(self, name: str) -> None:
+        self._timers.pop(name, None)
+        if self._alive and self._on_timer is not None:
+            self._on_timer(name)
+
+
+class AsyncioCluster:
+    """A whole EVS group inside one asyncio event loop (loopback UDP)."""
+
+    def __init__(
+        self,
+        pids: Iterable[ProcessId],
+        base_port: int = 39000,
+        listeners: Optional[Dict[ProcessId, Listener]] = None,
+        totem_config: Optional[TotemConfig] = None,
+    ) -> None:
+        self.pids: List[ProcessId] = sorted(pids)
+        self.address_book: Dict[ProcessId, Address] = {
+            pid: ("127.0.0.1", base_port + i) for i, pid in enumerate(self.pids)
+        }
+        self.history = History()
+        self.totem_config = totem_config or TotemConfig()
+        self.hosts: Dict[ProcessId, AsyncioHost] = {}
+        self.processes: Dict[ProcessId, EvsProcess] = {}
+        self._listeners = listeners or {}
+
+    async def start(self) -> None:
+        loop = asyncio.get_event_loop()
+        for pid in self.pids:
+            host = AsyncioHost(pid, self.address_book, loop=loop)
+            await host.open()
+            self.hosts[pid] = host
+            self.processes[pid] = EvsProcess(
+                pid,
+                host,
+                listener=self._listeners.get(pid),
+                history=self.history,
+                totem_config=self.totem_config,
+            )
+        for proc in self.processes.values():
+            proc.start()
+
+    async def stop(self) -> None:
+        for host in self.hosts.values():
+            host.close()
+
+    # -- fault injection ------------------------------------------------------
+
+    def partition(self, *groups: Iterable[ProcessId]) -> None:
+        """Restrict receivers to their component (loopback partitions)."""
+        assignment: Dict[ProcessId, frozenset] = {}
+        for group in groups:
+            members = frozenset(group)
+            for pid in members:
+                assignment[pid] = members
+        for pid, host in self.hosts.items():
+            host.allowed_peers = assignment.get(pid, frozenset({pid}))
+
+    def merge_all(self) -> None:
+        for host in self.hosts.values():
+            host.allowed_peers = None
+
+    def crash(self, pid: ProcessId) -> None:
+        """Fail a process (volatile state lost; stable storage kept)."""
+        self.processes[pid].crash()
+
+    def recover(self, pid: ProcessId) -> None:
+        self.processes[pid].recover()
+
+    # -- helpers ------------------------------------------------------------
+
+    def converged(self, pids: Optional[Iterable[ProcessId]] = None) -> bool:
+        pids = list(pids) if pids is not None else self.pids
+        configs = []
+        for pid in pids:
+            proc = self.processes[pid]
+            if not proc.is_operational:
+                return False
+            config = proc.current_configuration
+            if config is None or not config.is_regular:
+                return False
+            configs.append(config)
+        return (
+            all(c.id == configs[0].id for c in configs)
+            and set(configs[0].members) == set(pids)
+        )
+
+    async def wait_until(self, predicate, timeout: float = 10.0) -> bool:
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            if predicate():
+                return True
+            await asyncio.sleep(0.01)
+        return predicate()

@@ -1,0 +1,135 @@
+"""Wire codec: tagged, registry-based serialization of protocol messages.
+
+Both transports (the simulated network and the asyncio UDP transport)
+carry *bytes*, so every protocol message crosses a real encode/decode
+boundary even in simulation.  That keeps the sans-io protocol cores honest
+- nothing can leak through shared Python object references - and gives the
+property-based tests a round-trip invariant to attack.
+
+The encoding is JSON with explicit type tags:
+
+======================  =============================================
+Python value            encoded form
+======================  =============================================
+``bytes``               ``{"__b": "<base64>"}``
+``Enum``                ``{"__e": ["ClassName", value]}``
+``dataclass``           ``{"__d": "ClassName", "f": {field: value}}``
+``set``/``frozenset``   ``{"__s": [items...]}`` (sorted when possible)
+``tuple``               ``{"__t": [items...]}``
+``dict`` (any keys)     ``{"__m": [[key, value], ...]}``
+======================  =============================================
+
+Dataclasses must be registered (:func:`register`) before they can be
+decoded; the :mod:`repro.totem.messages` module registers every wire
+message at import time.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import enum
+import json
+from typing import Any, Dict, Type
+
+from repro.errors import CodecError
+
+_DATACLASS_REGISTRY: Dict[str, Type] = {}
+_ENUM_REGISTRY: Dict[str, Type] = {}
+
+
+def register(cls: Type) -> Type:
+    """Register a dataclass or Enum for decoding.  Usable as a decorator."""
+    if isinstance(cls, type) and issubclass(cls, enum.Enum):
+        _ENUM_REGISTRY[cls.__name__] = cls
+    elif dataclasses.is_dataclass(cls):
+        _DATACLASS_REGISTRY[cls.__name__] = cls
+    else:
+        raise CodecError(f"cannot register {cls!r}: not a dataclass or Enum")
+    return cls
+
+
+def registered_types() -> Dict[str, Type]:
+    """A snapshot of all registered dataclass types (for diagnostics)."""
+    return dict(_DATACLASS_REGISTRY)
+
+
+def _encode_value(value: Any) -> Any:
+    # Enums first: IntEnum instances pass isinstance(int) and would
+    # otherwise be flattened to bare integers.
+    if isinstance(value, enum.Enum):
+        return {"__e": [type(value).__name__, _encode_value(value.value)]}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"__b": base64.b64encode(value).decode("ascii")}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in _DATACLASS_REGISTRY:
+            raise CodecError(f"dataclass {name} is not registered with the codec")
+        fields = {
+            f.name: _encode_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__d": name, "f": fields}
+    if isinstance(value, (set, frozenset)):
+        items = [_encode_value(v) for v in value]
+        try:
+            items.sort(key=json.dumps)
+        except TypeError:
+            pass
+        return {"__s": items}
+    if isinstance(value, tuple):
+        return {"__t": [_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {"__m": [[_encode_value(k), _encode_value(v)] for k, v in value.items()]}
+    raise CodecError(f"cannot encode value of type {type(value).__name__}: {value!r}")
+
+
+def _decode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    if isinstance(value, dict):
+        if "__b" in value:
+            return base64.b64decode(value["__b"])
+        if "__e" in value:
+            name, raw = value["__e"]
+            cls = _ENUM_REGISTRY.get(name)
+            if cls is None:
+                raise CodecError(f"unknown enum type in wire message: {name}")
+            return cls(_decode_value(raw))
+        if "__d" in value:
+            name = value["__d"]
+            cls = _DATACLASS_REGISTRY.get(name)
+            if cls is None:
+                raise CodecError(f"unknown dataclass type in wire message: {name}")
+            fields = {k: _decode_value(v) for k, v in value["f"].items()}
+            return cls(**fields)
+        if "__s" in value:
+            return frozenset(_decode_value(v) for v in value["__s"])
+        if "__t" in value:
+            return tuple(_decode_value(v) for v in value["__t"])
+        if "__m" in value:
+            return {_decode_value(k): _decode_value(v) for k, v in value["__m"]}
+        raise CodecError(f"unrecognized tagged object: {sorted(value)!r}")
+    raise CodecError(f"cannot decode value of type {type(value).__name__}")
+
+
+def encode(message: Any) -> bytes:
+    """Serialize a registered dataclass message to wire bytes."""
+    try:
+        return json.dumps(_encode_value(message), separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"encoding failed: {exc}") from exc
+
+
+def decode(data: bytes) -> Any:
+    """Deserialize wire bytes produced by :func:`encode`."""
+    try:
+        return _decode_value(json.loads(data.decode("utf-8")))
+    except (ValueError, KeyError, TypeError) as exc:
+        raise CodecError(f"decoding failed: {exc}") from exc

@@ -1,0 +1,238 @@
+"""Partitionable, lossy broadcast network model.
+
+The paper's failure model is the interesting part of its network: "the
+network may partition into some finite number of components.  The
+processes in a component can receive messages broadcast by other
+processes in the same component, but processes in two different
+components are unable to communicate with each other.  Two or more
+components may subsequently merge."
+
+This module models exactly that: a broadcast domain divided into
+*segments*.  Messages (broadcast or unicast) are delivered only between
+endpoints in the same segment, after a latency drawn from a seeded RNG,
+and each receiver independently loses the message with probability
+``loss_rate`` (omission faults).  A sender always receives its own
+broadcast (multicast loopback is reliable on a LAN); crashed endpoints
+neither send nor receive.
+
+Every message crosses the wire as bytes through the codec - see
+:mod:`repro.net.codec` - so object identity can never leak between
+processes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+from repro.errors import SimulationError
+from repro.net import codec
+from repro.net.sim import EventScheduler
+from repro.types import ProcessId
+
+
+@dataclass
+class NetworkParams:
+    """Tunable characteristics of the simulated broadcast domain.
+
+    Latencies are uniform in ``[latency_min, latency_max]`` seconds.
+    ``loss_rate`` is applied per (message, receiver) pair - the natural
+    model for unreliable multicast where distinct NICs drop independently.
+    ``self_latency`` is the loopback delay for a sender receiving its own
+    broadcast.
+    """
+
+    latency_min: float = 0.001
+    latency_max: float = 0.003
+    loss_rate: float = 0.0
+    self_latency: float = 0.0005
+    duplicate_rate: float = 0.0
+
+
+@dataclass
+class NetworkStats:
+    """Counters for observability and the benchmark harness."""
+
+    broadcasts: int = 0
+    unicasts: int = 0
+    deliveries: int = 0
+    losses: int = 0
+    partition_drops: int = 0
+    duplicates: int = 0
+    bytes_sent: int = 0
+
+
+class Network:
+    """A simulated LAN segment set with scripted partitions and merges."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rng: Optional[random.Random] = None,
+        params: Optional[NetworkParams] = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._rng = rng if rng is not None else random.Random(0)
+        self.params = params if params is not None else NetworkParams()
+        self._handlers: Dict[ProcessId, Callable[[ProcessId, Any], None]] = {}
+        self._segment: Dict[ProcessId, int] = {}
+        self._alive: Dict[ProcessId, bool] = {}
+        self.stats = NetworkStats()
+        self._next_segment = 1
+        #: Optional targeted fault: ``fn(src, dst, message) -> bool`` -
+        #: return True to drop that copy.  Used by scenario scripts to
+        #: stage the paper's Figure 6 ("q and r did not receive l").
+        self._drop_filter: Optional[Callable[[ProcessId, ProcessId, Any], bool]] = None
+
+    # -- topology -------------------------------------------------------------
+
+    def attach(self, pid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
+        """Register an endpoint.  All endpoints start in segment 0 (merged)."""
+        if pid in self._handlers:
+            raise SimulationError(f"endpoint {pid} attached twice")
+        self._handlers[pid] = handler
+        self._segment[pid] = 0
+        self._alive[pid] = True
+
+    @property
+    def processes(self) -> List[ProcessId]:
+        return sorted(self._handlers)
+
+    def set_partition(self, groups: Iterable[Iterable[ProcessId]]) -> None:
+        """Split the network into the given components.
+
+        Endpoints not mentioned in any group are each isolated in their
+        own singleton segment (they can still talk to themselves).
+        """
+        groups = [set(g) for g in groups]
+        seen: Set[ProcessId] = set()
+        for group in groups:
+            for pid in group:
+                if pid not in self._handlers:
+                    raise SimulationError(f"unknown endpoint in partition spec: {pid}")
+                if pid in seen:
+                    raise SimulationError(f"endpoint {pid} in two components")
+                seen.add(pid)
+        for group in groups:
+            seg = self._next_segment
+            self._next_segment += 1
+            for pid in group:
+                self._segment[pid] = seg
+        for pid in self._handlers:
+            if pid not in seen:
+                self._segment[pid] = self._next_segment
+                self._next_segment += 1
+
+    def merge_all(self) -> None:
+        """Heal the network: every endpoint back into one component."""
+        seg = self._next_segment
+        self._next_segment += 1
+        for pid in self._segment:
+            self._segment[pid] = seg
+
+    def merge(self, groups: Iterable[Iterable[ProcessId]]) -> None:
+        """Merge the listed endpoints into one component, leaving others
+        in their current segments."""
+        seg = self._next_segment
+        self._next_segment += 1
+        for group in groups:
+            for pid in group:
+                if pid not in self._handlers:
+                    raise SimulationError(f"unknown endpoint in merge spec: {pid}")
+                self._segment[pid] = seg
+
+    def reachable(self, a: ProcessId, b: ProcessId) -> bool:
+        """True when ``a`` and ``b`` are both alive in the same component."""
+        return (
+            self._alive.get(a, False)
+            and self._alive.get(b, False)
+            and self._segment[a] == self._segment[b]
+        )
+
+    def component_of(self, pid: ProcessId) -> Set[ProcessId]:
+        """The set of live endpoints sharing ``pid``'s segment."""
+        seg = self._segment[pid]
+        return {
+            q
+            for q, s in self._segment.items()
+            if s == seg and self._alive.get(q, False)
+        }
+
+    def set_alive(self, pid: ProcessId, alive: bool) -> None:
+        self._alive[pid] = alive
+
+    def set_drop_filter(
+        self, fn: Optional[Callable[[ProcessId, ProcessId, Any], bool]]
+    ) -> None:
+        """Install (or clear, with None) a targeted drop filter."""
+        self._drop_filter = fn
+
+    # -- traffic ------------------------------------------------------------
+
+    def broadcast(self, src: ProcessId, message: Any) -> None:
+        """Broadcast within the sender's component (including loopback)."""
+        if not self._alive.get(src, False):
+            return
+        data = codec.encode(message)
+        self.stats.broadcasts += 1
+        self.stats.bytes_sent += len(data)
+        for dst in self._handlers:
+            if self._drop_filter is not None and self._drop_filter(src, dst, message):
+                self.stats.losses += 1
+                continue
+            if dst == src:
+                self._schedule_delivery(src, dst, data, self.params.self_latency)
+            elif self._segment[dst] == self._segment[src]:
+                self._maybe_deliver(src, dst, data)
+            else:
+                self.stats.partition_drops += 1
+
+    def unicast(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
+        """Point-to-point send; subject to the same partition/loss model."""
+        if not self._alive.get(src, False):
+            return
+        data = codec.encode(message)
+        self.stats.unicasts += 1
+        self.stats.bytes_sent += len(data)
+        if dst not in self._handlers:
+            raise SimulationError(f"unicast to unknown endpoint {dst}")
+        if self._drop_filter is not None and self._drop_filter(src, dst, message):
+            self.stats.losses += 1
+            return
+        if dst == src:
+            self._schedule_delivery(src, dst, data, self.params.self_latency)
+        elif self._segment[dst] == self._segment[src]:
+            self._maybe_deliver(src, dst, data)
+        else:
+            self.stats.partition_drops += 1
+
+    # -- internals ------------------------------------------------------------
+
+    def _maybe_deliver(self, src: ProcessId, dst: ProcessId, data: bytes) -> None:
+        if self._rng.random() < self.params.loss_rate:
+            self.stats.losses += 1
+            return
+        latency = self._rng.uniform(self.params.latency_min, self.params.latency_max)
+        self._schedule_delivery(src, dst, data, latency)
+        if self.params.duplicate_rate and self._rng.random() < self.params.duplicate_rate:
+            self.stats.duplicates += 1
+            extra = self._rng.uniform(self.params.latency_min, self.params.latency_max)
+            self._schedule_delivery(src, dst, data, latency + extra)
+
+    def _schedule_delivery(
+        self, src: ProcessId, dst: ProcessId, data: bytes, latency: float
+    ) -> None:
+        def deliver() -> None:
+            # A partition that happens while the packet is "in flight"
+            # drops it, matching physical reality where the receiver has
+            # moved out of radio/bridge range.
+            if not self._alive.get(dst, False):
+                return
+            if dst != src and self._segment[dst] != self._segment[src]:
+                self.stats.partition_drops += 1
+                return
+            self.stats.deliveries += 1
+            self._handlers[dst](src, codec.decode(data))
+
+        self._scheduler.call_later(latency, deliver)

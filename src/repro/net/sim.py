@@ -1,0 +1,131 @@
+"""Deterministic discrete-event scheduler.
+
+The Totem and Transis systems of the paper ran on real local-area
+networks.  For a reproducible reproduction we substitute a discrete-event
+simulator: virtual time advances only when events fire, every run is a
+pure function of its inputs and a seed, and adversarial timing (message
+loss exactly at a token hand-off, a partition in the middle of a commit
+rotation) can be scripted precisely.
+
+The scheduler is intentionally minimal: a priority queue of ``(time,
+sequence, callback)`` entries with cancellable handles.  Protocol state
+machines never see the scheduler directly; they talk to a
+:class:`~repro.net.transport.Host` that translates ``set_timer`` calls
+into scheduler entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class Timer:
+    """Handle for a scheduled event; ``cancel()`` is idempotent."""
+
+    deadline: float
+    _cancelled: bool = field(default=False, repr=False)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class EventScheduler:
+    """A deterministic event loop over virtual time.
+
+    Events scheduled for the same instant fire in scheduling order (FIFO),
+    which the protocols rely on for determinism.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, Timer, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired so far (a cheap progress gauge)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled stubs)."""
+        return len(self._heap)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {when} < now={self._now}"
+            )
+        timer = Timer(deadline=when)
+        heapq.heappush(self._heap, (when, next(self._counter), timer, callback))
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            when, _, timer, callback = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = when
+            self._events_processed += 1
+            callback()
+            return True
+        return False
+
+    def run_until(self, deadline: float, max_events: Optional[int] = None) -> None:
+        """Advance virtual time to ``deadline`` firing all due events.
+
+        ``max_events`` guards against livelock in misbehaving protocols;
+        exceeding it raises :class:`SimulationError` rather than spinning
+        forever.
+        """
+        fired = 0
+        while self._heap:
+            when, _, timer, _cb = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if when > deadline:
+                break
+            self.step()
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events before t={deadline}; "
+                    "likely protocol livelock"
+                )
+        self._now = max(self._now, deadline)
+
+    def run_until_idle(self, max_events: int = 5_000_000) -> float:
+        """Fire events until the queue drains; returns final virtual time."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely protocol livelock"
+                )
+        return self._now

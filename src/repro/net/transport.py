@@ -1,0 +1,152 @@
+"""The sans-io host interface between protocol cores and transports.
+
+Protocol state machines (:class:`repro.totem.controller.TotemController`
+and the EVS engine above it) never touch sockets, the simulator, or the
+clock directly.  They are driven through exactly three inputs -
+
+* ``on_packet(src, message)``  - a wire message arrived,
+* ``on_timer(name)``           - a named timer expired,
+* explicit API calls (submit, crash, recover) -
+
+and produce effects only through a :class:`Host`:
+
+* ``broadcast(message)`` / ``unicast(dest, message)``,
+* ``set_timer(name, delay)`` / ``cancel_timer(name)``,
+* ``now`` for timestamps.
+
+Two hosts are provided: :class:`SimHost` (deterministic discrete-event
+simulation, used by all tests and benchmarks) and
+:class:`repro.net.asyncio_transport.AsyncioHost` (real UDP sockets).
+Because the protocol core is identical under both, correctness
+established in simulation transfers to the socket deployment.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.sim import EventScheduler, Timer
+from repro.types import ProcessId
+
+
+class Host(abc.ABC):
+    """Effect interface handed to a protocol state machine."""
+
+    @property
+    @abc.abstractmethod
+    def pid(self) -> ProcessId:
+        """Identifier of the local process."""
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (virtual or wall-clock)."""
+
+    @abc.abstractmethod
+    def broadcast(self, message: Any) -> None:
+        """Send ``message`` to every process in the local component,
+        including the sender itself (LAN multicast loopback semantics)."""
+
+    @abc.abstractmethod
+    def unicast(self, dest: ProcessId, message: Any) -> None:
+        """Send ``message`` to a single process."""
+
+    @abc.abstractmethod
+    def set_timer(self, name: str, delay: float) -> None:
+        """(Re)arm the named timer to fire after ``delay`` seconds.
+        Re-arming an already pending timer replaces its deadline."""
+
+    @abc.abstractmethod
+    def cancel_timer(self, name: str) -> None:
+        """Cancel the named timer if pending; no-op otherwise."""
+
+
+class SimHost(Host):
+    """Host adapter over the discrete-event scheduler and simulated network.
+
+    The host owns the set of named timers for one process and routes
+    network receive callbacks into the attached state machine.  A crashed
+    process's host drops all inputs (packets and timers) on the floor,
+    mirroring a killed OS process.
+    """
+
+    def __init__(self, pid: ProcessId, scheduler: EventScheduler, network) -> None:
+        self._pid = pid
+        self._scheduler = scheduler
+        self._network = network
+        self._timers: Dict[str, Timer] = {}
+        self._on_packet: Optional[Callable[[ProcessId, Any], None]] = None
+        self._on_timer: Optional[Callable[[str], None]] = None
+        self._alive = True
+        network.attach(pid, self._receive)
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind(
+        self,
+        on_packet: Callable[[ProcessId, Any], None],
+        on_timer: Callable[[str], None],
+    ) -> None:
+        """Attach the state machine's input callbacks."""
+        self._on_packet = on_packet
+        self._on_timer = on_timer
+
+    # -- Host interface ----------------------------------------------------
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    @property
+    def now(self) -> float:
+        return self._scheduler.now
+
+    def broadcast(self, message: Any) -> None:
+        if self._alive:
+            self._network.broadcast(self._pid, message)
+
+    def unicast(self, dest: ProcessId, message: Any) -> None:
+        if self._alive:
+            self._network.unicast(self._pid, dest, message)
+
+    def set_timer(self, name: str, delay: float) -> None:
+        self.cancel_timer(name)
+        self._timers[name] = self._scheduler.call_later(
+            delay, lambda: self._fire(name)
+        )
+
+    def cancel_timer(self, name: str) -> None:
+        timer = self._timers.pop(name, None)
+        if timer is not None:
+            timer.cancel()
+
+    # -- crash / recover ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Silence the process: drop all pending timers and future inputs."""
+        self._alive = False
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        self._network.set_alive(self._pid, False)
+
+    def recover(self) -> None:
+        """Reconnect the process to the network after a crash."""
+        self._alive = True
+        self._network.set_alive(self._pid, True)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    # -- internal ------------------------------------------------------------
+
+    def _receive(self, src: ProcessId, message: Any) -> None:
+        if self._alive and self._on_packet is not None:
+            self._on_packet(src, message)
+
+    def _fire(self, name: str) -> None:
+        self._timers.pop(name, None)
+        if self._alive and self._on_timer is not None:
+            self._on_timer(name)

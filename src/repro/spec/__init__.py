@@ -1,0 +1,28 @@
+"""Machine-checkable encodings of the paper's specifications.
+
+The VS-model checker (:func:`repro.spec.vs_checker.check_all_vs`) is not
+re-exported here because it imports the :mod:`repro.vs` layer, which
+itself builds on :mod:`repro.core` (whose engine records into
+:mod:`repro.spec.history`) - import it explicitly::
+
+    from repro.spec.vs_checker import check_all_vs
+"""
+
+from repro.spec.evs_checker import Violation, check_all
+from repro.spec.history import History
+from repro.spec.primary_checker import check_primary_history
+from repro.spec.report import ConformanceReport, pool_reports, run_conformance
+from repro.spec.tracefile import load as load_trace
+from repro.spec.tracefile import save as save_trace
+
+__all__ = [
+    "ConformanceReport",
+    "History",
+    "Violation",
+    "check_all",
+    "check_primary_history",
+    "load_trace",
+    "save_trace",
+    "pool_reports",
+    "run_conformance",
+]

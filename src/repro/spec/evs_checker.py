@@ -1,0 +1,657 @@
+"""Machine-checkable encodings of the EVS specifications (paper §2.1).
+
+Each ``check_*`` function evaluates one specification group against a
+recorded :class:`~repro.spec.history.History` and returns a list of
+:class:`Violation` records (empty means the execution satisfies the
+specification).  Together they are the reproduction of Figures 1-5 and of
+Specifications 6-7 ("more difficult to depict and so are not shown"): the
+paper *draws* the properties; we *evaluate* them on real executions.
+
+Interpretation notes
+--------------------
+
+* The recorded ``->`` relation is generated exactly as Specs 1.1-1.3
+  prescribe (per-process total order plus send->deliver, transitively
+  closed), materialized as vector clocks.
+* Specs 2.1, 3, 4 and 7 contain conditional-liveness clauses ("... then
+  q delivers ..." ) that are only decidable on *quiescent* traces: the
+  harness heals all partitions, recovers all processes and drains all
+  traffic before checking; pass ``quiescent=False`` to restrict the
+  checks to their safety fragments on truncated traces.
+* Specs 2.3, 2.4, 6.1 and 6.2 jointly assert that a logical total order
+  ``ord`` exists in which same-message deliveries and same-configuration
+  installations are simultaneous; :func:`check_total_order` verifies this
+  *constructively* by collapsing those equivalence classes and
+  topologically ordering the quotient graph - a cycle is precisely a
+  counterexample to the conjunction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.configuration import Configuration
+from repro.spec.history import (
+    ConfChangeEvent,
+    DeliverEvent,
+    Event,
+    EventRef,
+    FailEvent,
+    History,
+    SendEvent,
+)
+from repro.types import (
+    ConfigurationId,
+    DeliveryRequirement,
+    MessageId,
+    ProcessId,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One specification violation found in a history."""
+
+    spec: str
+    description: str
+
+    def __str__(self) -> str:
+        return f"[Spec {self.spec}] {self.description}"
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def _reg_of(
+    config_id: ConfigurationId, configs: Dict[ConfigurationId, Configuration]
+) -> ConfigurationId:
+    """reg(c): the regular configuration underlying c."""
+    if config_id.is_regular:
+        return config_id
+    config = configs.get(config_id)
+    if config is not None and config.preceding_regular is not None:
+        return config.preceding_regular
+    # A transitional id always encodes its source ring in `sub`, but the
+    # Configuration object is the authoritative record.
+    raise KeyError(f"unknown transitional configuration {config_id}")
+
+
+def _family(
+    config_id: ConfigurationId, configs: Dict[ConfigurationId, Configuration]
+) -> ConfigurationId:
+    """The regular configuration family a delivery config belongs to."""
+    return _reg_of(config_id, configs)
+
+
+def _deliveries_by_process(
+    history: History,
+) -> Dict[ProcessId, Dict[MessageId, DeliverEvent]]:
+    out: Dict[ProcessId, Dict[MessageId, DeliverEvent]] = {}
+    for pid in history.processes:
+        per: Dict[MessageId, DeliverEvent] = {}
+        for e in history.events_of(pid):
+            if isinstance(e, DeliverEvent) and e.message_id not in per:
+                per[e.message_id] = e
+        out[pid] = per
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Specification 1 - Basic Delivery (Figure 1)
+
+
+def check_basic_delivery(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    configs = history.configurations()
+    sends = history.sends()
+
+    # 1.1/1.2: the -> relation is a partial order totally ordering each
+    # process's events.  Our vector-clock construction guarantees both by
+    # construction; we verify the witness: per-process clock components
+    # strictly increase.
+    clocks = history.clocks()
+    for pid in history.processes:
+        events = history.events_of(pid)
+        last = -1
+        for i, _ in enumerate(events):
+            own = clocks[EventRef(pid, i)].get(pid, -1)
+            if own <= last:
+                violations.append(
+                    Violation(
+                        "1.1/1.2",
+                        f"{pid}: event {i} clock not strictly increasing",
+                    )
+                )
+            last = own
+
+    # 1.3: every delivery has a matching send in the underlying regular
+    # configuration, and the send precedes the delivery.
+    send_refs: Dict[MessageId, EventRef] = {}
+    for ref, e in history.refs():
+        if isinstance(e, SendEvent):
+            send_refs.setdefault(e.message_id, ref)
+    for ref, e in history.refs():
+        if not isinstance(e, DeliverEvent):
+            continue
+        send = sends.get(e.message_id)
+        if send is None:
+            violations.append(
+                Violation(
+                    "1.3",
+                    f"{e.pid} delivered {e.message_id} which was never sent",
+                )
+            )
+            continue
+        try:
+            reg = _reg_of(e.config_id, configs)
+        except KeyError:
+            violations.append(
+                Violation(
+                    "1.3",
+                    f"{e.pid} delivered {e.message_id} in unknown "
+                    f"configuration {e.config_id}",
+                )
+            )
+            continue
+        if send.config_id != reg:
+            violations.append(
+                Violation(
+                    "1.3",
+                    f"{e.pid} delivered {e.message_id} in {e.config_id} but it "
+                    f"was sent in {send.config_id} (reg mismatch)",
+                )
+            )
+        if not history.precedes(send_refs[e.message_id], ref):
+            violations.append(
+                Violation(
+                    "1.3",
+                    f"send of {e.message_id} does not precede its delivery at {e.pid}",
+                )
+            )
+
+    # 1.4: unique send; send in the sender's regular configuration; at
+    # most one delivery of m per process.
+    send_count: Dict[MessageId, List[SendEvent]] = {}
+    for e in history.send_events():
+        send_count.setdefault(e.message_id, []).append(e)
+    for mid, events in send_count.items():
+        if len(events) > 1:
+            violations.append(
+                Violation("1.4", f"{mid} sent {len(events)} times")
+            )
+        for e in events:
+            if not e.config_id.is_regular or e.config_id.ring != mid.ring:
+                violations.append(
+                    Violation(
+                        "1.4",
+                        f"{e.pid} sent {mid} in non-matching configuration "
+                        f"{e.config_id}",
+                    )
+                )
+    for pid, per in _deliveries_by_process(history).items():
+        seen: Dict[MessageId, int] = {}
+        for e in history.events_of(pid):
+            if isinstance(e, DeliverEvent):
+                seen[e.message_id] = seen.get(e.message_id, 0) + 1
+        for mid, n in seen.items():
+            if n > 1:
+                violations.append(
+                    Violation("1.4", f"{pid} delivered {mid} {n} times")
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Specification 2 - Delivery of Configuration Changes (Figure 2)
+
+
+def check_configuration_changes(
+    history: History, quiescent: bool = True
+) -> List[Violation]:
+    violations: List[Violation] = []
+    configs = history.configurations()
+
+    # 2.2: every send/deliver/fail happens inside exactly the
+    # configuration whose change message was delivered last, with
+    # transitional deliveries permitted against the *preceding regular*
+    # configuration while it is being terminated (Step 6.b runs after the
+    # old configuration's last installation but before the transitional
+    # change; the configuration in force is still the old regular one).
+    for pid in history.processes:
+        current: Optional[ConfigurationId] = None
+        for e in history.events_of(pid):
+            if isinstance(e, ConfChangeEvent):
+                current = e.config_id
+                if pid not in e.config.members:
+                    violations.append(
+                        Violation(
+                            "2.2",
+                            f"{pid} installed {e.config_id} but is not a member",
+                        )
+                    )
+            elif isinstance(e, (SendEvent, DeliverEvent, FailEvent)):
+                if current is None:
+                    violations.append(
+                        Violation(
+                            "2.2",
+                            f"{pid} produced {type(e).__name__} before any "
+                            "configuration change",
+                        )
+                    )
+                elif e.config_id != current:
+                    violations.append(
+                        Violation(
+                            "2.2",
+                            f"{pid}: {type(e).__name__} tagged {e.config_id} "
+                            f"while current configuration is {current}",
+                        )
+                    )
+
+    # 2.1 (quiescent form): if p's final state is "installed c, not
+    # failed", every member of c must likewise end installed in c.
+    if quiescent:
+        final: Dict[ProcessId, Optional[ConfigurationId]] = {}
+        failed: Dict[ProcessId, bool] = {}
+        for pid in history.processes:
+            last_conf: Optional[ConfigurationId] = None
+            last_fail = False
+            for e in history.events_of(pid):
+                if isinstance(e, ConfChangeEvent):
+                    last_conf = e.config_id
+                    last_fail = False
+                elif isinstance(e, FailEvent):
+                    last_fail = True
+            final[pid] = last_conf
+            failed[pid] = last_fail
+        for pid, conf_id in final.items():
+            if conf_id is None or failed[pid]:
+                continue
+            config = configs[conf_id]
+            for q in config.members:
+                if final.get(q) != conf_id or failed.get(q, False):
+                    violations.append(
+                        Violation(
+                            "2.1",
+                            f"{pid} ended installed in {conf_id} but member "
+                            f"{q} ended in {final.get(q)} (failed={failed.get(q)})",
+                        )
+                    )
+
+    # 2.3/2.4 are certified by check_total_order (a sandwich
+    # cc_p(c) -> e -> cc_q(c) is a cycle in the ord quotient graph).
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Specification 3 - Self-Delivery (Figure 3)
+
+
+def check_self_delivery(history: History, quiescent: bool = True) -> List[Violation]:
+    violations: List[Violation] = []
+    configs = history.configurations()
+    for pid in history.processes:
+        events = history.events_of(pid)
+        for i, e in enumerate(events):
+            if not isinstance(e, SendEvent):
+                continue
+            # Walk forward through p's history: the message must be
+            # delivered before p leaves com_p(c) = c or trans_p(c),
+            # unless p fails in that window.
+            delivered = False
+            excused = False
+            window_open = True
+            for later in events[i + 1 :]:
+                if isinstance(later, DeliverEvent) and later.message_id == e.message_id:
+                    delivered = True
+                    break
+                if isinstance(later, FailEvent):
+                    excused = True
+                    break
+                if isinstance(later, ConfChangeEvent):
+                    cid = later.config_id
+                    if cid.is_transitional:
+                        try:
+                            if _reg_of(cid, configs) == e.config_id:
+                                continue  # trans_p(c): still inside the window
+                        except KeyError:
+                            pass
+                    window_open = False
+                    break
+            else:
+                # Trace ended inside the window.
+                if not quiescent:
+                    excused = True
+                elif not delivered:
+                    # Quiescent trace ended with p still inside com_p(c):
+                    # the message should have been delivered by now.
+                    window_open = False
+            if delivered or excused:
+                continue
+            if not window_open:
+                violations.append(
+                    Violation(
+                        "3",
+                        f"{pid} sent {e.message_id} in {e.config_id} and moved "
+                        "past the transitional configuration without "
+                        "delivering it",
+                    )
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Specification 4 - Failure Atomicity (Figure 4)
+
+
+def check_failure_atomicity(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    # For each process: (config, immediately-next config, messages
+    # delivered while in config).
+    transitions: Dict[
+        Tuple[ConfigurationId, ConfigurationId], Dict[ProcessId, FrozenSet[MessageId]]
+    ] = {}
+    for pid in history.processes:
+        current: Optional[ConfigurationId] = None
+        delivered: Set[MessageId] = set()
+        for e in history.events_of(pid):
+            if isinstance(e, ConfChangeEvent):
+                if current is not None:
+                    transitions.setdefault((current, e.config_id), {})[pid] = (
+                        frozenset(delivered)
+                    )
+                current = e.config_id
+                delivered = set()
+            elif isinstance(e, DeliverEvent):
+                delivered.add(e.message_id)
+            elif isinstance(e, FailEvent):
+                current = None  # the next configuration is not "next" in
+                delivered = set()  # the Spec-4 sense after a failure
+    for (c, c3), per_pid in transitions.items():
+        sets = {s for s in per_pid.values()}
+        if len(sets) > 1:
+            detail = "; ".join(
+                f"{pid} delivered {len(s)}" for pid, s in sorted(per_pid.items())
+            )
+            diff: Set[MessageId] = set()
+            for s in sets:
+                diff ^= set(s)
+            violations.append(
+                Violation(
+                    "4",
+                    f"processes moving {c} -> {c3} delivered different "
+                    f"message sets ({detail}; differing: "
+                    f"{sorted(str(m) for m in diff)[:4]})",
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Specification 5 - Causal Delivery (Figure 5)
+
+
+def check_causal_delivery(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    configs = history.configurations()
+    # Group sends by configuration.
+    sends_by_config: Dict[ConfigurationId, List[Tuple[EventRef, SendEvent]]] = {}
+    for ref, e in history.refs():
+        if isinstance(e, SendEvent):
+            sends_by_config.setdefault(e.config_id, []).append((ref, e))
+    # Per-process delivery positions for fast "delivered before" queries.
+    position: Dict[ProcessId, Dict[MessageId, int]] = {}
+    for pid in history.processes:
+        pos: Dict[MessageId, int] = {}
+        for i, e in enumerate(history.events_of(pid)):
+            if isinstance(e, DeliverEvent):
+                pos.setdefault(e.message_id, i)
+        position[pid] = pos
+    family_of: Dict[ConfigurationId, ConfigurationId] = {}
+
+    def family(cid: ConfigurationId) -> ConfigurationId:
+        if cid not in family_of:
+            family_of[cid] = _reg_of(cid, configs)
+        return family_of[cid]
+
+    deliveries = history.deliveries()
+    for cid, send_list in sends_by_config.items():
+        send_list.sort(key=lambda re: re[1].message_id.seq)
+        for i, (ref_m, send_m) in enumerate(send_list):
+            for ref_m2, send_m2 in send_list[i + 1 :]:
+                if not history.precedes(ref_m, ref_m2):
+                    continue
+                # send(m) -> send(m'): every process delivering m' (in
+                # com_r(c)) must deliver m earlier.
+                for d in deliveries.get(send_m2.message_id, ()):  # deliver_r(m')
+                    if family(d.config_id) != cid:
+                        continue
+                    pos_r = position[d.pid]
+                    if send_m.message_id not in pos_r:
+                        violations.append(
+                            Violation(
+                                "5",
+                                f"{d.pid} delivered {send_m2.message_id} but "
+                                f"not its causal predecessor {send_m.message_id}",
+                            )
+                        )
+                    elif pos_r[send_m.message_id] > pos_r[send_m2.message_id]:
+                        violations.append(
+                            Violation(
+                                "5",
+                                f"{d.pid} delivered {send_m2.message_id} before "
+                                f"its causal predecessor {send_m.message_id}",
+                            )
+                        )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Specification 6 - Totally Ordered Delivery
+
+
+def check_total_order(history: History) -> List[Violation]:
+    violations: List[Violation] = []
+    configs = history.configurations()
+
+    # 6.1 + 6.2 (+ 2.3/2.4): collapse deliveries of the same message and
+    # installations of the same configuration into equivalence classes;
+    # the quotient of -> must be acyclic, in which case a topological
+    # order IS a valid ord function.
+    def node(ref: EventRef, e: Event) -> Tuple:
+        if isinstance(e, ConfChangeEvent):
+            return ("conf", e.config_id)
+        if isinstance(e, DeliverEvent):
+            return ("msg", e.message_id)
+        if isinstance(e, SendEvent):
+            return ("snd", e.message_id)
+        return ("fail", ref.pid, ref.index)
+
+    edges: Dict[Tuple, Set[Tuple]] = {}
+    nodes: Set[Tuple] = set()
+    for pid in history.processes:
+        events = history.events_of(pid)
+        prev: Optional[Tuple] = None
+        for i, e in enumerate(events):
+            n = node(EventRef(pid, i), e)
+            nodes.add(n)
+            if prev is not None and prev != n:
+                edges.setdefault(prev, set()).add(n)
+            prev = n
+        # send -> deliver edges
+    for e in history.send_events():
+        edges.setdefault(("snd", e.message_id), set()).add(("msg", e.message_id))
+
+    order, cycle = _topological_order(nodes, edges)
+    if cycle:
+        violations.append(
+            Violation(
+                "6.1/6.2",
+                "no logical total order exists: cycle through "
+                + " -> ".join(str(n) for n in cycle[:6]),
+            )
+        )
+        return violations  # ord-based checks below would be meaningless
+
+    # 6.3: ordered delivery within a configuration family, modulo the
+    # transitional exemption for senders outside the configuration.
+    deliveries = history.deliveries()
+    per_process = _deliveries_by_process(history)
+    # Concrete 6.3 instantiation: if p delivered m then m' (both of ring
+    # R), and q delivered m' in c', and sender(m) is a member of c', then
+    # q delivered m.
+    delivers_by_ring: Dict = {}
+    for mid, ds in deliveries.items():
+        delivers_by_ring.setdefault(mid.ring, set()).add(mid)
+    sends = history.sends()
+    for ring, mids in delivers_by_ring.items():
+        ordered = sorted(mids, key=lambda m: m.seq)
+        for p in history.processes:
+            got_p = [m for m in ordered if m in per_process[p]]
+            for q in history.processes:
+                if p == q:
+                    continue
+                for m2 in got_p:
+                    d_q = per_process[q].get(m2)
+                    if d_q is None:
+                        continue
+                    members_c2 = configs[d_q.config_id].members
+                    for m in got_p:
+                        if m.seq >= m2.seq:
+                            break
+                        sender = sends[m].pid if m in sends else None
+                        if sender in members_c2 and m not in per_process[q]:
+                            violations.append(
+                                Violation(
+                                    "6.3",
+                                    f"{q} delivered {m2} in {d_q.config_id} but "
+                                    f"skipped earlier {m} whose sender {sender} "
+                                    "is a member of that configuration",
+                                )
+                            )
+    return violations
+
+
+def _topological_order(
+    nodes: Set[Tuple], edges: Dict[Tuple, Set[Tuple]]
+) -> Tuple[List[Tuple], Optional[List[Tuple]]]:
+    """Kahn's algorithm; returns (order, None) or (partial, cycle_hint)."""
+    indegree: Dict[Tuple, int] = {n: 0 for n in nodes}
+    for src, dsts in edges.items():
+        for dst in dsts:
+            indegree[dst] = indegree.get(dst, 0) + 1
+            indegree.setdefault(src, 0)
+    ready = sorted([n for n, d in indegree.items() if d == 0])
+    order: List[Tuple] = []
+    while ready:
+        n = ready.pop()
+        order.append(n)
+        for dst in sorted(edges.get(n, ())):
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                ready.append(dst)
+    if len(order) != len(indegree):
+        cycle = [n for n, d in indegree.items() if d > 0]
+        return order, cycle
+    return order, None
+
+
+# ---------------------------------------------------------------------------
+# Specification 7 - Safe Delivery
+
+
+def check_safe_delivery(history: History, quiescent: bool = True) -> List[Violation]:
+    violations: List[Violation] = []
+    configs = history.configurations()
+    per_process = _deliveries_by_process(history)
+
+    # Which regular family each process failed in (if any).
+    fail_family: Dict[ProcessId, Set[ConfigurationId]] = {}
+    for e in history.fails():
+        try:
+            fam = _reg_of(e.config_id, configs)
+        except KeyError:
+            fam = e.config_id
+        fail_family.setdefault(e.pid, set()).add(fam)
+
+    for ref, e in history.refs():
+        if not isinstance(e, DeliverEvent):
+            continue
+        if e.requirement != DeliveryRequirement.SAFE:
+            continue
+        config = configs[e.config_id]
+        reg = _reg_of(e.config_id, configs)
+
+        # 7.2: a safe delivery in a regular configuration requires every
+        # member of it to have installed it.
+        if e.config_id.is_regular:
+            installers = {
+                c.pid for c in history.conf_changes().get(e.config_id, [])
+            }
+            for q in config.members:
+                if q not in installers:
+                    violations.append(
+                        Violation(
+                            "7.2",
+                            f"safe {e.message_id} delivered in regular "
+                            f"{e.config_id} but member {q} never installed it",
+                        )
+                    )
+
+        # 7.1: every member of c delivers m in com_q(c) or fails there.
+        if not quiescent:
+            continue
+        for q in config.members:
+            if q == e.pid:
+                continue
+            d_q = per_process[q].get(e.message_id)
+            if d_q is not None:
+                fam_q = _reg_of(d_q.config_id, configs)
+                if fam_q == reg:
+                    continue
+                violations.append(
+                    Violation(
+                        "7.1",
+                        f"{q} delivered safe {e.message_id} in family "
+                        f"{fam_q}, expected {reg}",
+                    )
+                )
+                continue
+            if reg in fail_family.get(q, set()):
+                continue  # fail_q(com_q(c)) excuses the delivery
+            violations.append(
+                Violation(
+                    "7.1",
+                    f"safe {e.message_id} delivered by {e.pid} in "
+                    f"{e.config_id}, but member {q} neither delivered it "
+                    "nor failed in that configuration",
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Aggregate
+
+
+CHECKS = (
+    ("basic delivery (Spec 1, Fig 1)", check_basic_delivery, False),
+    ("configuration changes (Spec 2, Fig 2)", check_configuration_changes, True),
+    ("self-delivery (Spec 3, Fig 3)", check_self_delivery, True),
+    ("failure atomicity (Spec 4, Fig 4)", check_failure_atomicity, False),
+    ("causal delivery (Spec 5, Fig 5)", check_causal_delivery, False),
+    ("totally ordered delivery (Spec 6)", check_total_order, False),
+    ("safe delivery (Spec 7)", check_safe_delivery, True),
+)
+
+
+def check_all(history: History, quiescent: bool = True) -> List[Violation]:
+    """Run every specification check; returns all violations found."""
+    violations: List[Violation] = []
+    for _name, fn, takes_quiescent in CHECKS:
+        if takes_quiescent:
+            violations.extend(fn(history, quiescent=quiescent))
+        else:
+            violations.extend(fn(history))
+    return violations

@@ -1,0 +1,292 @@
+"""Recorded histories: the event structures the specifications range over.
+
+The paper's Section 2 defines extended virtual synchrony over four event
+types - ``deliver_conf_p(c)``, ``send_p(m, c)``, ``deliver_p(m, c)`` and
+``fail_p(c)`` - a global partial order ``->`` (precedes) and a logical
+total order function ``ord``.  This module records those events as a
+process runs and reconstructs the ``->`` relation so the checkers in
+:mod:`repro.spec.evs_checker` can evaluate every specification against a
+real execution.
+
+The ``->`` relation is the transitive closure of (Specs 1.1-1.3):
+
+* the total order of events within each process, and
+* ``send(m) -> deliver(m)`` for every delivery of ``m``.
+
+We materialize it as vector clocks: each process's events get increasing
+local indices, and a delivery joins the clock of the matching send.
+``precedes(e, e')`` is then a vector comparison.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.configuration import Configuration
+from repro.types import (
+    ConfigurationId,
+    DeliveryRequirement,
+    MessageId,
+    ProcessId,
+)
+
+
+@dataclass(frozen=True)
+class ConfChangeEvent:
+    """deliver_conf_p(c): p installs configuration c."""
+
+    pid: ProcessId
+    config: Configuration
+    time: float
+
+    @property
+    def config_id(self) -> ConfigurationId:
+        return self.config.id
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """send_p(m, c): p originates message m in configuration c (the
+    instant its total-order ordinal is assigned)."""
+
+    pid: ProcessId
+    message_id: MessageId
+    config_id: ConfigurationId
+    requirement: DeliveryRequirement
+    origin_seq: int
+    time: float
+
+
+@dataclass(frozen=True)
+class DeliverEvent:
+    """deliver_p(m, c): p delivers message m in configuration c."""
+
+    pid: ProcessId
+    message_id: MessageId
+    config_id: ConfigurationId
+    sender: ProcessId
+    requirement: DeliveryRequirement
+    origin_seq: int
+    time: float
+
+
+@dataclass(frozen=True)
+class FailEvent:
+    """fail_p(c): p actually fails while a member of configuration c."""
+
+    pid: ProcessId
+    config_id: ConfigurationId
+    time: float
+
+
+Event = Union[ConfChangeEvent, SendEvent, DeliverEvent, FailEvent]
+
+
+@dataclass(frozen=True)
+class EventRef:
+    """Stable handle for one event: (process, per-process index)."""
+
+    pid: ProcessId
+    index: int
+
+
+class History:
+    """A recorded execution: per-process event sequences plus derived
+    relations.  One shared History instance records a whole simulated
+    cluster; per-process recorders can also be merged with
+    :meth:`merge`."""
+
+    def __init__(self) -> None:
+        self.per_process: Dict[ProcessId, List[Event]] = {}
+        self._clocks: Optional[Dict[EventRef, Dict[ProcessId, int]]] = None
+
+    # -- recording (engine-facing) ------------------------------------------
+
+    def record_conf_change(self, pid: ProcessId, config: Configuration, time: float) -> None:
+        self._append(ConfChangeEvent(pid=pid, config=config, time=time))
+
+    def record_send(
+        self,
+        pid: ProcessId,
+        message_id: MessageId,
+        config_id: ConfigurationId,
+        requirement: DeliveryRequirement,
+        origin_seq: int,
+        time: float,
+    ) -> None:
+        self._append(
+            SendEvent(
+                pid=pid,
+                message_id=message_id,
+                config_id=config_id,
+                requirement=requirement,
+                origin_seq=origin_seq,
+                time=time,
+            )
+        )
+
+    def record_deliver(
+        self,
+        pid: ProcessId,
+        message_id: MessageId,
+        config_id: ConfigurationId,
+        sender: ProcessId,
+        requirement: DeliveryRequirement,
+        origin_seq: int,
+        time: float,
+    ) -> None:
+        self._append(
+            DeliverEvent(
+                pid=pid,
+                message_id=message_id,
+                config_id=config_id,
+                sender=sender,
+                requirement=requirement,
+                origin_seq=origin_seq,
+                time=time,
+            )
+        )
+
+    def record_fail(self, pid: ProcessId, config_id: ConfigurationId, time: float) -> None:
+        self._append(FailEvent(pid=pid, config_id=config_id, time=time))
+
+    def _append(self, event: Event) -> None:
+        self.per_process.setdefault(event.pid, []).append(event)
+        self._clocks = None  # invalidate derived state
+
+    def merge(self, other: "History") -> None:
+        """Fold another recorder's per-process sequences into this one
+        (used when each process records locally, e.g. over asyncio)."""
+        for pid, events in other.per_process.items():
+            self.per_process.setdefault(pid, []).extend(events)
+        self._clocks = None
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def processes(self) -> List[ProcessId]:
+        return sorted(self.per_process)
+
+    def events(self) -> Iterable[Event]:
+        for pid in self.processes:
+            yield from self.per_process[pid]
+
+    def events_of(self, pid: ProcessId) -> List[Event]:
+        return self.per_process.get(pid, [])
+
+    def ref_of(self, pid: ProcessId, index: int) -> EventRef:
+        return EventRef(pid=pid, index=index)
+
+    def event(self, ref: EventRef) -> Event:
+        return self.per_process[ref.pid][ref.index]
+
+    def refs(self) -> Iterable[Tuple[EventRef, Event]]:
+        for pid in self.processes:
+            for i, e in enumerate(self.per_process[pid]):
+                yield EventRef(pid, i), e
+
+    def sends(self) -> Dict[MessageId, SendEvent]:
+        out: Dict[MessageId, SendEvent] = {}
+        for e in self.events():
+            if isinstance(e, SendEvent):
+                out.setdefault(e.message_id, e)
+        return out
+
+    def send_events(self) -> List[SendEvent]:
+        return [e for e in self.events() if isinstance(e, SendEvent)]
+
+    def deliveries(self) -> Dict[MessageId, List[DeliverEvent]]:
+        out: Dict[MessageId, List[DeliverEvent]] = {}
+        for e in self.events():
+            if isinstance(e, DeliverEvent):
+                out.setdefault(e.message_id, []).append(e)
+        return out
+
+    def configurations(self) -> Dict[ConfigurationId, Configuration]:
+        out: Dict[ConfigurationId, Configuration] = {}
+        for e in self.events():
+            if isinstance(e, ConfChangeEvent):
+                out.setdefault(e.config_id, e.config)
+        return out
+
+    def conf_changes(self) -> Dict[ConfigurationId, List[ConfChangeEvent]]:
+        out: Dict[ConfigurationId, List[ConfChangeEvent]] = {}
+        for e in self.events():
+            if isinstance(e, ConfChangeEvent):
+                out.setdefault(e.config_id, []).append(e)
+        return out
+
+    def fails(self) -> List[FailEvent]:
+        return [e for e in self.events() if isinstance(e, FailEvent)]
+
+    # -- the precedes relation ---------------------------------------------------
+
+    def _build_clocks(self) -> Dict[EventRef, Dict[ProcessId, int]]:
+        """Vector clocks realizing the transitive closure of the
+        per-process order plus send->deliver edges."""
+        clocks: Dict[EventRef, Dict[ProcessId, int]] = {}
+        # Fixpoint iteration: a single pass in recording-time order
+        # suffices for simulated runs (a send always has a strictly
+        # earlier timestamp than its deliveries), but merged histories
+        # from real hosts may have clock skew, so we iterate until the
+        # clocks stabilize.
+        for _ in range(64):
+            send_clock: Dict[MessageId, Dict[ProcessId, int]] = {
+                e.message_id: clocks[ref]
+                for ref, e in self.refs()
+                if isinstance(e, SendEvent) and ref in clocks
+            }
+            changed = False
+            for pid in self.processes:
+                prev: Dict[ProcessId, int] = {}
+                for i, event in enumerate(self.per_process[pid]):
+                    ref = EventRef(pid, i)
+                    clock = dict(prev)
+                    if isinstance(event, DeliverEvent):
+                        sc = send_clock.get(event.message_id)
+                        if sc:
+                            for q, v in sc.items():
+                                if clock.get(q, -1) < v:
+                                    clock[q] = v
+                    clock[pid] = i
+                    if clocks.get(ref) != clock:
+                        clocks[ref] = clock
+                        changed = True
+                        if isinstance(event, SendEvent):
+                            send_clock[event.message_id] = clock
+                    prev = clocks[ref]
+            if not changed:
+                break
+        return clocks
+
+    def clocks(self) -> Dict[EventRef, Dict[ProcessId, int]]:
+        if self._clocks is None:
+            self._clocks = self._build_clocks()
+        return self._clocks
+
+    def precedes(self, a: EventRef, b: EventRef) -> bool:
+        """True when event ``a`` -> event ``b`` in the paper's precedes
+        relation (reflexive, per Spec 1.1)."""
+        if a == b:
+            return True
+        clocks = self.clocks()
+        cb = clocks[b]
+        return cb.get(a.pid, -1) >= a.index
+
+    def concurrent(self, a: EventRef, b: EventRef) -> bool:
+        return not self.precedes(a, b) and not self.precedes(b, a)
+
+    # -- rendering -----------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line digest for logs and benchmark output."""
+        n_send = len(self.send_events())
+        n_del = sum(len(v) for v in self.deliveries().values())
+        n_conf = sum(len(v) for v in self.conf_changes().values())
+        return (
+            f"history: {len(self.processes)} processes, {n_send} sends, "
+            f"{n_del} deliveries, {n_conf} configuration changes, "
+            f"{len(self.fails())} failures"
+        )

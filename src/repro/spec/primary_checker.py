@@ -1,0 +1,114 @@
+"""Checker for the primary component model (paper §2.2).
+
+Given a recorded EVS history and the primary verdicts the strategy
+produced at each process, verify:
+
+* **Uniqueness** - the history H of primary components is totally
+  ordered by the precedes relation.  Two primary configurations are
+  comparable iff some process installed both (its local order orients
+  the pair) or a chain of such processes connects them; concurrent
+  primaries (no chain in either direction) are the violation - two
+  components both believing they are primary.
+* **Continuity** - consecutive primary components in H share at least
+  one member.
+* **Agreement** - all members of a configuration reached the same
+  verdict for it (a strategy-determinism sanity check; disagreement
+  would let a single configuration be simultaneously primary and
+  non-primary).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.core.configuration import Configuration
+from repro.spec.evs_checker import Violation
+from repro.types import ConfigurationId, ProcessId
+
+
+def check_primary_history(
+    verdicts_by_process: Dict[ProcessId, Sequence],
+) -> List[Violation]:
+    """Validate §2.2 over per-process verdict sequences.
+
+    ``verdicts_by_process`` maps each process to its ordered list of
+    :class:`~repro.vs.primary.PrimaryVerdict` (one per delivered regular
+    configuration, in delivery order).
+    """
+    violations: List[Violation] = []
+
+    # Agreement on each configuration's verdict.
+    verdict_for: Dict[ConfigurationId, bool] = {}
+    config_for: Dict[ConfigurationId, Configuration] = {}
+    for pid, verdicts in verdicts_by_process.items():
+        for v in verdicts:
+            cid = v.config.id
+            config_for[cid] = v.config
+            if cid in verdict_for and verdict_for[cid] != v.is_primary:
+                violations.append(
+                    Violation(
+                        "P-agreement",
+                        f"configuration {cid} judged primary={v.is_primary} by "
+                        f"{pid} but {verdict_for[cid]} by another member",
+                    )
+                )
+            verdict_for.setdefault(cid, v.is_primary)
+
+    primaries = [cid for cid, is_p in verdict_for.items() if is_p]
+
+    # Build the orientation graph from per-process install orders.
+    after: Dict[ConfigurationId, Set[ConfigurationId]] = {c: set() for c in primaries}
+    for pid, verdicts in verdicts_by_process.items():
+        seen_primaries = [v.config.id for v in verdicts if verdict_for[v.config.id]]
+        for i, a in enumerate(seen_primaries):
+            for b in seen_primaries[i + 1 :]:
+                if a != b:
+                    after.setdefault(a, set()).add(b)
+
+    # Transitive closure (primary histories are short).
+    changed = True
+    while changed:
+        changed = False
+        for a in primaries:
+            new = set()
+            for b in after[a]:
+                new |= after.get(b, set())
+            if not new <= after[a]:
+                after[a] |= new
+                changed = True
+
+    # Uniqueness: every pair comparable, no cycles.
+    for i, a in enumerate(primaries):
+        if a in after[a]:
+            violations.append(
+                Violation("P-uniqueness", f"primary order contains a cycle at {a}")
+            )
+        for b in primaries[i + 1 :]:
+            if b not in after[a] and a not in after[b]:
+                violations.append(
+                    Violation(
+                        "P-uniqueness",
+                        f"primary components {a} and {b} are concurrent "
+                        "(no process ordered them)",
+                    )
+                )
+
+    # Continuity: consecutive primaries share a member.
+    comparable = all(
+        (b in after[a]) != (a in after[b])
+        for i, a in enumerate(primaries)
+        for b in primaries[i + 1 :]
+    )
+    if comparable and primaries:
+        ordered = sorted(primaries, key=lambda c: len(after[c]), reverse=True)
+        for a, b in zip(ordered, ordered[1:]):
+            ma = config_for[a].members
+            mb = config_for[b].members
+            if not (ma & mb):
+                violations.append(
+                    Violation(
+                        "P-continuity",
+                        f"consecutive primaries {a} and {b} share no member",
+                    )
+                )
+    return violations

@@ -1,0 +1,85 @@
+"""Conformance reporting: run every checker, render a verdict table.
+
+Backs the Figure 1-5 benchmarks and EXPERIMENTS.md: each specification
+group maps to one row of "checked N events, found V violations", so a
+campaign's output can be pasted directly into the experiment log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.spec import evs_checker
+from repro.spec.evs_checker import Violation
+from repro.spec.history import History
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one specification group on one history."""
+
+    name: str
+    violations: List[Violation]
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class ConformanceReport:
+    """All specification groups evaluated on one (or many pooled)
+    histories."""
+
+    results: List[CheckResult]
+    histories: int = 1
+    events: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(r.violations) for r in self.results)
+
+    def render(self) -> str:
+        width = max(len(r.name) for r in self.results) + 2
+        lines = [
+            f"conformance over {self.histories} run(s), {self.events} events:",
+        ]
+        for r in self.results:
+            verdict = "PASS" if r.passed else f"FAIL ({len(r.violations)})"
+            lines.append(f"  {r.name:<{width}s} {verdict}")
+            for v in r.violations[:3]:
+                lines.append(f"      {v}")
+        return "\n".join(lines)
+
+
+def run_conformance(history: History, quiescent: bool = True) -> ConformanceReport:
+    """Evaluate every EVS specification group against one history."""
+    results: List[CheckResult] = []
+    for name, fn, takes_quiescent in evs_checker.CHECKS:
+        if takes_quiescent:
+            violations = fn(history, quiescent=quiescent)
+        else:
+            violations = fn(history)
+        results.append(CheckResult(name=name, violations=violations))
+    events = sum(len(history.events_of(p)) for p in history.processes)
+    return ConformanceReport(results=results, events=events)
+
+
+def pool_reports(reports: Sequence[ConformanceReport]) -> ConformanceReport:
+    """Merge per-run reports into one campaign verdict."""
+    if not reports:
+        raise ValueError("no reports to pool")
+    by_name: Dict[str, List[Violation]] = {}
+    for report in reports:
+        for r in report.results:
+            by_name.setdefault(r.name, []).extend(r.violations)
+    return ConformanceReport(
+        results=[CheckResult(name=n, violations=v) for n, v in by_name.items()],
+        histories=sum(r.histories for r in reports),
+        events=sum(r.events for r in reports),
+    )

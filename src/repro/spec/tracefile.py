@@ -1,0 +1,233 @@
+"""History (trace) serialization: save executions, re-check them offline.
+
+A recorded :class:`~repro.spec.history.History` is a complete record of
+the paper's four event types; serializing it makes conformance checking a
+pipeline stage - run a cluster anywhere (simulator, asyncio deployment),
+dump the trace, and evaluate the specifications later or elsewhere
+(``python -m repro check trace.json``).
+
+Format: one JSON document, versioned, with events in per-process order.
+Configurations are embedded once and referenced by their string ids.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.core.configuration import Configuration
+from repro.errors import ReproError
+from repro.spec.history import (
+    ConfChangeEvent,
+    DeliverEvent,
+    Event,
+    FailEvent,
+    History,
+    SendEvent,
+)
+from repro.types import (
+    ConfigurationId,
+    ConfigurationKind,
+    DeliveryRequirement,
+    MessageId,
+    RingId,
+)
+
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(ReproError):
+    """The trace file is malformed or from an unknown version."""
+
+
+# -- value codecs -------------------------------------------------------------
+
+
+def _ring_to_json(ring: RingId) -> List:
+    return [ring.seq, ring.rep]
+
+
+def _ring_from_json(data: List) -> RingId:
+    return RingId(seq=int(data[0]), rep=data[1])
+
+
+def _config_id_to_json(cid: ConfigurationId) -> Dict[str, Any]:
+    return {
+        "ring": _ring_to_json(cid.ring),
+        "kind": cid.kind.value,
+        "sub": list(cid.sub),
+    }
+
+
+def _config_id_from_json(data: Dict[str, Any]) -> ConfigurationId:
+    return ConfigurationId(
+        ring=_ring_from_json(data["ring"]),
+        kind=ConfigurationKind(data["kind"]),
+        sub=(int(data["sub"][0]), data["sub"][1]),
+    )
+
+
+def _config_to_json(config: Configuration) -> Dict[str, Any]:
+    return {
+        "id": _config_id_to_json(config.id),
+        "members": sorted(config.members),
+        "preceding_regular": (
+            _config_id_to_json(config.preceding_regular)
+            if config.preceding_regular is not None
+            else None
+        ),
+        "following_ring": (
+            _ring_to_json(config.following_ring)
+            if config.following_ring is not None
+            else None
+        ),
+    }
+
+
+def _config_from_json(data: Dict[str, Any]) -> Configuration:
+    return Configuration(
+        id=_config_id_from_json(data["id"]),
+        members=frozenset(data["members"]),
+        preceding_regular=(
+            _config_id_from_json(data["preceding_regular"])
+            if data["preceding_regular"] is not None
+            else None
+        ),
+        following_ring=(
+            _ring_from_json(data["following_ring"])
+            if data["following_ring"] is not None
+            else None
+        ),
+    )
+
+
+def _mid_to_json(mid: MessageId) -> List:
+    return [_ring_to_json(mid.ring), mid.seq]
+
+
+def _mid_from_json(data: List) -> MessageId:
+    return MessageId(ring=_ring_from_json(data[0]), seq=int(data[1]))
+
+
+# -- event codecs -------------------------------------------------------------
+
+
+def _event_to_json(event: Event, config_index: Dict[str, int], configs: List) -> Dict:
+    if isinstance(event, ConfChangeEvent):
+        key = str(event.config_id)
+        if key not in config_index:
+            config_index[key] = len(configs)
+            configs.append(_config_to_json(event.config))
+        return {"t": "conf", "c": config_index[key], "time": event.time}
+    if isinstance(event, SendEvent):
+        return {
+            "t": "send",
+            "m": _mid_to_json(event.message_id),
+            "c": _config_id_to_json(event.config_id),
+            "r": int(event.requirement),
+            "o": event.origin_seq,
+            "time": event.time,
+        }
+    if isinstance(event, DeliverEvent):
+        return {
+            "t": "deliver",
+            "m": _mid_to_json(event.message_id),
+            "c": _config_id_to_json(event.config_id),
+            "s": event.sender,
+            "r": int(event.requirement),
+            "o": event.origin_seq,
+            "time": event.time,
+        }
+    if isinstance(event, FailEvent):
+        return {
+            "t": "fail",
+            "c": _config_id_to_json(event.config_id),
+            "time": event.time,
+        }
+    raise TraceFormatError(f"unknown event type {type(event).__name__}")
+
+
+def _event_from_json(pid: str, data: Dict, configs: List) -> Event:
+    kind = data.get("t")
+    if kind == "conf":
+        return ConfChangeEvent(
+            pid=pid, config=_config_from_json(configs[data["c"]]), time=data["time"]
+        )
+    if kind == "send":
+        return SendEvent(
+            pid=pid,
+            message_id=_mid_from_json(data["m"]),
+            config_id=_config_id_from_json(data["c"]),
+            requirement=DeliveryRequirement(data["r"]),
+            origin_seq=int(data["o"]),
+            time=data["time"],
+        )
+    if kind == "deliver":
+        return DeliverEvent(
+            pid=pid,
+            message_id=_mid_from_json(data["m"]),
+            config_id=_config_id_from_json(data["c"]),
+            sender=data["s"],
+            requirement=DeliveryRequirement(data["r"]),
+            origin_seq=int(data["o"]),
+            time=data["time"],
+        )
+    if kind == "fail":
+        return FailEvent(
+            pid=pid, config_id=_config_id_from_json(data["c"]), time=data["time"]
+        )
+    raise TraceFormatError(f"unknown event tag {kind!r}")
+
+
+# -- public API --------------------------------------------------------------
+
+
+def dumps(history: History) -> str:
+    """Serialize a history to a JSON string."""
+    config_index: Dict[str, int] = {}
+    configs: List = []
+    processes = {
+        pid: [
+            _event_to_json(e, config_index, configs)
+            for e in history.events_of(pid)
+        ]
+        for pid in history.processes
+    }
+    return json.dumps(
+        {
+            "format": "repro-evs-trace",
+            "version": FORMAT_VERSION,
+            "configurations": configs,
+            "processes": processes,
+        },
+        separators=(",", ":"),
+    )
+
+
+def loads(text: str) -> History:
+    """Reconstruct a history from :func:`dumps` output."""
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise TraceFormatError(f"not valid JSON: {exc}") from exc
+    if data.get("format") != "repro-evs-trace":
+        raise TraceFormatError("not a repro-evs-trace file")
+    if data.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(f"unsupported trace version {data.get('version')}")
+    history = History()
+    configs = data["configurations"]
+    for pid, events in data["processes"].items():
+        history.per_process[pid] = [
+            _event_from_json(pid, e, configs) for e in events
+        ]
+    return history
+
+
+def save(history: History, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(history))
+
+
+def load(path: str) -> History:
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())

@@ -1,0 +1,211 @@
+"""Checker for Birman's virtual synchrony model (paper §4 / §5.1).
+
+Validates a filtered run (a :class:`~repro.vs.views.VsHistory`) against
+the completeness properties C1-C3 and the legality properties L1-L5,
+following §5.1's correspondence argument:
+
+* C1 (causal closure) is inherited from EVS Specs 1.3/1.4/2.2/5; here we
+  check its falsifiable residue: every delivery has a matching send by a
+  process that was unblocked at the time.
+* C2 (every send delivered) uses the *extend* mechanism: sends by
+  processes that stop are exempt, everything else must reach at least
+  one delivery on a quiescent run.
+* C3 (view-atomic delivery): every message delivered in view g^x is
+  delivered by every member of g^x, unless that member stops.
+* L1/L2 (a global time respecting causality, distinct per process) and
+  L5 (abcast deliveries simultaneous) are verified constructively like
+  the EVS ord function: collapse same-view and same-message events into
+  equivalence classes and require the quotient of the per-process orders
+  to be acyclic.
+* L3: view events with the same view id have identical membership.
+* L4: all deliveries of a message occur in the same view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.spec.evs_checker import Violation, _topological_order
+from repro.types import DeliveryRequirement, MessageId, ProcessId
+from repro.vs.views import VsDeliverEvent, VsHistory, VsViewEvent
+
+
+def check_c1_sends_exist(history: VsHistory) -> List[Violation]:
+    violations: List[Violation] = []
+    sends = history.sends()
+    for mid, delivers in history.deliveries().items():
+        for d in delivers:
+            if (d.sender, d.origin_seq) not in sends:
+                violations.append(
+                    Violation(
+                        "VS-C1",
+                        f"{d.pid} delivered {mid} from {d.sender} with no "
+                        "recorded cbcast/abcast",
+                    )
+                )
+                break
+    return violations
+
+
+def check_c2_sends_delivered(
+    history: VsHistory, quiescent: bool = True
+) -> List[Violation]:
+    if not quiescent:
+        return []
+    violations: List[Violation] = []
+    stopped = history.stopped()
+    delivered_keys: Set[Tuple[ProcessId, int]] = {
+        (d.sender, d.origin_seq)
+        for ds in history.deliveries().values()
+        for d in ds
+    }
+    for key, send in history.sends().items():
+        if key in delivered_keys:
+            continue
+        if send.pid in stopped:
+            continue  # the extend mechanism imputes these deliveries
+        violations.append(
+            Violation(
+                "VS-C2",
+                f"send {key} by {send.pid} was never delivered anywhere",
+            )
+        )
+    return violations
+
+
+def check_c3_view_atomicity(
+    history: VsHistory, quiescent: bool = True
+) -> List[Violation]:
+    if not quiescent:
+        return []
+    violations: List[Violation] = []
+    stopped = history.stopped()
+    views = history.views()
+    per_process: Dict[ProcessId, Set[MessageId]] = {
+        pid: {
+            e.message_id
+            for e in history.events_of(pid)
+            if isinstance(e, VsDeliverEvent)
+        }
+        for pid in history.processes
+    }
+    for mid, delivers in history.deliveries().items():
+        for view_id in {d.view_id for d in delivers}:
+            view_events = views.get(view_id)
+            if not view_events:
+                violations.append(
+                    Violation(
+                        "VS-C3",
+                        f"{mid} delivered in unknown view {view_id}",
+                    )
+                )
+                continue
+            members = view_events[0].view.members
+            for q in members:
+                if q in stopped:
+                    continue
+                if mid not in per_process.get(q, set()):
+                    violations.append(
+                        Violation(
+                            "VS-C3",
+                            f"{mid} delivered in {view_id} but member {q} "
+                            "never delivered it",
+                        )
+                    )
+    return violations
+
+
+def check_l3_view_membership(history: VsHistory) -> List[Violation]:
+    violations: List[Violation] = []
+    for view_id, events in history.views().items():
+        memberships = {e.view.members for e in events}
+        if len(memberships) > 1:
+            violations.append(
+                Violation(
+                    "VS-L3",
+                    f"view {view_id} installed with differing memberships "
+                    f"{sorted(memberships)}",
+                )
+            )
+        # A process must not install the same view twice.
+        seen: Set[ProcessId] = set()
+        for e in events:
+            if e.pid in seen:
+                violations.append(
+                    Violation(
+                        "VS-L3", f"{e.pid} installed view {view_id} twice"
+                    )
+                )
+            seen.add(e.pid)
+    return violations
+
+
+def check_l4_same_view_delivery(history: VsHistory) -> List[Violation]:
+    violations: List[Violation] = []
+    for mid, delivers in history.deliveries().items():
+        view_ids = {d.view_id for d in delivers}
+        if len(view_ids) > 1:
+            violations.append(
+                Violation(
+                    "VS-L4",
+                    f"{mid} delivered in {len(view_ids)} different views: "
+                    f"{sorted(str(v) for v in view_ids)}",
+                )
+            )
+    return violations
+
+
+def check_l125_logical_time(history: VsHistory) -> List[Violation]:
+    """L1 + L2 + L5: a global time function exists that respects local
+    order, keeps same-view installs and same-abcast deliveries
+    simultaneous, and separates distinct local events.
+
+    Constructive check: quotient the per-process event orders by the
+    equivalence classes {same view id} and {same message id for abcast
+    (AGREED and SAFE) deliveries}; acyclicity of the quotient graph is
+    exactly the existence of such a time function.  cbcast deliveries are
+    NOT collapsed (L5 constrains abcast only).
+    """
+
+    def node(pid: ProcessId, idx: int, e) -> Tuple:
+        if isinstance(e, VsViewEvent):
+            return ("view", e.view.id)
+        if isinstance(e, VsDeliverEvent) and e.requirement in (
+            DeliveryRequirement.AGREED,
+            DeliveryRequirement.SAFE,
+        ):
+            return ("msg", e.message_id)
+        return ("evt", pid, idx)
+
+    nodes: Set[Tuple] = set()
+    edges: Dict[Tuple, Set[Tuple]] = {}
+    for pid in history.processes:
+        prev: Optional[Tuple] = None
+        for i, e in enumerate(history.events_of(pid)):
+            n = node(pid, i, e)
+            nodes.add(n)
+            if prev is not None and prev != n:
+                edges.setdefault(prev, set()).add(n)
+            prev = n
+    _order, cycle = _topological_order(nodes, edges)
+    if cycle:
+        return [
+            Violation(
+                "VS-L1/L2/L5",
+                "no legal logical time exists: cycle through "
+                + " -> ".join(str(n) for n in cycle[:6]),
+            )
+        ]
+    return []
+
+
+def check_all_vs(history: VsHistory, quiescent: bool = True) -> List[Violation]:
+    """Run the full §4/§5.1 battery on a filtered run."""
+    violations: List[Violation] = []
+    violations.extend(check_c1_sends_exist(history))
+    violations.extend(check_c2_sends_delivered(history, quiescent))
+    violations.extend(check_c3_view_atomicity(history, quiescent))
+    violations.extend(check_l3_view_membership(history))
+    violations.extend(check_l4_same_view_delivery(history))
+    violations.extend(check_l125_logical_time(history))
+    return violations

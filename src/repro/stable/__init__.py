@@ -1,0 +1,5 @@
+"""Stable storage surviving process failure (the paper's failure model)."""
+
+from repro.stable.storage import FileStableStore, InMemoryStableStore, StableStore
+
+__all__ = ["FileStableStore", "InMemoryStableStore", "StableStore"]

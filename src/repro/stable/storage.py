@@ -1,0 +1,104 @@
+"""Stable storage surviving process failure.
+
+The defining extension of the paper's failure model over fail-stop is
+that "a process may fail and may subsequently recover after an arbitrary
+amount of time *with its stable storage intact*", keeping "the same
+identifier as before the failure".  Inconsistencies between what a failed
+process recorded on stable storage and what the survivors decided are
+exactly what extended virtual synchrony is designed to prevent.
+
+Two implementations are provided:
+
+* :class:`InMemoryStableStore` - a dict that the simulation harness keeps
+  alive across simulated crashes (the crash discards the process's
+  volatile state only);
+* :class:`FileStableStore` - JSON on disk with atomic replace, for the
+  asyncio deployment and the examples.
+
+The engine persists a small record (boot epoch, ring high-water mark,
+origin counter, delivered-message digest); applications may store their
+own state under the ``app`` namespace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.errors import StableStorageError
+
+
+class StableStore:
+    """Interface: a tiny key-value store with explicit synchronization."""
+
+    def load(self) -> Dict[str, Any]:
+        """Read the full persisted state (empty dict when fresh)."""
+        raise NotImplementedError
+
+    def save(self, state: Dict[str, Any]) -> None:
+        """Persist the full state atomically."""
+        raise NotImplementedError
+
+    # Convenience helpers shared by both implementations -------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.load().get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        state = self.load()
+        state[key] = value
+        self.save(state)
+
+    def update(self, **kwargs: Any) -> None:
+        state = self.load()
+        state.update(kwargs)
+        self.save(state)
+
+
+class InMemoryStableStore(StableStore):
+    """Stable storage modeled as memory owned by the harness, not the
+    process: a simulated crash wipes the process object but this store
+    persists and is handed back at recovery."""
+
+    def __init__(self) -> None:
+        self._state: Dict[str, Any] = {}
+        self.writes = 0
+
+    def load(self) -> Dict[str, Any]:
+        return dict(self._state)
+
+    def save(self, state: Dict[str, Any]) -> None:
+        self._state = dict(state)
+        self.writes += 1
+
+
+class FileStableStore(StableStore):
+    """JSON-file-backed stable storage with atomic replacement."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.writes = 0
+
+    def load(self) -> Dict[str, Any]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return {}
+        except (OSError, ValueError) as exc:
+            raise StableStorageError(f"cannot read {self.path}: {exc}") from exc
+
+    def save(self, state: Dict[str, Any]) -> None:
+        directory = os.path.dirname(self.path) or "."
+        try:
+            fd, tmp = tempfile.mkstemp(dir=directory, prefix=".stable-")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(state, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            raise StableStorageError(f"cannot write {self.path}: {exc}") from exc
+        self.writes += 1

@@ -1,0 +1,22 @@
+"""Totem-style single-ring ordering, membership and recovery substrate.
+
+Note: :class:`~repro.totem.controller.TotemController` (and its
+``ControllerState``) are intentionally not re-exported here - the
+controller depends on :mod:`repro.core.recovery`, which in turn uses the
+wire messages from this package, so importing it at package level would
+be circular.  Import it explicitly::
+
+    from repro.totem.controller import ControllerState, TotemController
+"""
+
+from repro.totem.membership import GatherState
+from repro.totem.recovery import RecoveryState
+from repro.totem.ring import RingState
+from repro.totem.timers import TotemConfig
+
+__all__ = [
+    "GatherState",
+    "RecoveryState",
+    "RingState",
+    "TotemConfig",
+]

@@ -1,0 +1,885 @@
+"""The per-process protocol state machine tying everything together.
+
+A :class:`TotemController` owns one process's protocol life:
+
+::
+
+            +--------------- token loss / foreign traffic / Join ---------+
+            v                                                             |
+    OPERATIONAL --(evidence)--> GATHER --(consensus)--> COMMIT --(commit  |
+        ^                        ^  ^                     |      token    |
+        |                        |  +---- timeout --------+      x2)      |
+        |                        +------- timeout ----------------+       |
+        +---- install (EVS Step 6) ---- RECOVERY <-----------------+------+
+
+* **OPERATIONAL** - a regular configuration is installed; the ring token
+  circulates; messages are ordered, acknowledged and delivered (EVS
+  algorithm Step 1).
+* **GATHER** - membership consensus via Join messages (the "low-level
+  membership algorithm" the paper assumes), entered on token loss,
+  foreign traffic, or another process's Join.
+* **COMMIT** - the commit token circulates twice around the proposed
+  ring, collecting then distributing every member's old-ring state (EVS
+  Step 3, "exchange information with each process").
+* **RECOVERY** - the rebroadcast exchange (EVS Steps 4-5) followed by
+  the atomic local delivery decision (Step 6, delegated to
+  :func:`repro.core.recovery.plan_step6` through the engine).
+
+The controller is sans-io: all effects go through the
+:class:`~repro.net.transport.Host`, all upward results through an
+:class:`EngineHooks` implementation (the EVS engine).  It can therefore
+run unmodified on the deterministic simulator or on asyncio UDP sockets.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Deque, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.core.recovery import RecoveryPlan, plan_step6
+from repro.errors import ProcessCrashedError
+from repro.net.transport import Host
+from repro.totem.membership import GatherState
+from repro.totem.messages import (
+    Beacon,
+    CommitToken,
+    JoinMessage,
+    MemberInfo,
+    RecoveryAck,
+    RecoveryRebroadcast,
+    RegularMessage,
+    Token,
+)
+from repro.totem.recovery import RecoveryState
+from repro.totem.ring import RingState
+from repro.totem.timers import TotemConfig
+from repro.types import DeliveryRequirement, ProcessId, RingId
+
+
+class ControllerState(enum.Enum):
+    OPERATIONAL = "operational"
+    GATHER = "gather"
+    COMMIT = "commit"
+    RECOVERY = "recovery"
+    CRASHED = "crashed"
+
+
+# Timer names ---------------------------------------------------------------
+T_TOKEN_LOSS = "token_loss"
+T_TOKEN_RETX = "token_retx"
+T_TOKEN_HOLD = "token_hold"
+T_JOIN = "join"
+T_CONSENSUS = "consensus"
+T_COMMIT = "commit"
+T_COMMIT_RETX = "commit_retx"
+T_RECOVERY_RETX = "recovery_retx"
+T_RECOVERY_TIMEOUT = "recovery_timeout"
+T_BEACON = "beacon"
+
+
+class EngineHooks:
+    """Upward interface implemented by the EVS engine.
+
+    The controller reports protocol outcomes; the engine turns them into
+    application-visible deliveries, configuration changes, history events
+    and stable-storage writes.
+    """
+
+    def on_message_sent(self, message: RegularMessage) -> None:
+        """An application submission was assigned its ordinal (this is the
+        EVS ``send`` event: the message now exists in configuration
+        ``message.ring``)."""
+
+    def on_operational_deliver(self, message: RegularMessage) -> None:
+        """A message became deliverable in the installed regular
+        configuration."""
+
+    def on_install(
+        self,
+        old_members: FrozenSet[ProcessId],
+        plan: RecoveryPlan,
+        new_ring: RingId,
+        new_members: FrozenSet[ProcessId],
+    ) -> None:
+        """Recovery finished: execute Steps 6.b-6.e (deliver the plan's
+        regular-configuration messages, the transitional configuration
+        change, the transitional deliveries, and the new regular
+        configuration change)."""
+
+    def on_state_change(self, state: ControllerState) -> None:
+        """Protocol-state transition (diagnostics only)."""
+
+
+@dataclass
+class ControllerStats:
+    """Counters exposed for tests, benchmarks and observability."""
+
+    tokens_handled: int = 0
+    tokens_forwarded: int = 0
+    token_retransmits: int = 0
+    messages_originated: int = 0
+    message_retransmits: int = 0
+    gathers_entered: int = 0
+    consensus_escalations: int = 0
+    commits_started: int = 0
+    recoveries_entered: int = 0
+    installs: int = 0
+    recovery_rebroadcasts: int = 0
+    messages_gc: int = 0
+
+
+@dataclass
+class _PendingSubmit:
+    requirement: DeliveryRequirement
+    payload: bytes
+    origin_seq: int
+
+
+class TotemController:
+    """One process's Totem/EVS protocol state machine (sans-io)."""
+
+    def __init__(
+        self,
+        host: Host,
+        engine: EngineHooks,
+        config: Optional[TotemConfig] = None,
+        boot_ring_seq: int = 0,
+    ) -> None:
+        self.host = host
+        self.engine = engine
+        self.config = config or TotemConfig()
+        self.config.validate()
+        self.me: ProcessId = host.pid
+        self.state = ControllerState.CRASHED
+        self.stats = ControllerStats()
+
+        # Installed regular configuration (as a ring).  Set at start().
+        self.ring: Optional[RingState] = None
+        #: Highest ring sequence number ever seen (drives new ring ids).
+        self.max_ring_seq_seen = boot_ring_seq
+
+        # Membership / recovery sub-state.
+        self.gather: Optional[GatherState] = None
+        self.recovery: Optional[RecoveryState] = None
+        self._commit_attempt: Optional[RingId] = None
+        self._last_commit_forwarded: Optional[Tuple[ProcessId, CommitToken]] = None
+        self._commit_retx_left = 0
+        self._commit_token_seqs: Dict[RingId, int] = {}
+
+        # Token plumbing.
+        self._last_forwarded_token: Optional[Tuple[ProcessId, Token]] = None
+        self._token_retx_left = 0
+        self._held_token: Optional[Token] = None
+
+        # Application submissions not yet assigned an ordinal (EVS Step 2
+        # buffering while not operational; ordinary queue otherwise).
+        self.pending_submits: Deque[_PendingSubmit] = deque()
+        self._origin_counter = 0
+
+        #: Obligation set (EVS Steps 1 and 5.c).
+        self.obligation: Set[ProcessId] = set()
+
+        # Early messages for rings proposed but not yet installed.
+        self._pending_new_ring: Dict[RingId, Dict[int, RegularMessage]] = {}
+
+    # ------------------------------------------------------------------ API
+
+    def start(self, boot_ring: RingId) -> None:
+        """Boot (or recover): install the singleton configuration and
+        start looking for peers.  The engine must already have delivered
+        the boot configuration change for ``boot_ring``."""
+        self.state = ControllerState.OPERATIONAL
+        self.ring = RingState(boot_ring, (self.me,), self.me)
+        self.max_ring_seq_seen = max(self.max_ring_seq_seen, boot_ring.seq)
+        self._enter_gather()
+
+    def submit(self, payload: bytes, requirement: DeliveryRequirement) -> int:
+        """Queue an application message; returns its origin sequence
+        number.  While not in a regular configuration the submission is
+        buffered (EVS Step 2) and is originated on the next installed
+        ring."""
+        if self.state is ControllerState.CRASHED:
+            raise ProcessCrashedError(f"{self.me} is crashed")
+        self._origin_counter += 1
+        self.pending_submits.append(
+            _PendingSubmit(requirement, payload, self._origin_counter)
+        )
+        # If we are sitting on an idle token, release it so it comes back
+        # around and picks the submission up.
+        if self._held_token is not None:
+            held, self._held_token = self._held_token, None
+            self.host.cancel_timer(T_TOKEN_HOLD)
+            self._forward_token(held)
+        return self._origin_counter
+
+    def set_origin_counter(self, value: int) -> None:
+        """Restore the submission counter after recovery so (sender,
+        origin_seq) keys never collide across incarnations."""
+        self._origin_counter = max(self._origin_counter, value)
+
+    @property
+    def origin_counter(self) -> int:
+        return self._origin_counter
+
+    def crash(self) -> None:
+        """Fail-stop: lose all volatile state and go silent."""
+        self.state = ControllerState.CRASHED
+        self.gather = None
+        self.recovery = None
+        self.ring = None
+        self._held_token = None
+        self._last_forwarded_token = None
+        self._last_commit_forwarded = None
+        self.pending_submits.clear()
+        self.obligation.clear()
+        self._pending_new_ring.clear()
+
+    # ----------------------------------------------------------- dispatch
+
+    def on_packet(self, src: ProcessId, packet: Any) -> None:
+        if self.state is ControllerState.CRASHED:
+            return
+        if isinstance(packet, RegularMessage):
+            self._on_regular(src, packet)
+        elif isinstance(packet, Token):
+            self._on_token(src, packet)
+        elif isinstance(packet, JoinMessage):
+            self._on_join(src, packet)
+        elif isinstance(packet, CommitToken):
+            self._on_commit_token(src, packet)
+        elif isinstance(packet, RecoveryRebroadcast):
+            self._on_recovery_rebroadcast(src, packet)
+        elif isinstance(packet, RecoveryAck):
+            self._on_recovery_ack(src, packet)
+        elif isinstance(packet, Beacon):
+            self._on_beacon(src, packet)
+
+    def on_timer(self, name: str) -> None:
+        if self.state is ControllerState.CRASHED:
+            return
+        if name == T_TOKEN_LOSS:
+            self._on_token_loss()
+        elif name == T_TOKEN_RETX:
+            self._on_token_retx()
+        elif name == T_TOKEN_HOLD:
+            self._on_token_hold()
+        elif name == T_JOIN:
+            self._on_join_timer()
+        elif name == T_CONSENSUS:
+            self._on_consensus_timer()
+        elif name == T_COMMIT:
+            self._on_commit_timeout()
+        elif name == T_COMMIT_RETX:
+            self._on_commit_retx()
+        elif name == T_RECOVERY_RETX:
+            self._on_recovery_retx()
+        elif name == T_RECOVERY_TIMEOUT:
+            self._on_recovery_timeout()
+        elif name == T_BEACON:
+            self._on_beacon_timer()
+
+    # ----------------------------------------------------- regular messages
+
+    def _on_regular(self, src: ProcessId, msg: RegularMessage) -> None:
+        self._note_ring_seq(msg.ring.seq)
+        ring = self.ring
+        assert ring is not None
+        if msg.ring == ring.ring:
+            # A message of our installed configuration.  Always store it
+            # (it may fill a recovery gap); deliver only when operational.
+            if ring.store(msg):
+                if msg.seq in self._recovery_needed():
+                    self._recovery_progress(msg.seq)
+                if self.state is ControllerState.OPERATIONAL:
+                    self._deliver_operational()
+            return
+        if self.recovery is not None and msg.ring == self.recovery.attempt:
+            # Early traffic on the configuration being installed (Step 2:
+            # "buffer any messages received for the proposed new
+            # configuration").
+            self._pending_new_ring.setdefault(msg.ring, {})[msg.seq] = msg
+            return
+        if src in ring.members and msg.ring.seq <= ring.ring.seq:
+            return  # stale retransmission from a past configuration
+        self._foreign_evidence(src)
+
+    def _recovery_needed(self) -> FrozenSet[int]:
+        return self.recovery.needed if self.recovery is not None else frozenset()
+
+    # ----------------------------------------------------------- the token
+
+    def _on_token(self, src: ProcessId, token: Token) -> None:
+        self._note_ring_seq(token.ring.seq)
+        ring = self.ring
+        assert ring is not None
+        if self.state is ControllerState.OPERATIONAL and token.ring == ring.ring:
+            self._handle_token(token)
+            return
+        if (
+            self.state is ControllerState.RECOVERY
+            and self.recovery is not None
+            and token.ring == self.recovery.attempt
+            and self.recovery.my_complete
+        ):
+            # The representative installed and launched the ring; that is
+            # proof every member acknowledged completion.  Install, then
+            # take our place on the ring.
+            self._install_from_recovery()
+            self._handle_token(token)
+            return
+        if (
+            self.state is ControllerState.OPERATIONAL
+            and token.ring != ring.ring
+            and src not in ring.members
+        ):
+            self._foreign_evidence(src)
+
+    def _handle_token(self, token: Token) -> None:
+        ring = self.ring
+        assert ring is not None and token.ring == ring.ring
+        if token.token_seq <= ring.last_token_seq:
+            return  # stale duplicate (retransmission already superseded)
+        ring.last_token_seq = token.token_seq
+        self.stats.tokens_handled += 1
+        self._held_token = None
+        self.host.cancel_timer(T_TOKEN_HOLD)
+        self.host.cancel_timer(T_TOKEN_RETX)
+        self._last_forwarded_token = None
+        self.host.set_timer(T_TOKEN_LOSS, self.config.token_loss_timeout)
+
+        worked = False
+
+        # 1. Serve retransmission requests we can satisfy.
+        rtr: Set[int] = set(token.rtr)
+        for seq in sorted(rtr):
+            held = ring.messages.get(seq)
+            if held is not None:
+                self.host.broadcast(replace(held, resend=True))
+                self.stats.message_retransmits += 1
+                rtr.discard(seq)
+                worked = True
+
+        # 2. Originate new messages within the flow-control allowance.
+        new_seq = token.seq
+        global_aru = min(token.aru.values()) if token.aru else 0
+        allowance = min(
+            self.config.max_messages_per_token,
+            self.config.window_size - (token.seq - global_aru),
+        )
+        while allowance > 0 and self.pending_submits:
+            sub = self.pending_submits.popleft()
+            new_seq += 1
+            message = RegularMessage(
+                sender=self.me,
+                ring=ring.ring,
+                seq=new_seq,
+                requirement=sub.requirement,
+                payload=sub.payload,
+                origin_seq=sub.origin_seq,
+            )
+            ring.store(message)
+            self.engine.on_message_sent(message)
+            self.host.broadcast(message)
+            self.stats.messages_originated += 1
+            allowance -= 1
+            worked = True
+        ring.note_high_seq(new_seq)
+
+        # 3. Request retransmission of our own gaps.
+        gaps = ring.gaps(new_seq)
+        rtr |= gaps
+
+        # 4. Update the acknowledgment vector with our aru.
+        vector = ring.update_ack_vector(token.aru)
+
+        # 5. Deliver everything the new knowledge unlocked.
+        self._deliver_operational()
+
+        # 6. Garbage-collect globally-received, locally-delivered messages.
+        self.stats.messages_gc += ring.garbage_collect(self.config.gc_slack)
+
+        next_token = Token(
+            ring=ring.ring,
+            token_seq=token.token_seq + 1,
+            seq=new_seq,
+            aru=vector,
+            rtr=tuple(sorted(rtr)),
+        )
+        idle = not worked and not rtr and vector == dict(token.aru)
+        if idle and self.config.token_idle_pace > 0:
+            # Token hold: pace an idle ring instead of spinning the token
+            # at network speed.
+            self._held_token = next_token
+            self.host.set_timer(T_TOKEN_HOLD, self.config.token_idle_pace)
+        else:
+            self._forward_token(next_token)
+
+    def _forward_token(self, token: Token) -> None:
+        ring = self.ring
+        assert ring is not None
+        members = ring.members
+        nxt = members[(members.index(self.me) + 1) % len(members)]
+        self.host.unicast(nxt, token)
+        self.stats.tokens_forwarded += 1
+        self._last_forwarded_token = (nxt, token)
+        self._token_retx_left = self.config.token_retransmit_count
+        self.host.set_timer(T_TOKEN_RETX, self.config.token_retransmit_interval)
+
+    def _on_token_retx(self) -> None:
+        if (
+            self.state is not ControllerState.OPERATIONAL
+            or self._last_forwarded_token is None
+            or self._token_retx_left <= 0
+        ):
+            return
+        nxt, token = self._last_forwarded_token
+        self.host.unicast(nxt, token)
+        self.stats.token_retransmits += 1
+        self._token_retx_left -= 1
+        if self._token_retx_left > 0:
+            self.host.set_timer(T_TOKEN_RETX, self.config.token_retransmit_interval)
+
+    def _on_token_hold(self) -> None:
+        if self.state is ControllerState.OPERATIONAL and self._held_token is not None:
+            held, self._held_token = self._held_token, None
+            self._forward_token(held)
+
+    def _on_token_loss(self) -> None:
+        if self.state is ControllerState.OPERATIONAL:
+            self._enter_gather()
+
+    def _deliver_operational(self) -> None:
+        ring = self.ring
+        assert ring is not None
+        for message in ring.collect_deliverable():
+            self.engine.on_operational_deliver(message)
+
+    # -------------------------------------------------------------- beacons
+
+    def _on_beacon_timer(self) -> None:
+        ring = self.ring
+        if (
+            self.state is ControllerState.OPERATIONAL
+            and ring is not None
+            and self.me == ring.ring.rep
+        ):
+            self.host.broadcast(
+                Beacon(
+                    sender=self.me,
+                    ring=ring.ring,
+                    members=frozenset(ring.members),
+                )
+            )
+            self.host.set_timer(T_BEACON, self.config.beacon_interval)
+
+    def _on_beacon(self, src: ProcessId, beacon: Beacon) -> None:
+        self._note_ring_seq(beacon.ring.seq)
+        ring = self.ring
+        assert ring is not None
+        if beacon.ring == ring.ring:
+            return  # our own representative
+        if beacon.sender in ring.members and beacon.ring.seq <= ring.ring.seq:
+            return  # stale beacon from a configuration we already left
+        if self.state is ControllerState.OPERATIONAL:
+            self._enter_gather(extra_candidates=tuple(beacon.members))
+        elif self.state is ControllerState.GATHER:
+            assert self.gather is not None
+            changed = False
+            for pid in beacon.members | {src}:
+                changed = self.gather.add_candidate(pid) or changed
+            if changed:
+                self._broadcast_join()
+                self._check_consensus()
+        # COMMIT/RECOVERY: finish installing first; the next beacon will
+        # trigger the merge.
+
+    # ------------------------------------------------------------ membership
+
+    def _foreign_evidence(self, pid: ProcessId) -> None:
+        """Traffic from outside the configuration: another component is
+        reachable, so start membership."""
+        if self.state is ControllerState.OPERATIONAL:
+            self._enter_gather(extra_candidates=(pid,))
+        elif self.state is ControllerState.GATHER:
+            assert self.gather is not None
+            if self.gather.add_candidate(pid):
+                self._broadcast_join()
+        # In COMMIT/RECOVERY, finish the installation first; the next
+        # round of foreign traffic will trigger the merge.
+
+    def _enter_gather(self, extra_candidates: Tuple[ProcessId, ...] = ()) -> None:
+        ring = self.ring
+        assert ring is not None
+        for timer in (
+            T_TOKEN_LOSS,
+            T_TOKEN_RETX,
+            T_TOKEN_HOLD,
+            T_COMMIT,
+            T_COMMIT_RETX,
+            T_RECOVERY_RETX,
+            T_RECOVERY_TIMEOUT,
+            T_BEACON,
+        ):
+            self.host.cancel_timer(timer)
+        self._held_token = None
+        self._last_forwarded_token = None
+        self._last_commit_forwarded = None
+        self.recovery = None
+        self._commit_attempt = None
+        self._pending_new_ring.clear()
+        self._commit_token_seqs = {
+            r: s for r, s in self._commit_token_seqs.items() if r.seq > ring.ring.seq
+        }
+        self.state = ControllerState.GATHER
+        self.stats.gathers_entered += 1
+        self.engine.on_state_change(self.state)
+        self.gather = GatherState(
+            me=self.me,
+            proc_set=set(ring.members) | set(extra_candidates),
+            max_ring_seq=self.max_ring_seq_seen,
+            started_at=self.host.now,
+        )
+        self._broadcast_join()
+        self.host.set_timer(T_JOIN, self.config.join_timeout)
+        self.host.set_timer(T_CONSENSUS, self.config.consensus_timeout)
+
+    def _broadcast_join(self) -> None:
+        assert self.gather is not None
+        self.host.broadcast(self.gather.my_join())
+
+    def _join_threshold(self) -> int:
+        """Joins carrying a ring_seq below this are stale echoes of an
+        already-decided membership round and must not restart membership
+        (the Totem staleness rule; without it, Join retransmissions from
+        the round that formed the current ring would tear it down
+        immediately)."""
+        assert self.ring is not None
+        threshold = self.ring.ring.seq
+        if self.recovery is not None:
+            threshold = max(threshold, self.recovery.attempt.seq)
+        elif self._commit_attempt is not None and self.state is ControllerState.COMMIT:
+            threshold = max(threshold, self._commit_attempt.seq)
+        return threshold
+
+    def _on_join(self, src: ProcessId, join: JoinMessage) -> None:
+        self._note_ring_seq(join.ring_seq)
+        assert self.ring is not None
+        if join.ring_seq < self._join_threshold():
+            # Stale round.  A stale join from outside the configuration is
+            # still evidence that a foreign component is reachable.
+            if join.sender not in self.ring.members:
+                self._foreign_evidence(join.sender)
+            return
+        if self.state in (
+            ControllerState.OPERATIONAL,
+            ControllerState.COMMIT,
+            ControllerState.RECOVERY,
+        ):
+            self._enter_gather()
+            # fall through so the join is absorbed below
+        if self.state is ControllerState.GATHER:
+            assert self.gather is not None
+            changed = self.gather.absorb(join)
+            if changed:
+                self._broadcast_join()
+                self.host.set_timer(T_CONSENSUS, self.config.consensus_timeout)
+            self._check_consensus()
+
+    def _on_join_timer(self) -> None:
+        if self.state is not ControllerState.GATHER:
+            return
+        self._broadcast_join()
+        self._check_consensus(allow_singleton=True)
+        self.host.set_timer(T_JOIN, self.config.join_timeout)
+
+    def _on_consensus_timer(self) -> None:
+        if self.state is not ControllerState.GATHER:
+            return
+        assert self.gather is not None
+        failed = self.gather.escalate()
+        if failed:
+            self.stats.consensus_escalations += 1
+        self._broadcast_join()
+        self._check_consensus(allow_singleton=True)
+        self.host.set_timer(T_CONSENSUS, self.config.consensus_timeout)
+
+    def _check_consensus(self, allow_singleton: bool = False) -> None:
+        assert self.gather is not None
+        gather = self.gather
+        if not gather.consensus_reached():
+            return
+        if gather.candidates == {self.me} and not allow_singleton:
+            # Don't race to a singleton configuration at boot: give peers
+            # one join interval to answer first.
+            if self.host.now - gather.started_at < self.config.join_timeout:
+                return
+        members = tuple(sorted(gather.candidates))
+        self.host.cancel_timer(T_JOIN)
+        self.host.cancel_timer(T_CONSENSUS)
+        self.state = ControllerState.COMMIT
+        self.stats.commits_started += 1
+        self.engine.on_state_change(self.state)
+        self.host.set_timer(T_COMMIT, self.config.consensus_timeout)
+        if gather.is_representative():
+            ring_seq = max(gather.new_ring_id_seq(), self.max_ring_seq_seen + 4)
+            attempt = RingId(seq=ring_seq, rep=self.me)
+            self._commit_attempt = attempt
+            token = CommitToken(
+                ring=attempt,
+                members=members,
+                rotation=0,
+                token_seq=0,
+                infos={self.me: self._my_member_info()},
+            )
+            self._forward_commit_token(token)
+        # Non-representatives wait for the commit token.
+
+    # ---------------------------------------------------------- commit token
+
+    def _my_member_info(self) -> MemberInfo:
+        ring = self.ring
+        assert ring is not None
+        return MemberInfo(
+            pid=self.me,
+            old_ring=ring.ring,
+            old_members=frozenset(ring.members),
+            my_aru=ring.my_aru,
+            high_seq=ring.high_seq,
+            held=ring.held_ranges(),
+            delivered_seq=ring.delivered_seq,
+            ack_vector=dict(ring.ack_vector),
+            obligation=frozenset(self.obligation),
+        )
+
+    def _on_commit_token(self, src: ProcessId, ct: CommitToken) -> None:
+        self._note_ring_seq(ct.ring.seq)
+        ring = self.ring
+        assert ring is not None
+        if self.me not in ct.members:
+            return
+        if ct.ring.seq <= ring.ring.seq:
+            return  # stale: we already installed this or a later ring
+        if self.recovery is not None and ct.ring == self.recovery.attempt:
+            return  # rotation echo; we are already recovering
+        last = self._commit_token_seqs.get(ct.ring, -1)
+        if ct.token_seq <= last:
+            return
+        self._commit_token_seqs[ct.ring] = ct.token_seq
+        if self.state not in (ControllerState.GATHER, ControllerState.COMMIT):
+            return
+        self.host.cancel_timer(T_JOIN)
+        self.host.cancel_timer(T_CONSENSUS)
+        if self.state is not ControllerState.COMMIT:
+            self.state = ControllerState.COMMIT
+            self.engine.on_state_change(self.state)
+        self._commit_attempt = ct.ring
+        self.host.set_timer(T_COMMIT, self.config.consensus_timeout)
+
+        if ct.rotation == 0:
+            if self.me == ct.ring.rep and all(m in ct.infos for m in ct.members):
+                # First rotation complete: distribute the table and start
+                # our own recovery.
+                second = replace(ct, rotation=1, token_seq=ct.token_seq + 1)
+                self._begin_recovery(second)
+                self._forward_commit_token(second)
+            else:
+                infos = dict(ct.infos)
+                infos[self.me] = self._my_member_info()
+                out = replace(ct, infos=infos, token_seq=ct.token_seq + 1)
+                self._forward_commit_token(out)
+        else:
+            out = replace(ct, token_seq=ct.token_seq + 1)
+            self._begin_recovery(ct)
+            self._forward_commit_token(out)
+
+    def _forward_commit_token(self, ct: CommitToken) -> None:
+        members = ct.members
+        nxt = members[(members.index(self.me) + 1) % len(members)]
+        self.host.unicast(nxt, ct)
+        self._last_commit_forwarded = (nxt, ct)
+        self._commit_retx_left = self.config.token_retransmit_count
+        self.host.set_timer(T_COMMIT_RETX, self.config.token_retransmit_interval)
+
+    def _on_commit_retx(self) -> None:
+        if (
+            self.state not in (ControllerState.COMMIT, ControllerState.RECOVERY)
+            or self._last_commit_forwarded is None
+            or self._commit_retx_left <= 0
+        ):
+            return
+        nxt, ct = self._last_commit_forwarded
+        self.host.unicast(nxt, ct)
+        self._commit_retx_left -= 1
+        if self._commit_retx_left > 0:
+            self.host.set_timer(T_COMMIT_RETX, self.config.token_retransmit_interval)
+
+    def _on_commit_timeout(self) -> None:
+        if self.state is ControllerState.COMMIT:
+            self._enter_gather()
+
+    # -------------------------------------------------------------- recovery
+
+    def _begin_recovery(self, ct: CommitToken) -> None:
+        ring = self.ring
+        assert ring is not None
+        self.host.cancel_timer(T_COMMIT)
+        self.state = ControllerState.RECOVERY
+        self.stats.recoveries_entered += 1
+        self.engine.on_state_change(self.state)
+
+        def held_locally(seq: int) -> bool:
+            return seq in ring.messages or seq <= ring.gc_floor
+
+        self.recovery = RecoveryState.build(
+            me=self.me,
+            attempt=ct.ring,
+            members=ct.members,
+            infos=ct.infos,
+            held_locally=held_locally,
+        )
+        self.host.set_timer(T_RECOVERY_TIMEOUT, self.config.recovery_timeout)
+        self.host.set_timer(T_RECOVERY_RETX, self.config.recovery_retransmit_interval)
+        self._rebroadcast_duties(initial=True)
+        self._maybe_complete_recovery()
+
+    def _rebroadcast_duties(self, initial: bool = False) -> None:
+        recovery = self.recovery
+        ring = self.ring
+        assert recovery is not None and ring is not None
+        duties = recovery.duties if initial else recovery.outstanding_duties()
+        for seq in sorted(duties):
+            message = ring.messages.get(seq)
+            if message is not None:
+                self.host.broadcast(
+                    RecoveryRebroadcast(
+                        sender=self.me, attempt=recovery.attempt, message=message
+                    )
+                )
+                self.stats.recovery_rebroadcasts += 1
+        self._broadcast_recovery_ack()
+
+    def _broadcast_recovery_ack(self) -> None:
+        recovery = self.recovery
+        assert recovery is not None
+        self.host.broadcast(recovery.my_ack())
+
+    def _on_recovery_rebroadcast(self, src: ProcessId, rb: RecoveryRebroadcast) -> None:
+        ring = self.ring
+        assert ring is not None
+        if rb.message.ring == ring.ring:
+            # Store old-ring messages regardless of state; availability is
+            # decided from the shared MemberInfo table, so extra copies
+            # are always safe and often save a later retransmission.
+            ring.store(rb.message)
+            if self.recovery is not None and rb.attempt == self.recovery.attempt:
+                self._recovery_progress(rb.message.seq)
+
+    def _recovery_progress(self, seq: int) -> None:
+        recovery = self.recovery
+        assert recovery is not None
+        if recovery.note_have(seq):
+            self._maybe_complete_recovery()
+
+    def _maybe_complete_recovery(self) -> None:
+        recovery = self.recovery
+        if recovery is None:
+            return
+        if not recovery.my_complete and recovery.is_locally_complete():
+            recovery.my_complete = True
+            recovery.complete_from.add(self.me)
+            # Step 5.c: we have acknowledged all rebroadcast messages, so
+            # other processes may now deliver safely relying on us; record
+            # the obligation.
+            self.obligation |= recovery.obligation_extension()
+            self._broadcast_recovery_ack()
+        if recovery.my_complete and recovery.all_complete():
+            self._install_from_recovery()
+
+    def _on_recovery_ack(self, src: ProcessId, ack: RecoveryAck) -> None:
+        recovery = self.recovery
+        if recovery is None or ack.attempt != recovery.attempt:
+            return
+        recovery.absorb_ack(ack)
+        if recovery.my_complete and recovery.all_complete():
+            self._install_from_recovery()
+
+    def _on_recovery_retx(self) -> None:
+        if self.state is not ControllerState.RECOVERY:
+            return
+        self._rebroadcast_duties()
+        self.host.set_timer(T_RECOVERY_RETX, self.config.recovery_retransmit_interval)
+
+    def _on_recovery_timeout(self) -> None:
+        if self.state is ControllerState.RECOVERY:
+            self._enter_gather()
+
+    def _install_from_recovery(self) -> None:
+        """EVS Step 6: the atomic local delivery decision and installation
+        of the new regular configuration."""
+        recovery = self.recovery
+        ring = self.ring
+        assert recovery is not None and ring is not None
+        info = recovery.infos[self.me]
+        plan = plan_step6(
+            old_ring=ring.ring,
+            old_members=frozenset(ring.members),
+            messages=ring.messages,
+            delivered_seq=ring.delivered_seq,
+            group=recovery.group,
+            infos=recovery.infos,
+            obligation=frozenset(self.obligation),
+            available=recovery.needed,
+        )
+        new_ring = recovery.attempt
+        new_members = frozenset(recovery.members)
+
+        # Hand the plan to the engine: it performs Steps 6.b-6.e
+        # (deliveries and the two configuration change messages).
+        self.engine.on_install(frozenset(ring.members), plan, new_ring, new_members)
+        self.stats.installs += 1
+
+        # Adopt the new regular configuration.
+        for timer in (T_RECOVERY_RETX, T_RECOVERY_TIMEOUT, T_COMMIT_RETX):
+            self.host.cancel_timer(timer)
+        self.recovery = None
+        self._commit_attempt = None
+        self._last_commit_forwarded = None
+        self._commit_token_seqs = {
+            r: s for r, s in self._commit_token_seqs.items() if r.seq > new_ring.seq
+        }
+        self.ring = RingState(new_ring, new_members, self.me)
+        self.max_ring_seq_seen = max(self.max_ring_seq_seen, new_ring.seq)
+        self.obligation.clear()  # Step 1: no obligations in a regular conf
+        self.state = ControllerState.OPERATIONAL
+        self.engine.on_state_change(self.state)
+        self.host.set_timer(T_TOKEN_LOSS, self.config.token_loss_timeout)
+        if self.me == new_ring.rep:
+            self.host.set_timer(T_BEACON, self.config.beacon_interval)
+
+        # Adopt any early-buffered traffic for the new ring.
+        early = self._pending_new_ring.pop(new_ring, {})
+        self._pending_new_ring.clear()
+        for message in sorted(early.values(), key=lambda m: m.seq):
+            self.ring.store(message)
+        self._deliver_operational()
+
+        if self.me == new_ring.rep:
+            initial = Token(
+                ring=new_ring,
+                token_seq=0,
+                seq=0,
+                aru={m: 0 for m in sorted(new_members)},
+            )
+            self._handle_token(initial)
+
+    # ---------------------------------------------------------------- misc
+
+    def _note_ring_seq(self, seq: int) -> None:
+        if seq > self.max_ring_seq_seen:
+            self.max_ring_seq_seen = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ring = self.ring.ring if self.ring else None
+        return f"TotemController({self.me}, {self.state.value}, ring={ring})"

@@ -1,0 +1,139 @@
+"""Gather-state membership consensus.
+
+The paper assumes a low-level membership algorithm that "ensures that all
+processes in a configuration agree on the membership of that
+configuration" and that terminates in bounded time because "if the next
+proposed regular configuration is not installed within a bounded time,
+then the membership of that configuration is reduced".
+
+This module implements the Totem-style realization: in *Gather* state a
+process repeatedly broadcasts a :class:`~repro.totem.messages.JoinMessage`
+carrying its current proposal ``(proc_set, fail_set)`` and folds in every
+Join it receives.  Consensus is reached when all candidate members
+(``proc_set - fail_set``) have broadcast identical proposals.  If
+consensus stalls past the escalation deadline, silent candidates are moved
+to the fail set - reducing the proposed membership, which is exactly the
+bounded-termination lever the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.totem.messages import JoinMessage
+from repro.types import ProcessId, representative
+
+
+@dataclass
+class GatherState:
+    """One round of membership consensus at a single process."""
+
+    me: ProcessId
+    proc_set: Set[ProcessId]
+    fail_set: Set[ProcessId] = field(default_factory=set)
+    #: Latest Join received from each process this round.
+    joins: Dict[ProcessId, JoinMessage] = field(default_factory=dict)
+    #: Highest ring sequence number seen anywhere (drives new ring ids).
+    max_ring_seq: int = 0
+    started_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.proc_set = set(self.proc_set)
+        self.proc_set.add(self.me)
+        self.fail_set = set(self.fail_set) - {self.me}
+
+    # -- proposal maintenance ---------------------------------------------
+
+    def my_join(self) -> JoinMessage:
+        """The Join message describing the current local proposal."""
+        return JoinMessage(
+            sender=self.me,
+            proc_set=frozenset(self.proc_set),
+            fail_set=frozenset(self.fail_set),
+            ring_seq=self.max_ring_seq,
+        )
+
+    def absorb(self, join: JoinMessage) -> bool:
+        """Fold a received Join into the proposal.
+
+        Returns True when the local proposal changed (caller should then
+        re-broadcast its own Join and re-check consensus).  A process
+        never accepts itself into the fail set: if others have given up on
+        us we simply form a separate (possibly singleton) configuration
+        and remerge later, as the paper's model permits.
+        """
+        self.joins[join.sender] = join
+        before = (frozenset(self.proc_set), frozenset(self.fail_set))
+        self.proc_set |= set(join.proc_set)
+        self.proc_set.add(join.sender)
+        self.fail_set |= set(join.fail_set) - {self.me}
+        if join.ring_seq > self.max_ring_seq:
+            self.max_ring_seq = join.ring_seq
+        return (frozenset(self.proc_set), frozenset(self.fail_set)) != before
+
+    def add_candidate(self, pid: ProcessId) -> bool:
+        """Add a process discovered through foreign traffic."""
+        if pid in self.proc_set:
+            return False
+        self.proc_set.add(pid)
+        return True
+
+    # -- consensus ------------------------------------------------------------
+
+    @property
+    def candidates(self) -> Set[ProcessId]:
+        """Proposed members of the next configuration."""
+        return self.proc_set - self.fail_set
+
+    def consensus_reached(self) -> bool:
+        """True when every candidate has broadcast a Join matching the
+        local proposal exactly (our own proposal counts for ourselves)."""
+        want_proc = frozenset(self.proc_set)
+        want_fail = frozenset(self.fail_set)
+        for pid in self.candidates:
+            if pid == self.me:
+                continue
+            join = self.joins.get(pid)
+            if join is None:
+                return False
+            if join.proc_set != want_proc or join.fail_set != want_fail:
+                return False
+        return True
+
+    def escalate(self) -> Set[ProcessId]:
+        """Consensus deadline passed: move silent candidates to the fail
+        set, reducing the proposed membership (bounded termination).
+
+        A candidate is *silent* if it has not sent any Join this round.
+        Returns the set of processes newly failed.
+        """
+        silent = {
+            pid
+            for pid in self.candidates
+            if pid != self.me and pid not in self.joins
+        }
+        if not silent:
+            # Everyone spoke but proposals still disagree (e.g. they have
+            # failed us).  Give up on the disagreeing processes too.
+            want = (frozenset(self.proc_set), frozenset(self.fail_set))
+            silent = {
+                pid
+                for pid in self.candidates
+                if pid != self.me
+                and (self.joins[pid].proc_set, self.joins[pid].fail_set) != want
+            }
+        self.fail_set |= silent
+        return silent
+
+    def representative(self) -> ProcessId:
+        return representative(self.candidates)
+
+    def is_representative(self) -> bool:
+        return self.me == self.representative()
+
+    def new_ring_id_seq(self, step: int = 4) -> int:
+        """Sequence number for the ring being formed: strictly greater
+        than every ring any candidate has seen (Totem uses increments of
+        four; any positive step works)."""
+        return self.max_ring_seq + step

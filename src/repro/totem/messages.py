@@ -1,0 +1,209 @@
+"""Wire messages of the Totem-style ring protocol and the EVS recovery.
+
+These are the only objects that ever cross the network.  All of them are
+frozen dataclasses registered with the codec; everything they carry is a
+value (ids, ints, tuples, frozensets, bytes) so an encoded/decoded copy is
+indistinguishable from the original.
+
+Message taxonomy (who sends what, in which protocol state):
+
+=====================  ==========================================================
+``RegularMessage``     Operational: an application message, totally ordered by
+                       ``(ring, seq)``; also used for retransmissions.
+``Token``              Operational: the circulating ring token carrying the
+                       global sequence number and the per-member ack vector.
+``JoinMessage``        Gather: membership proposal (proc set + fail set).
+``CommitToken``        Commit: circulates twice around the proposed new ring
+                       collecting then distributing each member's old-ring
+                       state (the "exchange information" of EVS Step 3).
+``RecoveryRebroadcast``Recovery: an old-ring message re-broadcast so every
+                       member of a transitional configuration holds it.
+``RecoveryAck``        Recovery: which old-ring seqs the sender now holds, and
+                       whether its exchange obligation is complete.
+=====================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.net.codec import register
+from repro.totem.ranges import Ranges
+from repro.types import DeliveryRequirement, ProcessId, RingId
+
+register(DeliveryRequirement)
+register(RingId)
+
+
+@register
+@dataclass(frozen=True)
+class RegularMessage:
+    """A totally ordered application message on a ring.
+
+    ``seq`` is the ordinal the paper's ordering substrate assigns: it
+    "imposes a total order on messages broadcast within a configuration".
+    ``origin_seq`` is the per-sender submission counter, which lets the
+    EVS layer express causality structurally (a sender's messages carry
+    increasing origin_seq) and lets tests correlate submissions with
+    deliveries.  ``resend`` marks retransmissions for the statistics.
+    """
+
+    sender: ProcessId
+    ring: RingId
+    seq: int
+    requirement: DeliveryRequirement
+    payload: bytes
+    origin_seq: int = 0
+    resend: bool = False
+
+
+@register
+@dataclass(frozen=True)
+class Token:
+    """The rotating ring token.
+
+    ``token_seq`` increases by one per hop so stale duplicates (from
+    retransmission) are recognized and dropped.  ``seq`` is the highest
+    message ordinal assigned on the ring.  ``aru`` maps every ring member
+    to its last reported all-received-up-to value: member ``q`` has
+    received every message with ordinal <= ``aru[q]``.  The minimum of the
+    vector is the ring-wide *safe* mark - precisely the "acknowledgments
+    ... from all of the other processes in the configuration" that safe
+    delivery requires.  (Real Totem compresses this vector into an
+    ``aru``/``aru_id`` pair plus a two-rotation rule; we ship the vector
+    explicitly, which has identical information content on a small ring -
+    see DESIGN.md.)  ``rtr`` lists ordinals whose retransmission has been
+    requested.
+    """
+
+    ring: RingId
+    token_seq: int
+    seq: int
+    aru: Dict[ProcessId, int]
+    rtr: Tuple[int, ...] = ()
+
+
+@register
+@dataclass(frozen=True)
+class Beacon:
+    """Presence announcement broadcast periodically by a ring's
+    representative while Operational.
+
+    On a real LAN, a detached or newly reachable component is discovered
+    by overhearing its multicast traffic; an idle ring whose token moves
+    by unicast would stay invisible.  The beacon reifies that "foreign
+    traffic" channel: a process that hears a beacon from a ring it does
+    not belong to starts the membership algorithm, which is how partitions
+    remerge (Transis and Totem behave equivalently through their multicast
+    traffic and periodic retransmissions).
+    """
+
+    sender: ProcessId
+    ring: RingId
+    members: frozenset
+
+
+@register
+@dataclass(frozen=True)
+class JoinMessage:
+    """Membership proposal broadcast in Gather state.
+
+    ``proc_set`` is the set of processes the sender currently believes
+    should form the next configuration; ``fail_set`` the processes it has
+    given up on.  Consensus is reached when every live member of
+    ``proc_set - fail_set`` has broadcast an identical (proc_set,
+    fail_set) pair.  ``ring_seq`` carries the highest ring sequence number
+    the sender has ever seen so the new ring id exceeds all predecessors.
+    """
+
+    sender: ProcessId
+    proc_set: frozenset
+    fail_set: frozenset
+    ring_seq: int
+
+
+@register
+@dataclass(frozen=True)
+class MemberInfo:
+    """One member's contribution to the commit-token exchange (EVS Step 3:
+    "each process supplies the identifier of its last regular
+    configuration, the identifier of the last safe message it delivered,
+    and its obligation set").
+
+    ``old_ring``     - the member's last installed regular configuration.
+    ``old_members``  - that configuration's membership (needed by members
+                       of other transitional groups to evaluate safety).
+    ``my_aru``       - contiguous received prefix on the old ring.
+    ``high_seq``     - highest ordinal the member has seen evidence of on
+                       the old ring (from messages or the token).
+    ``held``         - compressed ranges of old-ring ordinals the member
+                       still buffers and can rebroadcast.
+    ``delivered_seq``- ordinal of the last message delivered on the old
+                       ring (the "last safe message it delivered").
+    ``ack_vector``   - the member's latest knowledge of every old-ring
+                       member's aru (from the last token it handled);
+                       pooled across the transitional group this decides
+                       which messages were acknowledged by processes that
+                       are no longer reachable.
+    ``obligation``   - the member's obligation set (EVS Steps 1, 5.c).
+    """
+
+    pid: ProcessId
+    old_ring: RingId
+    old_members: frozenset
+    my_aru: int
+    high_seq: int
+    held: Ranges
+    delivered_seq: int
+    ack_vector: Dict[ProcessId, int]
+    obligation: frozenset
+
+
+@register
+@dataclass(frozen=True)
+class CommitToken:
+    """Commit token for a proposed new ring.
+
+    Circulates around ``members`` (sorted order) twice: rotation 0 fills
+    each member's :class:`MemberInfo` slot; rotation 1 distributes the
+    complete table, upon which each member shifts to Recovery.  The
+    representative (``ring.rep``) originates it and retransmits it if the
+    rotation stalls.
+    """
+
+    ring: RingId
+    members: Tuple[ProcessId, ...]
+    rotation: int
+    token_seq: int
+    infos: Dict[ProcessId, MemberInfo] = field(default_factory=dict)
+
+
+@register
+@dataclass(frozen=True)
+class RecoveryRebroadcast:
+    """An old-ring message rebroadcast during recovery (EVS Step 5.a)."""
+
+    sender: ProcessId
+    attempt: RingId
+    message: RegularMessage
+
+
+@register
+@dataclass(frozen=True)
+class RecoveryAck:
+    """Recovery progress report (EVS Steps 5.a-5.b).
+
+    ``have`` acknowledges, as compressed ranges, the old-ring ordinals the
+    sender holds out of its transitional group's needed set; ``complete``
+    asserts it holds them all.  ``installed`` additionally asserts the
+    sender has finished Step 6 and installed the new regular
+    configuration (used by the representative's first-token hand-off).
+    """
+
+    sender: ProcessId
+    attempt: RingId
+    old_ring: RingId
+    have: Ranges
+    complete: bool
+    installed: bool = False

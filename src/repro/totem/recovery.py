@@ -1,0 +1,167 @@
+"""Recovery-exchange bookkeeping (EVS algorithm Steps 3-5).
+
+After the commit token has distributed every member's
+:class:`~repro.totem.messages.MemberInfo`, each process enters Recovery
+and runs the message exchange of the paper's Steps 4-5:
+
+4.a  determine the members of the proposed *transitional configuration* -
+     the members of the new regular configuration whose previous regular
+     configuration is the same as ours (here: same old ring id);
+4.b  determine the messages to rebroadcast - old-ring messages held by
+     some member of the group but missing at another;
+5.a  rebroadcast and acknowledge them;
+5.b  continue until all group members acknowledge having everything;
+5.c  upon acknowledging having received all rebroadcast messages, fold
+     the group and its members' obligation sets into our obligation set.
+
+:class:`RecoveryState` tracks the needed set, who holds what, and the
+completion acknowledgments from *every* member of the proposed new
+configuration (members of other transitional groups run their own
+exchanges concurrently; installation is gated on everyone finishing).
+
+Determinism note: the *needed* set is computed from the held ranges in
+the shared MemberInfo table, never from the local message store.  A
+message that straggled in after the commit token was filled is therefore
+treated as unavailable by every group member alike, which is what makes
+the Step-6 delivery decision identical across the group (Specification 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Set, Tuple
+
+from repro.totem import ranges
+from repro.totem.messages import MemberInfo, RecoveryAck
+from repro.types import ProcessId, RingId
+
+
+@dataclass
+class RecoveryState:
+    """Per-attempt recovery-exchange state at a single process."""
+
+    me: ProcessId
+    attempt: RingId
+    members: Tuple[ProcessId, ...]
+    infos: Dict[ProcessId, MemberInfo]
+    old_ring: RingId
+    #: Members of our proposed transitional configuration (Step 4.a).
+    group: Tuple[ProcessId, ...] = ()
+    #: Old-ring ordinals the group must collectively hold (union of held).
+    needed: FrozenSet[int] = frozenset()
+    #: Ordinals we currently hold out of ``needed``.
+    have: Set[int] = field(default_factory=set)
+    #: Ordinals we are responsible for rebroadcasting (Step 4.b): we are
+    #: the lowest-id initial holder and some group member lacked them.
+    duties: FrozenSet[int] = frozenset()
+    #: Latest known holdings of each group member (from RecoveryAcks).
+    group_have: Dict[ProcessId, Set[int]] = field(default_factory=dict)
+    #: Members of the whole new configuration that have declared their
+    #: exchange complete.
+    complete_from: Set[ProcessId] = field(default_factory=set)
+    my_complete: bool = False
+
+    @classmethod
+    def build(
+        cls,
+        me: ProcessId,
+        attempt: RingId,
+        members: Tuple[ProcessId, ...],
+        infos: Mapping[ProcessId, MemberInfo],
+        held_locally,
+    ) -> "RecoveryState":
+        """Derive the exchange plan from the shared MemberInfo table.
+
+        ``held_locally`` is a callable ``seq -> bool`` answering whether
+        this process can actually serve a rebroadcast of ``seq`` (its
+        message store, which may exceed its static held ranges).
+        """
+        my_old = infos[me].old_ring
+        group = tuple(
+            sorted(p for p in members if infos[p].old_ring == my_old)
+        )
+        held_sets: Dict[ProcessId, Set[int]] = {
+            p: ranges.expand(infos[p].held) for p in group
+        }
+        needed: Set[int] = set()
+        for s in held_sets.values():
+            needed |= s
+        common: Set[int] = set(needed)
+        for s in held_sets.values():
+            common &= s
+        missing_somewhere = needed - common
+        duties = frozenset(
+            seq
+            for seq in missing_somewhere
+            if min(p for p in group if seq in held_sets[p]) == me
+            and held_locally(seq)
+        )
+        state = cls(
+            me=me,
+            attempt=attempt,
+            members=tuple(members),
+            infos=dict(infos),
+            old_ring=my_old,
+            group=group,
+            needed=frozenset(needed),
+            duties=duties,
+            group_have={p: set(held_sets[p]) for p in group},
+        )
+        state.have = {seq for seq in needed if held_locally(seq)}
+        return state
+
+    # -- progress ---------------------------------------------------------
+
+    def note_have(self, seq: int) -> bool:
+        """Record local receipt of an old-ring rebroadcast."""
+        if seq in self.needed and seq not in self.have:
+            self.have.add(seq)
+            return True
+        return False
+
+    def is_locally_complete(self) -> bool:
+        return self.needed <= self.have
+
+    def my_ack(self, installed: bool = False) -> RecoveryAck:
+        return RecoveryAck(
+            sender=self.me,
+            attempt=self.attempt,
+            old_ring=self.old_ring,
+            have=ranges.compress(self.have),
+            complete=self.is_locally_complete(),
+            installed=installed,
+        )
+
+    def absorb_ack(self, ack: RecoveryAck) -> None:
+        """Record a peer's progress report."""
+        if ack.attempt != self.attempt:
+            return
+        if ack.complete:
+            self.complete_from.add(ack.sender)
+        if ack.old_ring == self.old_ring and ack.sender in self.group_have:
+            self.group_have[ack.sender] |= ranges.expand(ack.have)
+
+    def all_complete(self) -> bool:
+        """Everyone in the proposed new configuration finished (Step 5.b,
+        generalized to all merging groups)."""
+        return self.my_complete and set(self.members) <= (
+            self.complete_from | {self.me}
+        )
+
+    def outstanding_duties(self) -> Set[int]:
+        """Duties some group member still appears to lack (retransmitted
+        on the recovery pacing timer until their acks cover them)."""
+        out: Set[int] = set()
+        for seq in self.duties:
+            for p in self.group:
+                if p != self.me and seq not in self.group_have[p]:
+                    out.add(seq)
+                    break
+        return out
+
+    def obligation_extension(self) -> FrozenSet[ProcessId]:
+        """Step 5.c: the group plus every group member's obligation set."""
+        extension: Set[ProcessId] = set(self.group)
+        for p in self.group:
+            extension |= set(self.infos[p].obligation)
+        return frozenset(extension)

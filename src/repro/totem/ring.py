@@ -1,0 +1,169 @@
+"""Per-ring operational state: message store, ordering, and ack tracking.
+
+One :class:`RingState` instance tracks everything a process knows about a
+single ring (one regular configuration): which totally ordered messages it
+has received, its contiguous all-received-up-to prefix (``my_aru``), the
+last acknowledgment vector observed on the token, and the delivery
+frontier.  It is a passive container with pure update methods; the
+controller decides *when* to call them.
+
+Delivery semantics implemented here (Section 2's three services):
+
+* causal and agreed messages are deliverable as soon as every message
+  preceding them in the total order has been delivered (total order
+  subsumes causal order, which the paper notes by listing the services as
+  increasing levels);
+* a safe message is deliverable only once every ring member's
+  acknowledged aru has reached its ordinal, i.e. ``seq <= safe_seq`` where
+  ``safe_seq = min(ack_vector.values())`` - "an acknowledgment indicates
+  that a process has received and will deliver the message unless it
+  fails";
+* an undeliverable safe message blocks all later messages (delivery is
+  strictly in ordinal order within a configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.totem import ranges
+from repro.totem.messages import RegularMessage
+from repro.types import DeliveryRequirement, ProcessId, RingId
+
+
+class RingState:
+    """Mutable per-ring protocol state for one process."""
+
+    def __init__(self, ring: RingId, members: Iterable[ProcessId], me: ProcessId) -> None:
+        self.ring = ring
+        self.members: Tuple[ProcessId, ...] = tuple(sorted(set(members)))
+        if me not in self.members:
+            raise ValueError(f"{me} not a member of {ring}")
+        self.me = me
+        #: Received messages of this ring, keyed by ordinal.
+        self.messages: Dict[int, RegularMessage] = {}
+        #: Contiguous received prefix: every ordinal <= my_aru is held (or
+        #: was held before garbage collection).
+        self.my_aru: int = 0
+        #: Highest ordinal this process has seen evidence of (message or
+        #: token).
+        self.high_seq: int = 0
+        #: Ordinal of the last message delivered to the application.
+        self.delivered_seq: int = 0
+        #: Latest acknowledgment vector observed on the token.
+        self.ack_vector: Dict[ProcessId, int] = {m: 0 for m in self.members}
+        #: Highest token_seq handled (stale-token filter).
+        self.last_token_seq: int = -1
+        #: Ordinals garbage-collected below; retained for held-range math.
+        self.gc_floor: int = 0
+
+    # -- receive side -----------------------------------------------------
+
+    def store(self, message: RegularMessage) -> bool:
+        """Record a received message of this ring.
+
+        Returns True when the message is new.  Updates ``my_aru`` and
+        ``high_seq``.
+        """
+        if message.ring != self.ring:
+            raise ValueError(f"message for {message.ring} stored into {self.ring}")
+        if message.seq <= self.gc_floor or message.seq in self.messages:
+            return False
+        self.messages[message.seq] = message
+        if message.seq > self.high_seq:
+            self.high_seq = message.seq
+        while (self.my_aru + 1) in self.messages:
+            self.my_aru += 1
+        return True
+
+    def note_high_seq(self, seq: int) -> None:
+        """Record token evidence that ordinals up to ``seq`` exist."""
+        if seq > self.high_seq:
+            self.high_seq = seq
+
+    def gaps(self, upto: Optional[int] = None) -> Set[int]:
+        """Ordinals missing from the store in ``(my_aru, upto]``."""
+        limit = self.high_seq if upto is None else upto
+        return {
+            s
+            for s in range(self.my_aru + 1, limit + 1)
+            if s not in self.messages
+        }
+
+    def held_ranges(self) -> ranges.Ranges:
+        """Compressed ranges of ordinals currently (or formerly, before
+        GC, in the contiguous prefix) available at this process.
+
+        Garbage-collected ordinals are reported as held because GC is only
+        permitted once the ordinal is globally received *and* locally
+        delivered; recovery never needs to rebroadcast or redeliver them.
+        """
+        live = ranges.compress(self.messages.keys())
+        if self.gc_floor > 0:
+            live = ranges.union(((1, self.gc_floor),), live)
+        return live
+
+    # -- acknowledgment bookkeeping -----------------------------------------
+
+    def update_ack_vector(self, token_aru: Dict[ProcessId, int]) -> Dict[ProcessId, int]:
+        """Fold the token's ack vector into local knowledge and report our
+        own aru.  Returns the updated vector to place on the token.
+
+        Knowledge is monotone: a token that lost a race with a newer one
+        can only be ignored (the controller filters by token_seq), so the
+        per-member maxima are taken defensively.
+        """
+        merged = dict(self.ack_vector)
+        for pid, aru in token_aru.items():
+            if pid in merged and aru > merged[pid]:
+                merged[pid] = aru
+        merged[self.me] = self.my_aru
+        self.ack_vector = merged
+        return dict(merged)
+
+    @property
+    def safe_seq(self) -> int:
+        """Highest ordinal acknowledged by every ring member."""
+        return min(self.ack_vector.values())
+
+    # -- delivery -----------------------------------------------------------
+
+    def collect_deliverable(self) -> List[RegularMessage]:
+        """Advance the delivery frontier and return messages now
+        deliverable in order (the operational-state part of EVS Step 1)."""
+        out: List[RegularMessage] = []
+        while True:
+            nxt = self.delivered_seq + 1
+            message = self.messages.get(nxt)
+            if message is None:
+                break
+            if (
+                message.requirement == DeliveryRequirement.SAFE
+                and nxt > self.safe_seq
+            ):
+                break
+            out.append(message)
+            self.delivered_seq = nxt
+        return out
+
+    # -- garbage collection ----------------------------------------------------
+
+    def garbage_collect(self, slack: int) -> int:
+        """Drop messages that are globally received and locally delivered,
+        keeping ``slack`` recent ones for retransmission races.  Returns
+        the number of messages dropped."""
+        limit = min(self.safe_seq, self.delivered_seq) - slack
+        dropped = 0
+        while self.gc_floor < limit:
+            seq = self.gc_floor + 1
+            if self.messages.pop(seq, None) is not None:
+                dropped += 1
+            self.gc_floor = seq
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RingState({self.ring}, me={self.me}, aru={self.my_aru}, "
+            f"high={self.high_seq}, delivered={self.delivered_seq}, "
+            f"safe={self.safe_seq})"
+        )

@@ -1,0 +1,133 @@
+"""Protocol timing and sizing parameters.
+
+All Totem/EVS timeouts live in one frozen dataclass so a whole cluster can
+be instantiated with consistent timing, and so benchmarks can sweep them.
+Defaults are tuned for the simulated network's default latency of 1-3 ms;
+the asyncio transport uses the same defaults successfully on loopback.
+
+The constraint structure mirrors the Totem single-ring protocol:
+
+* ``token_retransmit_interval * token_retransmit_count`` must be smaller
+  than ``token_loss_timeout`` so a token dropped once is retransmitted
+  well before the ring declares it lost;
+* ``join_timeout`` paces re-broadcast of Join messages while membership
+  consensus is forming;
+* ``consensus_timeout`` bounds how long a process argues about membership
+  before escalating: members that never answered are moved to the fail
+  set and consensus restarts on the smaller set, which gives the bounded
+  termination property Section 3 requires of the membership layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TotemConfig:
+    """Timing and window parameters for one process's protocol stack."""
+
+    #: Declare token lost (and shift to Gather) after this long without a
+    #: token in Operational state.
+    token_loss_timeout: float = 0.100
+    #: Retransmit the last token we forwarded if we have seen no newer one.
+    token_retransmit_interval: float = 0.020
+    #: How many times to retransmit a forwarded token before giving up and
+    #: letting the token-loss timeout handle it.
+    token_retransmit_count: int = 3
+    #: Pace of Join re-broadcasts in Gather state.
+    join_timeout: float = 0.030
+    #: Escalation deadline: members that have not sent a matching Join
+    #: within this time are added to the fail set.
+    consensus_timeout: float = 0.250
+    #: Pace of rebroadcast/ack retransmission during recovery.
+    recovery_retransmit_interval: float = 0.030
+    #: Recovery must finish within this bound or membership restarts.
+    recovery_timeout: float = 0.600
+    #: Maximum new messages a process may originate per token visit.
+    max_messages_per_token: int = 10
+    #: Maximum gap between the newest assigned seq and the global
+    #: all-received-up-to mark; throttles fast senders so slow receivers
+    #: are not buried (a fixed-window simplification of Totem's dynamic
+    #: flow control).
+    window_size: int = 256
+    #: Retain delivered messages this far below the global-safe mark, to
+    #: serve retransmissions that race with garbage collection.
+    gc_slack: int = 64
+    #: Period of the representative's presence beacon, which lets
+    #: partitioned components discover each other and remerge.  Must be
+    #: comfortably above token_loss_timeout so a freshly formed ring
+    #: beacons only once stable.
+    beacon_interval: float = 0.080
+    #: Token hold: when a token rotation did no work (no new messages, no
+    #: retransmissions, no acknowledgment movement) the holder paces the
+    #: ring by sitting on the token briefly instead of spinning it at
+    #: network speed.  Set to 0 to disable.  Must stay well below
+    #: ``token_loss_timeout`` times the ring size.
+    token_idle_pace: float = 0.004
+
+    @classmethod
+    def lan(cls) -> "TotemConfig":
+        """The default profile: millisecond-latency LAN / simulator."""
+        return cls()
+
+    @classmethod
+    def fast_failover(cls) -> "TotemConfig":
+        """Aggressive timers for latency-critical groups: detects
+        failures ~4x faster at the cost of more protocol traffic and a
+        higher false-suspicion risk on jittery links."""
+        return cls(
+            token_loss_timeout=0.030,
+            token_retransmit_interval=0.006,
+            token_retransmit_count=3,
+            join_timeout=0.010,
+            consensus_timeout=0.070,
+            recovery_retransmit_interval=0.010,
+            recovery_timeout=0.200,
+            beacon_interval=0.030,
+            token_idle_pace=0.002,
+        )
+
+    @classmethod
+    def wan(cls) -> "TotemConfig":
+        """Relaxed timers for high-latency links (tens of ms): slower
+        failure detection, far fewer spurious reconfigurations."""
+        return cls(
+            token_loss_timeout=1.0,
+            token_retransmit_interval=0.150,
+            token_retransmit_count=4,
+            join_timeout=0.250,
+            consensus_timeout=2.0,
+            recovery_retransmit_interval=0.250,
+            recovery_timeout=5.0,
+            beacon_interval=0.750,
+            token_idle_pace=0.040,
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for internally inconsistent settings."""
+        if self.token_retransmit_interval * self.token_retransmit_count >= (
+            self.token_loss_timeout
+        ):
+            raise ValueError(
+                "token retransmissions must complete before token_loss_timeout"
+            )
+        if self.join_timeout >= self.consensus_timeout:
+            raise ValueError("join_timeout must be below consensus_timeout")
+        if self.token_idle_pace < 0:
+            raise ValueError("token_idle_pace must be >= 0")
+        if self.token_idle_pace >= self.token_loss_timeout / 4:
+            raise ValueError("token_idle_pace must be well below token_loss_timeout")
+        if self.max_messages_per_token < 1:
+            raise ValueError("max_messages_per_token must be >= 1")
+        if self.window_size < self.max_messages_per_token:
+            raise ValueError("window_size must cover at least one token burst")
+        if min(
+            self.token_loss_timeout,
+            self.token_retransmit_interval,
+            self.join_timeout,
+            self.consensus_timeout,
+            self.recovery_retransmit_interval,
+            self.recovery_timeout,
+        ) <= 0:
+            raise ValueError("all timeouts must be positive")

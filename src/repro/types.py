@@ -1,0 +1,148 @@
+"""Core identifier and enumeration types shared by every layer.
+
+The paper's model (Section 2) is built from a small vocabulary: processes
+with unique identifiers, *configurations* (a membership set plus a unique
+identifier), messages with per-configuration ordinals, and three delivery
+requirements (causal, agreed, safe).  This module defines those vocabulary
+types once so that the network, Totem, EVS, and checker layers all speak
+the same language.
+
+Identifiers are deliberately plain, hashable, frozen values: they travel
+inside wire messages, act as dict keys in the checkers, and must compare
+deterministically so simulated runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: A process identifier.  The paper assumes "each of the processes in the
+#: system has a unique identifier" and that a recovered process "has the
+#: same identifier as before the failure".  Plain strings keep traces
+#: readable ("p", "q", "r" as in Figure 6).
+ProcessId = str
+
+
+class ConfigurationKind(enum.Enum):
+    """The two configuration types of extended virtual synchrony.
+
+    A *regular* configuration is one in which new messages are broadcast
+    and delivered.  A *transitional* configuration broadcasts no new
+    messages but delivers the remaining messages of the prior regular
+    configuration (Section 2).
+    """
+
+    REGULAR = "regular"
+    TRANSITIONAL = "transitional"
+
+
+@dataclass(frozen=True, order=True)
+class RingId:
+    """Identifier of a Totem ring, which doubles as the identifier of the
+    regular configuration installed on that ring.
+
+    ``seq`` increases across successive rings (each new ring takes a value
+    strictly greater than every ring sequence number known to any member),
+    and ``rep`` is the ring representative (the smallest member identifier)
+    which disambiguates rings formed concurrently in disjoint components.
+    """
+
+    seq: int
+    rep: ProcessId
+
+    def __str__(self) -> str:
+        return f"ring({self.seq},{self.rep})"
+
+
+@dataclass(frozen=True, order=True)
+class ConfigurationId:
+    """Unique identifier of a regular or transitional configuration.
+
+    Regular configurations reuse their ring identifier.  A transitional
+    configuration is identified by the ring it leads to (``ring``) plus
+    the ring it came from, encoded in ``sub`` as the old ring's sequence
+    number paired with the smallest old-ring member present, so that the
+    several transitional configurations preceding one regular
+    configuration (one per merging component) receive distinct
+    identifiers.
+    """
+
+    ring: RingId
+    kind: ConfigurationKind
+    sub: Tuple[int, ProcessId] = field(default=(0, ""))
+
+    @classmethod
+    def regular(cls, ring: RingId) -> "ConfigurationId":
+        return cls(ring=ring, kind=ConfigurationKind.REGULAR)
+
+    @classmethod
+    def transitional(
+        cls, new_ring: RingId, old_ring: RingId, min_member: ProcessId
+    ) -> "ConfigurationId":
+        return cls(
+            ring=new_ring,
+            kind=ConfigurationKind.TRANSITIONAL,
+            sub=(old_ring.seq, min_member),
+        )
+
+    @property
+    def is_regular(self) -> bool:
+        return self.kind is ConfigurationKind.REGULAR
+
+    @property
+    def is_transitional(self) -> bool:
+        return self.kind is ConfigurationKind.TRANSITIONAL
+
+    def __str__(self) -> str:
+        if self.is_regular:
+            return f"conf[R {self.ring.seq},{self.ring.rep}]"
+        return f"conf[T {self.ring.seq},{self.ring.rep}|{self.sub[0]},{self.sub[1]}]"
+
+
+@dataclass(frozen=True, order=True)
+class MessageId:
+    """Globally unique message identifier.
+
+    A message is identified by the ring (regular configuration) in which
+    it was originated plus its ordinal ``seq`` within that ring's total
+    order.  Specification 1.4 requires that no two processes send the same
+    message and that a message is sent in exactly one configuration; tying
+    the identifier to ``(ring, seq)`` makes those properties structural.
+    """
+
+    ring: RingId
+    seq: int
+
+    def __str__(self) -> str:
+        return f"m({self.ring.seq},{self.ring.rep},#{self.seq})"
+
+
+class DeliveryRequirement(enum.IntEnum):
+    """Requested delivery service for a message (Section 2).
+
+    * ``CAUSAL``  - delivery respecting the causal partial order within a
+      single configuration (cbcast in Isis).
+    * ``AGREED``  - total order within each component; deliverable as soon
+      as all predecessors in the total order have been delivered (abcast).
+    * ``SAFE``    - additionally requires that every other process in the
+      component has received (acknowledged) the message before any
+      process delivers it (all-stable abcast).
+
+    Ordering of the enum values reflects the paper's "increasing levels of
+    service" remark at the end of Section 2.1.
+    """
+
+    CAUSAL = 1
+    AGREED = 2
+    SAFE = 3
+
+
+def representative(members) -> ProcessId:
+    """The ring representative: the smallest process identifier.
+
+    Used by the membership algorithm to decide who originates the commit
+    token, and by transitional-configuration identifiers.
+    """
+    return min(members)

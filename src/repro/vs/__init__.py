@@ -1,0 +1,27 @@
+"""Virtual synchrony on top of EVS: the Section 5 filter and primary
+component strategies."""
+
+from repro.vs.filter import VirtualSynchronyFilter, VsListener
+from repro.vs.primary import (
+    DynamicLinearVotingStrategy,
+    MajorityStrategy,
+    PrimaryComponentTracker,
+    PrimaryStrategy,
+    WeightedMajorityStrategy,
+)
+from repro.vs.process import VsProcess
+from repro.vs.views import View, ViewId, VsHistory
+
+__all__ = [
+    "DynamicLinearVotingStrategy",
+    "MajorityStrategy",
+    "PrimaryComponentTracker",
+    "PrimaryStrategy",
+    "View",
+    "ViewId",
+    "VirtualSynchronyFilter",
+    "VsHistory",
+    "VsListener",
+    "VsProcess",
+    "WeightedMajorityStrategy",
+]

@@ -1,0 +1,197 @@
+"""The §5 filter: virtual synchrony on top of extended virtual synchrony.
+
+"We construct a filter on a system that maintains extended virtual
+synchrony and show that all of the runs produced by this filter are
+acceptable executions according to the virtual synchrony model."
+
+The four rules, as implemented by :class:`VirtualSynchronyFilter`:
+
+1. On a configuration change for a transitional configuration
+   trans_p(c): mask the event and re-tag subsequent deliveries from
+   trans_p(c) to reg_p(c) - i.e. keep delivering in the current view.
+2. On a regular configuration that is not a primary component: block -
+   refuse application sends and discard deliveries and configuration
+   changes until this process is a member of the primary component again.
+3. On a regular primary configuration that merges processes in: split
+   the single configuration change into one view event per merged
+   process, in lexicographic order.  (Removals are delivered as a single
+   leading view event, as in Isis failure handling.)
+4. For a process in a non-primary component that is merged into the
+   primary: resume with the final (full-membership) view.  Optionally
+   (``reidentify=True``) returning processes are given a new identifier,
+   as §5.2 notes fail-stop simulation requires; consistent cross-process
+   re-identification additionally needs state transfer, which is outside
+   the VS model, so the option is process-local and off by default.
+
+View identifiers are chosen so every process that emits a view chooses
+the same id: the final view of a configuration is ``(config, sub=0)``;
+the intermediate merge views carry negative ``sub`` offsets and are
+emitted only by processes that were already in the primary (which share
+the previous view and therefore compute identical sequences).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.configuration import Configuration, Delivery, Listener
+from repro.types import ConfigurationId, ProcessId
+from repro.vs.primary import PrimaryComponentTracker, PrimaryStrategy
+from repro.vs.views import (
+    View,
+    ViewId,
+    VsDeliverEvent,
+    VsHistory,
+    VsSendEvent,
+    VsStopEvent,
+    VsViewEvent,
+)
+
+
+class VsListener:
+    """Callback interface for the virtually synchronous application."""
+
+    def on_view(self, view: View) -> None:
+        """A new view was installed."""
+
+    def on_deliver(self, event: VsDeliverEvent, payload: bytes) -> None:
+        """A message was delivered in the current view."""
+
+
+class VirtualSynchronyFilter(Listener):
+    """An EVS listener implementing the §5 filter for one process."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        strategy: PrimaryStrategy,
+        vs_listener: Optional[VsListener] = None,
+        vs_history: Optional[VsHistory] = None,
+        now: Callable[[], float] = lambda: 0.0,
+        reidentify: bool = False,
+    ) -> None:
+        self.pid = pid
+        self.tracker = PrimaryComponentTracker(strategy)
+        self.vs_listener = vs_listener or VsListener()
+        self.vs_history = vs_history if vs_history is not None else VsHistory()
+        self.now = now
+        self.reidentify = reidentify
+        self.blocked = True  # until first primary membership
+        self.current_view: Optional[View] = None
+        self._incarnation: Dict[ProcessId, int] = {}
+        self._seen_ever: set = set()
+        #: Count of deliveries discarded by Rule 2 (observability).
+        self.discarded = 0
+        #: Count of configuration changes masked by Rule 1.
+        self.masked_transitionals = 0
+
+    # -- identifier remapping (Rule 4 note / §5.2) ---------------------------
+
+    def _vs_id(self, pid: ProcessId) -> ProcessId:
+        if not self.reidentify:
+            return pid
+        inc = self._incarnation.get(pid, 0)
+        return pid if inc == 0 else f"{pid}~{inc}"
+
+    def _note_joiner(self, pid: ProcessId) -> None:
+        if pid in self._seen_ever:
+            self._incarnation[pid] = self._incarnation.get(pid, 0) + 1
+        self._seen_ever.add(pid)
+
+    # -- EVS listener interface ----------------------------------------------
+
+    def on_configuration_change(self, config: Configuration) -> None:
+        if config.is_transitional:
+            # Rule 1: mask; deliveries continue in the current view.
+            self.masked_transitionals += 1
+            return
+        verdict = self.tracker.observe(config)
+        if not verdict.is_primary:
+            # Rule 2: block.
+            self.blocked = True
+            return
+        if self.pid not in config.members:
+            # A primary we are not part of cannot be observed by us in a
+            # correct run; treat defensively as blocking.
+            self.blocked = True
+            return
+        self._install_primary(config)
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        if self.blocked or self.current_view is None:
+            self.discarded += 1  # Rule 2: discard while blocked
+            return
+        event = VsDeliverEvent(
+            pid=self.pid,
+            message_id=delivery.message_id,
+            sender=self._vs_id(delivery.sender),
+            origin_seq=delivery.origin_seq,
+            requirement=delivery.requirement,
+            view_id=self.current_view.id,
+            time=self.now(),
+        )
+        self.vs_history.record(event)
+        self.vs_listener.on_deliver(event, delivery.payload)
+
+    # -- view synthesis (Rules 3 and 4) ----------------------------------------
+
+    def _install_primary(self, config: Configuration) -> None:
+        was_blocked = self.blocked
+        prev_members: Tuple[ProcessId, ...] = (
+            self.current_view.members
+            if (self.current_view is not None and not was_blocked)
+            else ()
+        )
+        new_members = tuple(sorted(config.members))
+        if was_blocked or not prev_members:
+            # Rule 4: a merged (or newly started) process resumes with the
+            # final view only.
+            for pid in new_members:
+                self._seen_ever.add(pid)
+            self._emit_view(config.id, 0, new_members)
+            self.blocked = False
+            return
+
+        # Rule 3 at a continuing primary member.
+        survivors = tuple(p for p in prev_members if p in config.members)
+        joiners = [p for p in new_members if p not in prev_members]
+        steps: List[Tuple[ProcessId, ...]] = []
+        if survivors != prev_members:
+            steps.append(survivors)
+        acc = list(survivors)
+        for j in sorted(joiners):  # deterministic (lexicographic) order
+            self._note_joiner(j)
+            acc.append(j)
+            steps.append(tuple(sorted(acc)))
+        if not steps:
+            steps.append(new_members)  # same membership, new configuration
+        offset0 = -(len(steps) - 1)
+        for i, members in enumerate(steps):
+            self._emit_view(config.id, offset0 + i, members)
+
+    def _emit_view(
+        self, source: ConfigurationId, sub: int, members: Tuple[ProcessId, ...]
+    ) -> None:
+        view = View(
+            id=ViewId(seq=source.ring.seq, source=str(source), sub=sub),
+            members=tuple(self._vs_id(p) for p in members),
+        )
+        self.current_view = view
+        event = VsViewEvent(pid=self.pid, view=view, time=self.now())
+        self.vs_history.record(event)
+        self.vs_listener.on_view(view)
+
+    # -- process-side events -------------------------------------------------
+
+    def record_send(self, origin_seq: int, requirement) -> None:
+        self.vs_history.record(
+            VsSendEvent(
+                pid=self.pid,
+                origin_seq=origin_seq,
+                requirement=requirement,
+                time=self.now(),
+            )
+        )
+
+    def record_stop(self) -> None:
+        self.vs_history.record(VsStopEvent(pid=self.pid, time=self.now()))

@@ -1,0 +1,149 @@
+"""Primary-component determination (paper §2.2 and §5).
+
+"The primary component algorithm receives configuration change messages
+from the membership algorithm.  It delivers these messages to the
+application with an indication as to whether the new configuration is a
+primary component.  A simple primary component algorithm is easily
+constructed; we are currently developing an algorithm that has a greater
+probability of finding a primary component."
+
+We provide the simple algorithm (static majority of a fixed universe)
+plus two of the "greater probability" family the authors allude to:
+weighted voting, and dynamic-linear voting which re-bases the quorum on
+the previous primary's membership.  All three guarantee the §2.2
+properties:
+
+* **Uniqueness** - any two quorums intersect, so two concurrent
+  components cannot both be primary, and the shared member's local order
+  totally orders the history H of primary components.
+* **Continuity** - consecutive primaries share at least one member (for
+  majority/weighted: any two quorums intersect; for dynamic-linear: the
+  quorum is computed over the previous primary's membership, so
+  intersection with it is structural).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence
+
+from repro.core.configuration import Configuration
+from repro.types import ProcessId
+
+
+class PrimaryStrategy(abc.ABC):
+    """Decides whether a regular configuration is the primary component.
+
+    Implementations must be deterministic functions of (configuration,
+    strategy state), and any state updates must depend only on delivered
+    configurations, so that every member of a configuration reaches the
+    same verdict.
+    """
+
+    @abc.abstractmethod
+    def is_primary(self, config: Configuration) -> bool:
+        """Verdict for a *regular* configuration."""
+
+
+class MajorityStrategy(PrimaryStrategy):
+    """Primary iff the configuration contains a strict majority of a
+    fixed, statically known process universe - the paper's "simple
+    primary component algorithm"."""
+
+    def __init__(self, universe: Iterable[ProcessId]) -> None:
+        self.universe: FrozenSet[ProcessId] = frozenset(universe)
+        if not self.universe:
+            raise ValueError("universe must not be empty")
+
+    def is_primary(self, config: Configuration) -> bool:
+        present = len(config.members & self.universe)
+        return 2 * present > len(self.universe)
+
+
+class WeightedMajorityStrategy(PrimaryStrategy):
+    """Primary iff the members' weights exceed half the total weight.
+
+    Giving a critical site (say, the machine room) extra weight raises
+    the probability that *some* component is primary after a partition,
+    which is precisely the improvement direction the paper mentions.
+    """
+
+    def __init__(self, weights: Dict[ProcessId, float]) -> None:
+        if not weights or any(w < 0 for w in weights.values()):
+            raise ValueError("weights must be non-negative and non-empty")
+        self.weights = dict(weights)
+        self.total = sum(weights.values())
+        if self.total <= 0:
+            raise ValueError("total weight must be positive")
+
+    def is_primary(self, config: Configuration) -> bool:
+        present = sum(self.weights.get(p, 0.0) for p in config.members)
+        return 2 * present > self.total
+
+
+class DynamicLinearVotingStrategy(PrimaryStrategy):
+    """Primary iff the configuration contains a strict majority of the
+    *previous primary's* membership (falling back to the static universe
+    before any primary exists).
+
+    After repeated shrinking partitions this keeps finding a primary
+    where static majority would block - e.g. universe {a..e}, primary
+    {a,b,c} after a partition, then a further split to {a,b}: 2/3 of the
+    previous primary is a quorum even though 2/5 of the universe is not.
+    Continuity is structural (the quorum intersects the previous
+    primary); uniqueness holds because two successors of the same primary
+    would each need a strict majority of it.
+
+    State updates must be driven by :meth:`observe_primary` from
+    *delivered* configurations only, so members stay in agreement.
+    """
+
+    def __init__(self, universe: Iterable[ProcessId]) -> None:
+        self.universe: FrozenSet[ProcessId] = frozenset(universe)
+        if not self.universe:
+            raise ValueError("universe must not be empty")
+        self._basis: FrozenSet[ProcessId] = self.universe
+
+    @property
+    def basis(self) -> FrozenSet[ProcessId]:
+        return self._basis
+
+    def is_primary(self, config: Configuration) -> bool:
+        present = len(config.members & self._basis)
+        return 2 * present > len(self._basis)
+
+    def observe_primary(self, config: Configuration) -> None:
+        """Re-base the quorum after a primary is installed."""
+        self._basis = frozenset(config.members)
+
+
+@dataclass(frozen=True)
+class PrimaryVerdict:
+    """The decision attached to one regular configuration."""
+
+    config: Configuration
+    is_primary: bool
+
+
+class PrimaryComponentTracker:
+    """Per-process primary-history bookkeeping around a strategy."""
+
+    def __init__(self, strategy: PrimaryStrategy) -> None:
+        self.strategy = strategy
+        self.verdicts: list = []
+        self.last_primary: Optional[Configuration] = None
+
+    def observe(self, config: Configuration) -> PrimaryVerdict:
+        """Feed each delivered *regular* configuration, in order."""
+        if not config.is_regular:
+            raise ValueError("primary verdicts apply to regular configurations")
+        primary = self.strategy.is_primary(config)
+        if primary:
+            self.last_primary = config
+            observe = getattr(self.strategy, "observe_primary", None)
+            if observe is not None:
+                observe(config)
+        verdict = PrimaryVerdict(config=config, is_primary=primary)
+        self.verdicts.append(verdict)
+        return verdict

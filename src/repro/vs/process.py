@@ -1,0 +1,98 @@
+"""A virtually synchronous process: the Isis-style API over EVS.
+
+:class:`VsProcess` wraps an :class:`~repro.core.process.EvsProcess` with
+the §5 filter, exposing Birman's primitives:
+
+* ``cbcast(payload)``  - causally ordered multicast;
+* ``abcast(payload)``  - totally ordered multicast;
+* ``uniform(payload)`` - uniform (all-stable) abcast, mapped to EVS safe
+  delivery, cf. §5.3;
+* views via the :class:`~repro.vs.filter.VsListener` callbacks.
+
+Sends are refused while the process is outside the primary component
+(filter Rule 2: "don't accept any messages from the application for
+sending").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.configuration import SendReceipt
+from repro.core.process import EvsProcess
+from repro.errors import NotOperationalError
+from repro.types import DeliveryRequirement, ProcessId
+from repro.vs.filter import VirtualSynchronyFilter, VsListener
+from repro.vs.primary import PrimaryStrategy
+from repro.vs.views import VsHistory
+
+
+class VsProcess:
+    """One member of a virtually synchronous process group."""
+
+    def __init__(
+        self,
+        evs: EvsProcess,
+        strategy: PrimaryStrategy,
+        vs_listener: Optional[VsListener] = None,
+        vs_history: Optional[VsHistory] = None,
+        reidentify: bool = False,
+    ) -> None:
+        self.evs = evs
+        self.pid: ProcessId = evs.pid
+        self.filter = VirtualSynchronyFilter(
+            pid=evs.pid,
+            strategy=strategy,
+            vs_listener=vs_listener,
+            vs_history=vs_history,
+            now=lambda: evs.engine.host.now,
+            reidentify=reidentify,
+        )
+
+    # -- sending --------------------------------------------------------------
+
+    def _send(self, payload: bytes, requirement: DeliveryRequirement) -> SendReceipt:
+        if self.filter.blocked:
+            raise NotOperationalError(
+                f"{self.pid} is blocked outside the primary component"
+            )
+        receipt = self.evs.send(payload, requirement)
+        self.filter.record_send(receipt.origin_seq, requirement)
+        return receipt
+
+    def cbcast(self, payload: bytes) -> SendReceipt:
+        """Causally ordered multicast (Isis cbcast)."""
+        return self._send(payload, DeliveryRequirement.CAUSAL)
+
+    def abcast(self, payload: bytes) -> SendReceipt:
+        """Totally ordered multicast (Isis abcast)."""
+        return self._send(payload, DeliveryRequirement.AGREED)
+
+    def uniform(self, payload: bytes) -> SendReceipt:
+        """Uniform multicast: delivered by all group members if delivered
+        by any, approximated by EVS safe delivery (§5.3)."""
+        return self._send(payload, DeliveryRequirement.SAFE)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Fail-stop the process (records the VS model's ``stop`` event
+        and crashes the underlying EVS process)."""
+        self.filter.record_stop()
+        self.evs.crash()
+
+    @property
+    def blocked(self) -> bool:
+        return self.filter.blocked
+
+    @property
+    def current_view(self):
+        return self.filter.current_view
+
+    @property
+    def vs_history(self) -> VsHistory:
+        return self.filter.vs_history
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "blocked" if self.blocked else str(self.current_view)
+        return f"VsProcess({self.pid}, {state})"

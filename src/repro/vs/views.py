@@ -1,0 +1,155 @@
+"""Views and events of Birman's virtual synchrony model (paper §4).
+
+The VS model's group events are ``view_i(g)``, ``cbcast(g, m)`` and
+``abcast(g, m)``.  The filter of §5 synthesizes these from EVS events;
+this module defines the value types the filter emits and the per-process
+VS history the §5.1 checker consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from repro.types import DeliveryRequirement, MessageId, ProcessId
+
+
+@dataclass(frozen=True, order=True)
+class ViewId:
+    """Identity of a VS view.
+
+    ``seq`` numbers the view within the process-group's primary history;
+    ``source`` ties it to the EVS regular configuration it was derived
+    from, and ``sub`` counts the per-process merge steps the filter's
+    Rule 3 splits a multi-process merge into (so each single-process
+    merge event is its own view).
+    """
+
+    seq: int
+    source: str
+    sub: int = 0
+
+    def __str__(self) -> str:
+        return f"view#{self.seq}({self.source}/{self.sub})"
+
+
+@dataclass(frozen=True)
+class View:
+    """view_i(g^x): the x-th membership of the process group."""
+
+    id: ViewId
+    members: Tuple[ProcessId, ...]
+
+    def __str__(self) -> str:
+        return f"{self.id}[{','.join(self.members)}]"
+
+
+@dataclass(frozen=True)
+class VsViewEvent:
+    """A view change observed by one process."""
+
+    pid: ProcessId
+    view: View
+    time: float
+
+
+@dataclass(frozen=True)
+class VsSendEvent:
+    """cbcast/abcast issued by the application at one process.
+
+    At send time the total-order ordinal is not yet assigned, so the send
+    is identified by its origin key ``(pid, origin_seq)``; deliveries
+    carry the same key for correlation.
+    """
+
+    pid: ProcessId
+    origin_seq: int
+    requirement: DeliveryRequirement
+    time: float
+
+
+@dataclass(frozen=True)
+class VsDeliverEvent:
+    """A message delivered to the VS application in a view."""
+
+    pid: ProcessId
+    message_id: MessageId
+    sender: ProcessId
+    origin_seq: int
+    requirement: DeliveryRequirement
+    view_id: ViewId
+    time: float
+
+
+@dataclass(frozen=True)
+class VsStopEvent:
+    """The distinguished final event of a failed process."""
+
+    pid: ProcessId
+    time: float
+
+
+VsEvent = Union[VsViewEvent, VsSendEvent, VsDeliverEvent, VsStopEvent]
+
+
+class VsHistory:
+    """Per-process VS event sequences (the history H of §4)."""
+
+    def __init__(self) -> None:
+        self.per_process: Dict[ProcessId, List[VsEvent]] = {}
+
+    def record(self, event: VsEvent) -> None:
+        self.per_process.setdefault(event.pid, []).append(event)
+
+    @property
+    def processes(self) -> List[ProcessId]:
+        return sorted(self.per_process)
+
+    def events_of(self, pid: ProcessId) -> List[VsEvent]:
+        return self.per_process.get(pid, [])
+
+    def views(self) -> Dict[ViewId, List[VsViewEvent]]:
+        out: Dict[ViewId, List[VsViewEvent]] = {}
+        for pid in self.processes:
+            for e in self.events_of(pid):
+                if isinstance(e, VsViewEvent):
+                    out.setdefault(e.view.id, []).append(e)
+        return out
+
+    def deliveries(self) -> Dict[MessageId, List[VsDeliverEvent]]:
+        out: Dict[MessageId, List[VsDeliverEvent]] = {}
+        for pid in self.processes:
+            for e in self.events_of(pid):
+                if isinstance(e, VsDeliverEvent):
+                    out.setdefault(e.message_id, []).append(e)
+        return out
+
+    def sends(self) -> Dict[Tuple[ProcessId, int], VsSendEvent]:
+        """Sends keyed by origin key (pid, origin_seq)."""
+        out: Dict[Tuple[ProcessId, int], VsSendEvent] = {}
+        for pid in self.processes:
+            for e in self.events_of(pid):
+                if isinstance(e, VsSendEvent):
+                    out.setdefault((e.pid, e.origin_seq), e)
+        return out
+
+    def stopped(self) -> Dict[ProcessId, float]:
+        out: Dict[ProcessId, float] = {}
+        for pid in self.processes:
+            for e in self.events_of(pid):
+                if isinstance(e, VsStopEvent):
+                    out[pid] = e.time
+        return out
+
+    def summary(self) -> str:
+        n_views = sum(
+            1
+            for pid in self.processes
+            for e in self.events_of(pid)
+            if isinstance(e, VsViewEvent)
+        )
+        n_del = sum(len(v) for v in self.deliveries().values())
+        return (
+            f"vs-history: {len(self.processes)} processes, "
+            f"{len(self.sends())} sends, {n_del} deliveries, {n_views} view events"
+        )

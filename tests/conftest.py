@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the EVS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.net.network import NetworkParams
+from repro.types import DeliveryRequirement
+
+
+@pytest.fixture
+def three_cluster():
+    """A converged 3-process cluster {p, q, r}."""
+    cluster = SimCluster(["p", "q", "r"])
+    cluster.start_all()
+    assert cluster.wait_until(
+        lambda: cluster.converged(["p", "q", "r"]), timeout=10.0
+    ), cluster.describe()
+    return cluster
+
+
+@pytest.fixture
+def five_cluster():
+    """A converged 5-process cluster {a..e}."""
+    pids = ["a", "b", "c", "d", "e"]
+    cluster = SimCluster(pids)
+    cluster.start_all()
+    assert cluster.wait_until(
+        lambda: cluster.converged(pids), timeout=10.0
+    ), cluster.describe()
+    return cluster
+
+
+def lossy_options(seed: int = 0, loss: float = 0.05) -> ClusterOptions:
+    return ClusterOptions(seed=seed, network=NetworkParams(loss_rate=loss))
+
+
+def drain(cluster: SimCluster, pids=None, timeout: float = 15.0) -> None:
+    assert cluster.settle(pids, timeout=timeout), cluster.describe()
+
+
+ALL_REQUIREMENTS = (
+    DeliveryRequirement.CAUSAL,
+    DeliveryRequirement.AGREED,
+    DeliveryRequirement.SAFE,
+)

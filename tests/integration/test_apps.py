@@ -1,0 +1,230 @@
+"""Integration: the paper's motivating applications on the live stack."""
+
+import pytest
+
+from repro.apps.airline import AirlineReservation
+from repro.apps.atm import AtmReplica
+from repro.apps.counter import ReplicatedAccount
+from repro.apps.radar import RadarNode
+from repro.apps.replicated_log import ReplicatedLog
+from repro.harness.cluster import SimCluster
+
+PIDS = ["s1", "s2", "s3", "s4", "s5"]
+
+
+def cluster_with(app_factory, pids=PIDS):
+    cluster = SimCluster(pids)
+    apps = {}
+    for pid in pids:
+        app = app_factory(pid)
+        if hasattr(app, "bind"):
+            app.bind(cluster.processes[pid])
+        cluster.attach_extra_listener(pid, app)
+        apps[pid] = app
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(pids), timeout=10.0)
+    return cluster, apps
+
+
+# ---------------------------------------------------------------- airline
+
+
+def test_airline_sells_up_to_capacity_in_primary():
+    cluster, apps = cluster_with(
+        lambda p: AirlineReservation(p, seats=50, universe=PIDS)
+    )
+    for i in range(80):
+        apps[PIDS[i % 5]].request_sale(1)
+    assert cluster.settle(timeout=10.0)
+    accepted = sum(apps[p].accepted for p in PIDS)
+    rejected = sum(apps[p].rejected for p in PIDS)
+    assert accepted == 50 and rejected == 30
+    assert all(apps[p].sold == 50 for p in PIDS)
+    assert apps["s1"].overbooked == 0
+
+
+def test_airline_partition_heuristic_limits_minority_and_reconciles():
+    cluster, apps = cluster_with(
+        lambda p: AirlineReservation(p, seats=100, universe=PIDS)
+    )
+    for i in range(40):
+        assert apps[PIDS[i % 5]].request_sale(1)
+    assert cluster.settle(timeout=10.0)
+    cluster.partition({"s1", "s2", "s3"}, {"s4", "s5"})
+    assert cluster.wait_until(
+        lambda: cluster.converged(["s1", "s2", "s3"])
+        and cluster.converged(["s4", "s5"]),
+        timeout=10.0,
+    )
+    maj_before = apps["s1"].accepted
+    min_before = apps["s4"].accepted
+    for _ in range(100):
+        apps["s1"].request_sale(1)
+        apps["s4"].request_sale(1)
+    assert cluster.settle(["s1", "s2", "s3"], timeout=10.0)
+    assert cluster.settle(["s4", "s5"], timeout=10.0)
+    assert apps["s1"].accepted - maj_before == 60   # remaining capacity
+    assert apps["s4"].accepted - min_before == 24   # floor(60 * 2/5)
+    cluster.merge_all()
+    assert cluster.wait_until(lambda: cluster.converged(PIDS), timeout=15.0)
+    assert cluster.settle(timeout=10.0)
+    totals = {apps[p].sold for p in PIDS}
+    assert totals == {124}          # replicas converged
+    assert apps["s1"].overbooked == 24  # bounded by the minority allotment
+
+
+def test_airline_isolated_singleton_gets_proportional_share():
+    cluster, apps = cluster_with(
+        lambda p: AirlineReservation(p, seats=100, universe=PIDS)
+    )
+    cluster.partition({"s1"}, {"s2", "s3", "s4", "s5"})
+    assert cluster.wait_until(lambda: cluster.converged(["s1"]), timeout=10.0)
+    for _ in range(100):
+        apps["s1"].request_sale(1)
+    assert cluster.settle(["s1"], timeout=10.0)
+    assert apps["s1"].accepted == 20  # floor(100 * 1/5)
+
+
+# ------------------------------------------------------------------ ATM
+
+
+def atm_factory(pid):
+    return AtmReplica(
+        pid, universe=PIDS, opening_balances={"alice": 500}, offline_limit=100
+    )
+
+
+def test_atm_primary_enforces_cumulative_balance():
+    cluster, apps = cluster_with(atm_factory)
+    t1 = apps["s1"].withdraw("alice", 400)
+    assert cluster.settle(timeout=10.0)
+    assert apps["s1"].outcome(t1) is True
+    t2 = apps["s2"].withdraw("alice", 200)  # only 100 left
+    t3 = apps["s2"].withdraw("alice", 100)
+    assert cluster.settle(timeout=10.0)
+    assert apps["s2"].outcome(t2) is False
+    assert apps["s2"].outcome(t3) is True
+    assert all(apps[p].balance("alice") == 0 for p in PIDS)
+    assert apps["s2"].declined == 1
+
+
+def test_atm_offline_authorization_and_overdraft_risk():
+    cluster, apps = cluster_with(atm_factory)
+    t0 = apps["s1"].withdraw("alice", 450)
+    assert cluster.settle(timeout=10.0)
+    assert apps["s1"].outcome(t0) is True
+    cluster.partition({"s1", "s2", "s3"}, {"s4", "s5"})
+    assert cluster.wait_until(
+        lambda: cluster.converged(["s4", "s5"]), timeout=10.0
+    )
+    # Non-primary: authorized against the offline limit, not the balance;
+    # the verdict is immediate and local.
+    t1 = apps["s4"].withdraw("alice", 80)
+    t2 = apps["s4"].withdraw("alice", 30)  # beyond offline limit
+    assert apps["s4"].outcome(t1) is True
+    assert apps["s4"].outcome(t2) is False
+    assert apps["s4"].declined == 1
+    assert cluster.settle(["s4", "s5"], timeout=10.0)
+    cluster.merge_all()
+    assert cluster.wait_until(lambda: cluster.converged(PIDS), timeout=15.0)
+    assert cluster.settle(timeout=10.0)
+    # Reconciled: 500 - 450 - 80 = -30 at every replica.
+    balances = {apps[p].balance("alice") for p in PIDS}
+    assert balances == {-30}
+    assert apps["s1"].overdrafts() == {"alice": -30}
+
+
+def test_atm_deposits_replicate():
+    cluster, apps = cluster_with(atm_factory)
+    apps["s3"].deposit("alice", 250)
+    assert cluster.settle(timeout=10.0)
+    assert all(apps[p].balance("alice") == 750 for p in PIDS)
+
+
+# ---------------------------------------------------------------- radar
+
+
+def radar_factory(pid):
+    quality = {"s1": 0.9, "s2": 0.7, "s3": 0.5, "s4": 0.3, "s5": None}[pid]
+    return RadarNode(pid, quality=quality)
+
+
+def test_radar_displays_best_connected_sensor():
+    cluster, apps = cluster_with(radar_factory)
+    for pid in ("s1", "s2", "s3", "s4"):
+        apps[pid].observe(track={"x": 1}, time=cluster.now)
+    assert cluster.settle(timeout=10.0)
+    # Everyone (including the pure display s5) shows the best sensor.
+    assert all(apps[p].displayed_quality() == 0.9 for p in PIDS)
+
+
+def test_radar_degrades_on_partition_and_recovers_on_merge():
+    cluster, apps = cluster_with(radar_factory)
+    for pid in ("s1", "s2", "s3", "s4"):
+        apps[pid].observe(track={"x": 1}, time=cluster.now)
+    assert cluster.settle(timeout=10.0)
+    # Partition the display s5 with the low-quality sensors only.
+    cluster.partition({"s1", "s2"}, {"s3", "s4", "s5"})
+    assert cluster.wait_until(
+        lambda: cluster.converged(["s3", "s4", "s5"]), timeout=10.0
+    )
+    apps["s3"].observe(track={"x": 2}, time=cluster.now)
+    assert cluster.settle(["s3", "s4", "s5"], timeout=10.0)
+    # "it is better to display lower quality information from the
+    # connected sensors than to do nothing"
+    assert apps["s5"].displayed_quality() == 0.5
+    cluster.merge_all()
+    assert cluster.wait_until(lambda: cluster.converged(PIDS), timeout=15.0)
+    assert cluster.settle(timeout=10.0)
+    assert apps["s5"].displayed_quality() == 0.9
+
+
+# ------------------------------------------------------------ replicated log
+
+
+def test_replicated_logs_are_prefix_consistent():
+    cluster, apps = cluster_with(lambda p: ReplicatedLog(p))
+    for i in range(15):
+        cluster.send(PIDS[i % 5], f"e{i}".encode())
+    assert cluster.settle(timeout=10.0)
+    logs = [apps[p] for p in PIDS]
+    for a in logs:
+        for b in logs:
+            assert a.is_prefix_consistent_with(b)
+    assert len({tuple(l.payloads()) for l in logs}) == 1
+
+
+def test_replicated_log_segments_match_across_co_moving_replicas():
+    cluster, apps = cluster_with(lambda p: ReplicatedLog(p))
+    for i in range(10):
+        cluster.send("s1", f"pre{i}".encode())
+    assert cluster.settle(timeout=10.0)
+    cluster.partition({"s1", "s2", "s3"}, {"s4", "s5"})
+    assert cluster.wait_until(
+        lambda: cluster.converged(["s1", "s2", "s3"]), timeout=10.0
+    )
+    cluster.send("s1", b"majority")
+    assert cluster.settle(["s1", "s2", "s3"], timeout=10.0)
+    # Spec 4 at the application level: replicas that moved together hold
+    # identical per-configuration segments.
+    for cfg_id, start in apps["s1"].cuts:
+        for other in ("s2", "s3"):
+            a = [e.message_id for e in apps["s1"].entries_in(cfg_id)]
+            b = [e.message_id for e in apps[other].entries_in(cfg_id)]
+            assert a == b
+
+
+# ----------------------------------------------------------- bank account
+
+
+def test_replicated_account_identical_decisions():
+    cluster, apps = cluster_with(lambda p: ReplicatedAccount(p, opening_balance=100))
+    apps["s1"].deposit(50)
+    apps["s2"].withdraw(120)
+    apps["s3"].withdraw(120)  # only one of these can succeed
+    assert cluster.settle(timeout=10.0)
+    balances = {apps[p].balance for p in PIDS}
+    assert balances == {30}  # 100 + 50 - 120
+    rejected = {tuple(apps[p].rejected) for p in PIDS}
+    assert len(rejected) == 1  # identical rejection decisions everywhere
+    assert len(next(iter(rejected))) == 1

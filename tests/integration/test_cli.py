@@ -1,0 +1,43 @@
+"""Integration: the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo_command(capsys):
+    assert main(["demo", "--processes", "3", "--messages", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "group formed" in out
+    assert "PASS" in out and "FAIL" not in out
+
+
+def test_figure6_command(capsys):
+    assert main(["figure6"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6 narrative reproduced: yes" in out
+    assert "n delivered at q in transitional(q,r)" in out
+
+
+def test_figure6_with_timeline(capsys):
+    assert main(["figure6", "--timeline", "--rows", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "t=" in out  # timeline rows carry timestamps
+
+
+def test_conformance_command(capsys):
+    assert main(["conformance", "--seeds", "2", "--steps", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "safe delivery (Spec 7)" in out
+    assert "FAIL" not in out
+
+
+def test_timeline_command(capsys):
+    assert main(["timeline", "--rows", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "REG" in out or "TRANS" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-command"])

@@ -1,0 +1,66 @@
+"""Integration: randomized fault campaigns checked against every
+specification - the executable form of the paper's Figures 1-5."""
+
+import pytest
+
+from repro.harness.cluster import ClusterOptions
+from repro.harness.faults import FaultProfile, random_scenario
+from repro.harness.scenario import ScenarioRunner
+from repro.net.network import NetworkParams
+from repro.spec import evs_checker
+from repro.spec.report import run_conformance
+
+
+def run_campaign(seed, n=5, loss=0.02, steps=12, profile=None):
+    pids = [f"p{i}" for i in range(n)]
+    scenario = random_scenario(seed, pids, steps=steps, profile=profile)
+    runner = ScenarioRunner(
+        ClusterOptions(seed=seed, network=NetworkParams(loss_rate=loss))
+    )
+    return runner.run(scenario)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_campaign_satisfies_all_specifications(seed):
+    result = run_campaign(seed)
+    violations = evs_checker.check_all(result.history, quiescent=result.quiescent)
+    assert violations == [], [str(v) for v in violations]
+    assert result.quiescent, result.cluster.describe()
+
+
+def test_partition_heavy_campaign():
+    profile = FaultProfile(partition=5.0, merge=3.0, crash=0.2, recover=0.5, burst=4.0)
+    result = run_campaign(seed=101, profile=profile, steps=16)
+    assert result.quiescent, result.cluster.describe()
+    report = run_conformance(result.history, quiescent=True)
+    assert report.passed, report.render()
+
+
+def test_crash_heavy_campaign():
+    profile = FaultProfile(partition=1.0, merge=1.0, crash=4.0, recover=4.0, burst=4.0)
+    result = run_campaign(seed=202, profile=profile, steps=16)
+    assert result.quiescent, result.cluster.describe()
+    report = run_conformance(result.history, quiescent=True)
+    assert report.passed, report.render()
+
+
+def test_high_loss_campaign():
+    result = run_campaign(seed=303, loss=0.15, steps=10)
+    assert result.quiescent, result.cluster.describe()
+    report = run_conformance(result.history, quiescent=True)
+    assert report.passed, report.render()
+
+
+def test_larger_cluster_campaign():
+    result = run_campaign(seed=404, n=7, steps=10)
+    assert result.quiescent, result.cluster.describe()
+    report = run_conformance(result.history, quiescent=True)
+    assert report.passed, report.render()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(10, 40))
+def test_extended_conformance_campaign(seed):
+    result = run_campaign(seed, steps=16)
+    violations = evs_checker.check_all(result.history, quiescent=result.quiescent)
+    assert violations == [], [str(v) for v in violations]

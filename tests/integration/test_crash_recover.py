@@ -1,0 +1,142 @@
+"""Integration: process failure and recovery with stable storage intact -
+the failure model EVS adds over fail-stop virtual synchrony."""
+
+import pytest
+
+from repro.harness.cluster import SimCluster
+from repro.spec import evs_checker
+from repro.types import DeliveryRequirement
+
+
+def test_survivors_reconfigure_after_crash(five_cluster):
+    c = five_cluster
+    c.crash("c")
+    survivors = ["a", "b", "d", "e"]
+    assert c.wait_until(lambda: c.converged(survivors), timeout=10.0), c.describe()
+    c.send("a", b"after")
+    assert c.settle(survivors, timeout=10.0)
+    for pid in survivors:
+        assert b"after" in c.listeners[pid].payloads()
+
+
+def test_recovered_process_rejoins_with_same_identifier(five_cluster):
+    c = five_cluster
+    c.crash("c")
+    assert c.wait_until(lambda: c.converged(["a", "b", "d", "e"]), timeout=10.0)
+    c.recover("c")
+    assert c.wait_until(lambda: c.converged(c.pids), timeout=10.0), c.describe()
+    final = c.processes["c"].current_configuration
+    assert "c" in final.members
+    # Same identifier: the configuration contains plain "c", and the
+    # recovered process's sends are attributed to "c".
+    c.send("c", b"back")
+    assert c.settle(timeout=10.0)
+    assert c.listeners["a"].deliveries[-1].sender == "c"
+
+
+def test_recovered_process_does_not_redeliver_old_messages(five_cluster):
+    c = five_cluster
+    for i in range(5):
+        c.send("a", f"pre{i}".encode())
+    assert c.settle(timeout=10.0)
+    count_before = len(c.listeners["c"].deliveries)
+    c.crash("c")
+    assert c.wait_until(lambda: c.converged(["a", "b", "d", "e"]), timeout=10.0)
+    c.send("a", b"while-down")
+    assert c.settle(["a", "b", "d", "e"], timeout=10.0)
+    c.recover("c")
+    assert c.wait_until(lambda: c.converged(c.pids), timeout=10.0)
+    assert c.settle(timeout=10.0)
+    # c missed "while-down" (sent in a configuration it was not part of)
+    # and must not see duplicates of the pre-crash messages.
+    payloads = c.listeners["c"].payloads()
+    assert payloads.count(b"pre0") == 1
+    assert b"while-down" not in payloads
+
+
+def test_crash_during_traffic_keeps_survivors_consistent(five_cluster):
+    c = five_cluster
+    for i in range(20):
+        c.send(c.pids[i % 5], f"m{i}".encode(), DeliveryRequirement.SAFE)
+    c.run_for(0.01)
+    c.crash("b")
+    survivors = ["a", "c", "d", "e"]
+    assert c.wait_until(lambda: c.converged(survivors), timeout=10.0), c.describe()
+    assert c.settle(survivors, timeout=10.0)
+    v = evs_checker.check_failure_atomicity(c.history)
+    assert v == [], [str(x) for x in v]
+    orders = [tuple(c.listeners[p].payloads()) for p in survivors]
+    assert all(o == orders[0] for o in orders)
+
+
+def test_multiple_crash_recover_cycles(three_cluster):
+    c = three_cluster
+    for cycle in range(3):
+        c.crash("r")
+        assert c.wait_until(lambda: c.converged(["p", "q"]), timeout=10.0)
+        c.send("p", f"cycle{cycle}".encode())
+        assert c.settle(["p", "q"], timeout=10.0)
+        c.recover("r")
+        assert c.wait_until(lambda: c.converged(["p", "q", "r"]), timeout=10.0)
+    assert c.stores["r"].get("boot_epoch") == 4  # initial boot + 3 recoveries
+    assert c.settle(timeout=10.0)
+    v = evs_checker.check_all(c.history, quiescent=True)
+    assert v == [], [str(x) for x in v]
+
+
+def test_simultaneous_crashes(five_cluster):
+    c = five_cluster
+    c.crash("d")
+    c.crash("e")
+    assert c.wait_until(lambda: c.converged(["a", "b", "c"]), timeout=10.0)
+    c.send("a", b"trimmed")
+    assert c.settle(["a", "b", "c"], timeout=10.0)
+    c.recover("d")
+    c.recover("e")
+    assert c.wait_until(lambda: c.converged(c.pids), timeout=15.0), c.describe()
+
+
+def test_total_failure_and_full_recovery(three_cluster):
+    c = three_cluster
+    for pid in c.pids:
+        c.crash(pid)
+    c.run_for(0.2)
+    for pid in c.pids:
+        c.recover(pid)
+    assert c.wait_until(lambda: c.converged(c.pids), timeout=15.0), c.describe()
+    c.send("q", b"phoenix")
+    assert c.settle(timeout=10.0)
+    for pid in c.pids:
+        assert c.listeners[pid].payloads()[-1] == b"phoenix"
+
+
+def test_crash_of_ring_representative(five_cluster):
+    c = five_cluster
+    rep = min(c.pids)
+    c.crash(rep)
+    rest = [p for p in c.pids if p != rep]
+    assert c.wait_until(lambda: c.converged(rest), timeout=10.0), c.describe()
+    c.send(rest[0], b"no-rep")
+    assert c.settle(rest, timeout=10.0)
+
+
+def test_crashed_sender_messages_may_still_deliver(five_cluster):
+    """A safe message from a crashed process that reached the others is
+    delivered by the survivors (failure excuses only the failed)."""
+    c = five_cluster
+    c.send("a", b"last-words", DeliveryRequirement.SAFE)
+    # Let the message get ordered and spread before the crash.
+    assert c.wait_until(
+        lambda: any(
+            d.payload == b"last-words" for d in c.listeners["b"].deliveries
+        ),
+        timeout=10.0,
+    )
+    c.crash("a")
+    survivors = ["b", "c", "d", "e"]
+    assert c.wait_until(lambda: c.converged(survivors), timeout=10.0)
+    assert c.settle(survivors, timeout=10.0)
+    for pid in survivors:
+        assert b"last-words" in c.listeners[pid].payloads()
+    v = evs_checker.check_safe_delivery(c.history, quiescent=True)
+    assert v == [], [str(x) for x in v]

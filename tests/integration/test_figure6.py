@@ -1,0 +1,102 @@
+"""Integration: the paper's Figure 6, assertion by assertion.
+
+"Consider the example shown in Figure 6.  Here a regular configuration
+containing processes p, q and r partitions and p becomes isolated while
+q and r merge into a regular configuration with processes s and t."
+"""
+
+import pytest
+
+from repro.harness.figures import figure6_scenario, render_timeline
+from repro.spec import evs_checker
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure6_scenario(seed=0)
+
+
+def test_q_and_r_deliver_two_configuration_changes(fig6):
+    """"Processes q and r deliver two configuration change messages, one
+    to shift from the old regular configuration {p,q,r} to the
+    transitional configuration {q,r} and the other to shift from the
+    transitional configuration {q,r} to the new regular configuration
+    {q,r,s,t}."""
+    for pid in ("q", "r"):
+        seq = fig6.config_sequences[pid]
+        i = seq.index(("transitional", ("q", "r")))
+        assert seq[i - 1] == ("regular", ("p", "q", "r"))
+        assert seq[i + 1] == ("regular", ("q", "r", "s", "t"))
+    assert fig6.qr_transitional_observed
+    assert fig6.qrst_regular_observed
+
+
+def test_p_ends_in_singleton_configurations(fig6):
+    seq = fig6.config_sequences["p"]
+    assert seq[-2] == ("transitional", ("p",))
+    assert seq[-1] == ("regular", ("p",))
+
+
+def test_l_unavailable_at_q_and_r(fig6):
+    """"If process p sends message m after sending message l but q and r
+    did not receive l before a configuration change occurred, then q
+    cannot deliver m because its causal predecessor l is not
+    available.""" ""
+    assert fig6.delivered_l["q"] is None
+    assert fig6.delivered_l["r"] is None
+    # m is discarded at q and r as well (Step 6.a).
+    assert fig6.delivered_m["q"] is None
+    assert fig6.delivered_m["r"] is None
+
+
+def test_p_self_delivers_l_and_m_in_its_transitional_configuration(fig6):
+    """"By the self-delivery property (Specification 3), q and r must
+    each deliver the messages they themselves sent" - and so must p, in
+    the transitional configuration consisting of only itself."""
+    assert fig6.delivered_l["p"] == ("transitional", ("p",))
+    assert fig6.delivered_m["p"] == ("transitional", ("p",))
+
+
+def test_n_delivered_in_transitional_qr_not_regular(fig6):
+    """"If process r sends message n for safe delivery but does not
+    receive an acknowledgment for n from both p and q before a
+    configuration change occurs, then r cannot deliver n in the regular
+    configuration {p,q,r}.  If, however, r receives an acknowledgment for
+    n from q, then r can deliver n in the transitional configuration
+    {q,r}."""
+    assert fig6.delivered_n["q"] == ("transitional", ("q", "r"))
+    assert fig6.delivered_n["r"] == ("transitional", ("q", "r"))
+    assert fig6.delivered_n["p"] is None
+    # s and t were never members of {p,q,r}: n must not reach them.
+    assert fig6.delivered_n["s"] is None
+    assert fig6.delivered_n["t"] is None
+
+
+def test_s_t_never_see_old_configuration_messages(fig6):
+    for name in ("delivered_l", "delivered_m", "delivered_n"):
+        table = getattr(fig6, name)
+        assert table["s"] is None and table["t"] is None
+
+
+def test_figure6_history_satisfies_the_specifications(fig6):
+    violations = evs_checker.check_all(fig6.history, quiescent=False)
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_figure6_narrative_renders(fig6):
+    text = fig6.narrative()
+    assert "Figure 6" in text
+    assert "n delivered at q in transitional(q,r)" in text
+
+
+def test_timeline_rendering(fig6):
+    art = render_timeline(fig6.history, max_rows=50)
+    assert "p" in art and "q" in art
+    assert "REG" in art or "TRANS" in art
+
+
+def test_figure6_is_deterministic():
+    a = figure6_scenario(seed=0)
+    b = figure6_scenario(seed=0)
+    assert a.config_sequences == b.config_sequences
+    assert a.delivered_n == b.delivered_n

@@ -1,0 +1,75 @@
+"""Integration: initial configuration formation from cold boot."""
+
+import pytest
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.net.network import NetworkParams
+from repro.types import ConfigurationKind
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_clusters_of_various_sizes_converge(n):
+    cluster = SimCluster.of_size(n)
+    cluster.start_all()
+    assert cluster.wait_until(
+        lambda: cluster.converged(cluster.pids), timeout=10.0
+    ), cluster.describe()
+
+
+def test_boot_goes_through_singletons_then_merged_configuration():
+    cluster = SimCluster(["p", "q", "r"])
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(cluster.pids), timeout=10.0)
+    for pid in cluster.pids:
+        confs = cluster.listeners[pid].configurations
+        # Boot singleton regular first, merged regular last.
+        assert confs[0].is_regular and confs[0].members == frozenset({pid})
+        assert confs[-1].is_regular and confs[-1].members == frozenset(cluster.pids)
+        # The transitional configuration out of boot is the singleton.
+        transitionals = [c for c in confs if c.is_transitional]
+        assert transitionals and transitionals[0].members == frozenset({pid})
+
+
+def test_all_members_agree_on_the_merged_configuration_id():
+    cluster = SimCluster.of_size(5)
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(cluster.pids), timeout=10.0)
+    ids = {
+        cluster.processes[p].current_configuration.id for p in cluster.pids
+    }
+    assert len(ids) == 1
+
+
+def test_staggered_starts_converge():
+    cluster = SimCluster(["p", "q", "r", "s"])
+    cluster.processes["p"].start()
+    cluster.run_for(0.2)
+    cluster.processes["q"].start()
+    cluster.processes["r"].start()
+    cluster.run_for(0.3)
+    cluster.processes["s"].start()
+    assert cluster.wait_until(
+        lambda: cluster.converged(cluster.pids), timeout=10.0
+    ), cluster.describe()
+
+
+def test_formation_under_loss():
+    cluster = SimCluster.of_size(
+        5, options=ClusterOptions(seed=3, network=NetworkParams(loss_rate=0.10))
+    )
+    cluster.start_all()
+    assert cluster.wait_until(
+        lambda: cluster.converged(cluster.pids), timeout=20.0
+    ), cluster.describe()
+
+
+def test_configuration_kinds_alternate_regular_transitional():
+    cluster = SimCluster(["p", "q"])
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(cluster.pids), timeout=10.0)
+    for pid in cluster.pids:
+        confs = cluster.listeners[pid].configurations
+        for a, b in zip(confs, confs[1:]):
+            if a.kind is ConfigurationKind.TRANSITIONAL:
+                # A transitional configuration is followed by one regular.
+                assert b.kind is ConfigurationKind.REGULAR

@@ -1,0 +1,103 @@
+"""Integration: the distributed lock on the live stack."""
+
+from repro.apps.lock import DistributedLock
+from repro.harness.cluster import SimCluster
+
+PIDS = ["n1", "n2", "n3", "n4", "n5"]
+
+
+def make_cluster():
+    cluster = SimCluster(PIDS)
+    locks = {}
+    for pid in PIDS:
+        app = DistributedLock(pid, universe=PIDS)
+        app.bind(cluster.processes[pid])
+        cluster.attach_extra_listener(pid, app)
+        locks[pid] = app
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(PIDS), timeout=10.0)
+    return cluster, locks
+
+
+def test_total_order_arbitrates_concurrent_requests():
+    cluster, locks = make_cluster()
+    r1 = locks["n1"].request("printer")
+    r2 = locks["n2"].request("printer")
+    r3 = locks["n3"].request("printer")
+    assert cluster.settle(timeout=10.0)
+    owners = {locks[p].owner("printer") for p in PIDS}
+    assert len(owners) == 1  # everyone agrees who holds it
+    queues = {tuple(locks[p].waiting("printer")) for p in PIDS}
+    assert len(queues) == 1
+    assert len(next(iter(queues))) == 3
+
+
+def test_release_passes_the_lock_in_queue_order():
+    cluster, locks = make_cluster()
+    r1 = locks["n1"].request("db")
+    assert cluster.settle(timeout=10.0)
+    r2 = locks["n2"].request("db")
+    assert cluster.settle(timeout=10.0)
+    assert locks["n3"].owner("db") == "n1"
+    assert locks["n1"].holds("db", r1)
+    assert not locks["n2"].holds("db", r2)
+    locks["n1"].release("db", r1)
+    assert cluster.settle(timeout=10.0)
+    assert locks["n3"].owner("db") == "n2"
+    assert locks["n2"].holds("db", r2)
+
+
+def test_independent_locks_do_not_interfere():
+    cluster, locks = make_cluster()
+    ra = locks["n1"].request("lock-a")
+    rb = locks["n2"].request("lock-b")
+    assert cluster.settle(timeout=10.0)
+    assert locks["n3"].owner("lock-a") == "n1"
+    assert locks["n3"].owner("lock-b") == "n2"
+
+
+def test_minority_refuses_grant_claims():
+    cluster, locks = make_cluster()
+    r1 = locks["n1"].request("shared")
+    assert cluster.settle(timeout=10.0)
+    cluster.partition({"n1", "n2", "n3"}, {"n4", "n5"})
+    assert cluster.wait_until(
+        lambda: cluster.converged(["n1", "n2", "n3"])
+        and cluster.converged(["n4", "n5"]),
+        timeout=10.0,
+    )
+    # The majority still knows the owner; the minority must not claim to.
+    assert locks["n2"].owner("shared") == "n1"
+    assert locks["n4"].owner("shared") is None
+    assert not locks["n4"].in_primary
+    # A request queued in the minority joins the queue after the merge.
+    r4 = locks["n4"].request("shared")
+    assert cluster.settle(["n4", "n5"], timeout=10.0)
+    cluster.merge_all()
+    assert cluster.wait_until(lambda: cluster.converged(PIDS), timeout=15.0)
+    assert cluster.settle(timeout=10.0)
+    assert locks["n5"].owner("shared") == "n1"   # grant survived
+    assert r4 in locks["n1"].waiting("shared")   # minority request queued
+    locks["n1"].release("shared", r1)
+    assert cluster.settle(timeout=10.0)
+    assert locks["n2"].owner("shared") == "n4"
+
+
+def test_lock_state_converges_after_merge():
+    cluster, locks = make_cluster()
+    cluster.partition({"n1", "n2", "n3"}, {"n4", "n5"})
+    assert cluster.wait_until(
+        lambda: cluster.converged(["n1", "n2", "n3"])
+        and cluster.converged(["n4", "n5"]),
+        timeout=10.0,
+    )
+    locks["n1"].request("merge-lock")
+    locks["n4"].request("merge-lock")
+    assert cluster.settle(["n1", "n2", "n3"], timeout=10.0)
+    assert cluster.settle(["n4", "n5"], timeout=10.0)
+    cluster.merge_all()
+    assert cluster.wait_until(lambda: cluster.converged(PIDS), timeout=15.0)
+    assert cluster.settle(timeout=10.0)
+    queues = {tuple(locks[p].waiting("merge-lock")) for p in PIDS}
+    assert len(queues) == 1
+    assert len(next(iter(queues))) == 2

@@ -1,0 +1,174 @@
+"""Integration: the obligation-set mechanism (EVS Steps 1, 5.c, 6.a/6.d).
+
+This is the paper's subtlest machinery, introduced for exactly one
+scenario (§3.2, proof of Specification 7.1): a process p acknowledges
+having received all rebroadcast messages during recovery (Step 5.c), so
+another process q completes the recovery and delivers messages as safe
+in the transitional configuration *relying on p's acknowledgment* - and
+then p is cut off before it can install.  When p later runs its own
+recovery, the obligation set it accumulated forces it to deliver those
+messages even past gaps in the total order, which is what makes q's safe
+deliveries actually safe.
+
+The staging below reproduces this exactly:
+
+1. ring {p, q, r}: r originates a safe message l that nobody else
+   receives (targeted drop), then q originates m (a later ordinal, so m
+   follows the gap l leaves); r crashes;
+2. p and q run the membership/recovery exchange; the network cuts q->p
+   the moment p has broadcast its "exchange complete" acknowledgment;
+3. q (holding p's acknowledgment) installs, delivering m in the
+   transitional configuration {p, q};
+4. p times out, re-gathers alone, and installs a singleton
+   configuration - its Step 6 runs with group {p}, where m (sent by q,
+   beyond the gap left by the unavailable l) would be *discarded by
+   Step 6.a* were q not in p's obligation set.
+
+The assertions check that p delivered m (in its transitional {p}) and
+that the full Spec 7 checker is satisfied.
+"""
+
+import pytest
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.spec import evs_checker
+from repro.totem.messages import RecoveryAck, RegularMessage
+from repro.types import DeliveryRequirement
+
+
+def stage_interrupted_recovery(seed=0):
+    pids = ["p", "q", "r"]
+    cluster = SimCluster(pids, options=ClusterOptions(seed=seed))
+    network = cluster.network
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(pids), timeout=10.0)
+
+    # One stateful filter drives the whole staging:
+    #  * l (and any rebroadcast of it) never escapes r, so its ordinal is
+    #    a permanent gap for p and q - the token's retransmission
+    #    machinery must not be allowed to heal it;
+    #  * once p declares its recovery exchange complete (Step 5.c has
+    #    extended its obligation set by then), q->p is cut, so q installs
+    #    while p starves.
+    from repro.totem.messages import RecoveryRebroadcast
+
+    state = {"p_completed": False}
+
+    def staging_filter(src, dst, message):
+        payload = None
+        if isinstance(message, RegularMessage):
+            payload = message.payload
+        elif isinstance(message, RecoveryRebroadcast):
+            payload = message.message.payload
+        if payload == b"l" and dst != src:
+            return True
+        if isinstance(message, RecoveryAck) and src == "p" and message.complete:
+            state["p_completed"] = True
+        if state["p_completed"] and src == "q" and dst == "p":
+            return True
+        return False
+
+    network.set_drop_filter(staging_filter)
+
+    # --- build the gap: r's message l reaches nobody else. -----------------
+    cluster.send("r", b"l", DeliveryRequirement.SAFE)
+
+    def l_assigned():
+        ring = cluster.processes["r"].engine.controller.ring
+        return ring is not None and any(
+            msg.payload == b"l" for msg in ring.messages.values()
+        )
+
+    assert cluster.wait_until(l_assigned, timeout=10.0)
+
+    # --- m follows the gap: q originates it after l's ordinal. -------------
+    cluster.send("q", b"m", DeliveryRequirement.SAFE)
+
+    def m_assigned():
+        ring = cluster.processes["q"].engine.controller.ring
+        return ring is not None and any(
+            msg.payload == b"m" for msg in ring.messages.values()
+        )
+
+    assert cluster.wait_until(m_assigned, timeout=10.0)
+
+    # --- r fails; p and q start recovery. ---------------------------------
+    cluster.crash("r")
+
+    # q (holding p's acknowledgment) completes and installs {p, q}; p
+    # starves waiting for q, times out, and eventually forms a singleton.
+    assert cluster.wait_until(
+        lambda: state["p_completed"], timeout=10.0
+    ), "p never completed the exchange"
+
+    def q_installed_pq():
+        return any(
+            c.is_regular and c.members == frozenset({"p", "q"})
+            for c in cluster.listeners["q"].configurations
+        )
+
+    assert cluster.wait_until(q_installed_pq, timeout=10.0), cluster.describe()
+    # Replace the asymmetric cut with a clean full partition so both
+    # sides converge (q's {p,q} ring cannot survive without p anyway).
+    network.set_drop_filter(None)
+    network.set_partition([{"p"}, {"q"}])
+    assert cluster.wait_until(
+        lambda: cluster.converged(["p"]) and cluster.converged(["q"]), timeout=10.0
+    ), cluster.describe()
+    assert cluster.settle(["p"], timeout=10.0)
+    assert cluster.settle(["q"], timeout=10.0)
+    return cluster
+
+
+def find_delivery(cluster, pid, payload):
+    listener = cluster.listeners[pid]
+    configs = {c.id: c for c in listener.configurations}
+    for d in listener.deliveries:
+        if d.payload == payload:
+            config = configs[d.config_id]
+            return (config.kind.value, tuple(sorted(config.members)))
+    return None
+
+
+@pytest.fixture(scope="module")
+def staged():
+    return stage_interrupted_recovery()
+
+
+def test_q_delivers_m_relying_on_p_acknowledgment(staged):
+    where = find_delivery(staged, "q", b"m")
+    assert where is not None
+    kind, members = where
+    # q delivered m in the transitional configuration {p, q} (m was not
+    # safe in {p,q,r}: r never acknowledged it).
+    assert kind == "transitional"
+    assert members == ("p", "q")
+
+
+def test_p_delivers_m_through_its_obligation_set(staged):
+    where = find_delivery(staged, "p", b"m")
+    assert where is not None, (
+        "p discarded m: the obligation mechanism failed - q's safe "
+        "delivery is betrayed"
+    )
+    kind, members = where
+    assert members in (("p",), ("p", "q"))
+
+
+def test_l_is_never_delivered_by_p_or_q(staged):
+    # l is the unavailable causal predecessor; only r (crashed) had it.
+    assert find_delivery(staged, "p", b"l") is None
+    assert find_delivery(staged, "q", b"l") is None
+
+
+def test_spec7_safe_delivery_holds(staged):
+    violations = evs_checker.check_safe_delivery(staged.history, quiescent=True)
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_full_battery_on_the_staged_history(staged):
+    # 2.1's quiescent clause does not apply (p and q are deliberately
+    # left separated), so run the safety fragments.
+    violations = evs_checker.check_all(staged.history, quiescent=False)
+    violations += evs_checker.check_safe_delivery(staged.history, quiescent=True)
+    assert violations == [], [str(v) for v in violations]

@@ -1,0 +1,132 @@
+"""Integration: partitioning, continued operation in all components, and
+remerging - the scenarios extended virtual synchrony exists for."""
+
+import pytest
+
+from repro.harness.cluster import SimCluster
+from repro.spec import evs_checker
+from repro.types import ConfigurationKind, DeliveryRequirement
+
+
+def test_both_sides_of_partition_continue(five_cluster):
+    c = five_cluster
+    c.partition({"a", "b", "c"}, {"d", "e"})
+    assert c.wait_until(
+        lambda: c.converged(["a", "b", "c"]) and c.converged(["d", "e"]), timeout=10.0
+    ), c.describe()
+    c.send("a", b"majority")
+    c.send("d", b"minority")
+    assert c.settle(["a", "b", "c"], timeout=10.0)
+    assert c.settle(["d", "e"], timeout=10.0)
+    assert b"majority" in c.listeners["b"].payloads()
+    assert b"minority" in c.listeners["e"].payloads()
+    # No cross-component leakage.
+    assert b"minority" not in c.listeners["a"].payloads()
+    assert b"majority" not in c.listeners["d"].payloads()
+
+
+def test_transitional_configuration_precedes_new_regular(five_cluster):
+    c = five_cluster
+    c.partition({"a", "b", "c"}, {"d", "e"})
+    assert c.wait_until(
+        lambda: c.converged(["a", "b", "c"]) and c.converged(["d", "e"]), timeout=10.0
+    )
+    # Structural assertion: each process's configuration sequence ends
+    # ... old regular {a..e} -> transitional(subset) -> new regular(group).
+    for pid, group in (("a", {"a", "b", "c"}), ("e", {"d", "e"})):
+        confs = c.listeners[pid].configurations
+        last_three = confs[-3:]
+        assert last_three[0].is_regular
+        assert last_three[0].members == frozenset(c.pids)
+        assert last_three[1].is_transitional
+        assert last_three[1].members <= group
+        assert last_three[2].is_regular
+        assert last_three[2].members == frozenset(group)
+        assert last_three[1].preceding_regular == last_three[0].id
+
+
+def test_three_way_partition_and_full_heal(five_cluster):
+    c = five_cluster
+    c.partition({"a"}, {"b", "c"}, {"d", "e"})
+    assert c.wait_until(
+        lambda: c.converged(["a"])
+        and c.converged(["b", "c"])
+        and c.converged(["d", "e"]),
+        timeout=10.0,
+    ), c.describe()
+    c.send("a", b"solo")
+    c.send("b", b"bc")
+    c.send("d", b"de")
+    for group in (["a"], ["b", "c"], ["d", "e"]):
+        assert c.settle(group, timeout=10.0)
+    c.merge_all()
+    assert c.wait_until(lambda: c.converged(c.pids), timeout=15.0), c.describe()
+    assert c.settle(timeout=10.0)
+    v = evs_checker.check_all(c.history, quiescent=True)
+    assert v == [], [str(x) for x in v]
+
+
+def test_merge_of_two_active_components_preserves_histories(five_cluster):
+    c = five_cluster
+    c.partition({"a", "b"}, {"c", "d", "e"})
+    assert c.wait_until(
+        lambda: c.converged(["a", "b"]) and c.converged(["c", "d", "e"]), timeout=10.0
+    )
+    for i in range(5):
+        c.send("a", f"ab{i}".encode())
+        c.send("c", f"cde{i}".encode())
+    assert c.settle(["a", "b"], timeout=10.0)
+    assert c.settle(["c", "d", "e"], timeout=10.0)
+    pre_a = list(c.listeners["a"].payloads())
+    pre_c = list(c.listeners["c"].payloads())
+    c.merge_all()
+    assert c.wait_until(lambda: c.converged(c.pids), timeout=15.0)
+    assert c.settle(timeout=10.0)
+    # Deliveries made before the merge are never retracted.
+    assert c.listeners["a"].payloads()[: len(pre_a)] == pre_a
+    assert c.listeners["c"].payloads()[: len(pre_c)] == pre_c
+    # New messages after the merge reach everyone.
+    c.send("e", b"merged")
+    assert c.settle(timeout=10.0)
+    for pid in c.pids:
+        assert c.listeners[pid].payloads()[-1] == b"merged"
+
+
+def test_repeated_partition_merge_cycles(five_cluster):
+    c = five_cluster
+    for round_no in range(3):
+        c.partition({"a", "b", "c"}, {"d", "e"})
+        assert c.wait_until(
+            lambda: c.converged(["a", "b", "c"]) and c.converged(["d", "e"]),
+            timeout=10.0,
+        ), c.describe()
+        c.send("a", f"round{round_no}".encode())
+        assert c.settle(["a", "b", "c"], timeout=10.0)
+        c.merge_all()
+        assert c.wait_until(lambda: c.converged(c.pids), timeout=15.0), c.describe()
+    assert c.settle(timeout=10.0)
+    v = evs_checker.check_all(c.history, quiescent=True)
+    assert v == [], [str(x) for x in v]
+
+
+def test_messages_in_flight_at_partition_follow_evs_rules(five_cluster):
+    c = five_cluster
+    # Submit messages and partition immediately: some are ordered before
+    # the cut, some only within the surviving component.
+    for i in range(10):
+        c.send("a", f"burst{i}".encode(), DeliveryRequirement.SAFE)
+    c.partition({"a", "b"}, {"c", "d", "e"})
+    assert c.wait_until(
+        lambda: c.converged(["a", "b"]) and c.converged(["c", "d", "e"]), timeout=10.0
+    )
+    assert c.settle(["a", "b"], timeout=10.0)
+    c.merge_all()
+    assert c.wait_until(lambda: c.converged(c.pids), timeout=15.0)
+    assert c.settle(timeout=10.0)
+    # a and b (which moved together) must agree exactly (Spec 4).
+    v = evs_checker.check_failure_atomicity(c.history)
+    assert v == [], [str(x) for x in v]
+    # Self-delivery: a delivered every message it sent.
+    a_payloads = c.listeners["a"].payloads()
+    for i in range(10):
+        assert f"burst{i}".encode() in a_payloads

@@ -1,0 +1,99 @@
+"""Integration: the deployment timing profiles.
+
+Profiles must all converge; the fast-failover profile must actually
+detect failures faster than the LAN default, and the WAN profile must
+survive WAN-scale latencies that break the LAN timers.
+"""
+
+import pytest
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.harness.metrics import blackout_after
+from repro.net.network import NetworkParams
+from repro.totem.timers import TotemConfig
+
+
+def failover_time(totem: TotemConfig, seed=0) -> float:
+    pids = ["a", "b", "c", "d"]
+    cluster = SimCluster(pids, options=ClusterOptions(seed=seed, totem=totem))
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(pids), timeout=30.0)
+    t0 = cluster.now
+    cluster.crash("d")
+    rest = ["a", "b", "c"]
+    assert cluster.wait_until(lambda: cluster.converged(rest), timeout=30.0)
+    blackouts = blackout_after(cluster.history, t0)
+    return max(blackouts[p] for p in rest)
+
+
+def test_fast_failover_beats_lan_default():
+    lan = failover_time(TotemConfig.lan())
+    fast = failover_time(TotemConfig.fast_failover())
+    assert fast < lan / 2, (fast, lan)
+
+
+def test_wan_profile_survives_high_latency():
+    pids = ["a", "b", "c"]
+    cluster = SimCluster(
+        pids,
+        options=ClusterOptions(
+            seed=1,
+            totem=TotemConfig.wan(),
+            network=NetworkParams(latency_min=0.030, latency_max=0.080),
+        ),
+    )
+    cluster.start_all()
+    assert cluster.wait_until(
+        lambda: cluster.converged(pids), timeout=60.0
+    ), cluster.describe()
+    cluster.send("a", b"over-the-wan")
+    assert cluster.settle(timeout=60.0)
+    # No spurious reconfigurations under WAN latency.
+    cluster.run_for(5.0)
+    assert cluster.converged(pids), cluster.describe()
+    installs = {
+        p: cluster.processes[p].engine.controller.stats.installs
+        for p in pids
+    }
+    assert all(n <= 2 for n in installs.values()), installs
+
+
+def test_lan_default_misbehaves_under_wan_latency():
+    """Negative control: the LAN timers false-suspect on WAN latencies
+    (which is exactly why the WAN profile exists)."""
+    pids = ["a", "b", "c"]
+    cluster = SimCluster(
+        pids,
+        options=ClusterOptions(
+            seed=1,
+            totem=TotemConfig.lan(),
+            network=NetworkParams(latency_min=0.060, latency_max=0.120),
+        ),
+    )
+    cluster.start_all()
+    cluster.run_for(5.0)
+    gathers = sum(
+        cluster.processes[p].engine.controller.stats.gathers_entered
+        for p in pids
+    )
+    # The ring keeps being reformed by token-loss false positives.
+    assert gathers > 3 * len(pids)
+
+
+@pytest.mark.parametrize(
+    "profile", [TotemConfig.lan, TotemConfig.fast_failover, TotemConfig.wan]
+)
+def test_all_profiles_validate_and_converge(profile):
+    totem = profile()
+    totem.validate()
+    pids = ["a", "b"]
+    latency = (0.030, 0.080) if profile is TotemConfig.wan else (0.001, 0.003)
+    cluster = SimCluster(
+        pids,
+        options=ClusterOptions(
+            totem=totem,
+            network=NetworkParams(latency_min=latency[0], latency_max=latency[1]),
+        ),
+    )
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(pids), timeout=60.0)

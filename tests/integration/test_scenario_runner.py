@@ -1,0 +1,92 @@
+"""Integration: the declarative scenario runner and fault generator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.harness.faults import FaultProfile, random_partition, random_scenario
+from repro.harness.scenario import Action, Scenario, ScenarioRunner
+
+PIDS = ("p0", "p1", "p2", "p3")
+
+
+def test_scripted_scenario_executes_actions():
+    scenario = Scenario(
+        pids=PIDS,
+        actions=(
+            Action(at=0.5, kind="burst", pid="p0", count=5, payload=b"x"),
+            Action(at=0.8, kind="partition", groups=(("p0", "p1"), ("p2", "p3"))),
+            Action(at=1.2, kind="send", pid="p2", payload=b"minority"),
+            Action(at=1.6, kind="merge_all"),
+            Action(at=2.0, kind="crash", pid="p3"),
+            Action(at=2.4, kind="recover", pid="p3"),
+        ),
+        duration=3.0,
+    )
+    result = ScenarioRunner().run(scenario)
+    assert result.quiescent, result.cluster.describe()
+    assert result.submitted == 6
+    payloads = result.cluster.listeners["p3"].payloads()
+    assert any(p.startswith(b"x#") for p in payloads)
+
+
+def test_final_heal_recovers_crashed_processes():
+    scenario = Scenario(
+        pids=PIDS,
+        actions=(Action(at=0.5, kind="crash", pid="p1"),),
+        duration=1.0,
+    )
+    result = ScenarioRunner().run(scenario)
+    assert result.quiescent
+    assert result.cluster.processes["p1"].is_operational
+
+
+def test_scenario_validation_rejects_bad_scripts():
+    with pytest.raises(SimulationError):
+        Scenario(
+            pids=PIDS, actions=(Action(at=9.0, kind="merge_all"),), duration=1.0
+        ).validate()
+    with pytest.raises(SimulationError):
+        Scenario(
+            pids=PIDS, actions=(Action(at=0.5, kind="crash", pid="ghost"),), duration=1.0
+        ).validate()
+    with pytest.raises(SimulationError):
+        ScenarioRunner().run(
+            Scenario(
+                pids=PIDS,
+                actions=(Action(at=0.5, kind="warp"),),
+                duration=1.0,
+            )
+        )
+
+
+def test_random_partition_covers_all_processes():
+    import random
+
+    rng = random.Random(7)
+    groups = random_partition(rng, PIDS)
+    flat = [p for g in groups for p in g]
+    assert sorted(flat) == sorted(PIDS)
+    assert len(groups) >= 2
+
+
+def test_random_scenario_is_deterministic_per_seed():
+    a = random_scenario(42, PIDS)
+    b = random_scenario(42, PIDS)
+    assert a == b
+    c = random_scenario(43, PIDS)
+    assert a != c
+
+
+def test_random_scenario_respects_profile():
+    profile = FaultProfile(partition=0, merge=0, crash=0, recover=0, burst=1)
+    scenario = random_scenario(1, PIDS, steps=10, profile=profile)
+    kinds = {a.kind for a in scenario.actions}
+    assert kinds <= {"burst"}
+
+
+def test_random_scenario_never_crashes_everyone():
+    profile = FaultProfile(partition=0, merge=0, crash=10, recover=0, burst=0)
+    scenario = random_scenario(5, PIDS, steps=30, profile=profile)
+    crashes = sum(1 for a in scenario.actions if a.kind == "crash")
+    recovers = sum(1 for a in scenario.actions if a.kind == "recover")
+    assert crashes - recovers <= len(PIDS) - 2

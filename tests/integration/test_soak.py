@@ -1,0 +1,87 @@
+"""Soak tests (marked slow): long randomized runs at larger scale.
+
+These push past the short campaigns: more processes, more fault rounds,
+sustained mixed traffic - then the full specification battery.
+"""
+
+import pytest
+
+from repro.harness.cluster import ClusterOptions
+from repro.harness.faults import FaultProfile, random_scenario
+from repro.harness.scenario import ScenarioRunner
+from repro.net.network import NetworkParams
+from repro.spec import evs_checker
+from repro.spec.report import run_conformance
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_eight_process_soak(seed):
+    pids = [f"n{i}" for i in range(8)]
+    scenario = random_scenario(
+        seed,
+        pids,
+        steps=30,
+        step_gap=(0.05, 0.25),
+        profile=FaultProfile(partition=3, merge=3, crash=1.5, recover=2, burst=6),
+    )
+    runner = ScenarioRunner(
+        ClusterOptions(seed=seed, network=NetworkParams(loss_rate=0.03))
+    )
+    result = runner.run(scenario)
+    assert result.quiescent, result.cluster.describe()
+    report = run_conformance(result.history, quiescent=True)
+    assert report.passed, report.render()
+
+
+def test_long_quiet_ring_stays_stable():
+    """An idle ring must not spuriously reconfigure (timer discipline)."""
+    from repro.harness.cluster import SimCluster
+
+    cluster = SimCluster.of_size(5)
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(cluster.pids), timeout=10.0)
+    installs_before = {
+        p: cluster.processes[p].engine.controller.stats.installs
+        for p in cluster.pids
+    }
+    cluster.run_for(30.0)  # thirty idle virtual seconds
+    installs_after = {
+        p: cluster.processes[p].engine.controller.stats.installs
+        for p in cluster.pids
+    }
+    assert installs_after == installs_before, "idle ring reconfigured"
+    cluster.send("p0", b"still-alive")
+    assert cluster.settle(timeout=10.0)
+
+
+def test_sustained_throughput_with_periodic_partitions():
+    from repro.harness.cluster import SimCluster
+    from repro.types import DeliveryRequirement
+
+    cluster = SimCluster.of_size(5, options=ClusterOptions(seed=17))
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(cluster.pids), timeout=10.0)
+    sent = 0
+    for round_no in range(5):
+        for i in range(40):
+            cluster.send(
+                cluster.pids[i % 5], f"r{round_no}-{i}".encode(),
+                DeliveryRequirement.SAFE,
+            )
+            sent += 1
+        cluster.run_for(0.05)
+        half = cluster.pids[: 2 + round_no % 2]
+        rest = [p for p in cluster.pids if p not in half]
+        cluster.partition(set(half), set(rest))
+        cluster.run_for(0.4)
+        cluster.merge_all()
+        assert cluster.wait_until(
+            lambda: cluster.converged(cluster.pids), timeout=20.0
+        ), cluster.describe()
+        assert cluster.settle(timeout=20.0)
+    violations = evs_checker.check_all(cluster.history, quiescent=True)
+    assert violations == [], [str(v) for v in violations][:10]
+    # Sanity: the system actually moved a lot of traffic.
+    assert len(cluster.history.send_events()) == sent

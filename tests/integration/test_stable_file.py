@@ -1,0 +1,72 @@
+"""Integration: file-backed stable storage across simulated restarts.
+
+The paper's failure model is recovery "with its stable storage intact";
+the in-memory store models that in tests, but the file-backed store is
+what a real deployment uses.  This exercises the whole loop on disk.
+"""
+
+from repro.harness.cluster import SimCluster
+from repro.net.transport import SimHost
+from repro.core.process import EvsProcess
+from repro.stable.storage import FileStableStore
+
+
+def test_recovery_with_file_backed_store(tmp_path):
+    cluster = SimCluster(["p", "q"])  # q uses the default in-memory store
+    # Rebuild p with a file-backed store before starting.
+    path = str(tmp_path / "p.stable.json")
+    store = FileStableStore(path)
+    host = SimHost("p2", cluster.scheduler, cluster.network)
+    proc = EvsProcess(
+        "p2",
+        host,
+        history=cluster.history,
+        stable=store,
+        totem_config=cluster.options.totem,
+    )
+    cluster.processes["p2"] = proc
+    cluster.pids.append("p2")
+    from repro.harness.cluster import RecordingListener
+
+    # EvsProcess created without listener: attach a recorder manually.
+    recorder = RecordingListener("p2")
+    proc.engine.listener = recorder
+    cluster.listeners["p2"] = recorder
+
+    cluster.start_all()
+    assert cluster.wait_until(
+        lambda: cluster.converged(["p", "q", "p2"]), timeout=10.0
+    ), cluster.describe()
+    proc.send(b"persisted-counter")
+    assert cluster.settle(timeout=10.0)
+
+    epoch_before = store.get("boot_epoch")
+    counter_before = store.get("origin_counter")
+    assert epoch_before == 1 and counter_before == 1
+
+    # Crash and recover: the file survives, the epoch advances, the
+    # origin counter continues.
+    proc.crash()
+    assert cluster.wait_until(lambda: cluster.converged(["p", "q"]), timeout=10.0)
+    proc.recover()
+    assert cluster.wait_until(
+        lambda: cluster.converged(["p", "q", "p2"]), timeout=10.0
+    ), cluster.describe()
+    receipt = proc.send(b"post-recovery")
+    assert cluster.settle(timeout=10.0)
+
+    assert store.get("boot_epoch") == 2
+    assert receipt.origin_seq > counter_before  # no origin-key collision
+    # The ring high-water mark is persisted and monotone.
+    assert store.get("max_ring_seq") >= 2
+
+
+def test_file_store_contents_are_json_inspectable(tmp_path):
+    import json
+
+    path = str(tmp_path / "stable.json")
+    store = FileStableStore(path)
+    store.update(boot_epoch=3, max_ring_seq=12, origin_counter=7)
+    with open(path) as fh:
+        on_disk = json.load(fh)
+    assert on_disk == {"boot_epoch": 3, "max_ring_seq": 12, "origin_counter": 7}

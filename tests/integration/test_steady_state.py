@@ -1,0 +1,119 @@
+"""Integration: ordering and delivery guarantees in a stable configuration."""
+
+import pytest
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.net.network import NetworkParams
+from repro.types import DeliveryRequirement
+
+from tests.conftest import ALL_REQUIREMENTS
+
+
+def test_single_sender_total_order(three_cluster):
+    c = three_cluster
+    for i in range(20):
+        c.send("p", f"m{i}".encode())
+    assert c.settle(timeout=10.0)
+    orders = c.delivery_orders()
+    expected = [f"m{i}".encode() for i in range(20)]
+    for pid in c.pids:
+        assert orders[pid] == expected
+
+
+def test_multi_sender_identical_total_order(five_cluster):
+    c = five_cluster
+    for i in range(30):
+        c.send(c.pids[i % 5], f"m{i}".encode(), DeliveryRequirement.AGREED)
+    assert c.settle(timeout=10.0)
+    orders = list(c.delivery_orders().values())
+    assert all(o == orders[0] for o in orders)
+    assert len(orders[0]) == 30
+
+
+@pytest.mark.parametrize("requirement", ALL_REQUIREMENTS)
+def test_every_service_level_delivers_everywhere(three_cluster, requirement):
+    c = three_cluster
+    for i in range(10):
+        c.send("q", f"x{i}".encode(), requirement)
+    assert c.settle(timeout=10.0)
+    for pid in c.pids:
+        assert len(c.listeners[pid].deliveries) == 10
+
+
+def test_sender_order_preserved_per_sender(five_cluster):
+    c = five_cluster
+    for i in range(10):
+        c.send("a", f"a{i}".encode())
+        c.send("b", f"b{i}".encode())
+    assert c.settle(timeout=10.0)
+    for pid in c.pids:
+        payloads = c.listeners[pid].payloads()
+        a_msgs = [p for p in payloads if p.startswith(b"a")]
+        b_msgs = [p for p in payloads if p.startswith(b"b")]
+        assert a_msgs == [f"a{i}".encode() for i in range(10)]
+        assert b_msgs == [f"b{i}".encode() for i in range(10)]
+
+
+def test_interleaved_service_levels_share_one_total_order(three_cluster):
+    c = three_cluster
+    reqs = [
+        DeliveryRequirement.SAFE,
+        DeliveryRequirement.AGREED,
+        DeliveryRequirement.CAUSAL,
+    ]
+    for i in range(15):
+        c.send("p", f"m{i}".encode(), reqs[i % 3])
+    assert c.settle(timeout=10.0)
+    orders = list(c.delivery_orders().values())
+    assert all(o == orders[0] for o in orders)
+
+
+def test_ordinals_are_dense_and_increasing(three_cluster):
+    c = three_cluster
+    for i in range(12):
+        c.send("r", f"m{i}".encode())
+    assert c.settle(timeout=10.0)
+    ordinals = [d.ordinal for d in c.listeners["p"].deliveries]
+    assert ordinals == sorted(ordinals)
+    assert ordinals == list(range(ordinals[0], ordinals[0] + 12))
+
+
+def test_throughput_under_loss():
+    c = SimCluster.of_size(
+        4, options=ClusterOptions(seed=11, network=NetworkParams(loss_rate=0.08))
+    )
+    c.start_all()
+    assert c.wait_until(lambda: c.converged(c.pids), timeout=20.0)
+    for i in range(50):
+        c.send(c.pids[i % 4], f"m{i}".encode())
+    assert c.settle(timeout=30.0), c.describe()
+    orders = list(c.delivery_orders().values())
+    assert all(o == orders[0] for o in orders) and len(orders[0]) == 50
+
+
+def test_flow_control_bounds_outstanding_window():
+    c = SimCluster(["p", "q"])
+    c.start_all()
+    assert c.wait_until(lambda: c.converged(c.pids), timeout=10.0)
+    for i in range(500):
+        c.send("p", f"m{i}".encode(), DeliveryRequirement.AGREED)
+    controller = c.processes["p"].engine.controller
+    window = controller.config.window_size
+    # Advance in small steps; the gap between assigned and globally
+    # acknowledged ordinals must never exceed the window.
+    for _ in range(200):
+        c.run_for(0.005)
+        ring = controller.ring
+        if ring is not None and ring.ack_vector:
+            outstanding = ring.high_seq - min(ring.ack_vector.values())
+            assert outstanding <= window + controller.config.max_messages_per_token
+    assert c.settle(timeout=30.0)
+
+
+def test_large_payloads_roundtrip(three_cluster):
+    c = three_cluster
+    blob = bytes(range(256)) * 64  # 16 KiB binary payload
+    c.send("p", blob)
+    assert c.settle(timeout=10.0)
+    for pid in c.pids:
+        assert c.listeners[pid].payloads()[-1] == blob

@@ -1,0 +1,96 @@
+"""Integration: the paper's Termination Property.
+
+"The underlying membership algorithm will eventually terminate if it has
+the property that, if the next proposed regular configuration is not
+installed within a bounded time, then the membership of that
+configuration is reduced."
+
+These tests verify the escalation lever works end to end: membership
+converges within a small multiple of the consensus timeout even when
+candidates die mid-consensus or keep disappearing.
+"""
+
+import pytest
+
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.totem.timers import TotemConfig
+
+
+def test_membership_terminates_when_candidates_die_mid_consensus():
+    pids = ["a", "b", "c", "d", "e"]
+    cluster = SimCluster(pids)
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(pids), timeout=10.0)
+    # Kill two members and immediately force a membership round; the
+    # survivors must not wait forever for the dead candidates.
+    cluster.crash("d")
+    cluster.crash("e")
+    t0 = cluster.now
+    assert cluster.wait_until(
+        lambda: cluster.converged(["a", "b", "c"]), timeout=10.0
+    ), cluster.describe()
+    elapsed = cluster.now - t0
+    totem = cluster.options.totem
+    # Bounded: failure detection + a couple of escalation rounds.
+    bound = totem.token_loss_timeout + 4 * totem.consensus_timeout
+    assert elapsed < bound, f"membership took {elapsed:.3f}s (bound {bound:.3f}s)"
+
+
+def test_membership_terminates_under_cascading_crashes():
+    pids = [f"x{i}" for i in range(6)]
+    cluster = SimCluster(pids)
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(pids), timeout=10.0)
+    # Crash one member per consensus period: each round's proposed
+    # membership is invalidated as it forms.
+    t0 = cluster.now
+    for victim in pids[3:]:
+        cluster.crash(victim)
+        cluster.run_for(cluster.options.totem.consensus_timeout / 2)
+    survivors = pids[:3]
+    assert cluster.wait_until(
+        lambda: cluster.converged(survivors), timeout=15.0
+    ), cluster.describe()
+    totem = cluster.options.totem
+    elapsed = cluster.now - t0
+    assert elapsed < 10 * totem.consensus_timeout
+
+
+def test_escalation_reaches_singleton_in_total_isolation():
+    """A fully isolated process must terminate its membership round at
+    the singleton configuration (the ultimate 'reduced membership')."""
+    pids = ["a", "b", "c"]
+    cluster = SimCluster(pids)
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(pids), timeout=10.0)
+    cluster.partition({"a"}, {"b"}, {"c"})
+    t0 = cluster.now
+    assert cluster.wait_until(
+        lambda: all(cluster.converged([p]) for p in pids), timeout=10.0
+    ), cluster.describe()
+    totem = cluster.options.totem
+    elapsed = cluster.now - t0
+    assert elapsed < totem.token_loss_timeout + 3 * totem.consensus_timeout
+
+
+def test_gather_rounds_are_bounded_not_livelocked():
+    """Escalation must reduce, never oscillate: count gather entries
+    during one crash-induced round."""
+    pids = ["a", "b", "c", "d"]
+    cluster = SimCluster(pids)
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(pids), timeout=10.0)
+    before = {
+        p: cluster.processes[p].engine.controller.stats.gathers_entered
+        for p in pids
+    }
+    cluster.crash("d")
+    assert cluster.wait_until(lambda: cluster.converged(["a", "b", "c"]), timeout=10.0)
+    cluster.run_for(1.0)  # stability window: no further membership churn
+    after = {
+        p: cluster.processes[p].engine.controller.stats.gathers_entered
+        for p in ["a", "b", "c"]
+    }
+    for p in ["a", "b", "c"]:
+        assert after[p] - before[p] <= 3, (p, before[p], after[p])
+    assert cluster.converged(["a", "b", "c"])

@@ -1,0 +1,66 @@
+"""Integration: the VS filter under randomized partition/merge campaigns.
+
+The scripted VS tests pin specific rule behavior; these campaigns sweep
+random partition shapes (always leaving a majority somewhere or nowhere)
+and check the full Birman battery afterwards.
+"""
+
+import random
+
+import pytest
+
+from repro.harness.cluster import ClusterOptions
+from repro.harness.vs_cluster import VsCluster
+from repro.spec.vs_checker import check_all_vs
+
+PIDS = ["a", "b", "c", "d", "e"]
+
+
+def run_vs_campaign(seed, rounds=5):
+    rng = random.Random(seed)
+    cluster = VsCluster(PIDS, options=ClusterOptions(seed=seed))
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(PIDS), timeout=10.0)
+    sent = 0
+    for _ in range(rounds):
+        # Random split into two components.
+        shuffled = PIDS[:]
+        rng.shuffle(shuffled)
+        k = rng.randint(1, 4)
+        left, right = set(shuffled[:k]), set(shuffled[k:])
+        cluster.partition(left, right)
+        assert cluster.wait_until(
+            lambda: cluster.converged(sorted(left))
+            and cluster.converged(sorted(right)),
+            timeout=15.0,
+        ), cluster.describe()
+        # Unblocked members send through the VS API.
+        for pid in cluster.unblocked():
+            cluster.vs_processes[pid].abcast(f"c{sent}".encode())
+            sent += 1
+            break
+        for group in (left, right):
+            assert cluster.settle(sorted(group), timeout=15.0)
+        cluster.merge_all()
+        assert cluster.wait_until(
+            lambda: cluster.converged(PIDS), timeout=20.0
+        ), cluster.describe()
+        assert cluster.settle(timeout=15.0)
+    return cluster, sent
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_vs_model_holds_under_random_partitions(seed):
+    cluster, sent = run_vs_campaign(seed)
+    violations = check_all_vs(cluster.vs_history, quiescent=True)
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_views_converge_after_campaign():
+    cluster, _ = run_vs_campaign(99)
+    final_views = {
+        pid: cluster.vs_processes[pid].current_view for pid in PIDS
+    }
+    ids = {v.id for v in final_views.values()}
+    members = {v.members for v in final_views.values()}
+    assert len(ids) == 1 and members == {tuple(PIDS)}

@@ -1,0 +1,137 @@
+"""Integration: the §5 VS filter over live EVS runs (Figure 7)."""
+
+import pytest
+
+from repro.errors import NotOperationalError
+from repro.harness.vs_cluster import VsCluster
+from repro.spec.vs_checker import check_all_vs
+from repro.vs.primary import WeightedMajorityStrategy
+
+PIDS = ["a", "b", "c", "d", "e"]
+
+
+@pytest.fixture
+def vs_cluster():
+    c = VsCluster(PIDS)
+    c.start_all()
+    assert c.wait_until(lambda: c.converged(PIDS), timeout=10.0)
+    return c
+
+
+def test_initial_view_contains_everyone(vs_cluster):
+    c = vs_cluster
+    for pid in PIDS:
+        assert not c.vs_processes[pid].blocked
+        assert c.vs_processes[pid].current_view.members == tuple(PIDS)
+
+
+def test_abcast_delivered_to_all_members_in_same_view(vs_cluster):
+    c = vs_cluster
+    for i in range(10):
+        c.vs_processes["a"].abcast(f"m{i}".encode())
+    assert c.settle(timeout=10.0)
+    payload_lists = [c.vs_listeners[p].payloads for p in PIDS]
+    assert all(pl == payload_lists[0] for pl in payload_lists)
+    view_ids = {
+        e.view_id for p in PIDS for e in c.vs_listeners[p].deliveries
+    }
+    assert len(view_ids) == 1
+
+
+def test_minority_blocks_and_refuses_sends(vs_cluster):
+    c = vs_cluster
+    c.partition({"a", "b", "c"}, {"d", "e"})
+    assert c.wait_until(
+        lambda: c.converged(["a", "b", "c"]) and c.converged(["d", "e"]), timeout=10.0
+    )
+    assert c.unblocked() == ["a", "b", "c"]
+    with pytest.raises(NotOperationalError):
+        c.vs_processes["d"].abcast(b"rejected")
+    # EVS itself still delivers in the minority; the filter discards.
+    c.sim.send("d", b"evs-level")
+    assert c.settle(["d", "e"], timeout=10.0)
+    assert c.vs_processes["d"].filter.discarded > 0
+
+
+def test_majority_keeps_making_progress(vs_cluster):
+    c = vs_cluster
+    c.partition({"a", "b", "c"}, {"d", "e"})
+    assert c.wait_until(lambda: c.converged(["a", "b", "c"]), timeout=10.0)
+    c.vs_processes["a"].abcast(b"progress")
+    assert c.settle(["a", "b", "c"], timeout=10.0)
+    for pid in ("a", "b", "c"):
+        assert b"progress" in c.vs_listeners[pid].payloads
+    view = c.vs_processes["a"].current_view
+    assert view.members == ("a", "b", "c")
+
+
+def test_merge_generates_per_process_view_events(vs_cluster):
+    c = vs_cluster
+    c.partition({"a", "b", "c"}, {"d", "e"})
+    assert c.wait_until(
+        lambda: c.converged(["a", "b", "c"]) and c.converged(["d", "e"]), timeout=10.0
+    )
+    c.merge_all()
+    assert c.wait_until(lambda: c.converged(PIDS), timeout=15.0)
+    views = c.views_of("a")
+    memberships = [v.members for v in views]
+    # Rule 3: d and e merged one at a time.
+    assert ("a", "b", "c", "d") in memberships
+    assert memberships[-1] == tuple(PIDS)
+    # Rule 4: the joiner saw only the final full view of the merge.
+    d_views = c.views_of("d")
+    assert d_views[-1].members == tuple(PIDS)
+    assert d_views[-1].id == views[-1].id
+
+
+def test_fail_stop_produces_view_removal(vs_cluster):
+    c = vs_cluster
+    c.stop("e")
+    rest = ["a", "b", "c", "d"]
+    assert c.wait_until(lambda: c.converged(rest), timeout=10.0)
+    assert c.views_of("a")[-1].members == tuple(rest)
+    c.vs_processes["a"].abcast(b"post-stop")
+    assert c.settle(rest, timeout=10.0)
+    violations = check_all_vs(c.vs_history, quiescent=True)
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_full_battery_over_partition_merge_stop(vs_cluster):
+    c = vs_cluster
+    c.vs_processes["a"].abcast(b"one")
+    c.vs_processes["b"].uniform(b"two")
+    c.vs_processes["c"].cbcast(b"three")
+    assert c.settle(timeout=10.0)
+    c.partition({"a", "b", "c"}, {"d", "e"})
+    assert c.wait_until(lambda: c.converged(["a", "b", "c"]), timeout=10.0)
+    c.vs_processes["a"].abcast(b"majority-only")
+    assert c.settle(["a", "b", "c"], timeout=10.0)
+    c.merge_all()
+    assert c.wait_until(lambda: c.converged(PIDS), timeout=15.0)
+    c.stop("b")
+    rest = ["a", "c", "d", "e"]
+    assert c.wait_until(lambda: c.converged(rest), timeout=10.0)
+    c.vs_processes["a"].abcast(b"final")
+    assert c.settle(rest, timeout=10.0)
+    violations = check_all_vs(c.vs_history, quiescent=True)
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_weighted_strategy_controls_who_is_primary():
+    # Give "e" enough weight to be primary alone.
+    c = VsCluster(
+        PIDS,
+        strategy_factory=lambda: WeightedMajorityStrategy(
+            {"a": 1, "b": 1, "c": 1, "d": 1, "e": 10}
+        ),
+    )
+    c.start_all()
+    assert c.wait_until(lambda: c.converged(PIDS), timeout=10.0)
+    c.partition({"a", "b", "c", "d"}, {"e"})
+    assert c.wait_until(
+        lambda: c.converged(["a", "b", "c", "d"]) and c.converged(["e"]), timeout=10.0
+    )
+    assert c.unblocked() == ["e"]
+    c.vs_processes["e"].abcast(b"heavyweight")
+    assert c.settle(["e"], timeout=10.0)
+    assert b"heavyweight" in c.vs_listeners["e"].payloads

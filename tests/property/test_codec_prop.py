@@ -1,0 +1,166 @@
+"""Property: the wire codec round-trips every protocol message."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import codec
+from repro.totem.messages import (
+    Beacon,
+    CommitToken,
+    JoinMessage,
+    MemberInfo,
+    RecoveryAck,
+    RecoveryRebroadcast,
+    RegularMessage,
+    Token,
+)
+from repro.types import DeliveryRequirement, RingId
+
+pids = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+seqs = st.integers(min_value=0, max_value=1_000_000)
+ring_ids = st.builds(RingId, seq=seqs, rep=pids)
+requirements = st.sampled_from(list(DeliveryRequirement))
+payloads = st.binary(max_size=512)
+pid_sets = st.frozensets(pids, max_size=6)
+range_tuples = st.lists(
+    st.tuples(st.integers(0, 1000), st.integers(0, 1000)).map(
+        lambda t: (min(t), max(t))
+    ),
+    max_size=5,
+).map(tuple)
+
+regular_messages = st.builds(
+    RegularMessage,
+    sender=pids,
+    ring=ring_ids,
+    seq=seqs,
+    requirement=requirements,
+    payload=payloads,
+    origin_seq=seqs,
+    resend=st.booleans(),
+)
+
+tokens = st.builds(
+    Token,
+    ring=ring_ids,
+    token_seq=seqs,
+    seq=seqs,
+    aru=st.dictionaries(pids, seqs, max_size=6),
+    rtr=st.lists(seqs, max_size=8).map(tuple),
+)
+
+joins = st.builds(
+    JoinMessage, sender=pids, proc_set=pid_sets, fail_set=pid_sets, ring_seq=seqs
+)
+
+beacons = st.builds(Beacon, sender=pids, ring=ring_ids, members=pid_sets)
+
+member_infos = st.builds(
+    MemberInfo,
+    pid=pids,
+    old_ring=ring_ids,
+    old_members=pid_sets,
+    my_aru=seqs,
+    high_seq=seqs,
+    held=range_tuples,
+    delivered_seq=seqs,
+    ack_vector=st.dictionaries(pids, seqs, max_size=6),
+    obligation=pid_sets,
+)
+
+commit_tokens = st.builds(
+    CommitToken,
+    ring=ring_ids,
+    members=st.lists(pids, min_size=1, max_size=6, unique=True).map(
+        lambda l: tuple(sorted(l))
+    ),
+    rotation=st.integers(0, 1),
+    token_seq=seqs,
+    infos=st.dictionaries(pids, member_infos, max_size=4),
+)
+
+rebroadcasts = st.builds(
+    RecoveryRebroadcast, sender=pids, attempt=ring_ids, message=regular_messages
+)
+
+acks = st.builds(
+    RecoveryAck,
+    sender=pids,
+    attempt=ring_ids,
+    old_ring=ring_ids,
+    have=range_tuples,
+    complete=st.booleans(),
+    installed=st.booleans(),
+)
+
+any_message = st.one_of(
+    regular_messages, tokens, joins, beacons, commit_tokens, rebroadcasts, acks
+)
+
+
+@given(any_message)
+@settings(max_examples=300)
+def test_roundtrip_identity(message):
+    assert codec.decode(codec.encode(message)) == message
+
+
+@given(any_message)
+@settings(max_examples=100)
+def test_encoding_is_deterministic(message):
+    assert codec.encode(message) == codec.encode(message)
+
+
+@given(regular_messages)
+@settings(max_examples=100)
+def test_decoded_payload_bytes_identical(message):
+    decoded = codec.decode(codec.encode(message))
+    assert decoded.payload == message.payload
+    assert isinstance(decoded.payload, bytes)
+
+
+# ---------------------------------------------------------------------------
+# fuzzing: malformed input must fail *cleanly*
+
+
+@given(st.binary(max_size=256))
+@settings(max_examples=200)
+def test_decode_arbitrary_bytes_raises_codec_error_or_value(data):
+    from repro.errors import CodecError
+
+    try:
+        codec.decode(data)
+    except CodecError:
+        pass  # the only acceptable failure mode
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=200)
+def test_decode_arbitrary_json_texts_fail_cleanly(text):
+    from repro.errors import CodecError
+
+    try:
+        codec.decode(text.encode("utf-8"))
+    except CodecError:
+        pass
+
+
+@given(
+    st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(), st.text(max_size=8)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=6), children, max_size=4),
+        ),
+        max_leaves=20,
+    )
+)
+@settings(max_examples=150)
+def test_decode_arbitrary_json_structures_fail_cleanly(value):
+    import json
+
+    from repro.errors import CodecError
+
+    try:
+        codec.decode(json.dumps(value).encode("utf-8"))
+    except CodecError:
+        pass

@@ -1,0 +1,82 @@
+"""Property: the recorded -> relation is a strict-order-compatible
+partial order (Spec 1.1) on arbitrarily generated histories."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import regular_configuration
+from repro.spec.history import EventRef, History
+from repro.types import ConfigurationId, DeliveryRequirement, MessageId, RingId
+
+RING = RingId(4, "a")
+CONF = ConfigurationId.regular(RING)
+PIDS = ["a", "b", "c"]
+
+
+@st.composite
+def histories(draw):
+    """Random but well-formed histories: every delivery has a prior send."""
+    h = History()
+    config = regular_configuration(RING, PIDS)
+    for pid in PIDS:
+        h.record_conf_change(pid, config, 0.0)
+    t = 1.0
+    sent = []
+    n_steps = draw(st.integers(1, 25))
+    for i in range(n_steps):
+        t += 1.0
+        pid = draw(st.sampled_from(PIDS))
+        if sent and draw(st.booleans()):
+            mid, sender = draw(st.sampled_from(sent))
+            h.record_deliver(
+                pid, mid, CONF, sender, DeliveryRequirement.AGREED, mid.seq, t
+            )
+        else:
+            mid = MessageId(RING, i + 1)
+            h.record_send(pid, mid, CONF, DeliveryRequirement.AGREED, i + 1, t)
+            sent.append((mid, pid))
+    return h
+
+
+def all_refs(h):
+    return [ref for ref, _ in h.refs()]
+
+
+@given(histories())
+@settings(max_examples=60)
+def test_reflexive(h):
+    for ref in all_refs(h):
+        assert h.precedes(ref, ref)
+
+
+@given(histories())
+@settings(max_examples=60)
+def test_antisymmetric(h):
+    refs = all_refs(h)
+    for a in refs:
+        for b in refs:
+            if a != b and h.precedes(a, b):
+                assert not h.precedes(b, a)
+
+
+@given(histories())
+@settings(max_examples=30)
+def test_transitive(h):
+    refs = all_refs(h)
+    for a in refs:
+        for b in refs:
+            if not h.precedes(a, b):
+                continue
+            for c in refs:
+                if h.precedes(b, c):
+                    assert h.precedes(a, c)
+
+
+@given(histories())
+@settings(max_examples=60)
+def test_per_process_events_totally_ordered(h):
+    for pid in h.processes:
+        events = h.events_of(pid)
+        for i in range(len(events)):
+            for j in range(i + 1, len(events)):
+                assert h.precedes(EventRef(pid, i), EventRef(pid, j))

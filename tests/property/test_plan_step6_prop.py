@@ -1,0 +1,200 @@
+"""Properties of the pure Step-6 planner.
+
+The central invariants behind the paper's proof sketch:
+
+* determinism (Spec 4): all members of a transitional group, whatever
+  their individual delivered prefixes, produce plans that agree on the
+  6.b stop point and the transitional delivery set;
+* order (Spec 6): every plan delivers in strictly increasing ordinal
+  order, regular segment before transitional segment;
+* self-delivery (Spec 3): a group member's own messages are always in
+  some delivery segment, never discarded;
+* discard rule (6.a): every discarded ordinal follows a gap and was sent
+  by a non-obligated process.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recovery import plan_step6
+from repro.totem import ranges
+from repro.totem.messages import MemberInfo, RegularMessage
+from repro.types import DeliveryRequirement, RingId
+
+OLD = RingId(8, "p")
+OLD_MEMBERS = ("p", "q", "r")
+GROUP = ("q", "r")
+
+
+@st.composite
+def recovery_inputs(draw):
+    high = draw(st.integers(1, 24))
+    # Which ordinals exist / are collectively available.
+    available = draw(
+        st.frozensets(st.integers(1, high), min_size=0, max_size=high)
+    )
+    senders = {
+        s: draw(st.sampled_from(OLD_MEMBERS)) for s in available
+    }
+    requirements = {
+        s: draw(st.sampled_from([DeliveryRequirement.AGREED, DeliveryRequirement.SAFE]))
+        for s in available
+    }
+    messages = {
+        s: RegularMessage(
+            sender=senders[s],
+            ring=OLD,
+            seq=s,
+            requirement=requirements[s],
+            payload=b"",
+            origin_seq=s,
+        )
+        for s in available
+    }
+    # Group knowledge of old-ring acks.
+    ack_q = {m: draw(st.integers(0, high)) for m in OLD_MEMBERS}
+    ack_r = {m: draw(st.integers(0, high)) for m in OLD_MEMBERS}
+    held = ranges.compress(available)
+    infos = {
+        "q": MemberInfo(
+            pid="q",
+            old_ring=OLD,
+            old_members=frozenset(OLD_MEMBERS),
+            my_aru=ack_q["q"],
+            high_seq=high,
+            held=held,
+            delivered_seq=0,
+            ack_vector=ack_q,
+            obligation=frozenset(),
+        ),
+        "r": MemberInfo(
+            pid="r",
+            old_ring=OLD,
+            old_members=frozenset(OLD_MEMBERS),
+            my_aru=ack_r["r"],
+            high_seq=high,
+            held=held,
+            delivered_seq=0,
+            ack_vector=ack_r,
+            obligation=frozenset(),
+        ),
+    }
+    # Delivered prefixes must be protocol-reachable: contiguous available
+    # prefixes that never pass a safe message the member's own ack
+    # knowledge does not cover (operational delivery blocks there).
+    def prefix_limit(ack):
+        limit = 0
+        for s in range(1, high + 1):
+            if s not in available:
+                break
+            if requirements[s] == DeliveryRequirement.SAFE and not all(
+                ack.get(m, 0) >= s for m in OLD_MEMBERS
+            ):
+                break
+            limit = s
+        return limit
+
+    delivered_q = draw(st.integers(0, prefix_limit(ack_q)))
+    delivered_r = draw(st.integers(0, prefix_limit(ack_r)))
+    return messages, available, infos, delivered_q, delivered_r
+
+
+def make_plan(messages, available, infos, delivered_seq):
+    return plan_step6(
+        old_ring=OLD,
+        old_members=frozenset(OLD_MEMBERS),
+        messages=messages,
+        delivered_seq=delivered_seq,
+        group=GROUP,
+        infos=infos,
+        obligation=frozenset(),
+        available=frozenset(available),
+    )
+
+
+@given(recovery_inputs())
+@settings(max_examples=200)
+def test_plans_deliver_in_increasing_order(inputs):
+    messages, available, infos, delivered_q, _ = inputs
+    plan = make_plan(messages, available, infos, delivered_q)
+    seqs = [m.seq for m in plan.deliver_in_regular] + [
+        m.seq for m in plan.deliver_in_transitional
+    ]
+    assert seqs == sorted(seqs)
+    assert len(seqs) == len(set(seqs))
+    assert all(s > delivered_q for s in seqs)
+
+
+@given(recovery_inputs())
+@settings(max_examples=200)
+def test_group_members_agree_on_transitional_set(inputs):
+    messages, available, infos, delivered_q, delivered_r = inputs
+    plan_q = make_plan(messages, available, infos, delivered_q)
+    plan_r = make_plan(messages, available, infos, delivered_r)
+    assert [m.seq for m in plan_q.deliver_in_transitional] == [
+        m.seq for m in plan_r.deliver_in_transitional
+    ]
+    assert plan_q.discarded == plan_r.discarded
+    # The regular segments differ exactly by the already-delivered
+    # prefixes: folding those back in gives identical delivered sets.
+    got_q = {m.seq for m in plan_q.deliver_in_regular} | set(
+        range(1, delivered_q + 1)
+    )
+    got_r = {m.seq for m in plan_r.deliver_in_regular} | set(
+        range(1, delivered_r + 1)
+    )
+    assert got_q == got_r
+
+
+@given(recovery_inputs())
+@settings(max_examples=200)
+def test_group_members_own_messages_never_discarded(inputs):
+    messages, available, infos, delivered_q, _ = inputs
+    plan = make_plan(messages, available, infos, delivered_q)
+    for seq in plan.discarded:
+        assert messages[seq].sender not in GROUP
+
+
+@given(recovery_inputs())
+@settings(max_examples=200)
+def test_discards_only_after_gaps(inputs):
+    messages, available, infos, delivered_q, _ = inputs
+    plan = make_plan(messages, available, infos, delivered_q)
+    for seq in plan.discarded:
+        gap_below = any(
+            s not in available for s in range(delivered_q + 1, seq)
+        )
+        assert gap_below
+
+
+@given(recovery_inputs())
+@settings(max_examples=200)
+def test_every_available_ordinal_is_scheduled_or_discarded(inputs):
+    messages, available, infos, delivered_q, _ = inputs
+    plan = make_plan(messages, available, infos, delivered_q)
+    scheduled = (
+        {m.seq for m in plan.deliver_in_regular}
+        | {m.seq for m in plan.deliver_in_transitional}
+        | set(plan.discarded)
+    )
+    expected = {s for s in available if s > delivered_q}
+    assert scheduled == expected
+
+
+@given(recovery_inputs())
+@settings(max_examples=200)
+def test_regular_segment_is_fully_acked_and_gap_free(inputs):
+    messages, available, infos, delivered_q, _ = inputs
+    plan = make_plan(messages, available, infos, delivered_q)
+    combined = {
+        m: max(infos["q"].ack_vector.get(m, 0), infos["r"].ack_vector.get(m, 0))
+        for m in OLD_MEMBERS
+    }
+    combined["q"] = max(combined["q"], infos["q"].my_aru)
+    combined["r"] = max(combined["r"], infos["r"].my_aru)
+    expected_next = delivered_q + 1
+    for m in plan.deliver_in_regular:
+        assert m.seq == expected_next  # contiguous: no gaps in 6.b
+        expected_next += 1
+        if m.requirement == DeliveryRequirement.SAFE:
+            assert all(combined[x] >= m.seq for x in OLD_MEMBERS)

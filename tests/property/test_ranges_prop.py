@@ -1,0 +1,71 @@
+"""Properties of the compressed range algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.totem import ranges
+
+int_sets = st.frozensets(st.integers(0, 500), max_size=60)
+
+
+@given(int_sets)
+def test_compress_expand_roundtrip(values):
+    assert ranges.expand(ranges.compress(values)) == set(values)
+
+
+@given(int_sets)
+def test_compress_is_canonical(values):
+    rs = ranges.compress(values)
+    # Sorted, disjoint, non-adjacent, non-empty ranges.
+    for lo, hi in rs:
+        assert lo <= hi
+    for (l1, h1), (l2, h2) in zip(rs, rs[1:]):
+        assert h1 + 1 < l2
+
+
+@given(int_sets)
+def test_count_matches_cardinality(values):
+    assert ranges.count(ranges.compress(values)) == len(values)
+
+
+@given(int_sets, st.integers(0, 500))
+def test_contains_agrees_with_set(values, probe):
+    assert ranges.contains(ranges.compress(values), probe) == (probe in values)
+
+
+@given(int_sets)
+def test_iterate_yields_sorted_values(values):
+    assert list(ranges.iterate(ranges.compress(values))) == sorted(values)
+
+
+@given(int_sets, int_sets)
+def test_union_is_set_union(a, b):
+    ra, rb = ranges.compress(a), ranges.compress(b)
+    assert ranges.expand(ranges.union(ra, rb)) == (set(a) | set(b))
+
+
+@given(int_sets, int_sets)
+def test_union_commutative(a, b):
+    ra, rb = ranges.compress(a), ranges.compress(b)
+    assert ranges.union(ra, rb) == ranges.union(rb, ra)
+
+
+@given(int_sets, int_sets, int_sets)
+@settings(max_examples=60)
+def test_union_associative(a, b, c):
+    ra, rb, rc = map(ranges.compress, (a, b, c))
+    assert ranges.union(ranges.union(ra, rb), rc) == ranges.union(
+        ra, ranges.union(rb, rc)
+    )
+
+
+@given(int_sets)
+def test_union_idempotent(a):
+    ra = ranges.compress(a)
+    assert ranges.union(ra, ra) == ra
+
+
+@given(int_sets, int_sets)
+def test_difference_is_set_difference(a, b):
+    ra, rb = ranges.compress(a), ranges.compress(b)
+    assert ranges.expand(ranges.difference(ra, rb)) == (set(a) - set(b))

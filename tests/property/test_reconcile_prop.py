@@ -1,0 +1,110 @@
+"""Join-semilattice laws for the reconciliation primitives.
+
+Merge-time convergence of the applications rests on these three laws
+(commutativity, associativity, idempotence): any number of components
+merging in any order reach the same state.
+"""
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.apps.reconcile import GCounter, LWWRegister, UnionLog
+
+sites = st.text(alphabet="abcde", min_size=1, max_size=2)
+counters = st.dictionaries(sites, st.integers(0, 100), max_size=5).map(GCounter)
+stamps = st.tuples(st.floats(0, 100, allow_nan=False), sites)
+registers = st.builds(LWWRegister, value=st.integers(), stamp=stamps)
+logs = st.dictionaries(
+    st.text(alphabet="xyz0123", min_size=1, max_size=4),
+    st.fixed_dictionaries({"amount": st.integers(-50, 50)}),
+    max_size=6,
+).map(UnionLog)
+
+
+def merged_counter(a, b):
+    out = GCounter(a.counts)
+    out.merge(b)
+    return out
+
+
+@given(counters, counters)
+def test_gcounter_merge_commutative(a, b):
+    assert merged_counter(a, b).counts == merged_counter(b, a).counts
+
+
+@given(counters, counters, counters)
+def test_gcounter_merge_associative(a, b, c):
+    assert (
+        merged_counter(merged_counter(a, b), c).counts
+        == merged_counter(a, merged_counter(b, c)).counts
+    )
+
+
+@given(counters)
+def test_gcounter_merge_idempotent(a):
+    assert merged_counter(a, a).counts == a.counts
+
+
+@given(counters, counters)
+def test_gcounter_merge_monotone(a, b):
+    m = merged_counter(a, b)
+    assert m.value >= a.value and m.value >= b.value
+
+
+def merged_register(a, b):
+    out = LWWRegister(a.value, a.stamp)
+    out.merge(b)
+    return out
+
+
+@given(registers, registers)
+def test_lww_merge_commutative(a, b):
+    # Stamps embed the writing site, so two distinct writes never share a
+    # stamp in a real run; exclude the unreachable tie.
+    assume(tuple(a.stamp) != tuple(b.stamp) or a.value == b.value)
+    x, y = merged_register(a, b), merged_register(b, a)
+    assert (x.value, tuple(x.stamp)) == (y.value, tuple(y.stamp))
+
+
+@given(registers, registers, registers)
+def test_lww_merge_associative(a, b, c):
+    stamps = [tuple(r.stamp) for r in (a, b, c)]
+    assume(len(set(stamps)) == 3)
+    x = merged_register(merged_register(a, b), c)
+    y = merged_register(a, merged_register(b, c))
+    assert (x.value, tuple(x.stamp)) == (y.value, tuple(y.stamp))
+
+
+@given(registers)
+def test_lww_merge_idempotent(a):
+    m = merged_register(a, a)
+    assert (m.value, tuple(m.stamp)) == (a.value, tuple(a.stamp))
+
+
+def merged_log(a, b):
+    out = UnionLog(a.entries)
+    out.merge(b)
+    return out
+
+
+@given(logs, logs)
+def test_unionlog_merge_gives_union_of_ids(a, b):
+    assert set(merged_log(a, b).entries) == set(a.entries) | set(b.entries)
+
+
+@given(logs, logs, logs)
+def test_unionlog_merge_associative_on_ids(a, b, c):
+    x = merged_log(merged_log(a, b), c)
+    y = merged_log(a, merged_log(b, c))
+    assert set(x.entries) == set(y.entries)
+
+
+@given(logs)
+def test_unionlog_fold_order_independent(a):
+    # fold iterates ids in sorted order, so any permutation of insertion
+    # produces the same fold result.
+    total = a.fold(lambda acc, e: acc + e["amount"], 0)
+    reconstructed = UnionLog()
+    for k in reversed(sorted(a.entries)):
+        reconstructed.add(k, a.entries[k])
+    assert reconstructed.fold(lambda acc, e: acc + e["amount"], 0) == total

@@ -1,0 +1,202 @@
+"""Unit tests for the wire codec."""
+
+import enum
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import CodecError
+from repro.net import codec
+from repro.totem.messages import (
+    Beacon,
+    CommitToken,
+    JoinMessage,
+    MemberInfo,
+    RecoveryAck,
+    RecoveryRebroadcast,
+    RegularMessage,
+    Token,
+)
+from repro.types import DeliveryRequirement, RingId
+
+
+def roundtrip(msg):
+    data = codec.encode(msg)
+    assert isinstance(data, bytes)
+    decoded = codec.decode(data)
+    assert decoded == msg
+    return decoded
+
+
+RING = RingId(seq=8, rep="p")
+OLD = RingId(seq=4, rep="q")
+
+
+def test_regular_message_roundtrip():
+    roundtrip(
+        RegularMessage(
+            sender="p",
+            ring=RING,
+            seq=17,
+            requirement=DeliveryRequirement.SAFE,
+            payload=b"\x00\x01binary\xff",
+            origin_seq=3,
+            resend=True,
+        )
+    )
+
+
+def test_token_roundtrip():
+    roundtrip(
+        Token(
+            ring=RING,
+            token_seq=42,
+            seq=100,
+            aru={"p": 90, "q": 100, "r": 85},
+            rtr=(86, 87, 99),
+        )
+    )
+
+
+def test_join_roundtrip():
+    roundtrip(
+        JoinMessage(
+            sender="q",
+            proc_set=frozenset({"p", "q", "r"}),
+            fail_set=frozenset({"s"}),
+            ring_seq=12,
+        )
+    )
+
+
+def test_beacon_roundtrip():
+    roundtrip(Beacon(sender="p", ring=RING, members=frozenset({"p", "q"})))
+
+
+def _member_info(pid="q"):
+    return MemberInfo(
+        pid=pid,
+        old_ring=OLD,
+        old_members=frozenset({"p", "q", "r"}),
+        my_aru=7,
+        high_seq=10,
+        held=((1, 7), (9, 10)),
+        delivered_seq=6,
+        ack_vector={"p": 5, "q": 7, "r": 7},
+        obligation=frozenset({"q", "r"}),
+    )
+
+
+def test_commit_token_roundtrip():
+    roundtrip(
+        CommitToken(
+            ring=RING,
+            members=("p", "q", "r"),
+            rotation=1,
+            token_seq=5,
+            infos={"q": _member_info("q"), "r": _member_info("r")},
+        )
+    )
+
+
+def test_recovery_rebroadcast_roundtrip():
+    inner = RegularMessage(
+        sender="r",
+        ring=OLD,
+        seq=9,
+        requirement=DeliveryRequirement.AGREED,
+        payload=b"n",
+        origin_seq=1,
+    )
+    roundtrip(RecoveryRebroadcast(sender="q", attempt=RING, message=inner))
+
+
+def test_recovery_ack_roundtrip():
+    roundtrip(
+        RecoveryAck(
+            sender="q",
+            attempt=RING,
+            old_ring=OLD,
+            have=((1, 10),),
+            complete=True,
+            installed=False,
+        )
+    )
+
+
+def test_decoded_is_value_equal_but_not_identical():
+    msg = Token(ring=RING, token_seq=1, seq=1, aru={"p": 1})
+    decoded = codec.decode(codec.encode(msg))
+    assert decoded == msg
+    assert decoded is not msg
+    assert decoded.aru is not msg.aru
+
+
+def test_empty_collections_roundtrip():
+    msg = JoinMessage(
+        sender="x", proc_set=frozenset(), fail_set=frozenset(), ring_seq=0
+    )
+    assert codec.decode(codec.encode(msg)) == msg
+
+
+def test_unregistered_dataclass_rejected():
+    @dataclass
+    class Mystery:
+        x: int
+
+    with pytest.raises(CodecError):
+        codec.encode(Mystery(x=1))
+
+
+def test_unknown_type_in_payload_rejected():
+    with pytest.raises(CodecError):
+        codec.encode(object())
+
+
+def test_garbage_bytes_rejected():
+    with pytest.raises(CodecError):
+        codec.decode(b"\x00\x01not json")
+
+
+def test_unknown_tagged_dataclass_rejected():
+    with pytest.raises(CodecError):
+        codec.decode(b'{"__d": "NoSuchClass", "f": {}}')
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(CodecError):
+        codec.decode(b'{"__zz": 1}')
+
+
+def test_register_rejects_plain_class():
+    class NotADataclass:
+        pass
+
+    with pytest.raises(CodecError):
+        codec.register(NotADataclass)
+
+
+def test_enum_registration_and_roundtrip():
+    @codec.register
+    class Color(enum.Enum):
+        RED = "red"
+
+    @codec.register
+    @dataclass(frozen=True)
+    class Paint:
+        color: Color
+
+    assert codec.decode(codec.encode(Paint(Color.RED))) == Paint(Color.RED)
+
+
+def test_nested_containers_roundtrip():
+    info = _member_info()
+    data = codec.encode(
+        CommitToken(
+            ring=RING, members=("p",), rotation=0, token_seq=0, infos={"q": info}
+        )
+    )
+    decoded = codec.decode(data)
+    assert decoded.infos["q"].held == ((1, 7), (9, 10))
+    assert decoded.infos["q"].ack_vector == {"p": 5, "q": 7, "r": 7}
+    assert isinstance(decoded.infos["q"].obligation, frozenset)

@@ -1,0 +1,65 @@
+"""Unit tests for Configuration / Delivery value types."""
+
+from repro.core.configuration import (
+    Delivery,
+    origin_key,
+    regular_configuration,
+    transitional_configuration,
+)
+from repro.types import (
+    ConfigurationKind,
+    DeliveryRequirement,
+    MessageId,
+    RingId,
+)
+
+OLD = RingId(8, "p")
+NEW = RingId(12, "a")
+
+
+def test_regular_configuration():
+    config = regular_configuration(OLD, ("p", "q", "r"))
+    assert config.is_regular and not config.is_transitional
+    assert config.kind is ConfigurationKind.REGULAR
+    assert config.members == frozenset({"p", "q", "r"})
+    assert config.ring == OLD
+    assert config.preceding_regular is None
+
+
+def test_transitional_configuration_links_both_rings():
+    old_reg = regular_configuration(OLD, ("p", "q", "r"))
+    trans = transitional_configuration(NEW, OLD, ("q", "r"), old_reg.id)
+    assert trans.is_transitional
+    assert trans.members == frozenset({"q", "r"})
+    assert trans.preceding_regular == old_reg.id
+    assert trans.following_ring == NEW
+    assert trans.id.ring == NEW
+
+
+def test_transitional_configurations_of_different_groups_differ():
+    old_reg = regular_configuration(OLD, ("p", "q", "r"))
+    other_old = RingId(6, "s")
+    t1 = transitional_configuration(NEW, OLD, ("q", "r"), old_reg.id)
+    t2 = transitional_configuration(
+        NEW, other_old, ("s", "t"), regular_configuration(other_old, ("s", "t")).id
+    )
+    assert t1.id != t2.id
+
+
+def test_configuration_str_mentions_kind_and_members():
+    config = regular_configuration(OLD, ("p",))
+    assert "regular" in str(config) and "p" in str(config)
+
+
+def test_delivery_accessors():
+    d = Delivery(
+        message_id=MessageId(OLD, 7),
+        sender="q",
+        payload=b"x",
+        requirement=DeliveryRequirement.SAFE,
+        config_id=regular_configuration(OLD, ("p", "q")).id,
+        origin_seq=3,
+    )
+    assert d.ordinal == 7
+    assert d.sent_in_ring == OLD
+    assert origin_key(d) == ("q", 3)

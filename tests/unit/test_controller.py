@@ -1,0 +1,462 @@
+"""Unit tests driving TotemController directly through a fake host.
+
+These complement the integration tests by pinning down packet-level
+behavior: token staleness filtering, retransmission service, flow
+control, commit-token rotations, stale-join filtering, and crash
+semantics - each observable as exact packets/timers on the fake host.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.recovery import RecoveryPlan
+from repro.errors import ProcessCrashedError
+from repro.totem.controller import (
+    ControllerState,
+    EngineHooks,
+    T_TOKEN_LOSS,
+    TotemController,
+)
+from repro.totem.messages import (
+    Beacon,
+    CommitToken,
+    JoinMessage,
+    RegularMessage,
+    Token,
+)
+from repro.totem.timers import TotemConfig
+from repro.types import DeliveryRequirement, ProcessId, RingId
+
+
+class FakeHost:
+    """Records effects; time advances manually."""
+
+    def __init__(self, pid: ProcessId) -> None:
+        self._pid = pid
+        self._now = 0.0
+        self.broadcasts = []
+        self.unicasts = []
+        self.timers = {}
+
+    @property
+    def pid(self):
+        return self._pid
+
+    @property
+    def now(self):
+        return self._now
+
+    def advance(self, dt):
+        self._now += dt
+
+    def broadcast(self, message):
+        self.broadcasts.append(message)
+
+    def unicast(self, dest, message):
+        self.unicasts.append((dest, message))
+
+    def set_timer(self, name, delay):
+        self.timers[name] = self._now + delay
+
+    def cancel_timer(self, name):
+        self.timers.pop(name, None)
+
+    # test helpers ---------------------------------------------------------
+
+    def sent_of_type(self, cls):
+        return [m for m in self.broadcasts if isinstance(m, cls)] + [
+            m for _, m in self.unicasts if isinstance(m, cls)
+        ]
+
+    def clear(self):
+        self.broadcasts.clear()
+        self.unicasts.clear()
+
+
+class FakeEngine(EngineHooks):
+    def __init__(self):
+        self.sent = []
+        self.delivered = []
+        self.installs = []
+
+    def on_message_sent(self, message):
+        self.sent.append(message)
+
+    def on_operational_deliver(self, message):
+        self.delivered.append(message)
+
+    def on_install(self, old_members, plan, new_ring, new_members):
+        self.installs.append((old_members, plan, new_ring, new_members))
+
+    def on_state_change(self, state):
+        pass
+
+
+RING = RingId(8, "a")
+MEMBERS = ("a", "b", "c")
+
+
+def make_operational(me="b", members=MEMBERS, ring=RING):
+    """A controller hoisted directly into OPERATIONAL on a ring."""
+    host = FakeHost(me)
+    engine = FakeEngine()
+    controller = TotemController(host, engine, TotemConfig())
+    controller.start(RingId(1, me))  # boot; enters gather
+    # Force-install the ring (bypassing membership for unit isolation).
+    from repro.totem.ring import RingState
+
+    controller.ring = RingState(ring, members, me)
+    controller.state = ControllerState.OPERATIONAL
+    controller.gather = None
+    controller.max_ring_seq_seen = ring.seq
+    host.clear()
+    return controller, host, engine
+
+
+def token(seq=0, token_seq=1, aru=None, rtr=()):
+    return Token(
+        ring=RING,
+        token_seq=token_seq,
+        seq=seq,
+        aru=aru or {m: 0 for m in MEMBERS},
+        rtr=tuple(rtr),
+    )
+
+
+def msg(seq, sender="a", requirement=DeliveryRequirement.AGREED, payload=None):
+    return RegularMessage(
+        sender=sender,
+        ring=RING,
+        seq=seq,
+        requirement=requirement,
+        payload=payload or b"x%d" % seq,
+        origin_seq=seq,
+    )
+
+
+# ---------------------------------------------------------------- tokens
+
+
+def test_token_is_forwarded_to_ring_successor():
+    controller, host, _ = make_operational(me="b")
+    controller.submit(b"work", DeliveryRequirement.AGREED)  # non-idle visit
+    controller.on_packet("a", token())
+    dest, fwd = host.unicasts[-1]
+    assert dest == "c"  # b's successor in (a, b, c)
+    assert fwd.token_seq == 2
+
+
+def test_last_member_wraps_to_first():
+    controller, host, _ = make_operational(me="c")
+    controller.submit(b"work", DeliveryRequirement.AGREED)
+    controller.on_packet("b", token())
+    dest, _ = host.unicasts[-1]
+    assert dest == "a"
+
+
+def test_stale_token_is_dropped():
+    controller, host, _ = make_operational()
+    controller.on_packet("a", token(token_seq=5))
+    host.unicasts.clear()
+    controller.on_packet("a", token(token_seq=5))  # duplicate retransmission
+    controller.on_packet("a", token(token_seq=4))  # older still
+    assert host.unicasts == []
+
+
+def test_token_visit_assigns_ordinals_to_pending_submissions():
+    controller, host, engine = make_operational(me="b")
+    controller.submit(b"hello", DeliveryRequirement.SAFE)
+    controller.submit(b"world", DeliveryRequirement.AGREED)
+    controller.on_packet("a", token(seq=10))
+    broadcastd = host.sent_of_type(RegularMessage)
+    assert [m.seq for m in broadcastd] == [11, 12]
+    assert [m.payload for m in broadcastd] == [b"hello", b"world"]
+    assert [m.seq for m in engine.sent] == [11, 12]
+    # The forwarded token carries the new high ordinal.
+    _, fwd = host.unicasts[-1]
+    assert fwd.seq == 12
+
+
+def test_flow_control_caps_messages_per_token_visit():
+    controller, host, _ = make_operational(me="b")
+    for i in range(25):
+        controller.submit(b"m%d" % i, DeliveryRequirement.AGREED)
+    controller.on_packet("a", token())
+    sent = host.sent_of_type(RegularMessage)
+    assert len(sent) == controller.config.max_messages_per_token
+    assert len(controller.pending_submits) == 25 - len(sent)
+
+
+def test_window_limits_outstanding_ordinals():
+    controller, host, _ = make_operational(me="b")
+    for i in range(20):
+        controller.submit(b"m%d" % i, DeliveryRequirement.AGREED)
+    # The ring is far ahead of the slowest member: window nearly full.
+    window = controller.config.window_size
+    t = token(seq=window - 3, aru={m: 0 for m in MEMBERS}, token_seq=1)
+    controller.on_packet("a", t)
+    sent = host.sent_of_type(RegularMessage)
+    assert len(sent) == 3  # only the remaining window
+
+
+def test_token_serves_retransmission_requests():
+    controller, host, _ = make_operational(me="b")
+    controller.ring.store(msg(5))
+    controller.on_packet("a", token(seq=5, rtr=(5,)))
+    resends = [m for m in host.sent_of_type(RegularMessage) if m.resend]
+    assert [m.seq for m in resends] == [5]
+    _, fwd = host.unicasts[-1]
+    assert 5 not in fwd.rtr  # request satisfied
+
+
+def test_token_requests_own_gaps():
+    controller, host, _ = make_operational(me="b")
+    controller.ring.store(msg(2))  # 1 is missing
+    controller.on_packet("a", token(seq=2))
+    _, fwd = host.unicasts[-1]
+    assert 1 in fwd.rtr
+
+
+def test_unserved_requests_stay_on_token():
+    controller, host, _ = make_operational(me="b")
+    controller.on_packet("a", token(seq=7, rtr=(7,)))
+    _, fwd = host.unicasts[-1]
+    assert 7 in fwd.rtr  # we do not hold 7; leave the request for others
+
+
+def test_idle_token_is_held_then_forwarded():
+    controller, host, _ = make_operational(me="b")
+    controller.on_packet("a", token())
+    # No work: the token is held on a pacing timer, not forwarded yet.
+    assert host.unicasts == []
+    assert controller._held_token is not None
+    controller.on_timer("token_hold")
+    assert len(host.unicasts) == 1
+
+
+def test_submit_flushes_held_token():
+    controller, host, _ = make_operational(me="b")
+    controller.on_packet("a", token())
+    assert host.unicasts == []
+    controller.submit(b"go", DeliveryRequirement.AGREED)
+    assert len(host.unicasts) == 1  # released immediately
+
+
+def test_safe_delivery_happens_on_ack_coverage():
+    controller, host, engine = make_operational(me="b")
+    controller.ring.store(msg(1, requirement=DeliveryRequirement.SAFE))
+    assert engine.delivered == []
+    controller.on_packet("a", token(seq=1, aru={"a": 1, "b": 1, "c": 1}))
+    assert [m.seq for m in engine.delivered] == [1]
+
+
+def test_token_loss_timer_triggers_gather():
+    controller, host, _ = make_operational(me="b")
+    controller.on_packet("a", token())
+    assert T_TOKEN_LOSS in host.timers
+    controller.on_timer(T_TOKEN_LOSS)
+    assert controller.state is ControllerState.GATHER
+    joins = host.sent_of_type(JoinMessage)
+    assert joins and joins[-1].proc_set == frozenset(MEMBERS)
+
+
+# ---------------------------------------------------------------- joins
+
+
+def test_foreign_regular_message_triggers_gather():
+    controller, host, _ = make_operational(me="b")
+    foreign = RegularMessage(
+        sender="z",
+        ring=RingId(6, "z"),
+        seq=1,
+        requirement=DeliveryRequirement.AGREED,
+        payload=b"",
+    )
+    controller.on_packet("z", foreign)
+    assert controller.state is ControllerState.GATHER
+    assert "z" in controller.gather.proc_set
+
+
+def test_stale_member_message_is_ignored():
+    controller, host, _ = make_operational(me="b")
+    old = RegularMessage(
+        sender="a",
+        ring=RingId(4, "a"),  # a past ring of the same member
+        seq=9,
+        requirement=DeliveryRequirement.AGREED,
+        payload=b"",
+    )
+    controller.on_packet("a", old)
+    assert controller.state is ControllerState.OPERATIONAL
+
+
+def test_stale_join_does_not_tear_down_the_ring():
+    controller, host, _ = make_operational(me="b")
+    stale = JoinMessage(
+        sender="a",
+        proc_set=frozenset(MEMBERS),
+        fail_set=frozenset(),
+        ring_seq=RING.seq - 4,  # from the round that formed this ring
+    )
+    controller.on_packet("a", stale)
+    assert controller.state is ControllerState.OPERATIONAL
+
+
+def test_fresh_join_starts_membership():
+    controller, host, _ = make_operational(me="b")
+    fresh = JoinMessage(
+        sender="a",
+        proc_set=frozenset(MEMBERS),
+        fail_set=frozenset(),
+        ring_seq=RING.seq,
+    )
+    controller.on_packet("a", fresh)
+    assert controller.state is ControllerState.GATHER
+
+
+def test_stale_join_from_foreign_process_still_counts_as_evidence():
+    controller, host, _ = make_operational(me="b")
+    foreign = JoinMessage(
+        sender="z",
+        proc_set=frozenset({"z"}),
+        fail_set=frozenset(),
+        ring_seq=0,
+    )
+    controller.on_packet("z", foreign)
+    assert controller.state is ControllerState.GATHER
+    assert "z" in controller.gather.proc_set
+
+
+def test_beacon_from_foreign_ring_triggers_gather_with_members():
+    controller, host, _ = make_operational(me="b")
+    beacon = Beacon(
+        sender="x", ring=RingId(20, "x"), members=frozenset({"x", "y"})
+    )
+    controller.on_packet("x", beacon)
+    assert controller.state is ControllerState.GATHER
+    assert {"x", "y"} <= controller.gather.proc_set
+
+
+def test_stale_beacon_from_member_ignored():
+    controller, host, _ = make_operational(me="b")
+    beacon = Beacon(sender="a", ring=RingId(4, "a"), members=frozenset({"a"}))
+    controller.on_packet("a", beacon)
+    assert controller.state is ControllerState.OPERATIONAL
+
+
+# ------------------------------------------------------------ commit path
+
+
+def drive_to_commit(me="a"):
+    """Boot-level controller brought to consensus with peer 'b'."""
+    host = FakeHost(me)
+    engine = FakeEngine()
+    controller = TotemController(host, engine, TotemConfig())
+    controller.start(RingId(1, me))
+    other = "b" if me == "a" else "a"
+    join = JoinMessage(
+        sender=other,
+        proc_set=frozenset({me, other}),
+        fail_set=frozenset(),
+        ring_seq=1,
+    )
+    controller.on_packet(other, join)
+    return controller, host, engine
+
+
+def test_representative_emits_commit_token_on_consensus():
+    controller, host, _ = drive_to_commit(me="a")
+    assert controller.state is ControllerState.COMMIT
+    commits = host.sent_of_type(CommitToken)
+    assert len(commits) == 1
+    ct = commits[0]
+    assert ct.members == ("a", "b")
+    assert ct.rotation == 0
+    assert "a" in ct.infos and ct.ring.rep == "a"
+    assert ct.ring.seq > 1
+
+
+def test_non_representative_waits_for_commit_token():
+    controller, host, _ = drive_to_commit(me="b")
+    assert controller.state is ControllerState.COMMIT
+    assert host.sent_of_type(CommitToken) == []
+
+
+def test_member_fills_slot_and_forwards_commit_token():
+    controller, host, _ = drive_to_commit(me="b")
+    host.clear()
+    attempt = RingId(5, "a")
+    ct = CommitToken(
+        ring=attempt,
+        members=("a", "b"),
+        rotation=0,
+        token_seq=0,
+        infos={"a": controller._my_member_info()},  # placeholder info
+    )
+    ct = replace(ct, infos={"a": replace(ct.infos["a"], pid="a")})
+    controller.on_packet("a", ct)
+    # b filled its slot; rotation-0 token returns to the representative.
+    forwarded = [m for d, m in host.unicasts if isinstance(m, CommitToken)]
+    assert forwarded and "b" in forwarded[0].infos
+    assert forwarded[0].rotation == 0
+    assert host.unicasts[0][0] == "a"
+
+
+def test_commit_token_for_installed_ring_is_stale():
+    controller, host, _ = make_operational(me="b")
+    old_attempt = CommitToken(
+        ring=RingId(4, "a"), members=("a", "b", "c"), rotation=0, token_seq=0
+    )
+    controller.on_packet("a", old_attempt)
+    assert controller.state is ControllerState.OPERATIONAL
+
+
+def test_singleton_boot_installs_alone_after_join_timeout():
+    host = FakeHost("solo")
+    engine = FakeEngine()
+    controller = TotemController(host, engine, TotemConfig())
+    controller.start(RingId(1, "solo"))
+    assert controller.state is ControllerState.GATHER
+    # The singleton settle rule: consensus is only taken on the join
+    # timer once no peer answered.
+    host.advance(controller.config.join_timeout + 0.001)
+    controller.on_timer("join")
+    # The representative's commit token circulates a one-member ring by
+    # unicasting to itself; the fake host has no loopback, so pump it.
+    for _ in range(8):
+        if controller.state is ControllerState.OPERATIONAL:
+            break
+        pending, host.unicasts = list(host.unicasts), []
+        for dest, message in pending:
+            if dest == "solo":
+                controller.on_packet("solo", message)
+    assert controller.state is ControllerState.OPERATIONAL
+    assert engine.installs, "singleton configuration must install"
+    _, plan, new_ring, new_members = engine.installs[-1]
+    assert new_members == frozenset({"solo"})
+    assert isinstance(plan, RecoveryPlan)
+
+
+# ---------------------------------------------------------------- crash
+
+
+def test_crash_silences_and_submit_raises():
+    controller, host, _ = make_operational(me="b")
+    controller.crash()
+    assert controller.state is ControllerState.CRASHED
+    with pytest.raises(ProcessCrashedError):
+        controller.submit(b"x", DeliveryRequirement.SAFE)
+    host.clear()
+    controller.on_packet("a", token())
+    controller.on_timer(T_TOKEN_LOSS)
+    assert host.unicasts == [] and host.broadcasts == []
+
+
+def test_stats_counters_track_activity():
+    controller, host, engine = make_operational(me="b")
+    controller.submit(b"x", DeliveryRequirement.AGREED)
+    controller.on_packet("a", token())
+    assert controller.stats.tokens_handled == 1
+    assert controller.stats.messages_originated == 1
+    assert controller.stats.tokens_forwarded == 1

@@ -1,0 +1,110 @@
+"""Unit tests for the EVS engine's lifecycle and stable-storage behavior."""
+
+import pytest
+
+from repro.errors import ProcessCrashedError
+from repro.harness.cluster import SimCluster
+from repro.spec.history import ConfChangeEvent, FailEvent
+from repro.types import ConfigurationKind
+
+
+def test_boot_installs_singleton_regular_configuration():
+    cluster = SimCluster(["p"])
+    cluster.start_all()
+    listener = cluster.listeners["p"]
+    first = listener.configurations[0]
+    assert first.is_regular
+    assert first.members == frozenset({"p"})
+
+
+def test_boot_ring_sequence_persisted():
+    cluster = SimCluster(["p"])
+    cluster.start_all()
+    store = cluster.stores["p"]
+    assert store.get("boot_epoch") == 1
+    assert store.get("max_ring_seq") >= 1
+
+
+def test_crash_records_fail_event():
+    cluster = SimCluster(["p", "q"])
+    cluster.start_all()
+    cluster.run_for(0.2)
+    cluster.crash("p")
+    fails = [e for e in cluster.history.events_of("p") if isinstance(e, FailEvent)]
+    assert len(fails) == 1
+
+
+def test_double_crash_rejected():
+    cluster = SimCluster(["p"])
+    cluster.start_all()
+    cluster.crash("p")
+    with pytest.raises(ProcessCrashedError):
+        cluster.crash("p")
+
+
+def test_recover_before_crash_rejected():
+    cluster = SimCluster(["p"])
+    cluster.start_all()
+    with pytest.raises(ProcessCrashedError):
+        cluster.recover("p")
+
+
+def test_send_while_crashed_rejected():
+    cluster = SimCluster(["p"])
+    cluster.start_all()
+    cluster.crash("p")
+    with pytest.raises(ProcessCrashedError):
+        cluster.send("p", b"x")
+
+
+def test_recovery_uses_fresh_singleton_with_same_identifier():
+    cluster = SimCluster(["p"])
+    cluster.start_all()
+    cluster.run_for(0.2)
+    first_boot = cluster.listeners["p"].configurations[0]
+    cluster.crash("p")
+    cluster.recover("p")
+    cluster.run_for(0.2)
+    confs = cluster.listeners["p"].configurations
+    # Recovery installed a new singleton regular configuration with the
+    # SAME process identifier but a fresh configuration identifier.
+    post = [c for c in confs if c.is_regular and c.members == frozenset({"p"})]
+    assert len(post) >= 2
+    assert post[0].id != post[-1].id
+    assert cluster.stores["p"].get("boot_epoch") == 2
+
+
+def test_origin_counter_survives_crash():
+    cluster = SimCluster(["p", "q"])
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(["p", "q"]), timeout=5.0)
+    r1 = cluster.send("p", b"one")
+    assert cluster.settle(timeout=5.0)
+    cluster.crash("p")
+    cluster.recover("p")
+    assert cluster.wait_until(lambda: cluster.converged(["p", "q"]), timeout=5.0)
+    r2 = cluster.send("p", b"two")
+    # (sender, origin_seq) keys never collide across incarnations.
+    assert r2.origin_seq > r1.origin_seq
+
+
+def test_delivery_config_matches_message_ring():
+    cluster = SimCluster(["p", "q"])
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(["p", "q"]), timeout=5.0)
+    cluster.send("p", b"x")
+    assert cluster.settle(timeout=5.0)
+    for d in cluster.listeners["q"].deliveries:
+        assert d.config_id.ring == d.message_id.ring
+
+
+def test_conf_change_events_recorded_for_both_kinds():
+    cluster = SimCluster(["p", "q"])
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(["p", "q"]), timeout=5.0)
+    kinds = {
+        e.config.kind
+        for e in cluster.history.events_of("p")
+        if isinstance(e, ConfChangeEvent)
+    }
+    assert kinds == {ConfigurationKind.REGULAR, ConfigurationKind.TRANSITIONAL}

@@ -1,0 +1,229 @@
+"""Adversarial tests: every specification checker must DETECT violations.
+
+A checker that passes correct histories proves little unless it also
+fails corrupted ones.  Each test below fabricates a history violating
+exactly one specification and asserts the corresponding checker flags it
+(and, where cheap, that the others stay quiet)."""
+
+from repro.core.configuration import (
+    regular_configuration,
+    transitional_configuration,
+)
+from repro.spec import evs_checker
+from repro.spec.history import History
+from repro.types import ConfigurationId, DeliveryRequirement, MessageId, RingId
+
+RING = RingId(4, "p")
+CONF = ConfigurationId.regular(RING)
+REG = regular_configuration(RING, ("p", "q"))
+
+AGREED = DeliveryRequirement.AGREED
+SAFE = DeliveryRequirement.SAFE
+
+
+def base_history(members=("p", "q")):
+    h = History()
+    config = regular_configuration(RING, members)
+    for pid in members:
+        h.record_conf_change(pid, config, 0.0)
+    return h
+
+
+def specs_of(violations):
+    return {v.spec for v in violations}
+
+
+def test_delivery_without_send_violates_1_3():
+    h = base_history()
+    h.record_deliver("q", MessageId(RING, 1), CONF, "p", AGREED, 1, 1.0)
+    assert "1.3" in specs_of(evs_checker.check_basic_delivery(h))
+
+
+def test_delivery_in_wrong_configuration_family_violates_1_3():
+    h = base_history()
+    other_ring = RingId(9, "z")
+    h.record_conf_change("q", regular_configuration(other_ring, ("q",)), 0.5)
+    mid = MessageId(RING, 1)
+    h.record_send("p", mid, CONF, AGREED, 1, 1.0)
+    h.record_deliver("q", mid, ConfigurationId.regular(other_ring), "p", AGREED, 1, 2.0)
+    assert "1.3" in specs_of(evs_checker.check_basic_delivery(h))
+
+
+def test_duplicate_send_violates_1_4():
+    h = base_history()
+    mid = MessageId(RING, 1)
+    h.record_send("p", mid, CONF, AGREED, 1, 1.0)
+    h.record_send("q", mid, CONF, AGREED, 1, 1.5)
+    assert "1.4" in specs_of(evs_checker.check_basic_delivery(h))
+
+
+def test_send_in_foreign_configuration_violates_1_4():
+    h = base_history()
+    other = ConfigurationId.regular(RingId(9, "z"))
+    h.record_conf_change("p", regular_configuration(RingId(9, "z"), ("p",)), 0.5)
+    h.record_send("p", MessageId(RING, 1), other, AGREED, 1, 1.0)
+    assert "1.4" in specs_of(evs_checker.check_basic_delivery(h))
+
+
+def test_double_delivery_violates_1_4():
+    h = base_history()
+    mid = MessageId(RING, 1)
+    h.record_send("p", mid, CONF, AGREED, 1, 1.0)
+    h.record_deliver("q", mid, CONF, "p", AGREED, 1, 2.0)
+    h.record_deliver("q", mid, CONF, "p", AGREED, 1, 3.0)
+    assert "1.4" in specs_of(evs_checker.check_basic_delivery(h))
+
+
+def test_event_outside_installed_configuration_violates_2_2():
+    h = base_history()
+    foreign = ConfigurationId.regular(RingId(9, "z"))
+    h.record_send("p", MessageId(RingId(9, "z"), 1), foreign, AGREED, 1, 1.0)
+    assert "2.2" in specs_of(evs_checker.check_configuration_changes(h, quiescent=False))
+
+
+def test_event_before_any_configuration_violates_2_2():
+    h = History()
+    h.record_send("p", MessageId(RING, 1), CONF, AGREED, 1, 1.0)
+    assert "2.2" in specs_of(evs_checker.check_configuration_changes(h, quiescent=False))
+
+
+def test_installing_configuration_without_membership_violates_2_2():
+    h = History()
+    h.record_conf_change("z", REG, 0.0)  # z is not a member of {p, q}
+    assert "2.2" in specs_of(evs_checker.check_configuration_changes(h, quiescent=False))
+
+
+def test_member_missing_final_configuration_violates_2_1():
+    h = History()
+    h.record_conf_change("p", REG, 0.0)  # q never installs it
+    assert "2.1" in specs_of(evs_checker.check_configuration_changes(h, quiescent=True))
+
+
+def test_undelivered_own_message_violates_3():
+    h = base_history()
+    mid = MessageId(RING, 1)
+    h.record_send("p", mid, CONF, SAFE, 1, 1.0)
+    # p moves to a new regular configuration without delivering its own
+    # message and without a transitional window for RING.
+    new_ring = RingId(8, "p")
+    h.record_conf_change("p", regular_configuration(new_ring, ("p",)), 2.0)
+    assert "3" in specs_of(evs_checker.check_self_delivery(h, quiescent=True))
+
+
+def test_failed_sender_is_excused_from_3():
+    h = base_history()
+    mid = MessageId(RING, 1)
+    h.record_send("p", mid, CONF, SAFE, 1, 1.0)
+    h.record_fail("p", CONF, 1.5)
+    assert evs_checker.check_self_delivery(h, quiescent=True) == []
+
+
+def test_delivery_in_transitional_window_satisfies_3():
+    h = base_history()
+    mid = MessageId(RING, 1)
+    h.record_send("p", mid, CONF, SAFE, 1, 1.0)
+    new_ring = RingId(8, "p")
+    trans = transitional_configuration(new_ring, RING, ("p",), REG.id)
+    h.record_conf_change("p", trans, 2.0)
+    h.record_deliver("p", mid, trans.id, "p", SAFE, 1, 2.1)
+    h.record_conf_change("p", regular_configuration(new_ring, ("p",)), 2.2)
+    assert evs_checker.check_self_delivery(h, quiescent=True) == []
+
+
+def test_different_delivery_sets_violate_4():
+    h = base_history()
+    mid1, mid2 = MessageId(RING, 1), MessageId(RING, 2)
+    h.record_send("p", mid1, CONF, AGREED, 1, 1.0)
+    h.record_send("p", mid2, CONF, AGREED, 2, 1.1)
+    h.record_deliver("p", mid1, CONF, "p", AGREED, 1, 1.2)
+    h.record_deliver("p", mid2, CONF, "p", AGREED, 2, 1.3)
+    h.record_deliver("q", mid1, CONF, "p", AGREED, 1, 1.2)
+    # q skips mid2, then both install the same next configuration.
+    new_ring = RingId(8, "p")
+    nxt = regular_configuration(new_ring, ("p", "q"))
+    h.record_conf_change("p", nxt, 2.0)
+    h.record_conf_change("q", nxt, 2.0)
+    assert "4" in specs_of(evs_checker.check_failure_atomicity(h))
+
+
+def test_causal_predecessor_skipped_violates_5():
+    h = base_history()
+    mid1, mid2 = MessageId(RING, 1), MessageId(RING, 2)
+    h.record_send("p", mid1, CONF, AGREED, 1, 1.0)
+    # q delivers m1 then sends m2 => send(m1) -> send(m2).
+    h.record_deliver("q", mid1, CONF, "p", AGREED, 1, 1.5)
+    h.record_send("q", mid2, CONF, AGREED, 1, 2.0)
+    # p delivers m2 but never m1.
+    h.record_deliver("p", mid2, CONF, "q", AGREED, 1, 3.0)
+    assert "5" in specs_of(evs_checker.check_causal_delivery(h))
+
+
+def test_causal_order_inverted_violates_5():
+    h = base_history()
+    mid1, mid2 = MessageId(RING, 1), MessageId(RING, 2)
+    h.record_send("p", mid1, CONF, AGREED, 1, 1.0)
+    h.record_deliver("q", mid1, CONF, "p", AGREED, 1, 1.5)
+    h.record_send("q", mid2, CONF, AGREED, 1, 2.0)
+    h.record_deliver("p", mid2, CONF, "q", AGREED, 1, 3.0)
+    h.record_deliver("p", mid1, CONF, "p", AGREED, 1, 4.0)  # after m2!
+    assert "5" in specs_of(evs_checker.check_causal_delivery(h))
+
+
+def test_inverted_delivery_orders_violate_6():
+    h = base_history()
+    mid1, mid2 = MessageId(RING, 1), MessageId(RING, 2)
+    h.record_send("p", mid1, CONF, AGREED, 1, 1.0)
+    h.record_send("p", mid2, CONF, AGREED, 2, 1.1)
+    h.record_deliver("p", mid1, CONF, "p", AGREED, 1, 2.0)
+    h.record_deliver("p", mid2, CONF, "p", AGREED, 2, 2.1)
+    h.record_deliver("q", mid2, CONF, "p", AGREED, 2, 2.0)
+    h.record_deliver("q", mid1, CONF, "p", AGREED, 1, 2.1)
+    assert "6.1/6.2" in specs_of(evs_checker.check_total_order(h))
+
+
+def test_skipped_member_message_violates_6_3():
+    h = base_history()
+    mid1, mid2 = MessageId(RING, 1), MessageId(RING, 2)
+    h.record_send("p", mid1, CONF, AGREED, 1, 1.0)
+    h.record_send("p", mid2, CONF, AGREED, 2, 1.1)
+    h.record_deliver("p", mid1, CONF, "p", AGREED, 1, 2.0)
+    h.record_deliver("p", mid2, CONF, "p", AGREED, 2, 2.1)
+    h.record_deliver("q", mid2, CONF, "p", AGREED, 2, 2.0)  # skipped mid1
+    assert "6.3" in specs_of(evs_checker.check_total_order(h))
+
+
+def test_safe_delivery_missing_at_member_violates_7_1():
+    h = base_history()
+    mid = MessageId(RING, 1)
+    h.record_send("p", mid, CONF, SAFE, 1, 1.0)
+    h.record_deliver("p", mid, CONF, "p", SAFE, 1, 2.0)
+    # q neither delivers nor fails.
+    assert "7.1" in specs_of(evs_checker.check_safe_delivery(h, quiescent=True))
+
+
+def test_safe_delivery_excused_by_failure():
+    h = base_history()
+    mid = MessageId(RING, 1)
+    h.record_send("p", mid, CONF, SAFE, 1, 1.0)
+    h.record_deliver("p", mid, CONF, "p", SAFE, 1, 2.0)
+    h.record_fail("q", CONF, 1.5)
+    assert evs_checker.check_safe_delivery(h, quiescent=True) == []
+
+
+def test_safe_delivery_in_uninstalled_regular_violates_7_2():
+    h = History()
+    h.record_conf_change("p", REG, 0.0)  # q never installed REG
+    mid = MessageId(RING, 1)
+    h.record_send("p", mid, CONF, SAFE, 1, 1.0)
+    h.record_deliver("p", mid, CONF, "p", SAFE, 1, 2.0)
+    h.record_fail("q", CONF, 0.5)  # excuses 7.1 but not 7.2
+    assert "7.2" in specs_of(evs_checker.check_safe_delivery(h, quiescent=True))
+
+
+def test_clean_history_passes_everything():
+    h = base_history()
+    mid = MessageId(RING, 1)
+    h.record_send("p", mid, CONF, SAFE, 1, 1.0)
+    h.record_deliver("p", mid, CONF, "p", SAFE, 1, 2.0)
+    h.record_deliver("q", mid, CONF, "p", SAFE, 1, 2.0)
+    assert evs_checker.check_all(h, quiescent=True) == []

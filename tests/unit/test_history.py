@@ -1,0 +1,112 @@
+"""Unit tests for history recording and the precedes (->) relation."""
+
+from repro.core.configuration import regular_configuration
+from repro.spec.history import EventRef, History
+from repro.types import ConfigurationId, DeliveryRequirement, MessageId, RingId
+
+RING = RingId(4, "p")
+CONF = ConfigurationId.regular(RING)
+M1 = MessageId(RING, 1)
+M2 = MessageId(RING, 2)
+
+
+def record_conf(h, pid, t=0.0):
+    h.record_conf_change(pid, regular_configuration(RING, ("p", "q")), t)
+
+
+def test_per_process_order_is_preserved():
+    h = History()
+    record_conf(h, "p", 0.0)
+    h.record_send(h.processes[0], M1, CONF, DeliveryRequirement.SAFE, 1, 1.0)
+    h.record_deliver("p", M1, CONF, "p", DeliveryRequirement.SAFE, 1, 2.0)
+    events = h.events_of("p")
+    assert len(events) == 3
+    assert h.precedes(EventRef("p", 0), EventRef("p", 2))
+    assert not h.precedes(EventRef("p", 2), EventRef("p", 0))
+
+
+def test_precedes_is_reflexive():
+    h = History()
+    record_conf(h, "p")
+    ref = EventRef("p", 0)
+    assert h.precedes(ref, ref)
+
+
+def test_send_precedes_remote_delivery():
+    h = History()
+    record_conf(h, "p", 0.0)
+    record_conf(h, "q", 0.0)
+    h.record_send("p", M1, CONF, DeliveryRequirement.SAFE, 1, 1.0)
+    h.record_deliver("q", M1, CONF, "p", DeliveryRequirement.SAFE, 1, 2.0)
+    send_ref = EventRef("p", 1)
+    deliver_ref = EventRef("q", 1)
+    assert h.precedes(send_ref, deliver_ref)
+    assert not h.precedes(deliver_ref, send_ref)
+
+
+def test_transitivity_through_deliveries():
+    # p sends m1; q delivers m1 then sends m2; r delivers m2.
+    # p's send of m1 must precede r's delivery of m2.
+    h = History()
+    for pid in ("p", "q", "r"):
+        record_conf(h, pid, 0.0)
+    h.record_send("p", M1, CONF, DeliveryRequirement.AGREED, 1, 1.0)
+    h.record_deliver("q", M1, CONF, "p", DeliveryRequirement.AGREED, 1, 2.0)
+    h.record_send("q", M2, CONF, DeliveryRequirement.AGREED, 1, 3.0)
+    h.record_deliver("r", M2, CONF, "q", DeliveryRequirement.AGREED, 1, 4.0)
+    assert h.precedes(EventRef("p", 1), EventRef("r", 1))
+
+
+def test_concurrent_events_are_incomparable():
+    h = History()
+    record_conf(h, "p", 0.0)
+    record_conf(h, "q", 0.0)
+    h.record_send("p", M1, CONF, DeliveryRequirement.AGREED, 1, 1.0)
+    h.record_send("q", M2, CONF, DeliveryRequirement.AGREED, 1, 1.0)
+    a, b = EventRef("p", 1), EventRef("q", 1)
+    assert h.concurrent(a, b)
+
+
+def test_queries():
+    h = History()
+    record_conf(h, "p", 0.0)
+    record_conf(h, "q", 0.0)
+    h.record_send("p", M1, CONF, DeliveryRequirement.SAFE, 1, 1.0)
+    h.record_deliver("p", M1, CONF, "p", DeliveryRequirement.SAFE, 1, 2.0)
+    h.record_deliver("q", M1, CONF, "p", DeliveryRequirement.SAFE, 1, 2.5)
+    h.record_fail("q", CONF, 3.0)
+    assert set(h.sends()) == {M1}
+    assert len(h.deliveries()[M1]) == 2
+    assert CONF in h.configurations()
+    assert len(h.conf_changes()[CONF]) == 2
+    assert len(h.fails()) == 1
+    assert h.processes == ["p", "q"]
+    assert "2 processes" in h.summary()
+
+
+def test_merge_combines_recorders():
+    h1, h2 = History(), History()
+    record_conf(h1, "p", 0.0)
+    record_conf(h2, "q", 0.0)
+    h1.merge(h2)
+    assert h1.processes == ["p", "q"]
+
+
+def test_clocks_invalidated_by_new_events():
+    h = History()
+    record_conf(h, "p", 0.0)
+    h.clocks()
+    h.record_send("p", M1, CONF, DeliveryRequirement.SAFE, 1, 1.0)
+    # Re-derived clocks must include the new event.
+    assert EventRef("p", 1) in h.clocks()
+
+
+def test_delivery_before_send_timestamp_still_ordered():
+    # Merged real-host histories can have skewed wall clocks; the
+    # fixpoint construction must still orient send -> deliver.
+    h = History()
+    record_conf(h, "p", 10.0)
+    record_conf(h, "q", 0.0)
+    h.record_deliver("q", M1, CONF, "p", DeliveryRequirement.SAFE, 1, 1.0)
+    h.record_send("p", M1, CONF, DeliveryRequirement.SAFE, 1, 11.0)
+    assert h.precedes(EventRef("p", 1), EventRef("q", 1))

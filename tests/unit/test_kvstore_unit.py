@@ -1,0 +1,96 @@
+"""Unit tests for the KV store's version/merge logic (pure parts)."""
+
+from repro.apps.kvstore import ReplicatedKVStore, _Cell
+from repro.core.configuration import Delivery
+from repro.types import ConfigurationId, DeliveryRequirement, MessageId, RingId
+
+
+def delivery_for(ring_seq, seq):
+    ring = RingId(ring_seq, "a")
+    return Delivery(
+        message_id=MessageId(ring, seq),
+        sender="a",
+        payload=b"{}",
+        requirement=DeliveryRequirement.SAFE,
+        config_id=ConfigurationId.regular(ring),
+        origin_seq=seq,
+    )
+
+
+def apply_set(store, key, value, ring_seq, seq, site="a"):
+    store.apply(
+        {"op": "set", "key": key, "value": value, "site": site},
+        delivery_for(ring_seq, seq),
+    )
+
+
+def test_set_and_get():
+    store = ReplicatedKVStore("a")
+    apply_set(store, "k", "v", 10, 1)
+    assert store.get("k") == "v"
+    assert store.version_of("k") == (10, 1, "a")
+    assert store.keys() == ["k"]
+
+
+def test_later_ordinal_wins_within_ring():
+    store = ReplicatedKVStore("a")
+    apply_set(store, "k", "old", 10, 1)
+    apply_set(store, "k", "new", 10, 2)
+    assert store.get("k") == "new"
+
+
+def test_later_ring_wins_across_configurations():
+    store = ReplicatedKVStore("a")
+    apply_set(store, "k", "newer-ring", 14, 1)
+    apply_set(store, "k", "older-ring", 10, 9)  # arrives late via merge
+    assert store.get("k") == "newer-ring"
+
+
+def test_delete_is_versioned():
+    store = ReplicatedKVStore("a")
+    apply_set(store, "k", "v", 10, 1)
+    store.apply({"op": "del", "key": "k", "site": "a"}, delivery_for(10, 2))
+    assert store.get("k") is None
+    assert store.keys() == []
+    # A stale write cannot resurrect it.
+    apply_set(store, "k", "zombie", 10, 1)
+    assert store.get("k") is None
+
+
+def test_get_default():
+    store = ReplicatedKVStore("a")
+    assert store.get("missing") is None
+    assert store.get("missing", 7) == 7
+
+
+def test_snapshot_merge_roundtrip_and_lattice():
+    a = ReplicatedKVStore("a")
+    b = ReplicatedKVStore("b")
+    apply_set(a, "x", 1, 10, 1)
+    apply_set(a, "shared", "from-a", 10, 2)
+    apply_set(b, "y", 2, 12, 1, site="b")
+    apply_set(b, "shared", "from-b", 12, 2, site="b")
+    snap_a, snap_b = a.snapshot(), b.snapshot()
+    a.merge(snap_b)
+    b.merge(snap_a)
+    assert a.items() == b.items()
+    assert a.get("shared") == "from-b"  # ring 12 beats ring 10
+    # Idempotence.
+    before = a.items()
+    a.merge(snap_b)
+    assert a.items() == before
+
+
+def test_cell_json_roundtrip():
+    cell = _Cell({"nested": [1, 2]}, (10, 3, "a"), deleted=False)
+    again = _Cell.from_json(cell.to_json())
+    assert again.value == cell.value
+    assert again.version == cell.version
+    assert again.deleted == cell.deleted
+
+
+def test_unknown_ops_ignored():
+    store = ReplicatedKVStore("a")
+    store.apply({"op": "noop"}, delivery_for(10, 1))
+    assert store.keys() == []
+    assert store.writes_applied == 0

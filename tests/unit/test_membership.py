@@ -1,0 +1,119 @@
+"""Unit tests for the gather-state membership consensus."""
+
+from repro.totem.membership import GatherState
+from repro.totem.messages import JoinMessage
+
+
+def join(sender, procs, fails=(), ring_seq=0):
+    return JoinMessage(
+        sender=sender,
+        proc_set=frozenset(procs),
+        fail_set=frozenset(fails),
+        ring_seq=ring_seq,
+    )
+
+
+def test_gather_always_includes_self():
+    g = GatherState(me="p", proc_set=set())
+    assert "p" in g.proc_set
+    assert g.candidates == {"p"}
+
+
+def test_self_never_in_fail_set():
+    g = GatherState(me="p", proc_set={"p", "q"}, fail_set={"p", "q"})
+    assert "p" not in g.fail_set
+    g.absorb(join("q", {"p", "q"}, fails={"p"}))
+    assert "p" not in g.fail_set
+
+
+def test_singleton_consensus_is_immediate():
+    g = GatherState(me="p", proc_set={"p"})
+    assert g.consensus_reached()
+    assert g.is_representative()
+
+
+def test_consensus_requires_matching_joins_from_all_candidates():
+    g = GatherState(me="p", proc_set={"p", "q", "r"})
+    assert not g.consensus_reached()
+    g.absorb(join("q", {"p", "q", "r"}))
+    assert not g.consensus_reached()
+    g.absorb(join("r", {"p", "q", "r"}))
+    assert g.consensus_reached()
+
+
+def test_mismatched_join_blocks_consensus():
+    g = GatherState(me="p", proc_set={"p", "q"})
+    g.absorb(join("q", {"p", "q", "r"}))  # q knows about r: proposal grows
+    assert g.proc_set == {"p", "q", "r"}
+    assert not g.consensus_reached()  # r has not joined yet
+
+
+def test_absorb_reports_changes():
+    g = GatherState(me="p", proc_set={"p"})
+    assert g.absorb(join("q", {"q"}))
+    assert not g.absorb(join("q", {"q"}))  # same information again
+
+
+def test_absorb_merges_fail_sets():
+    g = GatherState(me="p", proc_set={"p", "q", "r"})
+    g.absorb(join("q", {"p", "q", "r"}, fails={"r"}))
+    assert "r" in g.fail_set
+    assert g.candidates == {"p", "q"}
+
+
+def test_absorb_tracks_max_ring_seq():
+    g = GatherState(me="p", proc_set={"p"}, max_ring_seq=4)
+    g.absorb(join("q", {"q"}, ring_seq=12))
+    assert g.max_ring_seq == 12
+    assert g.new_ring_id_seq() == 16
+
+
+def test_add_candidate():
+    g = GatherState(me="p", proc_set={"p"})
+    assert g.add_candidate("z")
+    assert not g.add_candidate("z")
+    assert "z" in g.candidates
+
+
+def test_escalate_fails_silent_candidates():
+    g = GatherState(me="p", proc_set={"p", "q", "r"})
+    g.absorb(join("q", {"p", "q", "r"}))
+    failed = g.escalate()
+    assert failed == {"r"}
+    assert g.candidates == {"p", "q"}
+
+
+def test_escalate_fails_disagreeing_candidates_when_none_silent():
+    g = GatherState(me="p", proc_set={"p", "q"})
+    # q has spoken but permanently disagrees (it has failed p).
+    g.joins["q"] = join("q", {"p", "q"}, fails={"p"})
+    failed = g.escalate()
+    assert failed == {"q"}
+    assert g.candidates == {"p"}
+
+
+def test_escalation_reduces_membership_to_termination():
+    # The paper's bounded-termination lever: repeated escalation always
+    # ends at the singleton, which reaches consensus trivially.
+    g = GatherState(me="p", proc_set={"p", "q", "r", "s"})
+    while not g.consensus_reached():
+        g.escalate()
+    assert g.candidates == {"p"}
+
+
+def test_representative_is_smallest_candidate():
+    g = GatherState(me="q", proc_set={"q", "r"})
+    g.absorb(join("r", {"q", "r"}))
+    assert g.representative() == "q"
+    assert g.is_representative()
+    g2 = GatherState(me="r", proc_set={"q", "r"})
+    assert not g2.is_representative()
+
+
+def test_my_join_reflects_current_proposal():
+    g = GatherState(me="p", proc_set={"p", "q"}, fail_set={"q"}, max_ring_seq=7)
+    j = g.my_join()
+    assert j.sender == "p"
+    assert j.proc_set == frozenset({"p", "q"})
+    assert j.fail_set == frozenset({"q"})
+    assert j.ring_seq == 7

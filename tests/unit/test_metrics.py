@@ -1,0 +1,91 @@
+"""Unit tests for the measurement helpers."""
+
+import math
+
+from repro.core.configuration import regular_configuration, transitional_configuration
+from repro.harness.metrics import (
+    BenchRow,
+    Summary,
+    delivery_latencies,
+    latency_summary,
+    membership_transitions,
+    regular_to_regular_durations,
+    render_table,
+    throughput,
+)
+from repro.spec.history import History
+from repro.types import ConfigurationId, DeliveryRequirement, MessageId, RingId
+
+RING = RingId(4, "p")
+CONF = ConfigurationId.regular(RING)
+
+
+def make_history():
+    h = History()
+    config = regular_configuration(RING, ("p", "q"))
+    h.record_conf_change("p", config, 0.0)
+    h.record_conf_change("q", config, 0.0)
+    m1 = MessageId(RING, 1)
+    h.record_send("p", m1, CONF, DeliveryRequirement.SAFE, 1, 1.0)
+    h.record_deliver("p", m1, CONF, "p", DeliveryRequirement.SAFE, 1, 1.010)
+    h.record_deliver("q", m1, CONF, "p", DeliveryRequirement.SAFE, 1, 1.020)
+    m2 = MessageId(RING, 2)
+    h.record_send("p", m2, CONF, DeliveryRequirement.AGREED, 2, 2.0)
+    h.record_deliver("p", m2, CONF, "p", DeliveryRequirement.AGREED, 2, 2.005)
+    return h
+
+
+def test_summary_statistics():
+    s = Summary.of([0.001, 0.002, 0.003, 0.004])
+    assert s.count == 4
+    assert s.mean == (0.0025)
+    assert s.maximum == 0.004
+    assert "n=4" in str(s)
+
+
+def test_summary_of_empty():
+    s = Summary.of([])
+    assert s.count == 0 and math.isnan(s.mean)
+    assert str(s) == "n=0"
+
+
+def test_delivery_latencies_grouped_by_requirement():
+    lat = delivery_latencies(make_history())
+    assert len(lat[DeliveryRequirement.SAFE]) == 2
+    assert len(lat[DeliveryRequirement.AGREED]) == 1
+    assert max(lat[DeliveryRequirement.SAFE]) > max(lat[DeliveryRequirement.AGREED])
+
+
+def test_latency_summary():
+    summary = latency_summary(make_history())
+    assert summary[DeliveryRequirement.SAFE].count == 2
+
+
+def test_throughput_counts_distinct_messages():
+    h = make_history()
+    assert throughput(h, 2.0) == 1.0  # 2 messages / 2 seconds
+    assert throughput(h, 0.0) == 0.0
+
+
+def test_membership_transitions_and_blackouts():
+    h = History()
+    old_ring = RingId(4, "p")
+    new_ring = RingId(8, "p")
+    old = regular_configuration(old_ring, ("p", "q"))
+    trans = transitional_configuration(new_ring, old_ring, ("p",), old.id)
+    new = regular_configuration(new_ring, ("p",))
+    h.record_conf_change("p", old, 0.0)
+    h.record_conf_change("p", trans, 1.0)
+    h.record_conf_change("p", new, 1.25)
+    transitions = membership_transitions(h)
+    assert len(transitions) == 2
+    assert transitions[0].duration == 1.0
+    blackout = regular_to_regular_durations(h)
+    assert blackout == [0.25]
+
+
+def test_bench_row_rendering():
+    rows = [BenchRow("n=3", {"throughput": 120, "p50": "1.2ms"})]
+    table = render_table("Ordering throughput", rows)
+    assert "Ordering throughput" in table
+    assert "n=3" in table and "throughput=120" in table

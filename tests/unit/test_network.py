@@ -1,0 +1,200 @@
+"""Unit tests for the partitionable lossy broadcast network."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.codec import register
+from repro.net.network import Network, NetworkParams
+from repro.net.sim import EventScheduler
+
+from dataclasses import dataclass
+
+
+@register
+@dataclass(frozen=True)
+class Ping:
+    n: int
+
+
+def make_net(loss=0.0, seed=0, **kw):
+    sched = EventScheduler()
+    net = Network(sched, random.Random(seed), NetworkParams(loss_rate=loss, **kw))
+    return sched, net
+
+
+def attach_recorder(net, pid):
+    box = []
+    net.attach(pid, lambda src, msg: box.append((src, msg)))
+    return box
+
+
+def test_broadcast_reaches_whole_component_and_self():
+    sched, net = make_net()
+    boxes = {p: attach_recorder(net, p) for p in ("a", "b", "c")}
+    net.broadcast("a", Ping(1))
+    sched.run_until_idle()
+    for p in ("a", "b", "c"):
+        assert boxes[p] == [("a", Ping(1))]
+
+
+def test_unicast_reaches_only_target():
+    sched, net = make_net()
+    boxes = {p: attach_recorder(net, p) for p in ("a", "b", "c")}
+    net.unicast("a", "b", Ping(2))
+    sched.run_until_idle()
+    assert boxes["b"] == [("a", Ping(2))]
+    assert boxes["a"] == [] and boxes["c"] == []
+
+
+def test_partition_blocks_cross_component_traffic():
+    sched, net = make_net()
+    boxes = {p: attach_recorder(net, p) for p in ("a", "b", "c", "d")}
+    net.set_partition([{"a", "b"}, {"c", "d"}])
+    net.broadcast("a", Ping(3))
+    net.unicast("c", "a", Ping(4))
+    sched.run_until_idle()
+    assert boxes["b"] == [("a", Ping(3))]
+    assert boxes["c"] == [] and boxes["d"] == []
+    assert boxes["a"] == [("a", Ping(3))]  # self-delivery still works
+    assert net.stats.partition_drops >= 2
+
+
+def test_unlisted_processes_are_isolated_by_partition():
+    sched, net = make_net()
+    boxes = {p: attach_recorder(net, p) for p in ("a", "b", "c")}
+    net.set_partition([{"a", "b"}])
+    net.broadcast("c", Ping(5))
+    sched.run_until_idle()
+    assert boxes["a"] == [] and boxes["b"] == []
+    assert boxes["c"] == [("c", Ping(5))]
+
+
+def test_merge_all_restores_connectivity():
+    sched, net = make_net()
+    boxes = {p: attach_recorder(net, p) for p in ("a", "b")}
+    net.set_partition([{"a"}, {"b"}])
+    net.merge_all()
+    net.broadcast("a", Ping(6))
+    sched.run_until_idle()
+    assert boxes["b"] == [("a", Ping(6))]
+
+
+def test_partial_merge():
+    sched, net = make_net()
+    boxes = {p: attach_recorder(net, p) for p in ("a", "b", "c")}
+    net.set_partition([{"a"}, {"b"}, {"c"}])
+    net.merge([["a"], ["b"]])
+    net.broadcast("a", Ping(7))
+    sched.run_until_idle()
+    assert boxes["b"] == [("a", Ping(7))]
+    assert boxes["c"] == []
+
+
+def test_crashed_endpoint_neither_sends_nor_receives():
+    sched, net = make_net()
+    boxes = {p: attach_recorder(net, p) for p in ("a", "b")}
+    net.set_alive("b", False)
+    net.broadcast("a", Ping(8))
+    net.broadcast("b", Ping(9))
+    sched.run_until_idle()
+    assert boxes["b"] == []
+    assert all(msg != Ping(9) for _, msg in boxes["a"])
+
+
+def test_total_loss_drops_everything_except_self():
+    sched, net = make_net(loss=1.0)
+    boxes = {p: attach_recorder(net, p) for p in ("a", "b")}
+    net.broadcast("a", Ping(10))
+    sched.run_until_idle()
+    assert boxes["b"] == []
+    assert boxes["a"] == [("a", Ping(10))]  # loopback is reliable
+
+
+def test_loss_rate_statistics():
+    sched, net = make_net(loss=0.5, seed=7)
+    attach_recorder(net, "a")
+    attach_recorder(net, "b")
+    for i in range(200):
+        net.broadcast("a", Ping(i))
+    sched.run_until_idle()
+    assert 40 < net.stats.losses < 160  # ~100 expected
+
+
+def test_in_flight_packet_dropped_by_partition():
+    sched, net = make_net()
+    boxes = {p: attach_recorder(net, p) for p in ("a", "b")}
+    net.broadcast("a", Ping(11))
+    net.set_partition([{"a"}, {"b"}])  # partition before delivery fires
+    sched.run_until_idle()
+    assert boxes["b"] == []
+
+
+def test_messages_cross_as_decoded_copies():
+    sched, net = make_net()
+    box = attach_recorder(net, "b")
+    attach_recorder(net, "a")
+    original = Ping(12)
+    net.broadcast("a", original)
+    sched.run_until_idle()
+    src, received = box[0]
+    assert received == original and received is not original
+
+
+def test_drop_filter_targets_specific_copies():
+    sched, net = make_net()
+    boxes = {p: attach_recorder(net, p) for p in ("a", "b", "c")}
+    net.set_drop_filter(lambda src, dst, msg: dst == "b")
+    net.broadcast("a", Ping(13))
+    sched.run_until_idle()
+    assert boxes["b"] == []
+    assert boxes["c"] == [("a", Ping(13))]
+    net.set_drop_filter(None)
+    net.broadcast("a", Ping(14))
+    sched.run_until_idle()
+    assert boxes["b"] == [("a", Ping(14))]
+
+
+def test_duplicate_rate_duplicates():
+    sched, net = make_net(seed=3, duplicate_rate=1.0)
+    boxes = {p: attach_recorder(net, p) for p in ("a", "b")}
+    net.broadcast("a", Ping(15))
+    sched.run_until_idle()
+    assert len(boxes["b"]) == 2
+
+
+def test_double_attach_rejected():
+    _, net = make_net()
+    net.attach("a", lambda s, m: None)
+    with pytest.raises(SimulationError):
+        net.attach("a", lambda s, m: None)
+
+
+def test_unicast_to_unknown_endpoint_rejected():
+    _, net = make_net()
+    net.attach("a", lambda s, m: None)
+    with pytest.raises(SimulationError):
+        net.unicast("a", "ghost", Ping(0))
+
+
+def test_partition_spec_validation():
+    _, net = make_net()
+    net.attach("a", lambda s, m: None)
+    with pytest.raises(SimulationError):
+        net.set_partition([{"a"}, {"a"}])
+    with pytest.raises(SimulationError):
+        net.set_partition([{"ghost"}])
+
+
+def test_component_of_and_reachable():
+    _, net = make_net()
+    for p in ("a", "b", "c"):
+        net.attach(p, lambda s, m: None)
+    net.set_partition([{"a", "b"}, {"c"}])
+    assert net.component_of("a") == {"a", "b"}
+    assert net.reachable("a", "b")
+    assert not net.reachable("a", "c")
+    net.set_alive("b", False)
+    assert net.component_of("a") == {"a"}
+    assert not net.reachable("a", "b")

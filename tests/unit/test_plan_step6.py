@@ -1,0 +1,211 @@
+"""Unit tests for the pure EVS Step-6 planner - the heart of the paper's
+recovery algorithm and of Specification 4's determinism argument."""
+
+import pytest
+
+from repro.core.recovery import combined_ack_vector, plan_step6
+from repro.totem import ranges
+from repro.totem.messages import MemberInfo, RegularMessage
+from repro.types import DeliveryRequirement, RingId
+
+OLD = RingId(8, "p")
+OLD_MEMBERS = frozenset({"p", "q", "r"})
+
+
+def msg(seq, sender="p", requirement=DeliveryRequirement.AGREED):
+    return RegularMessage(
+        sender=sender,
+        ring=OLD,
+        seq=seq,
+        requirement=requirement,
+        payload=f"m{seq}".encode(),
+        origin_seq=seq,
+    )
+
+
+def info(pid, held, aru=None, high=None, ack=None, obligation=()):
+    held = set(held)
+    aru = aru if aru is not None else (max(held) if held else 0)
+    return MemberInfo(
+        pid=pid,
+        old_ring=OLD,
+        old_members=OLD_MEMBERS,
+        my_aru=aru,
+        high_seq=high if high is not None else aru,
+        held=ranges.compress(held),
+        delivered_seq=0,
+        ack_vector=ack or {},
+        obligation=frozenset(obligation),
+    )
+
+
+def plan(messages, delivered_seq, group, infos, obligation=frozenset(), available=None):
+    if available is None:
+        available = frozenset(messages)
+    return plan_step6(
+        old_ring=OLD,
+        old_members=OLD_MEMBERS,
+        messages=messages,
+        delivered_seq=delivered_seq,
+        group=group,
+        infos=infos,
+        obligation=frozenset(obligation),
+        available=frozenset(available),
+    )
+
+
+def test_combined_ack_vector_pools_group_knowledge():
+    infos = {
+        "q": info("q", {1, 2, 3}, ack={"p": 1, "q": 3, "r": 2}),
+        "r": info("r", {1, 2, 3}, ack={"p": 2, "q": 1, "r": 3}),
+    }
+    combined = combined_ack_vector(("q", "r"), infos, OLD_MEMBERS)
+    assert combined == {"p": 2, "q": 3, "r": 3}
+
+
+def test_combined_ack_vector_counts_own_aru():
+    infos = {"q": info("q", {1, 2}, aru=2, ack={})}
+    combined = combined_ack_vector(("q",), infos, OLD_MEMBERS)
+    assert combined["q"] == 2 and combined["p"] == 0
+
+
+def test_everything_acked_delivers_all_in_regular():
+    messages = {s: msg(s) for s in (1, 2, 3)}
+    infos = {
+        "q": info("q", {1, 2, 3}, ack={"p": 3, "q": 3, "r": 3}),
+        "r": info("r", {1, 2, 3}, ack={"p": 3, "q": 3, "r": 3}),
+    }
+    p = plan(messages, 0, ("q", "r"), infos)
+    assert [m.seq for m in p.deliver_in_regular] == [1, 2, 3]
+    assert p.deliver_in_transitional == ()
+    assert p.discarded == ()
+    assert p.transitional_members == frozenset({"q", "r"})
+
+
+def test_agreed_messages_need_no_acks_in_regular():
+    messages = {1: msg(1), 2: msg(2)}
+    infos = {"q": info("q", {1, 2}, ack={})}  # p and r never acknowledged
+    p = plan(messages, 0, ("q",), infos)
+    assert [m.seq for m in p.deliver_in_regular] == [1, 2]
+
+
+def test_unacked_safe_message_moves_to_transitional():
+    # The paper's message n: safe, acknowledged within the group but not
+    # by the detached member p.
+    messages = {1: msg(1), 2: msg(2, sender="r", requirement=DeliveryRequirement.SAFE)}
+    infos = {
+        "q": info("q", {1, 2}, ack={"p": 1, "q": 2, "r": 2}),
+        "r": info("r", {1, 2}, ack={"p": 1, "q": 2, "r": 2}),
+    }
+    p = plan(messages, 0, ("q", "r"), infos)
+    assert [m.seq for m in p.deliver_in_regular] == [1]
+    assert [m.seq for m in p.deliver_in_transitional] == [2]
+
+
+def test_acked_safe_message_stays_in_regular():
+    messages = {1: msg(1, requirement=DeliveryRequirement.SAFE)}
+    infos = {
+        "q": info("q", {1}, ack={"p": 1, "q": 1, "r": 1}),
+    }
+    p = plan(messages, 0, ("q",), infos)
+    assert [m.seq for m in p.deliver_in_regular] == [1]
+    assert p.deliver_in_transitional == ()
+
+
+def test_messages_after_gap_discarded_unless_obligated():
+    # The paper's message m: follows the unavailable l (seq 2), sender p
+    # is outside the group, so it must be discarded (Step 6.a).
+    messages = {1: msg(1), 3: msg(3, sender="p")}
+    infos = {
+        "q": info("q", {1, 3}, high=3, ack={"p": 0, "q": 1, "r": 1}),
+        "r": info("r", {1, 3}, high=3, ack={"p": 0, "q": 1, "r": 1}),
+    }
+    p = plan(messages, 0, ("q", "r"), infos, available={1, 3})
+    assert [m.seq for m in p.deliver_in_regular] == [1]
+    assert p.deliver_in_transitional == ()
+    assert p.discarded == (3,)
+
+
+def test_obligation_sender_survives_gap():
+    messages = {1: msg(1), 3: msg(3, sender="q")}
+    infos = {
+        "q": info("q", {1, 3}, high=3, ack={"p": 0, "q": 1, "r": 1}),
+    }
+    p = plan(messages, 0, ("q",), infos, available={1, 3})
+    # q is in the transitional group, hence implicitly obligated: its own
+    # message is delivered past the gap (self-delivery, Spec 3).
+    assert [m.seq for m in p.deliver_in_transitional] == [3]
+    assert p.discarded == ()
+
+
+def test_explicit_obligation_set_survives_gap():
+    messages = {1: msg(1), 3: msg(3, sender="x")}
+    infos = {"q": info("q", {1, 3}, high=3, ack={})}
+    p = plan(
+        messages, 0, ("q",), infos, obligation={"x"}, available={1, 3}
+    )
+    assert [m.seq for m in p.deliver_in_transitional] == [3]
+
+
+def test_contiguous_tail_after_safe_stop_goes_to_transitional():
+    messages = {
+        1: msg(1, requirement=DeliveryRequirement.SAFE),
+        2: msg(2),
+        3: msg(3),
+    }
+    infos = {"q": info("q", {1, 2, 3}, ack={"p": 0, "q": 3, "r": 3})}
+    p = plan(messages, 0, ("q",), infos)
+    assert p.deliver_in_regular == ()
+    assert [m.seq for m in p.deliver_in_transitional] == [1, 2, 3]
+
+
+def test_delivered_prefix_is_skipped():
+    messages = {s: msg(s) for s in (1, 2, 3, 4)}
+    infos = {"q": info("q", {1, 2, 3, 4}, ack={"p": 4, "q": 4, "r": 4})}
+    p = plan(messages, 2, ("q",), infos)
+    assert [m.seq for m in p.deliver_in_regular] == [3, 4]
+
+
+def test_determinism_across_group_members_with_different_prefixes():
+    # Two members that delivered different prefixes pre-partition must
+    # compute the same stop point and the same transitional set.
+    messages = {s: msg(s) for s in (1, 2, 3)}
+    messages[3] = msg(3, sender="q", requirement=DeliveryRequirement.SAFE)
+    infos = {
+        "q": info("q", {1, 2, 3}, ack={"p": 1, "q": 3, "r": 3}),
+        "r": info("r", {1, 2, 3}, ack={"p": 1, "q": 3, "r": 3}),
+    }
+    p_q = plan(messages, 2, ("q", "r"), infos)  # q already delivered 1, 2
+    p_r = plan(messages, 0, ("q", "r"), infos)  # r delivered nothing
+    # Same transitional deliveries (Spec 4), q's regular list is a suffix
+    # of r's.
+    assert [m.seq for m in p_q.deliver_in_transitional] == [3]
+    assert [m.seq for m in p_r.deliver_in_transitional] == [3]
+    r_reg = [m.seq for m in p_r.deliver_in_regular]
+    q_reg = [m.seq for m in p_q.deliver_in_regular]
+    assert r_reg == [1, 2] and q_reg == []
+
+
+def test_locally_held_but_unavailable_message_is_not_delivered():
+    # A message that straggled in after the exchange was fixed must be
+    # excluded (it is not in the shared available set), or group members
+    # would diverge.
+    messages = {1: msg(1), 2: msg(2)}
+    infos = {"q": info("q", {1}, high=2, ack={"p": 2, "q": 2, "r": 2})}
+    p = plan(messages, 0, ("q",), infos, available={1})
+    assert [m.seq for m in p.deliver_in_regular] == [1]
+    assert p.deliver_in_transitional == ()
+
+
+def test_missing_available_message_is_an_exchange_bug():
+    infos = {"q": info("q", {1}, ack={"p": 1, "q": 1, "r": 1})}
+    with pytest.raises(AssertionError):
+        plan({}, 0, ("q",), infos, available={1})
+
+
+def test_empty_old_configuration():
+    infos = {"q": info("q", set())}
+    p = plan({}, 0, ("q",), infos, available=set())
+    assert p.deliver_in_regular == ()
+    assert p.deliver_in_transitional == ()
+    assert p.horizon == 0

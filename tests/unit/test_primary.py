@@ -1,0 +1,116 @@
+"""Unit tests for primary-component strategies (§2.2, §5)."""
+
+import pytest
+
+from repro.core.configuration import regular_configuration
+from repro.types import RingId
+from repro.vs.primary import (
+    DynamicLinearVotingStrategy,
+    MajorityStrategy,
+    PrimaryComponentTracker,
+    WeightedMajorityStrategy,
+)
+
+UNIVERSE = ["a", "b", "c", "d", "e"]
+
+
+def conf(members, seq=10):
+    return regular_configuration(RingId(seq, min(members)), members)
+
+
+def test_majority_strict():
+    s = MajorityStrategy(UNIVERSE)
+    assert s.is_primary(conf(["a", "b", "c"]))
+    assert not s.is_primary(conf(["a", "b"]))
+    assert not s.is_primary(conf(["d", "e"]))
+    assert s.is_primary(conf(UNIVERSE))
+
+
+def test_majority_even_universe_has_no_tie_primary():
+    s = MajorityStrategy(["a", "b", "c", "d"])
+    assert not s.is_primary(conf(["a", "b"]))
+    assert s.is_primary(conf(["a", "b", "c"]))
+
+
+def test_majority_ignores_processes_outside_universe():
+    s = MajorityStrategy(["a", "b", "c"])
+    assert not s.is_primary(conf(["a", "x", "y", "z"]))
+    assert s.is_primary(conf(["a", "b", "x"]))
+
+
+def test_majority_empty_universe_rejected():
+    with pytest.raises(ValueError):
+        MajorityStrategy([])
+
+
+def test_weighted_majority():
+    s = WeightedMajorityStrategy({"a": 3, "b": 1, "c": 1})
+    assert s.is_primary(conf(["a"]))  # 3 of 5
+    assert not s.is_primary(conf(["b", "c"]))  # 2 of 5
+
+
+def test_weighted_majority_validation():
+    with pytest.raises(ValueError):
+        WeightedMajorityStrategy({})
+    with pytest.raises(ValueError):
+        WeightedMajorityStrategy({"a": -1})
+    with pytest.raises(ValueError):
+        WeightedMajorityStrategy({"a": 0})
+
+
+def test_dynamic_linear_voting_rebases_on_previous_primary():
+    s = DynamicLinearVotingStrategy(UNIVERSE)
+    first = conf(["a", "b", "c"])
+    assert s.is_primary(first)
+    s.observe_primary(first)
+    # {a, b} is 2/5 of the universe but 2/3 of the previous primary.
+    assert s.is_primary(conf(["a", "b"], seq=14))
+    # Static majority would refuse this.
+    assert not MajorityStrategy(UNIVERSE).is_primary(conf(["a", "b"], seq=14))
+
+
+def test_dynamic_linear_voting_refuses_minority_of_basis():
+    s = DynamicLinearVotingStrategy(UNIVERSE)
+    first = conf(["a", "b", "c"])
+    s.observe_primary(first)
+    assert not s.is_primary(conf(["c"], seq=14))
+    assert not s.is_primary(conf(["d", "e"], seq=14))
+
+
+def test_tracker_records_verdicts_and_feeds_strategy():
+    tracker = PrimaryComponentTracker(DynamicLinearVotingStrategy(UNIVERSE))
+    v1 = tracker.observe(conf(["a", "b", "c"]))
+    assert v1.is_primary
+    v2 = tracker.observe(conf(["a", "b"], seq=14))
+    assert v2.is_primary  # strategy was re-based by the tracker
+    v3 = tracker.observe(conf(["b"], seq=18))
+    assert not v3.is_primary
+    assert [v.is_primary for v in tracker.verdicts] == [True, True, False]
+    assert tracker.last_primary is not None
+    assert tracker.last_primary.members == frozenset({"a", "b"})
+
+
+def test_tracker_rejects_transitional_configurations():
+    from repro.core.configuration import transitional_configuration
+
+    tracker = PrimaryComponentTracker(MajorityStrategy(UNIVERSE))
+    old = conf(["a", "b", "c"])
+    trans = transitional_configuration(RingId(14, "a"), old.ring, ["a", "b"], old.id)
+    with pytest.raises(ValueError):
+        tracker.observe(trans)
+
+
+def test_any_two_majorities_intersect_uniqueness_argument():
+    # The structural fact behind §2.2 Uniqueness for the simple strategy.
+    import itertools
+
+    s = MajorityStrategy(UNIVERSE)
+    subsets = [
+        set(c)
+        for r in range(1, 6)
+        for c in itertools.combinations(UNIVERSE, r)
+        if s.is_primary(conf(sorted(c)))
+    ]
+    for x in subsets:
+        for y in subsets:
+            assert x & y, f"disjoint primaries {x} and {y}"

@@ -1,0 +1,69 @@
+"""Unit tests for the §2.2 primary-component history checker."""
+
+from repro.core.configuration import regular_configuration
+from repro.spec.primary_checker import check_primary_history
+from repro.types import RingId
+from repro.vs.primary import PrimaryVerdict
+
+
+def conf(members, seq):
+    return regular_configuration(RingId(seq, min(members)), members)
+
+
+def verdict(members, seq, primary=True):
+    return PrimaryVerdict(config=conf(members, seq), is_primary=primary)
+
+
+def test_clean_linear_history_passes():
+    c1 = verdict(["a", "b", "c"], 10)
+    c2 = verdict(["a", "b"], 14)  # hypothetical later primary sharing members
+    history = {
+        "a": [c1, c2],
+        "b": [c1, c2],
+        "c": [c1, verdict(["c"], 14, primary=False)],
+    }
+    assert check_primary_history(history) == []
+
+
+def test_concurrent_primaries_violate_uniqueness():
+    # Two components each judged primary, with no process seeing both.
+    left = verdict(["a", "b"], 14)
+    right = verdict(["c", "d"], 14)
+    history = {"a": [left], "b": [left], "c": [right], "d": [right]}
+    violations = check_primary_history(history)
+    assert any(v.spec == "P-uniqueness" for v in violations)
+
+
+def test_disagreeing_verdicts_flagged():
+    config = conf(["a", "b", "c"], 10)
+    history = {
+        "a": [PrimaryVerdict(config=config, is_primary=True)],
+        "b": [PrimaryVerdict(config=config, is_primary=False)],
+    }
+    violations = check_primary_history(history)
+    assert any(v.spec == "P-agreement" for v in violations)
+
+
+def test_disjoint_consecutive_primaries_violate_continuity():
+    # A single process observes both primaries (so they are ordered), but
+    # they share no member - continuity is broken.  This cannot happen
+    # with majority quorums; fabricate it directly.
+    c1 = verdict(["a", "b"], 10)
+    c2 = verdict(["c", "d"], 14)
+    history = {"a": [c1], "b": [c1, c2], "c": [c2], "d": [c2]}
+    # b observed c2 without being a member - contrived, but it orients
+    # the pair so the continuity clause applies.
+    violations = check_primary_history(history)
+    assert any(v.spec == "P-continuity" for v in violations)
+
+
+def test_non_primaries_are_ignored():
+    history = {
+        "a": [verdict(["a"], 10, primary=False)],
+        "b": [verdict(["b"], 10, primary=False)],
+    }
+    assert check_primary_history(history) == []
+
+
+def test_empty_history_passes():
+    assert check_primary_history({}) == []

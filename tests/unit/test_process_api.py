@@ -1,0 +1,88 @@
+"""Unit tests for the EvsProcess public API surface."""
+
+import pytest
+
+from repro.core.process import EvsProcess
+from repro.errors import ProcessCrashedError
+from repro.harness.cluster import SimCluster
+from repro.net.transport import SimHost
+from repro.totem.controller import ControllerState
+from repro.types import DeliveryRequirement
+
+
+def test_host_pid_mismatch_rejected():
+    cluster = SimCluster(["a"])
+    host = SimHost("z", cluster.scheduler, cluster.network)
+    with pytest.raises(ValueError):
+        EvsProcess("not-z", host)
+
+
+def test_payload_must_be_bytes():
+    cluster = SimCluster(["a", "b"])
+    cluster.start_all()
+    with pytest.raises(TypeError):
+        cluster.processes["a"].send("a string")  # type: ignore[arg-type]
+
+
+def test_send_receipt_correlates_with_delivery():
+    cluster = SimCluster(["a", "b"])
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(["a", "b"]), timeout=10.0)
+    receipt = cluster.processes["a"].send(b"tagged", DeliveryRequirement.AGREED)
+    assert cluster.settle(timeout=10.0)
+    match = [
+        d
+        for d in cluster.listeners["b"].deliveries
+        if d.sender == receipt.sender and d.origin_seq == receipt.origin_seq
+    ]
+    assert len(match) == 1 and match[0].payload == b"tagged"
+
+
+def test_default_requirement_is_safe():
+    cluster = SimCluster(["a", "b"])
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(["a", "b"]), timeout=10.0)
+    receipt = cluster.processes["a"].send(b"x")
+    assert receipt.requirement is DeliveryRequirement.SAFE
+
+
+def test_introspection_properties():
+    cluster = SimCluster(["a", "b"])
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(["a", "b"]), timeout=10.0)
+    proc = cluster.processes["a"]
+    assert proc.is_operational
+    assert proc.protocol_state is ControllerState.OPERATIONAL
+    config = proc.current_configuration
+    assert config is not None and config.members == frozenset({"a", "b"})
+    assert proc.obligation_set == frozenset()
+    assert proc.history is cluster.history
+
+
+def test_send_while_buffering_is_accepted_and_delivered_later():
+    """Submissions during membership changes are buffered (Step 2) and
+    originated in the next regular configuration."""
+    cluster = SimCluster(["a", "b"])
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(["a", "b"]), timeout=10.0)
+    # Force a membership round and send immediately while it is running.
+    cluster.partition({"a"}, {"b"})
+    cluster.run_for(0.11)  # token loss fired; membership in progress
+    receipt = cluster.processes["a"].send(b"buffered")
+    assert cluster.wait_until(lambda: cluster.converged(["a"]), timeout=10.0)
+    assert cluster.settle(["a"], timeout=10.0)
+    payloads = cluster.listeners["a"].payloads()
+    assert b"buffered" in payloads
+    assert receipt.origin_seq >= 1
+
+
+def test_crash_recover_roundtrip_guards():
+    cluster = SimCluster(["a"])
+    cluster.start_all()
+    proc = cluster.processes["a"]
+    proc.crash()
+    with pytest.raises(ProcessCrashedError):
+        proc.crash()
+    proc.recover()
+    with pytest.raises(ProcessCrashedError):
+        proc.recover()

@@ -1,0 +1,87 @@
+"""Unit tests for the compressed integer-range utilities."""
+
+from repro.totem import ranges
+
+
+def test_compress_empty():
+    assert ranges.compress([]) == ()
+
+
+def test_compress_singleton():
+    assert ranges.compress([5]) == ((5, 5),)
+
+
+def test_compress_contiguous():
+    assert ranges.compress([1, 2, 3]) == ((1, 3),)
+
+
+def test_compress_with_gaps():
+    assert ranges.compress([1, 2, 3, 7, 9, 10]) == ((1, 3), (7, 7), (9, 10))
+
+
+def test_compress_deduplicates_and_sorts():
+    assert ranges.compress([3, 1, 2, 2, 1]) == ((1, 3),)
+
+
+def test_expand_inverts_compress():
+    values = {1, 2, 3, 10, 11, 42}
+    assert ranges.expand(ranges.compress(values)) == values
+
+
+def test_iterate_is_sorted():
+    rs = ranges.compress([5, 1, 3, 2])
+    assert list(ranges.iterate(rs)) == [1, 2, 3, 5]
+
+
+def test_contains():
+    rs = ranges.compress([1, 2, 3, 8, 9])
+    for v in (1, 2, 3, 8, 9):
+        assert ranges.contains(rs, v)
+    for v in (0, 4, 7, 10):
+        assert not ranges.contains(rs, v)
+    assert not ranges.contains((), 1)
+
+
+def test_count():
+    assert ranges.count(ranges.compress([1, 2, 3, 7])) == 4
+    assert ranges.count(()) == 0
+
+
+def test_union_coalesces_adjacent():
+    a = ranges.compress([1, 2])
+    b = ranges.compress([3, 4])
+    assert ranges.union(a, b) == ((1, 4),)
+
+
+def test_union_overlapping():
+    a = ((1, 5),)
+    b = ((3, 8),)
+    assert ranges.union(a, b) == ((1, 8),)
+
+
+def test_union_disjoint():
+    a = ((1, 2),)
+    b = ((10, 12),)
+    assert ranges.union(a, b) == ((1, 2), (10, 12))
+
+
+def test_union_of_nothing():
+    assert ranges.union() == ()
+    assert ranges.union((), ()) == ()
+
+
+def test_union_many():
+    parts = [ranges.compress([i]) for i in range(10)]
+    assert ranges.union(*parts) == ((0, 9),)
+
+
+def test_difference():
+    a = ranges.compress(range(1, 11))
+    b = ranges.compress([3, 4, 5])
+    assert ranges.difference(a, b) == ((1, 2), (6, 10))
+
+
+def test_difference_empty_results():
+    a = ((1, 3),)
+    assert ranges.difference(a, a) == ()
+    assert ranges.difference((), a) == ()

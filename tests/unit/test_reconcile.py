@@ -1,0 +1,111 @@
+"""Unit tests for the mergeable state primitives."""
+
+from repro.apps.reconcile import GCounter, LWWRegister, UnionLog, decode_op, encode_op
+
+
+def test_gcounter_add_and_value():
+    c = GCounter()
+    c.add("a", 3)
+    c.add("b")
+    c.add("a", 2)
+    assert c.value == 6
+    assert c.counts == {"a": 5, "b": 1}
+
+
+def test_gcounter_rejects_negative():
+    import pytest
+
+    with pytest.raises(ValueError):
+        GCounter().add("a", -1)
+
+
+def test_gcounter_merge_is_pointwise_max():
+    a = GCounter({"a": 5, "b": 1})
+    b = GCounter({"a": 3, "b": 4, "c": 2})
+    a.merge(b)
+    assert a.counts == {"a": 5, "b": 4, "c": 2}
+
+
+def test_gcounter_merge_idempotent_commutative():
+    x = GCounter({"a": 2, "b": 7})
+    y = GCounter({"a": 5, "c": 1})
+    left = GCounter(x.counts)
+    left.merge(y)
+    right = GCounter(y.counts)
+    right.merge(x)
+    assert left.counts == right.counts
+    again = GCounter(left.counts)
+    again.merge(y)
+    assert again.counts == left.counts
+
+
+def test_gcounter_json_roundtrip():
+    c = GCounter({"a": 1})
+    assert GCounter.from_json(c.to_json()).counts == c.counts
+
+
+def test_lww_register_takes_latest():
+    r = LWWRegister()
+    r.set("old", 1.0, "a")
+    r.set("new", 2.0, "b")
+    r.set("stale", 1.5, "c")
+    assert r.value == "new"
+
+
+def test_lww_register_ties_break_by_site():
+    r = LWWRegister()
+    r.set("from-a", 1.0, "a")
+    r.set("from-b", 1.0, "b")
+    assert r.value == "from-b"  # (1.0, "b") > (1.0, "a")
+
+
+def test_lww_merge():
+    a = LWWRegister("x", (1.0, "a"))
+    b = LWWRegister("y", (2.0, "b"))
+    a.merge(b)
+    assert a.value == "y"
+    b.merge(LWWRegister("z", (0.5, "c")))
+    assert b.value == "y"
+
+
+def test_lww_json_roundtrip():
+    r = LWWRegister({"q": 1}, (3.0, "p"))
+    r2 = LWWRegister.from_json(r.to_json())
+    assert r2.value == r.value and tuple(r2.stamp) == tuple(r.stamp)
+
+
+def test_unionlog_add_dedupes():
+    log = UnionLog()
+    assert log.add("t1", {"amount": 5})
+    assert not log.add("t1", {"amount": 999})
+    assert log.entries["t1"]["amount"] == 5
+    assert "t1" in log and len(log) == 1
+
+
+def test_unionlog_merge_is_union():
+    a = UnionLog({"t1": {"v": 1}})
+    b = UnionLog({"t2": {"v": 2}, "t1": {"v": 999}})
+    a.merge(b)
+    assert len(a) == 2
+    assert a.entries["t1"]["v"] == 1  # first writer wins; ids are unique anyway
+
+
+def test_unionlog_fold_is_deterministic():
+    log = UnionLog({"b": {"v": 2}, "a": {"v": 1}, "c": {"v": 4}})
+    total = log.fold(lambda acc, e: acc + e["v"], 0)
+    assert total == 7
+    order = log.fold(lambda acc, e: acc + [e["v"]], [])
+    assert order == [1, 2, 4]  # sorted by id
+
+
+def test_unionlog_json_roundtrip():
+    log = UnionLog({"t1": {"v": 1}})
+    assert UnionLog.from_json(log.to_json()).entries == log.entries
+
+
+def test_op_codec_roundtrip_and_stability():
+    op = {"op": "sell", "count": 2, "site": "s1"}
+    data = encode_op(op)
+    assert decode_op(data) == op
+    # sort_keys makes encoding deterministic (dedupe-friendly payloads).
+    assert data == encode_op({"site": "s1", "count": 2, "op": "sell"})

@@ -1,0 +1,177 @@
+"""Unit tests for the recovery-exchange bookkeeping (EVS Steps 3-5)."""
+
+from repro.totem.messages import MemberInfo, RecoveryAck
+from repro.totem.recovery import RecoveryState
+from repro.types import RingId
+
+OLD_QR = RingId(8, "p")   # old ring of p, q, r
+OLD_ST = RingId(6, "s")   # old ring of s, t
+ATTEMPT = RingId(12, "p")
+
+
+def info(pid, old_ring, held, aru=0, high=None, obligation=(), ack=None):
+    held_set = set(held)
+    high = high if high is not None else (max(held_set) if held_set else 0)
+    from repro.totem import ranges
+
+    return MemberInfo(
+        pid=pid,
+        old_ring=old_ring,
+        old_members=frozenset({"p", "q", "r"} if old_ring == OLD_QR else {"s", "t"}),
+        my_aru=aru,
+        high_seq=high,
+        held=ranges.compress(held_set),
+        delivered_seq=aru,
+        ack_vector=ack or {},
+        obligation=frozenset(obligation),
+    )
+
+
+def build(me, infos, held_locally=None):
+    members = tuple(sorted(infos))
+    held = held_locally or (lambda s: s in set())
+    return RecoveryState.build(
+        me=me, attempt=ATTEMPT, members=members, infos=infos, held_locally=held
+    )
+
+
+def test_group_is_members_with_same_old_ring():
+    infos = {
+        "q": info("q", OLD_QR, {1, 2}),
+        "r": info("r", OLD_QR, {1, 2, 3}),
+        "s": info("s", OLD_ST, {1}),
+        "t": info("t", OLD_ST, {1}),
+    }
+    st = build("q", infos, lambda s: s in {1, 2})
+    assert st.group == ("q", "r")
+    st2 = build("s", infos, lambda s: s in {1})
+    assert st2.group == ("s", "t")
+
+
+def test_needed_is_union_of_group_holdings():
+    infos = {
+        "q": info("q", OLD_QR, {1, 2}),
+        "r": info("r", OLD_QR, {2, 3}),
+    }
+    st = build("q", infos, lambda s: s in {1, 2})
+    assert st.needed == frozenset({1, 2, 3})
+
+
+def test_duties_assigned_to_lowest_holder():
+    infos = {
+        "q": info("q", OLD_QR, {1, 2}),
+        "r": info("r", OLD_QR, {2, 3}),
+    }
+    # q must rebroadcast 1 (r lacks it); r must rebroadcast 3 (q lacks it);
+    # nobody rebroadcasts 2 (everyone holds it).
+    st_q = build("q", infos, lambda s: s in {1, 2})
+    assert st_q.duties == frozenset({1})
+    st_r = build("r", infos, lambda s: s in {2, 3})
+    assert st_r.duties == frozenset({3})
+
+
+def test_duty_tie_breaks_by_process_id():
+    infos = {
+        "q": info("q", OLD_QR, {1}),
+        "r": info("r", OLD_QR, {1}),
+        "p": info("p", OLD_QR, set()),
+    }
+    st_q = build("q", infos, lambda s: s == 1)
+    st_r = build("r", infos, lambda s: s == 1)
+    assert st_q.duties == frozenset({1})  # q < r among holders
+    assert st_r.duties == frozenset()
+
+
+def test_local_completion_and_note_have():
+    infos = {
+        "q": info("q", OLD_QR, {1}),
+        "r": info("r", OLD_QR, {2}),
+    }
+    st = build("q", infos, lambda s: s == 1)
+    assert st.have == {1}
+    assert not st.is_locally_complete()
+    assert st.note_have(2)
+    assert st.is_locally_complete()
+    assert not st.note_have(2)  # idempotent
+    assert not st.note_have(99)  # outside needed
+
+
+def test_ack_roundtrip_and_absorption():
+    infos = {
+        "q": info("q", OLD_QR, {1}),
+        "r": info("r", OLD_QR, {2}),
+    }
+    st_q = build("q", infos, lambda s: s == 1)
+    st_q.note_have(2)
+    st_q.my_complete = True
+    ack = st_q.my_ack()
+    assert ack.complete and ack.sender == "q"
+
+    st_r = build("r", infos, lambda s: s == 2)
+    st_r.absorb_ack(ack)
+    assert "q" in st_r.complete_from
+    assert st_r.group_have["q"] == {1, 2}
+
+
+def test_acks_for_other_attempts_ignored():
+    infos = {"q": info("q", OLD_QR, {1})}
+    st = build("q", infos, lambda s: s == 1)
+    st.absorb_ack(
+        RecoveryAck(
+            sender="z",
+            attempt=RingId(99, "z"),
+            old_ring=OLD_QR,
+            have=((1, 1),),
+            complete=True,
+        )
+    )
+    assert "z" not in st.complete_from
+
+
+def test_all_complete_requires_every_new_member():
+    infos = {
+        "q": info("q", OLD_QR, {1}),
+        "r": info("r", OLD_QR, {1}),
+        "s": info("s", OLD_ST, set()),
+    }
+    st = build("q", infos, lambda s: s == 1)
+    st.my_complete = True
+    st.complete_from = {"q", "r"}
+    assert not st.all_complete()  # s (other group) not yet complete
+    st.complete_from.add("s")
+    assert st.all_complete()
+
+
+def test_outstanding_duties_shrink_with_acks():
+    infos = {
+        "q": info("q", OLD_QR, {1, 2}),
+        "r": info("r", OLD_QR, set()),
+    }
+    st = build("q", infos, lambda s: s in {1, 2})
+    assert st.outstanding_duties() == {1, 2}
+    st.absorb_ack(
+        RecoveryAck(
+            sender="r", attempt=ATTEMPT, old_ring=OLD_QR, have=((1, 1),), complete=False
+        )
+    )
+    assert st.outstanding_duties() == {2}
+
+
+def test_obligation_extension_covers_group_and_their_obligations():
+    infos = {
+        "q": info("q", OLD_QR, {1}, obligation={"x"}),
+        "r": info("r", OLD_QR, {1}, obligation={"y", "z"}),
+        "s": info("s", OLD_ST, set(), obligation={"ignored"}),
+    }
+    st = build("q", infos, lambda s: s == 1)
+    ext = st.obligation_extension()
+    assert ext == frozenset({"q", "r", "x", "y", "z"})
+
+
+def test_singleton_group_completes_immediately():
+    infos = {"p": info("p", OLD_QR, set())}
+    st = build("p", infos)
+    assert st.group == ("p",)
+    assert st.needed == frozenset()
+    assert st.is_locally_complete()
+    assert st.duties == frozenset()

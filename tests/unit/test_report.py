@@ -1,0 +1,54 @@
+"""Unit tests for conformance reporting."""
+
+import pytest
+
+from repro.core.configuration import regular_configuration
+from repro.spec.history import History
+from repro.spec.report import pool_reports, run_conformance
+from repro.types import ConfigurationId, DeliveryRequirement, MessageId, RingId
+
+RING = RingId(4, "p")
+CONF = ConfigurationId.regular(RING)
+
+
+def clean_history():
+    h = History()
+    config = regular_configuration(RING, ("p", "q"))
+    h.record_conf_change("p", config, 0.0)
+    h.record_conf_change("q", config, 0.0)
+    mid = MessageId(RING, 1)
+    h.record_send("p", mid, CONF, DeliveryRequirement.SAFE, 1, 1.0)
+    h.record_deliver("p", mid, CONF, "p", DeliveryRequirement.SAFE, 1, 2.0)
+    h.record_deliver("q", mid, CONF, "p", DeliveryRequirement.SAFE, 1, 2.0)
+    return h
+
+
+def dirty_history():
+    h = clean_history()
+    # A delivery with no send violates Spec 1.3.
+    h.record_deliver("q", MessageId(RING, 9), CONF, "p", DeliveryRequirement.SAFE, 9, 3.0)
+    return h
+
+
+def test_clean_history_report_passes():
+    report = run_conformance(clean_history())
+    assert report.passed
+    assert report.total_violations == 0
+    assert "PASS" in report.render()
+    assert len(report.results) == 7  # one row per specification group
+
+
+def test_dirty_history_report_fails_with_details():
+    report = run_conformance(dirty_history())
+    assert not report.passed
+    assert report.total_violations > 0
+    rendered = report.render()
+    assert "FAIL" in rendered and "Spec" in rendered
+
+
+def test_pool_reports_aggregates():
+    pooled = pool_reports([run_conformance(clean_history()) for _ in range(3)])
+    assert pooled.histories == 3
+    assert pooled.passed
+    with pytest.raises(ValueError):
+        pool_reports([])

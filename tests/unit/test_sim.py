@@ -1,0 +1,124 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.sim import EventScheduler
+
+
+def test_events_fire_in_time_order():
+    sched = EventScheduler()
+    fired = []
+    sched.call_later(0.3, lambda: fired.append("c"))
+    sched.call_later(0.1, lambda: fired.append("a"))
+    sched.call_later(0.2, lambda: fired.append("b"))
+    sched.run_until_idle()
+    assert fired == ["a", "b", "c"]
+    assert sched.now == pytest.approx(0.3)
+
+
+def test_same_time_events_fire_fifo():
+    sched = EventScheduler()
+    fired = []
+    for i in range(10):
+        sched.call_at(1.0, lambda i=i: fired.append(i))
+    sched.run_until_idle()
+    assert fired == list(range(10))
+
+
+def test_cancel_prevents_firing():
+    sched = EventScheduler()
+    fired = []
+    timer = sched.call_later(0.1, lambda: fired.append("x"))
+    timer.cancel()
+    assert timer.cancelled
+    sched.run_until_idle()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sched = EventScheduler()
+    timer = sched.call_later(0.1, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    assert timer.cancelled
+
+
+def test_run_until_advances_time_even_without_events():
+    sched = EventScheduler()
+    sched.run_until(5.0)
+    assert sched.now == 5.0
+
+
+def test_run_until_does_not_fire_future_events():
+    sched = EventScheduler()
+    fired = []
+    sched.call_later(2.0, lambda: fired.append("late"))
+    sched.run_until(1.0)
+    assert fired == []
+    assert sched.now == 1.0
+    sched.run_until(3.0)
+    assert fired == ["late"]
+
+
+def test_scheduling_into_the_past_raises():
+    sched = EventScheduler()
+    sched.call_later(1.0, lambda: None)
+    sched.run_until_idle()
+    with pytest.raises(SimulationError):
+        sched.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sched = EventScheduler()
+    with pytest.raises(SimulationError):
+        sched.call_later(-0.1, lambda: None)
+
+
+def test_events_scheduled_during_callback_run():
+    sched = EventScheduler()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sched.call_later(0.1, lambda: fired.append("inner"))
+
+    sched.call_later(0.1, outer)
+    sched.run_until_idle()
+    assert fired == ["outer", "inner"]
+    assert sched.now == pytest.approx(0.2)
+
+
+def test_livelock_guard_raises():
+    sched = EventScheduler()
+
+    def respawn():
+        sched.call_later(0.001, respawn)
+
+    sched.call_later(0.0, respawn)
+    with pytest.raises(SimulationError):
+        sched.run_until_idle(max_events=1000)
+
+
+def test_step_returns_false_when_empty():
+    sched = EventScheduler()
+    assert sched.step() is False
+
+
+def test_events_processed_counter():
+    sched = EventScheduler()
+    for i in range(5):
+        sched.call_later(0.1 * i, lambda: None)
+    sched.run_until_idle()
+    assert sched.events_processed == 5
+
+
+def test_run_until_max_events_guard():
+    sched = EventScheduler()
+
+    def respawn():
+        sched.call_later(0.0001, respawn)
+
+    sched.call_later(0.0, respawn)
+    with pytest.raises(SimulationError):
+        sched.run_until(10.0, max_events=500)

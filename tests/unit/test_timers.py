@@ -1,0 +1,56 @@
+"""Unit tests for TotemConfig validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.totem.timers import TotemConfig
+
+
+def test_defaults_are_valid():
+    TotemConfig().validate()
+
+
+def test_token_retransmit_budget_must_fit_loss_timeout():
+    cfg = dataclasses.replace(
+        TotemConfig(), token_retransmit_interval=0.05, token_retransmit_count=3
+    )
+    with pytest.raises(ValueError):
+        cfg.validate()
+
+
+def test_join_timeout_below_consensus_timeout():
+    cfg = dataclasses.replace(TotemConfig(), join_timeout=0.5, consensus_timeout=0.25)
+    with pytest.raises(ValueError):
+        cfg.validate()
+
+
+def test_idle_pace_bounds():
+    with pytest.raises(ValueError):
+        dataclasses.replace(TotemConfig(), token_idle_pace=-1.0).validate()
+    with pytest.raises(ValueError):
+        dataclasses.replace(TotemConfig(), token_idle_pace=0.1).validate()
+    dataclasses.replace(TotemConfig(), token_idle_pace=0.0).validate()  # disabled OK
+
+
+def test_window_must_cover_token_burst():
+    cfg = dataclasses.replace(
+        TotemConfig(), window_size=5, max_messages_per_token=10
+    )
+    with pytest.raises(ValueError):
+        cfg.validate()
+
+
+def test_positive_message_burst():
+    with pytest.raises(ValueError):
+        dataclasses.replace(TotemConfig(), max_messages_per_token=0).validate()
+
+
+def test_all_timeouts_positive():
+    with pytest.raises(ValueError):
+        dataclasses.replace(TotemConfig(), recovery_timeout=0.0).validate()
+
+
+def test_config_is_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        TotemConfig().window_size = 1  # type: ignore[misc]

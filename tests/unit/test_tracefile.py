@@ -1,0 +1,90 @@
+"""Unit tests for trace serialization."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.cluster import SimCluster
+from repro.spec import evs_checker, tracefile
+from repro.spec.history import (
+    ConfChangeEvent,
+    DeliverEvent,
+    FailEvent,
+    SendEvent,
+)
+
+
+def recorded_history():
+    cluster = SimCluster(["p", "q", "r"])
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(cluster.pids), timeout=10.0)
+    cluster.send("p", b"one")
+    cluster.send("q", b"two")
+    assert cluster.settle(timeout=10.0)
+    cluster.crash("r")
+    assert cluster.wait_until(lambda: cluster.converged(["p", "q"]), timeout=10.0)
+    return cluster.history
+
+
+def events_signature(history):
+    out = {}
+    for pid in history.processes:
+        sig = []
+        for e in history.events_of(pid):
+            if isinstance(e, ConfChangeEvent):
+                sig.append(("conf", str(e.config_id), sorted(e.config.members), e.time))
+            elif isinstance(e, SendEvent):
+                sig.append(("send", str(e.message_id), int(e.requirement), e.time))
+            elif isinstance(e, DeliverEvent):
+                sig.append(
+                    ("deliver", str(e.message_id), e.sender, str(e.config_id), e.time)
+                )
+            elif isinstance(e, FailEvent):
+                sig.append(("fail", str(e.config_id), e.time))
+        out[pid] = sig
+    return out
+
+
+def test_roundtrip_preserves_every_event():
+    history = recorded_history()
+    restored = tracefile.loads(tracefile.dumps(history))
+    assert events_signature(restored) == events_signature(history)
+
+
+def test_roundtrip_preserves_checker_verdicts():
+    history = recorded_history()
+    restored = tracefile.loads(tracefile.dumps(history))
+    original = evs_checker.check_all(history, quiescent=False)
+    again = evs_checker.check_all(restored, quiescent=False)
+    assert original == again == []
+
+
+def test_file_roundtrip(tmp_path):
+    history = recorded_history()
+    path = str(tmp_path / "trace.json")
+    tracefile.save(history, path)
+    restored = tracefile.load(path)
+    assert restored.processes == history.processes
+
+
+def test_rejects_garbage():
+    with pytest.raises(tracefile.TraceFormatError):
+        tracefile.loads("not json at all")
+    with pytest.raises(tracefile.TraceFormatError):
+        tracefile.loads('{"format": "something-else"}')
+    with pytest.raises(tracefile.TraceFormatError):
+        tracefile.loads('{"format": "repro-evs-trace", "version": 99}')
+
+
+def test_trace_format_error_is_repro_error():
+    assert issubclass(tracefile.TraceFormatError, ReproError)
+
+
+def test_cli_check_on_saved_trace(tmp_path, capsys):
+    from repro.cli import main
+
+    history = recorded_history()
+    path = str(tmp_path / "trace.json")
+    tracefile.save(history, path)
+    assert main(["check", path, "--truncated"]) == 0
+    out = capsys.readouterr().out
+    assert "basic delivery" in out and "FAIL" not in out

@@ -1,0 +1,100 @@
+"""Unit tests for the SimHost adapter (timers, crash semantics)."""
+
+import random
+
+from repro.net.network import Network, NetworkParams
+from repro.net.sim import EventScheduler
+from repro.net.transport import SimHost
+from tests.unit.test_network import Ping
+
+
+def make_host(pid="a", peers=("b",)):
+    sched = EventScheduler()
+    net = Network(sched, random.Random(0), NetworkParams())
+    host = SimHost(pid, sched, net)
+    for peer in peers:
+        net.attach(peer, lambda s, m: None)
+    return sched, net, host
+
+
+def test_named_timer_fires():
+    sched, _, host = make_host()
+    fired = []
+    host.bind(lambda s, m: None, lambda name: fired.append(name))
+    host.set_timer("tick", 0.5)
+    sched.run_until(0.4)
+    assert fired == []
+    sched.run_until(0.6)
+    assert fired == ["tick"]
+
+
+def test_rearming_replaces_deadline():
+    sched, _, host = make_host()
+    fired = []
+    host.bind(lambda s, m: None, lambda name: fired.append((name, sched.now)))
+    host.set_timer("tick", 0.1)
+    host.set_timer("tick", 0.5)  # re-arm before it fires
+    sched.run_until_idle()
+    assert fired == [("tick", 0.5)]
+
+
+def test_cancel_timer():
+    sched, _, host = make_host()
+    fired = []
+    host.bind(lambda s, m: None, lambda name: fired.append(name))
+    host.set_timer("tick", 0.1)
+    host.cancel_timer("tick")
+    host.cancel_timer("tick")  # idempotent
+    sched.run_until_idle()
+    assert fired == []
+
+
+def test_packets_routed_to_bound_callback():
+    sched, net, host = make_host()
+    got = []
+    host.bind(lambda src, m: got.append((src, m)), lambda n: None)
+    net.broadcast("b", Ping(1))
+    sched.run_until_idle()
+    assert got == [("b", Ping(1))]
+
+
+def test_crash_silences_timers_and_packets():
+    sched, net, host = make_host()
+    got, fired = [], []
+    host.bind(lambda s, m: got.append(m), lambda n: fired.append(n))
+    host.set_timer("tick", 0.1)
+    host.crash()
+    net.broadcast("b", Ping(2))
+    sched.run_until_idle()
+    assert got == [] and fired == []
+    assert not host.alive
+
+
+def test_crashed_host_does_not_send():
+    sched, net, host = make_host()
+    box = []
+    net._handlers["b"] = lambda s, m: box.append(m)
+    host.crash()
+    host.broadcast(Ping(3))
+    host.unicast("b", Ping(4))
+    sched.run_until_idle()
+    assert box == []
+
+
+def test_recover_restores_traffic():
+    sched, net, host = make_host()
+    got = []
+    host.bind(lambda s, m: got.append(m), lambda n: None)
+    host.crash()
+    host.recover()
+    net.broadcast("b", Ping(5))
+    sched.run_until_idle()
+    assert got == [Ping(5)]
+    assert host.alive
+
+
+def test_now_tracks_scheduler():
+    sched, _, host = make_host()
+    assert host.now == 0.0
+    sched.run_until(1.5)
+    assert host.now == 1.5

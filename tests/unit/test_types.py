@@ -1,0 +1,74 @@
+"""Unit tests for identifier and enumeration types."""
+
+from repro.types import (
+    ConfigurationId,
+    ConfigurationKind,
+    DeliveryRequirement,
+    MessageId,
+    RingId,
+    representative,
+)
+
+
+def test_ring_id_ordering_by_seq_then_rep():
+    assert RingId(1, "z") < RingId(2, "a")
+    assert RingId(2, "a") < RingId(2, "b")
+
+
+def test_ring_id_is_hashable_and_comparable():
+    a = RingId(4, "p")
+    assert a == RingId(4, "p")
+    assert len({a, RingId(4, "p"), RingId(5, "p")}) == 2
+
+
+def test_regular_configuration_id():
+    cid = ConfigurationId.regular(RingId(8, "p"))
+    assert cid.is_regular and not cid.is_transitional
+    assert cid.kind is ConfigurationKind.REGULAR
+    assert cid.ring == RingId(8, "p")
+
+
+def test_transitional_configuration_id_distinct_per_old_ring():
+    new = RingId(12, "a")
+    t1 = ConfigurationId.transitional(new, RingId(8, "p"), "p")
+    t2 = ConfigurationId.transitional(new, RingId(4, "s"), "s")
+    assert t1 != t2
+    assert t1.is_transitional and t2.is_transitional
+    assert t1.ring == new and t2.ring == new
+
+
+def test_transitional_differs_from_regular_of_same_ring():
+    new = RingId(12, "a")
+    assert ConfigurationId.regular(new) != ConfigurationId.transitional(
+        new, RingId(8, "p"), "p"
+    )
+
+
+def test_message_id_identity():
+    m1 = MessageId(RingId(8, "p"), 3)
+    m2 = MessageId(RingId(8, "p"), 3)
+    m3 = MessageId(RingId(8, "q"), 3)
+    assert m1 == m2 and m1 != m3
+    assert m1 < MessageId(RingId(8, "p"), 4)
+
+
+def test_delivery_requirements_are_increasing_levels_of_service():
+    assert (
+        DeliveryRequirement.CAUSAL
+        < DeliveryRequirement.AGREED
+        < DeliveryRequirement.SAFE
+    )
+
+
+def test_representative_is_minimum():
+    assert representative({"q", "p", "r"}) == "p"
+    assert representative(["z"]) == "z"
+
+
+def test_string_renderings_are_informative():
+    assert "8" in str(RingId(8, "p")) and "p" in str(RingId(8, "p"))
+    cid = ConfigurationId.regular(RingId(8, "p"))
+    assert "R" in str(cid)
+    tid = ConfigurationId.transitional(RingId(12, "a"), RingId(8, "p"), "p")
+    assert "T" in str(tid)
+    assert "#3" in str(MessageId(RingId(8, "p"), 3))

@@ -1,0 +1,172 @@
+"""Adversarial tests for the VS model checker (C1-C3, L1-L5)."""
+
+from repro.spec.vs_checker import (
+    check_all_vs,
+    check_c1_sends_exist,
+    check_c2_sends_delivered,
+    check_c3_view_atomicity,
+    check_l125_logical_time,
+    check_l3_view_membership,
+    check_l4_same_view_delivery,
+)
+from repro.types import DeliveryRequirement, MessageId, RingId
+from repro.vs.views import (
+    View,
+    ViewId,
+    VsDeliverEvent,
+    VsHistory,
+    VsSendEvent,
+    VsStopEvent,
+    VsViewEvent,
+)
+
+RING = RingId(10, "a")
+V1 = ViewId(seq=10, source="c10", sub=0)
+V2 = ViewId(seq=14, source="c14", sub=0)
+AGREED = DeliveryRequirement.AGREED
+
+
+def view_event(pid, vid=V1, members=("a", "b"), t=0.0):
+    return VsViewEvent(pid=pid, view=View(id=vid, members=tuple(members)), time=t)
+
+
+def send(pid, oseq, t=1.0):
+    return VsSendEvent(pid=pid, origin_seq=oseq, requirement=AGREED, time=t)
+
+
+def deliver(pid, seq, sender, oseq, vid=V1, t=2.0):
+    return VsDeliverEvent(
+        pid=pid,
+        message_id=MessageId(RING, seq),
+        sender=sender,
+        origin_seq=oseq,
+        requirement=AGREED,
+        view_id=vid,
+        time=t,
+    )
+
+
+def make_history(*events):
+    h = VsHistory()
+    for e in events:
+        h.record(e)
+    return h
+
+
+def test_delivery_without_send_violates_c1():
+    h = make_history(view_event("a"), deliver("a", 1, "b", 1))
+    assert check_c1_sends_exist(h)
+
+
+def test_undelivered_send_violates_c2():
+    h = make_history(view_event("a"), send("a", 1))
+    assert check_c2_sends_delivered(h, quiescent=True)
+
+
+def test_stopped_sender_excused_from_c2():
+    h = make_history(view_event("a"), send("a", 1), VsStopEvent(pid="a", time=2.0))
+    assert check_c2_sends_delivered(h, quiescent=True) == []
+
+
+def test_missing_member_delivery_violates_c3():
+    h = make_history(
+        view_event("a"),
+        view_event("b"),
+        send("a", 1),
+        deliver("a", 1, "a", 1),
+        # b installed the view but never delivers the message.
+    )
+    assert check_c3_view_atomicity(h, quiescent=True)
+
+
+def test_stopped_member_excused_from_c3():
+    h = make_history(
+        view_event("a"),
+        view_event("b"),
+        send("a", 1),
+        deliver("a", 1, "a", 1),
+        VsStopEvent(pid="b", time=3.0),
+    )
+    assert check_c3_view_atomicity(h, quiescent=True) == []
+
+
+def test_membership_disagreement_violates_l3():
+    h = make_history(
+        view_event("a", members=("a", "b")),
+        view_event("b", members=("a", "b", "c")),
+    )
+    assert check_l3_view_membership(h)
+
+
+def test_double_install_violates_l3():
+    h = make_history(view_event("a"), view_event("a"))
+    assert check_l3_view_membership(h)
+
+
+def test_delivery_in_different_views_violates_l4():
+    h = make_history(
+        view_event("a"),
+        view_event("b", vid=V2, members=("a", "b")),
+        send("a", 1),
+        deliver("a", 1, "a", 1, vid=V1),
+        deliver("b", 1, "a", 1, vid=V2),
+    )
+    assert check_l4_same_view_delivery(h)
+
+
+def test_inverted_abcast_orders_violate_l5():
+    h = make_history(
+        view_event("a"),
+        view_event("b"),
+        send("a", 1),
+        send("a", 2),
+        deliver("a", 1, "a", 1, t=2.0),
+        deliver("a", 2, "a", 2, t=2.1),
+        deliver("b", 2, "a", 2, t=2.0),
+        deliver("b", 1, "a", 1, t=2.1),
+    )
+    assert check_l125_logical_time(h)
+
+
+def test_cbcast_deliveries_may_reorder():
+    causal = DeliveryRequirement.CAUSAL
+    h = VsHistory()
+    h.record(view_event("a"))
+    h.record(view_event("b"))
+    for pid, first, second in (("a", 1, 2), ("b", 2, 1)):
+        h.record(
+            VsDeliverEvent(
+                pid=pid,
+                message_id=MessageId(RING, first),
+                sender="a",
+                origin_seq=first,
+                requirement=causal,
+                view_id=V1,
+                time=2.0,
+            )
+        )
+        h.record(
+            VsDeliverEvent(
+                pid=pid,
+                message_id=MessageId(RING, second),
+                sender="a",
+                origin_seq=second,
+                requirement=causal,
+                view_id=V1,
+                time=2.1,
+            )
+        )
+    # L5 constrains abcast only; concurrent cbcasts may interleave
+    # differently per process.
+    assert check_l125_logical_time(h) == []
+
+
+def test_clean_vs_history_passes_everything():
+    h = make_history(
+        view_event("a"),
+        view_event("b"),
+        send("a", 1),
+        deliver("a", 1, "a", 1),
+        deliver("b", 1, "a", 1),
+    )
+    assert check_all_vs(h, quiescent=True) == []

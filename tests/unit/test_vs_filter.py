@@ -1,0 +1,178 @@
+"""Unit tests for the §5 filter, driven with hand-fed EVS events."""
+
+from repro.core.configuration import (
+    Delivery,
+    regular_configuration,
+    transitional_configuration,
+)
+from repro.types import DeliveryRequirement, MessageId, RingId
+from repro.vs.filter import VirtualSynchronyFilter
+from repro.vs.primary import MajorityStrategy
+from repro.vs.views import VsHistory
+
+UNIVERSE = ["a", "b", "c", "d", "e"]
+
+
+def make_filter(pid="a", reidentify=False):
+    return VirtualSynchronyFilter(
+        pid=pid,
+        strategy=MajorityStrategy(UNIVERSE),
+        vs_history=VsHistory(),
+        reidentify=reidentify,
+    )
+
+
+def reg(members, seq=10):
+    return regular_configuration(RingId(seq, min(members)), members)
+
+
+def trans(new_seq, old_config, group):
+    new_ring = RingId(new_seq, min(old_config.members))
+    return transitional_configuration(
+        new_ring, old_config.ring, group, old_config.id
+    )
+
+
+def delivery(config, seq=1, sender="b", requirement=DeliveryRequirement.AGREED):
+    return Delivery(
+        message_id=MessageId(config.id.ring, seq),
+        sender=sender,
+        payload=b"x",
+        requirement=requirement,
+        config_id=config.id,
+        origin_seq=seq,
+    )
+
+
+def test_initial_primary_installs_full_view():
+    f = make_filter()
+    f.on_configuration_change(reg(UNIVERSE))
+    assert not f.blocked
+    assert f.current_view is not None
+    assert f.current_view.members == tuple(sorted(UNIVERSE))
+
+
+def test_rule1_masks_transitional_and_retags_deliveries():
+    f = make_filter()
+    first = reg(UNIVERSE)
+    f.on_configuration_change(first)
+    view_before = f.current_view
+    t = trans(14, first, ["a", "b", "c"])
+    f.on_configuration_change(t)
+    assert f.current_view == view_before  # masked
+    assert f.masked_transitionals == 1
+    f.on_deliver(delivery(t))
+    events = f.vs_history.events_of("a")
+    deliver_events = [e for e in events if hasattr(e, "view_id")]
+    assert deliver_events[-1].view_id == view_before.id
+
+
+def test_rule2_blocks_non_primary_and_discards():
+    f = make_filter()
+    f.on_configuration_change(reg(UNIVERSE))
+    minority = reg(["a", "b"], seq=14)
+    f.on_configuration_change(minority)
+    assert f.blocked
+    f.on_deliver(delivery(minority))
+    assert f.discarded == 1
+    deliver_events = [
+        e for e in f.vs_history.events_of("a") if hasattr(e, "view_id")
+    ]
+    assert deliver_events == []
+
+
+def test_rule3_removal_is_single_view():
+    f = make_filter()
+    f.on_configuration_change(reg(UNIVERSE))
+    f.on_configuration_change(reg(["a", "b", "c"], seq=14))
+    views = [e.view for e in f.vs_history.events_of("a") if hasattr(e, "view")]
+    assert len(views) == 2
+    assert views[-1].members == ("a", "b", "c")
+    assert views[-1].id.sub == 0
+
+
+def test_rule3_merge_splits_one_process_per_view():
+    f = make_filter()
+    f.on_configuration_change(reg(["a", "b", "c"]))
+    f.on_configuration_change(reg(UNIVERSE, seq=14))
+    views = [e.view for e in f.vs_history.events_of("a") if hasattr(e, "view")]
+    # initial + two merge steps (d then e, lexicographic).
+    assert [v.members for v in views] == [
+        ("a", "b", "c"),
+        ("a", "b", "c", "d"),
+        ("a", "b", "c", "d", "e"),
+    ]
+    assert [v.id.sub for v in views[1:]] == [-1, 0]
+    assert views[1].id.seq == views[2].id.seq == 14
+
+
+def test_rule3_simultaneous_leave_and_join():
+    f = make_filter()
+    f.on_configuration_change(reg(["a", "b", "c"]))
+    f.on_configuration_change(reg(["a", "b", "d", "e"], seq=14))
+    views = [e.view for e in f.vs_history.events_of("a") if hasattr(e, "view")]
+    assert [v.members for v in views[1:]] == [
+        ("a", "b"),          # c removed first
+        ("a", "b", "d"),     # then joiners one at a time
+        ("a", "b", "d", "e"),
+    ]
+    assert views[-1].id.sub == 0
+
+
+def test_rule4_joiner_resumes_with_final_view_only():
+    f = make_filter(pid="d")
+    f.on_configuration_change(reg(UNIVERSE))        # in primary
+    f.on_configuration_change(reg(["d", "e"], seq=14))  # partitioned: blocked
+    assert f.blocked
+    f.on_configuration_change(reg(UNIVERSE, seq=18))    # merged back
+    assert not f.blocked
+    views = [e.view for e in f.vs_history.events_of("d") if hasattr(e, "view")]
+    # The joiner must NOT emit intermediate merge views for its own merge.
+    assert views[-1].members == tuple(sorted(UNIVERSE))
+    assert views[-1].id.sub == 0
+    assert views[-2].members == tuple(sorted(UNIVERSE))  # the first full view
+
+
+def test_view_ids_match_between_survivor_and_joiner():
+    survivor = make_filter(pid="a")
+    joiner = make_filter(pid="d")
+    for f in (survivor, joiner):
+        f.on_configuration_change(reg(UNIVERSE))
+    survivor.on_configuration_change(reg(["a", "b", "c"], seq=14))
+    joiner.on_configuration_change(reg(["d", "e"], seq=14))
+    final = reg(UNIVERSE, seq=18)
+    survivor.on_configuration_change(final)
+    joiner.on_configuration_change(final)
+    s_views = [e.view for e in survivor.vs_history.events_of("a") if hasattr(e, "view")]
+    j_views = [e.view for e in joiner.vs_history.events_of("d") if hasattr(e, "view")]
+    assert s_views[-1].id == j_views[-1].id
+    assert s_views[-1].members == j_views[-1].members
+
+
+def test_same_membership_new_configuration_emits_new_view():
+    f = make_filter()
+    f.on_configuration_change(reg(UNIVERSE, seq=10))
+    f.on_configuration_change(reg(UNIVERSE, seq=14))
+    views = [e.view for e in f.vs_history.events_of("a") if hasattr(e, "view")]
+    assert len(views) == 2
+    assert views[0].id != views[1].id
+    assert views[0].members == views[1].members
+
+
+def test_reidentification_renames_returning_process():
+    f = make_filter(pid="a", reidentify=True)
+    f.on_configuration_change(reg(UNIVERSE))
+    f.on_configuration_change(reg(["a", "b", "c"], seq=14))  # d, e leave
+    f.on_configuration_change(reg(UNIVERSE, seq=18))         # d, e return
+    views = [e.view for e in f.vs_history.events_of("a") if hasattr(e, "view")]
+    assert "d~1" in views[-1].members and "e~1" in views[-1].members
+
+
+def test_record_send_and_stop():
+    f = make_filter()
+    f.on_configuration_change(reg(UNIVERSE))
+    f.record_send(1, DeliveryRequirement.AGREED)
+    f.record_stop()
+    events = f.vs_history.events_of("a")
+    kinds = [type(e).__name__ for e in events]
+    assert "VsSendEvent" in kinds and "VsStopEvent" in kinds

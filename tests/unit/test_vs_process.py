@@ -1,0 +1,55 @@
+"""Unit tests for the VsProcess wrapper API."""
+
+import pytest
+
+from repro.errors import NotOperationalError
+from repro.harness.vs_cluster import VsCluster
+from repro.types import DeliveryRequirement
+
+PIDS = ["a", "b", "c"]
+
+
+@pytest.fixture
+def cluster():
+    c = VsCluster(PIDS)
+    c.start_all()
+    assert c.wait_until(lambda: c.converged(PIDS), timeout=10.0)
+    return c
+
+
+def test_primitive_service_mapping(cluster):
+    vsp = cluster.vs_processes["a"]
+    assert vsp.cbcast(b"1").requirement is DeliveryRequirement.CAUSAL
+    assert vsp.abcast(b"2").requirement is DeliveryRequirement.AGREED
+    assert vsp.uniform(b"3").requirement is DeliveryRequirement.SAFE
+    assert cluster.settle(timeout=10.0)
+
+
+def test_sends_recorded_in_vs_history(cluster):
+    vsp = cluster.vs_processes["b"]
+    receipt = vsp.abcast(b"x")
+    sends = cluster.vs_history.sends()
+    assert ("b", receipt.origin_seq) in sends
+
+
+def test_blocked_member_cannot_send(cluster):
+    cluster.partition({"a", "b"}, {"c"})
+    assert cluster.wait_until(lambda: cluster.converged(["c"]), timeout=10.0)
+    vsp = cluster.vs_processes["c"]
+    assert vsp.blocked
+    for primitive in (vsp.cbcast, vsp.abcast, vsp.uniform):
+        with pytest.raises(NotOperationalError):
+            primitive(b"refused")
+
+
+def test_stop_records_stop_event(cluster):
+    cluster.vs_processes["c"].stop()
+    stopped = cluster.vs_history.stopped()
+    assert "c" in stopped
+
+
+def test_current_view_tracks_membership(cluster):
+    assert cluster.vs_processes["a"].current_view.members == ("a", "b", "c")
+    cluster.partition({"a", "b"}, {"c"})
+    assert cluster.wait_until(lambda: cluster.converged(["a", "b"]), timeout=10.0)
+    assert cluster.vs_processes["a"].current_view.members == ("a", "b")
