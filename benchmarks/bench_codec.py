@@ -1,0 +1,151 @@
+"""Codec microbenchmark: JSON vs binary wire format, per message type.
+
+Every protocol message - regular traffic, token rotations, recovery
+rebroadcasts - pays one encode per send plus one decode per receiver, so
+the codec is on the floor of every end-to-end number the other benches
+report.  This bench measures encode and decode rates and frame sizes for
+representative instances of each wire message type under both formats,
+and asserts the binary fast path's headline claim: >= 2x faster than
+JSON on encode+decode of a representative ``RegularMessage``.
+"""
+
+import time
+
+from _util import emit
+
+from repro.harness.metrics import BenchRow, render_table
+from repro.net import codec
+from repro.totem.messages import (
+    CommitToken,
+    JoinMessage,
+    MemberInfo,
+    RecoveryAck,
+    RegularMessage,
+    Token,
+)
+from repro.types import DeliveryRequirement, RingId
+
+RING = RingId(seq=12, rep="p0")
+OLD = RingId(seq=8, rep="p1")
+MEMBERS = tuple(f"p{i}" for i in range(10))
+
+REPRESENTATIVE = {
+    "RegularMessage": RegularMessage(
+        sender="p3",
+        ring=RING,
+        seq=4711,
+        requirement=DeliveryRequirement.AGREED,
+        payload=b"\x00\x01\xfe payload" * 6,  # ~64B, as the apps send
+        origin_seq=118,
+    ),
+    "Token": Token(
+        ring=RING,
+        token_seq=9001,
+        seq=4711,
+        aru={pid: 4700 + i for i, pid in enumerate(MEMBERS)},
+        rtr=(4690, 4694, 4695),
+    ),
+    "JoinMessage": JoinMessage(
+        sender="p3",
+        proc_set=frozenset(MEMBERS),
+        fail_set=frozenset({"p9"}),
+        ring_seq=12,
+    ),
+    "CommitToken": CommitToken(
+        ring=RING,
+        members=MEMBERS[:5],
+        rotation=1,
+        token_seq=7,
+        infos={
+            pid: MemberInfo(
+                pid=pid,
+                old_ring=OLD,
+                old_members=frozenset(MEMBERS[:5]),
+                my_aru=4700,
+                high_seq=4711,
+                held=((4600, 4705), (4708, 4711)),
+                delivered_seq=4699,
+                ack_vector={q: 4698 for q in MEMBERS[:5]},
+                obligation=frozenset(MEMBERS[:3]),
+            )
+            for pid in MEMBERS[:5]
+        },
+    ),
+    "RecoveryAck": RecoveryAck(
+        sender="p3",
+        attempt=RING,
+        old_ring=OLD,
+        have=((4600, 4711),),
+        complete=True,
+    ),
+}
+
+ITERATIONS = 3000
+REPEATS = 3  # best-of, to shrug off scheduler noise
+
+
+def _best_rate(fn, iterations=ITERATIONS, repeats=REPEATS):
+    """Calls/second of ``fn``, best of ``repeats`` timed loops."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return iterations / best
+
+
+def measure(message, wire_format):
+    frame = codec.encode(message, wire_format)
+    enc_rate = _best_rate(lambda: codec.encode(message, wire_format))
+    dec_rate = _best_rate(lambda: codec.decode(frame))
+    return enc_rate, dec_rate, len(frame)
+
+
+def test_codec_formats(benchmark):
+    results = {}
+
+    def sweep():
+        for name, message in REPRESENTATIVE.items():
+            for fmt in (codec.FORMAT_JSON, codec.FORMAT_BINARY):
+                results[(name, fmt)] = measure(message, fmt)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name in REPRESENTATIVE:
+        j_enc, j_dec, j_size = results[(name, codec.FORMAT_JSON)]
+        b_enc, b_dec, b_size = results[(name, codec.FORMAT_BINARY)]
+        roundtrip_speedup = (1 / j_enc + 1 / j_dec) / (1 / b_enc + 1 / b_dec)
+        for fmt, enc, dec, size in (
+            ("json", j_enc, j_dec, j_size),
+            ("binary", b_enc, b_dec, b_size),
+        ):
+            rows.append(
+                BenchRow(
+                    f"{name} [{fmt}]",
+                    {
+                        "frame": f"{size}B",
+                        "encode": f"{enc / 1000:.0f}k/s",
+                        "decode": f"{dec / 1000:.0f}k/s",
+                        "speedup": f"{roundtrip_speedup:.1f}x"
+                        if fmt == "binary"
+                        else "-",
+                    },
+                )
+            )
+        # Compactness holds for every message type.
+        assert b_size < j_size, name
+
+    # Headline acceptance: binary >= 2x faster than JSON on encode+decode
+    # of a representative RegularMessage.
+    j_enc, j_dec, _ = results[("RegularMessage", codec.FORMAT_JSON)]
+    b_enc, b_dec, _ = results[("RegularMessage", codec.FORMAT_BINARY)]
+    speedup = (1 / j_enc + 1 / j_dec) / (1 / b_enc + 1 / b_dec)
+    assert speedup >= 2.0, f"binary only {speedup:.2f}x faster than JSON"
+
+    emit(
+        "codec",
+        render_table("X4: wire codec encode/decode rates and frame sizes", rows),
+    )

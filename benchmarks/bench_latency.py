@@ -1,24 +1,31 @@
-"""Experiment X2 (added): delivery latency by service level.
+"""Experiment X2 (added): delivery latency by service level, under both
+wire codecs.
 
 Shape expectation: agreed delivery needs contiguous receipt only
 (~ a network latency), while safe delivery must additionally observe the
 acknowledgment vector cover the message (~ one to two token rotations),
 so safe latency is strictly higher.  Causal (delivered in total order
-here) tracks agreed.
+here) tracks agreed.  Latencies are *simulated* time, so the codec must
+not move them - equal rows across codecs double as a regression check
+that the binary format changes no protocol behavior.
 """
 
 from _util import emit
 
 from repro.harness.cluster import ClusterOptions, SimCluster
 from repro.harness.metrics import BenchRow, latency_summary, render_table
+from repro.net.codec import FORMAT_BINARY, FORMAT_JSON
 from repro.types import DeliveryRequirement
 
 N = 5
 PER_LEVEL = 60
+FORMATS = (FORMAT_JSON, FORMAT_BINARY)
 
 
-def run_latency():
-    cluster = SimCluster.of_size(N, options=ClusterOptions(seed=9))
+def run_latency(wire_format):
+    cluster = SimCluster.of_size(
+        N, options=ClusterOptions(seed=9, wire_format=wire_format)
+    )
     cluster.start_all()
     assert cluster.wait_until(lambda: cluster.converged(cluster.pids), timeout=10.0)
     for i in range(PER_LEVEL):
@@ -31,11 +38,13 @@ def run_latency():
 
 
 def test_latency_by_service_level(benchmark):
-    summary = benchmark.pedantic(run_latency, rounds=2, iterations=1)
+    summaries = benchmark.pedantic(
+        lambda: {fmt: run_latency(fmt) for fmt in FORMATS}, rounds=2, iterations=1
+    )
 
     rows = [
         BenchRow(
-            req.name.lower(),
+            f"{req.name.lower()} [{fmt}]",
             {
                 "n": s.count,
                 "mean": f"{s.mean * 1000:.2f}ms",
@@ -43,13 +52,20 @@ def test_latency_by_service_level(benchmark):
                 "p95": f"{s.p95 * 1000:.2f}ms",
             },
         )
-        for req, s in sorted(summary.items(), key=lambda kv: kv[0])
+        for fmt in FORMATS
+        for req, s in sorted(summaries[fmt].items(), key=lambda kv: kv[0])
     ]
-    safe = summary[DeliveryRequirement.SAFE]
-    agreed = summary[DeliveryRequirement.AGREED]
-    # Shape: safe costs acknowledgment rotations on top of agreed.
-    assert safe.mean > agreed.mean
+    for fmt in FORMATS:
+        safe = summaries[fmt][DeliveryRequirement.SAFE]
+        agreed = summaries[fmt][DeliveryRequirement.AGREED]
+        # Shape: safe costs acknowledgment rotations on top of agreed.
+        assert safe.mean > agreed.mean
+    # Same simulation, same seed: simulated-time latencies are identical
+    # under both codecs (the codec changes CPU cost, not the model).
+    assert summaries[FORMAT_JSON] == summaries[FORMAT_BINARY]
     emit(
         "latency",
-        render_table("X2: delivery latency by service level (n=5 ring)", rows),
+        render_table(
+            "X2: delivery latency by service level (n=5 ring), per codec", rows
+        ),
     )

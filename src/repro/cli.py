@@ -23,6 +23,7 @@ from repro.harness.cluster import ClusterOptions, SimCluster
 from repro.harness.faults import random_scenario
 from repro.harness.figures import figure6_scenario, render_timeline
 from repro.harness.scenario import ScenarioRunner
+from repro.net.codec import FORMAT_BINARY, WIRE_FORMATS
 from repro.net.network import NetworkParams
 from repro.spec import tracefile
 from repro.spec.report import pool_reports, run_conformance
@@ -31,7 +32,9 @@ from repro.types import DeliveryRequirement
 
 def cmd_demo(args: argparse.Namespace) -> int:
     pids = [f"p{i}" for i in range(args.processes)]
-    cluster = SimCluster(pids, options=ClusterOptions(seed=args.seed))
+    cluster = SimCluster(
+        pids, options=ClusterOptions(seed=args.seed, wire_format=args.wire_format)
+    )
     cluster.start_all()
     if not cluster.wait_until(lambda: cluster.converged(pids), timeout=10.0):
         print("group failed to form", file=sys.stderr)
@@ -42,6 +45,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     cluster.settle(timeout=30.0)
     for pid, order in cluster.delivery_orders().items():
         print(f"  {pid}: {[p.decode() for p in order]}")
+    print(f"wire={args.wire_format}: {cluster.codec_stats.summary()}")
     report = run_conformance(cluster.history, quiescent=True)
     print(report.render())
     return 0 if report.passed else 1
@@ -128,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--processes", type=int, default=3)
     demo.add_argument("--messages", type=int, default=6)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--wire-format",
+        choices=list(WIRE_FORMATS),
+        default=FORMAT_BINARY,
+        help="wire codec for all frames (see docs/WIRE_FORMAT.md)",
+    )
     demo.set_defaults(fn=cmd_demo)
 
     fig6 = sub.add_parser("figure6", help="reproduce the paper's Figure 6")

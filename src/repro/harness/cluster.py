@@ -54,11 +54,18 @@ class RecordingListener(Listener):
 
 @dataclass
 class ClusterOptions:
-    """Construction knobs for :class:`SimCluster`."""
+    """Construction knobs for :class:`SimCluster`.
+
+    ``wire_format``, when set, overrides ``network.wire_format`` - a
+    shorthand so benchmarks can A/B the codecs without building a whole
+    :class:`NetworkParams` (``"binary"`` or ``"json"``, see
+    :mod:`repro.net.codec`).
+    """
 
     seed: int = 0
     network: NetworkParams = field(default_factory=NetworkParams)
     totem: TotemConfig = field(default_factory=TotemConfig)
+    wire_format: Optional[str] = None
 
 
 class SimCluster:
@@ -73,6 +80,8 @@ class SimCluster:
         if len(set(pids)) != len(pids):
             raise SimulationError("duplicate process ids")
         self.options = options or ClusterOptions()
+        if self.options.wire_format is not None:
+            self.options.network.wire_format = self.options.wire_format
         self.scheduler = EventScheduler()
         self.rng = random.Random(self.options.seed)
         self.network = Network(self.scheduler, self.rng, self.options.network)
@@ -248,8 +257,18 @@ class SimCluster:
     def delivery_orders(self) -> Dict[ProcessId, List[bytes]]:
         return {p: self.listeners[p].payloads() for p in self.pids}
 
+    @property
+    def codec_stats(self):
+        """The network's per-message-type codec counters."""
+        return self.network.stats.codec
+
     def describe(self) -> str:
-        lines = [f"t={self.now:.3f}s  {self.history.summary()}"]
+        net = self.network.stats
+        lines = [
+            f"t={self.now:.3f}s  {self.history.summary()}",
+            f"  wire={self.options.network.wire_format} "
+            f"bytes={net.bytes_sent} {net.codec.summary()}",
+        ]
         for pid in self.pids:
             proc = self.processes[pid]
             config = proc.current_configuration

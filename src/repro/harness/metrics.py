@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.net.codec import CodecStats
 from repro.spec.history import ConfChangeEvent, History
 from repro.types import DeliveryRequirement, MessageId, ProcessId
 
@@ -185,6 +186,35 @@ class BenchRow:
     def __str__(self) -> str:
         cells = "  ".join(f"{k}={v}" for k, v in self.values.items())
         return f"{self.label:<38s} {cells}"
+
+
+def codec_rows(stats: CodecStats) -> List[BenchRow]:
+    """Per-message-type codec rows (counts, bytes, mean cost) from a
+    transport's :class:`~repro.net.codec.CodecStats`, ready for
+    :func:`render_table`."""
+    rows: List[BenchRow] = []
+    for name in sorted(stats.per_type):
+        s = stats.per_type[name]
+        enc_us = (s.encode_seconds / s.encodes * 1e6) if s.encodes else 0.0
+        dec_us = (s.decode_seconds / s.decodes * 1e6) if s.decodes else 0.0
+        avg_frame = (s.encode_bytes / s.encodes) if s.encodes else 0.0
+        rows.append(
+            BenchRow(
+                name,
+                {
+                    "enc": s.encodes,
+                    "dec": s.decodes,
+                    "frame": f"{avg_frame:.0f}B",
+                    "enc_us": f"{enc_us:.1f}",
+                    "dec_us": f"{dec_us:.1f}",
+                },
+            )
+        )
+    return rows
+
+
+def codec_table(stats: CodecStats, title: str = "codec activity") -> str:
+    return render_table(title, codec_rows(stats))
 
 
 def render_table(title: str, rows: List[BenchRow]) -> str:

@@ -47,10 +47,14 @@ class AsyncioHost(Host):
         pid: ProcessId,
         address_book: Dict[ProcessId, Address],
         loop: Optional[asyncio.AbstractEventLoop] = None,
+        wire_format: str = codec.FORMAT_BINARY,
     ) -> None:
         if pid not in address_book:
             raise ValueError(f"{pid} missing from address book")
         self._pid = pid
+        self.wire_format = wire_format
+        #: Per-message-type encode/decode counters for this endpoint.
+        self.codec_stats = codec.CodecStats()
         self.address_book = dict(address_book)
         self._addr_to_pid = {addr: p for p, addr in address_book.items()}
         self.loop = loop or asyncio.get_event_loop()
@@ -103,7 +107,7 @@ class AsyncioHost(Host):
     def broadcast(self, message: Any) -> None:
         if not self._alive or self._transport is None:
             return
-        data = codec.encode(message)
+        data = codec.encode_timed(message, self.wire_format, self.codec_stats)
         for peer, addr in self.address_book.items():
             self._transport.sendto(data, addr)
 
@@ -112,7 +116,8 @@ class AsyncioHost(Host):
             return
         addr = self.address_book.get(dest)
         if addr is not None:
-            self._transport.sendto(codec.encode(message), addr)
+            data = codec.encode_timed(message, self.wire_format, self.codec_stats)
+            self._transport.sendto(data, addr)
 
     def set_timer(self, name: str, delay: float) -> None:
         self.cancel_timer(name)
@@ -151,7 +156,7 @@ class AsyncioHost(Host):
         ):
             return  # partitioned away
         try:
-            message = codec.decode(data)
+            message = codec.decode_timed(data, self.codec_stats)
         except Exception:
             return  # malformed datagram: drop, as UDP would garbage
         self._on_packet(src, message)
@@ -171,8 +176,10 @@ class AsyncioCluster:
         base_port: int = 39000,
         listeners: Optional[Dict[ProcessId, Listener]] = None,
         totem_config: Optional[TotemConfig] = None,
+        wire_format: str = codec.FORMAT_BINARY,
     ) -> None:
         self.pids: List[ProcessId] = sorted(pids)
+        self.wire_format = wire_format
         self.address_book: Dict[ProcessId, Address] = {
             pid: ("127.0.0.1", base_port + i) for i, pid in enumerate(self.pids)
         }
@@ -185,7 +192,9 @@ class AsyncioCluster:
     async def start(self) -> None:
         loop = asyncio.get_event_loop()
         for pid in self.pids:
-            host = AsyncioHost(pid, self.address_book, loop=loop)
+            host = AsyncioHost(
+                pid, self.address_book, loop=loop, wire_format=self.wire_format
+            )
             await host.open()
             self.hosts[pid] = host
             self.processes[pid] = EvsProcess(

@@ -6,7 +6,26 @@ boundary even in simulation.  That keeps the sans-io protocol cores honest
 - nothing can leak through shared Python object references - and gives the
 property-based tests a round-trip invariant to attack.
 
-The encoding is JSON with explicit type tags:
+Two wire formats are supported, discriminated by the first byte of the
+frame (the *version prefix*):
+
+* **JSON** (:data:`FORMAT_JSON`) - self-describing, human-readable,
+  archival.  Frames are JSON objects, so their first byte is ``{``
+  (0x7B).  This is the interop format: any decoder that knows the type
+  *names* can read it, regardless of registration order.
+* **Binary** (:data:`FORMAT_BINARY`) - compact and fast.  Frames start
+  with :data:`BINARY_FORMAT_BYTE` (0x01, unreachable as the first byte
+  of a JSON document), followed by a tagged value tree.  Each registered
+  dataclass gets a **compiled encoder/decoder pair** built once at
+  registration time: field specs are precomputed from
+  ``dataclasses.fields``, classes and enums travel as small integer ids
+  assigned in registration order, and bytes are written raw instead of
+  base64.  See ``docs/WIRE_FORMAT.md`` for the full frame layout.
+
+:func:`decode` dispatches on the version prefix, so old JSON frames and
+new binary frames interoperate on one wire.
+
+The JSON encoding uses explicit type tags:
 
 ======================  =============================================
 Python value            encoded form
@@ -14,14 +33,17 @@ Python value            encoded form
 ``bytes``               ``{"__b": "<base64>"}``
 ``Enum``                ``{"__e": ["ClassName", value]}``
 ``dataclass``           ``{"__d": "ClassName", "f": {field: value}}``
-``set``/``frozenset``   ``{"__s": [items...]}`` (sorted when possible)
+``set``/``frozenset``   ``{"__s": [items...]}`` (sorted by encoding)
 ``tuple``               ``{"__t": [items...]}``
 ``dict`` (any keys)     ``{"__m": [[key, value], ...]}``
 ======================  =============================================
 
 Dataclasses must be registered (:func:`register`) before they can be
 decoded; the :mod:`repro.totem.messages` module registers every wire
-message at import time.
+message at import time.  The binary format additionally relies on the
+*registration order* being identical on both ends of the wire (it is,
+because both ends import the same modules); JSON frames carry names and
+are immune to ordering.
 """
 
 from __future__ import annotations
@@ -30,20 +52,60 @@ import base64
 import dataclasses
 import enum
 import json
-from typing import Any, Dict, Type
+import struct
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Tuple, Type
 
 from repro.errors import CodecError
+
+#: Wire-format names, usable as the ``wire_format`` knob on
+#: :class:`repro.net.network.NetworkParams` and the asyncio transport.
+FORMAT_JSON = "json"
+FORMAT_BINARY = "binary"
+WIRE_FORMATS = (FORMAT_JSON, FORMAT_BINARY)
+
+#: Version prefix of binary frames.  0x01 is a control character that can
+#: never start a JSON document, so the two formats are unambiguous.
+BINARY_FORMAT_BYTE = 0x01
 
 _DATACLASS_REGISTRY: Dict[str, Type] = {}
 _ENUM_REGISTRY: Dict[str, Type] = {}
 
+# -- binary codec tables (populated by register()) ---------------------------
+
+#: Registered dataclasses in registration order; the index is the wire id.
+_DATACLASS_BY_ID: List[Type] = []
+#: Compiled binary field decoders, parallel to ``_DATACLASS_BY_ID``.
+_DATACLASS_DECODERS: List[Callable[[bytes, int], Tuple[Any, int]]] = []
+#: Registered enums in registration order; the index is the wire id.
+_ENUM_BY_ID: List[Type] = []
+#: Enum members in definition order, parallel to ``_ENUM_BY_ID``.
+_ENUM_MEMBERS: List[List[Any]] = []
+#: Exact-type dispatch table for the binary encoder.  Registration inserts
+#: each compiled dataclass/enum encoder here, so the hot path is a single
+#: dict lookup with no isinstance chain.
+_BINARY_ENCODERS: Dict[type, Callable[[bytearray, Any], None]] = {}
+#: Precomputed field-name tuples shared by both codecs.
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+
 
 def register(cls: Type) -> Type:
-    """Register a dataclass or Enum for decoding.  Usable as a decorator."""
+    """Register a dataclass or Enum for decoding.  Usable as a decorator.
+
+    Registration also *compiles* the binary codec for the class: a
+    per-class encoder/decoder pair specialized to its field list (or, for
+    enums, a precomputed bytes table per member).  Binary wire ids are
+    assigned in registration order, which therefore must match on both
+    ends of a binary wire.
+    """
     if isinstance(cls, type) and issubclass(cls, enum.Enum):
         _ENUM_REGISTRY[cls.__name__] = cls
+        _compile_enum_codec(cls)
     elif dataclasses.is_dataclass(cls):
         _DATACLASS_REGISTRY[cls.__name__] = cls
+        _FIELD_NAMES[cls] = tuple(f.name for f in dataclasses.fields(cls))
+        _compile_dataclass_codec(cls)
     else:
         raise CodecError(f"cannot register {cls!r}: not a dataclass or Enum")
     return cls
@@ -52,6 +114,21 @@ def register(cls: Type) -> Type:
 def registered_types() -> Dict[str, Type]:
     """A snapshot of all registered dataclass types (for diagnostics)."""
     return dict(_DATACLASS_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# JSON codec
+# ---------------------------------------------------------------------------
+
+
+def _canonical_json(value: Any) -> str:
+    """Total, deterministic sort key over *already-encoded* values.
+
+    Encoded values are JSON-encodable by construction, so serializing
+    them can never raise - unlike comparing raw heterogeneous members,
+    which is why sets are sorted by this key and not by their elements.
+    """
+    return json.dumps(value, separators=(",", ":"), sort_keys=True)
 
 
 def _encode_value(value: Any) -> Any:
@@ -64,20 +141,19 @@ def _encode_value(value: Any) -> Any:
     if isinstance(value, bytes):
         return {"__b": base64.b64encode(value).decode("ascii")}
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        name = type(value).__name__
-        if name not in _DATACLASS_REGISTRY:
-            raise CodecError(f"dataclass {name} is not registered with the codec")
-        fields = {
-            f.name: _encode_value(getattr(value, f.name))
-            for f in dataclasses.fields(value)
+        cls = type(value)
+        names = _FIELD_NAMES.get(cls)
+        if names is None:
+            raise CodecError(
+                f"dataclass {cls.__name__} is not registered with the codec"
+            )
+        return {
+            "__d": cls.__name__,
+            "f": {name: _encode_value(getattr(value, name)) for name in names},
         }
-        return {"__d": name, "f": fields}
     if isinstance(value, (set, frozenset)):
         items = [_encode_value(v) for v in value]
-        try:
-            items.sort(key=json.dumps)
-        except TypeError:
-            pass
+        items.sort(key=_canonical_json)
         return {"__s": items}
     if isinstance(value, tuple):
         return {"__t": [_encode_value(v) for v in value]}
@@ -119,17 +195,501 @@ def _decode_value(value: Any) -> Any:
     raise CodecError(f"cannot decode value of type {type(value).__name__}")
 
 
-def encode(message: Any) -> bytes:
-    """Serialize a registered dataclass message to wire bytes."""
+def encode_json(message: Any) -> bytes:
+    """Serialize a registered dataclass message to a JSON wire frame."""
     try:
         return json.dumps(_encode_value(message), separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise CodecError(f"encoding failed: {exc}") from exc
 
 
-def decode(data: bytes) -> Any:
-    """Deserialize wire bytes produced by :func:`encode`."""
+def decode_json(data: bytes) -> Any:
+    """Deserialize a JSON wire frame produced by :func:`encode_json`."""
     try:
         return _decode_value(json.loads(data.decode("utf-8")))
     except (ValueError, KeyError, TypeError) as exc:
         raise CodecError(f"decoding failed: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Binary codec
+#
+# Frame   := 0x01 value
+# value   := tag payload       (tag is one byte, see _T_* below)
+# uvarint := LEB128 (7 bits per byte, high bit = continuation)
+# ints    := zigzag-mapped uvarints (unbounded, like Python ints)
+# ---------------------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_TUPLE = 0x08
+_T_SET = 0x09
+_T_DICT = 0x0A
+_T_ENUM = 0x0B
+_T_DATACLASS = 0x0C
+
+_pack_double = struct.Struct(">d").pack
+_unpack_double = struct.Struct(">d").unpack_from
+
+
+def _write_uvarint(out: bytearray, n: int) -> None:
+    while n > 0x7F:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+
+
+def _uvarint_bytes(n: int) -> bytes:
+    out = bytearray()
+    _write_uvarint(out, n)
+    return bytes(out)
+
+
+def _read_uvarint(buf: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        b = buf[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _b_encode(out: bytearray, value: Any) -> None:
+    enc = _BINARY_ENCODERS.get(type(value))
+    if enc is None:
+        enc = _fallback_encoder(value)
+    enc(out, value)
+
+
+def _fallback_encoder(value: Any) -> Callable[[bytearray, Any], None]:
+    """Resolve an encoder for a type missed by exact-type dispatch:
+    subclasses of the builtin containers, and unregistered classes (which
+    fail here with the same errors as the JSON codec)."""
+    if isinstance(value, enum.Enum):
+        raise CodecError(
+            f"enum {type(value).__name__} is not registered with the codec"
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        raise CodecError(
+            f"dataclass {type(value).__name__} is not registered with the codec"
+        )
+    for base, enc in (
+        (bool, _enc_bool),
+        (int, _enc_int),
+        (float, _enc_float),
+        (str, _enc_str),
+        (bytes, _enc_bytes),
+        (frozenset, _enc_set),
+        (set, _enc_set),
+        (tuple, _enc_tuple),
+        (list, _enc_list),
+        (dict, _enc_dict),
+    ):
+        if isinstance(value, base):
+            return enc
+    raise CodecError(
+        f"cannot encode value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _enc_none(out: bytearray, value: Any) -> None:
+    out.append(_T_NONE)
+
+
+def _enc_bool(out: bytearray, value: Any) -> None:
+    out.append(_T_TRUE if value else _T_FALSE)
+
+
+def _enc_int(out: bytearray, value: Any) -> None:
+    out.append(_T_INT)
+    _write_uvarint(out, value << 1 if value >= 0 else ((-value << 1) - 1))
+
+
+def _enc_float(out: bytearray, value: Any) -> None:
+    out.append(_T_FLOAT)
+    out += _pack_double(value)
+
+
+def _enc_str(out: bytearray, value: Any) -> None:
+    raw = value.encode("utf-8")
+    out.append(_T_STR)
+    _write_uvarint(out, len(raw))
+    out += raw
+
+
+def _enc_bytes(out: bytearray, value: Any) -> None:
+    out.append(_T_BYTES)
+    _write_uvarint(out, len(value))
+    out += value
+
+
+def _enc_list(out: bytearray, value: Any) -> None:
+    out.append(_T_LIST)
+    _write_uvarint(out, len(value))
+    for v in value:
+        _b_encode(out, v)
+
+
+def _enc_tuple(out: bytearray, value: Any) -> None:
+    out.append(_T_TUPLE)
+    _write_uvarint(out, len(value))
+    for v in value:
+        _b_encode(out, v)
+
+
+def _enc_set(out: bytearray, value: Any) -> None:
+    # Sorted by encoded bytes: total order regardless of member types, so
+    # equal sets encode identically (mirrors the JSON codec's sort).
+    items = []
+    for v in value:
+        item = bytearray()
+        _b_encode(item, v)
+        items.append(bytes(item))
+    items.sort()
+    out.append(_T_SET)
+    _write_uvarint(out, len(items))
+    for item in items:
+        out += item
+
+
+def _enc_dict(out: bytearray, value: Any) -> None:
+    out.append(_T_DICT)
+    _write_uvarint(out, len(value))
+    for k, v in value.items():
+        _b_encode(out, k)
+        _b_encode(out, v)
+
+
+_BINARY_ENCODERS.update(
+    {
+        type(None): _enc_none,
+        bool: _enc_bool,
+        int: _enc_int,
+        float: _enc_float,
+        str: _enc_str,
+        bytes: _enc_bytes,
+        list: _enc_list,
+        tuple: _enc_tuple,
+        set: _enc_set,
+        frozenset: _enc_set,
+        dict: _enc_dict,
+    }
+)
+
+
+def _compile_dataclass_codec(cls: Type) -> None:
+    """Build the class's binary encoder/decoder once, at registration.
+
+    Both directions are generated as straight-line code (the same
+    technique dataclasses itself uses for ``__init__``): the encoder
+    inlines one attribute access per field, the decoder one value read
+    per field, with no per-message reflection, name strings, or loops.
+    """
+    type_id = len(_DATACLASS_BY_ID)
+    _DATACLASS_BY_ID.append(cls)
+    names = _FIELD_NAMES[cls]
+    header = bytes([_T_DATACLASS]) + _uvarint_bytes(type_id)
+
+    enc_lines = ["def _enc(out, m):", "    out += _header"]
+    enc_lines += [f"    _e(out, m.{name})" for name in names]
+    enc_ns = {"_header": header, "_e": _b_encode}
+    exec("\n".join(enc_lines), enc_ns)  # noqa: S102 - codegen over trusted field names
+    _BINARY_ENCODERS[cls] = enc_ns["_enc"]
+
+    dec_lines = ["def _dec(buf, pos):"]
+    for i in range(len(names)):
+        dec_lines.append(f"    v{i}, pos = _t[buf[pos]](buf, pos + 1)")
+    args = ", ".join(f"v{i}" for i in range(len(names)))
+    dec_lines.append(f"    return _cls({args}), pos")
+    dec_ns = {"_cls": cls, "_t": _BINARY_DECODERS}
+    exec("\n".join(dec_lines), dec_ns)  # noqa: S102
+    _DATACLASS_DECODERS.append(dec_ns["_dec"])
+
+
+def _compile_enum_codec(cls: Type) -> None:
+    """Precompute the full wire bytes of every enum member."""
+    enum_id = len(_ENUM_BY_ID)
+    _ENUM_BY_ID.append(cls)
+    members = list(cls)
+    _ENUM_MEMBERS.append(members)
+    table = {
+        member: bytes([_T_ENUM]) + _uvarint_bytes(enum_id) + _uvarint_bytes(idx)
+        for idx, member in enumerate(members)
+    }
+
+    def _enc(out: bytearray, value: Any, _table=table) -> None:
+        out += _table[value]
+
+    _BINARY_ENCODERS[cls] = _enc
+
+
+def _dec_enum(buf: bytes, pos: int) -> Tuple[Any, int]:
+    enum_id, pos = _read_uvarint(buf, pos)
+    idx, pos = _read_uvarint(buf, pos)
+    try:
+        return _ENUM_MEMBERS[enum_id][idx], pos
+    except IndexError:
+        raise CodecError(f"unknown enum wire id {enum_id}:{idx}") from None
+
+
+def _dec_dataclass(buf: bytes, pos: int) -> Tuple[Any, int]:
+    type_id, pos = _read_uvarint(buf, pos)
+    try:
+        dec = _DATACLASS_DECODERS[type_id]
+    except IndexError:
+        raise CodecError(f"unknown dataclass wire id {type_id}") from None
+    return dec(buf, pos)
+
+
+def _dec_str(buf: bytes, pos: int) -> Tuple[str, int]:
+    n = buf[pos]  # single-byte length fast path: pids and timer names
+    if n < 0x80:
+        pos += 1
+    else:
+        n, pos = _read_uvarint(buf, pos)
+    end = pos + n
+    if end > len(buf):
+        raise CodecError("truncated string")
+    return buf[pos:end].decode("utf-8"), end
+
+
+def _dec_bytes(buf: bytes, pos: int) -> Tuple[bytes, int]:
+    n = buf[pos]
+    if n < 0x80:
+        pos += 1
+    else:
+        n, pos = _read_uvarint(buf, pos)
+    end = pos + n
+    if end > len(buf):
+        raise CodecError("truncated bytes")
+    return buf[pos:end], end
+
+
+def _dec_list(buf: bytes, pos: int) -> Tuple[list, int]:
+    n, pos = _read_uvarint(buf, pos)
+    out = []
+    append = out.append
+    table = _BINARY_DECODERS
+    for _ in range(n):
+        v, pos = table[buf[pos]](buf, pos + 1)
+        append(v)
+    return out, pos
+
+
+def _dec_tuple(buf: bytes, pos: int) -> Tuple[tuple, int]:
+    out, pos = _dec_list(buf, pos)
+    return tuple(out), pos
+
+
+def _dec_set(buf: bytes, pos: int) -> Tuple[frozenset, int]:
+    out, pos = _dec_list(buf, pos)
+    return frozenset(out), pos
+
+
+def _dec_dict(buf: bytes, pos: int) -> Tuple[dict, int]:
+    n, pos = _read_uvarint(buf, pos)
+    out = {}
+    table = _BINARY_DECODERS
+    for _ in range(n):
+        k, pos = table[buf[pos]](buf, pos + 1)
+        v, pos = table[buf[pos]](buf, pos + 1)
+        out[k] = v
+    return out, pos
+
+
+def _dec_int(buf: bytes, pos: int) -> Tuple[int, int]:
+    u = buf[pos]  # one- and two-byte zigzags cover ordinary protocol ints
+    if u < 0x80:
+        pos += 1
+    else:
+        b1 = buf[pos + 1]
+        if b1 < 0x80:
+            u = (u & 0x7F) | (b1 << 7)
+            pos += 2
+        else:
+            u, pos = _read_uvarint(buf, pos)
+    return (u >> 1) if not u & 1 else -((u + 1) >> 1), pos
+
+
+def _dec_float(buf: bytes, pos: int) -> Tuple[float, int]:
+    if pos + 8 > len(buf):
+        raise CodecError("truncated float")
+    return _unpack_double(buf, pos)[0], pos + 8
+
+
+# Tag-indexed dispatch: tags are dense small ints, so a list beats a dict.
+_BINARY_DECODERS: List[Callable[[bytes, int], Tuple[Any, int]]] = [
+    lambda buf, pos: (None, pos),  # _T_NONE
+    lambda buf, pos: (False, pos),  # _T_FALSE
+    lambda buf, pos: (True, pos),  # _T_TRUE
+    _dec_int,
+    _dec_float,
+    _dec_str,
+    _dec_bytes,
+    _dec_list,
+    _dec_tuple,
+    _dec_set,
+    _dec_dict,
+    _dec_enum,
+    _dec_dataclass,
+]
+
+
+def _b_decode(
+    buf: bytes,
+    pos: int,
+    _table: List[Callable[[bytes, int], Tuple[Any, int]]] = _BINARY_DECODERS,
+) -> Tuple[Any, int]:
+    try:
+        dec = _table[buf[pos]]
+    except IndexError:
+        raise CodecError(f"malformed binary frame at offset {pos}") from None
+    return dec(buf, pos + 1)
+
+
+def encode_binary(message: Any) -> bytes:
+    """Serialize a registered dataclass message to a binary wire frame."""
+    out = bytearray()
+    out.append(BINARY_FORMAT_BYTE)
+    try:
+        _b_encode(out, message)
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise CodecError(f"binary encoding failed: {exc}") from exc
+    return bytes(out)
+
+
+def decode_binary(data: bytes) -> Any:
+    """Deserialize a binary wire frame produced by :func:`encode_binary`."""
+    try:
+        value, pos = _b_decode(data, 1)
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise CodecError(f"binary decoding failed: {exc}") from exc
+    if pos != len(data):
+        raise CodecError(f"trailing garbage after binary frame (offset {pos})")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Format selection and observability
+# ---------------------------------------------------------------------------
+
+_ENCODERS_BY_FORMAT = {FORMAT_JSON: encode_json, FORMAT_BINARY: encode_binary}
+
+
+def encode(message: Any, wire_format: str = FORMAT_JSON) -> bytes:
+    """Serialize a registered dataclass message in the chosen format."""
+    try:
+        enc = _ENCODERS_BY_FORMAT[wire_format]
+    except KeyError:
+        raise CodecError(f"unknown wire format {wire_format!r}") from None
+    return enc(message)
+
+
+def decode(data: bytes) -> Any:
+    """Deserialize a wire frame of either format.
+
+    The first byte discriminates: binary frames carry
+    :data:`BINARY_FORMAT_BYTE`, anything else is treated as JSON.
+    """
+    if not data:
+        raise CodecError("empty wire frame")
+    if data[0] == BINARY_FORMAT_BYTE:
+        return decode_binary(data)
+    return decode_json(data)
+
+
+@dataclass
+class CodecTypeStats:
+    """Encode/decode counters for one message type."""
+
+    encodes: int = 0
+    encode_bytes: int = 0
+    encode_seconds: float = 0.0
+    decodes: int = 0
+    decode_bytes: int = 0
+    decode_seconds: float = 0.0
+
+    def add(self, other: "CodecTypeStats") -> None:
+        self.encodes += other.encodes
+        self.encode_bytes += other.encode_bytes
+        self.encode_seconds += other.encode_seconds
+        self.decodes += other.decodes
+        self.decode_bytes += other.decode_bytes
+        self.decode_seconds += other.decode_seconds
+
+
+@dataclass
+class CodecStats:
+    """Per-message-type codec observability: counts, bytes, and time.
+
+    One instance hangs off every transport
+    (:class:`repro.net.network.NetworkStats` and
+    :class:`repro.net.asyncio_transport.AsyncioHost`); the harness
+    surfaces it through ``cluster.describe()`` and
+    :func:`repro.harness.metrics.codec_rows`.
+    """
+
+    per_type: Dict[str, CodecTypeStats] = field(default_factory=dict)
+
+    def _slot(self, type_name: str) -> CodecTypeStats:
+        slot = self.per_type.get(type_name)
+        if slot is None:
+            slot = self.per_type[type_name] = CodecTypeStats()
+        return slot
+
+    def record_encode(self, type_name: str, nbytes: int, seconds: float) -> None:
+        slot = self._slot(type_name)
+        slot.encodes += 1
+        slot.encode_bytes += nbytes
+        slot.encode_seconds += seconds
+
+    def record_decode(self, type_name: str, nbytes: int, seconds: float) -> None:
+        slot = self._slot(type_name)
+        slot.decodes += 1
+        slot.decode_bytes += nbytes
+        slot.decode_seconds += seconds
+
+    def totals(self) -> CodecTypeStats:
+        total = CodecTypeStats()
+        for slot in self.per_type.values():
+            total.add(slot)
+        return total
+
+    def summary(self) -> str:
+        """One-line digest for ``describe()`` output."""
+        t = self.totals()
+        enc_us = (t.encode_seconds / t.encodes * 1e6) if t.encodes else 0.0
+        dec_us = (t.decode_seconds / t.decodes * 1e6) if t.decodes else 0.0
+        return (
+            f"enc={t.encodes} ({t.encode_bytes}B, {enc_us:.1f}us/msg) "
+            f"dec={t.decodes} ({t.decode_bytes}B, {dec_us:.1f}us/msg)"
+        )
+
+
+def encode_timed(message: Any, wire_format: str, stats: CodecStats) -> bytes:
+    """Encode and account the cost against ``stats``."""
+    t0 = perf_counter()
+    data = encode(message, wire_format)
+    stats.record_encode(type(message).__name__, len(data), perf_counter() - t0)
+    return data
+
+
+def decode_timed(data: bytes, stats: CodecStats) -> Any:
+    """Decode and account the cost against ``stats``."""
+    t0 = perf_counter()
+    message = decode(data)
+    stats.record_decode(type(message).__name__, len(data), perf_counter() - t0)
+    return message

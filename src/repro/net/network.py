@@ -40,7 +40,10 @@ class NetworkParams:
     ``loss_rate`` is applied per (message, receiver) pair - the natural
     model for unreliable multicast where distinct NICs drop independently.
     ``self_latency`` is the loopback delay for a sender receiving its own
-    broadcast.
+    broadcast.  ``wire_format`` selects the codec every frame is encoded
+    with (:data:`repro.net.codec.FORMAT_BINARY` or ``FORMAT_JSON``);
+    decoding always dispatches on the frame's version prefix, so mixed
+    traffic is fine.
     """
 
     latency_min: float = 0.001
@@ -48,6 +51,7 @@ class NetworkParams:
     loss_rate: float = 0.0
     self_latency: float = 0.0005
     duplicate_rate: float = 0.0
+    wire_format: str = codec.FORMAT_BINARY
 
 
 @dataclass
@@ -61,6 +65,8 @@ class NetworkStats:
     partition_drops: int = 0
     duplicates: int = 0
     bytes_sent: int = 0
+    #: Per-message-type encode/decode counts, byte totals, and timing.
+    codec: codec.CodecStats = field(default_factory=codec.CodecStats)
 
 
 class Network:
@@ -174,7 +180,7 @@ class Network:
         """Broadcast within the sender's component (including loopback)."""
         if not self._alive.get(src, False):
             return
-        data = codec.encode(message)
+        data = codec.encode_timed(message, self.params.wire_format, self.stats.codec)
         self.stats.broadcasts += 1
         self.stats.bytes_sent += len(data)
         for dst in self._handlers:
@@ -192,7 +198,7 @@ class Network:
         """Point-to-point send; subject to the same partition/loss model."""
         if not self._alive.get(src, False):
             return
-        data = codec.encode(message)
+        data = codec.encode_timed(message, self.params.wire_format, self.stats.codec)
         self.stats.unicasts += 1
         self.stats.bytes_sent += len(data)
         if dst not in self._handlers:
@@ -233,6 +239,6 @@ class Network:
                 self.stats.partition_drops += 1
                 return
             self.stats.deliveries += 1
-            self._handlers[dst](src, codec.decode(data))
+            self._handlers[dst](src, codec.decode_timed(data, self.stats.codec))
 
         self._scheduler.call_later(latency, deliver)

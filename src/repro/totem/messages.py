@@ -21,6 +21,14 @@ Message taxonomy (who sends what, in which protocol state):
 ``RecoveryAck``        Recovery: which old-ring seqs the sender now holds, and
                        whether its exchange obligation is complete.
 =====================  ==========================================================
+
+Registration order in this module is part of the *binary* wire contract:
+the codec assigns each registered enum/dataclass a small integer id in
+registration order (see ``docs/WIRE_FORMAT.md``), so new types must be
+appended after the existing ones, never inserted between them.  The JSON
+format carries type names and is unaffected.  :data:`WIRE_MESSAGE_TYPES`
+enumerates every message type for the round-trip property tests and the
+codec microbenchmark.
 """
 
 from __future__ import annotations
@@ -207,3 +215,16 @@ class RecoveryAck:
     have: Ranges
     complete: bool
     installed: bool = False
+
+
+#: Every dataclass that crosses the wire, in registration order.
+WIRE_MESSAGE_TYPES = (
+    RegularMessage,
+    Token,
+    Beacon,
+    JoinMessage,
+    MemberInfo,
+    CommitToken,
+    RecoveryRebroadcast,
+    RecoveryAck,
+)

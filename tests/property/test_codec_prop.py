@@ -1,10 +1,13 @@
-"""Property: the wire codec round-trips every protocol message."""
+"""Property: both wire codecs round-trip every protocol message, and the
+version prefix discriminates their frames."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net import codec
 from repro.totem.messages import (
+    WIRE_MESSAGE_TYPES,
     Beacon,
     CommitToken,
     JoinMessage,
@@ -93,27 +96,64 @@ acks = st.builds(
     installed=st.booleans(),
 )
 
-any_message = st.one_of(
-    regular_messages, tokens, joins, beacons, commit_tokens, rebroadcasts, acks
-)
+STRATEGY_BY_TYPE = {
+    RegularMessage: regular_messages,
+    Token: tokens,
+    Beacon: beacons,
+    JoinMessage: joins,
+    MemberInfo: member_infos,
+    CommitToken: commit_tokens,
+    RecoveryRebroadcast: rebroadcasts,
+    RecoveryAck: acks,
+}
+
+# Every registered wire message type must have a round-trip strategy, so
+# a type added to messages.py without coverage here fails loudly.
+assert set(STRATEGY_BY_TYPE) == set(WIRE_MESSAGE_TYPES)
+
+any_message = st.one_of(*STRATEGY_BY_TYPE.values())
+
+FORMATS = (codec.FORMAT_JSON, codec.FORMAT_BINARY)
 
 
+@pytest.mark.parametrize("fmt", FORMATS)
 @given(any_message)
 @settings(max_examples=300)
-def test_roundtrip_identity(message):
-    assert codec.decode(codec.encode(message)) == message
+def test_roundtrip_identity(fmt, message):
+    assert codec.decode(codec.encode(message, fmt)) == message
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@given(any_message)
+@settings(max_examples=100)
+def test_encoding_is_deterministic(fmt, message):
+    assert codec.encode(message, fmt) == codec.encode(message, fmt)
+
+
+@given(any_message)
+@settings(max_examples=150)
+def test_version_prefix_discriminates_formats(message):
+    json_frame = codec.encode(message, codec.FORMAT_JSON)
+    binary_frame = codec.encode(message, codec.FORMAT_BINARY)
+    assert binary_frame[0] == codec.BINARY_FORMAT_BYTE
+    assert json_frame[0] != codec.BINARY_FORMAT_BYTE
+    # Mixed traffic on one wire: decode() routes each frame correctly.
+    assert codec.decode(json_frame) == codec.decode(binary_frame) == message
 
 
 @given(any_message)
 @settings(max_examples=100)
-def test_encoding_is_deterministic(message):
-    assert codec.encode(message) == codec.encode(message)
+def test_binary_frames_never_larger(message):
+    assert len(codec.encode(message, codec.FORMAT_BINARY)) <= len(
+        codec.encode(message, codec.FORMAT_JSON)
+    )
 
 
+@pytest.mark.parametrize("fmt", FORMATS)
 @given(regular_messages)
 @settings(max_examples=100)
-def test_decoded_payload_bytes_identical(message):
-    decoded = codec.decode(codec.encode(message))
+def test_decoded_payload_bytes_identical(fmt, message):
+    decoded = codec.decode(codec.encode(message, fmt))
     assert decoded.payload == message.payload
     assert isinstance(decoded.payload, bytes)
 
@@ -131,6 +171,19 @@ def test_decode_arbitrary_bytes_raises_codec_error_or_value(data):
         codec.decode(data)
     except CodecError:
         pass  # the only acceptable failure mode
+
+
+@given(st.binary(max_size=256))
+@settings(max_examples=200)
+def test_decode_arbitrary_binary_frames_fail_cleanly(data):
+    """Arbitrary bytes behind the binary version prefix must decode or
+    raise CodecError - never crash with anything else."""
+    from repro.errors import CodecError
+
+    try:
+        codec.decode(bytes([codec.BINARY_FORMAT_BYTE]) + data)
+    except CodecError:
+        pass
 
 
 @given(st.text(max_size=200))

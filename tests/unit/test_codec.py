@@ -21,10 +21,16 @@ from repro.types import DeliveryRequirement, RingId
 
 
 def roundtrip(msg):
+    """Round-trip ``msg`` through both wire formats, checking the version
+    prefix discriminates them."""
     data = codec.encode(msg)
     assert isinstance(data, bytes)
+    assert data[0] == ord("{")  # default format is JSON
     decoded = codec.decode(data)
     assert decoded == msg
+    binary = codec.encode(msg, codec.FORMAT_BINARY)
+    assert binary[0] == codec.BINARY_FORMAT_BYTE
+    assert codec.decode(binary) == msg
     return decoded
 
 
@@ -132,6 +138,30 @@ def test_decoded_is_value_equal_but_not_identical():
     assert decoded.aru is not msg.aru
 
 
+@pytest.mark.parametrize("fmt", [codec.FORMAT_JSON, codec.FORMAT_BINARY])
+def test_object_identity_never_leaks(fmt):
+    """A decoded message shares no object identity with the sent one,
+    nested mutables included - the codec boundary is a real copy."""
+    info = _member_info("q")
+    msg = CommitToken(
+        ring=RING,
+        members=("p", "q"),
+        rotation=0,
+        token_seq=3,
+        infos={"q": info},
+    )
+    decoded = codec.decode(codec.encode(msg, fmt))
+    assert decoded == msg
+    assert decoded is not msg
+    assert decoded.infos is not msg.infos
+    assert decoded.infos["q"] is not info
+    assert decoded.infos["q"].ack_vector is not info.ack_vector
+    assert decoded.infos["q"].obligation is not info.obligation
+    # Mutating the original after encode must not affect the decoded copy.
+    msg.infos["x"] = info
+    assert "x" not in decoded.infos
+
+
 def test_empty_collections_roundtrip():
     msg = JoinMessage(
         sender="x", proc_set=frozenset(), fail_set=frozenset(), ring_seq=0
@@ -187,6 +217,110 @@ def test_enum_registration_and_roundtrip():
         color: Color
 
     assert codec.decode(codec.encode(Paint(Color.RED))) == Paint(Color.RED)
+
+
+@codec.register
+class _Suit(enum.Enum):
+    SPADE = "spade"
+    HEART = "heart"
+
+
+@codec.register
+@dataclass(frozen=True)
+class _MixedBag:
+    members: frozenset
+
+
+@pytest.mark.parametrize("fmt", [codec.FORMAT_JSON, codec.FORMAT_BINARY])
+def test_mixed_type_set_encoding_is_deterministic(fmt):
+    """Regression: sets with unsortable/mixed-type members (enums plus
+    tuples here - raw comparison raises TypeError) must still encode
+    deterministically.  Members are ordered by their *encoded* form, which
+    always admits a total order."""
+    members = [_Suit.SPADE, _Suit.HEART, (1, 2), (2, "x"), ("a",)]
+    with pytest.raises(TypeError):
+        sorted(members)  # the raw sort the codec must not attempt
+    # Same set built in different insertion orders -> identical frames.
+    frames = {
+        codec.encode(_MixedBag(frozenset(order)), fmt)
+        for order in (members, members[::-1], members[2:] + members[:2])
+    }
+    assert len(frames) == 1
+    decoded = codec.decode(frames.pop())
+    assert decoded == _MixedBag(frozenset(members))
+    assert isinstance(decoded.members, frozenset)
+
+
+# ---------------------------------------------------------------------------
+# binary-format specifics
+
+
+def test_unknown_wire_format_rejected():
+    with pytest.raises(CodecError):
+        codec.encode(Beacon(sender="p", ring=RING, members=frozenset()), "msgpack")
+
+
+def test_binary_frames_are_smaller_than_json():
+    msg = RegularMessage(
+        sender="p",
+        ring=RING,
+        seq=17,
+        requirement=DeliveryRequirement.SAFE,
+        payload=b"\xff" * 64,
+    )
+    assert len(codec.encode(msg, codec.FORMAT_BINARY)) < len(codec.encode(msg))
+
+
+def test_binary_truncated_frame_rejected():
+    data = codec.encode(
+        Token(ring=RING, token_seq=1, seq=1, aru={"p": 1}), codec.FORMAT_BINARY
+    )
+    for cut in (1, len(data) // 2, len(data) - 1):
+        with pytest.raises(CodecError):
+            codec.decode(data[:cut])
+
+
+def test_binary_trailing_garbage_rejected():
+    data = codec.encode(
+        Beacon(sender="p", ring=RING, members=frozenset({"p"})),
+        codec.FORMAT_BINARY,
+    )
+    with pytest.raises(CodecError):
+        codec.decode(data + b"\x00")
+
+
+def test_binary_unknown_type_id_rejected():
+    with pytest.raises(CodecError):
+        codec.decode(bytes([codec.BINARY_FORMAT_BYTE, 0x0C, 0xFF, 0x7F]))
+
+
+def test_binary_unknown_tag_rejected():
+    with pytest.raises(CodecError):
+        codec.decode(bytes([codec.BINARY_FORMAT_BYTE, 0x7E]))
+
+
+def test_empty_frame_rejected():
+    with pytest.raises(CodecError):
+        codec.decode(b"")
+
+
+def test_binary_unregistered_dataclass_rejected():
+    @dataclass
+    class Mystery:
+        x: int
+
+    with pytest.raises(CodecError):
+        codec.encode(Mystery(x=1), codec.FORMAT_BINARY)
+
+
+def test_binary_negative_and_large_ints_roundtrip():
+    @codec.register
+    @dataclass(frozen=True)
+    class Numbers:
+        values: tuple
+
+    msg = Numbers(values=(-1, 0, 1, -(2**70), 2**70, 127, 128, -128))
+    assert codec.decode(codec.encode(msg, codec.FORMAT_BINARY)) == msg
 
 
 def test_nested_containers_roundtrip():

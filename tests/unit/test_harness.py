@@ -139,3 +139,15 @@ def test_extra_listener_receives_both_event_kinds():
     assert cluster.settle(timeout=10.0)
     assert probe.configs >= 3  # boot + transitional + merged regular
     assert probe.deliveries == 1
+
+
+def test_describe_surfaces_codec_activity():
+    from repro.harness.cluster import ClusterOptions, SimCluster
+
+    cluster = SimCluster(["p", "q"], options=ClusterOptions(wire_format="json"))
+    cluster.start_all()
+    assert cluster.wait_until(lambda: cluster.converged(["p", "q"]), timeout=10.0)
+    text = cluster.describe()
+    assert "wire=json" in text
+    assert "enc=" in text and "dec=" in text
+    assert cluster.codec_stats.totals().encodes > 0

@@ -89,3 +89,22 @@ def test_bench_row_rendering():
     table = render_table("Ordering throughput", rows)
     assert "Ordering throughput" in table
     assert "n=3" in table and "throughput=120" in table
+
+
+def test_codec_rows_and_table():
+    from repro.harness.metrics import codec_rows, codec_table
+    from repro.net.codec import CodecStats
+
+    stats = CodecStats()
+    stats.record_encode("Token", 100, 2e-6)
+    stats.record_encode("Token", 140, 4e-6)
+    stats.record_decode("Token", 100, 1e-6)
+    stats.record_decode("RegularMessage", 80, 5e-6)
+    rows = codec_rows(stats)
+    assert [r.label for r in rows] == ["RegularMessage", "Token"]
+    token = rows[1].values
+    assert token["enc"] == 2 and token["dec"] == 1
+    assert token["frame"] == "120B"
+    assert token["enc_us"] == "3.0"
+    table = codec_table(stats)
+    assert "Token" in table and "codec activity" in table

@@ -198,3 +198,32 @@ def test_component_of_and_reachable():
     net.set_alive("b", False)
     assert net.component_of("a") == {"a"}
     assert not net.reachable("a", "b")
+
+
+def test_wire_format_knob_changes_frames_and_codec_stats_record():
+    results = {}
+    for fmt in ("json", "binary"):
+        sched, net = make_net(wire_format=fmt)
+        attach_recorder(net, "a")
+        attach_recorder(net, "b")
+        net.broadcast("a", Ping(7))
+        net.unicast("a", "b", Ping(8))
+        sched.run_until_idle()
+        stats = net.stats
+        slot = stats.codec.per_type["Ping"]
+        assert slot.encodes == 2  # one per send, not per receiver
+        assert slot.decodes == 3  # self + b, then b again
+        assert slot.encode_bytes == stats.bytes_sent
+        assert slot.decode_bytes > 0
+        results[fmt] = stats.bytes_sent
+    # The binary codec must put fewer bytes on the wire.
+    assert results["binary"] < results["json"]
+
+
+def test_codec_stats_summary_renders():
+    sched, net = make_net()
+    attach_recorder(net, "a")
+    net.broadcast("a", Ping(1))
+    sched.run_until_idle()
+    text = net.stats.codec.summary()
+    assert "enc=1" in text and "dec=1" in text
