@@ -20,6 +20,10 @@ The package provides, bottom-up:
   ATM, radar) and replication utilities.
 * :mod:`repro.harness`- clusters, scenarios, fault injection, metrics and
   executable reproductions of the paper's figures.
+* :mod:`repro.campaign` - conformance fuzzing at scale: parallel seeded
+  campaigns over the spec checkers, delta-debugging shrinking of failing
+  schedules, and deterministic repro bundles (``repro fuzz`` /
+  ``shrink`` / ``replay``; see ``docs/FUZZING.md``).
 
 Quickstart::
 

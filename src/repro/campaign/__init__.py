@@ -1,0 +1,71 @@
+"""Conformance fuzzing campaigns: parallel seeded exploration, shrinking,
+and repro bundles.
+
+The specification checkers (:mod:`repro.spec`) are only as convincing as
+the adversary driving them.  This package turns the single-seed
+``random_scenario`` adversary into a campaign engine in the style of
+VOPR/Jepsen-class deterministic simulation testing:
+
+* :mod:`repro.campaign.serialize` - lossless JSON round-trip for
+  :class:`~repro.harness.scenario.Scenario` scripts and the
+  :class:`ScenarioSpec` shape parameters that generated them, so any
+  schedule is a file;
+* :mod:`repro.campaign.runner` - a :class:`~concurrent.futures.
+  ProcessPoolExecutor` driver that fans seeded scenarios across cores and
+  aggregates a campaign report (seeds run, violations by spec clause,
+  scenarios/sec);
+* :mod:`repro.campaign.shrink` - delta-debugging minimization of a
+  failing scenario that preserves the violated spec clause;
+* :mod:`repro.campaign.bundle` - self-contained repro directories
+  (scenario, trace, report, replay instructions) written on failure;
+* :mod:`repro.campaign.mutations` - deterministic "known bug" history
+  corruptions used to validate the whole pipeline end to end (a campaign
+  that can never fail proves nothing about its failure path).
+
+CLI entry points: ``repro fuzz``, ``repro shrink``, ``repro replay``.
+See ``docs/FUZZING.md``.
+"""
+
+from repro.campaign.bundle import ReproBundle, load_bundle, write_bundle
+from repro.campaign.mutations import MUTATIONS, apply_mutation
+from repro.campaign.runner import (
+    CampaignConfig,
+    CampaignReport,
+    ExecutionOutcome,
+    SeedOutcome,
+    execute_scenario,
+    run_campaign,
+)
+from repro.campaign.serialize import (
+    ScenarioDocument,
+    ScenarioFormatError,
+    ScenarioSpec,
+    load_scenario,
+    save_scenario,
+    scenario_dumps,
+    scenario_loads,
+)
+from repro.campaign.shrink import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "ExecutionOutcome",
+    "MUTATIONS",
+    "ReproBundle",
+    "ScenarioDocument",
+    "ScenarioFormatError",
+    "ScenarioSpec",
+    "SeedOutcome",
+    "ShrinkResult",
+    "apply_mutation",
+    "execute_scenario",
+    "load_bundle",
+    "load_scenario",
+    "run_campaign",
+    "save_scenario",
+    "scenario_dumps",
+    "scenario_loads",
+    "shrink_scenario",
+    "write_bundle",
+]

@@ -1,0 +1,189 @@
+"""Repro bundles: a failing schedule as a self-contained directory.
+
+When a campaign seed violates a specification, the worker writes a
+bundle::
+
+    <dir>/
+      scenario.json         the exact failing schedule (+ its generator)
+      trace.json            the recorded history (repro.spec.tracefile)
+      report.txt            the rendered conformance report
+      meta.json             seeds, fault parameters, violated clauses
+      README.md             exact replay instructions
+      shrunk-scenario.json  (after ``repro shrink``) the minimized schedule
+      shrink.json           (after ``repro shrink``) shrink statistics
+
+Everything needed to re-run the failure deterministically is inside the
+directory; ``repro replay <dir>`` re-executes the scenario and asserts
+the same clauses are violated again, and ``repro check trace.json``
+re-evaluates the stored trace without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.campaign.serialize import (
+    ScenarioDocument,
+    ScenarioSpec,
+    load_scenario,
+    save_scenario,
+)
+from repro.errors import CampaignError
+from repro.harness.scenario import Scenario
+from repro.spec import tracefile
+from repro.spec.history import History
+from repro.spec.report import ConformanceReport
+
+BUNDLE_FORMAT = "repro-evs-bundle"
+BUNDLE_VERSION = 1
+
+SCENARIO_FILE = "scenario.json"
+TRACE_FILE = "trace.json"
+REPORT_FILE = "report.txt"
+META_FILE = "meta.json"
+README_FILE = "README.md"
+SHRUNK_FILE = "shrunk-scenario.json"
+SHRINK_META_FILE = "shrink.json"
+
+_README_TEMPLATE = """\
+# Repro bundle: seed {seed}
+
+A conformance fuzzing campaign found a specification violation.
+
+Violated clauses: {violated}
+
+## Replay (re-executes the scenario deterministically)
+
+    python -m repro replay {name}
+
+## Shrink (minimize the schedule, preserving the violated clause)
+
+    python -m repro shrink {name}
+
+After shrinking, `shrunk-scenario.json` holds the minimized schedule and
+`python -m repro replay {name} --shrunk` replays it.
+
+## Re-check the recorded trace without re-running
+
+    python -m repro check {name}/trace.json
+
+Determinism: the simulation is a seeded discrete-event model, so the
+same scenario + cluster seed + loss rate reproduces the identical
+history (see docs/FUZZING.md for caveats).  Run parameters are in
+`meta.json`.
+"""
+
+
+@dataclass
+class ReproBundle:
+    """A parsed repro bundle directory."""
+
+    path: str
+    scenario: Scenario
+    generator: Optional[ScenarioSpec]
+    meta: Dict[str, Any]
+    shrunk: Optional[Scenario] = None
+    shrink_meta: Optional[Dict[str, Any]] = None
+
+    def history(self) -> History:
+        return tracefile.load(os.path.join(self.path, TRACE_FILE))
+
+
+def write_bundle(
+    path: str,
+    *,
+    scenario: Scenario,
+    history: History,
+    report: ConformanceReport,
+    seed: int,
+    cluster_seed: int,
+    loss: float,
+    mutation: str = "none",
+    quiescent: bool = True,
+    generator: Optional[ScenarioSpec] = None,
+) -> str:
+    """Write a complete repro bundle; returns the directory path."""
+    os.makedirs(path, exist_ok=True)
+    save_scenario(os.path.join(path, SCENARIO_FILE), scenario, generator)
+    tracefile.save(history, os.path.join(path, TRACE_FILE))
+    violated = report.violated_specs
+    with open(os.path.join(path, REPORT_FILE), "w", encoding="utf-8") as fh:
+        fh.write(report.render() + "\n")
+    meta = {
+        "format": BUNDLE_FORMAT,
+        "version": BUNDLE_VERSION,
+        "seed": seed,
+        "cluster_seed": cluster_seed,
+        "loss": loss,
+        "mutation": mutation,
+        "quiescent": quiescent,
+        "events": report.events,
+        "violated": violated,
+        "violations": report.total_violations,
+    }
+    with open(os.path.join(path, META_FILE), "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with open(os.path.join(path, README_FILE), "w", encoding="utf-8") as fh:
+        fh.write(
+            _README_TEMPLATE.format(
+                seed=seed,
+                violated=", ".join(violated) or "(none recorded)",
+                name=path,
+            )
+        )
+    return path
+
+
+def load_bundle(path: str) -> ReproBundle:
+    """Parse a bundle directory written by :func:`write_bundle`."""
+    meta_path = os.path.join(path, META_FILE)
+    if not os.path.isfile(meta_path):
+        raise CampaignError(f"{path!r} is not a repro bundle: no {META_FILE}")
+    with open(meta_path, "r", encoding="utf-8") as fh:
+        try:
+            meta = json.load(fh)
+        except ValueError as exc:
+            raise CampaignError(f"{meta_path}: not valid JSON: {exc}") from exc
+    if meta.get("format") != BUNDLE_FORMAT:
+        raise CampaignError(f"{meta_path}: not a {BUNDLE_FORMAT} file")
+    if meta.get("version") != BUNDLE_VERSION:
+        raise CampaignError(
+            f"{meta_path}: unsupported bundle version {meta.get('version')}"
+        )
+    doc: ScenarioDocument = load_scenario(os.path.join(path, SCENARIO_FILE))
+    shrunk: Optional[Scenario] = None
+    shrink_meta: Optional[Dict[str, Any]] = None
+    shrunk_path = os.path.join(path, SHRUNK_FILE)
+    if os.path.isfile(shrunk_path):
+        shrunk = load_scenario(shrunk_path).scenario
+    shrink_meta_path = os.path.join(path, SHRINK_META_FILE)
+    if os.path.isfile(shrink_meta_path):
+        with open(shrink_meta_path, "r", encoding="utf-8") as fh:
+            shrink_meta = json.load(fh)
+    return ReproBundle(
+        path=path,
+        scenario=doc.scenario,
+        generator=doc.generator,
+        meta=meta,
+        shrunk=shrunk,
+        shrink_meta=shrink_meta,
+    )
+
+
+def attach_shrunk(
+    path: str,
+    scenario: Scenario,
+    shrink_meta: Dict[str, Any],
+) -> None:
+    """Add a minimized scenario (and its statistics) to an existing
+    bundle."""
+    save_scenario(os.path.join(path, SHRUNK_FILE), scenario)
+    with open(
+        os.path.join(path, SHRINK_META_FILE), "w", encoding="utf-8"
+    ) as fh:
+        json.dump(shrink_meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,106 @@
+"""Deterministic history corruptions: known bugs for the fuzz pipeline.
+
+A fuzzing campaign over a *correct* implementation proves its failure
+path (bundles, shrinking, replay) only if there is a way to make it
+fail on demand.  These mutations deliberately corrupt a recorded history
+*after* execution and *before* checking - emulating a checker-visible
+implementation bug - so ``repro fuzz --mutate drop-delivery`` exercises
+the whole find/bundle/shrink/replay loop against a guaranteed violation.
+
+Each mutation is deterministic (no randomness; victims are chosen by
+sorted process id and event position) so a mutated run replays to the
+identical violated clauses, which is exactly what ``repro replay``
+asserts.  Each is a genuine violation of at least one EVS specification,
+mirroring the semantic mutations of
+``tests/property/test_checker_mutation.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CampaignError
+from repro.spec.history import DeliverEvent, History
+
+
+def _clone(history: History) -> History:
+    out = History()
+    for pid, events in history.per_process.items():
+        out.per_process[pid] = list(events)
+    return out
+
+
+def _last_delivery(history: History) -> Optional[Tuple[str, int]]:
+    """(pid, index) of the last delivery at the first process that has
+    one, scanning pids in sorted order."""
+    for pid in sorted(history.processes):
+        events = history.events_of(pid)
+        for i in range(len(events) - 1, -1, -1):
+            if isinstance(events[i], DeliverEvent):
+                return pid, i
+    return None
+
+
+def identity(history: History) -> History:
+    return history
+
+
+def drop_delivery(history: History) -> History:
+    """Lose one delivery: violates failure atomicity / safe delivery
+    whenever the message was delivered elsewhere."""
+    pos = _last_delivery(history)
+    if pos is None:
+        return history
+    pid, i = pos
+    out = _clone(history)
+    del out.per_process[pid][i]
+    return out
+
+
+def duplicate_delivery(history: History) -> History:
+    """Deliver one message twice at one process: violates the at-most-
+    once clause of basic delivery (Spec 1)."""
+    pos = _last_delivery(history)
+    if pos is None:
+        return history
+    pid, i = pos
+    out = _clone(history)
+    out.per_process[pid].insert(i, out.per_process[pid][i])
+    return out
+
+
+def swap_deliveries(history: History) -> History:
+    """Swap the last two adjacent deliveries at one process: violates
+    total order when other processes delivered them in program order."""
+    for pid in sorted(history.processes):
+        events = history.events_of(pid)
+        positions: List[int] = [
+            i for i, e in enumerate(events) if isinstance(e, DeliverEvent)
+        ]
+        for j in range(len(positions) - 1, 0, -1):
+            a, b = positions[j - 1], positions[j]
+            if b == a + 1:
+                out = _clone(history)
+                seq = out.per_process[pid]
+                seq[a], seq[b] = seq[b], seq[a]
+                return out
+    return history
+
+
+MUTATIONS: Dict[str, Callable[[History], History]] = {
+    "none": identity,
+    "drop-delivery": drop_delivery,
+    "duplicate-delivery": duplicate_delivery,
+    "swap-deliveries": swap_deliveries,
+}
+
+
+def apply_mutation(name: str, history: History) -> History:
+    try:
+        fn = MUTATIONS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown mutation {name!r} (expected one of "
+            f"{', '.join(sorted(MUTATIONS))})"
+        ) from None
+    return fn(history)

@@ -1,0 +1,268 @@
+"""The parallel campaign driver: fan seeded scenarios across cores.
+
+One *seed* is one unit of work: generate ``random_scenario(seed)``,
+execute it on a fresh :class:`~repro.harness.cluster.SimCluster` (seeded
+with the same value), evaluate every EVS specification, and - on
+violation - write a repro bundle.  The simulation is pure Python and
+CPU-bound, so the fan-out uses a :class:`concurrent.futures.
+ProcessPoolExecutor`; workers return compact :class:`SeedOutcome`
+records and write bundles themselves (per-seed directory names, so no
+coordination is needed), while the parent streams progress and
+aggregates the :class:`CampaignReport`.
+
+``workers=1`` runs inline in the calling process - same results, no
+pool - which doubles as the single-process baseline for
+``benchmarks/bench_campaign.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign import bundle as bundle_mod
+from repro.campaign.mutations import MUTATIONS, apply_mutation
+from repro.campaign.serialize import ScenarioSpec
+from repro.errors import CampaignError
+from repro.harness.cluster import ClusterOptions
+from repro.harness.faults import FaultProfile
+from repro.harness.scenario import Scenario, ScenarioRunner
+from repro.net.network import NetworkParams
+from repro.spec.history import History
+from repro.spec.report import ConformanceReport, run_conformance
+
+
+@dataclass
+class ExecutionOutcome:
+    """One scenario executed and checked (shared by the campaign worker,
+    the shrinker, and ``repro replay``)."""
+
+    history: History
+    report: ConformanceReport
+    quiescent: bool
+    submitted: int
+
+    @property
+    def violated(self) -> Tuple[str, ...]:
+        return tuple(self.report.violated_specs)
+
+
+def execute_scenario(
+    scenario: Scenario,
+    *,
+    cluster_seed: int,
+    loss: float = 0.0,
+    mutation: str = "none",
+) -> ExecutionOutcome:
+    """Run one scenario deterministically and evaluate Specs 1-7.
+
+    ``mutation`` names a deterministic history corruption from
+    :mod:`repro.campaign.mutations` applied before checking (``"none"``
+    for the real pipeline).
+    """
+    runner = ScenarioRunner(
+        ClusterOptions(
+            seed=cluster_seed, network=NetworkParams(loss_rate=loss)
+        )
+    )
+    result = runner.run(scenario)
+    history = apply_mutation(mutation, result.history)
+    report = run_conformance(history, quiescent=result.quiescent)
+    return ExecutionOutcome(
+        history=history,
+        report=report,
+        quiescent=result.quiescent,
+        submitted=result.submitted,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One fuzzing campaign: which seeds, what shape, how parallel."""
+
+    seeds: Tuple[int, ...]
+    processes: int = 4
+    steps: int = 12
+    loss: float = 0.02
+    workers: int = 1
+    bundle_dir: Optional[str] = None
+    mutation: str = "none"
+    profile: FaultProfile = field(default_factory=FaultProfile)
+
+    def validate(self) -> None:
+        if not self.seeds:
+            raise CampaignError("campaign has no seeds")
+        if self.processes < 2:
+            raise CampaignError("campaign needs at least 2 processes")
+        if self.workers < 1:
+            raise CampaignError("campaign needs at least 1 worker")
+        if self.mutation not in MUTATIONS:
+            raise CampaignError(
+                f"unknown mutation {self.mutation!r} (expected one of "
+                f"{', '.join(sorted(MUTATIONS))})"
+            )
+        self.profile.validate()
+
+    def spec_for(self, seed: int) -> ScenarioSpec:
+        return ScenarioSpec(
+            seed=seed,
+            pids=tuple(f"p{i}" for i in range(self.processes)),
+            steps=self.steps,
+            profile=self.profile,
+        )
+
+
+@dataclass(frozen=True)
+class SeedOutcome:
+    """Compact result of one campaign seed (picklable; crosses the
+    worker/parent process boundary)."""
+
+    seed: int
+    passed: bool
+    quiescent: bool
+    events: int
+    submitted: int
+    violations: int
+    violated: Tuple[str, ...]
+    elapsed: float
+    bundle: Optional[str] = None
+
+
+def _run_seed(config: CampaignConfig, seed: int) -> SeedOutcome:
+    """Worker entry point: one seed end-to-end, bundle on failure.
+
+    Module-level (not a closure) so it pickles under every
+    multiprocessing start method, not just fork.
+    """
+    t0 = time.perf_counter()
+    spec = config.spec_for(seed)
+    scenario = spec.build()
+    outcome = execute_scenario(
+        scenario,
+        cluster_seed=seed,
+        loss=config.loss,
+        mutation=config.mutation,
+    )
+    bundle_path: Optional[str] = None
+    if not outcome.report.passed and config.bundle_dir is not None:
+        bundle_path = os.path.join(config.bundle_dir, f"seed-{seed}")
+        bundle_mod.write_bundle(
+            bundle_path,
+            scenario=scenario,
+            history=outcome.history,
+            report=outcome.report,
+            seed=seed,
+            cluster_seed=seed,
+            loss=config.loss,
+            mutation=config.mutation,
+            quiescent=outcome.quiescent,
+            generator=spec,
+        )
+    return SeedOutcome(
+        seed=seed,
+        passed=outcome.report.passed,
+        quiescent=outcome.quiescent,
+        events=outcome.report.events,
+        submitted=outcome.submitted,
+        violations=outcome.report.total_violations,
+        violated=outcome.violated,
+        elapsed=time.perf_counter() - t0,
+        bundle=bundle_path,
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate verdict of one campaign."""
+
+    outcomes: List[SeedOutcome]
+    wall_time: float
+    workers: int
+
+    @property
+    def seeds_run(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> List[SeedOutcome]:
+        return [o for o in self.outcomes if not o.passed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def events(self) -> int:
+        return sum(o.events for o in self.outcomes)
+
+    @property
+    def scenarios_per_sec(self) -> float:
+        return self.seeds_run / self.wall_time if self.wall_time > 0 else 0.0
+
+    def violations_by_clause(self) -> Dict[str, int]:
+        by_clause: Dict[str, int] = {}
+        for o in self.outcomes:
+            for clause in o.violated:
+                by_clause[clause] = by_clause.get(clause, 0) + 1
+        return by_clause
+
+    def render(self) -> str:
+        lines = [
+            f"campaign: {self.seeds_run} seed(s), {self.events} events, "
+            f"{self.workers} worker(s), {self.wall_time:.2f}s wall "
+            f"({self.scenarios_per_sec:.1f} scenarios/s)",
+            f"  failing seeds: {len(self.failures)}",
+        ]
+        by_clause = self.violations_by_clause()
+        for clause in sorted(by_clause):
+            lines.append(
+                f"    {clause}: {by_clause[clause]} failing seed(s)"
+            )
+        for o in self.failures:
+            where = f" -> {o.bundle}" if o.bundle else ""
+            lines.append(
+                f"  seed {o.seed}: {o.violations} violation(s) "
+                f"[{', '.join(o.violated)}]{where}"
+            )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    config: CampaignConfig,
+    progress: Optional[Callable[[SeedOutcome], None]] = None,
+) -> CampaignReport:
+    """Execute every seed, in parallel when ``workers > 1``.
+
+    ``progress`` is invoked once per completed seed, in completion order
+    (the final report is sorted by seed regardless).
+    """
+    config.validate()
+    if config.bundle_dir is not None:
+        os.makedirs(config.bundle_dir, exist_ok=True)
+    t0 = time.perf_counter()
+    outcomes: List[SeedOutcome] = []
+    if config.workers <= 1:
+        for seed in config.seeds:
+            outcome = _run_seed(config, seed)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    else:
+        with ProcessPoolExecutor(max_workers=config.workers) as pool:
+            futures = [
+                pool.submit(_run_seed, config, seed) for seed in config.seeds
+            ]
+            for future in as_completed(futures):
+                outcome = future.result()
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
+    outcomes.sort(key=lambda o: o.seed)
+    return CampaignReport(
+        outcomes=outcomes,
+        wall_time=time.perf_counter() - t0,
+        workers=config.workers,
+    )

@@ -1,0 +1,232 @@
+"""Scenario (de)serialization: every schedule is a file.
+
+Two things are serialized, both losslessly:
+
+* the concrete :class:`~repro.harness.scenario.Scenario` - the timed
+  action script itself, byte-exact payloads included (base64), so a
+  failing schedule replays without its generator; and
+* the :class:`ScenarioSpec` - the seed and shape parameters that were fed
+  to :func:`repro.harness.faults.random_scenario`, so a reader can tell
+  *how* the schedule was drawn and re-draw neighbours of it.
+
+The document format mirrors :mod:`repro.spec.tracefile`: one versioned
+JSON object with a ``format`` tag.  ``scenario_loads`` validates the
+script on the way in (files are hand-editable; a bad edit should fail
+with an action index, not a mid-simulation assertion).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import CampaignError
+from repro.harness.faults import FaultProfile, random_scenario
+from repro.harness.scenario import Action, Scenario
+from repro.types import DeliveryRequirement, ProcessId
+
+FORMAT_NAME = "repro-evs-scenario"
+FORMAT_VERSION = 1
+
+
+class ScenarioFormatError(CampaignError):
+    """The scenario file is malformed or from an unknown version."""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The generator parameters behind a random scenario.
+
+    ``build()`` re-runs :func:`~repro.harness.faults.random_scenario`
+    with exactly these parameters; same spec, same script.
+    """
+
+    seed: int
+    pids: Tuple[ProcessId, ...]
+    steps: int = 14
+    step_gap: Tuple[float, float] = (0.05, 0.35)
+    profile: FaultProfile = field(default_factory=FaultProfile)
+    max_crashed: Optional[int] = None
+    requirements: Tuple[DeliveryRequirement, ...] = (
+        DeliveryRequirement.SAFE,
+        DeliveryRequirement.AGREED,
+        DeliveryRequirement.CAUSAL,
+    )
+
+    def build(self) -> Scenario:
+        return random_scenario(
+            self.seed,
+            self.pids,
+            steps=self.steps,
+            step_gap=self.step_gap,
+            profile=self.profile,
+            max_crashed=self.max_crashed,
+            requirements=self.requirements,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioDocument:
+    """One parsed scenario file: the script plus its (optional) generator."""
+
+    scenario: Scenario
+    generator: Optional[ScenarioSpec] = None
+
+
+# -- value codecs -------------------------------------------------------------
+
+
+def _bytes_to_json(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _bytes_from_json(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ScenarioFormatError(f"bad base64 payload: {exc}") from exc
+
+
+def action_to_json(action: Action) -> Dict[str, Any]:
+    return {
+        "at": action.at,
+        "kind": action.kind,
+        "pid": action.pid,
+        "groups": [list(g) for g in action.groups],
+        "payload": _bytes_to_json(action.payload),
+        "count": action.count,
+        "requirement": int(action.requirement),
+    }
+
+
+def action_from_json(data: Dict[str, Any]) -> Action:
+    try:
+        return Action(
+            at=float(data["at"]),
+            kind=data["kind"],
+            pid=data["pid"],
+            groups=tuple(tuple(g) for g in data["groups"]),
+            payload=_bytes_from_json(data["payload"]),
+            count=int(data["count"]),
+            requirement=DeliveryRequirement(data["requirement"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ScenarioFormatError(f"malformed action {data!r}: {exc}") from exc
+
+
+def scenario_to_json(scenario: Scenario) -> Dict[str, Any]:
+    return {
+        "pids": list(scenario.pids),
+        "actions": [action_to_json(a) for a in scenario.actions],
+        "duration": scenario.duration,
+        "final_heal": scenario.final_heal,
+        "settle_timeout": scenario.settle_timeout,
+    }
+
+
+def scenario_from_json(data: Dict[str, Any]) -> Scenario:
+    try:
+        return Scenario(
+            pids=tuple(data["pids"]),
+            actions=tuple(action_from_json(a) for a in data["actions"]),
+            duration=float(data["duration"]),
+            final_heal=bool(data["final_heal"]),
+            settle_timeout=float(data["settle_timeout"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ScenarioFormatError(f"malformed scenario: {exc}") from exc
+
+
+def profile_to_json(profile: FaultProfile) -> Dict[str, float]:
+    return {name: weight for name, weight in profile.choices()}
+
+
+def profile_from_json(data: Dict[str, Any]) -> FaultProfile:
+    try:
+        return FaultProfile(**{k: float(v) for k, v in data.items()})
+    except TypeError as exc:
+        raise ScenarioFormatError(f"malformed fault profile: {exc}") from exc
+
+
+def spec_to_json(spec: ScenarioSpec) -> Dict[str, Any]:
+    return {
+        "seed": spec.seed,
+        "pids": list(spec.pids),
+        "steps": spec.steps,
+        "step_gap": list(spec.step_gap),
+        "profile": profile_to_json(spec.profile),
+        "max_crashed": spec.max_crashed,
+        "requirements": [int(r) for r in spec.requirements],
+    }
+
+
+def spec_from_json(data: Dict[str, Any]) -> ScenarioSpec:
+    try:
+        return ScenarioSpec(
+            seed=int(data["seed"]),
+            pids=tuple(data["pids"]),
+            steps=int(data["steps"]),
+            step_gap=(float(data["step_gap"][0]), float(data["step_gap"][1])),
+            profile=profile_from_json(data["profile"]),
+            max_crashed=(
+                None if data["max_crashed"] is None else int(data["max_crashed"])
+            ),
+            requirements=tuple(
+                DeliveryRequirement(r) for r in data["requirements"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ScenarioFormatError(f"malformed generator spec: {exc}") from exc
+
+
+# -- public API ---------------------------------------------------------------
+
+
+def scenario_dumps(
+    scenario: Scenario, generator: Optional[ScenarioSpec] = None
+) -> str:
+    """Serialize a scenario (and optionally its generator) to JSON."""
+    return json.dumps(
+        {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "scenario": scenario_to_json(scenario),
+            "generator": spec_to_json(generator) if generator else None,
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+
+
+def scenario_loads(text: str) -> ScenarioDocument:
+    """Parse and validate :func:`scenario_dumps` output."""
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ScenarioFormatError(f"not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != FORMAT_NAME:
+        raise ScenarioFormatError(f"not a {FORMAT_NAME} file")
+    if data.get("version") != FORMAT_VERSION:
+        raise ScenarioFormatError(
+            f"unsupported scenario version {data.get('version')}"
+        )
+    scenario = scenario_from_json(data["scenario"])
+    scenario.validate()
+    generator = (
+        spec_from_json(data["generator"]) if data.get("generator") else None
+    )
+    return ScenarioDocument(scenario=scenario, generator=generator)
+
+
+def save_scenario(
+    path: str, scenario: Scenario, generator: Optional[ScenarioSpec] = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(scenario_dumps(scenario, generator))
+
+
+def load_scenario(path: str) -> ScenarioDocument:
+    with open(path, "r", encoding="utf-8") as fh:
+        return scenario_loads(fh.read())

@@ -1,0 +1,296 @@
+"""Delta-debugging minimization of failing scenarios.
+
+A random campaign's failing schedule is noisy: a dozen partitions,
+bursts and crashes of which perhaps two matter.  The shrinker reduces a
+failing scenario to a local minimum that *still violates the same spec
+clause*, re-executing candidates deterministically (same cluster seed,
+same loss rate, same mutation) after every edit.  Four reduction passes
+run round-robin until a fixpoint or the execution budget is exhausted:
+
+1. **ddmin over actions** - classic Zeller/Hildebrandt delta debugging
+   on the action list (drop complements at doubling granularity);
+2. **process removal** - drop a process entirely: its actions go, it is
+   struck from partition groups;
+3. **burst shrinking** - reduce burst counts toward 1;
+4. **time tightening** - truncate the duration to the last action and
+   retime actions onto a tight uniform grid (order preserved).
+
+Every candidate is validated and executed; candidates that error or
+violate a *different* clause are rejected, so the result provably fails
+the same way the original did.  Results are cached by serialized
+scenario, so re-visited candidates are free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.campaign.runner import execute_scenario
+from repro.campaign.serialize import scenario_dumps
+from repro.errors import CampaignError, SimulationError
+from repro.harness.scenario import Action, Scenario
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    scenario: Scenario
+    target: str
+    violated: Tuple[str, ...]
+    executions: int
+    original_actions: int
+    final_actions: int
+    original_pids: int
+    final_pids: int
+
+    def render(self) -> str:
+        return (
+            f"shrunk {self.original_actions} -> {self.final_actions} "
+            f"action(s), {self.original_pids} -> {self.final_pids} "
+            f"process(es) in {self.executions} execution(s); "
+            f"still violates: {self.target}"
+        )
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the execution budget ran out; keep the best so far."""
+
+
+class _Shrinker:
+    def __init__(
+        self,
+        *,
+        cluster_seed: int,
+        loss: float,
+        mutation: str,
+        target: str,
+        max_executions: int,
+    ) -> None:
+        self.cluster_seed = cluster_seed
+        self.loss = loss
+        self.mutation = mutation
+        self.target = target
+        self.max_executions = max_executions
+        self.executions = 0
+        self._cache: Dict[str, FrozenSet[str]] = {}
+
+    def violated(self, scenario: Scenario) -> FrozenSet[str]:
+        key = scenario_dumps(scenario)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.executions >= self.max_executions:
+            raise _BudgetExhausted()
+        self.executions += 1
+        try:
+            scenario.validate()
+            outcome = execute_scenario(
+                scenario,
+                cluster_seed=self.cluster_seed,
+                loss=self.loss,
+                mutation=self.mutation,
+            )
+            result = frozenset(outcome.violated)
+        except SimulationError:
+            result = frozenset()
+        self._cache[key] = result
+        return result
+
+    def fails(self, scenario: Scenario) -> bool:
+        return self.target in self.violated(scenario)
+
+    # -- reduction passes ----------------------------------------------------
+
+    def ddmin_actions(self, scenario: Scenario) -> Scenario:
+        actions: List[Action] = list(scenario.actions)
+        n = 2
+        while len(actions) >= 2:
+            chunk = max(1, -(-len(actions) // n))
+            reduced = False
+            for start in range(0, len(actions), chunk):
+                complement = actions[:start] + actions[start + chunk :]
+                candidate = replace(scenario, actions=tuple(complement))
+                if self.fails(candidate):
+                    actions = complement
+                    n = max(n - 1, 2)
+                    reduced = True
+                    break
+            if not reduced:
+                if n >= len(actions):
+                    break
+                n = min(len(actions), n * 2)
+        return replace(scenario, actions=tuple(actions))
+
+    def drop_pids(self, scenario: Scenario) -> Scenario:
+        progress = True
+        while progress and len(scenario.pids) > 2:
+            progress = False
+            for pid in scenario.pids:
+                candidate = _without_pid(scenario, pid)
+                if candidate is not None and self.fails(candidate):
+                    scenario = candidate
+                    progress = True
+                    break
+        return scenario
+
+    def shrink_bursts(self, scenario: Scenario) -> Scenario:
+        actions = list(scenario.actions)
+        for i, action in enumerate(actions):
+            if action.kind != "burst":
+                continue
+            count = action.count
+            for smaller in _shrink_candidates(count):
+                trial = list(actions)
+                trial[i] = replace(action, count=smaller)
+                candidate = replace(scenario, actions=tuple(trial))
+                if self.fails(candidate):
+                    actions = trial
+                    break
+        return replace(scenario, actions=tuple(actions))
+
+    def tighten_times(self, scenario: Scenario) -> Scenario:
+        if not scenario.actions:
+            return scenario
+        last = max(a.at for a in scenario.actions)
+        if last + 0.05 < scenario.duration:
+            candidate = replace(scenario, duration=round(last + 0.05, 3))
+            if self.fails(candidate):
+                scenario = candidate
+        ordered = sorted(scenario.actions, key=lambda a: a.at)
+        retimed = tuple(
+            replace(a, at=round(0.4 + 0.1 * i, 3))
+            for i, a in enumerate(ordered)
+        )
+        if retimed != scenario.actions:
+            duration = round(0.4 + 0.1 * len(retimed) + 0.05, 3)
+            candidate = replace(
+                scenario, actions=retimed, duration=duration
+            )
+            if self.fails(candidate):
+                scenario = candidate
+        return scenario
+
+
+def _shrink_candidates(count: int) -> Sequence[int]:
+    """Smaller burst counts to try, smallest first."""
+    out: List[int] = []
+    seen = set()
+    for candidate in (1, count // 4, count // 2, count - 1):
+        if 1 <= candidate < count and candidate not in seen:
+            seen.add(candidate)
+            out.append(candidate)
+    return out
+
+
+def _without_pid(scenario: Scenario, pid: str) -> Optional[Scenario]:
+    """The scenario with one process struck out everywhere, or ``None``
+    when removal is structurally impossible."""
+    pids = tuple(p for p in scenario.pids if p != pid)
+    if len(pids) < 2:
+        return None
+    actions: List[Action] = []
+    for action in scenario.actions:
+        if action.pid == pid:
+            continue
+        if action.groups:
+            groups = tuple(
+                tuple(p for p in g if p != pid) for g in action.groups
+            )
+            groups = tuple(g for g in groups if g)
+            if not groups:
+                continue
+            action = replace(action, groups=groups)
+        actions.append(action)
+    return replace(scenario, pids=pids, actions=tuple(actions))
+
+
+def _size(scenario: Scenario) -> Tuple[int, int, int, float]:
+    return (
+        len(scenario.actions),
+        len(scenario.pids),
+        sum(a.count for a in scenario.actions if a.kind == "burst"),
+        scenario.duration,
+    )
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    *,
+    cluster_seed: int,
+    loss: float = 0.0,
+    mutation: str = "none",
+    target: Optional[str] = None,
+    max_executions: int = 400,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ShrinkResult:
+    """Minimize ``scenario`` while preserving a violated spec clause.
+
+    ``target`` is the clause (a checker name from
+    ``repro.spec.evs_checker.CHECKS``) that must stay violated; by
+    default the first clause the original scenario violates.  Raises
+    :class:`~repro.errors.CampaignError` if the scenario does not
+    violate the target to begin with.
+    """
+    scenario.validate()
+    probe = _Shrinker(
+        cluster_seed=cluster_seed,
+        loss=loss,
+        mutation=mutation,
+        target=target or "",
+        max_executions=max_executions,
+    )
+    baseline = probe.violated(scenario)
+    if target is None:
+        if not baseline:
+            raise CampaignError(
+                "scenario does not violate any specification; nothing to "
+                "shrink"
+            )
+        target = sorted(baseline)[0]
+    elif target not in baseline:
+        raise CampaignError(
+            f"scenario does not violate {target!r} (it violates: "
+            f"{', '.join(sorted(baseline)) or 'nothing'})"
+        )
+    probe.target = target
+
+    best = scenario
+    passes = (
+        ("ddmin", probe.ddmin_actions),
+        ("drop-pids", probe.drop_pids),
+        ("bursts", probe.shrink_bursts),
+        ("times", probe.tighten_times),
+    )
+    try:
+        improved = True
+        while improved:
+            improved = False
+            for name, fn in passes:
+                candidate = fn(best)
+                if _size(candidate) < _size(best):
+                    best = candidate
+                    improved = True
+                    if progress is not None:
+                        progress(
+                            f"{name}: {len(best.actions)} action(s), "
+                            f"{len(best.pids)} process(es) "
+                            f"[{probe.executions} executions]"
+                        )
+    except _BudgetExhausted:
+        if progress is not None:
+            progress(
+                f"execution budget ({max_executions}) exhausted; keeping "
+                f"best so far"
+            )
+    return ShrinkResult(
+        scenario=best,
+        target=target,
+        violated=tuple(sorted(probe.violated(best))),
+        executions=probe.executions,
+        original_actions=len(scenario.actions),
+        final_actions=len(best.actions),
+        original_pids=len(scenario.pids),
+        final_pids=len(best.pids),
+    )

@@ -9,6 +9,13 @@ Commands:
   EVS specification (the Figures 1-5 experiment, from the shell), with
   optional ``--save`` of the recorded traces;
 * ``check``       - evaluate all specifications against a saved trace;
+* ``fuzz``        - parallel fuzzing campaign: fan seeded scenarios
+  across worker processes, write a repro bundle per failing seed
+  (docs/FUZZING.md);
+* ``shrink``      - delta-debug a bundle's failing scenario down to a
+  local minimum that still violates the same spec clause;
+* ``replay``      - deterministically re-execute a bundle's scenario and
+  assert the recorded violations reproduce;
 * ``timeline``    - run a short partition/merge demo and render it as an
   ASCII space-time diagram.
 """
@@ -19,6 +26,15 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.campaign.bundle import attach_shrunk, load_bundle
+from repro.campaign.mutations import MUTATIONS
+from repro.campaign.runner import (
+    CampaignConfig,
+    SeedOutcome,
+    execute_scenario,
+    run_campaign,
+)
+from repro.campaign.shrink import shrink_scenario
 from repro.harness.cluster import ClusterOptions, SimCluster
 from repro.harness.faults import random_scenario
 from repro.harness.figures import figure6_scenario, render_timeline
@@ -99,6 +115,109 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _shrink_bundle(path: str, max_executions: int) -> int:
+    """Shared by ``repro shrink`` and ``repro fuzz --shrink``."""
+    bundle = load_bundle(path)
+    meta = bundle.meta
+    print(
+        f"shrinking {path}: {len(bundle.scenario.actions)} action(s), "
+        f"{len(bundle.scenario.pids)} process(es), violated: "
+        f"{', '.join(meta['violated'])}"
+    )
+    result = shrink_scenario(
+        bundle.scenario,
+        cluster_seed=meta["cluster_seed"],
+        loss=meta["loss"],
+        mutation=meta["mutation"],
+        max_executions=max_executions,
+        progress=lambda line: print(f"  {line}"),
+    )
+    attach_shrunk(
+        path,
+        result.scenario,
+        {
+            "target": result.target,
+            "violated": list(result.violated),
+            "executions": result.executions,
+            "original_actions": result.original_actions,
+            "final_actions": result.final_actions,
+            "original_pids": result.original_pids,
+            "final_pids": result.final_pids,
+        },
+    )
+    print(result.render())
+    print(f"shrunk scenario written into {path}")
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        processes=args.processes,
+        steps=args.steps,
+        loss=args.loss,
+        workers=args.workers,
+        bundle_dir=args.bundle_dir,
+        mutation=args.mutate,
+    )
+
+    def progress(o: SeedOutcome) -> None:
+        status = "PASS" if o.passed else f"FAIL [{', '.join(o.violated)}]"
+        print(
+            f"seed={o.seed:<6d} events={o.events:<6d} "
+            f"quiescent={o.quiescent!s:<5s} {o.elapsed:5.2f}s {status}"
+        )
+
+    report = run_campaign(config, progress=progress)
+    print()
+    print(report.render())
+    if args.shrink:
+        for outcome in report.failures:
+            if outcome.bundle is not None:
+                print()
+                _shrink_bundle(outcome.bundle, args.max_executions)
+    return 0 if report.passed else 1
+
+
+def cmd_shrink(args: argparse.Namespace) -> int:
+    return _shrink_bundle(args.bundle, args.max_executions)
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    bundle = load_bundle(args.bundle)
+    meta = bundle.meta
+    if args.shrunk:
+        if bundle.shrunk is None or bundle.shrink_meta is None:
+            print(
+                f"{args.bundle} has no shrunk scenario (run `repro shrink` "
+                f"first)",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = bundle.shrunk
+        expected = sorted(bundle.shrink_meta["violated"])
+        label = "shrunk scenario"
+    else:
+        scenario = bundle.scenario
+        expected = sorted(meta["violated"])
+        label = "scenario"
+    outcome = execute_scenario(
+        scenario,
+        cluster_seed=meta["cluster_seed"],
+        loss=meta["loss"],
+        mutation=meta["mutation"],
+    )
+    print(outcome.report.render())
+    got = sorted(outcome.violated)
+    reproduced = got == expected
+    print()
+    print(f"replaying {label} from {args.bundle}")
+    print(f"  expected violated clauses: {', '.join(expected) or '(none)'}")
+    print(f"  observed violated clauses: {', '.join(got) or '(none)'}")
+    print(f"  reproduced: {'yes' if reproduced else 'NO'}")
+    return 0 if reproduced else 1
+
+
 def cmd_timeline(args: argparse.Namespace) -> int:
     pids = ["p", "q", "r"]
     cluster = SimCluster(pids, options=ClusterOptions(seed=args.seed))
@@ -167,6 +286,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="the trace did not end quiescent: check safety fragments only",
     )
     check.set_defaults(fn=cmd_check)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="parallel fuzzing campaign with repro bundles on failure",
+    )
+    fuzz.add_argument("--seeds", type=int, default=20)
+    fuzz.add_argument("--seed", type=int, default=0, help="first seed")
+    fuzz.add_argument("--processes", type=int, default=4)
+    fuzz.add_argument("--steps", type=int, default=12)
+    fuzz.add_argument("--loss", type=float, default=0.02)
+    fuzz.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = inline)"
+    )
+    fuzz.add_argument(
+        "--bundle-dir",
+        default="repro-bundles",
+        help="directory for per-seed repro bundles on failure",
+    )
+    fuzz.add_argument(
+        "--mutate",
+        choices=sorted(MUTATIONS),
+        default="none",
+        help="inject a deterministic known bug before checking "
+        "(pipeline self-test; see docs/FUZZING.md)",
+    )
+    fuzz.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug every failing seed's scenario after the campaign",
+    )
+    fuzz.add_argument("--max-executions", type=int, default=400)
+    fuzz.set_defaults(fn=cmd_fuzz)
+
+    shr = sub.add_parser(
+        "shrink", help="minimize a repro bundle's failing scenario"
+    )
+    shr.add_argument("bundle", help="path to a repro bundle directory")
+    shr.add_argument(
+        "--max-executions",
+        type=int,
+        default=400,
+        help="budget of scenario re-executions for the shrinker",
+    )
+    shr.set_defaults(fn=cmd_shrink)
+
+    rep = sub.add_parser(
+        "replay", help="re-execute a repro bundle and verify it reproduces"
+    )
+    rep.add_argument("bundle", help="path to a repro bundle directory")
+    rep.add_argument(
+        "--shrunk",
+        action="store_true",
+        help="replay the shrunk scenario instead of the original",
+    )
+    rep.set_defaults(fn=cmd_replay)
 
     tl = sub.add_parser("timeline", help="render a partition/merge timeline")
     tl.add_argument("--seed", type=int, default=0)

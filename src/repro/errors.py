@@ -39,6 +39,11 @@ class StableStorageError(ReproError):
     """Stable storage could not be read or written."""
 
 
+class CampaignError(ReproError):
+    """A fuzzing-campaign artifact (scenario file, repro bundle) is
+    malformed, or a campaign was misconfigured."""
+
+
 class SpecificationViolation(ReproError):
     """Raised by checkers in ``raise_on_violation`` mode when a recorded
     history fails one of the paper's specifications."""

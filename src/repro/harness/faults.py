@@ -40,6 +40,20 @@ class FaultProfile:
             ("burst", self.burst),
         )
 
+    def validate(self) -> None:
+        """Reject weight vectors ``random.choices`` would choke on with
+        an obscure error: negatives, and the all-zero profile."""
+        for name, weight in self.choices():
+            if weight < 0:
+                raise ValueError(
+                    f"FaultProfile weight {name}={weight} is negative"
+                )
+        if not any(weight > 0 for _name, weight in self.choices()):
+            raise ValueError(
+                "FaultProfile weights are all zero: at least one action "
+                "kind must have positive weight"
+            )
+
 
 def random_partition(
     rng: random.Random, pids: Sequence[ProcessId]
@@ -66,6 +80,7 @@ def random_scenario(
         DeliveryRequirement.AGREED,
         DeliveryRequirement.CAUSAL,
     ),
+    rng: Optional[random.Random] = None,
 ) -> Scenario:
     """Generate one seeded random fault campaign.
 
@@ -73,9 +88,15 @@ def random_scenario(
     actions always target genuinely crashed processes and at least one
     process stays alive (the paper permits total failure, but a campaign
     that kills everyone exercises nothing).
+
+    Pass ``rng`` to draw from an existing :class:`random.Random` stream
+    instead of seeding a fresh one from ``seed`` - the campaign driver
+    composes generators this way.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     profile = profile or FaultProfile()
+    profile.validate()
     if max_crashed is None:
         max_crashed = max(0, len(pids) - 2)
     names, weights = zip(*profile.choices())

@@ -24,6 +24,23 @@ from repro.spec.history import History
 from repro.types import DeliveryRequirement, ProcessId
 
 
+#: Every action kind a scenario script may contain.  ``Scenario.validate``
+#: rejects anything else up front so a malformed script fails before the
+#: simulation starts rather than mid-run.
+ACTION_KINDS = (
+    "partition",
+    "merge_all",
+    "merge",
+    "crash",
+    "recover",
+    "send",
+    "burst",
+)
+
+#: Kinds that require ``Action.pid`` to be set.
+_PID_KINDS = frozenset({"crash", "recover", "send", "burst"})
+
+
 @dataclass(frozen=True)
 class Action:
     """One timed scenario step.
@@ -56,16 +73,47 @@ class Scenario:
     settle_timeout: float = 20.0
 
     def validate(self) -> None:
+        """Reject malformed scripts with errors naming the offending
+        action index, so a hand-edited or deserialized scenario fails
+        loudly before any simulation time is spent."""
+        if not self.pids:
+            raise SimulationError("scenario has no processes")
+        if len(set(self.pids)) != len(self.pids):
+            raise SimulationError("scenario has duplicate process ids")
+        if self.duration < 0:
+            raise SimulationError(
+                f"scenario duration {self.duration} is negative"
+            )
         known = set(self.pids)
-        for a in self.actions:
-            if a.at < 0 or a.at > self.duration:
-                raise SimulationError(f"action at t={a.at} outside scenario")
+        for i, a in enumerate(self.actions):
+            where = f"action #{i} ({a.kind!r} at t={a.at})"
+            if a.kind not in ACTION_KINDS:
+                raise SimulationError(
+                    f"action #{i}: unknown action kind {a.kind!r} "
+                    f"(expected one of {', '.join(ACTION_KINDS)})"
+                )
+            if a.at < 0:
+                raise SimulationError(f"{where}: negative time")
+            if a.at > self.duration:
+                raise SimulationError(
+                    f"{where}: outside scenario duration {self.duration}"
+                )
+            if a.kind in _PID_KINDS and a.pid is None:
+                raise SimulationError(f"{where}: requires a pid")
             if a.pid is not None and a.pid not in known:
-                raise SimulationError(f"action references unknown pid {a.pid}")
+                raise SimulationError(
+                    f"{where}: references pid {a.pid!r} outside the "
+                    f"cluster {sorted(known)}"
+                )
+            if a.kind == "burst" and a.count < 0:
+                raise SimulationError(f"{where}: negative burst count {a.count}")
             for g in a.groups:
                 for pid in g:
                     if pid not in known:
-                        raise SimulationError(f"group references unknown pid {pid}")
+                        raise SimulationError(
+                            f"{where}: group references pid {pid!r} outside "
+                            f"the cluster {sorted(known)}"
+                        )
 
 
 @dataclass

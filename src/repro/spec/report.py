@@ -44,6 +44,13 @@ class ConformanceReport:
     def total_violations(self) -> int:
         return sum(len(r.violations) for r in self.results)
 
+    @property
+    def violated_specs(self) -> List[str]:
+        """Names of the failing specification groups, sorted - the
+        clause identity the fuzzing campaign's bundles and shrinker key
+        on."""
+        return sorted(r.name for r in self.results if not r.passed)
+
     def render(self) -> str:
         width = max(len(r.name) for r in self.results) + 2
         lines = [

@@ -1,0 +1,58 @@
+"""Unit: FaultProfile edge cases and RNG injection in random_scenario."""
+
+import random
+
+import pytest
+
+from repro.harness.faults import FaultProfile, random_scenario
+
+PIDS = ("a", "b", "c", "d")
+
+
+def test_all_zero_weights_raise_clear_valueerror():
+    profile = FaultProfile(
+        partition=0.0, merge=0.0, crash=0.0, recover=0.0, burst=0.0
+    )
+    with pytest.raises(ValueError) as excinfo:
+        random_scenario(0, PIDS, profile=profile)
+    assert "all zero" in str(excinfo.value)
+
+
+def test_negative_weight_raises_clear_valueerror():
+    with pytest.raises(ValueError) as excinfo:
+        random_scenario(0, PIDS, profile=FaultProfile(crash=-1.0))
+    assert "crash=-1.0 is negative" in str(excinfo.value)
+
+
+def test_single_nonzero_weight_is_fine():
+    profile = FaultProfile(
+        partition=0.0, merge=0.0, crash=0.0, recover=0.0, burst=3.0
+    )
+    scenario = random_scenario(5, PIDS, steps=10, profile=profile)
+    assert all(a.kind == "burst" for a in scenario.actions)
+    scenario.validate()
+
+
+def test_injected_rng_matches_seeded_generation():
+    by_seed = random_scenario(123, PIDS, steps=10)
+    by_rng = random_scenario(0, PIDS, steps=10, rng=random.Random(123))
+    assert by_rng == by_seed
+
+
+def test_injected_rng_continues_the_stream():
+    # Two draws from one shared stream differ from each other but are
+    # reproducible from the same starting state - how the campaign
+    # driver composes generators.
+    rng = random.Random(7)
+    first = random_scenario(0, PIDS, steps=8, rng=rng)
+    second = random_scenario(0, PIDS, steps=8, rng=rng)
+    assert first != second
+
+    rng2 = random.Random(7)
+    assert random_scenario(0, PIDS, steps=8, rng=rng2) == first
+    assert random_scenario(0, PIDS, steps=8, rng=rng2) == second
+
+
+def test_generated_scenarios_always_validate():
+    for seed in range(20):
+        random_scenario(seed, PIDS, steps=12).validate()

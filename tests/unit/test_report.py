@@ -46,6 +46,14 @@ def test_dirty_history_report_fails_with_details():
     assert "FAIL" in rendered and "Spec" in rendered
 
 
+def test_violated_specs_names_failing_groups():
+    assert run_conformance(clean_history()).violated_specs == []
+    violated = run_conformance(dirty_history()).violated_specs
+    assert violated
+    assert violated == sorted(violated)
+    assert all(isinstance(name, str) for name in violated)
+
+
 def test_pool_reports_aggregates():
     pooled = pool_reports([run_conformance(clean_history()) for _ in range(3)])
     assert pooled.histories == 3

@@ -1,0 +1,98 @@
+"""Unit: Scenario.validate() rejects malformed scripts by action index.
+
+Scenario files are hand-editable and machine-generated; a bad script
+must fail before simulation with an error that names the offending
+action, not an assertion three layers down.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.harness.scenario import ACTION_KINDS, Action, Scenario
+
+PIDS = ("p", "q", "r")
+
+
+def scenario(*actions, duration=2.0):
+    return Scenario(pids=PIDS, actions=tuple(actions), duration=duration)
+
+
+def test_valid_script_passes():
+    scenario(
+        Action(at=0.5, kind="burst", pid="p", count=3),
+        Action(at=1.0, kind="partition", groups=(("p",), ("q", "r"))),
+        Action(at=1.5, kind="merge_all"),
+    ).validate()
+
+
+def test_negative_time_names_action_index():
+    with pytest.raises(SimulationError) as excinfo:
+        scenario(
+            Action(at=0.5, kind="merge_all"),
+            Action(at=-0.1, kind="crash", pid="p"),
+        ).validate()
+    assert "action #1" in str(excinfo.value)
+    assert "negative time" in str(excinfo.value)
+
+
+def test_time_beyond_duration_names_action_index():
+    with pytest.raises(SimulationError) as excinfo:
+        scenario(Action(at=9.0, kind="merge_all")).validate()
+    assert "action #0" in str(excinfo.value)
+
+
+def test_unknown_kind_names_action_index_and_lists_kinds():
+    with pytest.raises(SimulationError) as excinfo:
+        scenario(
+            Action(at=0.5, kind="merge_all"),
+            Action(at=0.6, kind="merge_all"),
+            Action(at=0.7, kind="warp"),
+        ).validate()
+    message = str(excinfo.value)
+    assert "action #2" in message
+    assert "warp" in message
+    for kind in ACTION_KINDS:
+        assert kind in message
+
+
+def test_foreign_pid_names_action_index():
+    with pytest.raises(SimulationError) as excinfo:
+        scenario(Action(at=0.5, kind="crash", pid="ghost")).validate()
+    message = str(excinfo.value)
+    assert "action #0" in message
+    assert "ghost" in message
+    assert "outside the cluster" in message
+
+
+def test_foreign_pid_in_group_names_action_index():
+    with pytest.raises(SimulationError) as excinfo:
+        scenario(
+            Action(at=0.5, kind="partition", groups=(("p",), ("q", "ghost")))
+        ).validate()
+    message = str(excinfo.value)
+    assert "action #0" in message
+    assert "ghost" in message
+
+
+def test_pid_kind_without_pid_is_rejected():
+    with pytest.raises(SimulationError) as excinfo:
+        scenario(Action(at=0.5, kind="send")).validate()
+    assert "requires a pid" in str(excinfo.value)
+
+
+def test_negative_burst_count_is_rejected():
+    with pytest.raises(SimulationError) as excinfo:
+        scenario(Action(at=0.5, kind="burst", pid="p", count=-2)).validate()
+    assert "negative burst count" in str(excinfo.value)
+
+
+def test_empty_and_duplicate_pids_are_rejected():
+    with pytest.raises(SimulationError):
+        Scenario(pids=(), actions=(), duration=1.0).validate()
+    with pytest.raises(SimulationError):
+        Scenario(pids=("p", "p", "q"), actions=(), duration=1.0).validate()
+
+
+def test_negative_duration_is_rejected():
+    with pytest.raises(SimulationError):
+        Scenario(pids=PIDS, actions=(), duration=-1.0).validate()
