@@ -17,8 +17,11 @@ import time
 
 from _util import emit
 
+import repro.campaign.runner as runner_mod
 from repro.campaign.runner import CampaignConfig, run_campaign
 from repro.harness.metrics import BenchRow, render_table
+from repro.spec.reference import check_all_reference
+from repro.spec.report import CheckResult, ConformanceReport
 
 SEEDS = tuple(range(24))
 PROCESSES = 5
@@ -43,16 +46,46 @@ def _measure(workers: int):
     return report, elapsed
 
 
+def _reference_run_conformance(history, quiescent=True):
+    """Pre-fast-path conformance evaluation (frozen reference pipeline),
+    wrapped in the report shape the campaign expects."""
+    t0 = time.perf_counter_ns()
+    results = [
+        CheckResult(name=name, violations=violations)
+        for name, violations in check_all_reference(history, quiescent=quiescent)
+    ]
+    ns = time.perf_counter_ns() - t0
+    events = sum(len(history.events_of(p)) for p in history.processes)
+    return ConformanceReport(
+        results=results, events=events, checker_ns={"reference": ns}
+    )
+
+
+def _measure_with_reference_checkers():
+    """The same inline campaign with the checker fast path swapped out
+    for the frozen pre-rework pipeline: the within-run measurement of
+    what the fast path buys per seed (cross-run comparisons confound
+    with machine load)."""
+    original = runner_mod.run_conformance
+    runner_mod.run_conformance = _reference_run_conformance
+    try:
+        return _measure(1)
+    finally:
+        runner_mod.run_conformance = original
+
+
 def test_campaign_throughput(benchmark):
     results = {}
 
     def sweep():
+        results["reference"] = _measure_with_reference_checkers()
         results["single"] = _measure(1)
         results["pooled"] = _measure(POOLED_WORKERS)
         return results
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
 
+    reference, reference_s = results["reference"]
     single, single_s = results["single"]
     pooled, pooled_s = results["pooled"]
     speedup = single_s / pooled_s if pooled_s > 0 else 0.0
@@ -61,12 +94,23 @@ def test_campaign_throughput(benchmark):
 
     rows = [
         BenchRow(
+            "single-process, reference checkers",
+            {
+                "seeds": reference.seeds_run,
+                "events": reference.events,
+                "wall": f"{reference_s:.2f}s",
+                "rate": f"{reference.scenarios_per_sec:.1f}/s",
+                "check": f"{reference.check_ns / 1e6:.0f}ms",
+            },
+        ),
+        BenchRow(
             "single-process (workers=1)",
             {
                 "seeds": single.seeds_run,
                 "events": single.events,
                 "wall": f"{single_s:.2f}s",
                 "rate": f"{single.scenarios_per_sec:.1f}/s",
+                "check": f"{single.check_ns / 1e6:.0f}ms",
             },
         ),
         BenchRow(
@@ -94,6 +138,17 @@ def test_campaign_throughput(benchmark):
     assert [o.violated for o in single.outcomes] == [
         o.violated for o in pooled.outcomes
     ]
+    # ... and regardless of checker pipeline: the fast path must see
+    # exactly what the reference saw, in less than half the checker time
+    # (the simulation dominates wall time at this scenario size, so the
+    # scenarios/sec delta is modest but the checker-time delta is not).
+    assert [o.violated for o in single.outcomes] == [
+        o.violated for o in reference.outcomes
+    ]
+    assert single.check_ns * 2 < reference.check_ns, (
+        f"fast path checker time {single.check_ns / 1e6:.0f}ms not <2x "
+        f"under reference {reference.check_ns / 1e6:.0f}ms"
+    )
     if asserted:
         assert speedup >= 2.0, (
             f"multi-worker only {speedup:.2f}x over single-process "

@@ -1,0 +1,253 @@
+"""Conformance fast path: checker events/sec, new pipeline vs. reference.
+
+Every fuzz seed funnels its execution through ``run_conformance``, so
+checker throughput bounds the whole campaign.  This bench builds a
+deterministic 6-process, ~2000-event fuzz-shaped history (partitions,
+transitional configurations, a failure, safe/agreed traffic) and runs it
+through both pipelines:
+
+* the fast path (incremental ``HistoryIndex`` + single-pass clock
+  matrix, one shared ``CheckContext``), and
+* the frozen pre-rework reference (``repro.spec.reference``: per-checker
+  full scans + fixpoint dict clocks).
+
+It asserts the two produce byte-identical verdicts - on the clean
+history *and* on a mutated copy with known violations - and, in full
+mode, that the fast path clears >= 3x the reference's events/sec.  With
+``CONFORMANCE_BENCH_QUICK=1`` (the CI smoke step) the history shrinks,
+the timing gate is skipped, and only result drift can fail the run.
+"""
+
+import os
+import time
+from typing import List, Sequence, Tuple
+
+from _util import emit
+
+from repro.campaign.mutations import apply_mutation
+from repro.core.configuration import Configuration
+from repro.harness.metrics import BenchRow, render_table
+from repro.spec.history import History
+from repro.spec.reference import check_all_reference
+from repro.spec.report import run_conformance
+from repro.types import (
+    ConfigurationId,
+    DeliveryRequirement,
+    MessageId,
+    ProcessId,
+    RingId,
+)
+
+QUICK = os.environ.get("CONFORMANCE_BENCH_QUICK", "") == "1"
+PIDS: Tuple[ProcessId, ...] = tuple(f"p{i}" for i in range(6))
+ROUNDS = 2 if QUICK else 5
+
+
+class _Builder:
+    """Deterministic fuzz-shaped history: epochs of regular traffic
+    separated by partition/merge transitions, all Spec 1-7 conforming."""
+
+    def __init__(self) -> None:
+        self.history = History()
+        self.now = 0.0
+        self.ring_seq = 0
+
+    def _tick(self) -> float:
+        self.now += 0.001
+        return self.now
+
+    def _ring(self, members: Sequence[ProcessId]) -> RingId:
+        self.ring_seq += 1
+        return RingId(seq=self.ring_seq, rep=min(members))
+
+    def install_regular(
+        self,
+        members: Sequence[ProcessId],
+        old: Sequence[Configuration] = (),
+    ) -> Configuration:
+        """Install a new regular configuration on ``members``.
+
+        Each old component the members are arriving from gets its own
+        transitional configuration first, exactly as EVS prescribes for
+        a multi-component merge.
+        """
+        ring = self._ring(members)
+        cid = ConfigurationId.regular(ring)
+        for comp in old:
+            keep = tuple(p for p in sorted(comp.members) if p in members)
+            if not keep:
+                continue
+            tid = ConfigurationId.transitional(ring, comp.id.ring, min(keep))
+            trans = Configuration(
+                id=tid,
+                members=frozenset(keep),
+                preceding_regular=comp.id,
+                following_ring=ring,
+            )
+            for pid in keep:
+                self.history.record_conf_change(pid, trans, self._tick())
+        config = Configuration(id=cid, members=frozenset(members))
+        for pid in members:
+            self.history.record_conf_change(pid, config, self._tick())
+        return config
+
+    def traffic(self, config: Configuration, n_messages: int) -> None:
+        """Round-robin sends, every member delivering in send order."""
+        members = sorted(config.members)
+        ring = config.id.ring
+        for seq in range(1, n_messages + 1):
+            sender = members[seq % len(members)]
+            req = (
+                DeliveryRequirement.SAFE
+                if seq % 3 == 0
+                else DeliveryRequirement.AGREED
+            )
+            mid = MessageId(ring=ring, seq=seq)
+            self.history.record_send(
+                sender, mid, config.id, req, origin_seq=seq, time=self._tick()
+            )
+            for pid in members:
+                self.history.record_deliver(
+                    pid, mid, config.id, sender, req,
+                    origin_seq=seq, time=self._tick(),
+                )
+
+    def fail(self, pid: ProcessId, config: Configuration) -> None:
+        self.history.record_fail(pid, config.id, self._tick())
+
+
+def build_fuzz_shaped_history(epochs: int, msgs_per_epoch: int) -> History:
+    b = _Builder()
+    all_pids = PIDS
+    side_a, side_b = all_pids[:4], all_pids[4:]
+    config = b.install_regular(all_pids)
+    for epoch in range(epochs):
+        if epoch % 3 == 2:
+            # Partition: both components run their own ring concurrently,
+            # then merge back into one configuration.
+            conf_a = b.install_regular(side_a, old=[config])
+            conf_b = b.install_regular(side_b, old=[config])
+            b.traffic(conf_a, msgs_per_epoch)
+            b.traffic(conf_b, msgs_per_epoch // 2)
+            if epoch == 2:
+                # One process dies in the minority component and never
+                # rejoins: exercises the Spec 4/7 failure excuses.
+                b.fail(side_b[-1], conf_b)
+                side_b = side_b[:-1]
+                all_pids = side_a + side_b
+            config = b.install_regular(all_pids, old=[conf_a, conf_b])
+        else:
+            config = b.install_regular(all_pids, old=[config])
+        b.traffic(config, msgs_per_epoch)
+    return b.history
+
+
+def _run_reference(history: History, quiescent: bool = True):
+    return check_all_reference(history, quiescent=quiescent)
+
+
+def _verdicts_new(history: History) -> List[Tuple[str, List[str]]]:
+    history.invalidate()
+    report = run_conformance(history, quiescent=True)
+    return [(r.name, [str(v) for v in r.violations]) for r in report.results]
+
+
+def _verdicts_ref(history: History) -> List[Tuple[str, List[str]]]:
+    return [
+        (name, [str(v) for v in vs])
+        for name, vs in _run_reference(history)
+    ]
+
+
+def _time(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_conformance_fast_path(benchmark):
+    epochs = 3 if QUICK else 13
+    msgs = 8 if QUICK else 18
+    history = build_fuzz_shaped_history(epochs, msgs)
+    n_events = history.index().n_events
+    if not QUICK:
+        assert n_events >= 2000, f"history too small: {n_events} events"
+
+    # --- drift gates (always on; the CI smoke step exists for these) ---
+    clean_new = _verdicts_new(history)
+    clean_ref = _verdicts_ref(history)
+    assert clean_new == clean_ref, "verdict drift on conforming history"
+    assert all(not vs for _n, vs in clean_new), clean_new
+
+    mutated = apply_mutation("swap-deliveries", history)
+    mut_new = _verdicts_new(mutated)
+    mut_ref = _verdicts_ref(mutated)
+    assert mut_new == mut_ref, "verdict drift on mutated history"
+    assert any(vs for _n, vs in mut_new), "mutation produced no violations"
+
+    # --- timing ---------------------------------------------------------
+    results = {}
+
+    def sweep():
+        def run_new():
+            history.invalidate()
+            return run_conformance(history, quiescent=True)
+
+        results["new"] = _time(run_new, ROUNDS)
+        results["ref"] = _time(lambda: _run_reference(history), ROUNDS)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    new_s, ref_s = results["new"], results["ref"]
+    new_eps = n_events / new_s
+    ref_eps = n_events / ref_s
+    speedup = ref_s / new_s
+    report = run_conformance(history, quiescent=True)
+
+    rows = [
+        BenchRow(
+            "reference (per-checker scans + fixpoint clocks)",
+            {
+                "events": n_events,
+                "wall": f"{ref_s * 1e3:.1f}ms",
+                "rate": f"{ref_eps:,.0f} ev/s",
+            },
+        ),
+        BenchRow(
+            "fast path (HistoryIndex + single-pass clocks)",
+            {
+                "events": n_events,
+                "wall": f"{new_s * 1e3:.1f}ms",
+                "rate": f"{new_eps:,.0f} ev/s",
+                "clocks": report.clock_strategy,
+            },
+        ),
+        BenchRow(
+            "speedup",
+            {
+                "x": f"{speedup:.2f}",
+                "gate": "quick mode: drift only"
+                if QUICK
+                else ">=3x asserted",
+            },
+        ),
+    ]
+
+    if not QUICK:
+        assert speedup >= 3.0, (
+            f"fast path only {speedup:.2f}x over reference "
+            f"({new_eps:,.0f} vs {ref_eps:,.0f} events/s)"
+        )
+
+    emit(
+        "conformance",
+        render_table(
+            f"X6: conformance checker throughput, 6 processes x "
+            f"{n_events} events (fuzz-shaped)",
+            rows,
+        ),
+    )

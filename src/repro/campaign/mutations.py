@@ -24,6 +24,9 @@ from repro.spec.history import DeliverEvent, History
 
 
 def _clone(history: History) -> History:
+    # Mutators edit per_process directly, bypassing record_*; they must
+    # call out.invalidate() before handing the history to any checker so
+    # the incremental indexes never see a stale view.
     out = History()
     for pid, events in history.per_process.items():
         out.per_process[pid] = list(events)
@@ -54,6 +57,7 @@ def drop_delivery(history: History) -> History:
     pid, i = pos
     out = _clone(history)
     del out.per_process[pid][i]
+    out.invalidate()
     return out
 
 
@@ -66,6 +70,7 @@ def duplicate_delivery(history: History) -> History:
     pid, i = pos
     out = _clone(history)
     out.per_process[pid].insert(i, out.per_process[pid][i])
+    out.invalidate()
     return out
 
 
@@ -83,6 +88,7 @@ def swap_deliveries(history: History) -> History:
                 out = _clone(history)
                 seq = out.per_process[pid]
                 seq[a], seq[b] = seq[b], seq[a]
+                out.invalidate()
                 return out
     return history
 

@@ -129,6 +129,7 @@ class SeedOutcome:
     violated: Tuple[str, ...]
     elapsed: float
     bundle: Optional[str] = None
+    check_ns: int = 0
 
 
 def _run_seed(config: CampaignConfig, seed: int) -> SeedOutcome:
@@ -171,6 +172,7 @@ def _run_seed(config: CampaignConfig, seed: int) -> SeedOutcome:
         violated=outcome.violated,
         elapsed=time.perf_counter() - t0,
         bundle=bundle_path,
+        check_ns=outcome.report.check_ns,
     )
 
 
@@ -202,6 +204,19 @@ class CampaignReport:
     def scenarios_per_sec(self) -> float:
         return self.seeds_run / self.wall_time if self.wall_time > 0 else 0.0
 
+    @property
+    def check_ns(self) -> int:
+        """Total time spent in conformance checking across all seeds."""
+        return sum(o.check_ns for o in self.outcomes)
+
+    @property
+    def check_events_per_sec(self) -> float:
+        """Checker throughput pooled over the campaign."""
+        ns = self.check_ns
+        if ns <= 0:
+            return 0.0
+        return self.events / (ns / 1e9)
+
     def violations_by_clause(self) -> Dict[str, int]:
         by_clause: Dict[str, int] = {}
         for o in self.outcomes:
@@ -216,6 +231,11 @@ class CampaignReport:
             f"({self.scenarios_per_sec:.1f} scenarios/s)",
             f"  failing seeds: {len(self.failures)}",
         ]
+        if self.check_ns > 0:
+            lines.append(
+                f"  conformance checking: {self.check_ns / 1e6:.1f} ms total "
+                f"({self.check_events_per_sec:,.0f} events/s)"
+            )
         by_clause = self.violations_by_clause()
         for clause in sorted(by_clause):
             lines.append(

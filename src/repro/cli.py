@@ -16,6 +16,9 @@ Commands:
   local minimum that still violates the same spec clause;
 * ``replay``      - deterministically re-execute a bundle's scenario and
   assert the recorded violations reproduce;
+* ``profile``     - cProfile one serialized scenario (bundle directory or
+  scenario .json) end-to-end and print the top-N hotspots plus the
+  per-checker timing breakdown (docs/PERFORMANCE.md);
 * ``timeline``    - run a short partition/merge demo and render it as an
   ASCII space-time diagram.
 """
@@ -23,6 +26,10 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
+import os
+import pstats
 import sys
 from typing import List, Optional
 
@@ -41,6 +48,7 @@ from repro.harness.figures import figure6_scenario, render_timeline
 from repro.harness.scenario import ScenarioRunner
 from repro.net.codec import FORMAT_BINARY, WIRE_FORMATS
 from repro.net.network import NetworkParams
+from repro.campaign.serialize import load_scenario
 from repro.spec import tracefile
 from repro.spec.report import pool_reports, run_conformance
 from repro.types import DeliveryRequirement
@@ -218,6 +226,45 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0 if reproduced else 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one scenario end-to-end; print hotspots and checker times."""
+    if os.path.isdir(args.scenario):
+        bundle = load_bundle(args.scenario)
+        meta = bundle.meta
+        scenario = bundle.scenario
+        cluster_seed = meta["cluster_seed"]
+        loss = meta["loss"]
+        mutation = meta["mutation"]
+        source = f"bundle {args.scenario}"
+    else:
+        doc = load_scenario(args.scenario)
+        scenario = doc.scenario
+        cluster_seed = args.seed
+        loss = args.loss
+        mutation = args.mutate
+        source = f"scenario {args.scenario}"
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    outcome = execute_scenario(
+        scenario, cluster_seed=cluster_seed, loss=loss, mutation=mutation
+    )
+    profiler.disable()
+
+    print(f"profiling {source} (seed={cluster_seed}, loss={loss}, "
+          f"mutation={mutation})")
+    print()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    print(buf.getvalue().rstrip())
+    print()
+    print(outcome.report.render_timings())
+    print()
+    print(outcome.report.render())
+    return 0
+
+
 def cmd_timeline(args: argparse.Namespace) -> int:
     pids = ["p", "q", "r"]
     cluster = SimCluster(pids, options=ClusterOptions(seed=args.seed))
@@ -341,6 +388,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the shrunk scenario instead of the original",
     )
     rep.set_defaults(fn=cmd_replay)
+
+    prof = sub.add_parser(
+        "profile",
+        help="cProfile one scenario and print top-N hotspots",
+    )
+    prof.add_argument(
+        "scenario",
+        help="repro bundle directory or serialized scenario .json",
+    )
+    prof.add_argument(
+        "--top", type=int, default=15, help="hotspot rows to print"
+    )
+    prof.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "calls"),
+        default="cumulative",
+        help="pstats sort key",
+    )
+    prof.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="cluster seed (scenario files only; bundles carry their own)",
+    )
+    prof.add_argument("--loss", type=float, default=0.0)
+    prof.add_argument(
+        "--mutate", choices=sorted(MUTATIONS), default="none"
+    )
+    prof.set_defaults(fn=cmd_profile)
 
     tl = sub.add_parser("timeline", help="render a partition/merge timeline")
     tl.add_argument("--seed", type=int, default=0)

@@ -257,6 +257,17 @@ class SimCluster:
     def delivery_orders(self) -> Dict[ProcessId, List[bytes]]:
         return {p: self.listeners[p].payloads() for p in self.pids}
 
+    def conformance(self, quiescent: bool = True):
+        """Evaluate Specs 1-7 on the recorded history.
+
+        One prepared check context serves all seven groups; the returned
+        :class:`~repro.spec.report.ConformanceReport` carries the
+        per-checker timing breakdown (see docs/PERFORMANCE.md).
+        """
+        from repro.spec.report import run_conformance
+
+        return run_conformance(self.history, quiescent=quiescent)
+
     @property
     def codec_stats(self):
         """The network's per-message-type codec counters."""

@@ -30,9 +30,15 @@ class Timer:
 
     deadline: float
     _cancelled: bool = field(default=False, repr=False)
+    _on_cancel: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def cancel(self) -> None:
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            if self._on_cancel is not None:
+                self._on_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -46,11 +52,17 @@ class EventScheduler:
     which the protocols rely on for determinism.
     """
 
+    #: Minimum cancelled entries before compaction is considered (tiny
+    #: heaps are cheaper to drain lazily than to rebuild).
+    COMPACT_MIN = 32
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Timer, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._events_processed = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -67,13 +79,34 @@ class EventScheduler:
         """Number of events still queued (including cancelled stubs)."""
         return len(self._heap)
 
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been rebuilt to drop cancelled
+        stubs (observability for the compaction test and metrics)."""
+        return self._compactions
+
+    def _note_cancel(self) -> None:
+        """Timer cancellation hook: compact the heap once more than half
+        of it is dead weight.  Long fuzz scenarios churn token-retransmit
+        timers far faster than they fire, so without this the heap grows
+        with every cancelled retransmit until the run ends."""
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > self.COMPACT_MIN
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e[2].cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_pending = 0
+            self._compactions += 1
+
     def call_at(self, when: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` at absolute virtual time ``when``."""
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule into the past: {when} < now={self._now}"
             )
-        timer = Timer(deadline=when)
+        timer = Timer(deadline=when, _on_cancel=self._note_cancel)
         heapq.heappush(self._heap, (when, next(self._counter), timer, callback))
         return timer
 
@@ -88,6 +121,8 @@ class EventScheduler:
         while self._heap:
             when, _, timer, callback = heapq.heappop(self._heap)
             if timer.cancelled:
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
                 continue
             self._now = when
             self._events_processed += 1
@@ -107,6 +142,8 @@ class EventScheduler:
             when, _, timer, _cb = self._heap[0]
             if timer.cancelled:
                 heapq.heappop(self._heap)
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
                 continue
             if when > deadline:
                 break

@@ -13,16 +13,29 @@ The ``->`` relation is the transitive closure of (Specs 1.1-1.3):
 * the total order of events within each process, and
 * ``send(m) -> deliver(m)`` for every delivery of ``m``.
 
-We materialize it as vector clocks: each process's events get increasing
-local indices, and a delivery joins the clock of the matching send.
-``precedes(e, e')`` is then a vector comparison.
+We materialize it as vector clocks over a dense pid -> column mapping:
+each process's events get increasing local indices, a delivery joins the
+clock of the matching send, and ``precedes(e, e')`` is one array lookup.
+The clocks are computed in a single Kahn-style pass over the event DAG
+(per-process edges plus send->deliver edges); histories whose DAG is
+inconsistent - a message "delivered" causally before its own send, as a
+corrupted or skew-merged real-host trace can contain - automatically
+fall back to the original fixpoint iteration so every input still gets
+an answer.
+
+Conformance evaluation is the hot path of the fuzzing campaign, so the
+history also maintains a :class:`HistoryIndex` - per-message, per-
+configuration and per-process maps updated incrementally at ``record_*``
+time - letting every checker run without rescanning ``events()``.  Code
+that mutates ``per_process`` directly (the deterministic corruption
+helpers, the trace loader) must call :meth:`History.invalidate`
+afterwards; the index is rebuilt lazily on the next query.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple, Union
 
 from repro.core.configuration import Configuration
 from repro.types import (
@@ -84,12 +97,172 @@ class FailEvent:
 Event = Union[ConfChangeEvent, SendEvent, DeliverEvent, FailEvent]
 
 
-@dataclass(frozen=True)
-class EventRef:
-    """Stable handle for one event: (process, per-process index)."""
+class EventRef(NamedTuple):
+    """Stable handle for one event: (process, per-process index).
+
+    A NamedTuple rather than a dataclass: refs are hashed and compared
+    millions of times as clock-map keys, and tuple hashing is the
+    cheapest structural hash Python offers.
+    """
 
     pid: ProcessId
     index: int
+
+
+class HistoryIndex:
+    """Derived per-message / per-configuration / per-process maps.
+
+    Maintained incrementally: :meth:`add` is called from
+    ``History.record_*`` (and ``merge``) with each new event, so by the
+    time a checker asks, every view already exists - no checker ever
+    rescans the flat event list.  The first-send and first-configuration
+    winners are chosen by smallest ``(pid, index)``, matching the order
+    the former full scans (sorted pids, then local index) produced.
+
+    All containers are live internal state: treat them as read-only.
+    """
+
+    __slots__ = (
+        "n_events",
+        "n_sends",
+        "n_deliveries",
+        "n_conf_changes",
+        "n_fails",
+        "sends",
+        "send_refs",
+        "send_occurrences",
+        "send_ref_events",
+        "deliveries",
+        "delivery_sites",
+        "deliver_ref_events",
+        "configurations",
+        "conf_changes",
+        "fails",
+        "deliveries_by_process",
+        "delivery_positions",
+        "delivery_counts",
+        "multi_send",
+        "_send_keys",
+        "_config_keys",
+    )
+
+    def __init__(self) -> None:
+        self.n_events = 0
+        self.n_sends = 0
+        self.n_deliveries = 0
+        self.n_conf_changes = 0
+        self.n_fails = 0
+        #: First send of each message (smallest (pid, index) wins).
+        self.sends: Dict[MessageId, SendEvent] = {}
+        self.send_refs: Dict[MessageId, EventRef] = {}
+        #: Every send of each message (Spec 1.4 counts duplicates).
+        self.send_occurrences: Dict[MessageId, List[SendEvent]] = {}
+        #: Every send with its ref, in recording order.
+        self.send_ref_events: List[Tuple[EventRef, SendEvent]] = []
+        #: Every delivery of each message, in recording order.
+        self.deliveries: Dict[MessageId, List[DeliverEvent]] = {}
+        self.delivery_sites: Dict[MessageId, List[EventRef]] = {}
+        #: Every delivery with its ref, in recording order.
+        self.deliver_ref_events: List[Tuple[EventRef, DeliverEvent]] = []
+        #: First installation of each configuration id.
+        self.configurations: Dict[ConfigurationId, Configuration] = {}
+        self.conf_changes: Dict[ConfigurationId, List[ConfChangeEvent]] = {}
+        self.fails: List[FailEvent] = []
+        #: pid -> message -> its first delivery at that process.
+        self.deliveries_by_process: Dict[
+            ProcessId, Dict[MessageId, DeliverEvent]
+        ] = {}
+        #: pid -> message -> local index of that first delivery.
+        self.delivery_positions: Dict[ProcessId, Dict[MessageId, int]] = {}
+        #: pid -> message -> how many times it was delivered there.
+        self.delivery_counts: Dict[ProcessId, Dict[MessageId, int]] = {}
+        #: True when some message has more than one send (Spec 1.4
+        #: violation); forces the clock builder onto the fixpoint path.
+        self.multi_send = False
+        self._send_keys: Dict[MessageId, Tuple[ProcessId, int]] = {}
+        self._config_keys: Dict[ConfigurationId, Tuple[ProcessId, int]] = {}
+
+    @classmethod
+    def build(cls, history: "History") -> "HistoryIndex":
+        index = cls()
+        for pid in sorted(history.per_process):
+            for i, event in enumerate(history.per_process[pid]):
+                index.add(pid, i, event)
+        return index
+
+    def add(self, pid: ProcessId, idx: int, event: Event) -> None:
+        self.n_events += 1
+        if isinstance(event, DeliverEvent):
+            self.n_deliveries += 1
+            mid = event.message_id
+            ref = EventRef(pid, idx)
+            self.deliveries.setdefault(mid, []).append(event)
+            self.delivery_sites.setdefault(mid, []).append(ref)
+            self.deliver_ref_events.append((ref, event))
+            per = self.deliveries_by_process.setdefault(pid, {})
+            if mid not in per:
+                per[mid] = event
+                self.delivery_positions.setdefault(pid, {})[mid] = idx
+            counts = self.delivery_counts.setdefault(pid, {})
+            counts[mid] = counts.get(mid, 0) + 1
+        elif isinstance(event, SendEvent):
+            self.n_sends += 1
+            mid = event.message_id
+            ref = EventRef(pid, idx)
+            occurrences = self.send_occurrences.setdefault(mid, [])
+            occurrences.append(event)
+            self.send_ref_events.append((ref, event))
+            key = (pid, idx)
+            prior = self._send_keys.get(mid)
+            if prior is None:
+                self._send_keys[mid] = key
+                self.sends[mid] = event
+                self.send_refs[mid] = ref
+            else:
+                self.multi_send = True
+                if key < prior:
+                    self._send_keys[mid] = key
+                    self.sends[mid] = event
+                    self.send_refs[mid] = ref
+        elif isinstance(event, ConfChangeEvent):
+            self.n_conf_changes += 1
+            cid = event.config_id
+            self.conf_changes.setdefault(cid, []).append(event)
+            key = (pid, idx)
+            prior = self._config_keys.get(cid)
+            if prior is None or key < prior:
+                self._config_keys[cid] = key
+                self.configurations[cid] = event.config
+        else:
+            self.n_fails += 1
+            self.fails.append(event)
+
+
+class _ClockMatrix:
+    """Array vector clocks over a dense pid -> column mapping.
+
+    ``rows[pid][i][pidx[q]]`` is the highest index of ``q``'s events
+    that causally precede event ``(pid, i)`` (-1 when none do).
+    ``strategy`` records which construction produced the matrix:
+    ``"single-pass"`` (the Kahn pass) or ``"fixpoint"`` (the fallback).
+    """
+
+    __slots__ = ("pids", "pidx", "rows", "strategy")
+
+    def __init__(
+        self,
+        pids: List[ProcessId],
+        pidx: Dict[ProcessId, int],
+        rows: Dict[ProcessId, List[List[int]]],
+        strategy: str,
+    ) -> None:
+        self.pids = pids
+        self.pidx = pidx
+        self.rows = rows
+        self.strategy = strategy
+
+    def own(self, pid: ProcessId, index: int) -> int:
+        return self.rows[pid][index][self.pidx[pid]]
 
 
 class History:
@@ -100,7 +273,9 @@ class History:
 
     def __init__(self) -> None:
         self.per_process: Dict[ProcessId, List[Event]] = {}
-        self._clocks: Optional[Dict[EventRef, Dict[ProcessId, int]]] = None
+        self._index: Optional[HistoryIndex] = None
+        self._matrix: Optional[_ClockMatrix] = None
+        self._clocks_dict: Optional[Dict[EventRef, Dict[ProcessId, int]]] = None
 
     # -- recording (engine-facing) ------------------------------------------
 
@@ -153,17 +328,47 @@ class History:
         self._append(FailEvent(pid=pid, config_id=config_id, time=time))
 
     def _append(self, event: Event) -> None:
-        self.per_process.setdefault(event.pid, []).append(event)
-        self._clocks = None  # invalidate derived state
+        seq = self.per_process.setdefault(event.pid, [])
+        idx = len(seq)
+        seq.append(event)
+        if self._index is not None:
+            self._index.add(event.pid, idx, event)
+        self._matrix = None  # invalidate derived clocks
+        self._clocks_dict = None
 
     def merge(self, other: "History") -> None:
         """Fold another recorder's per-process sequences into this one
         (used when each process records locally, e.g. over asyncio)."""
         for pid, events in other.per_process.items():
-            self.per_process.setdefault(pid, []).extend(events)
-        self._clocks = None
+            seq = self.per_process.setdefault(pid, [])
+            base = len(seq)
+            seq.extend(events)
+            if self._index is not None:
+                for i, event in enumerate(events):
+                    self._index.add(pid, base + i, event)
+        self._matrix = None
+        self._clocks_dict = None
+
+    def invalidate(self) -> None:
+        """Drop the index and every clock cache.
+
+        ``per_process`` is append-only through ``record_*``; code that
+        edits the lists in place (trace loading, deterministic history
+        corruption) must call this afterwards so derived state is
+        rebuilt from the mutated events.
+        """
+        self._index = None
+        self._matrix = None
+        self._clocks_dict = None
 
     # -- queries ---------------------------------------------------------------
+
+    def index(self) -> HistoryIndex:
+        """The incrementally-maintained :class:`HistoryIndex` (built on
+        first use, then kept current by ``record_*``/``merge``)."""
+        if self._index is None:
+            self._index = HistoryIndex.build(self)
+        return self._index
 
     @property
     def processes(self) -> List[ProcessId]:
@@ -188,50 +393,101 @@ class History:
                 yield EventRef(pid, i), e
 
     def sends(self) -> Dict[MessageId, SendEvent]:
-        out: Dict[MessageId, SendEvent] = {}
-        for e in self.events():
-            if isinstance(e, SendEvent):
-                out.setdefault(e.message_id, e)
-        return out
+        return self.index().sends
 
     def send_events(self) -> List[SendEvent]:
-        return [e for e in self.events() if isinstance(e, SendEvent)]
+        return [e for _ref, e in self.index().send_ref_events]
 
     def deliveries(self) -> Dict[MessageId, List[DeliverEvent]]:
-        out: Dict[MessageId, List[DeliverEvent]] = {}
-        for e in self.events():
-            if isinstance(e, DeliverEvent):
-                out.setdefault(e.message_id, []).append(e)
-        return out
+        return self.index().deliveries
 
     def configurations(self) -> Dict[ConfigurationId, Configuration]:
-        out: Dict[ConfigurationId, Configuration] = {}
-        for e in self.events():
-            if isinstance(e, ConfChangeEvent):
-                out.setdefault(e.config_id, e.config)
-        return out
+        return self.index().configurations
 
     def conf_changes(self) -> Dict[ConfigurationId, List[ConfChangeEvent]]:
-        out: Dict[ConfigurationId, List[ConfChangeEvent]] = {}
-        for e in self.events():
-            if isinstance(e, ConfChangeEvent):
-                out.setdefault(e.config_id, []).append(e)
-        return out
+        return self.index().conf_changes
 
     def fails(self) -> List[FailEvent]:
-        return [e for e in self.events() if isinstance(e, FailEvent)]
+        return self.index().fails
 
     # -- the precedes relation ---------------------------------------------------
 
-    def _build_clocks(self) -> Dict[EventRef, Dict[ProcessId, int]]:
-        """Vector clocks realizing the transitive closure of the
-        per-process order plus send->deliver edges."""
+    def _build_matrix_fast(self) -> Optional[_ClockMatrix]:
+        """Single Kahn-style pass over the event DAG.
+
+        Nodes are events; edges are each process's local successor plus
+        send(m) -> deliver(m).  Processing events in topological order
+        means every clock is final when first computed - no fixpoint
+        iteration, no wasted passes.  Returns None (caller falls back to
+        the fixpoint) when the DAG has a cycle (a delivery causally
+        before its own send, possible only in corrupted or skew-merged
+        traces) or when some message was sent more than once (the edge
+        target is then ambiguous; Spec 1.4 flags it anyway).
+        """
+        index = self.index()
+        if index.multi_send:
+            return None
+        pids = sorted(self.per_process)
+        pidx = {p: i for i, p in enumerate(pids)}
+        n = len(pids)
+        send_refs = index.send_refs
+        delivery_sites = index.delivery_sites
+
+        indegree: Dict[ProcessId, List[int]] = {}
+        rows: Dict[ProcessId, List[Optional[List[int]]]] = {}
+        total = 0
+        ready: List[EventRef] = []
+        for pid in pids:
+            events = self.per_process[pid]
+            total += len(events)
+            degrees = [0 if i == 0 else 1 for i in range(len(events))]
+            indegree[pid] = degrees
+            rows[pid] = [None] * len(events)
+        for mid, sites in delivery_sites.items():
+            if mid in send_refs:
+                for ref in sites:
+                    indegree[ref.pid][ref.index] += 1
+        for pid in pids:
+            if self.per_process[pid] and indegree[pid][0] == 0:
+                ready.append(EventRef(pid, 0))
+
+        processed = 0
+        while ready:
+            pid, i = ready.pop()
+            events = self.per_process[pid]
+            event = events[i]
+            if i == 0:
+                clock = [-1] * n
+            else:
+                clock = rows[pid][i - 1].copy()  # type: ignore[union-attr]
+            if isinstance(event, DeliverEvent):
+                send_ref = send_refs.get(event.message_id)
+                if send_ref is not None:
+                    send_clock = rows[send_ref.pid][send_ref.index]
+                    for j in range(n):
+                        if send_clock[j] > clock[j]:  # type: ignore[index]
+                            clock[j] = send_clock[j]  # type: ignore[index]
+            clock[pidx[pid]] = i
+            rows[pid][i] = clock
+            processed += 1
+            nxt = i + 1
+            if nxt < len(events):
+                indegree[pid][nxt] -= 1
+                if indegree[pid][nxt] == 0:
+                    ready.append(EventRef(pid, nxt))
+            if isinstance(event, SendEvent):
+                for ref in delivery_sites.get(event.message_id, ()):
+                    indegree[ref.pid][ref.index] -= 1
+                    if indegree[ref.pid][ref.index] == 0:
+                        ready.append(ref)
+        if processed != total:
+            return None  # cycle: fall back to the fixpoint
+        return _ClockMatrix(pids, pidx, rows, "single-pass")  # type: ignore[arg-type]
+
+    def _build_clocks_fixpoint(self) -> Dict[EventRef, Dict[ProcessId, int]]:
+        """The original fixpoint construction (up to 64 passes), kept as
+        the fallback for histories the single pass rejects."""
         clocks: Dict[EventRef, Dict[ProcessId, int]] = {}
-        # Fixpoint iteration: a single pass in recording-time order
-        # suffices for simulated runs (a send always has a strictly
-        # earlier timestamp than its deliveries), but merged histories
-        # from real hosts may have clock skew, so we iterate until the
-        # clocks stabilize.
         for _ in range(64):
             send_clock: Dict[MessageId, Dict[ProcessId, int]] = {
                 e.message_id: clocks[ref]
@@ -261,19 +517,61 @@ class History:
                 break
         return clocks
 
+    def _build_matrix_fixpoint(self) -> _ClockMatrix:
+        clocks = self._build_clocks_fixpoint()
+        pids = sorted(self.per_process)
+        pidx = {p: i for i, p in enumerate(pids)}
+        n = len(pids)
+        rows: Dict[ProcessId, List[List[int]]] = {}
+        for pid in pids:
+            pid_rows: List[List[int]] = []
+            for i in range(len(self.per_process[pid])):
+                clock = clocks[EventRef(pid, i)]
+                row = [-1] * n
+                for q, v in clock.items():
+                    col = pidx.get(q)
+                    if col is not None:
+                        row[col] = v
+                pid_rows.append(row)
+            rows[pid] = pid_rows
+        return _ClockMatrix(pids, pidx, rows, "fixpoint")
+
+    def clock_matrix(self) -> _ClockMatrix:
+        """Array clocks for the whole history (cached until the next
+        recorded event)."""
+        if self._matrix is None:
+            self._matrix = self._build_matrix_fast() or self._build_matrix_fixpoint()
+        return self._matrix
+
+    @property
+    def clock_strategy(self) -> str:
+        """Which construction produced the current clocks:
+        ``"single-pass"`` or ``"fixpoint"``."""
+        return self.clock_matrix().strategy
+
     def clocks(self) -> Dict[EventRef, Dict[ProcessId, int]]:
-        if self._clocks is None:
-            self._clocks = self._build_clocks()
-        return self._clocks
+        """Dict-shaped vector clocks (compatibility view of the matrix)."""
+        if self._clocks_dict is None:
+            matrix = self.clock_matrix()
+            out: Dict[EventRef, Dict[ProcessId, int]] = {}
+            for pid, rows in matrix.rows.items():
+                for i, row in enumerate(rows):
+                    out[EventRef(pid, i)] = {
+                        matrix.pids[j]: v for j, v in enumerate(row) if v >= 0
+                    }
+            self._clocks_dict = out
+        return self._clocks_dict
 
     def precedes(self, a: EventRef, b: EventRef) -> bool:
         """True when event ``a`` -> event ``b`` in the paper's precedes
         relation (reflexive, per Spec 1.1)."""
         if a == b:
             return True
-        clocks = self.clocks()
-        cb = clocks[b]
-        return cb.get(a.pid, -1) >= a.index
+        matrix = self.clock_matrix()
+        col = matrix.pidx.get(a.pid)
+        if col is None:
+            return False
+        return matrix.rows[b.pid][b.index][col] >= a.index
 
     def concurrent(self, a: EventRef, b: EventRef) -> bool:
         return not self.precedes(a, b) and not self.precedes(b, a)
@@ -282,11 +580,10 @@ class History:
 
     def summary(self) -> str:
         """One-line digest for logs and benchmark output."""
-        n_send = len(self.send_events())
-        n_del = sum(len(v) for v in self.deliveries().values())
-        n_conf = sum(len(v) for v in self.conf_changes().values())
+        index = self.index()
         return (
-            f"history: {len(self.processes)} processes, {n_send} sends, "
-            f"{n_del} deliveries, {n_conf} configuration changes, "
-            f"{len(self.fails())} failures"
+            f"history: {len(self.per_process)} processes, "
+            f"{index.n_sends} sends, {index.n_deliveries} deliveries, "
+            f"{index.n_conf_changes} configuration changes, "
+            f"{index.n_fails} failures"
         )

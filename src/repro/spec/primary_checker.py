@@ -65,17 +65,20 @@ def check_primary_history(
                 if a != b:
                     after.setdefault(a, set()).add(b)
 
-    # Transitive closure (primary histories are short).
-    changed = True
-    while changed:
-        changed = False
-        for a in primaries:
-            new = set()
-            for b in after[a]:
-                new |= after.get(b, set())
-            if not new <= after[a]:
-                after[a] |= new
-                changed = True
+    # Transitive closure: explicit reachability walk per primary instead
+    # of sweeping the whole graph until it stops changing.
+    closure: Dict[ConfigurationId, Set[ConfigurationId]] = {}
+    for a in primaries:
+        reach: Set[ConfigurationId] = set()
+        stack = list(after.get(a, ()))
+        while stack:
+            b = stack.pop()
+            if b in reach:
+                continue
+            reach.add(b)
+            stack.extend(after.get(b, ()))
+        closure[a] = reach
+    after = closure
 
     # Uniqueness: every pair comparable, no cycles.
     for i, a in enumerate(primaries):

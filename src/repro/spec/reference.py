@@ -1,43 +1,29 @@
-"""Machine-checkable encodings of the EVS specifications (paper §2.1).
+"""Pre-fast-path reference implementation of the conformance pipeline.
 
-Each ``check_*`` function evaluates one specification group against a
-recorded :class:`~repro.spec.history.History` and returns a list of
-:class:`Violation` records (empty means the execution satisfies the
-specification).  Together they are the reproduction of Figures 1-5 and of
-Specifications 6-7 ("more difficult to depict and so are not shown"): the
-paper *draws* the properties; we *evaluate* them on real executions.
+This module is a frozen snapshot of the checker pipeline as it existed
+before the incremental-index / single-pass-clock rework: dict-based
+vector clocks built by fixpoint iteration, and every specification group
+re-deriving its own views of the history by scanning ``events()``.
 
-Interpretation notes
---------------------
+It exists for two reasons:
 
-* The recorded ``->`` relation is generated exactly as Specs 1.1-1.3
-  prescribe (per-process total order plus send->deliver, transitively
-  closed), materialized as array vector clocks.
-* Specs 2.1, 3, 4 and 7 contain conditional-liveness clauses ("... then
-  q delivers ..." ) that are only decidable on *quiescent* traces: the
-  harness heals all partitions, recovers all processes and drains all
-  traffic before checking; pass ``quiescent=False`` to restrict the
-  checks to their safety fragments on truncated traces.
-* Specs 2.3, 2.4, 6.1 and 6.2 jointly assert that a logical total order
-  ``ord`` exists in which same-message deliveries and same-configuration
-  installations are simultaneous; :func:`check_total_order` verifies this
-  *constructively* by collapsing those equivalence classes and
-  topologically ordering the quotient graph - a cycle is precisely a
-  counterexample to the conjunction.
+* **Differential testing** - ``tests/integration/
+  test_conformance_equivalence.py`` runs every corpus history through
+  both pipelines and asserts identical violation sets, so the fast path
+  can never silently drift from the semantics the checkers had when they
+  were validated against the paper.
+* **Honest benchmarking** - ``benchmarks/bench_conformance.py`` measures
+  the fast path against this implementation, not against a straw man.
 
-Every checker draws its message/configuration/process views from one
-shared :class:`CheckContext` - a thin preparation layer over the
-history's incrementally-maintained :class:`~repro.spec.history.
-HistoryIndex` - so evaluating all seven groups walks the raw event lists
-a constant number of times instead of once per derived view.  Callers
-that evaluate more than one group should build the context once and pass
-it to each ``check_*``; :func:`repro.spec.report.run_conformance` does.
+Do not "optimize" this module; its slowness is the point.  It depends
+only on the stable parts of :class:`~repro.spec.history.History`
+(``per_process``, ``processes``, ``events_of``) so the main pipeline can
+evolve freely underneath it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.configuration import Configuration
 from repro.spec.history import (
@@ -49,6 +35,7 @@ from repro.spec.history import (
     History,
     SendEvent,
 )
+from repro.spec.evs_checker import Violation, _topological_order
 from repro.types import (
     ConfigurationId,
     DeliveryRequirement,
@@ -56,16 +43,121 @@ from repro.types import (
     ProcessId,
 )
 
+# ---------------------------------------------------------------------------
+# history scans (the former History query methods, as free functions)
 
-@dataclass(frozen=True)
-class Violation:
-    """One specification violation found in a history."""
 
-    spec: str
-    description: str
+def _events(history: History) -> Iterable[Event]:
+    for pid in history.processes:
+        yield from history.per_process[pid]
 
-    def __str__(self) -> str:
-        return f"[Spec {self.spec}] {self.description}"
+
+def _refs(history: History) -> Iterable[Tuple[EventRef, Event]]:
+    for pid in history.processes:
+        for i, e in enumerate(history.per_process[pid]):
+            yield EventRef(pid, i), e
+
+
+def _sends(history: History) -> Dict[MessageId, SendEvent]:
+    out: Dict[MessageId, SendEvent] = {}
+    for e in _events(history):
+        if isinstance(e, SendEvent):
+            out.setdefault(e.message_id, e)
+    return out
+
+
+def _send_events(history: History) -> List[SendEvent]:
+    return [e for e in _events(history) if isinstance(e, SendEvent)]
+
+
+def _deliveries(history: History) -> Dict[MessageId, List[DeliverEvent]]:
+    out: Dict[MessageId, List[DeliverEvent]] = {}
+    for e in _events(history):
+        if isinstance(e, DeliverEvent):
+            out.setdefault(e.message_id, []).append(e)
+    return out
+
+
+def _configurations(history: History) -> Dict[ConfigurationId, Configuration]:
+    out: Dict[ConfigurationId, Configuration] = {}
+    for e in _events(history):
+        if isinstance(e, ConfChangeEvent):
+            out.setdefault(e.config_id, e.config)
+    return out
+
+
+def _conf_changes(
+    history: History,
+) -> Dict[ConfigurationId, List[ConfChangeEvent]]:
+    out: Dict[ConfigurationId, List[ConfChangeEvent]] = {}
+    for e in _events(history):
+        if isinstance(e, ConfChangeEvent):
+            out.setdefault(e.config_id, []).append(e)
+    return out
+
+
+def _fails(history: History) -> List[FailEvent]:
+    return [e for e in _events(history) if isinstance(e, FailEvent)]
+
+
+# ---------------------------------------------------------------------------
+# the precedes relation: dict clocks by fixpoint iteration
+
+
+def build_clocks_fixpoint(
+    history: History,
+) -> Dict[EventRef, Dict[ProcessId, int]]:
+    """Vector clocks realizing the transitive closure of the per-process
+    order plus send->deliver edges (the original fixpoint construction,
+    up to 64 passes)."""
+    clocks: Dict[EventRef, Dict[ProcessId, int]] = {}
+    for _ in range(64):
+        send_clock: Dict[MessageId, Dict[ProcessId, int]] = {
+            e.message_id: clocks[ref]
+            for ref, e in _refs(history)
+            if isinstance(e, SendEvent) and ref in clocks
+        }
+        changed = False
+        for pid in history.processes:
+            prev: Dict[ProcessId, int] = {}
+            for i, event in enumerate(history.per_process[pid]):
+                ref = EventRef(pid, i)
+                clock = dict(prev)
+                if isinstance(event, DeliverEvent):
+                    sc = send_clock.get(event.message_id)
+                    if sc:
+                        for q, v in sc.items():
+                            if clock.get(q, -1) < v:
+                                clock[q] = v
+                clock[pid] = i
+                if clocks.get(ref) != clock:
+                    clocks[ref] = clock
+                    changed = True
+                    if isinstance(event, SendEvent):
+                        send_clock[event.message_id] = clock
+                prev = clocks[ref]
+        if not changed:
+            break
+    return clocks
+
+
+class _ClockView:
+    """Lazily-built dict clocks mimicking the former History cache."""
+
+    def __init__(self, history: History) -> None:
+        self.history = history
+        self._clocks: Optional[Dict[EventRef, Dict[ProcessId, int]]] = None
+
+    def clocks(self) -> Dict[EventRef, Dict[ProcessId, int]]:
+        if self._clocks is None:
+            self._clocks = build_clocks_fixpoint(self.history)
+        return self._clocks
+
+    def precedes(self, a: EventRef, b: EventRef) -> bool:
+        if a == b:
+            return True
+        cb = self.clocks()[b]
+        return cb.get(a.pid, -1) >= a.index
 
 
 # ---------------------------------------------------------------------------
@@ -75,83 +167,42 @@ class Violation:
 def _reg_of(
     config_id: ConfigurationId, configs: Dict[ConfigurationId, Configuration]
 ) -> ConfigurationId:
-    """reg(c): the regular configuration underlying c."""
     if config_id.is_regular:
         return config_id
     config = configs.get(config_id)
     if config is not None and config.preceding_regular is not None:
         return config.preceding_regular
-    # A transitional id always encodes its source ring in `sub`, but the
-    # Configuration object is the authoritative record.
     raise KeyError(f"unknown transitional configuration {config_id}")
-
-
-class CheckContext:
-    """Shared, prepared state for one conformance evaluation.
-
-    Holds the history's :class:`~repro.spec.history.HistoryIndex`, the
-    clock matrix (built once, before any checker runs) and a memoized
-    ``reg(c)`` resolution, so no ``check_*`` function recomputes a view
-    another already needed.
-    """
-
-    def __init__(self, history: History) -> None:
-        self.history = history
-        self.index = history.index()
-        self.matrix = history.clock_matrix()
-        self._families: Dict[ConfigurationId, ConfigurationId] = {}
-
-    @property
-    def configurations(self) -> Dict[ConfigurationId, Configuration]:
-        return self.index.configurations
-
-    def reg_of(self, config_id: ConfigurationId) -> ConfigurationId:
-        """Memoized reg(c) (raises KeyError for unknown transitionals)."""
-        family = self._families.get(config_id)
-        if family is None:
-            family = _reg_of(config_id, self.index.configurations)
-            self._families[config_id] = family
-        return family
-
-
-def _context(history: History, ctx: Optional[CheckContext]) -> CheckContext:
-    return ctx if ctx is not None else CheckContext(history)
 
 
 def _deliveries_by_process(
     history: History,
 ) -> Dict[ProcessId, Dict[MessageId, DeliverEvent]]:
-    """First delivery of each message at each process (kept for callers
-    that use this helper directly; the index maintains the same map)."""
-    index = history.index()
-    return {
-        pid: index.deliveries_by_process.get(pid, {})
-        for pid in history.processes
-    }
+    out: Dict[ProcessId, Dict[MessageId, DeliverEvent]] = {}
+    for pid in history.processes:
+        per: Dict[MessageId, DeliverEvent] = {}
+        for e in history.events_of(pid):
+            if isinstance(e, DeliverEvent) and e.message_id not in per:
+                per[e.message_id] = e
+        out[pid] = per
+    return out
 
 
 # ---------------------------------------------------------------------------
-# Specification 1 - Basic Delivery (Figure 1)
+# Specification 1 - Basic Delivery
 
 
-def check_basic_delivery(
-    history: History, ctx: Optional[CheckContext] = None
-) -> List[Violation]:
+def check_basic_delivery(history: History, clocks: _ClockView) -> List[Violation]:
     violations: List[Violation] = []
-    ctx = _context(history, ctx)
-    index = ctx.index
-    sends = index.sends
+    configs = _configurations(history)
+    sends = _sends(history)
 
-    # 1.1/1.2: the -> relation is a partial order totally ordering each
-    # process's events.  Our vector-clock construction guarantees both by
-    # construction; we verify the witness: per-process clock components
-    # strictly increase.
-    matrix = ctx.matrix
+    clock_map = clocks.clocks()
     for pid in history.processes:
-        own_col = matrix.pidx[pid]
+        events = history.events_of(pid)
         last = -1
-        for i, row in enumerate(matrix.rows[pid]):
-            own = row[own_col]
+        for i, _ in enumerate(events):
+            own = clock_map[EventRef(pid, i)].get(pid, -1)
             if own <= last:
                 violations.append(
                     Violation(
@@ -161,10 +212,13 @@ def check_basic_delivery(
                 )
             last = own
 
-    # 1.3: every delivery has a matching send in the underlying regular
-    # configuration, and the send precedes the delivery.
-    send_refs = index.send_refs
-    for ref, e in index.deliver_ref_events:
+    send_refs: Dict[MessageId, EventRef] = {}
+    for ref, e in _refs(history):
+        if isinstance(e, SendEvent):
+            send_refs.setdefault(e.message_id, ref)
+    for ref, e in _refs(history):
+        if not isinstance(e, DeliverEvent):
+            continue
         send = sends.get(e.message_id)
         if send is None:
             violations.append(
@@ -175,7 +229,7 @@ def check_basic_delivery(
             )
             continue
         try:
-            reg = ctx.reg_of(e.config_id)
+            reg = _reg_of(e.config_id, configs)
         except KeyError:
             violations.append(
                 Violation(
@@ -193,7 +247,7 @@ def check_basic_delivery(
                     f"was sent in {send.config_id} (reg mismatch)",
                 )
             )
-        if not history.precedes(send_refs[e.message_id], ref):
+        if not clocks.precedes(send_refs[e.message_id], ref):
             violations.append(
                 Violation(
                     "1.3",
@@ -201,9 +255,10 @@ def check_basic_delivery(
                 )
             )
 
-    # 1.4: unique send; send in the sender's regular configuration; at
-    # most one delivery of m per process.
-    for mid, events in index.send_occurrences.items():
+    send_count: Dict[MessageId, List[SendEvent]] = {}
+    for e in _send_events(history):
+        send_count.setdefault(e.message_id, []).append(e)
+    for mid, events in send_count.items():
         if len(events) > 1:
             violations.append(
                 Violation("1.4", f"{mid} sent {len(events)} times")
@@ -217,7 +272,11 @@ def check_basic_delivery(
                         f"{e.config_id}",
                     )
                 )
-    for pid, seen in index.delivery_counts.items():
+    for pid, per in _deliveries_by_process(history).items():
+        seen: Dict[MessageId, int] = {}
+        for e in history.events_of(pid):
+            if isinstance(e, DeliverEvent):
+                seen[e.message_id] = seen.get(e.message_id, 0) + 1
         for mid, n in seen.items():
             if n > 1:
                 violations.append(
@@ -227,22 +286,15 @@ def check_basic_delivery(
 
 
 # ---------------------------------------------------------------------------
-# Specification 2 - Delivery of Configuration Changes (Figure 2)
+# Specification 2 - Delivery of Configuration Changes
 
 
 def check_configuration_changes(
-    history: History, quiescent: bool = True, ctx: Optional[CheckContext] = None
+    history: History, quiescent: bool = True
 ) -> List[Violation]:
     violations: List[Violation] = []
-    ctx = _context(history, ctx)
-    configs = ctx.configurations
+    configs = _configurations(history)
 
-    # 2.2: every send/deliver/fail happens inside exactly the
-    # configuration whose change message was delivered last, with
-    # transitional deliveries permitted against the *preceding regular*
-    # configuration while it is being terminated (Step 6.b runs after the
-    # old configuration's last installation but before the transitional
-    # change; the configuration in force is still the old regular one).
     for pid in history.processes:
         current: Optional[ConfigurationId] = None
         for e in history.events_of(pid):
@@ -273,8 +325,6 @@ def check_configuration_changes(
                         )
                     )
 
-    # 2.1 (quiescent form): if p's final state is "installed c, not
-    # failed", every member of c must likewise end installed in c.
     if quiescent:
         final: Dict[ProcessId, Optional[ConfigurationId]] = {}
         failed: Dict[ProcessId, bool] = {}
@@ -302,29 +352,21 @@ def check_configuration_changes(
                             f"{q} ended in {final.get(q)} (failed={failed.get(q)})",
                         )
                     )
-
-    # 2.3/2.4 are certified by check_total_order (a sandwich
-    # cc_p(c) -> e -> cc_q(c) is a cycle in the ord quotient graph).
     return violations
 
 
 # ---------------------------------------------------------------------------
-# Specification 3 - Self-Delivery (Figure 3)
+# Specification 3 - Self-Delivery
 
 
-def check_self_delivery(
-    history: History, quiescent: bool = True, ctx: Optional[CheckContext] = None
-) -> List[Violation]:
+def check_self_delivery(history: History, quiescent: bool = True) -> List[Violation]:
     violations: List[Violation] = []
-    ctx = _context(history, ctx)
+    configs = _configurations(history)
     for pid in history.processes:
         events = history.events_of(pid)
         for i, e in enumerate(events):
             if not isinstance(e, SendEvent):
                 continue
-            # Walk forward through p's history: the message must be
-            # delivered before p leaves com_p(c) = c or trans_p(c),
-            # unless p fails in that window.
             delivered = False
             excused = False
             window_open = True
@@ -339,19 +381,16 @@ def check_self_delivery(
                     cid = later.config_id
                     if cid.is_transitional:
                         try:
-                            if ctx.reg_of(cid) == e.config_id:
-                                continue  # trans_p(c): still inside the window
+                            if _reg_of(cid, configs) == e.config_id:
+                                continue
                         except KeyError:
                             pass
                     window_open = False
                     break
             else:
-                # Trace ended inside the window.
                 if not quiescent:
                     excused = True
                 elif not delivered:
-                    # Quiescent trace ended with p still inside com_p(c):
-                    # the message should have been delivered by now.
                     window_open = False
             if delivered or excused:
                 continue
@@ -368,15 +407,11 @@ def check_self_delivery(
 
 
 # ---------------------------------------------------------------------------
-# Specification 4 - Failure Atomicity (Figure 4)
+# Specification 4 - Failure Atomicity
 
 
-def check_failure_atomicity(
-    history: History, ctx: Optional[CheckContext] = None
-) -> List[Violation]:
+def check_failure_atomicity(history: History) -> List[Violation]:
     violations: List[Violation] = []
-    # For each process: (config, immediately-next config, messages
-    # delivered while in config).
     transitions: Dict[
         Tuple[ConfigurationId, ConfigurationId], Dict[ProcessId, FrozenSet[MessageId]]
     ] = {}
@@ -394,8 +429,8 @@ def check_failure_atomicity(
             elif isinstance(e, DeliverEvent):
                 delivered.add(e.message_id)
             elif isinstance(e, FailEvent):
-                current = None  # the next configuration is not "next" in
-                delivered = set()  # the Spec-4 sense after a failure
+                current = None
+                delivered = set()
     for (c, c3), per_pid in transitions.items():
         sets = {s for s in per_pid.values()}
         if len(sets) > 1:
@@ -417,47 +452,46 @@ def check_failure_atomicity(
 
 
 # ---------------------------------------------------------------------------
-# Specification 5 - Causal Delivery (Figure 5)
+# Specification 5 - Causal Delivery
 
 
-def check_causal_delivery(
-    history: History, ctx: Optional[CheckContext] = None
-) -> List[Violation]:
+def check_causal_delivery(history: History, clocks: _ClockView) -> List[Violation]:
     violations: List[Violation] = []
-    ctx = _context(history, ctx)
-    index = ctx.index
-    # Group sends by configuration.
+    configs = _configurations(history)
     sends_by_config: Dict[ConfigurationId, List[Tuple[EventRef, SendEvent]]] = {}
-    for ref, e in index.send_ref_events:
-        sends_by_config.setdefault(e.config_id, []).append((ref, e))
-    # Per-process delivery positions for fast "delivered before" queries.
-    position = index.delivery_positions
+    for ref, e in _refs(history):
+        if isinstance(e, SendEvent):
+            sends_by_config.setdefault(e.config_id, []).append((ref, e))
+    position: Dict[ProcessId, Dict[MessageId, int]] = {}
+    for pid in history.processes:
+        pos: Dict[MessageId, int] = {}
+        for i, e in enumerate(history.events_of(pid)):
+            if isinstance(e, DeliverEvent):
+                pos.setdefault(e.message_id, i)
+        position[pid] = pos
+    family_of: Dict[ConfigurationId, ConfigurationId] = {}
 
-    deliveries = index.deliveries
+    def family(cid: ConfigurationId) -> ConfigurationId:
+        if cid not in family_of:
+            family_of[cid] = _reg_of(cid, configs)
+        return family_of[cid]
+
+    deliveries = _deliveries(history)
     for cid, send_list in sends_by_config.items():
         send_list.sort(key=lambda re: re[1].message_id.seq)
-        # deliver_r(m') restricted to com_r(c), resolved once per message
-        # rather than once per (m, m') pair.
-        family_delivers: Dict[MessageId, List[ProcessId]] = {}
-        for _ref, send in send_list:
-            family_delivers[send.message_id] = [
-                d.pid
-                for d in deliveries.get(send.message_id, ())
-                if ctx.reg_of(d.config_id) == cid
-            ]
         for i, (ref_m, send_m) in enumerate(send_list):
             for ref_m2, send_m2 in send_list[i + 1 :]:
-                if not history.precedes(ref_m, ref_m2):
+                if not clocks.precedes(ref_m, ref_m2):
                     continue
-                # send(m) -> send(m'): every process delivering m' (in
-                # com_r(c)) must deliver m earlier.
-                for r in family_delivers[send_m2.message_id]:
-                    pos_r = position.get(r, {})
+                for d in deliveries.get(send_m2.message_id, ()):
+                    if family(d.config_id) != cid:
+                        continue
+                    pos_r = position[d.pid]
                     if send_m.message_id not in pos_r:
                         violations.append(
                             Violation(
                                 "5",
-                                f"{r} delivered {send_m2.message_id} but "
+                                f"{d.pid} delivered {send_m2.message_id} but "
                                 f"not its causal predecessor {send_m.message_id}",
                             )
                         )
@@ -465,7 +499,7 @@ def check_causal_delivery(
                         violations.append(
                             Violation(
                                 "5",
-                                f"{r} delivered {send_m2.message_id} before "
+                                f"{d.pid} delivered {send_m2.message_id} before "
                                 f"its causal predecessor {send_m.message_id}",
                             )
                         )
@@ -476,18 +510,10 @@ def check_causal_delivery(
 # Specification 6 - Totally Ordered Delivery
 
 
-def check_total_order(
-    history: History, ctx: Optional[CheckContext] = None
-) -> List[Violation]:
+def check_total_order(history: History) -> List[Violation]:
     violations: List[Violation] = []
-    ctx = _context(history, ctx)
-    index = ctx.index
-    configs = ctx.configurations
+    configs = _configurations(history)
 
-    # 6.1 + 6.2 (+ 2.3/2.4): collapse deliveries of the same message and
-    # installations of the same configuration into equivalence classes;
-    # the quotient of -> must be acyclic, in which case a topological
-    # order IS a valid ord function.
     def node(ref: EventRef, e: Event) -> Tuple:
         if isinstance(e, ConfChangeEvent):
             return ("conf", e.config_id)
@@ -508,8 +534,7 @@ def check_total_order(
             if prev is not None and prev != n:
                 edges.setdefault(prev, set()).add(n)
             prev = n
-        # send -> deliver edges
-    for _ref, e in index.send_ref_events:
+    for e in _send_events(history):
         edges.setdefault(("snd", e.message_id), set()).add(("msg", e.message_id))
 
     order, cycle = _topological_order(nodes, edges)
@@ -521,121 +546,71 @@ def check_total_order(
                 + " -> ".join(str(n) for n in cycle[:6]),
             )
         )
-        return violations  # ord-based checks below would be meaningless
+        return violations
 
-    # 6.3: ordered delivery within a configuration family, modulo the
-    # transitional exemption for senders outside the configuration.
-    deliveries = index.deliveries
-    per_process = index.deliveries_by_process
-    # Concrete 6.3 instantiation: if p delivered m then m' (both of ring
-    # R), and q delivered m' in c', and sender(m) is a member of c', then
-    # q delivered m.
+    deliveries = _deliveries(history)
+    per_process = _deliveries_by_process(history)
     delivers_by_ring: Dict = {}
     for mid, ds in deliveries.items():
         delivers_by_ring.setdefault(mid.ring, set()).add(mid)
-    sends = index.sends
+    sends = _sends(history)
     for ring, mids in delivers_by_ring.items():
         ordered = sorted(mids, key=lambda m: m.seq)
         for p in history.processes:
-            delivered_p = per_process.get(p, {})
-            got_p = [m for m in ordered if m in delivered_p]
+            got_p = [m for m in ordered if m in per_process[p]]
             for q in history.processes:
                 if p == q:
                     continue
-                delivered_q = per_process.get(q, {})
-                # A violation needs a message p delivered and q skipped;
-                # if q delivered everything p did, skip the pair scan (the
-                # overwhelmingly common conforming case).
-                if all(m in delivered_q for m in got_p):
-                    continue
                 for m2 in got_p:
-                    d_q = delivered_q.get(m2)
+                    d_q = per_process[q].get(m2)
                     if d_q is None:
                         continue
                     members_c2 = configs[d_q.config_id].members
                     for m in got_p:
                         if m.seq >= m2.seq:
                             break
-                        if m not in delivered_q:
-                            sender = sends[m].pid if m in sends else None
-                            if sender in members_c2:
-                                violations.append(
-                                    Violation(
-                                        "6.3",
-                                        f"{q} delivered {m2} in {d_q.config_id} "
-                                        f"but skipped earlier {m} whose sender "
-                                        f"{sender} is a member of that "
-                                        "configuration",
-                                    )
+                        sender = sends[m].pid if m in sends else None
+                        if sender in members_c2 and m not in per_process[q]:
+                            violations.append(
+                                Violation(
+                                    "6.3",
+                                    f"{q} delivered {m2} in {d_q.config_id} but "
+                                    f"skipped earlier {m} whose sender {sender} "
+                                    "is a member of that configuration",
                                 )
+                            )
     return violations
-
-
-def _topological_order(
-    nodes: Set[Tuple], edges: Dict[Tuple, Set[Tuple]]
-) -> Tuple[List[Tuple], Optional[List[Tuple]]]:
-    """Kahn's algorithm; returns (order, None) or (partial, cycle_hint)."""
-    indegree: Dict[Tuple, int] = {n: 0 for n in nodes}
-    for src, dsts in edges.items():
-        for dst in dsts:
-            indegree[dst] = indegree.get(dst, 0) + 1
-            indegree.setdefault(src, 0)
-    ready = sorted([n for n, d in indegree.items() if d == 0])
-    order: List[Tuple] = []
-    while ready:
-        n = ready.pop()
-        order.append(n)
-        for dst in sorted(edges.get(n, ())):
-            indegree[dst] -= 1
-            if indegree[dst] == 0:
-                ready.append(dst)
-    if len(order) != len(indegree):
-        cycle = [n for n, d in indegree.items() if d > 0]
-        return order, cycle
-    return order, None
 
 
 # ---------------------------------------------------------------------------
 # Specification 7 - Safe Delivery
 
 
-def check_safe_delivery(
-    history: History, quiescent: bool = True, ctx: Optional[CheckContext] = None
-) -> List[Violation]:
+def check_safe_delivery(history: History, quiescent: bool = True) -> List[Violation]:
     violations: List[Violation] = []
-    ctx = _context(history, ctx)
-    index = ctx.index
-    configs = ctx.configurations
-    per_process = index.deliveries_by_process
+    configs = _configurations(history)
+    per_process = _deliveries_by_process(history)
 
-    # Which regular family each process failed in (if any).
     fail_family: Dict[ProcessId, Set[ConfigurationId]] = {}
-    for e in index.fails:
+    for e in _fails(history):
         try:
-            fam = ctx.reg_of(e.config_id)
+            fam = _reg_of(e.config_id, configs)
         except KeyError:
             fam = e.config_id
         fail_family.setdefault(e.pid, set()).add(fam)
 
-    # Installed-member sets are shared across every safe delivery in the
-    # same configuration; memoize them instead of rebuilding per event.
-    installers_of: Dict[ConfigurationId, Set[ProcessId]] = {}
-
-    for _ref, e in index.deliver_ref_events:
+    for ref, e in _refs(history):
+        if not isinstance(e, DeliverEvent):
+            continue
         if e.requirement != DeliveryRequirement.SAFE:
             continue
         config = configs[e.config_id]
-        reg = ctx.reg_of(e.config_id)
+        reg = _reg_of(e.config_id, configs)
 
-        # 7.2: a safe delivery in a regular configuration requires every
-        # member of it to have installed it.
         if e.config_id.is_regular:
-            installers = installers_of.get(e.config_id)
-            if installers is None:
-                installers = {
-                    c.pid for c in index.conf_changes.get(e.config_id, [])
-                }
-                installers_of[e.config_id] = installers
+            installers = {
+                c.pid for c in _conf_changes(history).get(e.config_id, [])
+            }
             for q in config.members:
                 if q not in installers:
                     violations.append(
@@ -646,15 +621,14 @@ def check_safe_delivery(
                         )
                     )
 
-        # 7.1: every member of c delivers m in com_q(c) or fails there.
         if not quiescent:
             continue
         for q in config.members:
             if q == e.pid:
                 continue
-            d_q = per_process.get(q, {}).get(e.message_id)
+            d_q = per_process[q].get(e.message_id)
             if d_q is not None:
-                fam_q = ctx.reg_of(d_q.config_id)
+                fam_q = _reg_of(d_q.config_id, configs)
                 if fam_q == reg:
                     continue
                 violations.append(
@@ -666,7 +640,7 @@ def check_safe_delivery(
                 )
                 continue
             if reg in fail_family.get(q, set()):
-                continue  # fail_q(com_q(c)) excuses the delivery
+                continue
             violations.append(
                 Violation(
                     "7.1",
@@ -682,28 +656,31 @@ def check_safe_delivery(
 # Aggregate
 
 
-CHECKS = (
-    ("basic delivery (Spec 1, Fig 1)", check_basic_delivery, False),
-    ("configuration changes (Spec 2, Fig 2)", check_configuration_changes, True),
-    ("self-delivery (Spec 3, Fig 3)", check_self_delivery, True),
-    ("failure atomicity (Spec 4, Fig 4)", check_failure_atomicity, False),
-    ("causal delivery (Spec 5, Fig 5)", check_causal_delivery, False),
-    ("totally ordered delivery (Spec 6)", check_total_order, False),
-    ("safe delivery (Spec 7)", check_safe_delivery, True),
-)
+def check_all_reference(
+    history: History, quiescent: bool = True
+) -> List[Tuple[str, List[Violation]]]:
+    """Every specification group evaluated with the reference pipeline.
 
-
-def check_all(
-    history: History,
-    quiescent: bool = True,
-    ctx: Optional[CheckContext] = None,
-) -> List[Violation]:
-    """Run every specification check; returns all violations found."""
-    ctx = _context(history, ctx)
-    violations: List[Violation] = []
-    for _name, fn, takes_quiescent in CHECKS:
-        if takes_quiescent:
-            violations.extend(fn(history, quiescent=quiescent, ctx=ctx))
-        else:
-            violations.extend(fn(history, ctx=ctx))
-    return violations
+    Returns ``(group name, violations)`` pairs in the same order and
+    under the same names as ``evs_checker.CHECKS`` so reports from both
+    pipelines line up row for row.
+    """
+    clocks = _ClockView(history)
+    return [
+        ("basic delivery (Spec 1, Fig 1)", check_basic_delivery(history, clocks)),
+        (
+            "configuration changes (Spec 2, Fig 2)",
+            check_configuration_changes(history, quiescent=quiescent),
+        ),
+        (
+            "self-delivery (Spec 3, Fig 3)",
+            check_self_delivery(history, quiescent=quiescent),
+        ),
+        ("failure atomicity (Spec 4, Fig 4)", check_failure_atomicity(history)),
+        ("causal delivery (Spec 5, Fig 5)", check_causal_delivery(history, clocks)),
+        ("totally ordered delivery (Spec 6)", check_total_order(history)),
+        (
+            "safe delivery (Spec 7)",
+            check_safe_delivery(history, quiescent=quiescent),
+        ),
+    ]

@@ -3,16 +3,26 @@
 Backs the Figure 1-5 benchmarks and EXPERIMENTS.md: each specification
 group maps to one row of "checked N events, found V violations", so a
 campaign's output can be pasted directly into the experiment log.
+
+:func:`run_conformance` prepares one :class:`~repro.spec.evs_checker.
+CheckContext` (history index + clock matrix) and threads it through all
+checkers, timing each with ``perf_counter_ns``; the per-checker
+nanosecond breakdown and derived events/sec land in the report so the
+``repro profile`` subcommand and the campaign stats can surface them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.spec import evs_checker
-from repro.spec.evs_checker import Violation
+from repro.spec.evs_checker import CheckContext, Violation
 from repro.spec.history import History
+
+#: Synthetic row in ``checker_ns`` for the shared index/clock build.
+PREPARE = "prepare (index + clocks)"
 
 
 @dataclass
@@ -35,6 +45,8 @@ class ConformanceReport:
     results: List[CheckResult]
     histories: int = 1
     events: int = 0
+    checker_ns: Dict[str, int] = field(default_factory=dict)
+    clock_strategy: str = ""
 
     @property
     def passed(self) -> bool:
@@ -43,6 +55,19 @@ class ConformanceReport:
     @property
     def total_violations(self) -> int:
         return sum(len(r.violations) for r in self.results)
+
+    @property
+    def check_ns(self) -> int:
+        """Total time spent preparing and checking, in nanoseconds."""
+        return sum(self.checker_ns.values())
+
+    @property
+    def events_per_sec(self) -> float:
+        """Checker throughput: events evaluated per wall-clock second."""
+        ns = self.check_ns
+        if ns <= 0:
+            return 0.0
+        return self.events / (ns / 1e9)
 
     @property
     def violated_specs(self) -> List[str]:
@@ -61,20 +86,55 @@ class ConformanceReport:
             lines.append(f"  {r.name:<{width}s} {verdict}")
             for v in r.violations[:3]:
                 lines.append(f"      {v}")
+        if self.checker_ns:
+            lines.append(
+                f"  checked in {self.check_ns / 1e6:.2f} ms "
+                f"({self.events_per_sec:,.0f} events/s, "
+                f"clocks: {self.clock_strategy or 'n/a'})"
+            )
+        return "\n".join(lines)
+
+    def render_timings(self) -> str:
+        """Per-checker nanosecond breakdown, slowest first."""
+        if not self.checker_ns:
+            return "no checker timings recorded"
+        width = max(len(n) for n in self.checker_ns) + 2
+        lines = [f"checker timings ({self.events} events):"]
+        total = self.check_ns
+        for name, ns in sorted(
+            self.checker_ns.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            share = (100.0 * ns / total) if total else 0.0
+            lines.append(f"  {name:<{width}s} {ns / 1e6:9.3f} ms  {share:5.1f}%")
+        lines.append(
+            f"  {'total':<{width}s} {total / 1e6:9.3f} ms  "
+            f"({self.events_per_sec:,.0f} events/s)"
+        )
         return "\n".join(lines)
 
 
 def run_conformance(history: History, quiescent: bool = True) -> ConformanceReport:
     """Evaluate every EVS specification group against one history."""
     results: List[CheckResult] = []
+    checker_ns: Dict[str, int] = {}
+    t0 = time.perf_counter_ns()
+    ctx = CheckContext(history)
+    checker_ns[PREPARE] = time.perf_counter_ns() - t0
     for name, fn, takes_quiescent in evs_checker.CHECKS:
+        t0 = time.perf_counter_ns()
         if takes_quiescent:
-            violations = fn(history, quiescent=quiescent)
+            violations = fn(history, quiescent=quiescent, ctx=ctx)
         else:
-            violations = fn(history)
+            violations = fn(history, ctx=ctx)
+        checker_ns[name] = time.perf_counter_ns() - t0
         results.append(CheckResult(name=name, violations=violations))
-    events = sum(len(history.events_of(p)) for p in history.processes)
-    return ConformanceReport(results=results, events=events)
+    events = ctx.index.n_events
+    return ConformanceReport(
+        results=results,
+        events=events,
+        checker_ns=checker_ns,
+        clock_strategy=history.clock_strategy,
+    )
 
 
 def pool_reports(reports: Sequence[ConformanceReport]) -> ConformanceReport:
@@ -82,11 +142,15 @@ def pool_reports(reports: Sequence[ConformanceReport]) -> ConformanceReport:
     if not reports:
         raise ValueError("no reports to pool")
     by_name: Dict[str, List[Violation]] = {}
+    pooled_ns: Dict[str, int] = {}
     for report in reports:
         for r in report.results:
             by_name.setdefault(r.name, []).extend(r.violations)
+        for name, ns in report.checker_ns.items():
+            pooled_ns[name] = pooled_ns.get(name, 0) + ns
     return ConformanceReport(
         results=[CheckResult(name=n, violations=v) for n, v in by_name.items()],
         histories=sum(r.histories for r in reports),
         events=sum(r.events for r in reports),
+        checker_ns=pooled_ns,
     )

@@ -220,6 +220,7 @@ def loads(text: str) -> History:
         history.per_process[pid] = [
             _event_from_json(pid, e, configs) for e in events
         ]
+    history.invalidate()  # per_process assigned directly, not via record_*
     return history
 
 

@@ -9,7 +9,7 @@ VS history the §5.1 checker consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.types import DeliveryRequirement, MessageId, ProcessId
 
@@ -92,14 +92,55 @@ class VsStopEvent:
 VsEvent = Union[VsViewEvent, VsSendEvent, VsDeliverEvent, VsStopEvent]
 
 
+class _VsIndex:
+    """All derived views of a VsHistory, built in one pass."""
+
+    __slots__ = ("views", "deliveries", "sends", "stopped", "n_deliveries")
+
+    def __init__(self, history: "VsHistory") -> None:
+        self.views: Dict[ViewId, List[VsViewEvent]] = {}
+        self.deliveries: Dict[MessageId, List[VsDeliverEvent]] = {}
+        self.sends: Dict[Tuple[ProcessId, int], VsSendEvent] = {}
+        self.stopped: Dict[ProcessId, float] = {}
+        self.n_deliveries = 0
+        for pid in history.processes:
+            for e in history.events_of(pid):
+                if isinstance(e, VsDeliverEvent):
+                    self.deliveries.setdefault(e.message_id, []).append(e)
+                    self.n_deliveries += 1
+                elif isinstance(e, VsViewEvent):
+                    self.views.setdefault(e.view.id, []).append(e)
+                elif isinstance(e, VsSendEvent):
+                    self.sends.setdefault((e.pid, e.origin_seq), e)
+                elif isinstance(e, VsStopEvent):
+                    self.stopped[pid] = e.time
+
+
 class VsHistory:
-    """Per-process VS event sequences (the history H of §4)."""
+    """Per-process VS event sequences (the history H of §4).
+
+    Derived maps (views/deliveries/sends/stopped) are built in a single
+    pass over the events and cached; :meth:`record` invalidates the
+    cache, so the §5.1 checker battery scans the raw events once no
+    matter how many properties it evaluates.
+    """
 
     def __init__(self) -> None:
         self.per_process: Dict[ProcessId, List[VsEvent]] = {}
+        self._index: Optional[_VsIndex] = None
 
     def record(self, event: VsEvent) -> None:
         self.per_process.setdefault(event.pid, []).append(event)
+        self._index = None
+
+    def invalidate(self) -> None:
+        """Drop cached derived maps after direct per_process mutation."""
+        self._index = None
+
+    def _idx(self) -> _VsIndex:
+        if self._index is None:
+            self._index = _VsIndex(self)
+        return self._index
 
     @property
     def processes(self) -> List[ProcessId]:
@@ -109,47 +150,23 @@ class VsHistory:
         return self.per_process.get(pid, [])
 
     def views(self) -> Dict[ViewId, List[VsViewEvent]]:
-        out: Dict[ViewId, List[VsViewEvent]] = {}
-        for pid in self.processes:
-            for e in self.events_of(pid):
-                if isinstance(e, VsViewEvent):
-                    out.setdefault(e.view.id, []).append(e)
-        return out
+        return self._idx().views
 
     def deliveries(self) -> Dict[MessageId, List[VsDeliverEvent]]:
-        out: Dict[MessageId, List[VsDeliverEvent]] = {}
-        for pid in self.processes:
-            for e in self.events_of(pid):
-                if isinstance(e, VsDeliverEvent):
-                    out.setdefault(e.message_id, []).append(e)
-        return out
+        return self._idx().deliveries
 
     def sends(self) -> Dict[Tuple[ProcessId, int], VsSendEvent]:
         """Sends keyed by origin key (pid, origin_seq)."""
-        out: Dict[Tuple[ProcessId, int], VsSendEvent] = {}
-        for pid in self.processes:
-            for e in self.events_of(pid):
-                if isinstance(e, VsSendEvent):
-                    out.setdefault((e.pid, e.origin_seq), e)
-        return out
+        return self._idx().sends
 
     def stopped(self) -> Dict[ProcessId, float]:
-        out: Dict[ProcessId, float] = {}
-        for pid in self.processes:
-            for e in self.events_of(pid):
-                if isinstance(e, VsStopEvent):
-                    out[pid] = e.time
-        return out
+        return self._idx().stopped
 
     def summary(self) -> str:
-        n_views = sum(
-            1
-            for pid in self.processes
-            for e in self.events_of(pid)
-            if isinstance(e, VsViewEvent)
-        )
-        n_del = sum(len(v) for v in self.deliveries().values())
+        idx = self._idx()
+        n_views = sum(len(v) for v in idx.views.values())
         return (
             f"vs-history: {len(self.processes)} processes, "
-            f"{len(self.sends())} sends, {n_del} deliveries, {n_views} view events"
+            f"{len(idx.sends)} sends, {idx.n_deliveries} deliveries, "
+            f"{n_views} view events"
         )

@@ -41,3 +41,39 @@ def test_timeline_command(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["no-such-command"])
+
+
+def test_profile_command_on_scenario_file(tmp_path, capsys):
+    from repro.campaign.serialize import save_scenario
+    from repro.harness.faults import random_scenario
+
+    path = str(tmp_path / "scenario.json")
+    save_scenario(path, random_scenario(2, ("p0", "p1", "p2"), steps=6))
+    assert main(["profile", path, "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    # cProfile hotspot table
+    assert "cumulative" in out and "ncalls" in out
+    # per-checker breakdown and the conformance verdict
+    assert "checker timings" in out
+    assert "events/s" in out
+    assert "safe delivery (Spec 7)" in out
+
+
+def test_profile_command_on_bundle(tmp_path, capsys):
+    bundle_dir = str(tmp_path / "bundles")
+    main(
+        [
+            "fuzz", "--seeds", "1", "--steps", "6", "--processes", "3",
+            "--bundle-dir", bundle_dir, "--mutate", "drop-delivery",
+        ]
+    )
+    capsys.readouterr()
+    import os
+
+    bundle_path = os.path.join(bundle_dir, "seed-0")
+    assert os.path.isdir(bundle_path)
+    assert main(["profile", bundle_path, "--sort", "tottime"]) == 0
+    out = capsys.readouterr().out
+    assert "profiling bundle" in out
+    assert "checker timings" in out
+    assert "FAIL" in out  # the bundle's mutation reproduces under profile

@@ -1,0 +1,79 @@
+"""Differential regression: fast-path checkers vs the frozen reference.
+
+``repro.spec.reference`` is a verbatim snapshot of the conformance
+pipeline before the incremental-index / single-pass-clock rework.  These
+tests run a corpus of seeded ``random_scenario`` executions - clean and
+with every deterministic ``--mutate`` corruption - through both
+pipelines and require byte-identical verdicts: same ``violated_specs``,
+same violation descriptions, group for group.  Any divergence means the
+fast path changed checker semantics, which the perf work must never do.
+"""
+
+import pytest
+
+from repro.campaign.mutations import MUTATIONS
+from repro.campaign.runner import execute_scenario
+from repro.harness.faults import random_scenario
+from repro.spec.reference import check_all_reference
+
+PIDS = ("p0", "p1", "p2", "p3")
+CLEAN_SEEDS = (0, 1, 2, 3, 4, 5)
+MUTATED_SEEDS = (0, 1)
+
+
+def _both_pipelines(seed: int, mutation: str):
+    scenario = random_scenario(seed, PIDS, steps=10)
+    outcome = execute_scenario(
+        scenario, cluster_seed=seed, loss=0.02, mutation=mutation
+    )
+    new = [
+        (r.name, [str(v) for v in r.violations])
+        for r in outcome.report.results
+    ]
+    old = [
+        (name, [str(v) for v in violations])
+        for name, violations in check_all_reference(
+            outcome.history, quiescent=outcome.quiescent
+        )
+    ]
+    return outcome, new, old
+
+
+@pytest.mark.parametrize("seed", CLEAN_SEEDS)
+def test_clean_runs_identical_verdicts(seed):
+    outcome, new, old = _both_pipelines(seed, "none")
+    assert new == old
+    # The clean pipeline's violated_specs drive bundle/shrinker identity.
+    ref_violated = sorted(name for name, vs in old if vs)
+    assert outcome.report.violated_specs == ref_violated
+
+
+@pytest.mark.parametrize("seed", MUTATED_SEEDS)
+@pytest.mark.parametrize(
+    "mutation", sorted(m for m in MUTATIONS if m != "none")
+)
+def test_mutated_runs_identical_verdicts(seed, mutation):
+    outcome, new, old = _both_pipelines(seed, mutation)
+    assert new == old
+    assert outcome.report.total_violations > 0, (
+        f"mutation {mutation} produced no violations on seed {seed}"
+    )
+
+
+def test_reference_clock_view_matches_fast_path():
+    """The precedes relation itself - not just checker output - agrees."""
+    from repro.spec.history import EventRef
+    from repro.spec.reference import _ClockView
+
+    scenario = random_scenario(3, PIDS, steps=8)
+    outcome = execute_scenario(scenario, cluster_seed=3, loss=0.0)
+    history = outcome.history
+    reference = _ClockView(history)
+    refs = [
+        EventRef(pid, i)
+        for pid in history.processes
+        for i in range(len(history.events_of(pid)))
+    ]
+    for a in refs:
+        for b in refs:
+            assert history.precedes(a, b) == reference.precedes(a, b), (a, b)

@@ -110,3 +110,74 @@ def test_delivery_before_send_timestamp_still_ordered():
     h.record_deliver("q", M1, CONF, "p", DeliveryRequirement.SAFE, 1, 1.0)
     h.record_send("p", M1, CONF, DeliveryRequirement.SAFE, 1, 11.0)
     assert h.precedes(EventRef("p", 1), EventRef("q", 1))
+
+
+def test_merged_recorders_with_skew_use_fast_path():
+    # Two recorders merged, with the delivery recorded before its send
+    # and wall clocks skewed by 10s: the Kahn pass never looks at
+    # timestamps, so the fast path handles cross-recorder skew directly.
+    h1, h2 = History(), History()
+    record_conf(h1, "q", 0.0)
+    h1.record_deliver("q", M1, CONF, "p", DeliveryRequirement.SAFE, 1, 1.0)
+    record_conf(h2, "p", 10.0)
+    h2.record_send("p", M1, CONF, DeliveryRequirement.SAFE, 1, 11.0)
+    h1.merge(h2)
+    assert h1.clock_strategy == "single-pass"
+    assert h1.precedes(EventRef("p", 1), EventRef("q", 1))
+    assert not h1.precedes(EventRef("q", 1), EventRef("p", 1))
+
+
+def test_contradictory_merge_falls_back_to_fixpoint():
+    # The same process observed by two recorders, merged so its delivery
+    # of M1 lands before its own send: the event DAG has a cycle, no
+    # topological order exists, and the fixpoint fallback takes over.
+    h1, h2 = History(), History()
+    record_conf(h1, "p", 0.0)
+    h1.record_deliver("p", M1, CONF, "p", DeliveryRequirement.SAFE, 1, 1.0)
+    h2.record_send("p", M1, CONF, DeliveryRequirement.SAFE, 1, 11.0)
+    h1.merge(h2)
+    assert h1.clock_strategy == "fixpoint"
+    # The local recorder order still orients deliver before send.
+    assert h1.precedes(EventRef("p", 1), EventRef("p", 2))
+
+
+def test_duplicate_send_falls_back_to_fixpoint():
+    # Spec 1.4 violations (one message id sent twice) make the
+    # send->deliver edge ambiguous; the fast path refuses and the
+    # fixpoint reproduces the old semantics exactly.
+    h = History()
+    record_conf(h, "p", 0.0)
+    record_conf(h, "q", 0.0)
+    h.record_send("p", M1, CONF, DeliveryRequirement.SAFE, 1, 1.0)
+    h.record_send("q", M1, CONF, DeliveryRequirement.SAFE, 1, 2.0)
+    h.record_deliver("q", M1, CONF, "p", DeliveryRequirement.SAFE, 1, 3.0)
+    assert h.clock_strategy == "fixpoint"
+    # Byte-identical to the pre-rework fixpoint on the pathological input.
+    from repro.spec.reference import build_clocks_fixpoint
+
+    assert h.clocks() == build_clocks_fixpoint(h)
+
+
+def test_fast_path_equals_fixpoint_on_skew_free_history():
+    from repro.spec.reference import _ClockView, build_clocks_fixpoint
+
+    h = History()
+    for pid in ("p", "q", "r"):
+        record_conf(h, pid, 0.0)
+    h.record_send("p", M1, CONF, DeliveryRequirement.AGREED, 1, 1.0)
+    h.record_deliver("q", M1, CONF, "p", DeliveryRequirement.AGREED, 1, 2.0)
+    h.record_deliver("p", M1, CONF, "p", DeliveryRequirement.AGREED, 1, 2.5)
+    h.record_send("q", M2, CONF, DeliveryRequirement.AGREED, 1, 3.0)
+    h.record_deliver("r", M2, CONF, "q", DeliveryRequirement.AGREED, 1, 4.0)
+    h.record_deliver("p", M2, CONF, "q", DeliveryRequirement.AGREED, 1, 4.5)
+    assert h.clock_strategy == "single-pass"
+    assert h.clocks() == build_clocks_fixpoint(h)
+    reference = _ClockView(h)
+    refs = [
+        EventRef(pid, i)
+        for pid in h.processes
+        for i in range(len(h.events_of(pid)))
+    ]
+    for a in refs:
+        for b in refs:
+            assert h.precedes(a, b) == reference.precedes(a, b), (a, b)

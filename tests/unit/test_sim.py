@@ -122,3 +122,38 @@ def test_run_until_max_events_guard():
     sched.call_later(0.0, respawn)
     with pytest.raises(SimulationError):
         sched.run_until(10.0, max_events=500)
+
+
+def test_cancelled_timer_churn_keeps_heap_bounded():
+    """Retransmit-style churn: schedule, cancel, reschedule, thousands of
+    times.  Lazy compaction must keep the heap proportional to the live
+    timer count instead of the total ever scheduled."""
+    sched = EventScheduler()
+    live = None
+    for i in range(5000):
+        if live is not None:
+            live.cancel()
+        live = sched.call_later(10.0 + i * 0.001, lambda: None)
+    assert sched.pending < 5000
+    # Never more than the compaction threshold's worth of dead stubs
+    # around one live timer.
+    assert sched.pending <= 2 * EventScheduler.COMPACT_MIN + 4
+    assert sched.compactions > 0
+    # The surviving timer still fires, and determinism is unaffected.
+    fired = []
+    sched.call_at(live.deadline, lambda: fired.append("after"))
+    sched.run_until_idle()
+    assert sched.pending == 0
+
+
+def test_compaction_preserves_firing_order():
+    sched = EventScheduler()
+    fired = []
+    timers = [
+        sched.call_later(0.1 * (i + 1), lambda i=i: fired.append(i))
+        for i in range(200)
+    ]
+    for t in timers[::2]:
+        t.cancel()
+    sched.run_until_idle()
+    assert fired == [i for i in range(200) if i % 2 == 1]
