@@ -31,13 +31,14 @@ STEPS = 12
 POOLED_WORKERS = max(2, min(4, os.cpu_count() or 1))
 
 
-def _measure(workers: int):
+def _measure(workers: int, trace: bool = False):
     config = CampaignConfig(
         seeds=SEEDS,
         processes=PROCESSES,
         steps=STEPS,
         loss=0.02,
         workers=workers,
+        trace=trace,
     )
     t0 = time.perf_counter()
     report = run_campaign(config)
@@ -80,6 +81,7 @@ def test_campaign_throughput(benchmark):
     def sweep():
         results["reference"] = _measure_with_reference_checkers()
         results["single"] = _measure(1)
+        results["traced"] = _measure(1, trace=True)
         results["pooled"] = _measure(POOLED_WORKERS)
         return results
 
@@ -87,8 +89,11 @@ def test_campaign_throughput(benchmark):
 
     reference, reference_s = results["reference"]
     single, single_s = results["single"]
+    traced, traced_s = results["traced"]
     pooled, pooled_s = results["pooled"]
     speedup = single_s / pooled_s if pooled_s > 0 else 0.0
+    trace_overhead = (traced_s - single_s) / single_s if single_s > 0 else 0.0
+    traced_events = sum(o.trace_events for o in traced.outcomes)
     cores = os.cpu_count() or 1
     asserted = cores >= 4
 
@@ -111,6 +116,17 @@ def test_campaign_throughput(benchmark):
                 "wall": f"{single_s:.2f}s",
                 "rate": f"{single.scenarios_per_sec:.1f}/s",
                 "check": f"{single.check_ns / 1e6:.0f}ms",
+            },
+        ),
+        BenchRow(
+            "single-process, protocol tracing on",
+            {
+                "seeds": traced.seeds_run,
+                "events": traced.events,
+                "wall": f"{traced_s:.2f}s",
+                "rate": f"{traced.scenarios_per_sec:.1f}/s",
+                "traced": traced_events,
+                "overhead": f"{trace_overhead * 100:+.1f}%",
             },
         ),
         BenchRow(
@@ -148,6 +164,17 @@ def test_campaign_throughput(benchmark):
     assert single.check_ns * 2 < reference.check_ns, (
         f"fast path checker time {single.check_ns / 1e6:.0f}ms not <2x "
         f"under reference {reference.check_ns / 1e6:.0f}ms"
+    )
+    # Tracing must see the same verdicts and cost <= 15% scenarios/sec
+    # (ring-buffer sink, per-frame net events off - the budget from
+    # docs/OBSERVABILITY.md).
+    assert [o.violated for o in single.outcomes] == [
+        o.violated for o in traced.outcomes
+    ]
+    assert traced_events > 0
+    assert trace_overhead <= 0.15, (
+        f"traced campaign {trace_overhead * 100:.1f}% slower than "
+        f"untraced (budget: 15%)"
     )
     if asserted:
         assert speedup >= 2.0, (

@@ -9,6 +9,8 @@ bundle::
       report.txt            the rendered conformance report
       meta.json             seeds, fault parameters, violated clauses
       README.md             exact replay instructions
+      protocol-trace.jsonl  (with ``--trace``) the structured protocol
+                            trace (repro.obs; render with ``repro trace``)
       shrunk-scenario.json  (after ``repro shrink``) the minimized schedule
       shrink.json           (after ``repro shrink``) shrink statistics
 
@@ -47,6 +49,7 @@ META_FILE = "meta.json"
 README_FILE = "README.md"
 SHRUNK_FILE = "shrunk-scenario.json"
 SHRINK_META_FILE = "shrink.json"
+PROTOCOL_TRACE_FILE = "protocol-trace.jsonl"
 
 _README_TEMPLATE = """\
 # Repro bundle: seed {seed}
@@ -69,7 +72,7 @@ After shrinking, `shrunk-scenario.json` holds the minimized schedule and
 ## Re-check the recorded trace without re-running
 
     python -m repro check {name}/trace.json
-
+{trace_section}
 Determinism: the simulation is a seeded discrete-event model, so the
 same scenario + cluster seed + loss rate reproduces the identical
 history (see docs/FUZZING.md for caveats).  Run parameters are in
@@ -91,6 +94,20 @@ class ReproBundle:
     def history(self) -> History:
         return tracefile.load(os.path.join(self.path, TRACE_FILE))
 
+    @property
+    def protocol_trace_path(self) -> Optional[str]:
+        """Path of the structured protocol trace, if one was attached."""
+        path = os.path.join(self.path, PROTOCOL_TRACE_FILE)
+        return path if os.path.isfile(path) else None
+
+    def report_text(self) -> Optional[str]:
+        """The stored conformance report, if present."""
+        path = os.path.join(self.path, REPORT_FILE)
+        if not os.path.isfile(path):
+            return None
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+
 
 def write_bundle(
     path: str,
@@ -104,14 +121,27 @@ def write_bundle(
     mutation: str = "none",
     quiescent: bool = True,
     generator: Optional[ScenarioSpec] = None,
+    trace: Optional[list] = None,
 ) -> str:
-    """Write a complete repro bundle; returns the directory path."""
+    """Write a complete repro bundle; returns the directory path.
+
+    ``trace``, when given, is a list of
+    :class:`~repro.obs.trace.TraceEvent` records written as
+    ``protocol-trace.jsonl`` (render with ``repro trace <dir>``).
+    """
     os.makedirs(path, exist_ok=True)
     save_scenario(os.path.join(path, SCENARIO_FILE), scenario, generator)
     tracefile.save(history, os.path.join(path, TRACE_FILE))
     violated = report.violated_specs
     with open(os.path.join(path, REPORT_FILE), "w", encoding="utf-8") as fh:
         fh.write(report.render() + "\n")
+    traced_events = 0
+    if trace:
+        from repro.obs.trace import write_jsonl
+
+        traced_events = write_jsonl(
+            trace, os.path.join(path, PROTOCOL_TRACE_FILE)
+        )
     meta = {
         "format": BUNDLE_FORMAT,
         "version": BUNDLE_VERSION,
@@ -123,16 +153,32 @@ def write_bundle(
         "events": report.events,
         "violated": violated,
         "violations": report.total_violations,
+        "trace_events": traced_events,
     }
     with open(os.path.join(path, META_FILE), "w", encoding="utf-8") as fh:
         json.dump(meta, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if trace:
+        trace_section = (
+            "\n## Inspect the protocol trace (swimlane + explanation)\n"
+            "\n"
+            f"    python -m repro trace {path}\n"
+            "\n"
+            f"`{PROTOCOL_TRACE_FILE}` holds {traced_events} structured "
+            "trace event(s) (see docs/OBSERVABILITY.md for the schema).\n"
+        )
+    else:
+        trace_section = (
+            "\nNo protocol trace was captured for this run (re-run the "
+            "campaign with `--trace` to attach one).\n"
+        )
     with open(os.path.join(path, README_FILE), "w", encoding="utf-8") as fh:
         fh.write(
             _README_TEMPLATE.format(
                 seed=seed,
                 violated=", ".join(violated) or "(none recorded)",
                 name=path,
+                trace_section=trace_section,
             )
         )
     return path

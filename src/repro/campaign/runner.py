@@ -44,6 +44,8 @@ class ExecutionOutcome:
     report: ConformanceReport
     quiescent: bool
     submitted: int
+    #: Structured trace of the run (empty unless tracing was requested).
+    trace_events: list = field(default_factory=list)
 
     @property
     def violated(self) -> Tuple[str, ...]:
@@ -56,16 +58,22 @@ def execute_scenario(
     cluster_seed: int,
     loss: float = 0.0,
     mutation: str = "none",
+    trace: bool = False,
 ) -> ExecutionOutcome:
     """Run one scenario deterministically and evaluate Specs 1-7.
 
     ``mutation`` names a deterministic history corruption from
     :mod:`repro.campaign.mutations` applied before checking (``"none"``
-    for the real pipeline).
+    for the real pipeline).  ``trace`` captures a structured protocol
+    trace via the bounded ring-buffer sink (``trace_net`` stays off so
+    the per-frame records don't blow the campaign's overhead budget).
     """
     runner = ScenarioRunner(
         ClusterOptions(
-            seed=cluster_seed, network=NetworkParams(loss_rate=loss)
+            seed=cluster_seed,
+            network=NetworkParams(loss_rate=loss),
+            trace=trace,
+            trace_net=False,
         )
     )
     result = runner.run(scenario)
@@ -76,6 +84,7 @@ def execute_scenario(
         report=report,
         quiescent=result.quiescent,
         submitted=result.submitted,
+        trace_events=result.cluster.trace_events() if trace else [],
     )
 
 
@@ -91,6 +100,9 @@ class CampaignConfig:
     bundle_dir: Optional[str] = None
     mutation: str = "none"
     profile: FaultProfile = field(default_factory=FaultProfile)
+    #: Capture a protocol trace per seed (ring-buffered; attached to the
+    #: repro bundle of any failing seed).
+    trace: bool = False
 
     def validate(self) -> None:
         if not self.seeds:
@@ -130,6 +142,7 @@ class SeedOutcome:
     elapsed: float
     bundle: Optional[str] = None
     check_ns: int = 0
+    trace_events: int = 0
 
 
 def _run_seed(config: CampaignConfig, seed: int) -> SeedOutcome:
@@ -146,6 +159,7 @@ def _run_seed(config: CampaignConfig, seed: int) -> SeedOutcome:
         cluster_seed=seed,
         loss=config.loss,
         mutation=config.mutation,
+        trace=config.trace,
     )
     bundle_path: Optional[str] = None
     if not outcome.report.passed and config.bundle_dir is not None:
@@ -161,6 +175,7 @@ def _run_seed(config: CampaignConfig, seed: int) -> SeedOutcome:
             mutation=config.mutation,
             quiescent=outcome.quiescent,
             generator=spec,
+            trace=outcome.trace_events or None,
         )
     return SeedOutcome(
         seed=seed,
@@ -173,6 +188,7 @@ def _run_seed(config: CampaignConfig, seed: int) -> SeedOutcome:
         elapsed=time.perf_counter() - t0,
         bundle=bundle_path,
         check_ns=outcome.report.check_ns,
+        trace_events=len(outcome.trace_events),
     )
 
 
@@ -236,6 +252,9 @@ class CampaignReport:
                 f"  conformance checking: {self.check_ns / 1e6:.1f} ms total "
                 f"({self.check_events_per_sec:,.0f} events/s)"
             )
+        traced = sum(o.trace_events for o in self.outcomes)
+        if traced:
+            lines.append(f"  traced events: {traced} (ring-buffered)")
         by_clause = self.violations_by_clause()
         for clause in sorted(by_clause):
             lines.append(

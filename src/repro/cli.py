@@ -19,8 +19,14 @@ Commands:
 * ``profile``     - cProfile one serialized scenario (bundle directory or
   scenario .json) end-to-end and print the top-N hotspots plus the
   per-checker timing breakdown (docs/PERFORMANCE.md);
-* ``timeline``    - run a short partition/merge demo and render it as an
-  ASCII space-time diagram.
+* ``trace``       - render a structured protocol trace (from a repro
+  bundle or a bare ``.jsonl`` file): schema validation, per-process
+  swimlane, a plain-English explanation of every configuration change,
+  and - when the bundle's checker report has violations - the trace
+  event ids mentioning the offending messages/configurations;
+* ``timeline``    - run a short partition/merge demo with tracing on and
+  render it: ASCII space-time diagram, per-process trace swimlane, and
+  the configuration-change explanations (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -33,7 +39,11 @@ import pstats
 import sys
 from typing import List, Optional
 
-from repro.campaign.bundle import attach_shrunk, load_bundle
+from repro.campaign.bundle import (
+    PROTOCOL_TRACE_FILE,
+    attach_shrunk,
+    load_bundle,
+)
 from repro.campaign.mutations import MUTATIONS
 from repro.campaign.runner import (
     CampaignConfig,
@@ -48,6 +58,14 @@ from repro.harness.figures import figure6_scenario, render_timeline
 from repro.harness.scenario import ScenarioRunner
 from repro.net.codec import FORMAT_BINARY, WIRE_FORMATS
 from repro.net.network import NetworkParams
+from repro.obs.explain import (
+    explain_config_changes,
+    match_violations,
+    render_violation_matches,
+    swimlane,
+)
+from repro.obs.schema import validate_events
+from repro.obs.trace import read_jsonl, write_jsonl
 from repro.campaign.serialize import load_scenario
 from repro.spec import tracefile
 from repro.spec.report import pool_reports, run_conformance
@@ -76,11 +94,17 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_figure6(args: argparse.Namespace) -> int:
-    result = figure6_scenario(seed=args.seed)
+    options = None
+    if args.trace_out:
+        options = ClusterOptions(seed=args.seed, trace=True)
+    result = figure6_scenario(seed=args.seed, options=options)
     print(result.narrative())
     if args.timeline:
         print()
         print(render_timeline(result.history, max_rows=args.rows))
+    if args.trace_out:
+        written = write_jsonl(result.cluster.trace_events(), args.trace_out)
+        print(f"\nprotocol trace written: {args.trace_out} ({written} events)")
     ok = (
         result.qr_transitional_observed
         and result.qrst_regular_observed
@@ -167,6 +191,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         workers=args.workers,
         bundle_dir=args.bundle_dir,
         mutation=args.mutate,
+        trace=args.trace,
     )
 
     def progress(o: SeedOutcome) -> None:
@@ -214,6 +239,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
         cluster_seed=meta["cluster_seed"],
         loss=meta["loss"],
         mutation=meta["mutation"],
+        trace=args.trace,
     )
     print(outcome.report.render())
     got = sorted(outcome.violated)
@@ -223,6 +249,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
     print(f"  expected violated clauses: {', '.join(expected) or '(none)'}")
     print(f"  observed violated clauses: {', '.join(got) or '(none)'}")
     print(f"  reproduced: {'yes' if reproduced else 'NO'}")
+    if args.trace:
+        trace_path = os.path.join(args.bundle, PROTOCOL_TRACE_FILE)
+        written = write_jsonl(outcome.trace_events, trace_path)
+        print(
+            f"  protocol trace written: {trace_path} ({written} events); "
+            f"render with `python -m repro trace {args.bundle}`"
+        )
     return 0 if reproduced else 1
 
 
@@ -265,9 +298,57 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Validate and render a protocol trace (bundle dir or .jsonl file)."""
+    report_text: Optional[str] = None
+    if not os.path.exists(args.source):
+        print(f"{args.source}: no such bundle or trace file", file=sys.stderr)
+        return 2
+    if os.path.isdir(args.source):
+        bundle = load_bundle(args.source)
+        trace_path = bundle.protocol_trace_path
+        if trace_path is None:
+            print(
+                f"{args.source} has no {PROTOCOL_TRACE_FILE} (re-run the "
+                f"campaign with `repro fuzz --trace`, or attach one with "
+                f"`repro replay --trace {args.source}`)",
+                file=sys.stderr,
+            )
+            return 2
+        report_text = bundle.report_text()
+        source = f"bundle {args.source}"
+    else:
+        trace_path = args.source
+        source = trace_path
+    events = read_jsonl(trace_path)
+    errors = validate_events(events)
+    if errors:
+        print(f"trace {trace_path}: {len(errors)} schema error(s)", file=sys.stderr)
+        for err in errors[:20]:
+            print(f"  {err}", file=sys.stderr)
+        return 2
+    print(f"protocol trace: {source} ({len(events)} events, schema OK)")
+    print()
+    print(swimlane(events, max_rows=args.rows, include_all=args.all))
+    print()
+    print("configuration changes:")
+    print(explain_config_changes(events))
+    if report_text is not None:
+        violations = [
+            ln.strip()
+            for ln in report_text.splitlines()
+            if ln.strip().startswith("[Spec")
+        ]
+        if violations:
+            print()
+            print("violations pinpointed in the trace:")
+            print(render_violation_matches(match_violations(events, violations)))
+    return 0
+
+
 def cmd_timeline(args: argparse.Namespace) -> int:
     pids = ["p", "q", "r"]
-    cluster = SimCluster(pids, options=ClusterOptions(seed=args.seed))
+    cluster = SimCluster(pids, options=ClusterOptions(seed=args.seed, trace=True))
     cluster.start_all()
     cluster.wait_until(lambda: cluster.converged(pids), timeout=10.0)
     cluster.send("p", b"one")
@@ -283,6 +364,13 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     cluster.wait_until(lambda: cluster.converged(pids), timeout=15.0)
     cluster.settle(timeout=10.0)
     print(render_timeline(cluster.history, max_rows=args.rows))
+    events = cluster.trace_events()
+    print()
+    print(f"trace swimlane ({len(events)} events captured):")
+    print(swimlane(events, max_rows=args.rows))
+    print()
+    print("configuration changes:")
+    print(explain_config_changes(events))
     return 0
 
 
@@ -310,6 +398,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig6.add_argument("--seed", type=int, default=0)
     fig6.add_argument("--timeline", action="store_true")
     fig6.add_argument("--rows", type=int, default=60)
+    fig6.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="run with protocol tracing and write the trace as JSONL "
+        "(render with `repro trace PATH`)",
+    )
     fig6.set_defaults(fn=cmd_figure6)
 
     conf = sub.add_parser(
@@ -359,6 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(pipeline self-test; see docs/FUZZING.md)",
     )
     fuzz.add_argument(
+        "--trace",
+        action="store_true",
+        help="capture a ring-buffered protocol trace per seed and attach "
+        "it to failing bundles (docs/OBSERVABILITY.md)",
+    )
+    fuzz.add_argument(
         "--shrink",
         action="store_true",
         help="delta-debug every failing seed's scenario after the campaign",
@@ -386,6 +487,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shrunk",
         action="store_true",
         help="replay the shrunk scenario instead of the original",
+    )
+    rep.add_argument(
+        "--trace",
+        action="store_true",
+        help="capture a protocol trace during the replay and write it "
+        "into the bundle as protocol-trace.jsonl",
     )
     rep.set_defaults(fn=cmd_replay)
 
@@ -417,6 +524,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--mutate", choices=sorted(MUTATIONS), default="none"
     )
     prof.set_defaults(fn=cmd_profile)
+
+    tr = sub.add_parser(
+        "trace",
+        help="validate and render a protocol trace (swimlane + explainer)",
+    )
+    tr.add_argument(
+        "source",
+        help="repro bundle directory or protocol trace .jsonl file",
+    )
+    tr.add_argument("--rows", type=int, default=80, help="swimlane rows")
+    tr.add_argument(
+        "--all",
+        action="store_true",
+        help="include per-frame network and delivery events in the swimlane",
+    )
+    tr.set_defaults(fn=cmd_trace)
 
     tl = sub.add_parser("timeline", help="render a partition/merge timeline")
     tl.add_argument("--seed", type=int, default=0)

@@ -35,6 +35,7 @@ from repro.core.configuration import (
 )
 from repro.core.recovery import RecoveryPlan
 from repro.net.transport import Host
+from repro.obs.trace import NO_TRACE
 from repro.spec.history import History
 from repro.stable.storage import InMemoryStableStore, StableStore
 from repro.totem.controller import ControllerState, EngineHooks, TotemController
@@ -58,13 +59,15 @@ class EvsEngine(EngineHooks):
         history: Optional[History] = None,
         stable: Optional[StableStore] = None,
         totem_config: Optional[TotemConfig] = None,
+        tracer=NO_TRACE,
     ) -> None:
         self.host = host
         self.pid: ProcessId = host.pid
         self.listener = listener
         self.history = history if history is not None else History()
         self.stable = stable if stable is not None else InMemoryStableStore()
-        self.controller = TotemController(host, self, totem_config)
+        self.tracer = tracer
+        self.controller = TotemController(host, self, totem_config, tracer=tracer)
         self.current_config: Optional[Configuration] = None
         self.started = False
         # SimHost and AsyncioHost both expose bind(); other Hosts must
@@ -104,6 +107,13 @@ class EvsEngine(EngineHooks):
             self.history.record_fail(
                 self.pid, self.current_config.id, self.host.now
             )
+            if self.tracer:
+                self.tracer.emit(
+                    self.pid,
+                    "evs.fail",
+                    ring=str(self.current_config.ring),
+                    config=str(self.current_config.id),
+                )
         self.stable.put("origin_counter", self.controller.origin_counter)
         self.controller.crash()
         self.current_config = None
@@ -125,6 +135,14 @@ class EvsEngine(EngineHooks):
 
     def on_message_sent(self, message: RegularMessage) -> None:
         mid = MessageId(ring=message.ring, seq=message.seq)
+        if self.tracer:
+            self.tracer.emit(
+                self.pid,
+                "evs.send",
+                ring=str(message.ring),
+                mid=str(mid),
+                origin_seq=message.origin_seq,
+            )
         self.history.record_send(
             self.pid,
             mid,
@@ -176,6 +194,18 @@ class EvsEngine(EngineHooks):
 
     def _deliver(self, message: RegularMessage, config_id: ConfigurationId) -> None:
         mid = MessageId(ring=message.ring, seq=message.seq)
+        if self.tracer:
+            self.tracer.emit(
+                self.pid,
+                "evs.deliver",
+                ring=str(message.ring),
+                mid=str(mid),
+                config=str(config_id),
+                sender=message.sender,
+                req=message.requirement.value
+                if hasattr(message.requirement, "value")
+                else str(message.requirement),
+            )
         self.history.record_deliver(
             self.pid,
             mid,
@@ -198,5 +228,17 @@ class EvsEngine(EngineHooks):
 
     def _deliver_conf(self, config: Configuration) -> None:
         self.current_config = config
+        if self.tracer:
+            eid = self.tracer.emit(
+                self.pid,
+                "evs.conf",
+                ring=str(config.ring),
+                config_kind="regular" if config.is_regular else "transitional",
+                config=str(config.id),
+                members=sorted(config.members),
+            )
+            # Deliveries and membership rounds under this configuration
+            # chain back to its install.
+            self.tracer.set_cause(self.pid, eid)
         self.history.record_conf_change(self.pid, config, self.host.now)
         self.listener.on_configuration_change(config)

@@ -40,17 +40,20 @@ class EvsProcess:
         history: Optional[History] = None,
         stable: Optional[StableStore] = None,
         totem_config: Optional[TotemConfig] = None,
+        tracer=None,
     ) -> None:
         if host.pid != pid:
             raise ValueError(f"host is bound to {host.pid}, not {pid}")
         self.pid = pid
         self.listener = listener if listener is not None else Listener()
+        kwargs = {} if tracer is None else {"tracer": tracer}
         self.engine = EvsEngine(
             host,
             self.listener,
             history=history,
             stable=stable,
             totem_config=totem_config,
+            **kwargs,
         )
 
     # -- lifecycle -----------------------------------------------------------

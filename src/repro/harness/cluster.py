@@ -19,7 +19,13 @@ from repro.errors import SimulationError
 from repro.net.network import Network, NetworkParams
 from repro.net.sim import EventScheduler
 from repro.net.transport import SimHost
-from repro.spec.history import History
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NO_TRACE, RingBufferSink, Tracer
+from repro.spec.history import (
+    DeliverEvent as HistoryDeliverEvent,
+    History,
+    SendEvent as HistorySendEvent,
+)
 from repro.stable.storage import InMemoryStableStore
 from repro.totem.controller import ControllerState
 from repro.totem.timers import TotemConfig
@@ -60,12 +66,23 @@ class ClusterOptions:
     shorthand so benchmarks can A/B the codecs without building a whole
     :class:`NetworkParams` (``"binary"`` or ``"json"``, see
     :mod:`repro.net.codec`).
+
+    ``trace`` turns on structured tracing (:mod:`repro.obs`): the cluster
+    builds one :class:`~repro.obs.trace.Tracer` on the simulator clock
+    backed by a :class:`~repro.obs.trace.RingBufferSink` of
+    ``trace_capacity`` events.  ``trace_net`` additionally records the
+    per-frame ``net.send``/``net.recv``/``net.drop`` events (the
+    high-volume part; fuzzing campaigns leave it off to stay inside the
+    overhead budget, see docs/OBSERVABILITY.md).
     """
 
     seed: int = 0
     network: NetworkParams = field(default_factory=NetworkParams)
     totem: TotemConfig = field(default_factory=TotemConfig)
     wire_format: Optional[str] = None
+    trace: bool = False
+    trace_net: bool = True
+    trace_capacity: int = 65536
 
 
 class SimCluster:
@@ -85,6 +102,17 @@ class SimCluster:
         self.scheduler = EventScheduler()
         self.rng = random.Random(self.options.seed)
         self.network = Network(self.scheduler, self.rng, self.options.network)
+        self.trace_sink: Optional[RingBufferSink] = None
+        if self.options.trace:
+            self.trace_sink = RingBufferSink(self.options.trace_capacity)
+            self.tracer = Tracer(
+                clock=lambda: self.scheduler.now,
+                sinks=(self.trace_sink,),
+                net=self.options.trace_net,
+            )
+            self.network.tracer = self.tracer
+        else:
+            self.tracer = NO_TRACE
         self.history = History()
         self.pids = list(pids)
         self.listeners: Dict[ProcessId, RecordingListener] = {}
@@ -104,6 +132,7 @@ class SimCluster:
                 history=self.history,
                 stable=store,
                 totem_config=self.options.totem,
+                tracer=self.tracer,
             )
             self.listeners[pid] = listener.primary
             self.processes[pid] = proc
@@ -273,6 +302,39 @@ class SimCluster:
         """The network's per-message-type codec counters."""
         return self.network.stats.codec
 
+    def trace_events(self):
+        """The traced events currently in the ring buffer (empty when
+        tracing is off)."""
+        return self.trace_sink.events if self.trace_sink is not None else []
+
+    def metrics(self) -> MetricsRegistry:
+        """Snapshot the whole stack's counters into one registry:
+        ``net.*`` from :class:`NetworkStats`, ``totem.*`` summed across
+        the controllers, ``sim.*`` from the scheduler, and ``trace.*``
+        from the tracer/sink."""
+        registry = MetricsRegistry()
+        net = self.network.stats
+        registry.count_from("net", vars(net))
+        for proc in self.processes.values():
+            registry.count_from("totem", vars(proc.engine.controller.stats))
+        registry.gauge("sim.now").set(self.scheduler.now)
+        registry.counter("sim.events_processed").inc(self.scheduler.events_processed)
+        registry.gauge("sim.pending").set(self.scheduler.pending)
+        registry.counter("trace.emitted").inc(self.tracer.emitted)
+        if self.trace_sink is not None:
+            registry.gauge("trace.buffered").set(len(self.trace_sink.events))
+            registry.counter("trace.dropped").inc(self.trace_sink.dropped)
+        latency = registry.histogram("evs.delivery_latency")
+        send_times: Dict = {}
+        for event in self.history.events():
+            if isinstance(event, HistorySendEvent):
+                send_times[event.message_id] = event.time
+            elif isinstance(event, HistoryDeliverEvent):
+                sent = send_times.get(event.message_id)
+                if sent is not None:
+                    latency.observe(event.time - sent)
+        return registry
+
     def describe(self) -> str:
         net = self.network.stats
         lines = [
@@ -280,6 +342,22 @@ class SimCluster:
             f"  wire={self.options.network.wire_format} "
             f"bytes={net.bytes_sent} {net.codec.summary()}",
         ]
+        metrics = self.metrics()
+        lines.append(
+            "  metrics: "
+            + metrics.render_compact(
+                [
+                    "net.broadcasts",
+                    "net.unicasts",
+                    "net.deliveries",
+                    "net.losses",
+                    "net.partition_drops",
+                    "totem.gathers_entered",
+                    "totem.installs",
+                    "trace.emitted",
+                ]
+            )
+        )
         for pid in self.pids:
             proc = self.processes[pid]
             config = proc.current_configuration

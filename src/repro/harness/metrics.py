@@ -36,7 +36,13 @@ class Summary:
         n = len(ordered)
 
         def pct(p: float) -> float:
-            return ordered[min(n - 1, int(p * n))]
+            # Nearest-rank percentile: the smallest sample with at least
+            # a fraction p of the sample at or below it.  The old
+            # ``int(p * n)`` truncation read one rank too high (for
+            # n=20, p50 returned the 11th order statistic, and p95 the
+            # 20th instead of the 19th).
+            rank = max(1, math.ceil(p * n))
+            return ordered[min(rank, n) - 1]
 
         return cls(
             count=n,

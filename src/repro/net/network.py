@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 from repro.errors import SimulationError
 from repro.net import codec
 from repro.net.sim import EventScheduler
+from repro.obs.trace import NO_TRACE
 from repro.types import ProcessId
 
 
@@ -85,6 +86,10 @@ class Network:
         self._segment: Dict[ProcessId, int] = {}
         self._alive: Dict[ProcessId, bool] = {}
         self.stats = NetworkStats()
+        #: Structured tracing hook (:mod:`repro.obs.trace`).  Topology
+        #: changes always trace; per-frame send/recv/drop events are
+        #: additionally gated by ``tracer.net``.
+        self.tracer = NO_TRACE
         self._next_segment = 1
         #: Optional targeted fault: ``fn(src, dst, message) -> bool`` -
         #: return True to drop that copy.  Used by scenario scripts to
@@ -129,6 +134,13 @@ class Network:
             if pid not in seen:
                 self._segment[pid] = self._next_segment
                 self._next_segment += 1
+        if self.tracer:
+            self.tracer.emit(
+                "",
+                "net.partition",
+                parent=None,
+                components=[sorted(g) for g in groups],
+            )
 
     def merge_all(self) -> None:
         """Heal the network: every endpoint back into one component."""
@@ -136,6 +148,10 @@ class Network:
         self._next_segment += 1
         for pid in self._segment:
             self._segment[pid] = seg
+        if self.tracer:
+            self.tracer.emit(
+                "", "net.merge", parent=None, components=[self.processes]
+            )
 
     def merge(self, groups: Iterable[Iterable[ProcessId]]) -> None:
         """Merge the listed endpoints into one component, leaving others
@@ -147,6 +163,13 @@ class Network:
                 if pid not in self._handlers:
                     raise SimulationError(f"unknown endpoint in merge spec: {pid}")
                 self._segment[pid] = seg
+        if self.tracer:
+            self.tracer.emit(
+                "",
+                "net.merge",
+                parent=None,
+                components=[sorted(g) for g in groups],
+            )
 
     def reachable(self, a: ProcessId, b: ProcessId) -> bool:
         """True when ``a`` and ``b`` are both alive in the same component."""
@@ -183,16 +206,35 @@ class Network:
         data = codec.encode_timed(message, self.params.wire_format, self.stats.codec)
         self.stats.broadcasts += 1
         self.stats.bytes_sent += len(data)
+        send_eid = None
+        if self.tracer.net:
+            send_eid = self.tracer.emit(
+                src,
+                "net.send",
+                parent=None,
+                msg=type(message).__name__,
+                frame=str(message),
+                bytes=len(data),
+                cast="broadcast",
+            )
         for dst in self._handlers:
             if self._drop_filter is not None and self._drop_filter(src, dst, message):
                 self.stats.losses += 1
+                if send_eid is not None:
+                    self.tracer.emit(
+                        dst, "net.drop", parent=send_eid, src=src, reason="filter"
+                    )
                 continue
             if dst == src:
-                self._schedule_delivery(src, dst, data, self.params.self_latency)
+                self._schedule_delivery(src, dst, data, self.params.self_latency, send_eid)
             elif self._segment[dst] == self._segment[src]:
-                self._maybe_deliver(src, dst, data)
+                self._maybe_deliver(src, dst, data, send_eid)
             else:
                 self.stats.partition_drops += 1
+                if send_eid is not None:
+                    self.tracer.emit(
+                        dst, "net.drop", parent=send_eid, src=src, reason="partition"
+                    )
 
     def unicast(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
         """Point-to-point send; subject to the same partition/loss model."""
@@ -203,42 +245,91 @@ class Network:
         self.stats.bytes_sent += len(data)
         if dst not in self._handlers:
             raise SimulationError(f"unicast to unknown endpoint {dst}")
+        send_eid = None
+        if self.tracer.net:
+            send_eid = self.tracer.emit(
+                src,
+                "net.send",
+                parent=None,
+                msg=type(message).__name__,
+                frame=str(message),
+                bytes=len(data),
+                cast="unicast",
+                dst=dst,
+            )
         if self._drop_filter is not None and self._drop_filter(src, dst, message):
             self.stats.losses += 1
+            if send_eid is not None:
+                self.tracer.emit(
+                    dst, "net.drop", parent=send_eid, src=src, reason="filter"
+                )
             return
         if dst == src:
-            self._schedule_delivery(src, dst, data, self.params.self_latency)
+            self._schedule_delivery(src, dst, data, self.params.self_latency, send_eid)
         elif self._segment[dst] == self._segment[src]:
-            self._maybe_deliver(src, dst, data)
+            self._maybe_deliver(src, dst, data, send_eid)
         else:
             self.stats.partition_drops += 1
+            if send_eid is not None:
+                self.tracer.emit(
+                    dst, "net.drop", parent=send_eid, src=src, reason="partition"
+                )
 
     # -- internals ------------------------------------------------------------
 
-    def _maybe_deliver(self, src: ProcessId, dst: ProcessId, data: bytes) -> None:
+    def _maybe_deliver(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        data: bytes,
+        send_eid: Optional[int] = None,
+    ) -> None:
         if self._rng.random() < self.params.loss_rate:
             self.stats.losses += 1
+            if send_eid is not None:
+                self.tracer.emit(
+                    dst, "net.drop", parent=send_eid, src=src, reason="loss"
+                )
             return
         latency = self._rng.uniform(self.params.latency_min, self.params.latency_max)
-        self._schedule_delivery(src, dst, data, latency)
+        self._schedule_delivery(src, dst, data, latency, send_eid)
         if self.params.duplicate_rate and self._rng.random() < self.params.duplicate_rate:
             self.stats.duplicates += 1
             extra = self._rng.uniform(self.params.latency_min, self.params.latency_max)
-            self._schedule_delivery(src, dst, data, latency + extra)
+            self._schedule_delivery(src, dst, data, latency + extra, send_eid)
 
     def _schedule_delivery(
-        self, src: ProcessId, dst: ProcessId, data: bytes, latency: float
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        data: bytes,
+        latency: float,
+        send_eid: Optional[int] = None,
     ) -> None:
         def deliver() -> None:
             # A partition that happens while the packet is "in flight"
             # drops it, matching physical reality where the receiver has
             # moved out of radio/bridge range.
             if not self._alive.get(dst, False):
+                if send_eid is not None:
+                    self.tracer.emit(
+                        dst, "net.drop", parent=send_eid, src=src, reason="crashed"
+                    )
                 return
             if dst != src and self._segment[dst] != self._segment[src]:
                 self.stats.partition_drops += 1
+                if send_eid is not None:
+                    self.tracer.emit(
+                        dst,
+                        "net.drop",
+                        parent=send_eid,
+                        src=src,
+                        reason="inflight-partition",
+                    )
                 return
             self.stats.deliveries += 1
+            if send_eid is not None:
+                self.tracer.emit(dst, "net.recv", parent=send_eid, src=src)
             self._handlers[dst](src, codec.decode_timed(data, self.stats.codec))
 
         self._scheduler.call_later(latency, deliver)

@@ -1,0 +1,59 @@
+"""Structured tracing, metrics, and the run-explainer.
+
+Public surface of the observability subsystem:
+
+* :mod:`repro.obs.trace` - :class:`Tracer`, :class:`TraceEvent`, sinks,
+  JSONL round-trip;
+* :mod:`repro.obs.schema` - the event taxonomy and trace validation;
+* :mod:`repro.obs.registry` - counters/gauges/histograms;
+* :mod:`repro.obs.explain` - swimlane rendering, configuration-change
+  narration, violation pinpointing.
+"""
+
+from repro.obs.explain import (
+    explain_config_changes,
+    match_violations,
+    render_violation_matches,
+    swimlane,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.schema import KINDS, PAPER_STEPS, SPAN_KINDS, validate_events
+from repro.obs.trace import (
+    CAUSE,
+    NO_TRACE,
+    JsonlSink,
+    ListSink,
+    NullTracer,
+    RingBufferSink,
+    Sink,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "CAUSE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "KINDS",
+    "ListSink",
+    "MetricsRegistry",
+    "NO_TRACE",
+    "NullTracer",
+    "PAPER_STEPS",
+    "RingBufferSink",
+    "SPAN_KINDS",
+    "Sink",
+    "TraceEvent",
+    "Tracer",
+    "explain_config_changes",
+    "match_violations",
+    "read_jsonl",
+    "render_violation_matches",
+    "swimlane",
+    "validate_events",
+    "write_jsonl",
+]

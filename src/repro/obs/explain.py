@@ -1,0 +1,307 @@
+"""The run-explainer: swimlanes and plain-English configuration stories.
+
+Given a trace (from a :class:`~repro.obs.trace.RingBufferSink`, a bundle's
+``trace.jsonl``, or any event list), this module renders
+
+* :func:`swimlane` - a per-process timeline where every row is one event
+  (``#eid kind<-#parent``), so causal links are visible at a glance;
+* :func:`explain_config_changes` - for each ``evs.conf`` install, the
+  causal chain back through recovery Steps 6..3 and the membership round
+  that produced it, narrated in the paper's vocabulary: who failed or
+  went silent, which old-ring messages were rebroadcast, which were
+  discarded as causally dependent on unavailable messages, and the
+  obligation sets in play;
+* :func:`match_violations` - maps a conformance checker's violation text
+  back to the trace event ids that mention the same message or
+  configuration identifiers, so a spec-violating bundle's trace
+  pinpoints the offending events.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import TraceEvent
+
+#: Short lane labels for event kinds (full kinds stay in the schema).
+_ABBREV = {
+    "net.send": "snd",
+    "net.recv": "rcv",
+    "net.drop": "drp",
+    "net.partition": "part",
+    "net.merge": "merge",
+    "membership.gather": "gather",
+    "membership.escalate": "escal",
+    "membership.consensus": "consen",
+    "recovery.step2.buffer": "buf",
+    "recovery.step3": "step3",
+    "recovery.step4": "step4",
+    "recovery.rebroadcast": "rebcast",
+    "recovery.step5": "step5",
+    "recovery.step6": "step6",
+    "evs.conf": "conf",
+    "evs.send": "send",
+    "evs.deliver": "dlv",
+    "evs.fail": "fail",
+    "vs.mask": "mask",
+    "vs.block": "block",
+    "vs.view": "view",
+    "vs.discard": "disc",
+}
+
+#: Kinds shown by default in the swimlane: the protocol story.  Per-frame
+#: network records and per-message deliveries are available with
+#: ``include_all`` but drown the membership/recovery narrative.
+DEFAULT_SWIMLANE_KINDS = frozenset(
+    k
+    for k in _ABBREV
+    if not k.startswith("net.") and k not in ("evs.deliver", "evs.send", "vs.discard")
+)
+
+#: Lane used for events with no process id (network topology).
+NET_LANE = "(net)"
+
+
+def _lane_of(event: TraceEvent) -> str:
+    return event.pid if event.pid else NET_LANE
+
+
+def swimlane(
+    events: Sequence[TraceEvent],
+    max_rows: int = 80,
+    include_all: bool = False,
+    lane_width: int = 20,
+) -> str:
+    """Render one column per process, one row per event, time-ordered.
+
+    Cells read ``#eid kind<-#parent``; the parent reference is how causal
+    links show up (a configuration install's cell points at the
+    recovery-step span that produced it).
+    """
+    if include_all:
+        shown = list(events)
+    else:
+        shown = [e for e in events if e.kind in DEFAULT_SWIMLANE_KINDS]
+    if not shown:
+        return "(no trace events to display)"
+    lanes: List[str] = []
+    for event in shown:
+        lane = _lane_of(event)
+        if lane not in lanes:
+            lanes.append(lane)
+    lanes.sort(key=lambda p: (p == NET_LANE, p))
+    index = {lane: i for i, lane in enumerate(lanes)}
+
+    header = f"{'t(s)':>10s}  " + "  ".join(f"{p:<{lane_width}s}" for p in lanes)
+    bar = "-" * len(header)
+    lines = [header, bar]
+    overflow = max(0, len(shown) - max_rows)
+    for event in shown[: max_rows]:
+        cells = [" " * lane_width] * len(lanes)
+        label = f"#{event.eid} {_ABBREV.get(event.kind, event.kind)}"
+        if event.parent is not None:
+            label += f"<-#{event.parent}"
+        cells[index[_lane_of(event)]] = f"{label:<{lane_width}s}"[:lane_width]
+        lines.append(f"{event.ts:>10.4f}  " + "  ".join(cells))
+    if overflow:
+        lines.append(f"... {overflow} more event(s) (raise max_rows to see them)")
+    return "\n".join(lines)
+
+
+# -- configuration-change narration -----------------------------------------
+
+
+def causal_chain(
+    events_by_id: Dict[int, TraceEvent], event: TraceEvent
+) -> List[TraceEvent]:
+    """The event plus its ancestors, oldest first."""
+    chain = [event]
+    cursor = event
+    while cursor.parent is not None:
+        parent = events_by_id.get(cursor.parent)
+        if parent is None:
+            break  # truncated by the ring buffer
+        chain.append(parent)
+        cursor = parent
+    chain.reverse()
+    return chain
+
+
+def _fmt_pids(pids: Iterable[str]) -> str:
+    items = sorted(pids)
+    return "{" + ",".join(items) + "}" if items else "{}"
+
+
+def _fmt_seqs(seqs: Iterable[int]) -> str:
+    return "[" + ",".join(str(s) for s in sorted(set(seqs))) + "]"
+
+
+def explain_config_changes(events: Sequence[TraceEvent]) -> str:
+    """One plain-English paragraph per configuration install."""
+    by_id = {e.eid: e for e in events}
+    children: Dict[int, List[TraceEvent]] = {}
+    for e in events:
+        if e.parent is not None:
+            children.setdefault(e.parent, []).append(e)
+
+    paragraphs: List[str] = []
+    for event in events:
+        if event.kind != "evs.conf":
+            continue
+        kind = event.data.get("config_kind", "?")
+        members = event.data.get("members", [])
+        head = (
+            f"t={event.ts:.4f} {event.pid}: installed {kind} configuration "
+            f"{event.data.get('config', '?')} with members {_fmt_pids(members)} "
+            f"(event #{event.eid})"
+        )
+        details: List[str] = []
+        chain = causal_chain(by_id, event)
+        chain_ids = " -> ".join(f"#{e.eid} {e.kind}" for e in chain)
+        for link in chain:
+            d = link.data
+            if link.kind == "membership.gather":
+                reason = d.get("reason", "unspecified")
+                details.append(
+                    f"membership round #{link.eid} started at t={link.ts:.4f} "
+                    f"(trigger: {reason}) with candidates "
+                    f"{_fmt_pids(d.get('candidates', []))}"
+                )
+                for child in children.get(link.eid, []):
+                    if child.kind == "membership.escalate":
+                        details.append(
+                            f"consensus escalation #{child.eid} declared "
+                            f"{_fmt_pids(child.data.get('failed', []))} failed "
+                            f"(silent or disagreeing past the deadline)"
+                        )
+            elif link.kind == "membership.consensus":
+                details.append(
+                    f"consensus #{link.eid} agreed on members "
+                    f"{_fmt_pids(d.get('members', []))}"
+                )
+            elif link.kind == "recovery.step3":
+                obligations = d.get("obligations", {})
+                interesting = {
+                    p: o for p, o in sorted(obligations.items()) if o
+                }
+                obl = (
+                    "; prior obligations "
+                    + ", ".join(
+                        f"{p}:{_fmt_pids(o)}" for p, o in interesting.items()
+                    )
+                    if interesting
+                    else ""
+                )
+                details.append(
+                    f"Step 3 exchange #{link.eid} distributed state of "
+                    f"{_fmt_pids(obligations.keys())}{obl}"
+                )
+            elif link.kind == "recovery.step4":
+                duties = d.get("duties", [])
+                details.append(
+                    f"Step 4 #{link.eid}: transitional group "
+                    f"{_fmt_pids(d.get('group', []))} collectively holds "
+                    f"{d.get('needed', 0)} old-ring message(s)"
+                    + (
+                        f"; this process must rebroadcast {_fmt_seqs(duties)}"
+                        if duties
+                        else ""
+                    )
+                )
+                rebroadcast: List[int] = []
+                for child in children.get(link.eid, []):
+                    if child.kind == "recovery.rebroadcast":
+                        rebroadcast.extend(child.data.get("seqs", []))
+                if rebroadcast:
+                    details.append(
+                        f"Step 5.a rebroadcast old-ring ordinals "
+                        f"{_fmt_seqs(rebroadcast)}"
+                    )
+            elif link.kind == "recovery.step5":
+                details.append(
+                    f"Step 5.c #{link.eid}: exchange complete, obligation set "
+                    f"extended to {_fmt_pids(d.get('obligation', []))}"
+                )
+            elif link.kind == "recovery.step6":
+                discarded = d.get("discarded", [])
+                details.append(
+                    f"Step 6 #{link.eid} decided: deliver "
+                    f"{len(d.get('deliver_regular', []))} message(s) in the old "
+                    f"regular configuration, "
+                    f"{len(d.get('deliver_transitional', []))} in the "
+                    f"transitional configuration "
+                    f"{_fmt_pids(d.get('transitional_members', []))}"
+                    + (
+                        f", discarding ordinals {_fmt_seqs(discarded)} as "
+                        f"causally dependent on unavailable messages"
+                        if discarded
+                        else ", discarding nothing"
+                    )
+                )
+        if len(chain) == 1:
+            details.append(
+                "no causal ancestry recorded (boot configuration, or the "
+                "span was evicted from the ring buffer)"
+            )
+        paragraph = [head] + [f"    - {line}" for line in details]
+        paragraph.append(f"    causal chain: {chain_ids}")
+        paragraphs.append("\n".join(paragraph))
+    if not paragraphs:
+        return "(no configuration changes in the trace)"
+    return "\n".join(paragraphs)
+
+
+# -- violation pinpointing ---------------------------------------------------
+
+#: Message and configuration identifier tokens as rendered by
+#: ``repro.types`` (``m(ring_seq,rep,#seq)`` / ``conf[R seq,rep]`` /
+#: ``conf[T seq,rep|old,min]``).
+_TOKEN_RE = re.compile(r"m\(\d+,[^(),\s]+,#\d+\)|conf\[[^\]]+\]")
+
+
+def _searchable(event: TraceEvent) -> str:
+    parts = [event.ring]
+    for value in event.data.values():
+        parts.append(str(value))
+    return " ".join(parts)
+
+
+def match_violations(
+    events: Sequence[TraceEvent],
+    violations: Sequence[str],
+    per_violation_limit: int = 8,
+) -> List[Tuple[str, List[TraceEvent]]]:
+    """For each violation line, the trace events mentioning the same
+    message/configuration identifiers (empty list when nothing matches,
+    e.g. the events were evicted from the ring buffer)."""
+    searchable = [(e, _searchable(e)) for e in events]
+    out: List[Tuple[str, List[TraceEvent]]] = []
+    for violation in violations:
+        tokens = set(_TOKEN_RE.findall(violation))
+        matched: List[TraceEvent] = []
+        if tokens:
+            for event, text in searchable:
+                if any(tok in text for tok in tokens):
+                    matched.append(event)
+                    if len(matched) >= per_violation_limit:
+                        break
+        out.append((violation, matched))
+    return out
+
+
+def render_violation_matches(
+    matches: List[Tuple[str, List[TraceEvent]]]
+) -> str:
+    lines: List[str] = []
+    for violation, matched in matches:
+        lines.append(f"violation: {violation}")
+        if matched:
+            for e in matched:
+                lines.append(
+                    f"    -> event #{e.eid} t={e.ts:.4f} {e.pid or NET_LANE} "
+                    f"{e.kind}"
+                )
+        else:
+            lines.append("    -> no matching trace events (evicted or unrelated)")
+    return "\n".join(lines) if lines else "(no violations)"

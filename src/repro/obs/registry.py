@@ -1,0 +1,168 @@
+"""A lightweight counters/gauges/histograms registry.
+
+The stack's observability numbers used to live in ad-hoc stat
+dataclasses (:class:`~repro.net.network.NetworkStats`,
+:class:`~repro.totem.controller.ControllerStats`, scheduler properties)
+with bespoke rendering in each consumer.  The registry gives them one
+shared surface: named instruments, a ``snapshot()`` dict for campaign
+per-seed stats and tests, and a uniform rendering for
+``cluster.describe()`` and the benches.
+
+Zero-dependency and deliberately small: counters and gauges are a float
+cell, histograms keep raw samples (runs are short; the nearest-rank
+percentiles match :class:`repro.harness.metrics.Summary`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time measurement (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Raw-sample histogram with nearest-rank percentile summaries."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile: the smallest sample with at least
+        ``ceil(p * n)`` samples at or below it."""
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": len(self.samples),
+            "mean": sum(self.samples) / len(self.samples),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "max": max(self.samples),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, lazily created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # -- bulk ingestion ----------------------------------------------------
+
+    def count_from(self, prefix: str, mapping: Mapping[str, Any]) -> None:
+        """Snapshot a stats mapping (e.g. ``vars(ControllerStats)``) as
+        counters named ``<prefix>.<field>``; non-numeric values are
+        skipped."""
+        for key, value in mapping.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            counter = self.counter(f"{prefix}.{key}")
+            counter.value = counter.value + value
+
+    # -- output ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat name -> value view (histograms become summary dicts)."""
+        out: Dict[str, Any] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, h in self._histograms.items():
+            out[name] = h.summary()
+        return out
+
+    def render(self, title: str = "metrics") -> str:
+        """Multi-line human-readable rendering, stable order."""
+        snap = self.snapshot()
+        width = max([len(title)] + [len(n) for n in snap]) + 2 if snap else 20
+        lines = [f"{title}:"]
+        for name in sorted(snap):
+            value = snap[name]
+            if isinstance(value, dict):
+                cells = " ".join(
+                    f"{k}={value[k]:.6g}" if isinstance(value[k], float) else f"{k}={value[k]}"
+                    for k in ("count", "mean", "p50", "p95", "max")
+                    if k in value
+                )
+                lines.append(f"  {name:<{width}s} {cells}")
+            elif isinstance(value, float):
+                lines.append(f"  {name:<{width}s} {value:.6g}")
+            else:
+                lines.append(f"  {name:<{width}s} {value}")
+        return "\n".join(lines)
+
+    def render_compact(self, keys: Optional[List[str]] = None) -> str:
+        """One-line ``k=v`` rendering of selected (or all) counters and
+        gauges, for ``cluster.describe()``."""
+        snap = {
+            k: v for k, v in self.snapshot().items() if not isinstance(v, dict)
+        }
+        names = keys if keys is not None else sorted(snap)
+        cells = []
+        for name in names:
+            if name in snap:
+                value = snap[name]
+                text = f"{value:.6g}" if isinstance(value, float) else str(value)
+                cells.append(f"{name}={text}")
+        return " ".join(cells)

@@ -1,0 +1,151 @@
+"""The trace schema: event taxonomy and structural validation.
+
+A trace is a sequence of :class:`~repro.obs.trace.TraceEvent` records
+obeying invariants that the explainer, the swimlane renderer, and the CI
+smoke job all rely on:
+
+* ``eid`` strictly increasing from 1 (emission order is total);
+* ``ts`` non-decreasing (the simulator clock never runs backwards);
+* ``parent``, when present, names an *earlier* event (causes precede
+  effects);
+* ``kind`` belongs to the taxonomy below.
+
+The taxonomy maps onto the paper's algorithm (Section 3, Steps 1-6) -
+see docs/OBSERVABILITY.md for the full table:
+
+==========================  =================================================
+``net.*``                   frames on the wire: ``send``, ``recv``, ``drop``
+                            (reason: loss/partition/filter/crashed),
+                            ``partition``, ``merge``
+``membership.*``            the assumed membership algorithm: ``gather``
+                            (round start, with the reason), ``escalate``
+                            (silent candidates failed), ``consensus``
+``recovery.step2.buffer``   Step 2: traffic for the proposed configuration
+                            buffered before installation
+``recovery.step3``          Step 3: state exchange complete (commit token
+                            distributed every member's info + obligations)
+``recovery.step4``          Steps 4.a/4.b: transitional membership and
+                            rebroadcast duties determined
+``recovery.rebroadcast``    Step 5.a: old-ring messages rebroadcast
+``recovery.step5``          Step 5.c: local exchange complete, obligation
+                            set extended
+``recovery.step6``          Step 6: the atomic delivery decision (plan
+                            payload: deliveries, discards, obligations)
+``evs.*``                   engine events: ``conf`` (configuration
+                            install), ``send``, ``deliver``, ``fail``
+``vs.*``                    §5 filter decisions: ``mask``, ``block``,
+                            ``view``, ``discard``
+==========================  =================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.obs.trace import TraceEvent
+
+#: Every kind the instrumented stack emits.
+KINDS = frozenset(
+    {
+        "net.send",
+        "net.recv",
+        "net.drop",
+        "net.partition",
+        "net.merge",
+        "membership.gather",
+        "membership.escalate",
+        "membership.consensus",
+        "recovery.step2.buffer",
+        "recovery.step3",
+        "recovery.step4",
+        "recovery.rebroadcast",
+        "recovery.step5",
+        "recovery.step6",
+        "evs.conf",
+        "evs.send",
+        "evs.deliver",
+        "evs.fail",
+        "vs.mask",
+        "vs.block",
+        "vs.view",
+        "vs.discard",
+    }
+)
+
+#: Kinds that open protocol spans other events causally hang off.
+SPAN_KINDS = frozenset(
+    {
+        "membership.gather",
+        "membership.consensus",
+        "recovery.step3",
+        "recovery.step4",
+        "recovery.step5",
+        "recovery.step6",
+    }
+)
+
+#: Mapping of span kinds to the paper's algorithm steps (Section 3),
+#: used by docs and the explainer's narration.
+PAPER_STEPS = {
+    "evs.deliver": "Step 1 (deliver in the regular configuration)",
+    "recovery.step2.buffer": "Step 2 (buffer messages for the proposed configuration)",
+    "recovery.step3": "Step 3 (exchange state with every member)",
+    "recovery.step4": "Steps 4.a-4.b (transitional membership + rebroadcast set)",
+    "recovery.rebroadcast": "Step 5.a (rebroadcast missing messages)",
+    "recovery.step5": "Step 5.c (exchange complete, obligations extended)",
+    "recovery.step6": "Step 6 (atomic delivery decision and installation)",
+}
+
+
+def validate_event(event: TraceEvent, seen: Optional[Set[int]] = None) -> List[str]:
+    """Structural checks on one event; returns human-readable errors."""
+    errors: List[str] = []
+    where = f"event #{event.eid}"
+    if not isinstance(event.eid, int) or event.eid < 1:
+        errors.append(f"{where}: eid must be a positive integer")
+    if not isinstance(event.ts, (int, float)):
+        errors.append(f"{where}: ts must be a number, got {type(event.ts).__name__}")
+    if not isinstance(event.pid, str):
+        errors.append(f"{where}: pid must be a string")
+    if event.kind not in KINDS:
+        errors.append(f"{where}: unknown kind {event.kind!r}")
+    if not isinstance(event.ring, str):
+        errors.append(f"{where}: ring must be a string")
+    if event.parent is not None:
+        if not isinstance(event.parent, int):
+            errors.append(f"{where}: parent must be an eid or null")
+        elif event.parent >= event.eid:
+            errors.append(
+                f"{where}: parent #{event.parent} does not precede the event"
+            )
+        elif seen is not None and event.parent not in seen:
+            errors.append(f"{where}: parent #{event.parent} not in the trace")
+    if not isinstance(event.data, dict):
+        errors.append(f"{where}: data must be an object")
+    return errors
+
+
+def validate_events(events: Iterable[TraceEvent]) -> List[str]:
+    """Validate a whole trace (ordering invariants included)."""
+    errors: List[str] = []
+    seen: Set[int] = set()
+    last_eid = 0
+    last_ts = float("-inf")
+    for event in events:
+        errors.extend(validate_event(event, seen))
+        if isinstance(event.eid, int):
+            if event.eid <= last_eid:
+                errors.append(
+                    f"event #{event.eid}: eid not strictly increasing "
+                    f"(previous #{last_eid})"
+                )
+            last_eid = max(last_eid, event.eid)
+            seen.add(event.eid)
+        if isinstance(event.ts, (int, float)):
+            if event.ts < last_ts:
+                errors.append(
+                    f"event #{event.eid}: timestamp {event.ts} runs backwards "
+                    f"(previous {last_ts})"
+                )
+            last_ts = max(last_ts, event.ts)
+    return errors

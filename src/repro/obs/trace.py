@@ -1,0 +1,316 @@
+"""Structured protocol tracing: typed events with causal parent links.
+
+The paper's evaluation is formal, so the only runtime window into an
+execution used to be the post-hoc spec-checker verdict.  This module
+turns every run into an inspectable timeline: each layer of the stack
+(network, Totem membership/recovery, the EVS engine, the §5 VS filter)
+emits :class:`TraceEvent` records through one shared :class:`Tracer`,
+and every event carries
+
+* a run-unique, strictly increasing event id (``eid``),
+* a timestamp from the run's clock (simulated time on the simulator, so
+  identical seeds produce identical traces),
+* the emitting process id (``""`` for network-wide topology events),
+* a dotted ``kind`` from the taxonomy in :mod:`repro.obs.schema`
+  (``recovery.step6``, ``evs.conf``, ``net.send``, ...), and
+* an optional causal ``parent`` eid - a configuration install points at
+  the recovery Step 6 span that produced it, a ``net.recv`` at the
+  ``net.send`` whose frame it completes.
+
+Causal linking uses a per-process *cause* register: a layer that opens a
+span (e.g. the controller entering recovery Step 6) sets the cause, and
+synchronous downstream emissions (the engine's configuration change, the
+VS filter's view decision) inherit it without any plumbing through the
+intervening interfaces.
+
+Overhead discipline: the module is zero-dependency, call sites guard
+with ``if tracer:`` (the shared :data:`NO_TRACE` null tracer is falsy,
+so a disabled run pays one truthiness check per site), and the
+:class:`RingBufferSink` keeps memory bounded so tracing can stay on
+during fuzzing (the measured cost is recorded by
+``benchmarks/bench_campaign.py``; see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+)
+
+#: Serialization version stamped on every JSONL line.
+TRACE_VERSION = 1
+
+#: Sentinel for ``Tracer.emit(parent=...)``: "inherit the emitting
+#: process's current cause register" (distinct from None = no parent).
+CAUSE = object()
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record."""
+
+    eid: int
+    ts: float
+    pid: str
+    kind: str
+    ring: str = ""
+    parent: Optional[int] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "v": TRACE_VERSION,
+            "eid": self.eid,
+            "ts": self.ts,
+            "pid": self.pid,
+            "kind": self.kind,
+            "ring": self.ring,
+            "parent": self.parent,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            eid=doc["eid"],
+            ts=doc["ts"],
+            pid=doc["pid"],
+            kind=doc["kind"],
+            ring=doc.get("ring", ""),
+            parent=doc.get("parent"),
+            data=doc.get("data", {}),
+        )
+
+    def key(self) -> tuple:
+        """Full identity tuple, used by the determinism tests."""
+        return (
+            self.eid,
+            self.ts,
+            self.pid,
+            self.kind,
+            self.ring,
+            self.parent,
+            json.dumps(self.data, sort_keys=True),
+        )
+
+
+# -- sinks -------------------------------------------------------------------
+
+
+class Sink:
+    """Where emitted events go.  Implementations must be cheap: they sit
+    on the hot path of every instrumented layer."""
+
+    def accept(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class ListSink(Sink):
+    """Unbounded in-memory sink (tests and short demos)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def accept(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+
+class RingBufferSink(Sink):
+    """Bounded in-memory sink: keeps the newest ``capacity`` events.
+
+    The bound is what lets tracing stay on during fuzzing campaigns -
+    memory stays constant no matter how long the scenario runs.  Evicted
+    events are counted in :attr:`dropped` so truncation is visible, never
+    silent.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring buffer capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buf: deque = deque(maxlen=capacity)
+
+    def accept(self, event: TraceEvent) -> None:
+        if len(self._buf) == self.capacity:
+            self.dropped += 1
+        self._buf.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._buf)
+
+
+class JsonlSink(Sink):
+    """Streams every event as one JSON line to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def accept(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event.to_json(), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+# -- tracer ------------------------------------------------------------------
+
+
+class Tracer:
+    """Emits :class:`TraceEvent` records into any number of sinks.
+
+    ``clock`` supplies timestamps (the simulator's virtual clock for
+    deterministic traces; ``time.monotonic`` works for wall-clock runs).
+    ``net`` gates the high-volume per-frame network events
+    (``net.send``/``net.recv``/``net.drop``) independently of the
+    protocol-level spans, so fuzzing campaigns can keep the cheap
+    protocol trace on while skipping per-packet records.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        sinks: Sequence[Sink] = (),
+        net: bool = True,
+    ) -> None:
+        self._clock = clock
+        self._sinks: List[Sink] = list(sinks)
+        self.net = net
+        self.emitted = 0
+        self._next_eid = 1
+        self._cause: Dict[str, Optional[int]] = {}
+
+    def __bool__(self) -> bool:
+        return True
+
+    def add_sink(self, sink: Sink) -> None:
+        self._sinks.append(sink)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+    # -- causal context ---------------------------------------------------
+
+    def set_cause(self, pid: str, eid: Optional[int]) -> None:
+        """Set the causal parent inherited by ``pid``'s subsequent
+        emissions that pass ``parent=CAUSE`` (the default)."""
+        self._cause[pid] = eid
+
+    def cause(self, pid: str) -> Optional[int]:
+        return self._cause.get(pid)
+
+    def clear_cause(self, pid: str) -> None:
+        self._cause.pop(pid, None)
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(
+        self,
+        pid: str,
+        kind: str,
+        ring: str = "",
+        parent: Any = CAUSE,
+        **data: Any,
+    ) -> int:
+        """Record one event; returns its eid (usable as a later parent).
+
+        ``parent=CAUSE`` (default) inherits the process's cause register;
+        pass an eid for an explicit link or ``None`` for a root event.
+        ``data`` values must be JSON-serializable.
+        """
+        eid = self._next_eid
+        self._next_eid = eid + 1
+        if parent is CAUSE:
+            parent = self._cause.get(pid)
+        event = TraceEvent(
+            eid=eid,
+            ts=self._clock(),
+            pid=pid,
+            kind=kind,
+            ring=ring,
+            parent=parent,
+            data=data,
+        )
+        for sink in self._sinks:
+            sink.accept(event)
+        self.emitted += 1
+        return eid
+
+
+class NullTracer:
+    """Disabled tracer: falsy, so ``if tracer:`` guards skip all work.
+
+    ``emit`` still exists (returning 0) so un-guarded call sites degrade
+    to a no-op rather than an AttributeError.
+    """
+
+    net = False
+    emitted = 0
+
+    def __bool__(self) -> bool:
+        return False
+
+    def emit(self, pid: str, kind: str, ring: str = "", parent: Any = None, **data: Any) -> int:
+        return 0
+
+    def set_cause(self, pid: str, eid: Optional[int]) -> None:
+        pass
+
+    def cause(self, pid: str) -> Optional[int]:
+        return None
+
+    def clear_cause(self, pid: str) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled tracer every layer defaults to.
+NO_TRACE = NullTracer()
+
+
+# -- JSONL round trip --------------------------------------------------------
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Write events as a JSONL trace file; returns the event count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_json(), sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Load a JSONL trace file written by :func:`write_jsonl` or
+    :class:`JsonlSink`."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_no}: not valid JSON: {exc}")
+            events.append(TraceEvent.from_json(doc))
+    return events

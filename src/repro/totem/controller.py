@@ -41,6 +41,7 @@ from typing import Any, Deque, Dict, FrozenSet, Optional, Set, Tuple
 from repro.core.recovery import RecoveryPlan, plan_step6
 from repro.errors import ProcessCrashedError
 from repro.net.transport import Host
+from repro.obs.trace import NO_TRACE
 from repro.totem.membership import GatherState
 from repro.totem.messages import (
     Beacon,
@@ -146,6 +147,7 @@ class TotemController:
         engine: EngineHooks,
         config: Optional[TotemConfig] = None,
         boot_ring_seq: int = 0,
+        tracer: Any = NO_TRACE,
     ) -> None:
         self.host = host
         self.engine = engine
@@ -154,6 +156,11 @@ class TotemController:
         self.me: ProcessId = host.pid
         self.state = ControllerState.CRASHED
         self.stats = ControllerStats()
+        #: Structured tracing (:mod:`repro.obs.trace`); spans for the
+        #: membership rounds and recovery Steps 2-6 are emitted here, each
+        #: causally chained to its predecessor via the cause register.
+        self.tracer = tracer
+        self._trace_gather: Optional[int] = None
 
         # Installed regular configuration (as a ring).  Set at start().
         self.ring: Optional[RingState] = None
@@ -193,7 +200,7 @@ class TotemController:
         self.state = ControllerState.OPERATIONAL
         self.ring = RingState(boot_ring, (self.me,), self.me)
         self.max_ring_seq_seen = max(self.max_ring_seq_seen, boot_ring.seq)
-        self._enter_gather()
+        self._enter_gather(reason="boot")
 
     def submit(self, payload: bytes, requirement: DeliveryRequirement) -> int:
         """Queue an application message; returns its origin sequence
@@ -225,6 +232,8 @@ class TotemController:
 
     def crash(self) -> None:
         """Fail-stop: lose all volatile state and go silent."""
+        if self.tracer:
+            self.tracer.clear_cause(self.me)
         self.state = ControllerState.CRASHED
         self.gather = None
         self.recovery = None
@@ -300,6 +309,14 @@ class TotemController:
             # "buffer any messages received for the proposed new
             # configuration").
             self._pending_new_ring.setdefault(msg.ring, {})[msg.seq] = msg
+            if self.tracer:
+                self.tracer.emit(
+                    self.me,
+                    "recovery.step2.buffer",
+                    ring=str(msg.ring),
+                    seq=msg.seq,
+                    sender=msg.sender,
+                )
             return
         if src in ring.members and msg.ring.seq <= ring.ring.seq:
             return  # stale retransmission from a past configuration
@@ -448,7 +465,7 @@ class TotemController:
 
     def _on_token_loss(self) -> None:
         if self.state is ControllerState.OPERATIONAL:
-            self._enter_gather()
+            self._enter_gather(reason="token-loss")
 
     def _deliver_operational(self) -> None:
         ring = self.ring
@@ -483,7 +500,9 @@ class TotemController:
         if beacon.sender in ring.members and beacon.ring.seq <= ring.ring.seq:
             return  # stale beacon from a configuration we already left
         if self.state is ControllerState.OPERATIONAL:
-            self._enter_gather(extra_candidates=tuple(beacon.members))
+            self._enter_gather(
+                extra_candidates=tuple(beacon.members), reason="foreign-beacon"
+            )
         elif self.state is ControllerState.GATHER:
             assert self.gather is not None
             changed = False
@@ -501,7 +520,7 @@ class TotemController:
         """Traffic from outside the configuration: another component is
         reachable, so start membership."""
         if self.state is ControllerState.OPERATIONAL:
-            self._enter_gather(extra_candidates=(pid,))
+            self._enter_gather(extra_candidates=(pid,), reason="foreign-traffic")
         elif self.state is ControllerState.GATHER:
             assert self.gather is not None
             if self.gather.add_candidate(pid):
@@ -509,7 +528,11 @@ class TotemController:
         # In COMMIT/RECOVERY, finish the installation first; the next
         # round of foreign traffic will trigger the merge.
 
-    def _enter_gather(self, extra_candidates: Tuple[ProcessId, ...] = ()) -> None:
+    def _enter_gather(
+        self,
+        extra_candidates: Tuple[ProcessId, ...] = (),
+        reason: str = "unspecified",
+    ) -> None:
         ring = self.ring
         assert ring is not None
         for timer in (
@@ -541,6 +564,15 @@ class TotemController:
             max_ring_seq=self.max_ring_seq_seen,
             started_at=self.host.now,
         )
+        if self.tracer:
+            self._trace_gather = self.tracer.emit(
+                self.me,
+                "membership.gather",
+                ring=str(ring.ring),
+                reason=reason,
+                **self.gather.trace_payload(),
+            )
+            self.tracer.set_cause(self.me, self._trace_gather)
         self._broadcast_join()
         self.host.set_timer(T_JOIN, self.config.join_timeout)
         self.host.set_timer(T_CONSENSUS, self.config.consensus_timeout)
@@ -577,7 +609,7 @@ class TotemController:
             ControllerState.COMMIT,
             ControllerState.RECOVERY,
         ):
-            self._enter_gather()
+            self._enter_gather(reason=f"join-from-{join.sender}")
             # fall through so the join is absorbed below
         if self.state is ControllerState.GATHER:
             assert self.gather is not None
@@ -601,6 +633,14 @@ class TotemController:
         failed = self.gather.escalate()
         if failed:
             self.stats.consensus_escalations += 1
+            if self.tracer:
+                self.tracer.emit(
+                    self.me,
+                    "membership.escalate",
+                    parent=self._trace_gather,
+                    failed=sorted(failed),
+                    candidates=sorted(self.gather.candidates),
+                )
         self._broadcast_join()
         self._check_consensus(allow_singleton=True)
         self.host.set_timer(T_CONSENSUS, self.config.consensus_timeout)
@@ -620,6 +660,14 @@ class TotemController:
         self.host.cancel_timer(T_CONSENSUS)
         self.state = ControllerState.COMMIT
         self.stats.commits_started += 1
+        if self.tracer:
+            eid = self.tracer.emit(
+                self.me,
+                "membership.consensus",
+                members=list(members),
+                failed=sorted(gather.fail_set),
+            )
+            self.tracer.set_cause(self.me, eid)
         self.engine.on_state_change(self.state)
         self.host.set_timer(T_COMMIT, self.config.consensus_timeout)
         if gather.is_representative():
@@ -717,7 +765,7 @@ class TotemController:
 
     def _on_commit_timeout(self) -> None:
         if self.state is ControllerState.COMMIT:
-            self._enter_gather()
+            self._enter_gather(reason="commit-timeout")
 
     # -------------------------------------------------------------- recovery
 
@@ -739,6 +787,21 @@ class TotemController:
             infos=ct.infos,
             held_locally=held_locally,
         )
+        if self.tracer:
+            step3 = self.tracer.emit(
+                self.me,
+                "recovery.step3",
+                ring=str(ct.ring),
+                **self.recovery.step3_trace_payload(),
+            )
+            self.tracer.set_cause(self.me, step3)
+            step4 = self.tracer.emit(
+                self.me,
+                "recovery.step4",
+                ring=str(ct.ring),
+                **self.recovery.step4_trace_payload(),
+            )
+            self.tracer.set_cause(self.me, step4)
         self.host.set_timer(T_RECOVERY_TIMEOUT, self.config.recovery_timeout)
         self.host.set_timer(T_RECOVERY_RETX, self.config.recovery_retransmit_interval)
         self._rebroadcast_duties(initial=True)
@@ -749,6 +812,7 @@ class TotemController:
         ring = self.ring
         assert recovery is not None and ring is not None
         duties = recovery.duties if initial else recovery.outstanding_duties()
+        sent = []
         for seq in sorted(duties):
             message = ring.messages.get(seq)
             if message is not None:
@@ -758,6 +822,15 @@ class TotemController:
                     )
                 )
                 self.stats.recovery_rebroadcasts += 1
+                sent.append(seq)
+        if sent and self.tracer:
+            self.tracer.emit(
+                self.me,
+                "recovery.rebroadcast",
+                ring=str(recovery.attempt),
+                seqs=sent,
+                initial=initial,
+            )
         self._broadcast_recovery_ack()
 
     def _broadcast_recovery_ack(self) -> None:
@@ -793,6 +866,14 @@ class TotemController:
             # other processes may now deliver safely relying on us; record
             # the obligation.
             self.obligation |= recovery.obligation_extension()
+            if self.tracer:
+                eid = self.tracer.emit(
+                    self.me,
+                    "recovery.step5",
+                    ring=str(recovery.attempt),
+                    obligation=sorted(self.obligation),
+                )
+                self.tracer.set_cause(self.me, eid)
             self._broadcast_recovery_ack()
         if recovery.my_complete and recovery.all_complete():
             self._install_from_recovery()
@@ -813,7 +894,7 @@ class TotemController:
 
     def _on_recovery_timeout(self) -> None:
         if self.state is ControllerState.RECOVERY:
-            self._enter_gather()
+            self._enter_gather(reason="recovery-timeout")
 
     def _install_from_recovery(self) -> None:
         """EVS Step 6: the atomic local delivery decision and installation
@@ -834,6 +915,23 @@ class TotemController:
         )
         new_ring = recovery.attempt
         new_members = frozenset(recovery.members)
+
+        if self.tracer:
+            eid = self.tracer.emit(
+                self.me,
+                "recovery.step6",
+                ring=str(new_ring),
+                old_ring=str(ring.ring),
+                deliver_regular=[m.seq for m in plan.deliver_in_regular],
+                transitional_members=sorted(plan.transitional_members),
+                deliver_transitional=[m.seq for m in plan.deliver_in_transitional],
+                discarded=list(plan.discarded),
+                obligation=sorted(self.obligation),
+            )
+            # Everything the install produces - the engine's transitional
+            # and regular configuration changes, the VS filter's view
+            # decisions - inherits this span as its causal parent.
+            self.tracer.set_cause(self.me, eid)
 
         # Hand the plan to the engine: it performs Steps 6.b-6.e
         # (deliveries and the two configuration change messages).

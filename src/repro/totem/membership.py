@@ -126,6 +126,14 @@ class GatherState:
         self.fail_set |= silent
         return silent
 
+    def trace_payload(self) -> dict:
+        """JSON-serializable snapshot of the round's proposal, emitted on
+        the ``membership.*`` trace events."""
+        return {
+            "candidates": sorted(self.candidates),
+            "failed": sorted(self.fail_set),
+        }
+
     def representative(self) -> ProcessId:
         return representative(self.candidates)
 

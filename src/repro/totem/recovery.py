@@ -165,3 +165,26 @@ class RecoveryState:
         for p in self.group:
             extension |= set(self.infos[p].obligation)
         return frozenset(extension)
+
+    # -- observability -----------------------------------------------------
+
+    def step3_trace_payload(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serializable Step 3 summary: what the commit token's
+        second rotation distributed to this process."""
+        return {
+            "obligations": {
+                p: sorted(info.obligation)
+                for p, info in sorted(self.infos.items())
+            },
+            "old_rings": {
+                p: str(info.old_ring) for p, info in sorted(self.infos.items())
+            },
+        }
+
+    def step4_trace_payload(self) -> Dict[str, object]:
+        """JSON-serializable Step 4 summary: the exchange plan."""
+        return {
+            "group": list(self.group),
+            "needed": len(self.needed),
+            "duties": sorted(self.duties),
+        }

@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.configuration import Configuration, Delivery, Listener
+from repro.obs.trace import NO_TRACE
 from repro.types import ConfigurationId, ProcessId
 from repro.vs.primary import PrimaryComponentTracker, PrimaryStrategy
 from repro.vs.views import (
@@ -69,8 +70,10 @@ class VirtualSynchronyFilter(Listener):
         vs_history: Optional[VsHistory] = None,
         now: Callable[[], float] = lambda: 0.0,
         reidentify: bool = False,
+        tracer=NO_TRACE,
     ) -> None:
         self.pid = pid
+        self.tracer = tracer
         self.tracker = PrimaryComponentTracker(strategy)
         self.vs_listener = vs_listener or VsListener()
         self.vs_history = vs_history if vs_history is not None else VsHistory()
@@ -104,22 +107,55 @@ class VirtualSynchronyFilter(Listener):
         if config.is_transitional:
             # Rule 1: mask; deliveries continue in the current view.
             self.masked_transitionals += 1
+            if self.tracer:
+                self.tracer.emit(
+                    self.pid,
+                    "vs.mask",
+                    ring=str(config.ring),
+                    config=str(config.id),
+                    rule=1,
+                )
             return
         verdict = self.tracker.observe(config)
         if not verdict.is_primary:
             # Rule 2: block.
             self.blocked = True
+            if self.tracer:
+                self.tracer.emit(
+                    self.pid,
+                    "vs.block",
+                    ring=str(config.ring),
+                    config=str(config.id),
+                    rule=2,
+                    reason="not-primary",
+                )
             return
         if self.pid not in config.members:
             # A primary we are not part of cannot be observed by us in a
             # correct run; treat defensively as blocking.
             self.blocked = True
+            if self.tracer:
+                self.tracer.emit(
+                    self.pid,
+                    "vs.block",
+                    ring=str(config.ring),
+                    config=str(config.id),
+                    rule=2,
+                    reason="not-a-member",
+                )
             return
         self._install_primary(config)
 
     def on_deliver(self, delivery: Delivery) -> None:
         if self.blocked or self.current_view is None:
             self.discarded += 1  # Rule 2: discard while blocked
+            if self.tracer:
+                self.tracer.emit(
+                    self.pid,
+                    "vs.discard",
+                    mid=str(delivery.message_id),
+                    rule=2,
+                )
             return
         event = VsDeliverEvent(
             pid=self.pid,
@@ -177,6 +213,15 @@ class VirtualSynchronyFilter(Listener):
             members=tuple(self._vs_id(p) for p in members),
         )
         self.current_view = view
+        if self.tracer:
+            self.tracer.emit(
+                self.pid,
+                "vs.view",
+                ring=str(source.ring),
+                config=str(source),
+                sub=sub,
+                members=list(view.members),
+            )
         event = VsViewEvent(pid=self.pid, view=view, time=self.now())
         self.vs_history.record(event)
         self.vs_listener.on_view(view)

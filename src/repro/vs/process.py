@@ -47,6 +47,7 @@ class VsProcess:
             vs_history=vs_history,
             now=lambda: evs.engine.host.now,
             reidentify=reidentify,
+            tracer=evs.engine.tracer,
         )
 
     # -- sending --------------------------------------------------------------

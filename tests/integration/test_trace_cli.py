@@ -1,0 +1,146 @@
+"""Integration: the tracing CLI surface.
+
+`repro fuzz --trace` attaches a protocol trace to failing bundles,
+`repro replay --trace` retrofits one onto an existing bundle, `repro
+trace` validates and renders either a bundle or a bare .jsonl file (and
+pinpoints the offending event ids for a mutated bundle), `repro figure6
+--trace-out` writes the Figure 6 run's trace, and `repro timeline`
+renders swimlane + explanations.
+"""
+
+import json
+import os
+
+from repro.campaign.bundle import load_bundle
+from repro.cli import main
+from repro.obs.schema import validate_events
+from repro.obs.trace import read_jsonl
+
+
+def make_failing_traced_bundle(tmp_path, capsys):
+    bundle_dir = str(tmp_path / "bundles")
+    rc = main(
+        [
+            "fuzz",
+            "--seeds", "1",
+            "--processes", "3",
+            "--steps", "6",
+            "--mutate", "drop-delivery",
+            "--trace",
+            "--bundle-dir", bundle_dir,
+        ]
+    )
+    capsys.readouterr()
+    assert rc == 1
+    return os.path.join(bundle_dir, "seed-0")
+
+
+def test_fuzz_trace_attaches_jsonl_to_bundle(tmp_path, capsys):
+    bundle_path = make_failing_traced_bundle(tmp_path, capsys)
+    bundle = load_bundle(bundle_path)
+    trace_path = bundle.protocol_trace_path
+    assert trace_path is not None
+    events = read_jsonl(trace_path)
+    assert events
+    assert validate_events(events) == []
+    # Campaigns keep per-frame net events out of the budget.
+    assert not any(e.kind == "net.send" for e in events)
+    assert bundle.meta["trace_events"] == len(events)
+    with open(os.path.join(bundle_path, "README.md")) as fh:
+        readme = fh.read()
+    assert "repro trace" in readme and "protocol-trace.jsonl" in readme
+
+
+def test_trace_command_renders_and_pinpoints_violations(tmp_path, capsys):
+    bundle_path = make_failing_traced_bundle(tmp_path, capsys)
+    rc = main(["trace", bundle_path])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "schema OK" in out
+    assert "configuration changes:" in out
+    assert "violations pinpointed in the trace:" in out
+    assert "[Spec" in out
+    assert "-> event #" in out  # the offending event ids
+
+
+def test_trace_command_on_bare_jsonl(tmp_path, capsys):
+    out_path = str(tmp_path / "fig6.jsonl")
+    rc = main(["figure6", "--trace-out", out_path])
+    capsys.readouterr()
+    assert rc == 0
+    assert validate_events(read_jsonl(out_path)) == []
+    rc = main(["trace", out_path, "--rows", "10"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "schema OK" in out
+    assert "installed transitional configuration" in out
+
+
+def test_trace_command_errors(tmp_path, capsys):
+    rc = main(["trace", str(tmp_path / "nope")])
+    assert rc == 2
+    assert "no such bundle" in capsys.readouterr().err
+    # A bundle without an attached trace points at the --trace flags.
+    bundle_dir = str(tmp_path / "bundles")
+    main(
+        [
+            "fuzz",
+            "--seeds", "1",
+            "--processes", "3",
+            "--steps", "6",
+            "--mutate", "drop-delivery",
+            "--bundle-dir", bundle_dir,
+        ]
+    )
+    capsys.readouterr()
+    rc = main(["trace", os.path.join(bundle_dir, "seed-0")])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "--trace" in err
+
+
+def test_trace_command_rejects_invalid_schema(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(
+        json.dumps(
+            {"v": 1, "eid": 1, "ts": 0.0, "pid": "p", "kind": "not.a.kind"}
+        )
+        + "\n"
+    )
+    rc = main(["trace", str(bad)])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "schema error" in err and "unknown kind" in err
+
+
+def test_replay_trace_retrofits_bundle(tmp_path, capsys):
+    bundle_dir = str(tmp_path / "bundles")
+    main(
+        [
+            "fuzz",
+            "--seeds", "1",
+            "--processes", "3",
+            "--steps", "6",
+            "--mutate", "drop-delivery",
+            "--bundle-dir", bundle_dir,
+        ]
+    )
+    capsys.readouterr()
+    bundle_path = os.path.join(bundle_dir, "seed-0")
+    assert load_bundle(bundle_path).protocol_trace_path is None
+    rc = main(["replay", "--trace", bundle_path])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "reproduced: yes" in out
+    assert "protocol trace written" in out
+    assert load_bundle(bundle_path).protocol_trace_path is not None
+
+
+def test_timeline_renders_swimlane_and_explanations(capsys):
+    rc = main(["timeline", "--rows", "30"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "trace swimlane" in out
+    assert "configuration changes:" in out
+    assert "installed transitional configuration" in out
+    assert "causal chain:" in out

@@ -49,6 +49,32 @@ def test_summary_of_empty():
     assert str(s) == "n=0"
 
 
+def test_summary_percentiles_n1():
+    s = Summary.of([0.007])
+    assert s.p50 == 0.007
+    assert s.p95 == 0.007
+    assert s.maximum == 0.007
+
+
+def test_summary_percentiles_n2():
+    # Nearest rank: p50 of two samples is the first (ceil(0.5*2)=1),
+    # p95 the second (ceil(0.95*2)=2).
+    s = Summary.of([0.002, 0.001])
+    assert s.p50 == 0.001
+    assert s.p95 == 0.002
+
+
+def test_summary_percentiles_n20():
+    # With 20 samples 1..20, nearest-rank p50 is the 10th order
+    # statistic and p95 the 19th (the old truncating index returned the
+    # 11th and 20th).
+    s = Summary.of([float(i) for i in range(20, 0, -1)])
+    assert s.count == 20
+    assert s.p50 == 10.0
+    assert s.p95 == 19.0
+    assert s.maximum == 20.0
+
+
 def test_delivery_latencies_grouped_by_requirement():
     lat = delivery_latencies(make_history())
     assert len(lat[DeliveryRequirement.SAFE]) == 2

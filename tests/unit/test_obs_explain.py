@@ -1,0 +1,138 @@
+"""Unit tests for the run-explainer: swimlane, narration, pinpointing."""
+
+from repro.obs.explain import (
+    causal_chain,
+    explain_config_changes,
+    match_violations,
+    render_violation_matches,
+    swimlane,
+)
+from repro.obs.trace import TraceEvent
+
+
+def synthetic_install_trace():
+    """A minimal but complete membership -> recovery -> install chain."""
+    return [
+        TraceEvent(eid=1, ts=0.0, pid="p", kind="evs.conf",
+                   data={"config_kind": "regular", "config": "conf[R 2,p]",
+                         "members": ["p"]}),
+        TraceEvent(eid=2, ts=0.1, pid="p", kind="membership.gather", parent=1,
+                   data={"reason": "foreign-beacon", "candidates": ["p", "q"],
+                         "failed": []}),
+        TraceEvent(eid=3, ts=0.2, pid="p", kind="membership.escalate", parent=2,
+                   data={"failed": ["r"], "candidates": ["p", "q"]}),
+        TraceEvent(eid=4, ts=0.3, pid="p", kind="membership.consensus", parent=2,
+                   data={"members": ["p", "q"], "failed": ["r"]}),
+        TraceEvent(eid=5, ts=0.4, pid="p", kind="recovery.step3", parent=4,
+                   data={"obligations": {"p": ["p"], "q": []},
+                         "old_rings": {"p": "r(2,p)", "q": "r(2,q)"}}),
+        TraceEvent(eid=6, ts=0.5, pid="p", kind="recovery.step4", parent=5,
+                   data={"group": ["p"], "needed": 2, "duties": [1, 2]}),
+        TraceEvent(eid=7, ts=0.55, pid="p", kind="recovery.rebroadcast", parent=6,
+                   data={"seqs": [1, 2], "initial": True}),
+        TraceEvent(eid=8, ts=0.6, pid="p", kind="recovery.step5", parent=6,
+                   data={"obligation": ["p", "q"]}),
+        TraceEvent(eid=9, ts=0.7, pid="p", kind="recovery.step6", parent=8,
+                   data={"deliver_regular": [1], "deliver_transitional": [2],
+                         "transitional_members": ["p"], "discarded": [3],
+                         "obligation": ["p", "q"]}),
+        TraceEvent(eid=10, ts=0.7, pid="p", kind="evs.conf", parent=9,
+                   data={"config_kind": "transitional", "config": "conf[T 4,p|2,p]",
+                         "members": ["p"]}),
+    ]
+
+
+def test_causal_chain_walks_to_root_and_tolerates_truncation():
+    events = synthetic_install_trace()
+    by_id = {e.eid: e for e in events}
+    chain = causal_chain(by_id, by_id[10])
+    assert [e.eid for e in chain] == [1, 2, 4, 5, 6, 8, 9, 10]
+    # A trace truncated by the ring buffer stops at the missing parent.
+    del by_id[2]
+    chain = causal_chain(by_id, by_id[10])
+    assert [e.eid for e in chain] == [4, 5, 6, 8, 9, 10]
+
+
+def test_swimlane_renders_lanes_and_causal_refs():
+    events = synthetic_install_trace()
+    out = swimlane(events)
+    assert "p" in out.splitlines()[0]
+    assert "#10 conf<-#9" in out
+    # Default view hides per-frame noise kinds but shows the spans.
+    assert "#2 gather<-#1" in out
+
+
+def test_swimlane_overflow_and_empty():
+    events = synthetic_install_trace()
+    out = swimlane(events, max_rows=2)
+    assert "more event(s)" in out
+    assert swimlane([]) == "(no trace events to display)"
+    net_only = [TraceEvent(eid=1, ts=0.0, pid="", kind="net.send")]
+    assert swimlane(net_only) == "(no trace events to display)"
+    assert "(net)" in swimlane(net_only, include_all=True)
+
+
+def test_explain_config_changes_narrates_the_paper_steps():
+    text = explain_config_changes(synthetic_install_trace())
+    assert "installed transitional configuration conf[T 4,p|2,p]" in text
+    assert "trigger: foreign-beacon" in text
+    assert "{r} failed" in text
+    assert "consensus #4 agreed on members {p,q}" in text
+    assert "prior obligations p:{p}" in text
+    assert "must rebroadcast [1,2]" in text
+    assert "Step 5.a rebroadcast old-ring ordinals [1,2]" in text
+    assert "obligation set extended to {p,q}" in text
+    assert "discarding ordinals [3] as causally dependent" in text
+    assert "causal chain: #1 evs.conf -> #2 membership.gather" in text
+
+
+def test_explain_marks_rootless_installs():
+    boot = [TraceEvent(eid=1, ts=0.0, pid="p", kind="evs.conf",
+                       data={"config_kind": "regular", "config": "c",
+                             "members": ["p"]})]
+    text = explain_config_changes(boot)
+    assert "no causal ancestry recorded" in text
+    assert explain_config_changes([]) == "(no configuration changes in the trace)"
+
+
+def test_match_violations_pinpoints_event_ids():
+    events = [
+        TraceEvent(eid=1, ts=0.0, pid="p", kind="evs.send",
+                   data={"mid": "m(10,p0,#6)", "ring": "r(10,p0)"}),
+        TraceEvent(eid=2, ts=0.1, pid="p", kind="evs.conf",
+                   data={"config": "conf[R 10,p0]"}),
+        TraceEvent(eid=3, ts=0.2, pid="q", kind="evs.send",
+                   data={"mid": "m(11,q,#1)"}),
+    ]
+    violation = (
+        "[Spec 3] p0 sent m(10,p0,#6) in conf[R 10,p0] and moved past "
+        "the transitional configuration without delivering it"
+    )
+    matches = match_violations(events, [violation])
+    assert len(matches) == 1
+    _, matched = matches[0]
+    assert [e.eid for e in matched] == [1, 2]
+    rendered = render_violation_matches(matches)
+    assert "event #1" in rendered and "event #3" not in rendered
+
+
+def test_match_violations_without_tokens_or_matches():
+    events = [TraceEvent(eid=1, ts=0.0, pid="p", kind="evs.send",
+                         data={"mid": "m(1,p,#1)"})]
+    matches = match_violations(events, ["no identifiers here",
+                                        "[Spec 1] mentions m(9,z,#9) only"])
+    assert matches[0][1] == [] and matches[1][1] == []
+    rendered = render_violation_matches(matches)
+    assert rendered.count("no matching trace events") == 2
+    assert render_violation_matches([]) == "(no violations)"
+
+
+def test_match_violations_respects_limit():
+    events = [
+        TraceEvent(eid=i, ts=0.0, pid="p", kind="evs.deliver",
+                   data={"mid": "m(1,p,#1)"})
+        for i in range(1, 20)
+    ]
+    matches = match_violations(events, ["[Spec 1] about m(1,p,#1)"],
+                               per_violation_limit=5)
+    assert len(matches[0][1]) == 5

@@ -1,0 +1,68 @@
+"""Unit tests for the metrics registry."""
+
+import math
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_and_gauge():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    g = Gauge()
+    g.set(2.5)
+    g.set(1.0)
+    assert g.value == 1.0
+
+
+def test_histogram_nearest_rank_percentiles():
+    h = Histogram()
+    assert math.isnan(h.percentile(0.5))
+    assert h.summary() == {"count": 0}
+    for v in range(20, 0, -1):
+        h.observe(float(v))
+    assert h.count == 20
+    assert h.percentile(0.50) == 10.0
+    assert h.percentile(0.95) == 19.0
+    s = h.summary()
+    assert s["max"] == 20.0 and s["mean"] == 10.5
+
+
+def test_registry_instruments_are_lazy_singletons():
+    r = MetricsRegistry()
+    assert r.counter("a") is r.counter("a")
+    assert r.gauge("b") is r.gauge("b")
+    assert r.histogram("c") is r.histogram("c")
+
+
+def test_count_from_skips_non_numerics_and_accumulates():
+    r = MetricsRegistry()
+    r.count_from("net", {"sends": 3, "label": "x", "flag": True, "loss": 0.5})
+    r.count_from("net", {"sends": 2})
+    snap = r.snapshot()
+    assert snap["net.sends"] == 5
+    assert snap["net.loss"] == 0.5
+    assert "net.label" not in snap and "net.flag" not in snap
+
+
+def test_snapshot_and_render():
+    r = MetricsRegistry()
+    r.counter("net.sends").inc(7)
+    r.gauge("sim.now").set(1.25)
+    r.histogram("lat").observe(0.5)
+    snap = r.snapshot()
+    assert snap["net.sends"] == 7
+    assert snap["lat"]["count"] == 1
+    text = r.render("cluster metrics")
+    assert "cluster metrics:" in text
+    assert "net.sends" in text and "sim.now" in text and "p95" in text
+
+
+def test_render_compact_selects_keys_in_order():
+    r = MetricsRegistry()
+    r.counter("a").inc(1)
+    r.counter("b").inc(2)
+    r.histogram("h").observe(1.0)  # excluded: not a scalar
+    assert r.render_compact(["b", "a", "missing"]) == "b=2 a=1"
+    assert "h=" not in r.render_compact()

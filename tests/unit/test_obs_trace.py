@@ -1,0 +1,170 @@
+"""Unit tests for the tracing core: events, sinks, tracer, JSONL."""
+
+import json
+
+import pytest
+
+from repro.obs.schema import KINDS, validate_event, validate_events
+from repro.obs.trace import (
+    NO_TRACE,
+    JsonlSink,
+    ListSink,
+    NullTracer,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+    write_jsonl,
+)
+
+
+def make_tracer(sink=None, net=True):
+    clock = {"now": 0.0}
+    tracer = Tracer(
+        clock=lambda: clock["now"], sinks=(sink,) if sink else (), net=net
+    )
+    return tracer, clock
+
+
+# -- events -------------------------------------------------------------------
+
+
+def test_event_json_round_trip():
+    event = TraceEvent(
+        eid=3, ts=1.5, pid="p", kind="evs.conf", ring="r(4,p)", parent=2,
+        data={"members": ["p", "q"]},
+    )
+    doc = event.to_json()
+    assert doc["v"] == 1
+    assert TraceEvent.from_json(doc) == event
+    # from_json tolerates omitted optionals
+    minimal = TraceEvent.from_json(
+        {"eid": 1, "ts": 0.0, "pid": "", "kind": "net.partition"}
+    )
+    assert minimal.ring == "" and minimal.parent is None and minimal.data == {}
+
+
+def test_event_key_is_full_identity():
+    a = TraceEvent(eid=1, ts=0.0, pid="p", kind="evs.send", data={"x": 1})
+    b = TraceEvent(eid=1, ts=0.0, pid="p", kind="evs.send", data={"x": 2})
+    assert a.key() != b.key()
+    assert a.key() == TraceEvent.from_json(a.to_json()).key()
+
+
+# -- tracer -------------------------------------------------------------------
+
+
+def test_emit_assigns_increasing_eids_and_timestamps():
+    sink = ListSink()
+    tracer, clock = make_tracer(sink)
+    e1 = tracer.emit("p", "evs.send", parent=None)
+    clock["now"] = 2.5
+    e2 = tracer.emit("q", "evs.deliver", parent=None)
+    assert (e1, e2) == (1, 2)
+    assert [e.ts for e in sink.events] == [0.0, 2.5]
+    assert tracer.emitted == 2
+
+
+def test_cause_register_links_spans_per_process():
+    sink = ListSink()
+    tracer, _ = make_tracer(sink)
+    root = tracer.emit("p", "membership.gather", parent=None)
+    tracer.set_cause("p", root)
+    child = tracer.emit("p", "membership.consensus")  # parent=CAUSE default
+    other = tracer.emit("q", "membership.gather")  # q has no cause set
+    explicit = tracer.emit("p", "net.drop", parent=root)
+    assert sink.events[child - 1].parent == root
+    assert sink.events[other - 1].parent is None
+    assert sink.events[explicit - 1].parent == root
+    tracer.clear_cause("p")
+    assert tracer.cause("p") is None
+    orphan = tracer.emit("p", "evs.fail")
+    assert sink.events[orphan - 1].parent is None
+
+
+def test_null_tracer_is_falsy_and_inert():
+    assert not NO_TRACE
+    assert NO_TRACE.emit("p", "evs.send") == 0
+    NO_TRACE.set_cause("p", 5)
+    assert NO_TRACE.cause("p") is None
+    assert isinstance(NO_TRACE, NullTracer)
+    assert NO_TRACE.net is False
+    tracer, _ = make_tracer()
+    assert tracer  # real tracer is truthy
+
+
+# -- sinks --------------------------------------------------------------------
+
+
+def test_ring_buffer_bounds_memory_and_counts_drops():
+    sink = RingBufferSink(capacity=3)
+    tracer, _ = make_tracer(sink)
+    for _ in range(5):
+        tracer.emit("p", "evs.send", parent=None)
+    assert [e.eid for e in sink.events] == [3, 4, 5]
+    assert sink.dropped == 2
+
+
+def test_ring_buffer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        RingBufferSink(capacity=0)
+
+
+def test_jsonl_sink_and_round_trip(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    sink = JsonlSink(path)
+    tracer, _ = make_tracer(sink)
+    tracer.emit("p", "evs.conf", ring="r", parent=None, members=["p"])
+    tracer.emit("p", "evs.send", mid="m(1,p,#1)")
+    tracer.close()
+    loaded = read_jsonl(path)
+    assert [e.kind for e in loaded] == ["evs.conf", "evs.send"]
+    assert loaded[0].data == {"members": ["p"]}
+    # write_jsonl produces the same format
+    path2 = str(tmp_path / "copy.jsonl")
+    assert write_jsonl(loaded, path2) == 2
+    assert [e.key() for e in read_jsonl(path2)] == [e.key() for e in loaded]
+
+
+def test_read_jsonl_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"eid": 1, "ts": 0.0, "pid": "", "kind": "net.send"}\nnot json\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        read_jsonl(str(path))
+
+
+# -- schema -------------------------------------------------------------------
+
+
+def test_validate_event_catches_structural_errors():
+    good = TraceEvent(eid=1, ts=0.0, pid="p", kind="evs.conf")
+    assert validate_event(good) == []
+    bad = TraceEvent(eid=2, ts=0.0, pid="p", kind="nope", parent=7)
+    errors = validate_event(bad, seen={1})
+    assert any("unknown kind" in e for e in errors)
+    assert any("does not precede" in e for e in errors)
+
+
+def test_validate_events_ordering_invariants():
+    events = [
+        TraceEvent(eid=1, ts=0.0, pid="p", kind="evs.conf"),
+        TraceEvent(eid=3, ts=1.0, pid="p", kind="evs.send", parent=1),
+        TraceEvent(eid=2, ts=0.5, pid="p", kind="evs.send"),
+    ]
+    errors = validate_events(events)
+    assert any("not strictly increasing" in e for e in errors)
+    assert any("runs backwards" in e for e in errors)
+    assert validate_events(events[:2]) == []
+
+
+def test_validate_events_flags_dangling_parent():
+    events = [
+        TraceEvent(eid=2, ts=0.0, pid="p", kind="evs.conf"),
+        TraceEvent(eid=5, ts=0.0, pid="p", kind="evs.send", parent=3),
+    ]
+    errors = validate_events(events)
+    assert any("not in the trace" in e for e in errors)
+
+
+def test_kinds_taxonomy_is_dotted():
+    assert all("." in kind for kind in KINDS)
