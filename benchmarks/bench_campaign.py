@@ -20,6 +20,7 @@ from _util import emit
 import repro.campaign.runner as runner_mod
 from repro.campaign.runner import CampaignConfig, run_campaign
 from repro.harness.metrics import BenchRow, render_table
+from repro.net.sim import SchedulePolicy
 from repro.spec.reference import check_all_reference
 from repro.spec.report import CheckResult, ConformanceReport
 
@@ -75,12 +76,32 @@ def _measure_with_reference_checkers():
         runner_mod.run_conformance = original
 
 
+def _measure_with_fifo_policy():
+    """The same inline campaign with a do-nothing FIFO SchedulePolicy
+    installed on every cluster: the within-run measurement of what the
+    schedule-explorer seam costs when *active* (the default ``None``
+    path is the pre-seam code verbatim, so its overhead is zero by
+    construction; the pinned trace-eid test asserts the identity)."""
+    original = runner_mod.execute_scenario
+
+    def patched(scenario, **kwargs):
+        kwargs.setdefault("schedule_policy", SchedulePolicy())
+        return original(scenario, **kwargs)
+
+    runner_mod.execute_scenario = patched
+    try:
+        return _measure(1)
+    finally:
+        runner_mod.execute_scenario = original
+
+
 def test_campaign_throughput(benchmark):
     results = {}
 
     def sweep():
         results["reference"] = _measure_with_reference_checkers()
         results["single"] = _measure(1)
+        results["seam"] = _measure_with_fifo_policy()
         results["traced"] = _measure(1, trace=True)
         results["pooled"] = _measure(POOLED_WORKERS)
         return results
@@ -89,10 +110,12 @@ def test_campaign_throughput(benchmark):
 
     reference, reference_s = results["reference"]
     single, single_s = results["single"]
+    seam, seam_s = results["seam"]
     traced, traced_s = results["traced"]
     pooled, pooled_s = results["pooled"]
     speedup = single_s / pooled_s if pooled_s > 0 else 0.0
     trace_overhead = (traced_s - single_s) / single_s if single_s > 0 else 0.0
+    seam_overhead = (seam_s - single_s) / single_s if single_s > 0 else 0.0
     traced_events = sum(o.trace_events for o in traced.outcomes)
     cores = os.cpu_count() or 1
     asserted = cores >= 4
@@ -116,6 +139,16 @@ def test_campaign_throughput(benchmark):
                 "wall": f"{single_s:.2f}s",
                 "rate": f"{single.scenarios_per_sec:.1f}/s",
                 "check": f"{single.check_ns / 1e6:.0f}ms",
+            },
+        ),
+        BenchRow(
+            "single-process, FIFO schedule policy",
+            {
+                "seeds": seam.seeds_run,
+                "events": seam.events,
+                "wall": f"{seam_s:.2f}s",
+                "rate": f"{seam.scenarios_per_sec:.1f}/s",
+                "overhead": f"{seam_overhead * 100:+.1f}%",
             },
         ),
         BenchRow(
@@ -164,6 +197,17 @@ def test_campaign_throughput(benchmark):
     assert single.check_ns * 2 < reference.check_ns, (
         f"fast path checker time {single.check_ns / 1e6:.0f}ms not <2x "
         f"under reference {reference.check_ns / 1e6:.0f}ms"
+    )
+    # An active (but do-nothing) schedule policy must not change a
+    # single verdict - exploration mode observes what the default mode
+    # observes - and its bookkeeping must stay within the tracing-style
+    # overhead budget.
+    assert [o.violated for o in single.outcomes] == [
+        o.violated for o in seam.outcomes
+    ]
+    assert seam_overhead <= 0.15, (
+        f"FIFO schedule policy {seam_overhead * 100:.1f}% slower than "
+        f"the default path (budget: 15%)"
     )
     # Tracing must see the same verdicts and cost <= 15% scenarios/sec
     # (ring-buffer sink, per-frame net events off - the budget from

@@ -9,6 +9,9 @@ bundle::
       report.txt            the rendered conformance report
       meta.json             seeds, fault parameters, violated clauses
       README.md             exact replay instructions
+      schedule.json         (from ``repro explore``) the recorded
+                            tie-break decisions; ``repro replay``
+                            re-applies them byte-identically
       protocol-trace.jsonl  (with ``--trace``) the structured protocol
                             trace (repro.obs; render with ``repro trace``)
       shrunk-scenario.json  (after ``repro shrink``) the minimized schedule
@@ -34,6 +37,7 @@ from repro.campaign.serialize import (
     save_scenario,
 )
 from repro.errors import CampaignError
+from repro.explore.schedule import Schedule, load_schedule, save_schedule
 from repro.harness.scenario import Scenario
 from repro.spec import tracefile
 from repro.spec.history import History
@@ -50,6 +54,7 @@ README_FILE = "README.md"
 SHRUNK_FILE = "shrunk-scenario.json"
 SHRINK_META_FILE = "shrink.json"
 PROTOCOL_TRACE_FILE = "protocol-trace.jsonl"
+SCHEDULE_FILE = "schedule.json"
 
 _README_TEMPLATE = """\
 # Repro bundle: seed {seed}
@@ -72,7 +77,7 @@ After shrinking, `shrunk-scenario.json` holds the minimized schedule and
 ## Re-check the recorded trace without re-running
 
     python -m repro check {name}/trace.json
-{trace_section}
+{schedule_section}{trace_section}
 Determinism: the simulation is a seeded discrete-event model, so the
 same scenario + cluster seed + loss rate reproduces the identical
 history (see docs/FUZZING.md for caveats).  Run parameters are in
@@ -90,6 +95,9 @@ class ReproBundle:
     meta: Dict[str, Any]
     shrunk: Optional[Scenario] = None
     shrink_meta: Optional[Dict[str, Any]] = None
+    #: Recorded tie-break decisions (``repro explore`` bundles only);
+    #: replays apply them through a ReplayPolicy.
+    schedule: Optional[Schedule] = None
 
     def history(self) -> History:
         return tracefile.load(os.path.join(self.path, TRACE_FILE))
@@ -122,16 +130,25 @@ def write_bundle(
     quiescent: bool = True,
     generator: Optional[ScenarioSpec] = None,
     trace: Optional[list] = None,
+    schedule: Optional[Schedule] = None,
+    explore_meta: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Write a complete repro bundle; returns the directory path.
 
     ``trace``, when given, is a list of
     :class:`~repro.obs.trace.TraceEvent` records written as
     ``protocol-trace.jsonl`` (render with ``repro trace <dir>``).
+
+    ``schedule`` (from the explorer) is the recorded decision trail,
+    written as ``schedule.json``; ``explore_meta`` records the
+    exploration parameters - notably the fixed ``latency`` - that
+    ``repro replay`` must re-apply for the schedule to match.
     """
     os.makedirs(path, exist_ok=True)
     save_scenario(os.path.join(path, SCENARIO_FILE), scenario, generator)
     tracefile.save(history, os.path.join(path, TRACE_FILE))
+    if schedule is not None:
+        save_schedule(os.path.join(path, SCHEDULE_FILE), schedule)
     violated = report.violated_specs
     with open(os.path.join(path, REPORT_FILE), "w", encoding="utf-8") as fh:
         fh.write(report.render() + "\n")
@@ -155,6 +172,11 @@ def write_bundle(
         "violations": report.total_violations,
         "trace_events": traced_events,
     }
+    if schedule is not None:
+        meta["schedule_decisions"] = len(schedule.decisions)
+        meta["schedule_choices"] = list(schedule.choices)
+    if explore_meta is not None:
+        meta["explore"] = dict(explore_meta)
     with open(os.path.join(path, META_FILE), "w", encoding="utf-8") as fh:
         json.dump(meta, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -172,12 +194,23 @@ def write_bundle(
             "\nNo protocol trace was captured for this run (re-run the "
             "campaign with `--trace` to attach one).\n"
         )
+    if schedule is not None:
+        schedule_section = (
+            "\n## The explored schedule\n"
+            "\n"
+            f"`{SCHEDULE_FILE}` records the tie-break decisions "
+            f"({schedule.describe()}) the explorer used; `repro replay` "
+            "re-applies them automatically (docs/EXPLORATION.md).\n"
+        )
+    else:
+        schedule_section = ""
     with open(os.path.join(path, README_FILE), "w", encoding="utf-8") as fh:
         fh.write(
             _README_TEMPLATE.format(
                 seed=seed,
                 violated=", ".join(violated) or "(none recorded)",
                 name=path,
+                schedule_section=schedule_section,
                 trace_section=trace_section,
             )
         )
@@ -200,7 +233,17 @@ def load_bundle(path: str) -> ReproBundle:
         raise CampaignError(
             f"{meta_path}: unsupported bundle version {meta.get('version')}"
         )
-    doc: ScenarioDocument = load_scenario(os.path.join(path, SCENARIO_FILE))
+    scenario_path = os.path.join(path, SCENARIO_FILE)
+    if not os.path.isfile(scenario_path):
+        raise CampaignError(
+            f"{path!r} is a truncated bundle: missing {SCENARIO_FILE} "
+            f"(re-run the campaign or restore the file)"
+        )
+    doc: ScenarioDocument = load_scenario(scenario_path)
+    schedule: Optional[Schedule] = None
+    schedule_path = os.path.join(path, SCHEDULE_FILE)
+    if os.path.isfile(schedule_path):
+        schedule = load_schedule(schedule_path)
     shrunk: Optional[Scenario] = None
     shrink_meta: Optional[Dict[str, Any]] = None
     shrunk_path = os.path.join(path, SHRUNK_FILE)
@@ -217,6 +260,7 @@ def load_bundle(path: str) -> ReproBundle:
         meta=meta,
         shrunk=shrunk,
         shrink_meta=shrink_meta,
+        schedule=schedule,
     )
 
 

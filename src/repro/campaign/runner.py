@@ -59,6 +59,8 @@ def execute_scenario(
     loss: float = 0.0,
     mutation: str = "none",
     trace: bool = False,
+    schedule_policy=None,
+    latency: Optional[float] = None,
 ) -> ExecutionOutcome:
     """Run one scenario deterministically and evaluate Specs 1-7.
 
@@ -67,13 +69,26 @@ def execute_scenario(
     for the real pipeline).  ``trace`` captures a structured protocol
     trace via the bounded ring-buffer sink (``trace_net`` stays off so
     the per-frame records don't blow the campaign's overhead budget).
+
+    ``schedule_policy`` installs a same-instant tie-break policy on the
+    scheduler and ``latency`` pins every network delay to one constant
+    (``latency_min == latency_max``) - together they are the schedule
+    explorer's execution mode (:mod:`repro.explore`): fixed latency
+    makes concurrent deliveries collide at the same instant, which is
+    what turns them into recorded, replayable choice points.
     """
+    network = NetworkParams(loss_rate=loss)
+    if latency is not None:
+        network = NetworkParams(
+            loss_rate=loss, latency_min=latency, latency_max=latency
+        )
     runner = ScenarioRunner(
         ClusterOptions(
             seed=cluster_seed,
-            network=NetworkParams(loss_rate=loss),
+            network=network,
             trace=trace,
             trace_net=False,
+            schedule_policy=schedule_policy,
         )
     )
     result = runner.run(scenario)

@@ -15,7 +15,13 @@ Commands:
 * ``shrink``      - delta-debug a bundle's failing scenario down to a
   local minimum that still violates the same spec clause;
 * ``replay``      - deterministically re-execute a bundle's scenario and
-  assert the recorded violations reproduce;
+  assert the recorded violations reproduce (bundles written by
+  ``explore`` carry a ``schedule.json``; its tie-break decisions are
+  re-applied automatically);
+* ``explore``     - bounded systematic search over same-instant event
+  orderings with partial-order reduction; every explored interleaving
+  runs the full Specs 1-7 pipeline and violations produce standard
+  repro bundles with the schedule embedded (docs/EXPLORATION.md);
 * ``profile``     - cProfile one serialized scenario (bundle directory or
   scenario .json) end-to-end and print the top-N hotspots plus the
   per-checker timing breakdown (docs/PERFORMANCE.md);
@@ -52,6 +58,15 @@ from repro.campaign.runner import (
     run_campaign,
 )
 from repro.campaign.shrink import shrink_scenario
+from repro.errors import ReproError
+from repro.explore.driver import (
+    DEFAULT_LATENCY,
+    ExploreConfig,
+    ScheduleOutcome,
+    explore,
+)
+from repro.explore.scenarios import partition_merge_scenario
+from repro.explore.schedule import ReplayPolicy
 from repro.harness.cluster import ClusterOptions, SimCluster
 from repro.harness.faults import random_scenario
 from repro.harness.figures import figure6_scenario, render_timeline
@@ -234,12 +249,23 @@ def cmd_replay(args: argparse.Namespace) -> int:
         scenario = bundle.scenario
         expected = sorted(meta["violated"])
         label = "scenario"
+    schedule_policy = None
+    latency = None
+    if bundle.schedule is not None and not args.shrunk:
+        # Explorer bundles embed the recorded tie-break decisions; the
+        # replay must also pin the latency the explorer ran with, or the
+        # ready sets will not line up (docs/EXPLORATION.md).
+        schedule_policy = ReplayPolicy(bundle.schedule)
+        latency = meta.get("explore", {}).get("latency", DEFAULT_LATENCY)
+        label = f"{label} + schedule ({bundle.schedule.describe()})"
     outcome = execute_scenario(
         scenario,
         cluster_seed=meta["cluster_seed"],
         loss=meta["loss"],
         mutation=meta["mutation"],
         trace=args.trace,
+        schedule_policy=schedule_policy,
+        latency=latency,
     )
     print(outcome.report.render())
     got = sorted(outcome.violated)
@@ -257,6 +283,56 @@ def cmd_replay(args: argparse.Namespace) -> int:
             f"render with `python -m repro trace {args.bundle}`"
         )
     return 0 if reproduced else 1
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Bounded interleaving search over one scenario (docs/EXPLORATION.md)."""
+    cluster_seed = args.seed
+    mutation = args.mutate
+    if args.source is None:
+        scenario = partition_merge_scenario()
+        source = "canned partition/merge scenario"
+    elif os.path.isdir(args.source):
+        bundle = load_bundle(args.source)
+        scenario = bundle.scenario
+        cluster_seed = bundle.meta["cluster_seed"]
+        if mutation == "none":
+            mutation = bundle.meta["mutation"]
+        source = f"bundle {args.source}"
+    else:
+        scenario = load_scenario(args.source).scenario
+        source = f"scenario {args.source}"
+    config = ExploreConfig(
+        scenario=scenario,
+        cluster_seed=cluster_seed,
+        depth=args.depth,
+        offset=args.offset,
+        branch=args.branch,
+        max_schedules=args.max_schedules,
+        latency=args.latency,
+        loss=args.loss,
+        mutation=mutation,
+        bundle_dir=args.bundle_dir,
+        trace=args.trace,
+    )
+    print(
+        f"exploring {source}: window [{config.offset}, "
+        f"{config.window_end}), branch {config.branch}, "
+        f"max {config.max_schedules} schedule(s), seed {cluster_seed}"
+        + (f", mutation {mutation}" if mutation != "none" else "")
+    )
+
+    def progress(o: ScheduleOutcome) -> None:
+        status = "PASS" if o.passed else f"FAIL [{', '.join(o.violated)}]"
+        print(
+            f"schedule #{o.index:<4d} flips={o.flips:<2d} "
+            f"events={o.events:<6d} {o.elapsed:5.2f}s {status}"
+        )
+
+    report = explore(config, progress=progress)
+    print()
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -496,6 +572,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.set_defaults(fn=cmd_replay)
 
+    exp = sub.add_parser(
+        "explore",
+        help="bounded interleaving search with partial-order reduction",
+    )
+    exp.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="repro bundle directory or serialized scenario .json "
+        "(default: the canned 3-process partition/merge scenario)",
+    )
+    exp.add_argument(
+        "--depth",
+        type=int,
+        default=4,
+        help="size of the explored decision window; later decisions "
+        "stay FIFO (default 4)",
+    )
+    exp.add_argument(
+        "--offset",
+        type=int,
+        default=0,
+        help="first decision of the window (default 0)",
+    )
+    exp.add_argument(
+        "--branch",
+        type=int,
+        default=4,
+        help="max choices considered per decision (default 4)",
+    )
+    exp.add_argument(
+        "--max-schedules",
+        type=int,
+        default=256,
+        help="hard cap on executed schedules (default 256)",
+    )
+    exp.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="cluster seed (bundles carry their own)",
+    )
+    exp.add_argument(
+        "--latency",
+        type=float,
+        default=DEFAULT_LATENCY,
+        help="fixed one-way network delay of explorer execution mode",
+    )
+    exp.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="packet loss rate; >0 makes the reduction a heuristic",
+    )
+    exp.add_argument(
+        "--mutate",
+        choices=sorted(MUTATIONS),
+        default="none",
+        help="inject a deterministic known bug before checking each "
+        "schedule (pipeline self-test; see docs/EXPLORATION.md)",
+    )
+    exp.add_argument(
+        "--bundle-dir",
+        default="explore-bundles",
+        help="directory for per-schedule repro bundles on failure",
+    )
+    exp.add_argument(
+        "--trace",
+        action="store_true",
+        help="capture a protocol trace per schedule and attach it to "
+        "failing bundles (sched.choice events mark each decision)",
+    )
+    exp.set_defaults(fn=cmd_explore)
+
     prof = sub.add_parser(
         "profile",
         help="cProfile one scenario and print top-N hotspots",
@@ -550,7 +700,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # Malformed bundles, schedules, scenarios, traces: an actionable
+        # one-liner on stderr, never a traceback, always exit code 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

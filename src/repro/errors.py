@@ -44,6 +44,12 @@ class CampaignError(ReproError):
     malformed, or a campaign was misconfigured."""
 
 
+class ExploreError(ReproError):
+    """A schedule-exploration artifact (serialized schedule, replay
+    policy) is malformed, mismatched against the run, or the explorer
+    was misconfigured."""
+
+
 class SpecificationViolation(ReproError):
     """Raised by checkers in ``raise_on_violation`` mode when a recorded
     history fails one of the paper's specifications."""

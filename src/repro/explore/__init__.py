@@ -1,0 +1,39 @@
+"""Systematic schedule exploration over the EVS stack.
+
+The discrete-event scheduler resolves every same-instant tie in FIFO
+order, so a fuzz seed exercises exactly one interleaving.  This package
+makes those hidden tie-breaks explicit **choice points** and searches
+them: :mod:`repro.explore.schedule` records and replays decision
+vectors through the :class:`~repro.net.sim.SchedulePolicy` seam, and
+:mod:`repro.explore.driver` runs a bounded DFS with sleep-set-style
+partial-order reduction, pushing every explored interleaving through
+the full conformance pipeline (Specs 1-7) and writing standard repro
+bundles - with the schedule embedded - for any violation.
+
+See docs/EXPLORATION.md for the choice-point model, the reduction
+rules, and the bundle format.
+"""
+
+from repro.explore.schedule import (
+    Decision,
+    FifoPolicy,
+    RecordingPolicy,
+    ReplayPolicy,
+    Schedule,
+    load_schedule,
+    save_schedule,
+    schedule_dumps,
+    schedule_loads,
+)
+
+__all__ = [
+    "Decision",
+    "FifoPolicy",
+    "RecordingPolicy",
+    "ReplayPolicy",
+    "Schedule",
+    "load_schedule",
+    "save_schedule",
+    "schedule_dumps",
+    "schedule_loads",
+]

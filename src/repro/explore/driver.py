@@ -1,0 +1,326 @@
+"""Bounded DFS over schedules with sleep-set-style partial-order
+reduction.
+
+The search space is the tree of choice vectors: the root is the FIFO
+baseline (empty prefix), and a node's children flip one decision inside
+the explored *window* to a non-default alternative.  Expansion only
+happens at decision positions at or beyond the node's own prefix, so
+every choice vector is generated exactly once (its parent is the vector
+with the last non-default position removed).
+
+Two bounds keep the tree finite:
+
+* ``depth`` - only the first ``depth`` decisions of a run may be
+  flipped; everything beyond the window stays FIFO.  Exhausting the
+  search at a given depth therefore *proves* Specs 1-7 over every
+  inequivalent interleaving of the window (up to the reduction below).
+* ``branch`` - at most ``branch - 1`` alternatives are tried per
+  decision (the ready set can be wider; skipped alternatives are
+  counted, never silently dropped).
+
+The partial-order reduction prunes alternatives that provably commute:
+firing ready-set entry ``i`` before entries ``0..i-1`` yields the same
+execution when ``i`` is independent of all of them - e.g. two timer
+firings on different processes, or deliveries to different processes.
+Independence is judged by the ``owner`` labels the scheduler seam
+attaches to every entry; entries without an owner (scenario actions)
+never commute.  The rule is exact in explorer execution mode (fixed
+latency, zero loss: the network's RNG draws cannot influence behavior,
+so owner-disjoint events touch disjoint state), which is why
+``ExploreConfig`` defaults to that mode; see docs/EXPLORATION.md for
+the argument and the caveats under packet loss.
+
+Every explored interleaving runs the full conformance pipeline; a
+violation produces a standard repro bundle with the schedule embedded,
+so ``repro replay`` reproduces it byte-identically.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign import bundle as bundle_mod
+from repro.campaign.mutations import MUTATIONS
+from repro.campaign.runner import ExecutionOutcome, execute_scenario
+from repro.errors import ExploreError
+from repro.explore.schedule import Decision, RecordingPolicy, Schedule
+from repro.harness.scenario import Scenario
+
+#: Fixed one-way delay for every frame in explorer execution mode.
+DEFAULT_LATENCY = 0.002
+
+
+def commutes(owner_a: str, owner_b: str) -> bool:
+    """True when two ready-set entries are independent: both are owned
+    by a process and the processes differ.  Unowned entries (scenario
+    actions touching topology or several processes) never commute."""
+    return bool(owner_a) and bool(owner_b) and owner_a != owner_b
+
+
+def pruned_by_reduction(decision: Decision, alternative: int) -> bool:
+    """Sleep-set-style check: flipping ``decision`` to ``alternative``
+    fires that entry before every entry ahead of it; if it commutes with
+    all of them the resulting execution is equivalent to the unflipped
+    one, so the alternative is pruned."""
+    return all(
+        commutes(decision.owners[alternative], decision.owners[j])
+        for j in range(alternative)
+    )
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """One exploration: the scenario, the bounds, the execution mode."""
+
+    scenario: Scenario
+    cluster_seed: int = 0
+    #: Size of the explored decision window (see module docstring).
+    depth: int = 4
+    #: First decision of the window; decisions before it stay FIFO.
+    offset: int = 0
+    #: Max choices considered per decision (default + alternatives).
+    branch: int = 4
+    #: Hard cap on executed schedules.
+    max_schedules: int = 256
+    #: Fixed network delay; ``loss`` should stay 0.0 for the reduction
+    #: to be exact (a warning is recorded in the report otherwise).
+    latency: float = DEFAULT_LATENCY
+    loss: float = 0.0
+    mutation: str = "none"
+    bundle_dir: Optional[str] = None
+    trace: bool = False
+
+    def validate(self) -> None:
+        if self.depth < 0:
+            raise ExploreError(f"depth must be >= 0, got {self.depth}")
+        if self.offset < 0:
+            raise ExploreError(f"offset must be >= 0, got {self.offset}")
+        if self.branch < 2:
+            raise ExploreError(
+                f"branch must be >= 2 (the default plus at least one "
+                f"alternative), got {self.branch}"
+            )
+        if self.max_schedules < 1:
+            raise ExploreError(
+                f"max-schedules must be >= 1, got {self.max_schedules}"
+            )
+        if self.latency <= 0:
+            raise ExploreError(f"latency must be positive, got {self.latency}")
+        if not 0.0 <= self.loss < 1.0:
+            raise ExploreError(f"loss must be in [0, 1), got {self.loss}")
+        if self.mutation not in MUTATIONS:
+            raise ExploreError(
+                f"unknown mutation {self.mutation!r} (expected one of "
+                f"{', '.join(sorted(MUTATIONS))})"
+            )
+        self.scenario.validate()
+
+    @property
+    def window_end(self) -> int:
+        return self.offset + self.depth
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Compact record of one explored interleaving."""
+
+    index: int
+    choices: Tuple[int, ...]
+    decisions: int
+    flips: int
+    events: int
+    passed: bool
+    violated: Tuple[str, ...]
+    elapsed: float
+    bundle: Optional[str] = None
+
+
+@dataclass
+class ExploreReport:
+    """Aggregate verdict of one exploration."""
+
+    outcomes: List[ScheduleOutcome]
+    pruned: int
+    branch_skipped: int
+    exhausted: bool
+    wall_time: float
+    config: ExploreConfig
+    #: Decision trail of the FIFO baseline (schedule #0), for reporting.
+    baseline_decisions: int = 0
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def schedules_run(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> List[ScheduleOutcome]:
+        return [o for o in self.outcomes if not o.passed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def schedules_per_sec(self) -> float:
+        return self.schedules_run / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Interleavings covered per interleaving executed: pruned
+        alternatives are schedules the naive search would have run."""
+        if self.schedules_run == 0:
+            return 1.0
+        return (self.schedules_run + self.pruned) / self.schedules_run
+
+    def violations_by_clause(self) -> Dict[str, int]:
+        by_clause: Dict[str, int] = {}
+        for o in self.failures:
+            for clause in o.violated:
+                by_clause[clause] = by_clause.get(clause, 0) + 1
+        return by_clause
+
+    def render(self) -> str:
+        c = self.config
+        lines = [
+            f"explore: {self.schedules_run} schedule(s) in "
+            f"{self.wall_time:.2f}s ({self.schedules_per_sec:.1f}/s), "
+            f"window [{c.offset}, {c.window_end}), branch {c.branch}, "
+            f"{self.baseline_decisions} decision(s) per run",
+            f"  reduction: {self.pruned} pruned as commuting, "
+            f"{self.branch_skipped} beyond branch bound "
+            f"(ratio {self.reduction_ratio:.2f}x)",
+            f"  exhausted: {'yes' if self.exhausted else 'no'}",
+            f"  violating schedules: {len(self.failures)}",
+        ]
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        by_clause = self.violations_by_clause()
+        for clause in sorted(by_clause):
+            lines.append(f"    {clause}: {by_clause[clause]} schedule(s)")
+        for o in self.failures:
+            where = f" -> {o.bundle}" if o.bundle else ""
+            lines.append(
+                f"  schedule #{o.index} {list(o.choices)}: "
+                f"[{', '.join(o.violated)}]{where}"
+            )
+        return "\n".join(lines)
+
+
+def run_schedule(
+    config: ExploreConfig, choices: Tuple[int, ...] = ()
+) -> Tuple[ExecutionOutcome, Schedule]:
+    """Execute the configured scenario under one choice prefix."""
+    policy = RecordingPolicy(choices)
+    outcome = execute_scenario(
+        config.scenario,
+        cluster_seed=config.cluster_seed,
+        loss=config.loss,
+        mutation=config.mutation,
+        trace=config.trace,
+        schedule_policy=policy,
+        latency=config.latency,
+    )
+    return outcome, policy.schedule()
+
+
+def explore(
+    config: ExploreConfig,
+    progress: Optional[Callable[[ScheduleOutcome], None]] = None,
+) -> ExploreReport:
+    """Depth-first search over the bounded schedule tree.
+
+    ``progress`` is invoked once per executed schedule, in execution
+    order.  Deterministic: the same config yields the same report.
+    """
+    config.validate()
+    if config.bundle_dir is not None:
+        os.makedirs(config.bundle_dir, exist_ok=True)
+    t0 = time.perf_counter()
+    outcomes: List[ScheduleOutcome] = []
+    warnings: List[str] = []
+    if config.loss > 0.0:
+        warnings.append(
+            f"loss={config.loss} > 0: the partial-order reduction is a "
+            f"heuristic under packet loss (see docs/EXPLORATION.md)"
+        )
+    stack: List[Tuple[int, ...]] = [()]
+    pruned = 0
+    branch_skipped = 0
+    baseline_decisions = 0
+    while stack and len(outcomes) < config.max_schedules:
+        prefix = stack.pop()
+        t_run = time.perf_counter()
+        outcome, schedule = run_schedule(config, prefix)
+        trail = schedule.decisions
+        if not prefix:
+            baseline_decisions = len(trail)
+        bundle_path: Optional[str] = None
+        if not outcome.report.passed and config.bundle_dir is not None:
+            bundle_path = os.path.join(
+                config.bundle_dir, f"schedule-{len(outcomes)}"
+            )
+            bundle_mod.write_bundle(
+                bundle_path,
+                scenario=config.scenario,
+                history=outcome.history,
+                report=outcome.report,
+                seed=config.cluster_seed,
+                cluster_seed=config.cluster_seed,
+                loss=config.loss,
+                mutation=config.mutation,
+                quiescent=outcome.quiescent,
+                trace=outcome.trace_events or None,
+                schedule=schedule,
+                explore_meta={
+                    "latency": config.latency,
+                    "depth": config.depth,
+                    "offset": config.offset,
+                    "branch": config.branch,
+                    "schedule_index": len(outcomes),
+                },
+            )
+        record = ScheduleOutcome(
+            index=len(outcomes),
+            choices=prefix,
+            decisions=len(trail),
+            flips=sum(1 for c in prefix if c != 0),
+            events=outcome.report.events,
+            passed=outcome.report.passed,
+            violated=outcome.violated,
+            elapsed=time.perf_counter() - t_run,
+            bundle=bundle_path,
+        )
+        outcomes.append(record)
+        if progress is not None:
+            progress(record)
+        # Expand: flip one defaulted decision inside the window.  The
+        # window may end before this run's trail does; positions beyond
+        # it stay FIFO forever, which is what makes depth a real bound.
+        start = max(len(prefix), config.offset)
+        end = min(len(trail), config.window_end)
+        for i in range(end - 1, start - 1, -1):
+            decision = trail[i]
+            for alternative in range(1, decision.size):
+                if alternative >= config.branch:
+                    branch_skipped += decision.size - alternative
+                    break
+                if pruned_by_reduction(decision, alternative):
+                    pruned += 1
+                    continue
+                stack.append(
+                    prefix + (0,) * (i - len(prefix)) + (alternative,)
+                )
+    return ExploreReport(
+        outcomes=outcomes,
+        pruned=pruned,
+        branch_skipped=branch_skipped,
+        exhausted=not stack,
+        wall_time=time.perf_counter() - t0,
+        config=config,
+        baseline_decisions=baseline_decisions,
+        warnings=warnings,
+    )

@@ -1,0 +1,60 @@
+"""Canned seed scenarios for the schedule explorer.
+
+Exploration multiplies every scenario by its interleavings, so the
+useful seeds are *small*: a handful of processes, a partition, traffic
+on both sides, a merge.  :func:`partition_merge_scenario` is the
+default subject of ``repro explore``, the explore-smoke CI job, and
+``benchmarks/bench_explore.py`` - exactly the paper's core failure
+shape (Section 1: "the network may partition ... two or more
+components may subsequently merge") at the smallest size where
+concurrency exists.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.harness.scenario import Action, Scenario
+from repro.types import DeliveryRequirement, ProcessId
+
+
+def partition_merge_scenario(
+    pids: Sequence[ProcessId] = ("p0", "p1", "p2"),
+) -> Scenario:
+    """A minimal partition/merge script with traffic in every phase.
+
+    The first process is split away from the rest; both sides keep
+    sending; the network heals and a final burst crosses the merged
+    configuration.  Payload sizes and times are fixed so every explored
+    schedule starts from the identical action script.
+    """
+    pids = tuple(pids)
+    if len(pids) < 2:
+        raise ValueError("partition/merge scenario needs at least 2 processes")
+    lonely, rest = pids[0], pids[1:]
+    groups: Tuple[Tuple[ProcessId, ...], ...] = ((lonely,), rest)
+    actions = (
+        Action(at=0.5, kind="burst", pid=lonely, count=2,
+               payload=b"pre", requirement=DeliveryRequirement.SAFE),
+        Action(at=0.7, kind="partition", groups=groups),
+        Action(at=1.0, kind="burst", pid=lonely, count=2,
+               payload=b"solo", requirement=DeliveryRequirement.AGREED),
+        Action(at=1.0, kind="burst", pid=rest[0], count=2,
+               payload=b"rest", requirement=DeliveryRequirement.SAFE),
+        Action(at=1.4, kind="merge_all"),
+        Action(at=1.8, kind="burst", pid=rest[-1], count=2,
+               payload=b"post", requirement=DeliveryRequirement.AGREED),
+        # The closing burst comes from the first (sorted) process so its
+        # last delivery is its *own* message: the deterministic
+        # drop-delivery mutation then violates self delivery (Spec 2) on
+        # every schedule, which the mutation-catch tests rely on.
+        Action(at=2.0, kind="burst", pid=lonely, count=1,
+               payload=b"fin", requirement=DeliveryRequirement.SAFE),
+    )
+    return Scenario(
+        pids=pids,
+        actions=actions,
+        duration=2.4,
+        final_heal=True,
+        settle_timeout=20.0,
+    )

@@ -1,0 +1,264 @@
+"""Schedules: recorded tie-break decisions that replay byte-identically.
+
+A run under a :class:`RecordingPolicy` produces a *trail* of
+:class:`Decision` records - one per same-instant ready set of two or
+more events - and the :class:`Schedule` serializes that trail as a
+versioned JSON document (``schedule.json`` inside a repro bundle).
+Because the simulation is a pure function of (scenario, cluster seed,
+network parameters, choice vector), feeding the same choices back
+through a :class:`ReplayPolicy` reproduces the identical event
+sequence, conformance verdict, and trace eids; the replay policy
+additionally validates every decision against the recorded ready-set
+shape so a stale or hand-mangled schedule fails with a decision index
+instead of silently diverging.
+
+The document format mirrors :mod:`repro.campaign.serialize`: one JSON
+object with a ``format`` tag and a version.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ExploreError
+from repro.net.sim import ReadyEvent, SchedulePolicy
+from repro.obs.trace import NO_TRACE
+
+FORMAT_NAME = "repro-evs-schedule"
+FORMAT_VERSION = 1
+
+
+class ScheduleFormatError(ExploreError):
+    """The schedule file is malformed or from an unknown version."""
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One resolved choice point.
+
+    ``chosen`` indexes into the ready set of ``size`` same-instant
+    events; ``owners``/``kinds`` label each entry (process id and
+    category) so the explorer's partial-order reduction and the replay
+    validator can reason about the set without re-running anything.
+    """
+
+    chosen: int
+    size: int
+    owners: Tuple[str, ...]
+    kinds: Tuple[str, ...]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "chosen": self.chosen,
+            "size": self.size,
+            "owners": list(self.owners),
+            "kinds": list(self.kinds),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Decision":
+        try:
+            return cls(
+                chosen=int(data["chosen"]),
+                size=int(data["size"]),
+                owners=tuple(str(o) for o in data["owners"]),
+                kinds=tuple(str(k) for k in data["kinds"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScheduleFormatError(
+                f"malformed decision {data!r}: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A replayable choice vector.
+
+    ``choices`` is the explored prefix (decisions beyond it default to
+    FIFO's index 0); ``decisions`` is the full recorded trail of the run
+    that produced it, kept for replay validation and for the trace/
+    explain tooling.
+    """
+
+    choices: Tuple[int, ...] = ()
+    decisions: Tuple[Decision, ...] = ()
+
+    @property
+    def flips(self) -> int:
+        """Non-default choices in the prefix (the search depth used)."""
+        return sum(1 for c in self.choices if c != 0)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.decisions)} decision(s), prefix {list(self.choices)} "
+            f"({self.flips} non-FIFO)"
+        )
+
+
+def schedule_dumps(schedule: Schedule) -> str:
+    """Serialize a schedule to its versioned JSON document."""
+    return json.dumps(
+        {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "choices": list(schedule.choices),
+            "decisions": [d.to_json() for d in schedule.decisions],
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+
+
+def schedule_loads(text: str) -> Schedule:
+    """Parse and validate :func:`schedule_dumps` output."""
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ScheduleFormatError(f"not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != FORMAT_NAME:
+        raise ScheduleFormatError(f"not a {FORMAT_NAME} file")
+    if data.get("version") != FORMAT_VERSION:
+        raise ScheduleFormatError(
+            f"unsupported schedule version {data.get('version')}"
+        )
+    try:
+        choices = tuple(int(c) for c in data["choices"])
+        decisions = tuple(Decision.from_json(d) for d in data["decisions"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ScheduleFormatError(f"malformed schedule: {exc}") from exc
+    for i, c in enumerate(choices):
+        if c < 0:
+            raise ScheduleFormatError(f"choice #{i} is negative: {c}")
+    for i, d in enumerate(decisions):
+        if d.size < 2:
+            raise ScheduleFormatError(
+                f"decision #{i}: ready-set size {d.size} < 2 (singletons "
+                f"are forced moves and never recorded)"
+            )
+        if not 0 <= d.chosen < d.size:
+            raise ScheduleFormatError(
+                f"decision #{i}: chosen {d.chosen} outside ready set of "
+                f"{d.size}"
+            )
+        if len(d.owners) != d.size or len(d.kinds) != d.size:
+            raise ScheduleFormatError(
+                f"decision #{i}: owners/kinds length does not match size "
+                f"{d.size}"
+            )
+    return Schedule(choices=choices, decisions=decisions)
+
+
+def save_schedule(path: str, schedule: Schedule) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(schedule_dumps(schedule) + "\n")
+
+
+def load_schedule(path: str) -> Schedule:
+    with open(path, "r", encoding="utf-8") as fh:
+        return schedule_loads(fh.read())
+
+
+# -- policies -----------------------------------------------------------------
+
+
+class FifoPolicy(SchedulePolicy):
+    """Explicit FIFO: always index 0.
+
+    Exists so tests and benchmarks can drive the policy code path while
+    asserting it is schedule-identical to the built-in default.
+    """
+
+
+class RecordingPolicy(SchedulePolicy):
+    """Apply a choice prefix, default to FIFO beyond it, record the trail.
+
+    Every decision is appended to :attr:`trail` and - when the cluster
+    binds a live tracer - emitted as a ``sched.choice`` trace event, so
+    ``repro trace``/``explain`` can show exactly where an explored run
+    departed from FIFO.
+    """
+
+    def __init__(self, choices: Sequence[int] = ()) -> None:
+        self.choices: Tuple[int, ...] = tuple(choices)
+        self.trail: List[Decision] = []
+        self._tracer = NO_TRACE
+
+    def bind_tracer(self, tracer) -> None:
+        self._tracer = tracer
+
+    def _pick(self, position: int, ready: Sequence[ReadyEvent]) -> int:
+        if position < len(self.choices):
+            chosen = self.choices[position]
+            if not 0 <= chosen < len(ready):
+                raise ExploreError(
+                    f"schedule mismatch at decision #{position}: choice "
+                    f"{chosen} but the ready set has {len(ready)} event(s) "
+                    f"- the schedule was recorded against a different "
+                    f"scenario, seed, or network configuration"
+                )
+            return chosen
+        return 0
+
+    def choose(self, ready: Sequence[ReadyEvent]) -> int:
+        position = len(self.trail)
+        chosen = self._pick(position, ready)
+        decision = Decision(
+            chosen=chosen,
+            size=len(ready),
+            owners=tuple(e.owner for e in ready),
+            kinds=tuple(e.kind for e in ready),
+        )
+        self.trail.append(decision)
+        if self._tracer:
+            self._tracer.emit(
+                "",
+                "sched.choice",
+                parent=None,
+                decision=position,
+                chosen=chosen,
+                size=decision.size,
+                owners=list(decision.owners),
+                kinds=list(decision.kinds),
+            )
+        return chosen
+
+    def schedule(self) -> Schedule:
+        """The run's full schedule (prefix + recorded trail)."""
+        return Schedule(choices=self.choices, decisions=tuple(self.trail))
+
+
+class ReplayPolicy(RecordingPolicy):
+    """Strict replay of a recorded :class:`Schedule`.
+
+    Beyond applying the choice prefix, every decision is validated
+    against the recorded trail (ready-set size, owner labels), so a
+    schedule replayed against the wrong scenario or seed fails at the
+    first divergent decision with an actionable message instead of
+    producing an unrelated run.
+    """
+
+    def __init__(self, schedule: Schedule) -> None:
+        super().__init__(schedule.choices)
+        self._expected = schedule.decisions
+
+    def _pick(self, position: int, ready: Sequence[ReadyEvent]) -> int:
+        if position < len(self._expected):
+            expected = self._expected[position]
+            if expected.size != len(ready):
+                raise ExploreError(
+                    f"schedule mismatch at decision #{position}: recorded "
+                    f"ready-set size {expected.size}, replay has "
+                    f"{len(ready)} - the bundle's scenario, seed, or "
+                    f"network parameters differ from the recorded run"
+                )
+            owners = tuple(e.owner for e in ready)
+            if expected.owners != owners:
+                raise ExploreError(
+                    f"schedule mismatch at decision #{position}: recorded "
+                    f"owners {list(expected.owners)}, replay has "
+                    f"{list(owners)} - the bundle's scenario, seed, or "
+                    f"network parameters differ from the recorded run"
+                )
+        return super()._pick(position, ready)

@@ -17,7 +17,7 @@ from repro.core.configuration import Configuration, Delivery, Listener
 from repro.core.process import EvsProcess
 from repro.errors import SimulationError
 from repro.net.network import Network, NetworkParams
-from repro.net.sim import EventScheduler
+from repro.net.sim import EventScheduler, SchedulePolicy
 from repro.net.transport import SimHost
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NO_TRACE, RingBufferSink, Tracer
@@ -74,6 +74,11 @@ class ClusterOptions:
     per-frame ``net.send``/``net.recv``/``net.drop`` events (the
     high-volume part; fuzzing campaigns leave it off to stay inside the
     overhead budget, see docs/OBSERVABILITY.md).
+
+    ``schedule_policy`` installs a same-instant tie-break policy on the
+    scheduler (the explorer's choice-point seam, docs/EXPLORATION.md).
+    ``None`` - the default - keeps the built-in FIFO fast path.  A
+    policy is stateful per run: hand a fresh one to every cluster.
     """
 
     seed: int = 0
@@ -83,6 +88,7 @@ class ClusterOptions:
     trace: bool = False
     trace_net: bool = True
     trace_capacity: int = 65536
+    schedule_policy: Optional[SchedulePolicy] = None
 
 
 class SimCluster:
@@ -99,7 +105,7 @@ class SimCluster:
         self.options = options or ClusterOptions()
         if self.options.wire_format is not None:
             self.options.network.wire_format = self.options.wire_format
-        self.scheduler = EventScheduler()
+        self.scheduler = EventScheduler(policy=self.options.schedule_policy)
         self.rng = random.Random(self.options.seed)
         self.network = Network(self.scheduler, self.rng, self.options.network)
         self.trace_sink: Optional[RingBufferSink] = None
@@ -113,6 +119,8 @@ class SimCluster:
             self.network.tracer = self.tracer
         else:
             self.tracer = NO_TRACE
+        if self.options.schedule_policy is not None:
+            self.options.schedule_policy.bind_tracer(self.tracer)
         self.history = History()
         self.pids = list(pids)
         self.listeners: Dict[ProcessId, RecordingListener] = {}

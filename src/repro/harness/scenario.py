@@ -183,7 +183,12 @@ class ScenarioRunner:
 
         cluster.start_all()
         for action in sorted(scenario.actions, key=lambda a: a.at):
-            cluster.scheduler.call_at(action.at, lambda a=action: apply(a))
+            # Script actions carry no owner: they touch global state
+            # (topology, multiple processes), so the explorer's
+            # partial-order reduction never treats them as commuting.
+            cluster.scheduler.call_at(
+                action.at, lambda a=action: apply(a), kind="action"
+            )
         cluster.run_for(scenario.duration)
 
         quiescent = False

@@ -332,4 +332,4 @@ class Network:
                 self.tracer.emit(dst, "net.recv", parent=send_eid, src=src)
             self._handlers[dst](src, codec.decode_timed(data, self.stats.codec))
 
-        self._scheduler.call_later(latency, deliver)
+        self._scheduler.call_later(latency, deliver, owner=dst, kind="deliver")

@@ -19,16 +19,26 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 
 
 @dataclass
 class Timer:
-    """Handle for a scheduled event; ``cancel()`` is idempotent."""
+    """Handle for a scheduled event; ``cancel()`` is idempotent.
+
+    ``owner`` and ``kind`` label the entry for schedule policies: the
+    process a firing would act on (``""`` for unattributed events) and a
+    coarse category (``"timer"``, ``"deliver"``, ``"action"``).  The
+    default scheduler ignores both; the explorer's partial-order
+    reduction uses them to tell commuting events apart (see
+    :mod:`repro.explore` and docs/EXPLORATION.md).
+    """
 
     deadline: float
+    owner: str = ""
+    kind: str = ""
     _cancelled: bool = field(default=False, repr=False)
     _on_cancel: Optional[Callable[[], None]] = field(
         default=None, repr=False, compare=False
@@ -45,24 +55,69 @@ class Timer:
         return self._cancelled
 
 
+@dataclass(frozen=True)
+class ReadyEvent:
+    """Policy-visible view of one runnable entry in a same-instant
+    ready set (the heap tuple itself stays private)."""
+
+    when: float
+    seq: int
+    owner: str
+    kind: str
+
+
+class SchedulePolicy:
+    """Tie-break strategy for same-instant ready sets.
+
+    When an :class:`EventScheduler` is constructed with a policy, every
+    instant at which two or more non-cancelled events are due becomes an
+    explicit *choice point*: the policy sees the ready set (in FIFO
+    order) and returns the index of the event to fire next; the rest are
+    pushed back unchanged and re-offered at the following step.  The
+    base class always answers 0, which reproduces FIFO order exactly -
+    the seam is behavior-preserving by construction, and
+    ``tests/unit/test_sim.py`` pins that equivalence.
+
+    Policies live outside the scheduler so :mod:`repro.explore` can
+    record, replay, and search these decisions without the default
+    simulation path knowing they exist.
+    """
+
+    def choose(self, ready: Sequence[ReadyEvent]) -> int:
+        """Return the index (into ``ready``) of the event to fire next."""
+        return 0
+
+    def bind_tracer(self, tracer) -> None:
+        """Hook for policies that emit trace events; default: ignore."""
+
+
 class EventScheduler:
     """A deterministic event loop over virtual time.
 
     Events scheduled for the same instant fire in scheduling order (FIFO),
-    which the protocols rely on for determinism.
+    which the protocols rely on for determinism.  An optional
+    :class:`SchedulePolicy` turns those same-instant ties into explicit
+    choice points; without one (the default), the pre-policy fast path
+    runs unchanged.
     """
 
     #: Minimum cancelled entries before compaction is considered (tiny
     #: heaps are cheaper to drain lazily than to rebuild).
     COMPACT_MIN = 32
 
-    def __init__(self) -> None:
+    def __init__(self, policy: Optional[SchedulePolicy] = None) -> None:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Timer, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._events_processed = 0
         self._cancelled_pending = 0
         self._compactions = 0
+        self._policy = policy
+
+    @property
+    def policy(self) -> Optional[SchedulePolicy]:
+        """The installed tie-break policy (None = built-in FIFO)."""
+        return self._policy
 
     @property
     def now(self) -> float:
@@ -100,24 +155,47 @@ class EventScheduler:
             self._cancelled_pending = 0
             self._compactions += 1
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> Timer:
-        """Schedule ``callback`` at absolute virtual time ``when``."""
+    def call_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        *,
+        owner: str = "",
+        kind: str = "",
+    ) -> Timer:
+        """Schedule ``callback`` at absolute virtual time ``when``.
+
+        ``owner``/``kind`` label the entry for schedule policies (which
+        process the firing acts on, and what it is); the default FIFO
+        path never reads them.
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule into the past: {when} < now={self._now}"
             )
-        timer = Timer(deadline=when, _on_cancel=self._note_cancel)
+        timer = Timer(
+            deadline=when, owner=owner, kind=kind, _on_cancel=self._note_cancel
+        )
         heapq.heappush(self._heap, (when, next(self._counter), timer, callback))
         return timer
 
-    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        owner: str = "",
+        kind: str = "",
+    ) -> Timer:
         """Schedule ``callback`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, callback)
+        return self.call_at(self._now + delay, callback, owner=owner, kind=kind)
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
+        if self._policy is not None:
+            return self._step_with_policy()
         while self._heap:
             when, _, timer, callback = heapq.heappop(self._heap)
             if timer.cancelled:
@@ -129,6 +207,57 @@ class EventScheduler:
             callback()
             return True
         return False
+
+    def _pop_ready(self) -> List[Tuple[float, int, Timer, Callable[[], None]]]:
+        """Pop every non-cancelled entry due at the earliest pending
+        instant.  Heap pops come out (when, seq)-ordered, so the result
+        is the ready set in FIFO order."""
+        ready: List[Tuple[float, int, Timer, Callable[[], None]]] = []
+        while self._heap:
+            when, _, timer, _cb = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
+                continue
+            if ready and when != ready[0][0]:
+                break
+            ready.append(heapq.heappop(self._heap))
+        return ready
+
+    def _step_with_policy(self) -> bool:
+        """One step through the policy seam: gather the same-instant
+        ready set, let the policy pick, push the rest back untouched.
+
+        Singleton ready sets are forced moves and never reach the
+        policy, so a decision trail contains only genuine ties.
+        """
+        ready = self._pop_ready()
+        if not ready:
+            return False
+        if len(ready) == 1:
+            chosen = 0
+        else:
+            views = [
+                ReadyEvent(when=e[0], seq=e[1], owner=e[2].owner, kind=e[2].kind)
+                for e in ready
+            ]
+            chosen = self._policy.choose(views)
+            if not isinstance(chosen, int) or not 0 <= chosen < len(ready):
+                raise SimulationError(
+                    f"schedule policy chose index {chosen!r} outside the "
+                    f"ready set of {len(ready)} event(s)"
+                )
+            # Push the losers back before firing so a callback that
+            # cancels one of them sees consistent scheduler state.
+            for i, entry in enumerate(ready):
+                if i != chosen:
+                    heapq.heappush(self._heap, entry)
+        when, _, _timer, callback = ready[chosen]
+        self._now = when
+        self._events_processed += 1
+        callback()
+        return True
 
     def run_until(self, deadline: float, max_events: Optional[int] = None) -> None:
         """Advance virtual time to ``deadline`` firing all due events.

@@ -35,6 +35,10 @@ see docs/OBSERVABILITY.md for the full table:
                             install), ``send``, ``deliver``, ``fail``
 ``vs.*``                    §5 filter decisions: ``mask``, ``block``,
                             ``view``, ``discard``
+``sched.choice``            one explorer tie-break decision: which entry
+                            of a same-instant ready set fired (decision
+                            index, chosen index, owners; see
+                            docs/EXPLORATION.md)
 ==========================  =================================================
 """
 
@@ -69,6 +73,7 @@ KINDS = frozenset(
         "vs.block",
         "vs.view",
         "vs.discard",
+        "sched.choice",
     }
 )
 

@@ -77,3 +77,125 @@ def test_profile_command_on_bundle(tmp_path, capsys):
     assert "profiling bundle" in out
     assert "checker timings" in out
     assert "FAIL" in out  # the bundle's mutation reproduces under profile
+
+
+# --- repro explore / repro replay on explorer bundles ----------------
+
+
+def _write_explore_bundle(tmp_path):
+    """One violating explorer bundle (drop-delivery on the canned
+    scenario fails on the FIFO baseline, so one schedule suffices)."""
+    import os
+
+    bundle_dir = str(tmp_path / "explore-bundles")
+    code = main(
+        [
+            "explore", "--mutate", "drop-delivery", "--depth", "2",
+            "--max-schedules", "1", "--bundle-dir", bundle_dir,
+        ]
+    )
+    assert code == 1  # violations found
+    bundle = os.path.join(bundle_dir, "schedule-0")
+    assert os.path.isdir(bundle)
+    return bundle
+
+
+def test_explore_command_clean_scenario(capsys):
+    assert main(["explore", "--depth", "3", "--max-schedules", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "exploring canned partition/merge scenario" in out
+    assert "exhausted: yes" in out
+    assert "violating schedules: 0" in out
+    assert "FAIL" not in out
+
+
+def test_explore_finds_mutation_and_replay_reproduces(tmp_path, capsys):
+    bundle = _write_explore_bundle(tmp_path)
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "violating schedules: 1" in out
+
+    assert main(["replay", bundle]) == 0
+    out = capsys.readouterr().out
+    assert "+ schedule" in out  # the embedded schedule was re-applied
+    assert "reproduced: yes" in out
+
+
+def test_replay_truncated_bundle_exits_2(tmp_path, capsys):
+    import os
+
+    bundle = _write_explore_bundle(tmp_path)
+    capsys.readouterr()
+    os.remove(os.path.join(bundle, "scenario.json"))
+    assert main(["replay", bundle]) == 2
+    err = capsys.readouterr().err
+    assert "truncated bundle" in err and "scenario.json" in err
+    assert "Traceback" not in err
+
+
+def test_explore_schema_invalid_bundle_exits_2(tmp_path, capsys):
+    import os
+
+    bundle = _write_explore_bundle(tmp_path)
+    capsys.readouterr()
+    with open(os.path.join(bundle, "meta.json"), "w") as fh:
+        fh.write("{broken json")
+    assert main(["explore", bundle]) == 2
+    err = capsys.readouterr().err
+    assert "not valid JSON" in err
+    assert "Traceback" not in err
+
+
+def test_replay_corrupt_scenario_exits_2(tmp_path, capsys):
+    import os
+
+    bundle = _write_explore_bundle(tmp_path)
+    capsys.readouterr()
+    with open(os.path.join(bundle, "scenario.json"), "w") as fh:
+        fh.write('{"format": "something-else"}')
+    assert main(["replay", bundle]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "Traceback" not in err
+
+
+def test_replay_mismatched_schedule_exits_2(tmp_path, capsys):
+    """A schedule file that is well-formed but recorded against a
+    different run must fail at the first divergent decision."""
+    import json
+    import os
+
+    bundle = _write_explore_bundle(tmp_path)
+    capsys.readouterr()
+    schedule_path = os.path.join(bundle, "schedule.json")
+    with open(schedule_path) as fh:
+        doc = json.load(fh)
+    # Shrink decision #0's recorded ready set (consistently, so the file
+    # still validates) - the replay's real ready set is bigger.
+    first = doc["decisions"][0]
+    first["size"] -= 1
+    first["owners"] = first["owners"][:-1]
+    first["kinds"] = first["kinds"][:-1]
+    with open(schedule_path, "w") as fh:
+        json.dump(doc, fh)
+    assert main(["replay", bundle]) == 2
+    err = capsys.readouterr().err
+    assert "schedule mismatch at decision #0" in err
+    assert "Traceback" not in err
+
+
+def test_replay_out_of_range_schedule_choice_exits_2(tmp_path, capsys):
+    import json
+    import os
+
+    bundle = _write_explore_bundle(tmp_path)
+    capsys.readouterr()
+    schedule_path = os.path.join(bundle, "schedule.json")
+    with open(schedule_path) as fh:
+        doc = json.load(fh)
+    doc["choices"] = [99]
+    with open(schedule_path, "w") as fh:
+        json.dump(doc, fh)
+    assert main(["replay", bundle]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "99" in err
+    assert "Traceback" not in err

@@ -180,3 +180,50 @@ def test_random_mutations_are_detected(seed, mutation_index):
         return
     violations = evs_checker.check_all(corrupted, quiescent=True)
     assert violations, f"{MUTATIONS[mutation_index].__name__} went undetected"
+
+
+# --- the explorer finds every deterministic known bug ----------------
+#
+# ``repro explore --mutate <bug>`` must locate a violating schedule
+# within the default depth bound, and the repro bundle it writes must
+# replay to the identical verdict - otherwise "explore found nothing"
+# says nothing about the stack.
+
+from repro.campaign.bundle import load_bundle
+from repro.campaign.mutations import MUTATIONS as CAMPAIGN_MUTATIONS
+from repro.campaign.runner import execute_scenario
+from repro.explore.driver import ExploreConfig, explore
+from repro.explore.scenarios import partition_merge_scenario
+from repro.explore.schedule import ReplayPolicy
+
+_EXPLORE_MUTATIONS = sorted(m for m in CAMPAIGN_MUTATIONS if m != "none")
+
+
+@pytest.mark.parametrize("mutation", _EXPLORE_MUTATIONS)
+def test_explorer_finds_each_known_bug_within_default_depth(
+    mutation, tmp_path
+):
+    config = ExploreConfig(
+        scenario=partition_merge_scenario(),
+        mutation=mutation,
+        bundle_dir=str(tmp_path),
+    )
+    assert config.depth == 4, "default depth changed; re-check this gate"
+    report = explore(config)
+    assert report.failures, (
+        f"explore missed {mutation} within depth {config.depth}"
+    )
+
+    # The bundle the explorer wrote replays to the same verdict.
+    failing = report.failures[0]
+    bundle = load_bundle(failing.bundle)
+    outcome = execute_scenario(
+        bundle.scenario,
+        cluster_seed=bundle.meta["cluster_seed"],
+        loss=bundle.meta["loss"],
+        mutation=bundle.meta["mutation"],
+        schedule_policy=ReplayPolicy(bundle.schedule),
+        latency=bundle.meta["explore"]["latency"],
+    )
+    assert sorted(outcome.violated) == sorted(bundle.meta["violated"])
+    assert tuple(sorted(outcome.violated)) == tuple(sorted(failing.violated))

@@ -1,0 +1,114 @@
+"""Replay determinism of explored schedules.
+
+The explorer's whole contract is that a run is a pure function of
+(scenario, cluster seed, network parameters, choice vector): a repro
+bundle with a ``schedule.json`` must re-execute byte-identically or it
+is not a repro bundle.  These properties draw arbitrary choice intents,
+turn them into valid schedules by recording one run, and assert that
+replaying the schedule - any number of times - reproduces the identical
+event sequence, conformance verdict, and protocol-trace event ids.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.runner import execute_scenario
+from repro.explore.driver import DEFAULT_LATENCY
+from repro.explore.scenarios import partition_merge_scenario
+from repro.explore.schedule import RecordingPolicy, ReplayPolicy, Schedule
+
+_SCENARIO = partition_merge_scenario()
+
+
+class _IntentPolicy(RecordingPolicy):
+    """Clamp an arbitrary intent vector into the valid choice range, so
+    any drawn integers become a well-formed schedule by construction."""
+
+    def __init__(self, intent):
+        super().__init__()
+        self._intent = tuple(intent)
+
+    def _pick(self, position, ready):
+        if position < len(self._intent):
+            return min(self._intent[position], len(ready) - 1)
+        return 0
+
+    def schedule(self):
+        prefix = tuple(
+            d.chosen for d in self.trail[: len(self._intent)]
+        )
+        return Schedule(choices=prefix, decisions=tuple(self.trail))
+
+
+def _execute(policy, mutation="none", trace=False):
+    return execute_scenario(
+        _SCENARIO,
+        cluster_seed=0,
+        mutation=mutation,
+        trace=trace,
+        schedule_policy=policy,
+        latency=DEFAULT_LATENCY,
+    )
+
+
+def _events(outcome):
+    return {
+        pid: outcome.history.events_of(pid)
+        for pid in outcome.history.processes
+    }
+
+
+@given(intent=st.lists(st.integers(0, 11), min_size=0, max_size=6))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_identical_schedule_reproduces_identical_run(intent):
+    recorder = _IntentPolicy(intent)
+    recorded = _execute(recorder, trace=True)
+    schedule = recorder.schedule()
+
+    first = ReplayPolicy(schedule)
+    second = ReplayPolicy(schedule)
+    replay_a = _execute(first, trace=True)
+    replay_b = _execute(second, trace=True)
+
+    # Identical event sequences at every process ...
+    assert _events(recorded) == _events(replay_a) == _events(replay_b)
+    # ... identical conformance verdicts ...
+    assert (
+        recorded.violated == replay_a.violated == replay_b.violated == ()
+    )
+    assert recorded.quiescent == replay_a.quiescent == replay_b.quiescent
+    # ... identical protocol traces, down to the event ids ...
+    keys_recorded = [e.key() for e in recorded.trace_events]
+    assert keys_recorded == [e.key() for e in replay_a.trace_events]
+    assert keys_recorded == [e.key() for e in replay_b.trace_events]
+    # ... and the replays re-derive the identical decision trail.
+    assert first.schedule() == schedule
+    assert second.schedule() == schedule
+
+
+@given(
+    intent=st.lists(st.integers(0, 11), min_size=1, max_size=4),
+    mutation=st.sampled_from(
+        ["drop-delivery", "duplicate-delivery", "swap-deliveries"]
+    ),
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_replay_preserves_violation_verdicts(intent, mutation):
+    """A schedule recorded under a known-bug mutation replays to the
+    exact violated clauses - what ``repro replay`` asserts on explorer
+    bundles."""
+    recorder = _IntentPolicy(intent)
+    recorded = _execute(recorder, mutation=mutation)
+    assert recorded.violated, f"{mutation} went undetected"
+
+    replay = _execute(ReplayPolicy(recorder.schedule()), mutation=mutation)
+    assert replay.violated == recorded.violated
+    assert _events(replay) == _events(recorded)

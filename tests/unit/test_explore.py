@@ -1,0 +1,216 @@
+"""Unit tests for the schedule explorer: serialization, the
+partial-order reduction predicate, config validation, and the DFS
+driver's bookkeeping (tests/integration/test_explore.py covers the
+end-to-end loop against the real stack)."""
+
+import pytest
+
+from repro.errors import ExploreError
+from repro.explore.driver import (
+    ExploreConfig,
+    commutes,
+    explore,
+    pruned_by_reduction,
+)
+from repro.explore.scenarios import partition_merge_scenario
+from repro.explore.schedule import (
+    Decision,
+    ReplayPolicy,
+    Schedule,
+    ScheduleFormatError,
+    schedule_dumps,
+    schedule_loads,
+)
+from repro.net.sim import EventScheduler
+
+
+def _decision(chosen=0, owners=("p0", "p1")):
+    return Decision(
+        chosen=chosen,
+        size=len(owners),
+        owners=tuple(owners),
+        kinds=("deliver",) * len(owners),
+    )
+
+
+# --- schedule serialization ------------------------------------------
+
+
+def test_schedule_round_trip():
+    schedule = Schedule(
+        choices=(0, 2, 1),
+        decisions=(
+            _decision(0, ("p0", "p1", "p2")),
+            _decision(2, ("p1", "p1", "p0")),
+            _decision(1, ("p2", "p2")),
+        ),
+    )
+    assert schedule_loads(schedule_dumps(schedule)) == schedule
+    assert schedule.flips == 2
+    assert "3 decision(s)" in schedule.describe()
+
+
+def test_schedule_empty_round_trip():
+    assert schedule_loads(schedule_dumps(Schedule())) == Schedule()
+
+
+@pytest.mark.parametrize(
+    "mangle,message",
+    [
+        (lambda d: "{nope", "not valid JSON"),
+        (lambda d: '{"format":"other"}', "not a repro-evs-schedule"),
+        (
+            lambda d: d.replace('"version":1', '"version":99'),
+            "unsupported schedule version",
+        ),
+        (
+            lambda d: d.replace('"choices":[0]', '"choices":[-1]'),
+            "negative",
+        ),
+        (
+            lambda d: d.replace('"chosen":0', '"chosen":7'),
+            "chosen 7 outside ready set",
+        ),
+        (
+            lambda d: d.replace('"size":2', '"size":1'),
+            "singletons are forced moves",
+        ),
+        (
+            lambda d: d.replace('"owners":["p0","p1"]', '"owners":["p0"]'),
+            "owners/kinds length",
+        ),
+    ],
+)
+def test_malformed_schedule_rejected(mangle, message):
+    text = schedule_dumps(Schedule(choices=(0,), decisions=(_decision(),)))
+    with pytest.raises(ScheduleFormatError, match=message):
+        schedule_loads(mangle(text))
+
+
+# --- replay validation ------------------------------------------------
+
+
+def _drive(policy, owners_per_step):
+    """Feed the policy successive ready sets via a real scheduler."""
+    sched = EventScheduler(policy=policy)
+    for step, owners in enumerate(owners_per_step):
+        for owner in owners:
+            sched.call_at(float(step + 1), lambda: None, owner=owner)
+    sched.run_until_idle()
+
+
+def test_replay_policy_accepts_matching_run():
+    recorded = Schedule(
+        choices=(1,),
+        decisions=(_decision(1, ("p0", "p1")),),
+    )
+    policy = ReplayPolicy(recorded)
+    _drive(policy, [("p0", "p1")])
+    assert policy.schedule().choices == (1,)
+
+
+def test_replay_policy_rejects_size_mismatch():
+    recorded = Schedule(
+        choices=(0,),
+        decisions=(_decision(0, ("p0", "p1", "p2")),),
+    )
+    with pytest.raises(ExploreError, match="schedule mismatch at decision #0"):
+        _drive(ReplayPolicy(recorded), [("p0", "p1")])
+
+
+def test_replay_policy_rejects_owner_mismatch():
+    recorded = Schedule(
+        choices=(0,),
+        decisions=(_decision(0, ("p0", "p1")),),
+    )
+    with pytest.raises(ExploreError, match="recorded owners"):
+        _drive(ReplayPolicy(recorded), [("p0", "p9")])
+
+
+def test_recording_policy_rejects_out_of_range_prefix():
+    from repro.explore.schedule import RecordingPolicy
+
+    with pytest.raises(ExploreError, match="choice 5 but the ready set"):
+        _drive(RecordingPolicy((5,)), [("p0", "p1")])
+
+
+# --- partial-order reduction -----------------------------------------
+
+
+def test_commutes_requires_distinct_nonempty_owners():
+    assert commutes("p0", "p1")
+    assert not commutes("p0", "p0")
+    assert not commutes("", "p1")
+    assert not commutes("p0", "")
+    assert not commutes("", "")
+
+
+def test_pruned_when_alternative_commutes_with_all_earlier():
+    decision = _decision(0, ("p0", "p1", "p2"))
+    assert pruned_by_reduction(decision, 1)
+    assert pruned_by_reduction(decision, 2)
+
+
+def test_not_pruned_when_any_earlier_entry_shares_owner():
+    decision = _decision(0, ("p0", "p1", "p0"))
+    assert pruned_by_reduction(decision, 1)  # p1 vs p0: independent
+    assert not pruned_by_reduction(decision, 2)  # p0 vs p0: conflicts
+
+
+def test_unowned_entries_never_pruned():
+    decision = Decision(
+        chosen=0, size=2, owners=("p0", ""), kinds=("deliver", "action")
+    )
+    assert not pruned_by_reduction(decision, 1)
+
+
+# --- config validation and driver bookkeeping ------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs,message",
+    [
+        ({"depth": -1}, "depth"),
+        ({"offset": -2}, "offset"),
+        ({"branch": 1}, "branch"),
+        ({"max_schedules": 0}, "max-schedules"),
+        ({"latency": 0.0}, "latency"),
+        ({"loss": 1.0}, "loss"),
+        ({"mutation": "bogus"}, "unknown mutation"),
+    ],
+)
+def test_config_validation(kwargs, message):
+    config = ExploreConfig(scenario=partition_merge_scenario(), **kwargs)
+    with pytest.raises(ExploreError, match=message):
+        config.validate()
+
+
+def test_depth_zero_runs_only_the_baseline():
+    report = explore(
+        ExploreConfig(scenario=partition_merge_scenario(), depth=0)
+    )
+    assert report.schedules_run == 1
+    assert report.outcomes[0].choices == ()
+    assert report.exhausted
+    assert report.passed
+
+
+def test_max_schedules_caps_the_search():
+    report = explore(
+        ExploreConfig(
+            scenario=partition_merge_scenario(), depth=8, max_schedules=2
+        )
+    )
+    assert report.schedules_run == 2
+    assert not report.exhausted
+
+
+def test_loss_records_heuristic_warning():
+    report = explore(
+        ExploreConfig(
+            scenario=partition_merge_scenario(),
+            depth=0,
+            loss=0.05,
+        )
+    )
+    assert any("heuristic" in w for w in report.warnings)

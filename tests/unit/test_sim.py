@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.net.sim import EventScheduler
+from repro.net.sim import EventScheduler, ReadyEvent, SchedulePolicy
 
 
 def test_events_fire_in_time_order():
@@ -157,3 +157,140 @@ def test_compaction_preserves_firing_order():
         t.cancel()
     sched.run_until_idle()
     assert fired == [i for i in range(200) if i % 2 == 1]
+
+
+# --- the SchedulePolicy seam (repro.explore builds on these) ---------
+
+
+class _ProbePolicy(SchedulePolicy):
+    """Records every ready set it is offered; always picks FIFO."""
+
+    def __init__(self):
+        self.ready_sets = []
+
+    def choose(self, ready):
+        self.ready_sets.append(tuple(ready))
+        return 0
+
+
+def _run_mixed_workload(sched):
+    """Same-instant ties, distinct owners/kinds, and a solo event."""
+    fired = []
+    sched.call_at(1.0, lambda: fired.append("t-p0"), owner="p0", kind="timer")
+    sched.call_at(1.0, lambda: fired.append("d-p1"), owner="p1", kind="deliver")
+    sched.call_at(1.0, lambda: fired.append("d-p0"), owner="p0", kind="deliver")
+    sched.call_at(2.0, lambda: fired.append("solo"), owner="p2", kind="timer")
+    sched.run_until_idle()
+    return fired
+
+
+def test_default_policy_is_fifo_identical():
+    """scheduler(policy=None) and scheduler(policy=SchedulePolicy())
+    must fire the identical sequence: the seam is behavior-preserving."""
+    assert _run_mixed_workload(EventScheduler()) == _run_mixed_workload(
+        EventScheduler(policy=SchedulePolicy())
+    )
+
+
+def test_policy_sees_ready_set_with_owners_and_kinds():
+    policy = _ProbePolicy()
+    sched = EventScheduler(policy=policy)
+    _run_mixed_workload(sched)
+    # The 3-way tie is a choice point, and after its winner fires the
+    # remaining pair is a second one; the singleton at t=2.0 never
+    # consults the policy.
+    assert [len(r) for r in policy.ready_sets] == [3, 2]
+    ready = policy.ready_sets[0]
+    assert all(isinstance(e, ReadyEvent) for e in ready)
+    assert [e.owner for e in ready] == ["p0", "p1", "p0"]
+    assert [e.kind for e in ready] == ["timer", "deliver", "deliver"]
+    assert all(e.when == pytest.approx(1.0) for e in ready)
+    # FIFO order within the ready set follows scheduling order.
+    assert [e.seq for e in ready] == sorted(e.seq for e in ready)
+
+
+def test_nonzero_choice_fires_that_event_first_rest_stay_fifo():
+    class PickLast(SchedulePolicy):
+        def choose(self, ready):
+            return len(ready) - 1
+
+    fired = []
+    sched = EventScheduler(policy=PickLast())
+    for i in range(4):
+        sched.call_at(1.0, lambda i=i: fired.append(i))
+    sched.run_until_idle()
+    # Each step moves the current last entry to the front; the remainder
+    # re-enters the ready set in FIFO order.
+    assert fired == [3, 2, 1, 0]
+
+
+def test_policy_choice_out_of_range_raises():
+    class Broken(SchedulePolicy):
+        def choose(self, ready):
+            return len(ready)
+
+    sched = EventScheduler(policy=Broken())
+    sched.call_at(1.0, lambda: None)
+    sched.call_at(1.0, lambda: None)
+    with pytest.raises(SimulationError, match="outside the ready set"):
+        sched.run_until_idle()
+
+
+def test_policy_skips_cancelled_timers_in_ready_set():
+    policy = _ProbePolicy()
+    sched = EventScheduler(policy=policy)
+    fired = []
+    keep_a = sched.call_at(1.0, lambda: fired.append("a"), owner="p0")
+    dead = sched.call_at(1.0, lambda: fired.append("dead"), owner="p1")
+    keep_b = sched.call_at(1.0, lambda: fired.append("b"), owner="p2")
+    dead.cancel()
+    sched.run_until_idle()
+    assert fired == ["a", "b"]
+    assert [e.owner for e in policy.ready_sets[0]] == ["p0", "p2"]
+    assert keep_a.deadline == keep_b.deadline
+
+
+def test_cancelled_timer_churn_bounded_under_policy():
+    """Lazy compaction still engages when a policy is installed."""
+    sched = EventScheduler(policy=SchedulePolicy())
+    live = None
+    for i in range(5000):
+        if live is not None:
+            live.cancel()
+        live = sched.call_later(10.0 + i * 0.001, lambda: None)
+    assert sched.pending <= 2 * EventScheduler.COMPACT_MIN + 4
+    assert sched.compactions > 0
+    sched.run_until_idle()
+    assert sched.pending == 0
+
+
+def test_callback_cancelling_same_instant_peer_under_policy():
+    """A chosen callback may cancel a not-yet-fired peer at the same
+    instant; the peer must then be skipped, not fired."""
+    sched = EventScheduler(policy=SchedulePolicy())
+    fired = []
+    victim = sched.call_at(1.0, lambda: fired.append("victim"), owner="p1")
+    sched.call_at(
+        0.5, lambda: None, owner="p9"
+    )  # unrelated earlier event
+    sched.call_at(1.0, lambda: victim.cancel(), owner="p0")
+
+    # Reorder so the canceller is scheduled first at t=1.0? It is not -
+    # FIFO fires the victim first.  Flip with a policy that prefers the
+    # canceller.
+    class PreferCanceller(SchedulePolicy):
+        def choose(self, ready):
+            for i, e in enumerate(ready):
+                if e.owner == "p0":
+                    return i
+            return 0
+
+    sched2 = EventScheduler(policy=PreferCanceller())
+    fired2 = []
+    victim2 = sched2.call_at(1.0, lambda: fired2.append("victim"), owner="p1")
+    sched2.call_at(1.0, lambda: victim2.cancel(), owner="p0")
+    sched2.run_until_idle()
+    assert fired2 == []
+
+    sched.run_until_idle()
+    assert fired == ["victim"]
