@@ -9,6 +9,7 @@ refreshed from the files.
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -22,3 +23,16 @@ def emit(name: str, text: str) -> str:
         fh.write(text.rstrip() + "\n")
     print(f"\n{text}\n[written to {path}]")
     return text
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Write a bench's machine-readable results to
+    ``benchmarks/results/BENCH_<name>.json`` (dashboards and the perf
+    history diff against these, not the rendered tables)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[machine-readable results written to {path}]")
+    return path

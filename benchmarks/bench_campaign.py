@@ -15,7 +15,7 @@ coverage.
 import os
 import time
 
-from _util import emit
+from _util import emit, emit_json
 
 import repro.campaign.runner as runner_mod
 from repro.campaign.runner import CampaignConfig, run_campaign
@@ -233,4 +233,34 @@ def test_campaign_throughput(benchmark):
             f"{PROCESSES} processes x {STEPS} steps",
             rows,
         ),
+    )
+    emit_json(
+        "campaign",
+        {
+            "workload": {
+                "seeds": len(SEEDS),
+                "processes": PROCESSES,
+                "steps": STEPS,
+            },
+            "reference_checkers": {
+                "wall_s": round(reference_s, 3),
+                "scenarios_per_sec": round(reference.scenarios_per_sec, 2),
+                "check_ms": round(reference.check_ns / 1e6, 1),
+            },
+            "single": {
+                "wall_s": round(single_s, 3),
+                "scenarios_per_sec": round(single.scenarios_per_sec, 2),
+                "check_ms": round(single.check_ns / 1e6, 1),
+            },
+            "seam_overhead": round(seam_overhead, 4),
+            "trace_overhead": round(trace_overhead, 4),
+            "pooled": {
+                "workers": POOLED_WORKERS,
+                "wall_s": round(pooled_s, 3),
+                "scenarios_per_sec": round(pooled.scenarios_per_sec, 2),
+            },
+            "speedup": round(speedup, 2),
+            "cores": cores,
+            "speedup_asserted": asserted,
+        },
     )

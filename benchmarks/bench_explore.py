@@ -1,18 +1,30 @@
-"""Explorer throughput: schedules/sec and partial-order reduction ratio.
+"""Explorer throughput: stateless DFS vs. stateful DPOR vs. the frontier.
 
 The schedule explorer's value is coverage per CPU-second: how many
 inequivalent interleavings of the canned partition/merge scenario it
-proves Specs 1-7 over, and how many naive interleavings the
-partial-order reduction spares it from executing.  This bench runs the
-exploration to exhaustion at two window sizes and asserts the headline
-claims: the search exhausts, every schedule passes, and the reduction
-ratio is > 1 (the pruning is actually engaging; see docs/EXPLORATION.md
-for why pruned alternatives count as covered interleavings).
+proves Specs 1-7 over.  This bench measures the three tiers that buy
+that coverage and asserts the headline claims (docs/EXPLORATION.md):
+
+* stateless sweep - the seed behavior: bounded exhaustion, zero
+  violations, partial-order reduction ratio > 1;
+* stateful pruning - on the window-8 workload ([8, 16)), state-hash
+  pruning plus the suffix cache reach exhaustion-equivalent coverage
+  >= 3x faster than stateless DFS *with the zero-copy wire path
+  disabled* (pruning alone), and faster still with it on;
+* deep window - a window the seed DFS cannot exhaust within the
+  schedule budget is exhausted by the stateful search;
+* worker scaling - the work-stealing frontier beats serial stateful
+  search by > 1.5x with 4 workers (asserted on >= 4 cores).
+
+Besides the rendered table, results are emitted machine-readably to
+``benchmarks/results/BENCH_explore.json`` (schedules/s, prune rate,
+states visited, worker scaling) for dashboards and perf-history diffs.
 """
 
+import os
 import time
 
-from _util import emit
+from _util import emit, emit_json
 
 from repro.explore.driver import ExploreConfig, explore
 from repro.explore.scenarios import partition_merge_scenario
@@ -20,18 +32,46 @@ from repro.harness.metrics import BenchRow, render_table
 
 MAX_SCHEDULES = 512
 DEPTHS = (4, 8, 12)
+#: The window-8 workload of the stateful pruning gate: offset past the
+#: quiet prefix, where same-owner timer-vs-packet reorderings make
+#: states actually collide (at offset 0 the history projections diverge
+#: permanently after the first delivery reordering - see
+#: docs/EXPLORATION.md "Where the pruning wins come from").
+GATE_OFFSET = 8
+GATE_DEPTH = 8
+#: A window the seed DFS cannot exhaust within MAX_SCHEDULES.
+DEEP_OFFSET = 16
+DEEP_DEPTH = 12
+SCALE_WORKERS = 4
+
+JSON_ROWS: dict = {}
 
 
-def _measure(depth: int):
+def _measure(
+    depth: int,
+    offset: int = 0,
+    stateful: bool = False,
+    workers: int = 1,
+    zero_copy=None,
+    max_schedules: int = MAX_SCHEDULES,
+):
     config = ExploreConfig(
         scenario=partition_merge_scenario(),
         depth=depth,
-        max_schedules=MAX_SCHEDULES,
+        offset=offset,
+        max_schedules=max_schedules,
+        stateful=stateful,
+        workers=workers,
+        zero_copy=zero_copy,
     )
     t0 = time.perf_counter()
     report = explore(config)
     elapsed = time.perf_counter() - t0
     return report, elapsed
+
+
+def _emit_all() -> None:
+    emit_json("explore", dict(JSON_ROWS))
 
 
 def test_explore_throughput(benchmark):
@@ -61,6 +101,14 @@ def test_explore_throughput(benchmark):
                 },
             )
         )
+        JSON_ROWS[f"stateless_w0_{depth}"] = {
+            "schedules": report.schedules_run,
+            "wall_s": round(elapsed, 3),
+            "schedules_per_sec": round(report.schedules_per_sec, 2),
+            "pruned_commuting": report.pruned,
+            "reduction_ratio": round(report.reduction_ratio, 2),
+            "exhausted": report.exhausted,
+        }
 
         # The headline claims: bounded exhaustion with zero violations,
         # and a reduction that actually engages.
@@ -90,3 +138,237 @@ def test_explore_throughput(benchmark):
             rows,
         ),
     )
+    _emit_all()
+
+
+def test_stateful_pruning_gate(benchmark):
+    """The window-8 workload: stateful DPOR must reach the stateless
+    search's coverage >= 3x faster with pruning alone (zero-copy off)."""
+    results = {}
+
+    def sweep():
+        results["stateless"] = _measure(GATE_DEPTH, offset=GATE_OFFSET)
+        results["pruned"] = _measure(
+            GATE_DEPTH, offset=GATE_OFFSET, stateful=True, zero_copy=False
+        )
+        results["pruned_zc"] = _measure(
+            GATE_DEPTH, offset=GATE_OFFSET, stateful=True
+        )
+        results["deep_stateless"] = _measure(DEEP_DEPTH, offset=DEEP_OFFSET)
+        results["deep_stateful"] = _measure(
+            DEEP_DEPTH, offset=DEEP_OFFSET, stateful=True
+        )
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    base, base_s = results["stateless"]
+    pruned, pruned_s = results["pruned"]
+    pruned_zc, pruned_zc_s = results["pruned_zc"]
+    deep_base, deep_base_s = results["deep_stateless"]
+    deep, deep_s = results["deep_stateful"]
+
+    # Both searches exhaust the same window, so equal coverage; the
+    # speedup is wall-clock to exhaustion (the stateful search runs
+    # fewer schedules because cached/pruned subtrees count as covered).
+    assert base.exhausted and pruned.exhausted and pruned_zc.exhausted
+    assert [o.violated for o in base.outcomes if o.violated] == []
+    assert base.passed and pruned.passed and pruned_zc.passed
+    speedup = base_s / pruned_s if pruned_s > 0 else 0.0
+    speedup_zc = base_s / pruned_zc_s if pruned_zc_s > 0 else 0.0
+    prune_rate = (
+        (pruned.state_pruned + pruned.suffix_hits)
+        / max(pruned.schedules_run + pruned.state_pruned + pruned.suffix_hits, 1)
+    )
+    assert pruned.state_pruned + pruned.suffix_hits > 0, (
+        "stateful tiers never fired on the gate workload"
+    )
+    assert speedup >= 3.0, (
+        f"pruning alone only {speedup:.2f}x over stateless DFS on "
+        f"window [{GATE_OFFSET}, {GATE_OFFSET + GATE_DEPTH}) "
+        f"(gate: >= 3x)"
+    )
+
+    # The deep window: seed DFS cannot exhaust it within the budget;
+    # the stateful search can.
+    assert not deep_base.exhausted, (
+        f"window [{DEEP_OFFSET}, {DEEP_OFFSET + DEEP_DEPTH}) unexpectedly "
+        f"exhausted stateless within {MAX_SCHEDULES} schedules - deepen it"
+    )
+    assert deep.exhausted, (
+        f"stateful search failed to exhaust window "
+        f"[{DEEP_OFFSET}, {DEEP_OFFSET + DEEP_DEPTH})"
+    )
+
+    rows = [
+        BenchRow(
+            f"stateless, window [{GATE_OFFSET}, {GATE_OFFSET + GATE_DEPTH})",
+            {
+                "schedules": base.schedules_run,
+                "wall": f"{base_s:.2f}s",
+                "rate": f"{base.schedules_per_sec:.1f}/s",
+                "exhausted": "yes" if base.exhausted else "no",
+            },
+        ),
+        BenchRow(
+            "stateful, pruning alone (zero-copy off)",
+            {
+                "schedules": pruned.schedules_run,
+                "wall": f"{pruned_s:.2f}s",
+                "state-pruned": pruned.state_pruned,
+                "suffix-hits": pruned.suffix_hits,
+                "visited": pruned.visited_states,
+                "prune-rate": f"{prune_rate * 100:.0f}%",
+                "speedup": f"{speedup:.2f}x",
+            },
+        ),
+        BenchRow(
+            "stateful + zero-copy wire",
+            {
+                "schedules": pruned_zc.schedules_run,
+                "wall": f"{pruned_zc_s:.2f}s",
+                "speedup": f"{speedup_zc:.2f}x",
+            },
+        ),
+        BenchRow(
+            f"stateless, deep window [{DEEP_OFFSET}, "
+            f"{DEEP_OFFSET + DEEP_DEPTH})",
+            {
+                "schedules": deep_base.schedules_run,
+                "wall": f"{deep_base_s:.2f}s",
+                "exhausted": "yes" if deep_base.exhausted else
+                f"NO (budget {MAX_SCHEDULES})",
+            },
+        ),
+        BenchRow(
+            "stateful, same deep window",
+            {
+                "schedules": deep.schedules_run,
+                "wall": f"{deep_s:.2f}s",
+                "state-pruned": deep.state_pruned,
+                "suffix-hits": deep.suffix_hits,
+                "exhausted": "yes" if deep.exhausted else "no",
+            },
+        ),
+    ]
+    JSON_ROWS["gate_stateless"] = {
+        "schedules": base.schedules_run,
+        "wall_s": round(base_s, 3),
+        "schedules_per_sec": round(base.schedules_per_sec, 2),
+        "exhausted": base.exhausted,
+    }
+    JSON_ROWS["gate_stateful_pruning_alone"] = {
+        "schedules": pruned.schedules_run,
+        "wall_s": round(pruned_s, 3),
+        "state_pruned": pruned.state_pruned,
+        "suffix_hits": pruned.suffix_hits,
+        "visited_states": pruned.visited_states,
+        "bloom_hits": pruned.bloom_hits,
+        "prune_rate": round(prune_rate, 3),
+        "speedup_vs_stateless": round(speedup, 2),
+        "gate": ">=3x asserted",
+    }
+    JSON_ROWS["gate_stateful_zero_copy"] = {
+        "schedules": pruned_zc.schedules_run,
+        "wall_s": round(pruned_zc_s, 3),
+        "speedup_vs_stateless": round(speedup_zc, 2),
+    }
+    JSON_ROWS["deep_window"] = {
+        "window": [DEEP_OFFSET, DEEP_OFFSET + DEEP_DEPTH],
+        "stateless_schedules": deep_base.schedules_run,
+        "stateless_wall_s": round(deep_base_s, 3),
+        "stateless_exhausted": deep_base.exhausted,
+        "stateful_schedules": deep.schedules_run,
+        "stateful_wall_s": round(deep_s, 3),
+        "stateful_exhausted": deep.exhausted,
+    }
+
+    emit(
+        "explore_stateful",
+        render_table(
+            "X8: stateful DPOR vs. stateless DFS, partition/merge "
+            "scenario to exhaustion",
+            rows,
+        ),
+    )
+    _emit_all()
+
+
+def test_worker_scaling(benchmark):
+    """The work-stealing frontier: > 1.5x over serial stateful search
+    with 4 workers, asserted on >= 4 cores (reported honestly below)."""
+    results = {}
+
+    def sweep():
+        results["serial"] = _measure(
+            DEEP_DEPTH, offset=GATE_OFFSET, stateful=True
+        )
+        results["parallel"] = _measure(
+            DEEP_DEPTH, offset=GATE_OFFSET, stateful=True,
+            workers=SCALE_WORKERS,
+        )
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    serial, serial_s = results["serial"]
+    parallel, parallel_s = results["parallel"]
+    scaling = serial_s / parallel_s if parallel_s > 0 else 0.0
+    cores = os.cpu_count() or 1
+    asserted = cores >= 4
+
+    # Parallelism must not change what the search observes: same
+    # exhaustion verdict and the same set of violating schedules
+    # (outcome order differs - indexes are completion-order).
+    assert serial.exhausted == parallel.exhausted
+    assert sorted(
+        tuple(o.choices) for o in serial.outcomes if o.violated
+    ) == sorted(tuple(o.choices) for o in parallel.outcomes if o.violated)
+    if asserted:
+        assert scaling > 1.5, (
+            f"{SCALE_WORKERS}-worker frontier only {scaling:.2f}x over "
+            f"serial stateful search on {cores} cores (gate: > 1.5x)"
+        )
+
+    rows = [
+        BenchRow(
+            f"serial stateful, window [{GATE_OFFSET}, "
+            f"{GATE_OFFSET + DEEP_DEPTH})",
+            {
+                "schedules": serial.schedules_run,
+                "wall": f"{serial_s:.2f}s",
+                "rate": f"{serial.schedules_per_sec:.1f}/s",
+            },
+        ),
+        BenchRow(
+            f"frontier (workers={SCALE_WORKERS})",
+            {
+                "schedules": parallel.schedules_run,
+                "wall": f"{parallel_s:.2f}s",
+                "units": parallel.units_dispatched,
+                "stolen": parallel.units_stolen,
+                "scaling": f"{scaling:.2f}x",
+                "gate": ">1.5x asserted" if asserted else
+                f"not asserted ({cores} core(s) < 4)",
+            },
+        ),
+    ]
+    JSON_ROWS["worker_scaling"] = {
+        "workers": SCALE_WORKERS,
+        "cores": cores,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "scaling": round(scaling, 2),
+        "units_dispatched": parallel.units_dispatched,
+        "units_stolen": parallel.units_stolen,
+        "asserted": asserted,
+    }
+
+    emit(
+        "explore_frontier",
+        render_table(
+            "X9: work-stealing frontier scaling, stateful search",
+            rows,
+        ),
+    )
+    _emit_all()

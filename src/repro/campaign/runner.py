@@ -61,6 +61,7 @@ def execute_scenario(
     trace: bool = False,
     schedule_policy=None,
     latency: Optional[float] = None,
+    zero_copy: bool = False,
 ) -> ExecutionOutcome:
     """Run one scenario deterministically and evaluate Specs 1-7.
 
@@ -76,11 +77,17 @@ def execute_scenario(
     explorer's execution mode (:mod:`repro.explore`): fixed latency
     makes concurrent deliveries collide at the same instant, which is
     what turns them into recorded, replayable choice points.
+    ``zero_copy`` additionally skips the wire codec round-trip
+    (:class:`~repro.net.network.NetworkParams`), the explorer's replay
+    fast path.
     """
-    network = NetworkParams(loss_rate=loss)
+    network = NetworkParams(loss_rate=loss, zero_copy=zero_copy)
     if latency is not None:
         network = NetworkParams(
-            loss_rate=loss, latency_min=latency, latency_max=latency
+            loss_rate=loss,
+            latency_min=latency,
+            latency_max=latency,
+            zero_copy=zero_copy,
         )
     runner = ScenarioRunner(
         ClusterOptions(

@@ -302,6 +302,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
     else:
         scenario = load_scenario(args.source).scenario
         source = f"scenario {args.source}"
+    zero_copy = {"auto": None, "on": True, "off": False}[args.zero_copy]
     config = ExploreConfig(
         scenario=scenario,
         cluster_seed=cluster_seed,
@@ -314,12 +315,20 @@ def cmd_explore(args: argparse.Namespace) -> int:
         mutation=mutation,
         bundle_dir=args.bundle_dir,
         trace=args.trace,
+        stateful=args.stateful or args.workers > 1,
+        workers=args.workers,
+        unit_budget=args.unit_budget,
+        zero_copy=zero_copy,
     )
+    mode = "stateful" if config.stateful else "stateless"
+    if config.workers > 1:
+        mode += f", {config.workers} workers"
     print(
         f"exploring {source}: window [{config.offset}, "
         f"{config.window_end}), branch {config.branch}, "
         f"max {config.max_schedules} schedule(s), seed {cluster_seed}"
         + (f", mutation {mutation}" if mutation != "none" else "")
+        + f" ({mode})"
     )
 
     def progress(o: ScheduleOutcome) -> None:
@@ -337,7 +346,13 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 def cmd_profile(args: argparse.Namespace) -> int:
     """cProfile one scenario end-to-end; print hotspots and checker times."""
-    if os.path.isdir(args.scenario):
+    if args.scenario is None:
+        scenario = partition_merge_scenario()
+        cluster_seed = args.seed
+        loss = args.loss
+        mutation = args.mutate
+        source = "canned partition/merge scenario"
+    elif os.path.isdir(args.scenario):
         bundle = load_bundle(args.scenario)
         meta = bundle.meta
         scenario = bundle.scenario
@@ -352,6 +367,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
         loss = args.loss
         mutation = args.mutate
         source = f"scenario {args.scenario}"
+
+    if args.explore:
+        return _profile_explore(args, scenario, cluster_seed, loss, mutation, source)
 
     profiler = cProfile.Profile()
     profiler.enable()
@@ -371,6 +389,62 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(outcome.report.render_timings())
     print()
     print(outcome.report.render())
+    return 0
+
+
+def _profile_explore(
+    args: argparse.Namespace,
+    scenario,
+    cluster_seed: int,
+    loss: float,
+    mutation: str,
+    source: str,
+) -> int:
+    """``repro profile --explore``: profile a stateful explorer run and
+    break wall time into replay / checking / fingerprinting phases."""
+    config = ExploreConfig(
+        scenario=scenario,
+        cluster_seed=cluster_seed,
+        depth=args.depth,
+        offset=args.offset,
+        loss=loss,
+        mutation=mutation,
+        bundle_dir=None,
+        stateful=True,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    report = explore(config)
+    profiler.disable()
+
+    print(
+        f"profiling explorer on {source}: window [{config.offset}, "
+        f"{config.window_end}), seed {cluster_seed}"
+        + (f", mutation {mutation}" if mutation != "none" else "")
+    )
+    print()
+    phases = report.phase_ns or {}
+    total_ns = max(sum(phases.values()), 1)
+    wall_ns = report.wall_time * 1e9
+    print("per-phase time (explorer wall clock):")
+    for name in ("replay", "checking", "fingerprinting"):
+        ns = phases.get(name, 0)
+        share = 100.0 * ns / total_ns
+        print(f"  {name:<16s} {ns / 1e6:10.1f} ms  {share:5.1f}%")
+    overhead = max(wall_ns - total_ns, 0.0)
+    print(f"  {'search overhead':<16s} {overhead / 1e6:10.1f} ms")
+    print(
+        f"  schedules {len(report.outcomes)}, state prunes "
+        f"{report.state_pruned}, suffix hits {report.suffix_hits}, "
+        f"visited {report.visited_states}"
+    )
+    print()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    print(buf.getvalue().rstrip())
+    print()
+    print(report.render())
     return 0
 
 
@@ -644,6 +718,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture a protocol trace per schedule and attach it to "
         "failing bundles (sched.choice events mark each decision)",
     )
+    exp.add_argument(
+        "--stateful",
+        action="store_true",
+        help="enable state-hash pruning and the window-boundary suffix "
+        "cache (stateful DPOR; see docs/EXPLORATION.md)",
+    )
+    exp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel worker processes for the work-stealing frontier; "
+        ">1 implies --stateful (default 1)",
+    )
+    exp.add_argument(
+        "--unit-budget",
+        type=int,
+        default=32,
+        help="schedules per dispatched work unit in parallel mode "
+        "(default 32)",
+    )
+    exp.add_argument(
+        "--zero-copy",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="loopback wire fast path: skip the codec round-trip for "
+        "in-process delivery (auto: on for stateful/parallel runs)",
+    )
     exp.set_defaults(fn=cmd_explore)
 
     prof = sub.add_parser(
@@ -652,7 +753,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument(
         "scenario",
-        help="repro bundle directory or serialized scenario .json",
+        nargs="?",
+        default=None,
+        help="repro bundle directory or serialized scenario .json "
+        "(default with --explore: the canned partition/merge scenario)",
+    )
+    prof.add_argument(
+        "--explore",
+        action="store_true",
+        help="profile a stateful explorer run instead of a single "
+        "execution: per-phase wall time (replay vs checking vs "
+        "fingerprinting) plus the usual hotspot table",
+    )
+    prof.add_argument(
+        "--depth",
+        type=int,
+        default=6,
+        help="explorer window size when --explore is set (default 6)",
+    )
+    prof.add_argument(
+        "--offset",
+        type=int,
+        default=8,
+        help="explorer window offset when --explore is set (default 8)",
     )
     prof.add_argument(
         "--top", type=int, default=15, help="hotspot rows to print"

@@ -190,6 +190,21 @@ class EvsEngine(EngineHooks):
     def on_state_change(self, state: ControllerState) -> None:  # pragma: no cover
         pass
 
+    # ------------------------------------------------------- fingerprinting
+
+    def fingerprint_state(self) -> dict:
+        """Behavioral snapshot of this process for the explorer's state
+        fingerprinter: lifecycle flag, installed configuration, stable
+        storage (it survives crashes, so it shapes future boots), and the
+        full controller state.  The Configuration dataclass is passed
+        intact - the canonical encoder handles unregistered dataclasses."""
+        return {
+            "started": self.started,
+            "config": self.current_config,
+            "stable": self.stable.load(),
+            "controller": self.controller.fingerprint_state(),
+        }
+
     # ------------------------------------------------------------ internals
 
     def _deliver(self, message: RegularMessage, config_id: ConfigurationId) -> None:

@@ -46,6 +46,13 @@ from repro.campaign import bundle as bundle_mod
 from repro.campaign.mutations import MUTATIONS
 from repro.campaign.runner import ExecutionOutcome, execute_scenario
 from repro.errors import ExploreError
+from repro.explore.fingerprint import (
+    CachedSuffix,
+    FingerprintingPolicy,
+    StatePruned,
+    SuffixCacheHit,
+    VisitedSet,
+)
 from repro.explore.schedule import Decision, RecordingPolicy, Schedule
 from repro.harness.scenario import Scenario
 
@@ -92,6 +99,22 @@ class ExploreConfig:
     mutation: str = "none"
     bundle_dir: Optional[str] = None
     trace: bool = False
+    #: Stateful DPOR: fingerprint cluster state at each in-window
+    #: decision, prune revisits, and reuse cached suffix verdicts
+    #: (docs/EXPLORATION.md "Stateful DPOR").
+    stateful: bool = False
+    #: Parallel frontier workers (> 1 implies stateful search; the
+    #: frontier's shared visited set is what makes workers cooperate).
+    workers: int = 1
+    #: Schedules one frontier unit may execute before returning its
+    #: unexplored children to the master for redistribution.
+    unit_budget: int = 32
+    #: Wire codec fast path: None = skip the encode/decode round-trip
+    #: in stateful mode only (where the differential tests pin the
+    #: equivalence); True/False force it either way.
+    zero_copy: Optional[bool] = None
+    #: Exact visited-set entries before spilling to the Bloom tier.
+    exact_cap: int = 1 << 20
 
     def validate(self) -> None:
         if self.depth < 0:
@@ -116,11 +139,29 @@ class ExploreConfig:
                 f"unknown mutation {self.mutation!r} (expected one of "
                 f"{', '.join(sorted(MUTATIONS))})"
             )
+        if self.workers < 1:
+            raise ExploreError(f"workers must be >= 1, got {self.workers}")
+        if self.unit_budget < 1:
+            raise ExploreError(
+                f"unit-budget must be >= 1, got {self.unit_budget}"
+            )
+        if self.exact_cap < 1:
+            raise ExploreError(f"exact-cap must be >= 1, got {self.exact_cap}")
         self.scenario.validate()
 
     @property
     def window_end(self) -> int:
         return self.offset + self.depth
+
+    @property
+    def effective_zero_copy(self) -> bool:
+        """Zero-copy defaults on for the stateful fast path and off for
+        the stateless search, which stays byte-for-byte the seed
+        behavior (the benchmarks' "pruning alone" row compares both
+        modes with zero-copy forced off)."""
+        if self.zero_copy is not None:
+            return self.zero_copy
+        return self.stateful or self.workers > 1
 
 
 @dataclass(frozen=True)
@@ -136,6 +177,10 @@ class ScheduleOutcome:
     violated: Tuple[str, ...]
     elapsed: float
     bundle: Optional[str] = None
+    #: True when the verdict came from the suffix cache instead of a
+    #: full re-execution (stateful mode only; the interleaving is still
+    #: counted as covered - equal boundary states imply equal verdicts).
+    cached: bool = False
 
 
 @dataclass
@@ -151,6 +196,18 @@ class ExploreReport:
     #: Decision trail of the FIFO baseline (schedule #0), for reporting.
     baseline_decisions: int = 0
     warnings: List[str] = field(default_factory=list)
+    #: Stateful-mode counters (all zero for the stateless search).
+    state_pruned: int = 0
+    suffix_hits: int = 0
+    visited_states: int = 0
+    bloom_hits: int = 0
+    #: Per-phase wall time in nanoseconds: replay / checking /
+    #: fingerprinting (``repro profile --explore``).
+    phase_ns: Dict[str, int] = field(default_factory=dict)
+    #: Frontier bookkeeping (workers == 1 for serial runs).
+    workers: int = 1
+    units_dispatched: int = 0
+    units_stolen: int = 0
 
     @property
     def schedules_run(self) -> int:
@@ -183,6 +240,29 @@ class ExploreReport:
                 by_clause[clause] = by_clause.get(clause, 0) + 1
         return by_clause
 
+    def metrics(self):
+        """The exploration's counters as a
+        :class:`~repro.obs.registry.MetricsRegistry` - the same surface
+        campaigns and ``cluster.describe()`` use, so prune/steal rates
+        land next to every other observability number."""
+        from repro.obs.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("explore.schedules").inc(self.schedules_run)
+        reg.counter("explore.pruned.commuting").inc(self.pruned)
+        reg.counter("explore.pruned.state").inc(self.state_pruned)
+        reg.counter("explore.suffix_hits").inc(self.suffix_hits)
+        reg.counter("explore.branch_skipped").inc(self.branch_skipped)
+        reg.counter("explore.bloom_hits").inc(self.bloom_hits)
+        reg.gauge("explore.visited_states").set(self.visited_states)
+        reg.gauge("explore.workers").set(self.workers)
+        reg.counter("explore.units.dispatched").inc(self.units_dispatched)
+        reg.counter("explore.units.stolen").inc(self.units_stolen)
+        reg.gauge("explore.schedules_per_sec").set(self.schedules_per_sec)
+        for phase, ns in sorted(self.phase_ns.items()):
+            reg.gauge(f"explore.phase.{phase}_ms").set(ns / 1e6)
+        return reg
+
     def render(self) -> str:
         c = self.config
         lines = [
@@ -193,6 +273,30 @@ class ExploreReport:
             f"  reduction: {self.pruned} pruned as commuting, "
             f"{self.branch_skipped} beyond branch bound "
             f"(ratio {self.reduction_ratio:.2f}x)",
+        ]
+        if self.state_pruned or self.suffix_hits or self.visited_states:
+            lines.append(
+                f"  stateful: {self.state_pruned} run(s) state-pruned, "
+                f"{self.suffix_hits} suffix cache hit(s), "
+                f"{self.visited_states} state(s) visited"
+                + (f", {self.bloom_hits} bloom hit(s)" if self.bloom_hits else "")
+            )
+        if self.workers > 1:
+            lines.append(
+                f"  frontier: {self.workers} worker(s), "
+                f"{self.units_dispatched} unit(s) dispatched, "
+                f"{self.units_stolen} stolen"
+            )
+        if self.phase_ns:
+            total = sum(self.phase_ns.values()) or 1
+            cells = ", ".join(
+                f"{name} {ns / 1e9:.2f}s ({100.0 * ns / total:.0f}%)"
+                for name, ns in sorted(
+                    self.phase_ns.items(), key=lambda kv: -kv[1]
+                )
+            )
+            lines.append(f"  phases: {cells}")
+        lines += [
             f"  exhausted: {'yes' if self.exhausted else 'no'}",
             f"  violating schedules: {len(self.failures)}",
         ]
@@ -211,10 +315,14 @@ class ExploreReport:
 
 
 def run_schedule(
-    config: ExploreConfig, choices: Tuple[int, ...] = ()
+    config: ExploreConfig,
+    choices: Tuple[int, ...] = (),
+    policy: Optional[RecordingPolicy] = None,
+    zero_copy: Optional[bool] = None,
 ) -> Tuple[ExecutionOutcome, Schedule]:
     """Execute the configured scenario under one choice prefix."""
-    policy = RecordingPolicy(choices)
+    if policy is None:
+        policy = RecordingPolicy(choices)
     outcome = execute_scenario(
         config.scenario,
         cluster_seed=config.cluster_seed,
@@ -223,8 +331,260 @@ def run_schedule(
         trace=config.trace,
         schedule_policy=policy,
         latency=config.latency,
+        zero_copy=config.effective_zero_copy if zero_copy is None else zero_copy,
     )
     return outcome, policy.schedule()
+
+
+def _expand(
+    config: ExploreConfig,
+    prefix: Tuple[int, ...],
+    trail: Tuple[Decision, ...],
+    limit: int,
+    stack: List[Tuple[int, ...]],
+) -> Tuple[int, int]:
+    """Push this run's children: flip one defaulted decision inside the
+    window at positions below ``limit``.  The window may end before the
+    trail does; positions beyond it stay FIFO forever, which is what
+    makes depth a real bound.  Returns (commute-pruned, branch-skipped)
+    counts."""
+    pruned = 0
+    branch_skipped = 0
+    start = max(len(prefix), config.offset)
+    end = min(len(trail), limit, config.window_end)
+    for i in range(end - 1, start - 1, -1):
+        decision = trail[i]
+        for alternative in range(1, decision.size):
+            if alternative >= config.branch:
+                branch_skipped += decision.size - alternative
+                break
+            if pruned_by_reduction(decision, alternative):
+                pruned += 1
+                continue
+            stack.append(prefix + (0,) * (i - len(prefix)) + (alternative,))
+    return pruned, branch_skipped
+
+
+def write_explore_bundle(
+    config: ExploreConfig,
+    outcome: ExecutionOutcome,
+    schedule: Schedule,
+    name: str,
+    schedule_index: int,
+) -> str:
+    """Write the standard repro bundle for one violating schedule."""
+    bundle_path = os.path.join(config.bundle_dir, name)
+    bundle_mod.write_bundle(
+        bundle_path,
+        scenario=config.scenario,
+        history=outcome.history,
+        report=outcome.report,
+        seed=config.cluster_seed,
+        cluster_seed=config.cluster_seed,
+        loss=config.loss,
+        mutation=config.mutation,
+        quiescent=outcome.quiescent,
+        trace=outcome.trace_events or None,
+        schedule=schedule,
+        explore_meta={
+            "latency": config.latency,
+            "depth": config.depth,
+            "offset": config.offset,
+            "branch": config.branch,
+            "schedule_index": schedule_index,
+        },
+    )
+    return bundle_path
+
+
+def _loss_warnings(config: ExploreConfig) -> List[str]:
+    warnings: List[str] = []
+    if config.loss > 0.0:
+        warnings.append(
+            f"loss={config.loss} > 0: the partial-order reduction is a "
+            f"heuristic under packet loss (see docs/EXPLORATION.md)"
+        )
+    return warnings
+
+
+@dataclass
+class SearchResult:
+    """Aggregates of one bounded stateful DFS (a whole serial run, or
+    one frontier unit's slice of it)."""
+
+    outcomes: List[ScheduleOutcome] = field(default_factory=list)
+    pruned: int = 0
+    branch_skipped: int = 0
+    state_pruned: int = 0
+    suffix_hits: int = 0
+    baseline_decisions: int = 0
+    replay_ns: int = 0
+    check_ns: int = 0
+    fingerprint_ns: int = 0
+
+    def phase_ns(self) -> Dict[str, int]:
+        return {
+            "replay": self.replay_ns,
+            "checking": self.check_ns,
+            "fingerprinting": self.fingerprint_ns,
+        }
+
+
+def stateful_search(
+    config: ExploreConfig,
+    stack: List[Tuple[int, ...]],
+    visited: VisitedSet,
+    suffix_cache: Dict[bytes, CachedSuffix],
+    budget: int,
+    progress: Optional[Callable[[ScheduleOutcome], None]] = None,
+    name_for: Optional[Callable[[int, Tuple[int, ...]], str]] = None,
+) -> SearchResult:
+    """The stateful DPOR engine: bounded DFS with three pruning tiers.
+
+    1. sleep-set partial-order reduction (same as the stateless search);
+    2. in-window state pruning: a run whose pre-choice fingerprint was
+       already visited at equal-or-greater remaining depth aborts
+       mid-flight (:class:`StatePruned`), its earlier decisions still
+       feeding child expansion;
+    3. the suffix cache: a run whose window-boundary state matches a
+       completed run copies that verdict (:class:`SuffixCacheHit`)
+       instead of replaying the long deterministic tail.  A cached
+       *violation* is re-executed un-pruned when bundles are requested,
+       so every reported failure still ships a replayable bundle.
+
+    Consumes prefixes from ``stack`` until it drains or ``budget``
+    outcomes are recorded; leftover prefixes stay on ``stack`` (the
+    frontier master redistributes them as stolen units).
+    """
+    result = SearchResult()
+    if name_for is None:
+        name_for = lambda index, choices: f"schedule-{index}"  # noqa: E731
+    while stack and len(result.outcomes) < budget:
+        prefix = stack.pop()
+        t_run = time.perf_counter_ns()
+        policy = FingerprintingPolicy(
+            prefix,
+            visited=visited,
+            window_end=config.window_end,
+            offset=config.offset,
+            suffix_cache=suffix_cache,
+        )
+        cached_verdict: Optional[CachedSuffix] = None
+        outcome: Optional[ExecutionOutcome] = None
+        schedule: Optional[Schedule] = None
+        try:
+            outcome, schedule = run_schedule(config, prefix, policy=policy)
+        except StatePruned as hit:
+            result.state_pruned += 1
+            result.fingerprint_ns += policy.fingerprint_ns
+            result.replay_ns += (
+                time.perf_counter_ns() - t_run - policy.fingerprint_ns
+            )
+            p, b = _expand(config, prefix, tuple(policy.trail), hit.position, stack)
+            result.pruned += p
+            result.branch_skipped += b
+            continue
+        except SuffixCacheHit as hit:
+            cached_verdict = hit.cached
+            if not cached_verdict.passed and config.bundle_dir is not None:
+                # Violations are rare; re-run un-pruned so the bundle
+                # carries the run's own history/trace, not a copy.
+                outcome, schedule = run_schedule(config, prefix)
+                cached_verdict = None
+
+        index = len(result.outcomes)
+        result.fingerprint_ns += policy.fingerprint_ns
+        if cached_verdict is not None:
+            result.suffix_hits += 1
+            result.replay_ns += (
+                time.perf_counter_ns() - t_run - policy.fingerprint_ns
+            )
+            record = ScheduleOutcome(
+                index=index,
+                choices=prefix,
+                decisions=cached_verdict.decisions,
+                flips=sum(1 for c in prefix if c != 0),
+                events=cached_verdict.events,
+                passed=cached_verdict.passed,
+                violated=cached_verdict.violated,
+                elapsed=(time.perf_counter_ns() - t_run) / 1e9,
+                cached=True,
+            )
+            trail = tuple(policy.trail)
+        else:
+            assert outcome is not None and schedule is not None
+            trail = schedule.decisions
+            if not prefix:
+                result.baseline_decisions = len(trail)
+            result.check_ns += outcome.report.check_ns
+            result.replay_ns += (
+                time.perf_counter_ns()
+                - t_run
+                - policy.fingerprint_ns
+                - outcome.report.check_ns
+            )
+            if policy.boundary_fp is not None:
+                suffix_cache.setdefault(
+                    policy.boundary_fp,
+                    CachedSuffix(
+                        violated=outcome.violated,
+                        events=outcome.report.events,
+                        decisions=len(trail),
+                        quiescent=outcome.quiescent,
+                    ),
+                )
+            bundle_path: Optional[str] = None
+            if not outcome.report.passed and config.bundle_dir is not None:
+                bundle_path = write_explore_bundle(
+                    config, outcome, schedule, name_for(index, prefix), index
+                )
+            record = ScheduleOutcome(
+                index=index,
+                choices=prefix,
+                decisions=len(trail),
+                flips=sum(1 for c in prefix if c != 0),
+                events=outcome.report.events,
+                passed=outcome.report.passed,
+                violated=outcome.violated,
+                elapsed=(time.perf_counter_ns() - t_run) / 1e9,
+                bundle=bundle_path,
+            )
+        result.outcomes.append(record)
+        if progress is not None:
+            progress(record)
+        p, b = _expand(config, prefix, trail, config.window_end, stack)
+        result.pruned += p
+        result.branch_skipped += b
+    return result
+
+
+def _explore_stateful(
+    config: ExploreConfig,
+    progress: Optional[Callable[[ScheduleOutcome], None]] = None,
+) -> ExploreReport:
+    """Serial stateful DPOR over the whole schedule tree."""
+    t0 = time.perf_counter()
+    visited = VisitedSet(config.depth, exact_cap=config.exact_cap)
+    suffix_cache: Dict[bytes, CachedSuffix] = {}
+    stack: List[Tuple[int, ...]] = [()]
+    result = stateful_search(
+        config, stack, visited, suffix_cache, config.max_schedules, progress
+    )
+    return ExploreReport(
+        outcomes=result.outcomes,
+        pruned=result.pruned,
+        branch_skipped=result.branch_skipped,
+        exhausted=not stack,
+        wall_time=time.perf_counter() - t0,
+        config=config,
+        baseline_decisions=result.baseline_decisions,
+        warnings=_loss_warnings(config),
+        state_pruned=result.state_pruned,
+        suffix_hits=result.suffix_hits,
+        visited_states=len(visited),
+        bloom_hits=visited.bloom_hits,
+        phase_ns=result.phase_ns(),
+    )
 
 
 def explore(
@@ -234,19 +594,25 @@ def explore(
     """Depth-first search over the bounded schedule tree.
 
     ``progress`` is invoked once per executed schedule, in execution
-    order.  Deterministic: the same config yields the same report.
+    order.  Deterministic: the same config yields the same report
+    (parallel frontier runs may report outcomes in a different order,
+    but the covered set and verdicts are the same).
+
+    Dispatch: ``workers > 1`` runs the work-stealing parallel frontier
+    (:mod:`repro.explore.frontier`); ``stateful`` runs serial stateful
+    DPOR; otherwise the original stateless sleep-set DFS runs unchanged.
     """
     config.validate()
     if config.bundle_dir is not None:
         os.makedirs(config.bundle_dir, exist_ok=True)
+    if config.workers > 1:
+        from repro.explore.frontier import explore_parallel
+
+        return explore_parallel(config, progress)
+    if config.stateful:
+        return _explore_stateful(config, progress)
     t0 = time.perf_counter()
     outcomes: List[ScheduleOutcome] = []
-    warnings: List[str] = []
-    if config.loss > 0.0:
-        warnings.append(
-            f"loss={config.loss} > 0: the partial-order reduction is a "
-            f"heuristic under packet loss (see docs/EXPLORATION.md)"
-        )
     stack: List[Tuple[int, ...]] = [()]
     pruned = 0
     branch_skipped = 0
@@ -260,28 +626,12 @@ def explore(
             baseline_decisions = len(trail)
         bundle_path: Optional[str] = None
         if not outcome.report.passed and config.bundle_dir is not None:
-            bundle_path = os.path.join(
-                config.bundle_dir, f"schedule-{len(outcomes)}"
-            )
-            bundle_mod.write_bundle(
-                bundle_path,
-                scenario=config.scenario,
-                history=outcome.history,
-                report=outcome.report,
-                seed=config.cluster_seed,
-                cluster_seed=config.cluster_seed,
-                loss=config.loss,
-                mutation=config.mutation,
-                quiescent=outcome.quiescent,
-                trace=outcome.trace_events or None,
-                schedule=schedule,
-                explore_meta={
-                    "latency": config.latency,
-                    "depth": config.depth,
-                    "offset": config.offset,
-                    "branch": config.branch,
-                    "schedule_index": len(outcomes),
-                },
+            bundle_path = write_explore_bundle(
+                config,
+                outcome,
+                schedule,
+                f"schedule-{len(outcomes)}",
+                len(outcomes),
             )
         record = ScheduleOutcome(
             index=len(outcomes),
@@ -297,23 +647,9 @@ def explore(
         outcomes.append(record)
         if progress is not None:
             progress(record)
-        # Expand: flip one defaulted decision inside the window.  The
-        # window may end before this run's trail does; positions beyond
-        # it stay FIFO forever, which is what makes depth a real bound.
-        start = max(len(prefix), config.offset)
-        end = min(len(trail), config.window_end)
-        for i in range(end - 1, start - 1, -1):
-            decision = trail[i]
-            for alternative in range(1, decision.size):
-                if alternative >= config.branch:
-                    branch_skipped += decision.size - alternative
-                    break
-                if pruned_by_reduction(decision, alternative):
-                    pruned += 1
-                    continue
-                stack.append(
-                    prefix + (0,) * (i - len(prefix)) + (alternative,)
-                )
+        p, b = _expand(config, prefix, trail, config.window_end, stack)
+        pruned += p
+        branch_skipped += b
     return ExploreReport(
         outcomes=outcomes,
         pruned=pruned,
@@ -322,5 +658,5 @@ def explore(
         wall_time=time.perf_counter() - t0,
         config=config,
         baseline_decisions=baseline_decisions,
-        warnings=warnings,
+        warnings=_loss_warnings(config),
     )

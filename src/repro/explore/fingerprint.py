@@ -1,0 +1,413 @@
+"""Canonical cluster-state fingerprints for stateful DPOR.
+
+The stateless explorer re-executes every interleaving from time zero
+even when two prefixes provably converge on the same cluster state.
+This module gives the search a memory: a :func:`fingerprint_cluster`
+digest of *everything behaviorally relevant* at a decision point -
+per-process engine/controller/ring state, stable storage, network
+topology and liveness, the pending event queue (shape *and* payloads),
+the ready set being decided, and the per-process history projections the
+conformance checkers will read.  Two decision points with equal digests
+have, under the explorer's execution mode (fixed latency, zero loss,
+deterministic mutation), identical continuations - so a branch whose
+post-choice fingerprint was already visited with equal-or-greater
+remaining window depth can be abandoned without losing any verdict
+(soundness argument: docs/EXPLORATION.md).
+
+Everything is hashed through :func:`repro.net.codec.canonical_bytes`,
+the codec's canonical extension: sets and dicts are ordered by encoded
+bytes, never by iteration order, so digests are stable across interning,
+garbage collection, and process boundaries (the frontier workers compare
+them over IPC).
+
+Three cooperating pieces live here:
+
+* :class:`VisitedSet` - the exact/Bloom hybrid store of visited
+  ``(fingerprint, remaining-depth)`` facts, mergeable across frontier
+  workers;
+* :class:`FingerprintingPolicy` - a :class:`RecordingPolicy` that
+  fingerprints at each in-window decision point and aborts the run (via
+  :class:`StatePruned` / :class:`SuffixCacheHit`) the moment it is
+  provably redundant;
+* the module-level fingerprint helpers shared by both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.explore.schedule import RecordingPolicy
+from repro.net.codec import canonical_bytes
+from repro.net.sim import ReadyEvent
+
+#: Digest width (bytes).  16 bytes keeps collision probability far below
+#: one per 2**64 states while halving visited-set memory vs sha256.
+DIGEST_SIZE = 16
+
+
+# ---------------------------------------------------------------------------
+# Control-flow signals
+# ---------------------------------------------------------------------------
+
+
+class StatePruned(Exception):
+    """Raised inside the scheduler to abandon a run whose state was
+    already covered at equal-or-greater remaining depth.  Deliberately
+    *not* an ExploreError: nothing went wrong; the driver catches it as
+    a (counted) success of the pruning tier."""
+
+    def __init__(self, position: int, fingerprint: bytes, remaining: int) -> None:
+        super().__init__(f"state revisited at decision #{position}")
+        self.position = position
+        self.fingerprint = fingerprint
+        self.remaining = remaining
+
+
+@dataclass(frozen=True)
+class CachedSuffix:
+    """The verdict of a previously executed run, keyed by its
+    window-boundary fingerprint.  Once the choice window is exhausted a
+    run makes no further decisions, so equal boundary states imply equal
+    verdicts - the whole deterministic suffix can be skipped."""
+
+    violated: Tuple[str, ...]
+    events: int
+    decisions: int
+    quiescent: bool
+
+    @property
+    def passed(self) -> bool:
+        return not self.violated
+
+
+class SuffixCacheHit(Exception):
+    """Raised at the first decision past the window when the boundary
+    fingerprint has a cached verdict (see :class:`CachedSuffix`)."""
+
+    def __init__(self, position: int, fingerprint: bytes, cached: CachedSuffix) -> None:
+        super().__init__(f"suffix cache hit at decision #{position}")
+        self.position = position
+        self.fingerprint = fingerprint
+        self.cached = cached
+
+
+# ---------------------------------------------------------------------------
+# Visited-state store
+# ---------------------------------------------------------------------------
+
+
+class BloomFilter:
+    """A plain Bloom filter over byte keys.
+
+    Used only as the *overflow* tier of :class:`VisitedSet`: membership
+    answers may be false-positive, which over-prunes (a completeness
+    caveat documented in docs/EXPLORATION.md), never false-negative
+    (which would merely waste a re-execution).
+    """
+
+    def __init__(self, bits: int = 1 << 20, hashes: int = 4) -> None:
+        if bits <= 0 or hashes <= 0:
+            raise ValueError("bits and hashes must be positive")
+        self.bits = bits
+        self.hashes = hashes
+        self._bytes = bytearray((bits + 7) // 8)
+        self.entries = 0
+
+    def _positions(self, key: bytes) -> Iterable[int]:
+        # One 16-byte blake2b per key, sliced into independent indexes.
+        digest = blake2b(key, digest_size=4 * self.hashes).digest()
+        for i in range(self.hashes):
+            yield int.from_bytes(digest[4 * i : 4 * i + 4], "big") % self.bits
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bytes[pos >> 3] |= 1 << (pos & 7)
+        self.entries += 1
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(
+            self._bytes[pos >> 3] & (1 << (pos & 7))
+            for pos in self._positions(key)
+        )
+
+    def merge(self, other: "BloomFilter") -> None:
+        if other.bits != self.bits or other.hashes != self.hashes:
+            raise ValueError("cannot merge Bloom filters of different shape")
+        for i, b in enumerate(other._bytes):
+            self._bytes[i] |= b
+        self.entries += other.entries
+
+
+class VisitedSet:
+    """Visited ``fingerprint -> max remaining depth`` facts.
+
+    The exact dict is authoritative (no false positives, so equivalence
+    gates stay exact); once it reaches ``exact_cap`` new facts spill
+    into a Bloom filter keyed by ``fingerprint || remaining``.  A Bloom
+    query for "covered at depth >= r" probes every depth from ``r`` up
+    to the window size - cheap because windows are small.
+
+    ``record_deltas=True`` (frontier workers) additionally journals
+    every new exact fact so the master can merge worker discoveries at
+    steal points with :meth:`merge`.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        exact_cap: int = 1 << 20,
+        record_deltas: bool = False,
+    ) -> None:
+        self.window = window
+        self.exact_cap = exact_cap
+        self._exact: Dict[bytes, int] = {}
+        self._bloom: Optional[BloomFilter] = None
+        self.bloom_hits = 0
+        self._record = record_deltas
+        self._delta: Dict[bytes, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._exact) + (self._bloom.entries if self._bloom else 0)
+
+    @property
+    def exact_size(self) -> int:
+        return len(self._exact)
+
+    @property
+    def overflowed(self) -> bool:
+        return self._bloom is not None
+
+    @staticmethod
+    def _bloom_key(fingerprint: bytes, remaining: int) -> bytes:
+        return fingerprint + remaining.to_bytes(2, "big")
+
+    def covered(self, fingerprint: bytes, remaining: int) -> bool:
+        """Was this state already visited with >= ``remaining`` window
+        depth still ahead of it?"""
+        known = self._exact.get(fingerprint)
+        if known is not None and known >= remaining:
+            return True
+        if self._bloom is not None:
+            for r in range(remaining, self.window + 1):
+                if self._bloom_key(fingerprint, r) in self._bloom:
+                    self.bloom_hits += 1
+                    return True
+        return False
+
+    def add(self, fingerprint: bytes, remaining: int) -> None:
+        known = self._exact.get(fingerprint)
+        if known is not None:
+            if remaining > known:
+                self._exact[fingerprint] = remaining
+                if self._record:
+                    self._delta[fingerprint] = remaining
+            return
+        if len(self._exact) < self.exact_cap:
+            self._exact[fingerprint] = remaining
+            if self._record:
+                self._delta[fingerprint] = remaining
+            return
+        if self._bloom is None:
+            self._bloom = BloomFilter()
+        self._bloom.add(self._bloom_key(fingerprint, remaining))
+
+    def seed(self, items: Iterable[Tuple[bytes, int]]) -> None:
+        """Install a shipped snapshot without journaling it as a delta
+        (frontier workers start from the master's facts and report back
+        only what they discovered themselves)."""
+        for fingerprint, remaining in items:
+            known = self._exact.get(fingerprint)
+            if known is None or remaining > known:
+                self._exact[fingerprint] = remaining
+
+    def merge(self, items: Iterable[Tuple[bytes, int]]) -> int:
+        """Fold another worker's delta in (max-merge); returns how many
+        facts were new or deepened."""
+        changed = 0
+        for fingerprint, remaining in items:
+            known = self._exact.get(fingerprint)
+            if known is None or remaining > known:
+                self.add(fingerprint, remaining)
+                changed += 1
+        return changed
+
+    def export(self) -> List[Tuple[bytes, int]]:
+        """Every exact fact, for shipping to a new worker."""
+        return list(self._exact.items())
+
+    def take_delta(self) -> List[Tuple[bytes, int]]:
+        delta = list(self._delta.items())
+        self._delta.clear()
+        return delta
+
+
+# ---------------------------------------------------------------------------
+# Cluster fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def _detail_key(detail: Any) -> Any:
+    """Normalize an event's detail label for hashing.  Wire frames are
+    already canonical bytes; zero-copy frames and scenario actions are
+    canonicalized here, lazily (only states actually fingerprinted pay)."""
+    if isinstance(detail, (bytes, str)):
+        return detail
+    return canonical_bytes(detail)
+
+
+def _entry_key(when: float, owner: str, kind: str, detail: Any) -> Tuple:
+    return (when, owner, kind, _detail_key(detail))
+
+
+class HistoryDigest:
+    """Incremental per-process history hasher.
+
+    Histories are append-only during a run, so each projection keeps a
+    running blake2b that absorbs only the events recorded since the last
+    fingerprint - O(new events), not O(history), per decision point.
+    """
+
+    def __init__(self) -> None:
+        self._hashers: Dict[str, Tuple[int, Any]] = {}
+
+    def marks(self, history) -> Dict[str, Tuple[int, bytes]]:
+        out: Dict[str, Tuple[int, bytes]] = {}
+        for pid, events in history.per_process.items():
+            absorbed, hasher = self._hashers.get(
+                pid, (0, None)
+            )
+            if hasher is None:
+                hasher = blake2b(digest_size=DIGEST_SIZE)
+            for event in events[absorbed:]:
+                hasher.update(canonical_bytes(event))
+            self._hashers[pid] = (len(events), hasher)
+            out[pid] = (len(events), hasher.digest())
+        return out
+
+
+def fingerprint_cluster(
+    cluster,
+    ready: Sequence[ReadyEvent] = (),
+    history_digest: Optional[HistoryDigest] = None,
+) -> bytes:
+    """Digest of everything that determines the cluster's future.
+
+    Contents (see docs/EXPLORATION.md for the soundness argument):
+
+    * virtual time and the live pending-event queue in firing order
+      (owners, kinds, payloads - raw scheduler sequence numbers are
+      normalized away by ``pending_entries``);
+    * the ready set offered at this decision point (it was popped off
+      the queue before the policy ran, so the queue alone misses it);
+    * per-process engine state: lifecycle, installed configuration,
+      stable storage, and the full Totem controller state down to ring
+      message stores and retransmission latches;
+    * network partition structure (normalized: segment ids are
+      path-dependent counters) and per-endpoint liveness;
+    * per-process history projections (incrementally hashed) - the
+      checkers' verdict is a function of these;
+    * the shared RNG state, but only when the run draws from it
+      (``loss_rate``/``duplicate_rate`` nonzero); under the explorer's
+      default fixed-latency lossless mode every draw is behaviorally
+      inert and the state is deliberately excluded.
+    """
+    digest = HistoryDigest() if history_digest is None else history_digest
+    params = cluster.network.params
+    lossy = params.loss_rate > 0.0 or params.duplicate_rate > 0.0
+    state = {
+        "now": cluster.scheduler.now,
+        "pending": tuple(
+            _entry_key(*entry) for entry in cluster.scheduler.pending_entries()
+        ),
+        "ready": tuple(
+            _entry_key(e.when, e.owner, e.kind, e.detail) for e in ready
+        ),
+        "procs": {
+            pid: proc.engine.fingerprint_state()
+            for pid, proc in cluster.processes.items()
+        },
+        "net": cluster.network.fingerprint_state(),
+        "history": digest.marks(cluster.history),
+        "rng": cluster.rng.getstate() if lossy else None,
+    }
+    return blake2b(canonical_bytes(state), digest_size=DIGEST_SIZE).digest()
+
+
+# ---------------------------------------------------------------------------
+# The stateful policy
+# ---------------------------------------------------------------------------
+
+
+class FingerprintingPolicy(RecordingPolicy):
+    """A recording policy that prunes redundant runs mid-flight.
+
+    At every decision point from ``fresh_from`` (the first position this
+    run can diverge at - forced ancestor-replay positions pass through
+    states their parent already recorded and must not self-prune) up to
+    ``window_end`` (exclusive), the pre-choice cluster state is
+    fingerprinted:
+
+    * inside the window, a state already covered at equal-or-greater
+      remaining depth aborts the run via :class:`StatePruned`; fresh
+      states are recorded *before* descending (children replay identical
+      forced prefixes, so coverage transfers exactly);
+    * at the first decision at/past ``window_end`` the boundary
+      fingerprint keys the suffix cache: a hit aborts via
+      :class:`SuffixCacheHit` carrying the cached verdict, a miss just
+      remembers the fingerprint so the driver can populate the cache
+      when the run completes.
+    """
+
+    def __init__(
+        self,
+        choices: Sequence[int] = (),
+        *,
+        visited: VisitedSet,
+        window_end: int,
+        offset: int = 0,
+        suffix_cache: Optional[Dict[bytes, CachedSuffix]] = None,
+    ) -> None:
+        super().__init__(choices)
+        self.visited = visited
+        self.window_end = window_end
+        self.fresh_from = max(len(self.choices), offset)
+        self.suffix_cache = suffix_cache
+        self.boundary_fp: Optional[bytes] = None
+        self.fingerprint_ns = 0
+        self.fingerprints_taken = 0
+        self._history_digest = HistoryDigest()
+        self._cluster = None
+        self._past_window = False
+
+    def bind_cluster(self, cluster) -> None:
+        self._cluster = cluster
+
+    def choose(self, ready: Sequence[ReadyEvent]) -> int:
+        position = len(self.trail)
+        if (
+            self._cluster is not None
+            and not self._past_window
+            and position >= self.fresh_from
+        ):
+            started = time.perf_counter_ns()
+            fp = fingerprint_cluster(self._cluster, ready, self._history_digest)
+            self.fingerprint_ns += time.perf_counter_ns() - started
+            self.fingerprints_taken += 1
+            if position >= self.window_end:
+                # Window exhausted: every later decision is forced FIFO,
+                # so the run's verdict is a pure function of this state.
+                self._past_window = True
+                self.boundary_fp = fp
+                if self.suffix_cache is not None:
+                    cached = self.suffix_cache.get(fp)
+                    if cached is not None:
+                        raise SuffixCacheHit(position, fp, cached)
+            else:
+                remaining = self.window_end - position
+                if self.visited.covered(fp, remaining):
+                    raise StatePruned(position, fp, remaining)
+                self.visited.add(fp, remaining)
+        return super().choose(ready)

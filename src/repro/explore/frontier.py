@@ -1,0 +1,238 @@
+"""Work-stealing parallel frontier for the stateful explorer.
+
+The schedule tree is embarrassingly parallel *except* for the visited
+set: every subtree can be searched independently, but the pruning tiers
+only pay off when workers share what they have seen.  The frontier
+splits the difference with a master/worker protocol built on the same
+``ProcessPoolExecutor`` infrastructure as the fuzzing campaign
+(:mod:`repro.campaign.runner`):
+
+* the master holds the authoritative :class:`VisitedSet`, the suffix
+  cache, and a deque of :class:`ExploreUnit` s (a choice prefix plus a
+  schedule budget);
+* each worker runs the serial stateful engine
+  (:func:`repro.explore.driver.stateful_search`) over one unit, seeded
+  with a snapshot of the master's visited facts, and returns its
+  outcomes, its *delta* of newly visited states, new suffix-cache
+  entries, and the child prefixes it generated but did not execute;
+* the master max-merges the deltas (so later units prune against
+  everything any worker has seen) and redistributes the children - each
+  child dispatched to a different worker than the one that generated it
+  is, morally, a stolen unit.
+
+Because visited snapshots lag by one merge round, two workers can
+occasionally re-execute the same state; that costs wall time, never
+soundness (the visited set only ever *suppresses* redundant work).
+Outcome indexes are assigned in completion order, so parallel runs may
+order outcomes differently than serial ones - the covered set and the
+violation verdicts are identical, which is what the differential tests
+pin.  Violation bundles are named by choice vector
+(``schedule-c2-0-1``) instead of by index, so concurrent writers can
+never collide.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.explore.driver import (
+    ExploreConfig,
+    ExploreReport,
+    ScheduleOutcome,
+    SearchResult,
+    stateful_search,
+)
+from repro.explore.fingerprint import CachedSuffix, VisitedSet
+
+
+@dataclass(frozen=True)
+class ExploreUnit:
+    """One serializable slice of the search: start from ``prefix``,
+    execute at most ``budget`` schedules, return the rest."""
+
+    prefix: Tuple[int, ...]
+    budget: int
+
+
+@dataclass
+class UnitResult:
+    """Everything a worker learned from one unit."""
+
+    outcomes: List[ScheduleOutcome] = field(default_factory=list)
+    leftover: List[Tuple[int, ...]] = field(default_factory=list)
+    visited_delta: List[Tuple[bytes, int]] = field(default_factory=list)
+    cache_delta: List[Tuple[bytes, CachedSuffix]] = field(default_factory=list)
+    pruned: int = 0
+    branch_skipped: int = 0
+    state_pruned: int = 0
+    suffix_hits: int = 0
+    baseline_decisions: int = 0
+    replay_ns: int = 0
+    check_ns: int = 0
+    fingerprint_ns: int = 0
+
+
+def bundle_name_for(choices: Tuple[int, ...]) -> str:
+    """Collision-free bundle name derived from the choice vector (the
+    serial search keeps index-based ``schedule-N`` names)."""
+    if not choices:
+        return "schedule-root"
+    return "schedule-c" + "-".join(str(c) for c in choices)
+
+
+def _run_unit(
+    config: ExploreConfig,
+    unit: ExploreUnit,
+    visited_items: List[Tuple[bytes, int]],
+    cache_items: List[Tuple[bytes, CachedSuffix]],
+) -> UnitResult:
+    """Worker entry point (module-level so it pickles under every
+    multiprocessing start method, like ``campaign.runner._run_seed``)."""
+    visited = VisitedSet(
+        config.depth, exact_cap=config.exact_cap, record_deltas=True
+    )
+    visited.seed(visited_items)
+    suffix_cache: Dict[bytes, CachedSuffix] = dict(cache_items)
+    seeded_keys = set(suffix_cache)
+    stack: List[Tuple[int, ...]] = [unit.prefix]
+    result: SearchResult = stateful_search(
+        config,
+        stack,
+        visited,
+        suffix_cache,
+        unit.budget,
+        name_for=lambda index, choices: bundle_name_for(choices),
+    )
+    return UnitResult(
+        outcomes=result.outcomes,
+        leftover=stack,
+        visited_delta=visited.take_delta(),
+        cache_delta=[
+            (fp, cached)
+            for fp, cached in suffix_cache.items()
+            if fp not in seeded_keys
+        ],
+        pruned=result.pruned,
+        branch_skipped=result.branch_skipped,
+        state_pruned=result.state_pruned,
+        suffix_hits=result.suffix_hits,
+        baseline_decisions=result.baseline_decisions,
+        replay_ns=result.replay_ns,
+        check_ns=result.check_ns,
+        fingerprint_ns=result.fingerprint_ns,
+    )
+
+
+def explore_parallel(
+    config: ExploreConfig,
+    progress: Optional[Callable[[ScheduleOutcome], None]] = None,
+) -> ExploreReport:
+    """Master loop: dispatch units, merge deltas, redistribute children.
+
+    ``progress`` streams outcomes as units complete (completion order).
+    """
+    t0 = time.perf_counter()
+    visited = VisitedSet(config.depth, exact_cap=config.exact_cap)
+    suffix_cache: Dict[bytes, CachedSuffix] = {}
+    pending: Deque[Tuple[int, ...]] = deque([()])
+    outcomes: List[ScheduleOutcome] = []
+    pruned = branch_skipped = state_pruned = suffix_hits = 0
+    baseline_decisions = 0
+    replay_ns = check_ns = fingerprint_ns = 0
+    units_dispatched = units_stolen = 0
+    truncated = False
+    with ProcessPoolExecutor(max_workers=config.workers) as pool:
+        in_flight: Dict[object, ExploreUnit] = {}
+        budget_committed = 0  # schedules the in-flight units may still run
+
+        def dispatch() -> None:
+            nonlocal units_dispatched, units_stolen, budget_committed, truncated
+            while pending and len(in_flight) < config.workers:
+                headroom = (
+                    config.max_schedules - len(outcomes) - budget_committed
+                )
+                if headroom <= 0:
+                    truncated = truncated or bool(pending)
+                    return
+                prefix = pending.popleft()
+                unit = ExploreUnit(
+                    prefix=prefix, budget=min(config.unit_budget, headroom)
+                )
+                future = pool.submit(
+                    _run_unit,
+                    config,
+                    unit,
+                    visited.export(),
+                    list(suffix_cache.items()),
+                )
+                in_flight[future] = unit
+                budget_committed += unit.budget
+                units_dispatched += 1
+                if prefix:
+                    # A child generated by one unit, executed by another:
+                    # the steal that keeps all workers busy.
+                    units_stolen += 1
+
+        dispatch()
+        while in_flight:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                unit = in_flight.pop(future)
+                budget_committed -= unit.budget
+                result: UnitResult = future.result()
+                visited.merge(result.visited_delta)
+                for fp, cached in result.cache_delta:
+                    suffix_cache.setdefault(fp, cached)
+                pruned += result.pruned
+                branch_skipped += result.branch_skipped
+                state_pruned += result.state_pruned
+                suffix_hits += result.suffix_hits
+                replay_ns += result.replay_ns
+                check_ns += result.check_ns
+                fingerprint_ns += result.fingerprint_ns
+                if result.baseline_decisions:
+                    baseline_decisions = result.baseline_decisions
+                for record in result.outcomes:
+                    if len(outcomes) >= config.max_schedules:
+                        truncated = True
+                        break
+                    renumbered = replace(record, index=len(outcomes))
+                    outcomes.append(renumbered)
+                    if progress is not None:
+                        progress(renumbered)
+                pending.extend(result.leftover)
+            dispatch()
+    exhausted = not truncated and not pending
+    return ExploreReport(
+        outcomes=outcomes,
+        pruned=pruned,
+        branch_skipped=branch_skipped,
+        exhausted=exhausted,
+        wall_time=time.perf_counter() - t0,
+        config=config,
+        baseline_decisions=baseline_decisions,
+        warnings=(
+            [
+                f"loss={config.loss} > 0: the partial-order reduction is "
+                f"a heuristic under packet loss (see docs/EXPLORATION.md)"
+            ]
+            if config.loss > 0.0
+            else []
+        ),
+        state_pruned=state_pruned,
+        suffix_hits=suffix_hits,
+        visited_states=len(visited),
+        bloom_hits=visited.bloom_hits,
+        phase_ns={
+            "replay": replay_ns,
+            "checking": check_ns,
+            "fingerprinting": fingerprint_ns,
+        },
+        workers=config.workers,
+        units_dispatched=units_dispatched,
+        units_stolen=units_stolen,
+    )

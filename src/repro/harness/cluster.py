@@ -122,6 +122,8 @@ class SimCluster:
         if self.options.schedule_policy is not None:
             self.options.schedule_policy.bind_tracer(self.tracer)
         self.history = History()
+        # bind_cluster comes after the full topology below is built; see
+        # end of __init__.
         self.pids = list(pids)
         self.listeners: Dict[ProcessId, RecordingListener] = {}
         self.processes: Dict[ProcessId, EvsProcess] = {}
@@ -145,6 +147,8 @@ class SimCluster:
             self.listeners[pid] = listener.primary
             self.processes[pid] = proc
             self.stores[pid] = store
+        if self.options.schedule_policy is not None:
+            self.options.schedule_policy.bind_cluster(self)
 
     def attach_extra_listener(self, pid: ProcessId, listener: Listener) -> None:
         """Attach another listener to a process (e.g. a VS filter or an

@@ -187,7 +187,7 @@ class ScenarioRunner:
             # (topology, multiple processes), so the explorer's
             # partial-order reduction never treats them as commuting.
             cluster.scheduler.call_at(
-                action.at, lambda a=action: apply(a), kind="action"
+                action.at, lambda a=action: apply(a), kind="action", detail=action
             )
         cluster.run_for(scenario.duration)
 

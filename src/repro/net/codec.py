@@ -396,6 +396,7 @@ def _compile_dataclass_codec(cls: Type) -> None:
     """
     type_id = len(_DATACLASS_BY_ID)
     _DATACLASS_BY_ID.append(cls)
+    _DATACLASS_IDS[cls] = type_id
     names = _FIELD_NAMES[cls]
     header = bytes([_T_DATACLASS]) + _uvarint_bytes(type_id)
 
@@ -580,6 +581,169 @@ def decode_binary(data: bytes) -> Any:
     if pos != len(data):
         raise CodecError(f"trailing garbage after binary frame (offset {pos})")
     return value
+
+
+# ---------------------------------------------------------------------------
+# Canonical encoding (state fingerprints)
+#
+# canonical_bytes() is the one deterministic ordering helper every state
+# snapshot must go through (docs/EXPLORATION.md): it reuses the binary
+# codec's primitive encoders and set sorting, and extends them so that
+# *dicts* are also emitted in a canonical order (the wire encoder keeps
+# insertion order, which is fine for frames but would leak iteration
+# order into a fingerprint).  Unregistered dataclasses and enums - the
+# harness-side state that never crosses the wire - are encoded
+# generically by class name and definition-order fields, so protocol
+# snapshots need no extra registrations.  The output is only ever
+# hashed, never decoded.
+# ---------------------------------------------------------------------------
+
+#: Extra tags for canonical-only shapes; disjoint from the wire tags.
+_T_OBJ = 0x20
+_T_ENUM_NAME = 0x21
+
+#: Registered dataclass -> wire id (for compact canonical headers).
+_DATACLASS_IDS: Dict[type, int] = {}
+
+
+def _c_list(out: bytearray, value: Any) -> None:
+    out.append(_T_LIST)
+    _write_uvarint(out, len(value))
+    for v in value:
+        _c_encode(out, v)
+
+
+def _c_tuple(out: bytearray, value: Any) -> None:
+    out.append(_T_TUPLE)
+    _write_uvarint(out, len(value))
+    for v in value:
+        _c_encode(out, v)
+
+
+def _c_set(out: bytearray, value: Any) -> None:
+    # Same total order as _enc_set: sort by the encoded bytes, so equal
+    # sets canonicalize identically regardless of build/iteration order.
+    items = []
+    for v in value:
+        item = bytearray()
+        _c_encode(item, v)
+        items.append(bytes(item))
+    items.sort()
+    out.append(_T_SET)
+    _write_uvarint(out, len(items))
+    for item in items:
+        out += item
+
+
+def _c_dict(out: bytearray, value: Any) -> None:
+    # The canonical extension over the wire encoder: entries sorted by
+    # encoded key bytes (total order over heterogeneous keys, like sets).
+    pairs = []
+    for k, v in value.items():
+        kb = bytearray()
+        _c_encode(kb, k)
+        vb = bytearray()
+        _c_encode(vb, v)
+        pairs.append((bytes(kb), bytes(vb)))
+    pairs.sort()
+    out.append(_T_DICT)
+    _write_uvarint(out, len(pairs))
+    for kb, vb in pairs:
+        out += kb
+        out += vb
+
+
+_CANONICAL_ENCODERS: Dict[type, Callable[[bytearray, Any], None]] = {
+    type(None): _enc_none,
+    bool: _enc_bool,
+    int: _enc_int,
+    float: _enc_float,
+    str: _enc_str,
+    bytes: _enc_bytes,
+    list: _c_list,
+    tuple: _c_tuple,
+    set: _c_set,
+    frozenset: _c_set,
+    dict: _c_dict,
+}
+
+
+def _c_encode(out: bytearray, value: Any) -> None:
+    enc = _CANONICAL_ENCODERS.get(type(value))
+    if enc is not None:
+        enc(out, value)
+        return
+    if isinstance(value, enum.Enum):
+        cls = type(value)
+        compiled = _BINARY_ENCODERS.get(cls)
+        if compiled is not None:
+            # Registered enums: the compiled member table is already a
+            # stable byte string per member.
+            compiled(out, value)
+            return
+        out.append(_T_ENUM_NAME)
+        _enc_str(out, cls.__name__)
+        _enc_str(out, value.name)
+        return
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        type_id = _DATACLASS_IDS.get(cls)
+        if type_id is not None:
+            # Registered dataclasses reuse their wire id, but recurse
+            # canonically so nested dicts/sets stay ordered.
+            out.append(_T_DATACLASS)
+            _write_uvarint(out, type_id)
+            for name in _FIELD_NAMES[cls]:
+                _c_encode(out, getattr(value, name))
+            return
+        out.append(_T_OBJ)
+        _enc_str(out, cls.__qualname__)
+        fields = dataclasses.fields(value)
+        _write_uvarint(out, len(fields))
+        for f in fields:  # definition order: stable per class
+            _enc_str(out, f.name)
+            _c_encode(out, getattr(value, f.name))
+        return
+    # Container subclasses (e.g. collections.deque is NOT handled: state
+    # snapshots convert it to a tuple first) and anything else:
+    for base, enc in (
+        (bool, _enc_bool),
+        (int, _enc_int),
+        (float, _enc_float),
+        (str, _enc_str),
+        (bytes, _enc_bytes),
+        (frozenset, _c_set),
+        (set, _c_set),
+        (tuple, _c_tuple),
+        (list, _c_list),
+        (dict, _c_dict),
+    ):
+        if isinstance(value, base):
+            enc(out, value)
+            return
+    raise CodecError(
+        f"cannot canonically encode value of type {type(value).__name__}: "
+        f"{value!r}"
+    )
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic byte encoding of ``value``, for hashing.
+
+    Equal values produce equal bytes regardless of set/dict build order,
+    string interning, garbage-collection history, or process boundary
+    (no ``id()``-dependent ordering anywhere).  Accepts everything the
+    wire codec accepts plus unregistered dataclasses and enums; the
+    output is not meant to be decoded.
+    """
+    out = bytearray()
+    try:
+        _c_encode(out, value)
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise CodecError(f"canonical encoding failed: {exc}") from exc
+    return bytes(out)
 
 
 # ---------------------------------------------------------------------------

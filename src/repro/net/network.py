@@ -45,6 +45,17 @@ class NetworkParams:
     with (:data:`repro.net.codec.FORMAT_BINARY` or ``FORMAT_JSON``);
     decoding always dispatches on the frame's version prefix, so mixed
     traffic is fine.
+
+    ``zero_copy=True`` skips the encode/decode round-trip entirely and
+    hands the message object straight to the receiver.  This is safe for
+    this codebase because every wire message is a frozen dataclass and
+    every receiver defensively copies mutable fields before mutating
+    (pinned by the explorer's differential test) - but it forfeits the
+    codec's object-identity firewall and its byte accounting
+    (``bytes_sent``/``stats.codec`` stay zero), so it is opt-in and used
+    by the explorer's hot replay loop, where the codec round-trip is
+    ~half of run time (docs/PERFORMANCE.md).  Per-frame net tracing
+    forces frames back onto the codec path so traces keep byte counts.
     """
 
     latency_min: float = 0.001
@@ -53,6 +64,7 @@ class NetworkParams:
     self_latency: float = 0.0005
     duplicate_rate: float = 0.0
     wire_format: str = codec.FORMAT_BINARY
+    zero_copy: bool = False
 
 
 @dataclass
@@ -199,13 +211,22 @@ class Network:
 
     # -- traffic ------------------------------------------------------------
 
+    def _prepare_frame(self, message: Any) -> Any:
+        """Encode ``message`` for the wire, or pass it through verbatim
+        on the zero-copy fast path.  Per-frame tracing always encodes so
+        trace events keep honest byte counts."""
+        if self.params.zero_copy and not self.tracer.net:
+            return message
+        data = codec.encode_timed(message, self.params.wire_format, self.stats.codec)
+        self.stats.bytes_sent += len(data)
+        return data
+
     def broadcast(self, src: ProcessId, message: Any) -> None:
         """Broadcast within the sender's component (including loopback)."""
         if not self._alive.get(src, False):
             return
-        data = codec.encode_timed(message, self.params.wire_format, self.stats.codec)
+        data = self._prepare_frame(message)
         self.stats.broadcasts += 1
-        self.stats.bytes_sent += len(data)
         send_eid = None
         if self.tracer.net:
             send_eid = self.tracer.emit(
@@ -240,9 +261,8 @@ class Network:
         """Point-to-point send; subject to the same partition/loss model."""
         if not self._alive.get(src, False):
             return
-        data = codec.encode_timed(message, self.params.wire_format, self.stats.codec)
+        data = self._prepare_frame(message)
         self.stats.unicasts += 1
-        self.stats.bytes_sent += len(data)
         if dst not in self._handlers:
             raise SimulationError(f"unicast to unknown endpoint {dst}")
         send_eid = None
@@ -281,7 +301,7 @@ class Network:
         self,
         src: ProcessId,
         dst: ProcessId,
-        data: bytes,
+        data: Any,
         send_eid: Optional[int] = None,
     ) -> None:
         if self._rng.random() < self.params.loss_rate:
@@ -302,7 +322,7 @@ class Network:
         self,
         src: ProcessId,
         dst: ProcessId,
-        data: bytes,
+        data: Any,
         latency: float,
         send_eid: Optional[int] = None,
     ) -> None:
@@ -330,6 +350,28 @@ class Network:
             self.stats.deliveries += 1
             if send_eid is not None:
                 self.tracer.emit(dst, "net.recv", parent=send_eid, src=src)
-            self._handlers[dst](src, codec.decode_timed(data, self.stats.codec))
+            if isinstance(data, (bytes, bytearray)):
+                message = codec.decode_timed(data, self.stats.codec)
+            else:
+                message = data  # zero-copy: frozen message, no decode
+            self._handlers[dst](src, message)
 
-        self._scheduler.call_later(latency, deliver, owner=dst, kind="deliver")
+        self._scheduler.call_later(
+            latency, deliver, owner=dst, kind="deliver", detail=data
+        )
+
+    def fingerprint_state(self) -> Dict[str, Any]:
+        """Behaviorally relevant topology state for the explorer's state
+        fingerprinter: the partition *structure* (segment ids are
+        path-dependent counters and are normalized away) plus liveness.
+        Traffic counters are deliberately excluded - they never feed back
+        into delivery decisions."""
+        components: Dict[int, List[ProcessId]] = {}
+        for pid, seg in self._segment.items():
+            components.setdefault(seg, []).append(pid)
+        return {
+            "partition": frozenset(
+                frozenset(members) for members in components.values()
+            ),
+            "alive": dict(self._alive),
+        }

@@ -19,7 +19,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 
@@ -39,6 +39,12 @@ class Timer:
     deadline: float
     owner: str = ""
     kind: str = ""
+    #: Opaque payload label (the wire frame for a delivery, the timer
+    #: name for a timer, the Action for a scenario step).  Never read on
+    #: the firing path; the explorer's state fingerprinter folds it into
+    #: the pending-event digest so "same queue shape, different message"
+    #: states hash apart.
+    detail: Any = field(default="", repr=False, compare=False)
     _cancelled: bool = field(default=False, repr=False)
     _on_cancel: Optional[Callable[[], None]] = field(
         default=None, repr=False, compare=False
@@ -64,6 +70,7 @@ class ReadyEvent:
     seq: int
     owner: str
     kind: str
+    detail: Any = ""
 
 
 class SchedulePolicy:
@@ -89,6 +96,10 @@ class SchedulePolicy:
 
     def bind_tracer(self, tracer) -> None:
         """Hook for policies that emit trace events; default: ignore."""
+
+    def bind_cluster(self, cluster) -> None:
+        """Hook for policies that inspect cluster state at choice points
+        (the stateful explorer's fingerprinter); default: ignore."""
 
 
 class EventScheduler:
@@ -162,19 +173,24 @@ class EventScheduler:
         *,
         owner: str = "",
         kind: str = "",
+        detail: Any = "",
     ) -> Timer:
         """Schedule ``callback`` at absolute virtual time ``when``.
 
-        ``owner``/``kind`` label the entry for schedule policies (which
-        process the firing acts on, and what it is); the default FIFO
-        path never reads them.
+        ``owner``/``kind``/``detail`` label the entry for schedule
+        policies (which process the firing acts on, what it is, and what
+        it carries); the default FIFO path never reads them.
         """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule into the past: {when} < now={self._now}"
             )
         timer = Timer(
-            deadline=when, owner=owner, kind=kind, _on_cancel=self._note_cancel
+            deadline=when,
+            owner=owner,
+            kind=kind,
+            detail=detail,
+            _on_cancel=self._note_cancel,
         )
         heapq.heappush(self._heap, (when, next(self._counter), timer, callback))
         return timer
@@ -186,11 +202,29 @@ class EventScheduler:
         *,
         owner: str = "",
         kind: str = "",
+        detail: Any = "",
     ) -> Timer:
         """Schedule ``callback`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, callback, owner=owner, kind=kind)
+        return self.call_at(
+            self._now + delay, callback, owner=owner, kind=kind, detail=detail
+        )
+
+    def pending_entries(self) -> List[Tuple[float, str, str, Any]]:
+        """Snapshot of live queued events as ``(when, owner, kind,
+        detail)`` in firing (FIFO) order.
+
+        Raw sequence numbers are deliberately *omitted*: they count every
+        schedule call ever made, so behaviorally identical states reached
+        along different paths would disagree on them.  The sort respects
+        them (insertion order is the future FIFO tie-break order), but
+        the returned tuples carry only path-independent fields - this is
+        what makes the explorer's pending-queue fingerprint canonical.
+        """
+        live = [e for e in self._heap if not e[2].cancelled]
+        live.sort(key=lambda e: (e[0], e[1]))
+        return [(when, t.owner, t.kind, t.detail) for when, _seq, t, _cb in live]
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
@@ -239,7 +273,13 @@ class EventScheduler:
             chosen = 0
         else:
             views = [
-                ReadyEvent(when=e[0], seq=e[1], owner=e[2].owner, kind=e[2].kind)
+                ReadyEvent(
+                    when=e[0],
+                    seq=e[1],
+                    owner=e[2].owner,
+                    kind=e[2].kind,
+                    detail=e[2].detail,
+                )
                 for e in ready
             ]
             chosen = self._policy.choose(views)

@@ -113,7 +113,11 @@ class SimHost(Host):
     def set_timer(self, name: str, delay: float) -> None:
         self.cancel_timer(name)
         self._timers[name] = self._scheduler.call_later(
-            delay, lambda: self._fire(name), owner=self._pid, kind="timer"
+            delay,
+            lambda: self._fire(name),
+            owner=self._pid,
+            kind="timer",
+            detail=name,
         )
 
     def cancel_timer(self, name: str) -> None:

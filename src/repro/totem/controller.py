@@ -245,6 +245,38 @@ class TotemController:
         self.obligation.clear()
         self._pending_new_ring.clear()
 
+    def fingerprint_state(self) -> Dict[str, Any]:
+        """Complete behavioral controller state for the explorer's state
+        fingerprinter (:mod:`repro.explore.fingerprint`).
+
+        Everything that influences a future transition is included:
+        operational ring state, gather/recovery machines, commit/token
+        retransmission latches, buffered submissions, and delivery
+        obligations.  Static configuration (timer durations) and pure
+        observability (stats, tracer) are excluded - they are constant
+        across the interleavings of one exploration.  Dataclass values
+        (GatherState, RecoveryState, tokens, messages) are passed intact;
+        the canonical encoder recurses into them deterministically.
+        """
+        return {
+            "state": self.state.name,
+            "ring": None if self.ring is None else self.ring.fingerprint_state(),
+            "max_ring_seq_seen": self.max_ring_seq_seen,
+            "gather": self.gather,
+            "recovery": self.recovery,
+            "commit_attempt": self._commit_attempt,
+            "last_commit_forwarded": self._last_commit_forwarded,
+            "commit_retx_left": self._commit_retx_left,
+            "commit_token_seqs": self._commit_token_seqs,
+            "last_forwarded_token": self._last_forwarded_token,
+            "token_retx_left": self._token_retx_left,
+            "held_token": self._held_token,
+            "pending_submits": tuple(self.pending_submits),
+            "origin_counter": self._origin_counter,
+            "obligation": frozenset(self.obligation),
+            "pending_new_ring": self._pending_new_ring,
+        }
+
     # ----------------------------------------------------------- dispatch
 
     def on_packet(self, src: ProcessId, packet: Any) -> None:

@@ -161,6 +161,26 @@ class RingState:
             self.gc_floor = seq
         return dropped
 
+    # -- state fingerprinting ---------------------------------------------------
+
+    def fingerprint_state(self) -> Dict[str, object]:
+        """Complete behavioral state for the explorer's fingerprinter
+        (:mod:`repro.explore.fingerprint`).  Every field that influences
+        a future store/deliver/ack decision appears here; containers are
+        passed as-is because the canonical encoder orders them."""
+        return {
+            "ring": self.ring,
+            "members": self.members,
+            "me": self.me,
+            "messages": self.messages,
+            "my_aru": self.my_aru,
+            "high_seq": self.high_seq,
+            "delivered_seq": self.delivered_seq,
+            "ack_vector": self.ack_vector,
+            "last_token_seq": self.last_token_seq,
+            "gc_floor": self.gc_floor,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RingState({self.ring}, me={self.me}, aru={self.my_aru}, "

@@ -88,6 +88,27 @@ class VirtualSynchronyFilter(Listener):
         #: Count of configuration changes masked by Rule 1.
         self.masked_transitionals = 0
 
+    # -- state fingerprinting ------------------------------------------------
+
+    def fingerprint_state(self) -> dict:
+        """Behavioral filter state for the explorer's state fingerprinter
+        (:mod:`repro.explore.fingerprint`): blocking status, current view,
+        incarnation bookkeeping, and the primary tracker's moving basis
+        (present only on dynamic strategies).  Counters ride along - they
+        are cheap and make "same view, different discard history" states
+        hash apart for free."""
+        return {
+            "pid": self.pid,
+            "blocked": self.blocked,
+            "view": self.current_view,
+            "incarnation": self._incarnation,
+            "seen_ever": frozenset(self._seen_ever),
+            "discarded": self.discarded,
+            "masked_transitionals": self.masked_transitionals,
+            "last_primary": self.tracker.last_primary,
+            "strategy_basis": getattr(self.tracker.strategy, "_basis", None),
+        }
+
     # -- identifier remapping (Rule 4 note / §5.2) ---------------------------
 
     def _vs_id(self, pid: ProcessId) -> ProcessId:

@@ -1,0 +1,265 @@
+"""Unit: canonical encoding and the stateful explorer's visited store.
+
+The stateful search is only sound if equal states hash equal *always*:
+across set/dict build orders, string interning, garbage collection, and
+process boundaries (frontier workers compare digests over IPC).  These
+tests pin that stability, plus the Bloom/exact hybrid's semantics (no
+false negatives; exact tier authoritative) and the fingerprint_state
+methods' determinism.
+"""
+
+import gc
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from enum import Enum
+from hashlib import blake2b
+
+import pytest
+
+from repro.errors import CodecError
+from repro.explore.fingerprint import BloomFilter, CachedSuffix, VisitedSet
+from repro.net.codec import canonical_bytes
+from repro.totem.messages import DeliveryRequirement, RegularMessage
+from repro.types import RingId
+from repro.vs.filter import VirtualSynchronyFilter
+from repro.vs.primary import MajorityStrategy
+
+
+# ---------------------------------------------------------------------------
+# canonical_bytes
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_bytes_ignores_set_build_order():
+    a = {i for i in range(100)}
+    b = set()
+    for i in reversed(range(100)):
+        b.add(i)
+    assert canonical_bytes(a) == canonical_bytes(b)
+    # The wire codec encodes set and frozenset under one tag; the
+    # canonical extension mirrors it (frozen-ness is not behavioral).
+    assert canonical_bytes(frozenset(a)) == canonical_bytes(a)
+    assert canonical_bytes(frozenset(a)) == canonical_bytes(
+        frozenset(reversed(sorted(b)))
+    )
+
+
+def test_canonical_bytes_ignores_dict_insertion_order():
+    a = {"x": 1, "y": [2, 3], "z": {"nested": {4, 5}}}
+    b = {}
+    b["z"] = {"nested": {5, 4}}
+    b["y"] = [2, 3]
+    b["x"] = 1
+    assert canonical_bytes(a) == canonical_bytes(b)
+    # ... but value differences always show.
+    b["x"] = 2
+    assert canonical_bytes(a) != canonical_bytes(b)
+
+
+def test_canonical_bytes_survives_interning_and_gc():
+    lhs = canonical_bytes({"key": "ab" * 3, "n": 1000000})
+    gc.collect()
+    # Build equal-but-not-identical objects.
+    key = "".join(["k", "e", "y"])
+    val = "".join(["ab"] * 3)
+    n = int("1000000")
+    assert key is not sys.intern("key") or True  # identity irrelevant
+    assert canonical_bytes({key: val, "n": n}) == lhs
+
+
+def test_canonical_bytes_stable_across_process_boundary():
+    """The frontier ships digests over IPC: a child interpreter must
+    produce byte-identical canonical encodings."""
+    expr = (
+        "{'b': {3, 1, 2}, 'a': [1.5, (None, True)], "
+        "'m': {'y': b'q', 'x': frozenset({('p1', 1)})}}"
+    )
+    local = blake2b(
+        canonical_bytes(eval(expr)), digest_size=16
+    ).hexdigest()
+    code = (
+        "from repro.net.codec import canonical_bytes\n"
+        "from hashlib import blake2b\n"
+        f"print(blake2b(canonical_bytes({expr}), digest_size=16).hexdigest())"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert out.stdout.strip() == local
+
+
+def test_canonical_bytes_registered_dataclass_and_enum():
+    ring = RingId(seq=3, rep="p1")
+    msg = RegularMessage(
+        sender="p1",
+        ring=ring,
+        seq=7,
+        requirement=DeliveryRequirement.AGREED,
+        payload=b"hello",
+    )
+    twin = RegularMessage(
+        sender="p1",
+        ring=RingId(seq=3, rep="p1"),
+        seq=7,
+        requirement=DeliveryRequirement.AGREED,
+        payload=b"hello",
+    )
+    assert canonical_bytes(msg) == canonical_bytes(twin)
+    other = RegularMessage(
+        sender="p1",
+        ring=ring,
+        seq=8,
+        requirement=DeliveryRequirement.AGREED,
+        payload=b"hello",
+    )
+    assert canonical_bytes(msg) != canonical_bytes(other)
+
+
+def test_canonical_bytes_unregistered_dataclass_and_enum():
+    @dataclass(frozen=True)
+    class Local:
+        a: int
+        b: str
+
+    class Mode(Enum):
+        ON = 1
+        OFF = 2
+
+    assert canonical_bytes(Local(1, "x")) == canonical_bytes(Local(1, "x"))
+    assert canonical_bytes(Local(1, "x")) != canonical_bytes(Local(2, "x"))
+    assert canonical_bytes(Mode.ON) == canonical_bytes(Mode.ON)
+    assert canonical_bytes(Mode.ON) != canonical_bytes(Mode.OFF)
+    assert canonical_bytes({Mode.ON: Local(1, "x")}) == canonical_bytes(
+        {Mode.ON: Local(1, "x")}
+    )
+
+
+def test_canonical_bytes_rejects_unencodable():
+    with pytest.raises(CodecError):
+        canonical_bytes(object())
+    with pytest.raises(CodecError):
+        canonical_bytes(lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# BloomFilter
+# ---------------------------------------------------------------------------
+
+
+def test_bloom_filter_no_false_negatives():
+    bloom = BloomFilter(bits=1 << 12, hashes=3)
+    keys = [f"key-{i}".encode() for i in range(200)]
+    for key in keys:
+        bloom.add(key)
+    assert all(key in bloom for key in keys)
+    assert bloom.entries == 200
+
+
+def test_bloom_filter_merge():
+    a = BloomFilter(bits=1 << 10, hashes=2)
+    b = BloomFilter(bits=1 << 10, hashes=2)
+    a.add(b"left")
+    b.add(b"right")
+    a.merge(b)
+    assert b"left" in a and b"right" in a
+    mismatched = BloomFilter(bits=1 << 11, hashes=2)
+    with pytest.raises(ValueError):
+        a.merge(mismatched)
+
+
+# ---------------------------------------------------------------------------
+# VisitedSet
+# ---------------------------------------------------------------------------
+
+
+def _fp(i: int) -> bytes:
+    return blake2b(str(i).encode(), digest_size=16).digest()
+
+
+def test_visited_set_covered_respects_remaining_depth():
+    visited = VisitedSet(window=8)
+    visited.add(_fp(1), remaining=4)
+    assert visited.covered(_fp(1), 4)
+    assert visited.covered(_fp(1), 3), "shallower revisit is covered"
+    assert not visited.covered(_fp(1), 5), (
+        "deeper revisit must re-explore: the earlier visit proved less"
+    )
+    assert not visited.covered(_fp(2), 1)
+    # Deepening an existing fact widens coverage.
+    visited.add(_fp(1), remaining=6)
+    assert visited.covered(_fp(1), 6)
+
+
+def test_visited_set_seed_merge_export_delta():
+    worker = VisitedSet(window=8, record_deltas=True)
+    worker.seed([(_fp(1), 3), (_fp(2), 5)])
+    assert worker.covered(_fp(1), 3) and worker.covered(_fp(2), 5)
+    assert worker.take_delta() == [], "seeded facts must not journal"
+
+    worker.add(_fp(3), 2)
+    worker.add(_fp(1), 6)  # deepen a seeded fact
+    delta = worker.take_delta()
+    assert dict(delta) == {_fp(3): 2, _fp(1): 6}
+    assert worker.take_delta() == [], "take_delta drains"
+
+    master = VisitedSet(window=8)
+    master.add(_fp(1), 4)
+    changed = master.merge(delta)
+    assert changed == 2
+    assert master.covered(_fp(1), 6), "merge max-merges remaining depth"
+    assert master.covered(_fp(3), 2)
+    assert dict(master.export())[_fp(1)] == 6
+    assert master.merge(delta) == 0, "re-merging the same facts is a no-op"
+
+
+def test_visited_set_overflows_into_bloom():
+    visited = VisitedSet(window=4, exact_cap=2)
+    visited.add(_fp(1), 2)
+    visited.add(_fp(2), 2)
+    assert not visited.overflowed
+    visited.add(_fp(3), 2)
+    assert visited.overflowed
+    assert visited.exact_size == 2
+    assert len(visited) == 3
+    # Bloom tier still answers covered() (range probe over remaining).
+    assert visited.covered(_fp(3), 2)
+    assert visited.bloom_hits >= 1
+
+
+def test_cached_suffix_verdict():
+    clean = CachedSuffix(violated=(), events=10, decisions=3, quiescent=True)
+    dirty = CachedSuffix(
+        violated=("safe delivery (Spec 7)",),
+        events=10,
+        decisions=3,
+        quiescent=True,
+    )
+    assert clean.passed and not dirty.passed
+
+
+# ---------------------------------------------------------------------------
+# fingerprint_state determinism
+# ---------------------------------------------------------------------------
+
+
+def test_vs_filter_fingerprint_state_is_canonical():
+    def build():
+        return VirtualSynchronyFilter("p1", MajorityStrategy(("p1", "p2", "p3")))
+
+    assert canonical_bytes(build().fingerprint_state()) == canonical_bytes(
+        build().fingerprint_state()
+    )
+    changed = build()
+    changed.discarded += 1
+    assert canonical_bytes(changed.fingerprint_state()) != canonical_bytes(
+        build().fingerprint_state()
+    )

@@ -1,0 +1,81 @@
+"""Unit: the work-stealing frontier's protocol pieces.
+
+``explore_parallel`` itself is exercised end-to-end in
+tests/integration/test_explore_stateful.py; here we pin the protocol
+invariants a worker must uphold in isolation: bounded unit budgets,
+leftover children returned (not silently dropped), visited facts
+reported as deltas only (never echoing the seed back), and the
+collision-free bundle naming scheme.
+"""
+
+from repro.explore.driver import ExploreConfig
+from repro.explore.frontier import ExploreUnit, _run_unit, bundle_name_for
+from repro.explore.scenarios import partition_merge_scenario
+
+
+def test_bundle_name_for_is_collision_free_by_choices():
+    assert bundle_name_for(()) == "schedule-root"
+    assert bundle_name_for((2, 0, 1)) == "schedule-c2-0-1"
+    assert bundle_name_for((2, 0)) != bundle_name_for((2, 0, 1))
+    assert bundle_name_for((20,)) != bundle_name_for((2, 0))
+
+
+def _config(**kwargs) -> ExploreConfig:
+    defaults = dict(
+        scenario=partition_merge_scenario(),
+        depth=3,
+        max_schedules=64,
+        stateful=True,
+    )
+    defaults.update(kwargs)
+    return ExploreConfig(**defaults)
+
+
+def test_run_unit_respects_budget_and_returns_leftover():
+    config = _config()
+    result = _run_unit(config, ExploreUnit(prefix=(), budget=2), [], [])
+    assert len(result.outcomes) <= 2
+    assert result.outcomes, "root unit executed nothing"
+    # The root run plus at least one child existed at depth 3; anything
+    # the budget cut off must come back as leftover prefixes.
+    assert result.outcomes[0].choices == ()
+    for prefix in result.leftover:
+        assert isinstance(prefix, tuple)
+        assert len(prefix) <= config.window_end
+    # Every executed schedule fingerprinted fresh states.
+    assert result.visited_delta, "worker discovered no states"
+    assert result.replay_ns > 0
+
+
+def test_run_unit_does_not_echo_seeded_facts():
+    config = _config()
+    first = _run_unit(config, ExploreUnit(prefix=(), budget=64), [], [])
+    assert first.visited_delta
+    # Re-run the same unit seeded with everything the first run learned:
+    # the delta must only contain *new or deepened* facts - and since
+    # nothing is new, it must be empty, and the whole subtree under the
+    # seeded prefix state-prunes away.
+    again = _run_unit(
+        config,
+        ExploreUnit(prefix=(), budget=64),
+        first.visited_delta,
+        first.cache_delta,
+    )
+    assert again.visited_delta == []
+    assert again.state_pruned + again.suffix_hits > 0 or not again.outcomes
+
+
+def test_run_unit_executes_assigned_prefix():
+    config = _config()
+    root = _run_unit(config, ExploreUnit(prefix=(), budget=1), [], [])
+    assert root.leftover, "depth-3 window generated no children"
+    child_prefix = root.leftover[0]
+    child = _run_unit(
+        config,
+        ExploreUnit(prefix=child_prefix, budget=1),
+        root.visited_delta,
+        root.cache_delta,
+    )
+    if child.outcomes:
+        executed = child.outcomes[0].choices
+        assert tuple(executed[: len(child_prefix)]) == tuple(child_prefix)
