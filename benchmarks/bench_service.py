@@ -1,0 +1,119 @@
+"""Experiment X5 (added; the paper reports no performance numbers):
+service-tier throughput and tail latency, batching on vs off.
+
+The service daemon packs many client ops into one totally ordered ring
+message; the ring admits a bounded number of messages per token visit
+(``TotemConfig.max_messages_per_token``), so the unbatched baseline is
+capped by the message rate while batching multiplies the op rate the
+same rotations can carry.  Shape expectation asserted below: with a
+saturating closed-loop load at n=3, batching sustains at least 2x the
+unbatched client op rate.
+
+Rows cover n=2 and n=3 with batching on and off; each row reports
+sustained op/s plus the p50/p99/p999 client latency the load harness
+measured, and every run must pass Specs 1-7 on its recorded history
+(a fast benchmark that corrupts the protocol is not a benchmark).
+
+Machine-readable output: ``benchmarks/results/BENCH_service.json``.
+"""
+
+import asyncio
+
+from _util import emit, emit_json
+
+from repro.harness.metrics import BenchRow, render_table
+from repro.service import ServiceCluster, ServiceConfig
+from repro.service.loadgen import LoadConfig, run_service_load
+
+SIZES = (2, 3)
+MODES = (True, False)
+LOAD = LoadConfig(clients=24, duration=2.0, pipeline=8)
+BASE_PORT = 41600
+CLIENT_PORT = 42600
+
+
+def run_one(n, batching, port_offset):
+    async def main():
+        pids = [chr(ord("a") + i) for i in range(n)]
+        cluster = ServiceCluster(
+            pids,
+            base_port=BASE_PORT + port_offset,
+            client_base_port=CLIENT_PORT + port_offset,
+            service_config=ServiceConfig(batching=batching),
+        )
+        await cluster.start()
+        try:
+            report, conformance = await run_service_load(cluster, LOAD)
+        finally:
+            await cluster.stop()
+        assert conformance is not None and conformance.passed, (
+            conformance.render() if conformance else "no conformance report"
+        )
+        assert report.errors == 0, report.render()
+        batches = cluster.metrics.counter("svc.batches").value
+        return report, batches
+
+    return asyncio.run(main())
+
+
+def test_service_batching_throughput(benchmark):
+    results = {}
+
+    def sweep():
+        offset = 0
+        for batching in MODES:
+            for n in SIZES:
+                results[(n, batching)] = run_one(n, batching, offset)
+                offset += 10
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    payload = {"load": LOAD.__dict__, "rows": []}
+    for (n, batching), (report, batches) in sorted(results.items()):
+        label = f"n={n} [batching {'on' if batching else 'off'}]"
+        ops_per_batch = report.completed / max(1, batches)
+        rows.append(
+            BenchRow(
+                label,
+                {
+                    "ops": report.completed,
+                    "rate": f"{report.ops_per_sec:.0f} op/s",
+                    "ops/ring-msg": f"{ops_per_batch:.1f}",
+                    "p50": f"{report.p50_ms:.1f}ms",
+                    "p99": f"{report.p99_ms:.1f}ms",
+                    "p999": f"{report.p999_ms:.1f}ms",
+                },
+            )
+        )
+        payload["rows"].append(
+            {
+                "n": n,
+                "batching": batching,
+                "ring_messages": int(batches),
+                "ops_per_ring_message": round(ops_per_batch, 2),
+                **report.to_json(),
+            }
+        )
+
+    # The headline shape: batching must sustain >= 2x the unbatched
+    # client op rate at n=3 (the acceptance gate for the service tier).
+    for n in SIZES:
+        on = results[(n, True)][0].ops_per_sec
+        off = results[(n, False)][0].ops_per_sec
+        payload.setdefault("speedup", {})[f"n={n}"] = round(on / off, 2)
+    speedup3 = payload["speedup"]["n=3"]
+    assert speedup3 >= 2.0, (
+        f"batching speedup at n=3 is {speedup3:.2f}x, below the 2x gate"
+    )
+    # Batching works by packing: well over one op per ring message.
+    assert payload["rows"][1]["ops_per_ring_message"] > 4.0
+
+    emit(
+        "service",
+        render_table(
+            "X5: service op rate and tail latency, batching on vs off", rows
+        ),
+    )
+    emit_json("service", payload)

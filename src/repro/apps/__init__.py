@@ -1,5 +1,14 @@
 """The paper's motivating applications and replication utilities."""
 
+from repro.apps.adapter import (
+    SERVABLE_APPS,
+    CounterAdapter,
+    KVStoreAdapter,
+    LockAdapter,
+    LogAdapter,
+    ServiceAdapter,
+    build_adapters,
+)
 from repro.apps.airline import AirlineReservation
 from repro.apps.atm import AtmReplica
 from repro.apps.counter import ReplicatedAccount
@@ -17,9 +26,16 @@ from repro.apps.reconcile import (
 from repro.apps.replicated_log import LogEntry, ReplicatedLog
 
 __all__ = [
+    "SERVABLE_APPS",
     "AirlineReservation",
     "AtmReplica",
+    "CounterAdapter",
     "DistributedLock",
+    "KVStoreAdapter",
+    "LockAdapter",
+    "LogAdapter",
+    "ServiceAdapter",
+    "build_adapters",
     "GCounter",
     "LWWRegister",
     "LogEntry",

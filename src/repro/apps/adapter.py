@@ -1,0 +1,241 @@
+"""Uniform service adapters over the servable applications.
+
+The service tier (:mod:`repro.service`) hosts replicated applications
+behind one client-facing request/response API.  Rather than the daemon
+special-casing each app's methods, every servable app is wrapped in a
+:class:`ServiceAdapter` exposing one surface:
+
+* :meth:`~ServiceAdapter.apply` - one *write* operation, applied in EVS
+  delivery order, returning a JSON-able result for the submitting
+  client.  ``slot`` is the operation's position inside its ring message,
+  so batched submissions stay totally ordered within the batch too.
+* :meth:`~ServiceAdapter.query` - one *read* operation against the local
+  replica (no ring traffic; the caller stamps the current view on the
+  response so clients can reason about staleness).
+* :meth:`~ServiceAdapter.snapshot` / :meth:`~ServiceAdapter.merge` - the
+  reconciliation surface used when components remerge, mirroring
+  :class:`~repro.apps.reconcile.ReconcilingApp`.
+
+Results are plain dicts: ``{"ok": bool, ...}`` for writes and reads, with
+``"error"`` set when the operation was malformed.  Malformed operations
+never raise - every replica must reach the same state, and an exception
+mid-batch would diverge the ones that already applied earlier slots.
+
+:data:`SERVABLE_APPS` is the registry the daemon (and future
+workload-replay code) iterates; adding an app means adding an adapter
+class here, nothing in the service tier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.apps.counter import ReplicatedAccount
+from repro.apps.kvstore import ReplicatedKVStore
+from repro.apps.lock import DistributedLock
+from repro.apps.replicated_log import ReplicatedLog
+from repro.core.configuration import Configuration, Delivery
+from repro.types import ProcessId
+
+
+def _err(message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": message}
+
+
+class ServiceAdapter:
+    """Uniform apply/query/snapshot surface over one replicated app."""
+
+    #: Registry key; also the ``app`` field of client requests.
+    name: str = ""
+
+    def __init__(self, pid: ProcessId, universe: Iterable[ProcessId]) -> None:
+        self.pid = pid
+        self.universe = frozenset(universe)
+        self.app = self._build()
+
+    def _build(self) -> Any:
+        raise NotImplementedError
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def on_config(self, config: Configuration) -> None:
+        """Default: record the configuration on apps that track one
+        (e.g. the lock's primary-component heuristic)."""
+        if hasattr(self.app, "config"):
+            self.app.config = config
+
+    # -- operations --------------------------------------------------------
+
+    def apply(
+        self, op: Dict[str, Any], delivery: Delivery, slot: int = 0
+    ) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def query(self, op: Dict[str, Any]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    # -- reconciliation ----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.app.snapshot()
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        self.app.merge(snapshot)
+
+
+class KVStoreAdapter(ServiceAdapter):
+    """``set``/``del`` writes, ``get``/``keys``/``items`` reads."""
+
+    name = "kvstore"
+
+    def _build(self) -> ReplicatedKVStore:
+        return ReplicatedKVStore(self.pid)
+
+    def apply(
+        self, op: Dict[str, Any], delivery: Delivery, slot: int = 0
+    ) -> Dict[str, Any]:
+        kind = op.get("op")
+        if kind not in ("set", "del") or "key" not in op:
+            return _err(f"unknown kvstore write {kind!r}")
+        full = dict(op)
+        full["site"] = delivery.sender
+        self.app.apply(full, delivery)
+        version = self.app.version_of(str(op["key"]))
+        return {"ok": True, "version": list(version) if version else None}
+
+    def query(self, op: Dict[str, Any]) -> Dict[str, Any]:
+        kind = op.get("op")
+        if kind == "get":
+            return {"ok": True, "value": self.app.get(str(op.get("key")))}
+        if kind == "keys":
+            return {"ok": True, "keys": self.app.keys()}
+        if kind == "items":
+            return {"ok": True, "items": self.app.items()}
+        return _err(f"unknown kvstore read {kind!r}")
+
+
+class LogAdapter(ServiceAdapter):
+    """``append`` writes, ``read``/``len`` reads over the merged view."""
+
+    name = "log"
+
+    def _build(self) -> ReplicatedLog:
+        return ReplicatedLog(self.pid)
+
+    def apply(
+        self, op: Dict[str, Any], delivery: Delivery, slot: int = 0
+    ) -> Dict[str, Any]:
+        if op.get("op") != "append":
+            return _err(f"unknown log write {op.get('op')!r}")
+        result = self.app.apply(op, delivery, slot=slot)
+        result["ok"] = True
+        return result
+
+    def query(self, op: Dict[str, Any]) -> Dict[str, Any]:
+        kind = op.get("op")
+        if kind == "read":
+            entries = self.app.service_entries()
+            start = int(op.get("from", 0))
+            return {"ok": True, "entries": entries[start:]}
+        if kind == "len":
+            return {"ok": True, "length": len(self.app.service_log)}
+        return _err(f"unknown log read {kind!r}")
+
+
+class LockAdapter(ServiceAdapter):
+    """``request``/``release`` writes, ``owner``/``waiting`` reads.
+
+    Clients supply their own request ids (the daemon is leader-agnostic,
+    so ids must be client-unique, e.g. ``<session>-<n>``); grant claims
+    follow the lock's primary-component rule.
+    """
+
+    name = "lock"
+
+    def _build(self) -> DistributedLock:
+        return DistributedLock(self.pid, self.universe)
+
+    def apply(
+        self, op: Dict[str, Any], delivery: Delivery, slot: int = 0
+    ) -> Dict[str, Any]:
+        kind = op.get("op")
+        lock = str(op.get("lock", ""))
+        req_id = str(op.get("id", ""))
+        if kind not in ("request", "release") or not lock or not req_id:
+            return _err(f"malformed lock write {kind!r}")
+        wire = "lock-req" if kind == "request" else "lock-rel"
+        self.app.apply(
+            {"op": wire, "lock": lock, "id": req_id, "site": delivery.sender},
+            delivery,
+        )
+        return {
+            "ok": True,
+            "holds": self.app.holds(lock, req_id),
+            "owner": self.app.owner(lock),
+            "primary": self.app.in_primary,
+        }
+
+    def query(self, op: Dict[str, Any]) -> Dict[str, Any]:
+        kind = op.get("op")
+        lock = str(op.get("lock", ""))
+        if kind == "owner":
+            return {
+                "ok": True,
+                "owner": self.app.owner(lock),
+                "primary": self.app.in_primary,
+            }
+        if kind == "waiting":
+            return {"ok": True, "waiting": self.app.waiting(lock)}
+        return _err(f"unknown lock read {kind!r}")
+
+
+class CounterAdapter(ServiceAdapter):
+    """``deposit``/``withdraw`` writes, ``balance`` reads."""
+
+    name = "counter"
+
+    def _build(self) -> ReplicatedAccount:
+        return ReplicatedAccount(self.pid)
+
+    def apply(
+        self, op: Dict[str, Any], delivery: Delivery, slot: int = 0
+    ) -> Dict[str, Any]:
+        kind = op.get("op")
+        if kind not in ("deposit", "withdraw"):
+            return _err(f"unknown counter write {kind!r}")
+        try:
+            amount = int(op.get("amount", 0))
+        except (TypeError, ValueError):
+            return _err("amount must be an integer")
+        if amount <= 0:
+            return _err("amount must be positive")
+        return self.app.apply({"op": kind, "amount": amount}, delivery)
+
+    def query(self, op: Dict[str, Any]) -> Dict[str, Any]:
+        if op.get("op") == "balance":
+            return {"ok": True, "balance": self.app.balance}
+        return _err(f"unknown counter read {op.get('op')!r}")
+
+
+#: Every app the daemon serves, by request ``app`` name.
+SERVABLE_APPS = {
+    cls.name: cls
+    for cls in (KVStoreAdapter, LogAdapter, LockAdapter, CounterAdapter)
+}
+
+
+def build_adapters(
+    pid: ProcessId,
+    universe: Iterable[ProcessId],
+    apps: Optional[Iterable[str]] = None,
+) -> Dict[str, ServiceAdapter]:
+    """Instantiate one adapter per servable app for process ``pid``."""
+    names = list(apps) if apps is not None else sorted(SERVABLE_APPS)
+    out: Dict[str, ServiceAdapter] = {}
+    for name in names:
+        if name not in SERVABLE_APPS:
+            raise ValueError(
+                f"unknown servable app {name!r} (have: {sorted(SERVABLE_APPS)})"
+            )
+        out[name] = SERVABLE_APPS[name](pid, universe)
+    return out

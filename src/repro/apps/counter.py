@@ -55,17 +55,45 @@ class ReplicatedAccount(Listener):
     # -- Listener ------------------------------------------------------------
 
     def on_deliver(self, delivery: Delivery) -> None:
-        op = decode_op(delivery.payload)
+        self.apply(decode_op(delivery.payload), delivery)
+
+    def on_configuration_change(self, config: Configuration) -> None:
+        pass
+
+    # -- uniform adapter surface (apply/snapshot/merge) -----------------------
+
+    def apply(self, op: Dict[str, Any], delivery: Delivery) -> Dict[str, Any]:
+        """Apply one operation in delivery order; returns the outcome so
+        the service tier can answer the submitting client."""
         kind, amount = op["op"], int(op["amount"])
         if kind == "deposit":
             self.balance += amount
             self.applied.append((kind, amount))
-        elif kind == "withdraw":
+            return {"ok": True, "balance": self.balance}
+        if kind == "withdraw":
             if amount <= self.balance:
                 self.balance -= amount
                 self.applied.append((kind, amount))
-            else:
-                self.rejected.append((kind, amount))
+                return {"ok": True, "balance": self.balance}
+            self.rejected.append((kind, amount))
+            return {"ok": False, "balance": self.balance}
+        return {"ok": False, "balance": self.balance}
 
-    def on_configuration_change(self, config: Configuration) -> None:
-        pass
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "balance": self.balance,
+            "applied": [list(t) for t in self.applied],
+            "rejected": [list(t) for t in self.rejected],
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """State transfer for late joiners: adopt the snapshot with the
+        longer operation history.  The account has no partition
+        heuristics (see the module docstring), so this is deliberately a
+        whole-state adoption, not a conflict resolution."""
+        theirs = len(snapshot["applied"]) + len(snapshot["rejected"])
+        mine = len(self.applied) + len(self.rejected)
+        if theirs > mine:
+            self.balance = snapshot["balance"]
+            self.applied = [tuple(t) for t in snapshot["applied"]]
+            self.rejected = [tuple(t) for t in snapshot["rejected"]]

@@ -104,7 +104,10 @@ class ReplicatedKVStore(ReconcilingApp):
 
     def _store(self, key: str, value: Any, version: Version, deleted: bool) -> None:
         cell = self._cells.get(key)
-        if cell is None or tuple(version) > cell.version:
+        # >= so two writes to one key inside a single ring message (a
+        # service-tier batch) resolve last-slot-wins, identically at every
+        # replica; equal-version re-merges are idempotent either way.
+        if cell is None or tuple(version) >= cell.version:
             self._cells[key] = _Cell(value, version, deleted)
 
     def snapshot(self) -> Dict[str, Any]:

@@ -15,8 +15,9 @@ the tests and examples lean on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.apps.reconcile import UnionLog
 from repro.core.configuration import Configuration, Delivery, Listener
 from repro.types import ConfigurationId, MessageId, ProcessId
 
@@ -41,6 +42,10 @@ class ReplicatedLog(Listener):
         self.configurations: List[Configuration] = []
         #: Log index at which each configuration was installed.
         self.cuts: List[Tuple[ConfigurationId, int]] = []
+        #: Service-tier view: entries appended through :meth:`apply`,
+        #: keyed by ``(sender, origin_seq, slot)`` so components merge by
+        #: union and order deterministically by total-order position.
+        self.service_log = UnionLog()
 
     # -- Listener -----------------------------------------------------------
 
@@ -58,6 +63,53 @@ class ReplicatedLog(Listener):
                 index=len(self.entries),
             )
         )
+
+    # -- uniform adapter surface (apply/snapshot/merge) -----------------------
+
+    def apply(
+        self, op: Dict[str, Any], delivery: Delivery, slot: int = 0
+    ) -> Dict[str, Any]:
+        """Append one service entry in delivery order.
+
+        ``slot`` is the operation's position inside its ring message
+        (batched submissions pack many appends into one message, which
+        would otherwise collide on the message id).  Returns the entry's
+        total-order position so clients can cite it.
+        """
+        text = str(op.get("entry", ""))
+        mid = delivery.message_id
+        pos = [mid.ring.seq, mid.seq, slot]
+        key = f"{delivery.sender}:{delivery.origin_seq}:{slot}"
+        self.service_log.add(
+            key, {"entry": text, "pos": pos, "site": delivery.sender}
+        )
+        self.entries.append(
+            LogEntry(
+                message_id=mid,
+                sender=delivery.sender,
+                payload=text.encode("utf-8"),
+                config_id=delivery.config_id,
+                index=len(self.entries),
+            )
+        )
+        return {"pos": pos, "length": len(self.service_log)}
+
+    def service_entries(self) -> List[str]:
+        """The merged service view, ordered by total-order position."""
+        ordered = sorted(
+            self.service_log.entries.values(), key=lambda e: tuple(e["pos"])
+        )
+        return [e["entry"] for e in ordered]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"log": self.service_log.to_json()}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Union a peer's service entries in.  ``entries`` (the raw
+        :class:`LogEntry` stream) deliberately stays local: it is this
+        replica's own delivery record, which the prefix-consistency
+        queries below are defined over."""
+        self.service_log.merge(UnionLog.from_json(snapshot["log"]))
 
     # -- queries ------------------------------------------------------------
 

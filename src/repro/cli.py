@@ -32,14 +32,24 @@ Commands:
   event ids mentioning the offending messages/configurations;
 * ``timeline``    - run a short partition/merge demo with tracing on and
   render it: ASCII space-time diagram, per-process trace swimlane, and
-  the configuration-change explanations (docs/OBSERVABILITY.md).
+  the configuration-change explanations (docs/OBSERVABILITY.md);
+* ``serve``       - run the group-communication service: EVS daemons
+  hosting the replicated apps behind a TCP request/response API, either
+  the whole member set in one process (demo) or a single member of a
+  larger deployment (docs/SERVICE.md);
+* ``load``        - drive a service cluster with the client load
+  harness: concurrent sessions, optional member-kill and
+  partition/merge churn, p50/p99/p999 latency, and a Specs 1-7
+  conformance verdict on the recorded history.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import cProfile
 import io
+import json
 import os
 import pstats
 import sys
@@ -85,6 +95,21 @@ from repro.campaign.serialize import load_scenario
 from repro.spec import tracefile
 from repro.spec.report import pool_reports, run_conformance
 from repro.types import DeliveryRequirement
+
+
+def _service_imports():
+    """Service tier imports, deferred so the simulator-only commands do
+    not pay for the asyncio stack."""
+    from repro.apps.adapter import SERVABLE_APPS
+    from repro.service import (
+        ChurnSpec,
+        LoadConfig,
+        ServiceCluster,
+        ServiceConfig,
+        run_service_load,
+    )
+
+    return SERVABLE_APPS, ChurnSpec, LoadConfig, ServiceCluster, ServiceConfig, run_service_load
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -524,6 +549,190 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_members(text: str) -> List[str]:
+    members = [m.strip() for m in text.split(",") if m.strip()]
+    if not members:
+        raise ReproError(f"no members in {text!r}")
+    return sorted(members)
+
+
+def _service_config(args: argparse.Namespace):
+    _, _, _, _, ServiceConfig, _ = _service_imports()
+    apps = tuple(_parse_members(args.apps)) if args.apps else None
+    return ServiceConfig(
+        batching=not args.no_batching,
+        max_batch=args.max_batch,
+        batch_interval=args.batch_interval,
+        apps=apps,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    members = _parse_members(args.members)
+    config = _service_config(args)
+    if args.pid is not None and args.pid not in members:
+        print(f"--pid {args.pid} is not in --members", file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        if args.pid is None:
+            # Demo mode: the whole member set in one event loop.
+            _, _, _, ServiceCluster, _, _ = _service_imports()
+            cluster = ServiceCluster(
+                members,
+                base_port=args.base_port,
+                client_base_port=args.client_port,
+                service_config=config,
+                wire_format=args.wire_format,
+            )
+            await cluster.start()
+            for pid in members:
+                host, port = cluster.client_addrs[pid]
+                print(f"member {pid}: clients -> {host}:{port}")
+            print("serving (Ctrl-C to stop)")
+            try:
+                while True:
+                    await asyncio.sleep(3600)
+            except (KeyboardInterrupt, asyncio.CancelledError):
+                pass
+            finally:
+                await cluster.stop()
+                print()
+                print(cluster.metrics.render("service metrics"))
+            return 0
+        # Single-member mode: this process is one daemon of a deployment
+        # whose other members run elsewhere with the same member list.
+        from repro.core.process import EvsProcess
+        from repro.net.asyncio_transport import AsyncioHost
+        from repro.service.daemon import ServiceDaemon
+        from repro.service.replica import ServiceReplica
+
+        index = members.index(args.pid)
+        book = {
+            pid: (args.host, args.base_port + i)
+            for i, pid in enumerate(members)
+        }
+        host = AsyncioHost(args.pid, book, wire_format=args.wire_format)
+        await host.open()
+        replica = ServiceReplica(
+            args.pid,
+            members,
+            apps=list(config.apps) if config.apps else None,
+            requirement=config.requirement,
+            wire_format=args.wire_format,
+        )
+        process = EvsProcess(args.pid, host, listener=replica)
+        daemon = ServiceDaemon(
+            process,
+            replica,
+            (args.host, args.client_port + index),
+            config=config,
+        )
+        process.start()
+        await daemon.start()
+        print(
+            f"member {args.pid}: ring udp {args.host}:{book[args.pid][1]}, "
+            f"clients -> {args.host}:{args.client_port + index}"
+        )
+        print("serving (Ctrl-C to stop)")
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await daemon.stop()
+            host.close()
+            print()
+            print(daemon.metrics.render("service metrics"))
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    _, ChurnSpec, LoadConfig, ServiceCluster, _, run_service_load = (
+        _service_imports()
+    )
+    members = _parse_members(args.members)
+    config = _service_config(args)
+    load = LoadConfig(
+        clients=args.clients,
+        duration=args.duration,
+        pipeline=args.pipeline,
+        app=args.app,
+        key_space=args.key_space,
+        read_fraction=args.read_fraction,
+        seed=args.seed,
+    )
+    partition = None
+    if args.partition:
+        partition = tuple(
+            tuple(_parse_members(group)) for group in args.partition.split("|")
+        )
+    churn = ChurnSpec(
+        kill=args.kill,
+        kill_at=args.kill_at,
+        restart_at=args.restart_at,
+        partition=partition,
+        partition_at=args.partition_at,
+        merge_at=args.merge_at,
+        session_ops=args.session_ops,
+    )
+    if churn.kill is not None and churn.kill not in members:
+        print(f"--kill {churn.kill} is not in --members", file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        cluster = ServiceCluster(
+            members,
+            base_port=args.base_port,
+            client_base_port=args.client_port,
+            service_config=config,
+            wire_format=args.wire_format,
+        )
+        await cluster.start()
+        print(
+            f"cluster up: {members}, batching="
+            f"{'on' if config.batching else 'off'}, {load.clients} client(s) "
+            f"x pipeline {load.pipeline} for {load.duration}s"
+        )
+        try:
+            report, conformance = await run_service_load(cluster, load, churn)
+        finally:
+            await cluster.stop()
+        print()
+        print(report.render())
+        print()
+        print(cluster.metrics.render("service metrics"))
+        assert conformance is not None
+        print()
+        print(conformance.render())
+        if args.save:
+            tracefile.save(cluster.history, args.save)
+            print(f"trace written: {args.save}")
+        if args.json:
+            doc = {
+                "members": members,
+                "batching": config.batching,
+                "load": report.to_json(),
+                "conformance": {
+                    "passed": conformance.passed,
+                    "violated": sorted(conformance.violated_specs),
+                },
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"report written: {args.json}")
+        return 0 if conformance.passed and report.completed > 0 else 1
+
+    return asyncio.run(run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -818,6 +1027,84 @@ def build_parser() -> argparse.ArgumentParser:
     tl.add_argument("--seed", type=int, default=0)
     tl.add_argument("--rows", type=int, default=80)
     tl.set_defaults(fn=cmd_timeline)
+
+    def service_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--members",
+            default="a,b,c",
+            help="comma-separated member ids (default a,b,c)",
+        )
+        p.add_argument("--base-port", type=int, default=41000,
+                       help="first UDP ring port (one per member)")
+        p.add_argument("--client-port", type=int, default=42000,
+                       help="first TCP client port (one per member)")
+        p.add_argument(
+            "--wire-format",
+            choices=list(WIRE_FORMATS),
+            default=FORMAT_BINARY,
+            help="wire codec for ring payloads and client frames",
+        )
+        p.add_argument("--no-batching", action="store_true",
+                       help="one ring message per client op (the baseline)")
+        p.add_argument("--max-batch", type=int, default=64,
+                       help="most ops packed into one ring message")
+        p.add_argument("--batch-interval", type=float, default=0.002,
+                       help="max seconds a lone op waits for company")
+        p.add_argument(
+            "--apps",
+            default=None,
+            help="comma-separated servable apps to host (default: all)",
+        )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the group-communication service daemons (docs/SERVICE.md)",
+    )
+    service_flags(srv)
+    srv.add_argument(
+        "--pid",
+        default=None,
+        help="run only this member (others run elsewhere with the same "
+        "--members/--base-port); default: all members in one process",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.set_defaults(fn=cmd_serve)
+
+    ld = sub.add_parser(
+        "load",
+        help="drive a service cluster with churned client load and check "
+        "Specs 1-7 on the recorded history",
+    )
+    service_flags(ld)
+    ld.add_argument("--clients", type=int, default=16)
+    ld.add_argument("--duration", type=float, default=2.0)
+    ld.add_argument("--pipeline", type=int, default=8,
+                    help="concurrent outstanding ops per client session")
+    ld.add_argument("--app", default="kvstore",
+                    help="app the load targets (kvstore/log/lock/counter)")
+    ld.add_argument("--key-space", type=int, default=64)
+    ld.add_argument("--read-fraction", type=float, default=0.0)
+    ld.add_argument("--seed", type=int, default=1)
+    ld.add_argument("--kill", default=None, metavar="PID",
+                    help="kill this member mid-run")
+    ld.add_argument("--kill-at", type=float, default=0.4)
+    ld.add_argument("--restart-at", type=float, default=None)
+    ld.add_argument(
+        "--partition",
+        default=None,
+        metavar="GROUPS",
+        help="ring partition groups, e.g. 'a,b|c'",
+    )
+    ld.add_argument("--partition-at", type=float, default=0.4)
+    ld.add_argument("--merge-at", type=float, default=None)
+    ld.add_argument("--session-ops", type=int, default=None,
+                    help="ops per session before the client departs and a "
+                    "fresh one arrives (default: sessions live the whole run)")
+    ld.add_argument("--save", default=None, metavar="PATH",
+                    help="write the recorded history as a trace .json")
+    ld.add_argument("--json", default=None, metavar="PATH",
+                    help="write the load + conformance report as JSON")
+    ld.set_defaults(fn=cmd_load)
     return parser
 
 

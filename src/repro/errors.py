@@ -50,6 +50,11 @@ class ExploreError(ReproError):
     was misconfigured."""
 
 
+class ServiceError(ReproError):
+    """The service tier was misused or a client frame is malformed
+    (oversized frame, truncated stream, bad request)."""
+
+
 class SpecificationViolation(ReproError):
     """Raised by checkers in ``raise_on_violation`` mode when a recorded
     history fails one of the paper's specifications."""

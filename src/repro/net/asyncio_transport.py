@@ -57,7 +57,11 @@ class AsyncioHost(Host):
         self.codec_stats = codec.CodecStats()
         self.address_book = dict(address_book)
         self._addr_to_pid = {addr: p for p, addr in address_book.items()}
-        self.loop = loop or asyncio.get_event_loop()
+        # ``asyncio.get_event_loop()`` is deprecated (and raises on 3.12)
+        # when no loop is running, so the loop is resolved lazily: pass
+        # one explicitly, or the running loop is captured on first use
+        # (open()/timers always execute inside the loop).
+        self._loop = loop
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._timers: Dict[str, asyncio.TimerHandle] = {}
         self._on_packet: Optional[Callable[[ProcessId, Any], None]] = None
@@ -66,6 +70,14 @@ class AsyncioHost(Host):
         #: Optional component restriction: peers we accept datagrams from
         #: (None = everyone).  Used to demonstrate partitions on loopback.
         self.allowed_peers: Optional[frozenset] = None
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The event loop this host runs on (explicit, or the running
+        loop captured on first use)."""
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
 
     async def open(self) -> None:
         """Bind the UDP socket at this process's address."""
@@ -190,7 +202,7 @@ class AsyncioCluster:
         self._listeners = listeners or {}
 
     async def start(self) -> None:
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         for pid in self.pids:
             host = AsyncioHost(
                 pid, self.address_book, loop=loop, wire_format=self.wire_format
@@ -253,7 +265,7 @@ class AsyncioCluster:
         )
 
     async def wait_until(self, predicate, timeout: float = 10.0) -> bool:
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
         while loop.time() < deadline:
             if predicate():

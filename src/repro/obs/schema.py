@@ -39,6 +39,13 @@ see docs/OBSERVABILITY.md for the full table:
                             of a same-instant ready set fired (decision
                             index, chosen index, owners; see
                             docs/EXPLORATION.md)
+``svc.*``                   service-tier events: ``request`` (one client
+                            op accepted/rejected; gated like per-frame
+                            net events), ``flush`` (a batch packed onto
+                            the ring), ``deliver`` (a batch applied),
+                            ``view`` (a view change observed by the
+                            daemon, with the in-flight ops it failed;
+                            see docs/SERVICE.md)
 ==========================  =================================================
 """
 
@@ -74,6 +81,10 @@ KINDS = frozenset(
         "vs.view",
         "vs.discard",
         "sched.choice",
+        "svc.request",
+        "svc.flush",
+        "svc.deliver",
+        "svc.view",
     }
 )
 

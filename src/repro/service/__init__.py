@@ -1,0 +1,53 @@
+"""The EVS service tier: a group-communication daemon and its clients.
+
+The paper frames extended virtual synchrony as the substrate for
+fault-tolerant *services* - replicated applications that keep operating
+in every partition and reconcile on remerge.  This package is that
+client-facing path over the existing stack:
+
+* :mod:`repro.service.frames` - the length-prefixed TCP frame protocol
+  (reusing the binary wire codec) and the request/response/batch wire
+  messages;
+* :mod:`repro.service.replica` - the replicated state: one
+  :class:`~repro.core.configuration.Listener` hosting every servable app
+  through the uniform adapters in :mod:`repro.apps.adapter`;
+* :mod:`repro.service.daemon` - the per-member daemon: request batching
+  onto the ring, bounded backpressure, view-stamped responses;
+* :mod:`repro.service.client` - the asyncio client;
+* :mod:`repro.service.harness` - an in-process n-member cluster for
+  tests, benchmarks and ``repro load``;
+* :mod:`repro.service.loadgen` - the load generator: concurrent client
+  sessions, churn, p50/p99/p999 latency.
+
+See docs/SERVICE.md for the protocol and the SLO methodology.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceConfig, ServiceDaemon
+from repro.service.frames import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_RETRY,
+    STATUS_VIEW_CHANGE,
+    ClientRequest,
+    ClientResponse,
+)
+from repro.service.harness import ServiceCluster
+from repro.service.loadgen import ChurnSpec, LoadConfig, LoadReport, run_service_load
+
+__all__ = [
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_RETRY",
+    "STATUS_VIEW_CHANGE",
+    "ChurnSpec",
+    "ClientRequest",
+    "ClientResponse",
+    "LoadConfig",
+    "LoadReport",
+    "ServiceClient",
+    "ServiceCluster",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "run_service_load",
+]

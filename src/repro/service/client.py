@@ -1,0 +1,151 @@
+"""The asyncio service client.
+
+A :class:`ServiceClient` holds one TCP connection to one daemon and
+multiplexes any number of concurrent requests over it: each request gets
+a connection-unique id, the response demultiplexes onto the matching
+future, so a single client coroutine - or thousands in a load test - can
+pipeline ops without head-of-line blocking on the request/response pairs
+themselves (ring ordering still governs when writes apply).
+
+Status handling is the caller's job by design: ``retry`` and
+``view-change`` are returned, not hidden behind automatic resubmission,
+because only the application knows whether an op is idempotent.
+:meth:`ServiceClient.submit` is the convenience wrapper used by the load
+generator: it retries ``retry`` with a bounded backoff and surfaces
+``view-change`` outcomes to the caller tagged with the view stamp.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.net import codec
+from repro.service.frames import (
+    STATUS_RETRY,
+    ClientRequest,
+    ClientResponse,
+    encode_frame,
+    read_frame,
+)
+
+
+class ServiceClient:
+    """One connection to one daemon; safe for concurrent requests."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        wire_format: str = codec.FORMAT_BINARY,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.wire_format = wire_format
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._next_id = 0
+        self._waiting: Dict[int, asyncio.Future] = {}
+        self._pump: Optional[asyncio.Task] = None
+        self.closed = False
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self.closed = False
+        self._pump = asyncio.ensure_future(self._read_responses())
+        return self
+
+    async def close(self) -> None:
+        self.closed = True
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._pump = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, Exception):
+                pass
+            self._writer = None
+        self._fail_waiters(ServiceError("client closed"))
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- request/response --------------------------------------------------
+
+    async def request(
+        self, app: str, op: Dict[str, Any], read_only: bool = False
+    ) -> ClientResponse:
+        """Send one op and await its response (any status)."""
+        if self._writer is None or self.closed:
+            raise ServiceError("client is not connected")
+        self._next_id += 1
+        request_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiting[request_id] = future
+        frame = encode_frame(
+            ClientRequest(
+                request_id=request_id, app=app, op=op, read_only=read_only
+            ),
+            self.wire_format,
+        )
+        try:
+            self._writer.write(frame)
+            await self._writer.drain()
+        except (ConnectionError, RuntimeError) as exc:
+            self._waiting.pop(request_id, None)
+            raise ServiceError(f"connection lost: {exc}")
+        return await future
+
+    async def submit(
+        self,
+        app: str,
+        op: Dict[str, Any],
+        read_only: bool = False,
+        max_retries: int = 64,
+        backoff: float = 0.005,
+    ) -> Tuple[ClientResponse, int]:
+        """Like :meth:`request`, but resubmit on ``retry`` with a capped
+        linear backoff.  Returns ``(final response, retries used)``.
+        ``view-change`` is NOT retried - the op may have applied."""
+        retries = 0
+        while True:
+            response = await self.request(app, op, read_only=read_only)
+            if response.status != STATUS_RETRY or retries >= max_retries:
+                return response, retries
+            retries += 1
+            await asyncio.sleep(min(backoff * retries, 0.1))
+
+    # -- internals ---------------------------------------------------------
+
+    async def _read_responses(self) -> None:
+        try:
+            while True:
+                message = await read_frame(self._reader)
+                if not isinstance(message, ClientResponse):
+                    continue
+                future = self._waiting.pop(message.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.closed = True
+            self._fail_waiters(ServiceError(f"connection lost: {exc}"))
+
+    def _fail_waiters(self, error: Exception) -> None:
+        waiting, self._waiting = self._waiting, {}
+        for future in waiting.values():
+            if not future.done():
+                future.set_exception(error)

@@ -1,0 +1,362 @@
+"""The group-communication daemon: one member's client-facing front end.
+
+Each daemon owns one :class:`~repro.core.process.EvsProcess` (the ring
+membership), one :class:`~repro.service.replica.ServiceReplica` (the
+replicated state) and one TCP server (the client path).  The design is
+leader-agnostic: every member accepts writes, packs them into a
+:class:`~repro.service.frames.ServiceBatch`, and multicasts the batch as
+a single totally-ordered ring message - the ring orders batches, the
+slot index orders ops within a batch, so every replica applies the same
+op sequence without any primary.
+
+Batching is the throughput lever: one token rotation admits a bounded
+number of ring messages (``TotemConfig.max_messages_per_token``), so
+packing many client ops per message multiplies the op rate that one
+rotation can carry.  With ``batching=False`` every op rides its own ring
+message, which is the baseline ``bench_service.py`` compares against.
+
+Backpressure is explicit rather than implicit queueing: a write is
+admitted only while the connection and the daemon are under their
+pending caps, otherwise the client gets an immediate ``retry`` response
+and is expected to back off - bounding daemon memory and keeping tail
+latency honest under overload.
+
+View changes: ops already multicast but not yet applied when a new
+regular configuration installs are answered with ``view-change`` and the
+new view stamp.  EVS guarantees such a batch is either delivered to the
+surviving component (applied everywhere, response lost) or not delivered
+at all, so the client reconciles by re-reading - the classic
+at-least-once ambiguity, surfaced instead of hidden.  Ops still waiting
+in the pending queue are unaffected: they have not touched the ring and
+flush cleanly into the new view.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net import codec
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NO_TRACE
+from repro.service.frames import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_RETRY,
+    STATUS_VIEW_CHANGE,
+    ClientRequest,
+    ClientResponse,
+    ServiceBatch,
+    encode_frame,
+    encode_ring_payload,
+    read_frame,
+)
+from repro.service.replica import ServiceReplica
+from repro.types import DeliveryRequirement
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon knobs (see docs/SERVICE.md for the tuning discussion)."""
+
+    #: Pack pending ops into one ring message per flush.  Off = one ring
+    #: message per op (the bench baseline).
+    batching: bool = True
+    #: Most ops one batch carries (one ring message).
+    max_batch: int = 64
+    #: How long a lone op waits for company before the batch flushes.
+    batch_interval: float = 0.002
+    #: Admission cap per client connection (excess -> ``retry``).
+    max_pending_per_conn: int = 64
+    #: Admission cap across the daemon (queued + in flight).
+    max_pending_total: int = 4096
+    #: Ring delivery service for batches.  AGREED is the default - total
+    #: order is what replication needs; SAFE additionally waits for
+    #: stability at every member (stronger, slower; see docs/DESIGN.md).
+    requirement: DeliveryRequirement = DeliveryRequirement.AGREED
+    #: Wire format for frames and ring payloads.
+    wire_format: str = codec.FORMAT_BINARY
+    #: Apps to host (None = all servable apps).
+    apps: Optional[Tuple[str, ...]] = None
+
+
+@dataclass
+class _PendingOp:
+    """One admitted write waiting to flush or to be applied."""
+
+    app: str
+    op: Dict[str, Any]
+    request_id: int
+    conn: "_Connection"
+
+
+class _Connection:
+    """Per-TCP-connection bookkeeping."""
+
+    __slots__ = ("writer", "outstanding", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.outstanding = 0  # admitted writes not yet answered
+        self.closed = False
+
+
+class ServiceDaemon:
+    """One member of the service: EVS process + replica + TCP server."""
+
+    def __init__(
+        self,
+        process,
+        replica: ServiceReplica,
+        client_addr: Tuple[str, int],
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=NO_TRACE,
+    ) -> None:
+        self.process = process
+        self.replica = replica
+        self.pid = replica.pid
+        self.client_addr = client_addr
+        self.config = config or ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        replica.bind(process)
+        replica.on_batch_applied = self._on_batch_applied
+        replica.on_view_change = self._on_view_change
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conns: List[_Connection] = []
+        self._pending: List[_PendingOp] = []
+        self._inflight: Dict[int, List[_PendingOp]] = {}
+        self._batch_seq = 0
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._alive = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open the TCP server (the EVS process is started by its owner)."""
+        self._alive = True
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.client_addr[0], self.client_addr[1]
+        )
+
+    async def stop(self) -> None:
+        self._alive = False
+        self._cancel_flush()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns):
+            self._close_conn(conn)
+        self._pending.clear()
+        self._inflight.clear()
+
+    async def kill(self) -> None:
+        """Fail this member: crash the EVS process and drop every client
+        connection (a machine failure takes both down together)."""
+        await self.stop()
+        if self.process.engine.started:
+            self.process.crash()
+
+    async def restart(self) -> None:
+        """Recover after :meth:`kill` - the process rejoins the ring and
+        the TCP server reopens."""
+        if not self.process.engine.started:
+            self.process.recover()
+        await self.start()
+
+    @property
+    def pending_ops(self) -> int:
+        """Admitted writes not yet answered (queued + in flight)."""
+        return len(self._pending) + sum(
+            len(ops) for ops in self._inflight.values()
+        )
+
+    # -- client path -------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        self._conns.append(conn)
+        self.metrics.counter("svc.connections").inc()
+        try:
+            while self._alive:
+                try:
+                    message = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except asyncio.CancelledError:
+                    break  # daemon shutting down
+                except Exception:
+                    break  # malformed frame: drop the connection
+                if not isinstance(message, ClientRequest):
+                    break
+                self._handle_request(conn, message)
+                await asyncio.sleep(0)  # let responses interleave
+        finally:
+            self._close_conn(conn)
+
+    def _handle_request(self, conn: _Connection, request: ClientRequest) -> None:
+        self.metrics.counter("svc.requests").inc()
+        adapter = self.replica.adapters.get(request.app)
+        if adapter is None:
+            self._respond(
+                conn,
+                request.request_id,
+                STATUS_ERROR,
+                detail=f"unknown app {request.app!r}",
+            )
+            return
+        if request.read_only:
+            if self.replica.view is None:
+                self._respond(conn, request.request_id, STATUS_RETRY,
+                              detail="no view installed yet")
+                return
+            result = adapter.query(dict(request.op))
+            self.metrics.counter("svc.reads").inc()
+            self._respond(conn, request.request_id, STATUS_OK, result=result)
+            return
+        # Write path: bounded admission, then batch onto the ring.
+        if (
+            conn.outstanding >= self.config.max_pending_per_conn
+            or self.pending_ops >= self.config.max_pending_total
+        ):
+            self.metrics.counter("svc.retries").inc()
+            if self.tracer:
+                self.tracer.emit(self.pid, "svc.request",
+                                 app=request.app, admitted=False)
+            self._respond(conn, request.request_id, STATUS_RETRY,
+                          detail="backpressure: queue full")
+            return
+        conn.outstanding += 1
+        self._pending.append(
+            _PendingOp(request.app, dict(request.op), request.request_id, conn)
+        )
+        self.metrics.counter("svc.writes").inc()
+        if self.tracer:
+            self.tracer.emit(self.pid, "svc.request",
+                             app=request.app, admitted=True)
+        if not self.config.batching or len(self._pending) >= self.config.max_batch:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = asyncio.get_running_loop().call_later(
+                self.config.batch_interval, self._flush
+            )
+
+    # -- batching ----------------------------------------------------------
+
+    def _flush(self) -> None:
+        self._cancel_flush()
+        if not self._alive:
+            return
+        while self._pending:
+            take = len(self._pending)
+            if self.config.batching:
+                take = min(take, self.config.max_batch)
+            else:
+                take = 1
+            ops, self._pending = self._pending[:take], self._pending[take:]
+            self._batch_seq += 1
+            batch = ServiceBatch(
+                origin=self.pid,
+                batch_seq=self._batch_seq,
+                ops=tuple((p.app, p.op) for p in ops),
+            )
+            self._inflight[self._batch_seq] = ops
+            self.process.send(
+                encode_ring_payload(batch, self.config.wire_format),
+                self.config.requirement,
+            )
+            self.metrics.counter("svc.batches").inc()
+            self.metrics.histogram("svc.batch_size").observe(len(ops))
+            if self.tracer:
+                self.tracer.emit(self.pid, "svc.flush",
+                                 batch_seq=self._batch_seq, ops=len(ops))
+
+    def _cancel_flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+
+    # -- replica callbacks -------------------------------------------------
+
+    def _on_batch_applied(self, batch: ServiceBatch, results, delivery) -> None:
+        if batch.origin != self.pid:
+            return
+        ops = self._inflight.pop(batch.batch_seq, None)
+        if ops is None:
+            return  # already answered view-change for these ops
+        for pending, result in zip(ops, results):
+            self._respond(
+                pending.conn, pending.request_id, STATUS_OK, result=result,
+                settle=True,
+            )
+        self.metrics.counter("svc.acked").inc(len(ops))
+
+    def _on_view_change(self, config) -> None:
+        """A new regular configuration installed: answer every in-flight
+        op with ``view-change`` so its client can reconcile."""
+        inflight, self._inflight = self._inflight, {}
+        failed = 0
+        for ops in inflight.values():
+            for pending in ops:
+                failed += 1
+                self._respond(
+                    pending.conn,
+                    pending.request_id,
+                    STATUS_VIEW_CHANGE,
+                    detail="op was in flight across a configuration change",
+                    settle=True,
+                )
+        if failed:
+            self.metrics.counter("svc.view_failed").inc(failed)
+        if self.tracer:
+            self.tracer.emit(self.pid, "svc.view",
+                             view=str(config.id), failed=failed)
+
+    # -- responses ---------------------------------------------------------
+
+    def _respond(
+        self,
+        conn: _Connection,
+        request_id: int,
+        status: str,
+        result: Any = None,
+        detail: str = "",
+        settle: bool = False,
+    ) -> None:
+        if settle and conn.outstanding > 0:
+            conn.outstanding -= 1
+        if conn.closed:
+            return
+        view = self.replica.view
+        response = ClientResponse(
+            request_id=request_id,
+            status=status,
+            view="" if view is None else str(view.id),
+            view_seq=self.replica.view_seq,
+            result=result,
+            detail=detail,
+        )
+        try:
+            conn.writer.write(encode_frame(response, self.config.wire_format))
+        except (ConnectionError, RuntimeError):
+            self._close_conn(conn)
+
+    def _close_conn(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        if conn in self._conns:
+            self._conns.remove(conn)
+        # Forget queued ops owned by this connection (not yet flushed).
+        # In-flight ops stay: their list indices are the batch slots, so
+        # results still align; _respond skips closed connections.
+        self._pending = [p for p in self._pending if p.conn is not conn]
+        try:
+            conn.writer.close()
+        except Exception:
+            pass

@@ -1,0 +1,155 @@
+"""Client-facing frame protocol and service wire messages.
+
+TCP gives the client path a byte stream, so frames are delimited the
+classic way: a 4-byte big-endian length prefix followed by one
+codec-encoded message (:mod:`repro.net.codec`; binary by default, JSON
+interoperates on the same stream because :func:`repro.net.codec.decode`
+dispatches on the first payload byte).  The same codec also packs the
+ring-side messages: a :class:`ServiceBatch` is encoded to bytes and
+multicast as one EVS message payload, which is how many client
+operations amortize a single token rotation.
+
+Wire messages
+=============
+
+:class:`ClientRequest`   one client operation (``app`` names a servable
+                         app from :data:`repro.apps.adapter.SERVABLE_APPS`,
+                         ``op`` is the app-level operation dict,
+                         ``read_only`` ops never touch the ring).
+:class:`ClientResponse`  the daemon's answer, stamped with the view
+                         (regular configuration id + local install
+                         count) it was produced in.
+:class:`ServiceBatch`    ring message: ops packed by one member.
+:class:`ServiceSync`     ring message: per-app snapshots offered on a
+                         membership change (the reconciliation path).
+
+Statuses: ``ok`` (applied/read), ``retry`` (backpressure - resubmit
+after a backoff), ``view-change`` (the op was in flight when the view
+changed; it may or may not have been applied - reconcile using the view
+stamp), ``error`` (malformed request; never retried).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.errors import ServiceError
+from repro.net import codec
+from repro.net.codec import FORMAT_BINARY
+
+#: Frame header: payload length, 4-byte big-endian.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Hard cap on one frame's payload; a stream presenting a longer frame is
+#: malformed (or hostile) and the connection is dropped.
+MAX_FRAME = 1 << 20
+
+STATUS_OK = "ok"
+STATUS_RETRY = "retry"
+STATUS_VIEW_CHANGE = "view-change"
+STATUS_ERROR = "error"
+
+
+@codec.register
+@dataclass(frozen=True)
+class ClientRequest:
+    """One client operation."""
+
+    request_id: int
+    app: str
+    op: Dict[str, Any] = field(default_factory=dict)
+    read_only: bool = False
+
+
+@codec.register
+@dataclass(frozen=True)
+class ClientResponse:
+    """The daemon's answer to one :class:`ClientRequest`.
+
+    ``view``/``view_seq`` stamp the responder's current regular
+    configuration (id string) and its local count of regular installs -
+    the handle clients use to reconcile ``view-change`` outcomes.
+    """
+
+    request_id: int
+    status: str
+    view: str = ""
+    view_seq: int = 0
+    result: Any = None
+    detail: str = ""
+
+
+@codec.register
+@dataclass(frozen=True)
+class ServiceBatch:
+    """Ring message: client ops packed by one member.
+
+    ``ops`` is a tuple of ``(app, op)`` pairs in submission order; the
+    pair's index is the op's *slot*, which keeps intra-batch ordering
+    deterministic at every replica.
+    """
+
+    origin: str
+    batch_seq: int
+    ops: Tuple = ()
+
+
+@codec.register
+@dataclass(frozen=True)
+class ServiceSync:
+    """Ring message: per-app snapshots offered for reconciliation."""
+
+    origin: str
+    nr: int
+    snapshots: Dict[str, Any] = field(default_factory=dict)
+
+
+def encode_frame(message: Any, wire_format: str = FORMAT_BINARY) -> bytes:
+    """One length-prefixed frame carrying ``message``."""
+    data = codec.encode(message, wire_format)
+    if len(data) > MAX_FRAME:
+        raise ServiceError(
+            f"frame payload of {len(data)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return FRAME_HEADER.pack(len(data)) + data
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Any:
+    """Read and decode one frame; raises :class:`ServiceError` on a
+    malformed frame and :class:`asyncio.IncompleteReadError` on EOF."""
+    header = await reader.readexactly(FRAME_HEADER.size)
+    (length,) = FRAME_HEADER.unpack(header)
+    if length == 0 or length > MAX_FRAME:
+        raise ServiceError(f"invalid frame length {length}")
+    data = await reader.readexactly(length)
+    try:
+        return codec.decode(data)
+    except Exception as exc:
+        raise ServiceError(f"undecodable frame: {exc}")
+
+
+def decode_frame(data: bytes) -> Tuple[Any, bytes]:
+    """Synchronous variant for tests: decode one frame from ``data``,
+    returning ``(message, rest)``."""
+    if len(data) < FRAME_HEADER.size:
+        raise ServiceError("truncated frame header")
+    (length,) = FRAME_HEADER.unpack(data[: FRAME_HEADER.size])
+    if length == 0 or length > MAX_FRAME:
+        raise ServiceError(f"invalid frame length {length}")
+    end = FRAME_HEADER.size + length
+    if len(data) < end:
+        raise ServiceError("truncated frame payload")
+    return codec.decode(data[FRAME_HEADER.size : end]), data[end:]
+
+
+def encode_ring_payload(message: Any, wire_format: str = FORMAT_BINARY) -> bytes:
+    """Pack a batch/sync message into an EVS payload."""
+    return codec.encode(message, wire_format)
+
+
+def decode_ring_payload(payload: bytes) -> Any:
+    """Unpack an EVS payload produced by :func:`encode_ring_payload`."""
+    return codec.decode(payload)

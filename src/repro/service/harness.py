@@ -1,0 +1,178 @@
+"""An in-process service cluster for tests, benchmarks and ``repro load``.
+
+:class:`ServiceCluster` composes the loopback EVS group
+(:class:`~repro.net.asyncio_transport.AsyncioCluster`: UDP ring, shared
+:class:`~repro.spec.history.History`, receiver-side partitions) with one
+:class:`~repro.service.daemon.ServiceDaemon` per member, each serving
+clients on its own TCP port.  In a real deployment every daemon runs on
+its own machine; squeezing the whole group into one event loop keeps the
+protocol behavior identical while letting a single test drive clients,
+faults and conformance checking together.
+
+Because every EVS process records into the same history, a finished run
+is checked against the paper's Specifications 1-7 with
+:meth:`ServiceCluster.conformance` - the same oracle the simulator
+harness uses, now judging real socket traffic under client load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net import codec
+from repro.net.asyncio_transport import AsyncioCluster
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NO_TRACE
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceConfig, ServiceDaemon
+from repro.service.replica import ServiceReplica
+from repro.spec.report import ConformanceReport, run_conformance
+from repro.totem.timers import TotemConfig
+from repro.types import ProcessId
+
+
+class ServiceCluster:
+    """An n-member service group inside one asyncio event loop."""
+
+    def __init__(
+        self,
+        pids: Iterable[ProcessId],
+        base_port: int = 41000,
+        client_base_port: int = 42000,
+        totem_config: Optional[TotemConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+        wire_format: str = codec.FORMAT_BINARY,
+        tracer=NO_TRACE,
+    ) -> None:
+        self.pids: List[ProcessId] = sorted(pids)
+        self.service_config = service_config or ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self.tracer = tracer
+        self.replicas: Dict[ProcessId, ServiceReplica] = {
+            pid: ServiceReplica(
+                pid,
+                self.pids,
+                apps=list(self.service_config.apps)
+                if self.service_config.apps
+                else None,
+                requirement=self.service_config.requirement,
+                wire_format=wire_format,
+                tracer=tracer,
+            )
+            for pid in self.pids
+        }
+        self.evs = AsyncioCluster(
+            self.pids,
+            base_port=base_port,
+            listeners=dict(self.replicas),
+            # Client TCP traffic shares the loop with the ring: default
+            # to the timing profile that tolerates a loaded loop.
+            totem_config=totem_config or TotemConfig.service_loopback(),
+            wire_format=wire_format,
+        )
+        self.client_addrs: Dict[ProcessId, Tuple[str, int]] = {
+            pid: ("127.0.0.1", client_base_port + i)
+            for i, pid in enumerate(self.pids)
+        }
+        self.daemons: Dict[ProcessId, ServiceDaemon] = {}
+
+    @property
+    def history(self):
+        return self.evs.history
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, timeout: float = 10.0) -> None:
+        """Boot the ring and the daemons, then wait for one view."""
+        await self.evs.start()
+        for pid in self.pids:
+            daemon = ServiceDaemon(
+                self.evs.processes[pid],
+                self.replicas[pid],
+                self.client_addrs[pid],
+                config=self.service_config,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            await daemon.start()
+            self.daemons[pid] = daemon
+        await self.wait_until(self.converged, timeout=timeout)
+
+    async def stop(self) -> None:
+        for daemon in self.daemons.values():
+            await daemon.stop()
+        await self.evs.stop()
+
+    # -- clients -----------------------------------------------------------
+
+    async def client(self, pid: ProcessId) -> ServiceClient:
+        """A connected client talking to member ``pid``'s daemon."""
+        host, port = self.client_addrs[pid]
+        return await ServiceClient(
+            host, port, wire_format=self.evs.wire_format
+        ).connect()
+
+    # -- fault injection ---------------------------------------------------
+
+    def partition(self, *groups: Iterable[ProcessId]) -> None:
+        """Receiver-side partition of the ring (daemons keep serving
+        their component)."""
+        self.evs.partition(*groups)
+
+    def merge_all(self) -> None:
+        self.evs.merge_all()
+
+    async def kill(self, pid: ProcessId) -> None:
+        """Machine failure: EVS process crashes, client port goes dark."""
+        await self.daemons[pid].kill()
+
+    async def restart(self, pid: ProcessId) -> None:
+        await self.daemons[pid].restart()
+
+    # -- progress ----------------------------------------------------------
+
+    def converged(self, pids: Optional[Iterable[ProcessId]] = None) -> bool:
+        return self.evs.converged(pids)
+
+    async def wait_until(self, predicate, timeout: float = 10.0) -> bool:
+        return await self.evs.wait_until(predicate, timeout=timeout)
+
+    def idle(self, pids: Optional[Iterable[ProcessId]] = None) -> bool:
+        """No daemon in ``pids`` has admitted-but-unanswered writes."""
+        pids = list(pids) if pids is not None else self.pids
+        return all(self.daemons[pid].pending_ops == 0 for pid in pids)
+
+    async def settle(
+        self,
+        pids: Optional[Iterable[ProcessId]] = None,
+        timeout: float = 15.0,
+        grace: float = 0.3,
+    ) -> bool:
+        """Wait until the component is converged, daemons are idle, and
+        the recorded history stops growing for ``grace`` seconds - the
+        quiescence the Spec 1-7 checkers assume."""
+        pids = list(pids) if pids is not None else self.pids
+        ok = await self.wait_until(
+            lambda: self.converged(pids) and self.idle(pids), timeout=timeout
+        )
+        if not ok:
+            return False
+        deadline = asyncio.get_running_loop().time() + timeout
+        while asyncio.get_running_loop().time() < deadline:
+            before = self._history_size()
+            await asyncio.sleep(grace)
+            if (
+                self._history_size() == before
+                and self.converged(pids)
+                and self.idle(pids)
+            ):
+                return True
+        return False
+
+    def conformance(self, quiescent: bool = True) -> ConformanceReport:
+        """Judge the recorded run against Specifications 1-7."""
+        return run_conformance(self.history, quiescent=quiescent)
+
+    def _history_size(self) -> int:
+        return sum(len(v) for v in self.history.per_process.values())

@@ -1,0 +1,305 @@
+"""The client load harness: concurrent sessions, churn, tail latency.
+
+:func:`run_service_load` drives a :class:`~repro.service.harness.ServiceCluster`
+with many concurrent client sessions while an optional :class:`ChurnSpec`
+injects faults mid-run - member kill/restart, ring partition/merge, and
+client arrival/departure (sessions that complete a quota of ops, leave,
+and are replaced).  Sessions pipeline several ops per connection
+(:attr:`LoadConfig.pipeline`), which is what makes batching measurable:
+a closed-loop client with one outstanding op can never exercise the pack.
+
+Every completed op's wall-clock latency lands in an
+:class:`~repro.obs.registry.Histogram`, and the :class:`LoadReport`
+summarizes the run the way a service SLO would: sustained ops/s plus
+p50/p99/p999 - the p999 tail is where view changes and backpressure
+retries show up even when the medians look healthy (methodology in
+docs/SERVICE.md).  After the load stops the cluster settles and the
+recorded history is judged against Specifications 1-7, so a load run is
+also a conformance run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.obs.registry import Histogram
+from repro.service.frames import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_RETRY,
+    STATUS_VIEW_CHANGE,
+)
+from repro.service.harness import ServiceCluster
+from repro.spec.report import ConformanceReport
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Faults injected during a load run (times in seconds from start)."""
+
+    #: Member to kill mid-run (None = no kill).
+    kill: Optional[str] = None
+    kill_at: float = 0.4
+    #: When to restart the killed member (None = stays dead).
+    restart_at: Optional[float] = None
+    #: Ring partition groups, e.g. ``(("a", "b"), ("c",))``.
+    partition: Optional[Tuple[Tuple[str, ...], ...]] = None
+    partition_at: float = 0.4
+    #: When to remerge the partition (None = stays split).
+    merge_at: Optional[float] = None
+    #: Ops per client session before it departs and a fresh session
+    #: arrives on another member (None = sessions live the whole run).
+    session_ops: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Shape of the offered load."""
+
+    clients: int = 16
+    duration: float = 2.0
+    #: Concurrent outstanding ops per session (closed loop per slot).
+    pipeline: int = 8
+    app: str = "kvstore"
+    key_space: int = 64
+    #: Fraction of ops served as local reads (0.0 = all writes).
+    read_fraction: float = 0.0
+    max_retries: int = 64
+    backoff: float = 0.005
+    seed: int = 1
+
+
+@dataclass
+class LoadReport:
+    """What the run sustained, and how the tail behaved."""
+
+    duration: float = 0.0
+    completed: int = 0
+    ok: int = 0
+    view_change: int = 0
+    errors: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    departures: int = 0
+    ops_per_sec: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    p999_ms: float = 0.0
+    #: Final status counts, e.g. ``{"ok": 9000, "view-change": 12}``.
+    statuses: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "duration_s": round(self.duration, 4),
+            "completed": self.completed,
+            "ok": self.ok,
+            "view_change": self.view_change,
+            "errors": self.errors,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
+            "departures": self.departures,
+            "ops_per_sec": round(self.ops_per_sec, 2),
+            "latency_ms": {
+                "p50": round(self.p50_ms, 3),
+                "p99": round(self.p99_ms, 3),
+                "p999": round(self.p999_ms, 3),
+            },
+            "statuses": dict(self.statuses),
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.completed} ops in {self.duration:.2f}s "
+            f"({self.ops_per_sec:.0f} op/s), "
+            f"p50={self.p50_ms:.2f}ms p99={self.p99_ms:.2f}ms "
+            f"p999={self.p999_ms:.2f}ms, "
+            f"ok={self.ok} view-change={self.view_change} "
+            f"errors={self.errors} retries={self.retries}"
+        )
+
+
+class _RunState:
+    """Shared mutable state of one load run."""
+
+    def __init__(self, cluster: ServiceCluster, rng: random.Random) -> None:
+        self.cluster = cluster
+        self.rng = rng
+        self.alive: List[str] = list(cluster.pids)
+        self.hist = Histogram()
+        self.statuses: Dict[str, int] = {}
+        self.retries = 0
+        self.reconnects = 0
+        self.departures = 0
+
+
+def _make_op(config: LoadConfig, rng: random.Random, session: str, n: int):
+    """One (op, read_only) pair for the configured app."""
+    read = rng.random() < config.read_fraction
+    key = f"k{rng.randrange(config.key_space)}"
+    if config.app == "kvstore":
+        if read:
+            return {"op": "get", "key": key}, True
+        return {"op": "set", "key": key, "value": f"{session}:{n}"}, False
+    if config.app == "log":
+        if read:
+            return {"op": "len"}, True
+        return {"op": "append", "entry": f"{session}:{n}"}, False
+    if config.app == "counter":
+        if read:
+            return {"op": "balance"}, True
+        return {"op": "deposit", "amount": 1}, False
+    if config.app == "lock":
+        if read:
+            return {"op": "owner", "lock": key}, True
+        kind = "request" if n % 2 == 0 else "release"
+        return {"op": kind, "lock": key, "id": f"{session}-{n // 2}"}, False
+    raise ServiceError(f"loadgen does not know app {config.app!r}")
+
+
+async def _one_op(client, config: LoadConfig, state: _RunState,
+                  session: str, n: int) -> None:
+    op, read_only = _make_op(config, state.rng, session, n)
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    response, retries = await client.submit(
+        config.app,
+        op,
+        read_only=read_only,
+        max_retries=config.max_retries,
+        backoff=config.backoff,
+    )
+    state.hist.observe((loop.time() - start) * 1000.0)
+    state.retries += retries
+    state.statuses[response.status] = state.statuses.get(response.status, 0) + 1
+
+
+async def _session(
+    index: int, config: LoadConfig, state: _RunState,
+    churn: ChurnSpec, stop_at: float,
+) -> None:
+    loop = asyncio.get_running_loop()
+    incarnation = 0
+    n = 0
+    while loop.time() < stop_at:
+        if not state.alive:
+            await asyncio.sleep(0.05)
+            continue
+        pid = state.alive[(index + incarnation) % len(state.alive)]
+        session = f"s{index}.{incarnation}"
+        try:
+            client = await state.cluster.client(pid)
+        except OSError:
+            state.reconnects += 1
+            incarnation += 1
+            await asyncio.sleep(0.05)
+            continue
+        try:
+            done_this_session = 0
+            while loop.time() < stop_at:
+                burst = config.pipeline
+                if churn.session_ops is not None:
+                    burst = min(burst, churn.session_ops - done_this_session)
+                    if burst <= 0:
+                        break
+                await asyncio.gather(
+                    *(_one_op(client, config, state, session, n + i)
+                      for i in range(burst))
+                )
+                n += burst
+                done_this_session += burst
+            if churn.session_ops is not None and loop.time() < stop_at:
+                state.departures += 1  # quota met: depart, rearrive
+            else:
+                return  # run is over
+        except ServiceError:
+            state.reconnects += 1  # connection died (e.g. member killed)
+        finally:
+            await client.close()
+        incarnation += 1
+
+
+async def _inject_churn(state: _RunState, churn: ChurnSpec, start: float) -> None:
+    loop = asyncio.get_running_loop()
+    events = []
+    if churn.kill is not None:
+        events.append((churn.kill_at, "kill", churn.kill))
+        if churn.restart_at is not None:
+            events.append((churn.restart_at, "restart", churn.kill))
+    if churn.partition is not None:
+        events.append((churn.partition_at, "partition", churn.partition))
+        if churn.merge_at is not None:
+            events.append((churn.merge_at, "merge", None))
+    for at, action, arg in sorted(events):
+        delay = start + at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if action == "kill":
+            await state.cluster.kill(arg)
+            state.alive = [p for p in state.alive if p != arg]
+        elif action == "restart":
+            await state.cluster.restart(arg)
+            state.alive = sorted(state.alive + [arg])
+        elif action == "partition":
+            state.cluster.partition(*arg)
+        elif action == "merge":
+            state.cluster.merge_all()
+
+
+async def run_service_load(
+    cluster: ServiceCluster,
+    config: Optional[LoadConfig] = None,
+    churn: Optional[ChurnSpec] = None,
+    check_conformance: bool = True,
+    settle_timeout: float = 20.0,
+) -> Tuple[LoadReport, Optional[ConformanceReport]]:
+    """Drive ``cluster`` with the configured load (and churn), settle,
+    and judge the recorded history.  The cluster must be started."""
+    config = config or LoadConfig()
+    churn = churn or ChurnSpec()
+    state = _RunState(cluster, random.Random(config.seed))
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    stop_at = start + config.duration
+    tasks = [
+        asyncio.ensure_future(_session(i, config, state, churn, stop_at))
+        for i in range(config.clients)
+    ]
+    churn_task = asyncio.ensure_future(_inject_churn(state, churn, start))
+    await asyncio.gather(*tasks, return_exceptions=True)
+    churn_task.cancel()
+    try:
+        await churn_task
+    except (asyncio.CancelledError, Exception):
+        pass
+    elapsed = loop.time() - start
+
+    report = LoadReport(
+        duration=elapsed,
+        completed=state.hist.count,
+        ok=state.statuses.get(STATUS_OK, 0),
+        view_change=state.statuses.get(STATUS_VIEW_CHANGE, 0),
+        errors=state.statuses.get(STATUS_ERROR, 0)
+        + state.statuses.get(STATUS_RETRY, 0),
+        retries=state.retries,
+        reconnects=state.reconnects,
+        departures=state.departures,
+        ops_per_sec=state.hist.count / elapsed if elapsed > 0 else 0.0,
+        p50_ms=state.hist.percentile(0.50),
+        p99_ms=state.hist.percentile(0.99),
+        p999_ms=state.hist.percentile(0.999),
+        statuses=dict(state.statuses),
+    )
+    # Feed the tails into the cluster's shared registry too, so
+    # ``metrics.render()`` tells the whole story in one place.
+    latency = cluster.metrics.histogram("load.latency_ms")
+    latency.samples.extend(state.hist.samples)
+
+    conformance: Optional[ConformanceReport] = None
+    if check_conformance:
+        await cluster.settle(pids=state.alive, timeout=settle_timeout)
+        conformance = cluster.conformance()
+    return report, conformance

@@ -1,0 +1,149 @@
+"""The replicated service state hosted by every daemon.
+
+One :class:`ServiceReplica` is the EVS listener of one daemon: it owns
+the app adapters (:mod:`repro.apps.adapter`), applies delivered batches
+op-by-op in total order, tracks the current *view* (the regular
+configuration plus a local install counter used to stamp client
+responses), and runs the reconciliation path - on a membership change it
+multicasts every app's snapshot, exactly like
+:class:`~repro.apps.reconcile.ReconcilingApp` but covering all hosted
+apps in one sync message.
+
+The replica is transport-agnostic and callback-driven so the daemon can
+stay the only place that knows about sockets: ``on_batch_applied`` fires
+after a delivered batch mutated the local replicas (the daemon answers
+the waiting clients if the batch was its own), ``on_view_change`` fires
+on every regular configuration install (the daemon fails or re-stamps
+its in-flight batches).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.apps.adapter import ServiceAdapter, build_adapters
+from repro.core.configuration import Configuration, Delivery, Listener
+from repro.obs.trace import NO_TRACE
+from repro.service.frames import (
+    ServiceBatch,
+    ServiceSync,
+    decode_ring_payload,
+    encode_ring_payload,
+)
+from repro.types import DeliveryRequirement, ProcessId
+
+
+class ServiceReplica(Listener):
+    """One member's replicated application state."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        universe,
+        apps: Optional[List[str]] = None,
+        requirement: DeliveryRequirement = DeliveryRequirement.AGREED,
+        wire_format: str = "binary",
+        tracer=NO_TRACE,
+    ) -> None:
+        self.pid = pid
+        self.adapters: Dict[str, ServiceAdapter] = build_adapters(
+            pid, universe, apps
+        )
+        self.requirement = requirement
+        self.wire_format = wire_format
+        self.tracer = tracer
+        self.process = None  # bound by the daemon (the EvsProcess)
+        #: Current configuration (regular or transitional).
+        self.config: Optional[Configuration] = None
+        #: Current *regular* configuration - the view clients see.
+        self.view: Optional[Configuration] = None
+        #: Local count of regular installs; stamps client responses.
+        self.view_seq = 0
+        self.ops_applied = 0
+        self.batches_applied = 0
+        self.syncs_sent = 0
+        self.syncs_merged = 0
+        self._prev_regular_members: Optional[frozenset] = None
+        self._sync_nr = 0
+        #: Daemon callbacks (batch, results, delivery) and (config).
+        self.on_batch_applied: Optional[Callable] = None
+        self.on_view_change: Optional[Callable] = None
+
+    def bind(self, process) -> None:
+        self.process = process
+
+    # -- Listener ----------------------------------------------------------
+
+    def on_configuration_change(self, config: Configuration) -> None:
+        self.config = config
+        for adapter in self.adapters.values():
+            adapter.on_config(config)
+        if not config.is_regular:
+            return
+        self.view = config
+        self.view_seq += 1
+        members = frozenset(config.members)
+        if (
+            self._prev_regular_members is not None
+            and members != self._prev_regular_members
+            and len(members) > 1
+        ):
+            # Membership changed: offer every app's state for merge.
+            self._sync_nr += 1
+            sync = ServiceSync(
+                origin=self.pid,
+                nr=self._sync_nr,
+                snapshots={
+                    name: adapter.snapshot()
+                    for name, adapter in self.adapters.items()
+                },
+            )
+            self.process.send(
+                encode_ring_payload(sync, self.wire_format), self.requirement
+            )
+            self.syncs_sent += 1
+        self._prev_regular_members = members
+        if self.on_view_change is not None:
+            self.on_view_change(config)
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        message = decode_ring_payload(delivery.payload)
+        if isinstance(message, ServiceSync):
+            if message.origin != self.pid:
+                for name, snapshot in message.snapshots.items():
+                    adapter = self.adapters.get(name)
+                    if adapter is not None:
+                        adapter.merge(snapshot)
+            self.syncs_merged += 1
+            return
+        if isinstance(message, ServiceBatch):
+            results = [
+                self._apply_one(app, op, delivery, slot)
+                for slot, (app, op) in enumerate(message.ops)
+            ]
+            self.ops_applied += len(results)
+            self.batches_applied += 1
+            if self.tracer:
+                self.tracer.emit(
+                    self.pid,
+                    "svc.deliver",
+                    ring=str(delivery.message_id.ring),
+                    origin=message.origin,
+                    batch_seq=message.batch_seq,
+                    ops=len(results),
+                )
+            if self.on_batch_applied is not None:
+                self.on_batch_applied(message, results, delivery)
+
+    # -- internals ---------------------------------------------------------
+
+    def _apply_one(
+        self, app: str, op: Any, delivery: Delivery, slot: int
+    ) -> Dict[str, Any]:
+        adapter = self.adapters.get(app)
+        if adapter is None:
+            # Admission validates app names, so this only happens when
+            # members are configured with different app sets; stay
+            # deterministic rather than raising mid-batch.
+            return {"ok": False, "error": f"app {app!r} not hosted"}
+        return adapter.apply(dict(op), delivery, slot=slot)

@@ -89,6 +89,26 @@ class TotemConfig:
         )
 
     @classmethod
+    def service_loopback(cls) -> "TotemConfig":
+        """Profile for the service tier's in-process clusters: the ring
+        and thousands of client TCP frames share one event loop, so
+        token handling can be delayed by tens of milliseconds of client
+        work.  Headroom on the loss/consensus timers keeps a loaded
+        daemon from being mistaken for a failed one (spurious
+        reconfigurations fail every in-flight client op)."""
+        return cls(
+            token_loss_timeout=0.300,
+            token_retransmit_interval=0.060,
+            token_retransmit_count=3,
+            join_timeout=0.060,
+            consensus_timeout=0.350,
+            recovery_retransmit_interval=0.060,
+            recovery_timeout=1.200,
+            beacon_interval=0.400,
+            token_idle_pace=0.004,
+        )
+
+    @classmethod
     def wan(cls) -> "TotemConfig":
         """Relaxed timers for high-latency links (tens of ms): slower
         failure detection, far fewer spurious reconfigurations."""

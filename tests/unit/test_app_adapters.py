@@ -1,0 +1,151 @@
+"""Unit: the uniform service adapters over the servable apps."""
+
+import pytest
+
+from repro.apps.adapter import (
+    SERVABLE_APPS,
+    CounterAdapter,
+    KVStoreAdapter,
+    LockAdapter,
+    LogAdapter,
+    build_adapters,
+)
+from repro.core.configuration import Delivery
+from repro.types import ConfigurationId, DeliveryRequirement, MessageId, RingId
+
+UNIVERSE = ["a", "b", "c"]
+
+
+def delivery(sender="a", ring_seq=10, seq=1, origin_seq=1) -> Delivery:
+    ring = RingId(ring_seq, "a")
+    return Delivery(
+        message_id=MessageId(ring=ring, seq=seq),
+        sender=sender,
+        payload=b"",
+        requirement=DeliveryRequirement.AGREED,
+        config_id=ConfigurationId.regular(ring),
+        origin_seq=origin_seq,
+    )
+
+
+def test_registry_names_the_four_apps():
+    assert sorted(SERVABLE_APPS) == ["counter", "kvstore", "lock", "log"]
+
+
+def test_build_adapters_rejects_unknown_app():
+    with pytest.raises(ValueError):
+        build_adapters("a", UNIVERSE, apps=["kvstore", "nope"])
+
+
+def test_build_adapters_subset():
+    adapters = build_adapters("a", UNIVERSE, apps=["kvstore"])
+    assert list(adapters) == ["kvstore"]
+
+
+def test_kvstore_set_get_del():
+    adapter = KVStoreAdapter("a", UNIVERSE)
+    result = adapter.apply({"op": "set", "key": "k", "value": "v"}, delivery())
+    assert result["ok"] and result["version"] is not None
+    assert adapter.query({"op": "get", "key": "k"}) == {"ok": True, "value": "v"}
+    adapter.apply({"op": "del", "key": "k"}, delivery(seq=2, origin_seq=2))
+    assert adapter.query({"op": "get", "key": "k"})["value"] is None
+
+
+def test_kvstore_same_key_in_one_batch_is_last_slot_wins():
+    # Two ops on one key inside one ring message share a message id;
+    # the later slot must win identically at every replica.
+    adapter = KVStoreAdapter("a", UNIVERSE)
+    d = delivery()
+    adapter.apply({"op": "set", "key": "k", "value": "first"}, d, slot=0)
+    adapter.apply({"op": "set", "key": "k", "value": "second"}, d, slot=1)
+    assert adapter.query({"op": "get", "key": "k"})["value"] == "second"
+
+
+def test_kvstore_malformed_write_is_error_not_exception():
+    adapter = KVStoreAdapter("a", UNIVERSE)
+    result = adapter.apply({"op": "explode"}, delivery())
+    assert result["ok"] is False and "error" in result
+    assert adapter.query({"op": "explode"})["ok"] is False
+
+
+def test_log_append_orders_by_position():
+    adapter = LogAdapter("a", UNIVERSE)
+    d = delivery()
+    r0 = adapter.apply({"op": "append", "entry": "one"}, d, slot=0)
+    r1 = adapter.apply({"op": "append", "entry": "two"}, d, slot=1)
+    assert r0["ok"] and r1["ok"] and r0["pos"] < r1["pos"]
+    assert adapter.query({"op": "read"})["entries"] == ["one", "two"]
+    assert adapter.query({"op": "len"}) == {"ok": True, "length": 2}
+
+
+def test_log_snapshot_merge_unions_entries():
+    left = LogAdapter("a", UNIVERSE)
+    right = LogAdapter("b", UNIVERSE)
+    left.apply({"op": "append", "entry": "L"}, delivery(sender="a"))
+    right.apply({"op": "append", "entry": "R"},
+                delivery(sender="b", ring_seq=11, origin_seq=5))
+    left.merge(right.snapshot())
+    assert sorted(left.query({"op": "read"})["entries"]) == ["L", "R"]
+
+
+def test_counter_deposit_withdraw_balance():
+    adapter = CounterAdapter("a", UNIVERSE)
+    assert adapter.apply({"op": "deposit", "amount": 10}, delivery())["ok"]
+    result = adapter.apply(
+        {"op": "withdraw", "amount": 4}, delivery(seq=2, origin_seq=2)
+    )
+    assert result["ok"] and result["balance"] == 6
+    assert adapter.query({"op": "balance"}) == {"ok": True, "balance": 6}
+
+
+def test_counter_rejects_bad_amounts_deterministically():
+    adapter = CounterAdapter("a", UNIVERSE)
+    assert adapter.apply({"op": "deposit", "amount": "x"}, delivery())["ok"] is False
+    assert adapter.apply({"op": "deposit", "amount": -1}, delivery())["ok"] is False
+    assert adapter.apply({"op": "withdraw", "amount": 5}, delivery())["ok"] is False
+    assert adapter.query({"op": "balance"})["balance"] == 0
+
+
+def test_lock_request_release_cycle():
+    adapter = LockAdapter("a", UNIVERSE)
+    got = adapter.apply(
+        {"op": "request", "lock": "L", "id": "s1-0"}, delivery()
+    )
+    assert got["ok"]
+    assert adapter.query({"op": "owner", "lock": "L"})["ok"]
+    rel = adapter.apply(
+        {"op": "release", "lock": "L", "id": "s1-0"},
+        delivery(seq=2, origin_seq=2),
+    )
+    assert rel["ok"] and rel["holds"] is False
+
+
+def test_lock_malformed_write_is_error():
+    adapter = LockAdapter("a", UNIVERSE)
+    assert adapter.apply({"op": "request"}, delivery())["ok"] is False
+
+
+def test_adapters_converge_when_applying_same_batch():
+    # The replication invariant the daemon depends on: identical op
+    # sequences (with slots) produce identical query results everywhere.
+    ops = [
+        ("kvstore", {"op": "set", "key": "k", "value": "1"}),
+        ("kvstore", {"op": "set", "key": "k", "value": "2"}),
+        ("counter", {"op": "deposit", "amount": 7}),
+        ("log", {"op": "append", "entry": "e"}),
+    ]
+    replicas = [build_adapters(pid, UNIVERSE) for pid in UNIVERSE]
+    d = delivery()
+    for adapters in replicas:
+        for slot, (app, op) in enumerate(ops):
+            adapters[app].apply(dict(op), d, slot=slot)
+    states = [
+        (
+            adapters["kvstore"].query({"op": "get", "key": "k"}),
+            adapters["counter"].query({"op": "balance"}),
+            adapters["log"].query({"op": "read"}),
+        )
+        for adapters in replicas
+    ]
+    assert states[0] == states[1] == states[2]
+    assert states[0][0]["value"] == "2"

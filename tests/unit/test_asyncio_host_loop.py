@@ -1,0 +1,76 @@
+"""Unit: AsyncioHost event-loop resolution (the 3.12 deprecation fix).
+
+``asyncio.get_event_loop()`` in a constructor raises a DeprecationWarning
+(and, from Python 3.12, an error) when no loop is running.  The host now
+resolves its loop lazily: an explicit loop wins, otherwise the running
+loop is captured on first use.
+"""
+
+import asyncio
+import warnings
+
+import pytest
+
+from repro.net.asyncio_transport import AsyncioHost
+
+BOOK = {"a": ("127.0.0.1", 40990)}
+
+
+def test_construct_outside_any_loop_emits_no_warning():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        host = AsyncioHost("a", BOOK)
+    assert host.pid == "a"
+
+
+def test_loop_property_outside_loop_raises():
+    host = AsyncioHost("a", BOOK)
+    with pytest.raises(RuntimeError):
+        host.loop
+
+
+def test_loop_resolves_to_running_loop():
+    host = AsyncioHost("a", BOOK)
+
+    async def main():
+        assert host.loop is asyncio.get_running_loop()
+        assert host.now == pytest.approx(host.loop.time())
+
+    asyncio.run(main())
+
+
+def test_explicit_loop_wins():
+    loop = asyncio.new_event_loop()
+    try:
+        host = AsyncioHost("a", BOOK, loop=loop)
+        assert host.loop is loop
+
+        async def main():
+            # Even inside another running loop, the explicit one sticks.
+            assert host.loop is loop
+
+        asyncio.run(main())
+    finally:
+        loop.close()
+
+
+def test_timers_fire_on_lazily_resolved_loop():
+    host = AsyncioHost("a", BOOK)
+    fired = []
+
+    async def main():
+        await host.open()
+        try:
+            host.bind(lambda src, msg: None, fired.append)
+            host.set_timer("t", 0.01)
+            await asyncio.sleep(0.05)
+        finally:
+            host.close()
+
+    asyncio.run(main())
+    assert fired == ["t"]
+
+
+def test_missing_pid_still_rejected():
+    with pytest.raises(ValueError):
+        AsyncioHost("zz", BOOK)

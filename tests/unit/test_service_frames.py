@@ -1,0 +1,107 @@
+"""Unit: the service tier's frame protocol and wire messages."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.net.codec import FORMAT_BINARY, FORMAT_JSON
+from repro.service.frames import (
+    FRAME_HEADER,
+    MAX_FRAME,
+    STATUS_OK,
+    ClientRequest,
+    ClientResponse,
+    ServiceBatch,
+    ServiceSync,
+    decode_frame,
+    decode_ring_payload,
+    encode_frame,
+    encode_ring_payload,
+)
+
+
+def test_request_frame_roundtrip_binary():
+    request = ClientRequest(
+        request_id=7, app="kvstore", op={"op": "set", "key": "k", "value": "v"}
+    )
+    frame = encode_frame(request)
+    message, rest = decode_frame(frame)
+    assert rest == b""
+    assert message == request
+
+
+def test_response_frame_roundtrip_json():
+    response = ClientResponse(
+        request_id=3,
+        status=STATUS_OK,
+        view="conf[R 4,a]",
+        view_seq=2,
+        result={"ok": True, "value": "v"},
+    )
+    frame = encode_frame(response, FORMAT_JSON)
+    message, rest = decode_frame(frame)
+    assert rest == b""
+    assert message == response
+
+
+def test_mixed_wire_formats_share_one_stream():
+    # The codec dispatches on the payload's first byte, so a JSON frame
+    # and a binary frame interoperate on the same connection.
+    stream = encode_frame(ClientRequest(1, "log"), FORMAT_JSON) + encode_frame(
+        ClientRequest(2, "lock"), FORMAT_BINARY
+    )
+    first, stream = decode_frame(stream)
+    second, stream = decode_frame(stream)
+    assert (first.request_id, second.request_id) == (1, 2)
+    assert stream == b""
+
+
+def test_frame_header_is_big_endian_length():
+    frame = encode_frame(ClientRequest(1, "counter"))
+    (length,) = FRAME_HEADER.unpack(frame[: FRAME_HEADER.size])
+    assert length == len(frame) - FRAME_HEADER.size
+
+
+def test_oversized_frame_rejected_at_encode():
+    huge = ClientRequest(1, "kvstore", op={"op": "set", "key": "k",
+                                           "value": "x" * (MAX_FRAME + 1)})
+    with pytest.raises(ServiceError):
+        encode_frame(huge)
+
+
+def test_truncated_frames_rejected():
+    frame = encode_frame(ClientRequest(1, "kvstore"))
+    with pytest.raises(ServiceError):
+        decode_frame(frame[:2])  # inside the header
+    with pytest.raises(ServiceError):
+        decode_frame(frame[:-1])  # inside the payload
+
+
+def test_bad_length_rejected():
+    with pytest.raises(ServiceError):
+        decode_frame(FRAME_HEADER.pack(0) + b"")
+    with pytest.raises(ServiceError):
+        decode_frame(FRAME_HEADER.pack(MAX_FRAME + 1) + b"x")
+
+
+def test_batch_ring_payload_roundtrip():
+    batch = ServiceBatch(
+        origin="a",
+        batch_seq=9,
+        ops=(("kvstore", {"op": "set", "key": "k", "value": "1"}),
+             ("counter", {"op": "deposit", "amount": 3})),
+    )
+    decoded = decode_ring_payload(encode_ring_payload(batch))
+    assert decoded.origin == "a"
+    assert decoded.batch_seq == 9
+    assert len(decoded.ops) == 2
+    # Slot order (the intra-batch total order) survives the roundtrip.
+    assert list(decoded.ops)[0][0] == "kvstore"
+    assert list(decoded.ops)[1][0] == "counter"
+
+
+def test_sync_ring_payload_roundtrip():
+    sync = ServiceSync(
+        origin="b", nr=2, snapshots={"counter": {"balance": 5}}
+    )
+    decoded = decode_ring_payload(encode_ring_payload(sync))
+    assert decoded == sync
