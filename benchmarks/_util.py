@@ -13,6 +13,7 @@ import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def emit(name: str, text: str) -> str:
@@ -28,11 +29,15 @@ def emit(name: str, text: str) -> str:
 def emit_json(name: str, payload: dict) -> str:
     """Write a bench's machine-readable results to
     ``benchmarks/results/BENCH_<name>.json`` (dashboards and the perf
-    history diff against these, not the rendered tables)."""
+    history diff against these, not the rendered tables), with a copy
+    at the repo root so CI can pick the file up as a flat artifact."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"[machine-readable results written to {path}]")
+        fh.write(text)
+    root_path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(root_path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"[machine-readable results written to {path} and {root_path}]")
     return path

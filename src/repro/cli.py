@@ -41,6 +41,12 @@ Commands:
   harness: concurrent sessions, optional member-kill and
   partition/merge churn, p50/p99/p999 latency, and a Specs 1-7
   conformance verdict on the recorded history.
+
+``serve`` and ``load`` also run *federated* topologies: ``--rings
+'r0:a,b,c|r1:d,e,f' --gateways 'g01:r0,r1'`` boots several Totem rings
+bridged by gateway relays, ``--lightweight N`` attaches passive
+view/delivery observers, and federated load runs are judged per ring
+(Specs 1-7) plus the cross-ring differential check (docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -110,6 +116,14 @@ def _service_imports():
     )
 
     return SERVABLE_APPS, ChurnSpec, LoadConfig, ServiceCluster, ServiceConfig, run_service_load
+
+
+def _federation_imports():
+    """Federation tier imports, deferred like :func:`_service_imports`."""
+    from repro.service import FederatedCluster
+    from repro.service.loadgen import run_federated_load
+
+    return FederatedCluster, run_federated_load
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -556,6 +570,30 @@ def _parse_members(text: str) -> List[str]:
     return sorted(members)
 
 
+def _parse_rings(text: str):
+    """``'r0:a,b,c|r1:d,e,f'`` -> ``{"r0": [...], "r1": [...]}``."""
+    rings = {}
+    for part in text.split("|"):
+        key, sep, members = part.partition(":")
+        if not sep or not key.strip():
+            raise ReproError(f"ring spec {part!r} is not 'key:members'")
+        rings[key.strip()] = _parse_members(members)
+    return rings
+
+
+def _parse_gateways(text: str):
+    """``'g01:r0,r1|g12:r1,r2'`` -> ``{"g01": ("r0", "r1"), ...}``."""
+    gateways = {}
+    for part in text.split("|"):
+        pid, sep, rings = part.partition(":")
+        if not sep or not pid.strip():
+            raise ReproError(f"gateway spec {part!r} is not 'pid:rings'")
+        gateways[pid.strip()] = tuple(
+            k.strip() for k in rings.split(",") if k.strip()
+        )
+    return gateways
+
+
 def _service_config(args: argparse.Namespace):
     _, _, _, _, ServiceConfig, _ = _service_imports()
     apps = tuple(_parse_members(args.apps)) if args.apps else None
@@ -567,9 +605,53 @@ def _service_config(args: argparse.Namespace):
     )
 
 
+def _cmd_serve_federated(args: argparse.Namespace, config) -> int:
+    FederatedCluster, _ = _federation_imports()
+    rings = _parse_rings(args.rings)
+    gateways = _parse_gateways(args.gateways) if args.gateways else {}
+
+    async def run() -> int:
+        fed = FederatedCluster(
+            rings=rings,
+            gateways=gateways,
+            base_port=args.base_port,
+            client_base_port=args.client_port,
+            service_config=config,
+            wire_format=args.wire_format,
+        )
+        await fed.start()
+        for key in fed.ring_keys:
+            ring = fed.rings[key]
+            for pid in ring.pids:
+                host, port = ring.client_addrs[pid]
+                tag = " (gateway)" if pid in gateways else ""
+                print(f"ring {key} member {pid}{tag}: clients -> {host}:{port}")
+        print("serving (Ctrl-C to stop)")
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await fed.stop()
+            print()
+            print(fed.describe())
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    members = _parse_members(args.members)
     config = _service_config(args)
+    if args.rings:
+        if args.pid is not None:
+            print("--pid applies to single-ring mode only", file=sys.stderr)
+            return 2
+        return _cmd_serve_federated(args, config)
+    members = _parse_members(args.members)
     if args.pid is not None and args.pid not in members:
         print(f"--pid {args.pid} is not in --members", file=sys.stderr)
         return 2
@@ -653,11 +735,104 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_load_federated(args: argparse.Namespace, config, load, churn) -> int:
+    FederatedCluster, run_federated_load = _federation_imports()
+    rings = _parse_rings(args.rings)
+    gateways = _parse_gateways(args.gateways) if args.gateways else {}
+
+    async def run() -> int:
+        fed = FederatedCluster(
+            rings=rings,
+            gateways=gateways,
+            base_port=args.base_port,
+            client_base_port=args.client_port,
+            service_config=config,
+            wire_format=args.wire_format,
+        )
+        await fed.start()
+        print(
+            f"federation up: rings {', '.join(fed.ring_keys)}, gateways "
+            f"{', '.join(sorted(gateways)) or '(none)'}, {load.clients} "
+            f"client(s) x pipeline {load.pipeline} for {load.duration}s"
+        )
+        observers = []
+        try:
+            for i in range(args.lightweight):
+                key = fed.ring_keys[i % len(fed.ring_keys)]
+                pid = fed.rings[key].pids[0]
+                member = await fed.subscribe(key, pid, f"lw{i}")
+                observers.append((key, member))
+            report, conformance, cross = await run_federated_load(
+                fed, load, churn
+            )
+            for _, member in observers:
+                await member.close()
+        finally:
+            await fed.stop()
+        print()
+        print(report.render())
+        print()
+        print(fed.describe())
+        ok = cross.ok
+        for key in sorted(conformance):
+            conf = conformance[key]
+            ok = ok and conf.passed
+            print()
+            print(f"ring {key}: {conf.render()}")
+        print()
+        print(cross.render())
+        for key, member in observers:
+            print(
+                f"observer {member.name}: ring {key}, "
+                f"{len(member.views)} views, "
+                f"{member.raw_deliveries} deliveries"
+            )
+        if args.save:
+            for key in fed.ring_keys:
+                path = f"{args.save}.{key}.json"
+                tracefile.save(fed.rings[key].history, path)
+                print(f"trace written: {path}")
+        if args.json:
+            doc = {
+                "rings": {k: list(v) for k, v in rings.items()},
+                "gateways": {k: list(v) for k, v in gateways.items()},
+                "batching": config.batching,
+                "load": report.to_json(),
+                "conformance": {
+                    k: {
+                        "passed": c.passed,
+                        "violated": sorted(c.violated_specs),
+                    }
+                    for k, c in conformance.items()
+                },
+                "cross_ring": {
+                    "ok": cross.ok,
+                    "originated": dict(cross.originated),
+                    "issues": list(cross.issues),
+                },
+                "lightweight": [
+                    {
+                        "name": m.name,
+                        "ring": k,
+                        "views": len(m.views),
+                        "deliveries": m.raw_deliveries,
+                    }
+                    for k, m in observers
+                ],
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"report written: {args.json}")
+        return 0 if ok and report.completed > 0 else 1
+
+    return asyncio.run(run())
+
+
 def cmd_load(args: argparse.Namespace) -> int:
     _, ChurnSpec, LoadConfig, ServiceCluster, _, run_service_load = (
         _service_imports()
     )
-    members = _parse_members(args.members)
     config = _service_config(args)
     load = LoadConfig(
         clients=args.clients,
@@ -667,6 +842,10 @@ def cmd_load(args: argparse.Namespace) -> int:
         key_space=args.key_space,
         read_fraction=args.read_fraction,
         seed=args.seed,
+        warmup=args.warmup,
+        global_fraction=args.global_fraction,
+        value_size=args.value_size,
+        deadline=args.deadline,
     )
     partition = None
     if args.partition:
@@ -681,7 +860,11 @@ def cmd_load(args: argparse.Namespace) -> int:
         partition_at=args.partition_at,
         merge_at=args.merge_at,
         session_ops=args.session_ops,
+        ring=args.partition_ring,
     )
+    if args.rings:
+        return _cmd_load_federated(args, config, load, churn)
+    members = _parse_members(args.members)
     if churn.kill is not None and churn.kill not in members:
         print(f"--kill {churn.kill} is not in --members", file=sys.stderr)
         return 2
@@ -1055,6 +1238,20 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="comma-separated servable apps to host (default: all)",
         )
+        p.add_argument(
+            "--rings",
+            default=None,
+            metavar="TOPOLOGY",
+            help="federated topology 'r0:a,b,c|r1:d,e,f' - several Totem "
+            "rings instead of --members (docs/SERVICE.md)",
+        )
+        p.add_argument(
+            "--gateways",
+            default=None,
+            metavar="SPEC",
+            help="gateway pids and the rings each bridges, e.g. "
+            "'g01:r0,r1|g12:r1,r2' (requires --rings)",
+        )
 
     srv = sub.add_parser(
         "serve",
@@ -1100,6 +1297,23 @@ def build_parser() -> argparse.ArgumentParser:
     ld.add_argument("--session-ops", type=int, default=None,
                     help="ops per session before the client departs and a "
                     "fresh one arrives (default: sessions live the whole run)")
+    ld.add_argument("--warmup", type=float, default=0.0,
+                    help="seconds at the start excluded from latency "
+                    "percentiles and sustained op/s")
+    ld.add_argument("--deadline", type=float, default=0.0,
+                    help="latency SLO in seconds: ops completing within it "
+                    "count toward goodput (0 = disabled)")
+    ld.add_argument("--value-size", type=int, default=0,
+                    help="pad write values to roughly this many bytes")
+    ld.add_argument("--global-fraction", type=float, default=0.0,
+                    help="fraction of writes relayed to every ring through "
+                    "the gateways (federated runs)")
+    ld.add_argument("--lightweight", type=int, default=0, metavar="N",
+                    help="attach N light-weight observers spread over the "
+                    "rings (federated runs)")
+    ld.add_argument("--partition-ring", default=None, metavar="RING",
+                    help="ring the --kill/--partition churn applies to "
+                    "(federated runs; default: the first ring)")
     ld.add_argument("--save", default=None, metavar="PATH",
                     help="write the recorded history as a trace .json")
     ld.add_argument("--json", default=None, metavar="PATH",

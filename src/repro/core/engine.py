@@ -68,6 +68,9 @@ class EvsEngine(EngineHooks):
         self.stable = stable if stable is not None else InMemoryStableStore()
         self.tracer = tracer
         self.controller = TotemController(host, self, totem_config, tracer=tracer)
+        #: Federation ring key this engine orders within (see
+        #: :attr:`repro.totem.timers.TotemConfig.ring_id`).
+        self.ring_id: str = self.controller.config.ring_id
         self.current_config: Optional[Configuration] = None
         self.started = False
         # SimHost and AsyncioHost both expose bind(); other Hosts must

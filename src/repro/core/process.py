@@ -102,6 +102,12 @@ class EvsProcess:
         return self.engine.current_config
 
     @property
+    def ring_id(self) -> str:
+        """The federation ring this process orders within ("" for a
+        standalone, un-federated ring)."""
+        return self.engine.ring_id
+
+    @property
     def protocol_state(self) -> ControllerState:
         return self.engine.controller.state
 

@@ -17,14 +17,28 @@ client-facing path over the existing stack:
 * :mod:`repro.service.harness` - an in-process n-member cluster for
   tests, benchmarks and ``repro load``;
 * :mod:`repro.service.loadgen` - the load generator: concurrent client
-  sessions, churn, p50/p99/p999 latency.
+  sessions, churn, p50/p99/p999 latency with a warmup window;
+* :mod:`repro.service.federation` - multi-ring federation: several
+  Totem rings bridged by gateway processes relaying global-scope
+  batches, plus the cross-ring differential check;
+* :mod:`repro.service.lightweight` - light-weight members: clients
+  observing a ring's VS views and deliveries through a subscribed
+  daemon, without ring membership.
 
 See docs/SERVICE.md for the protocol and the SLO methodology.
 """
 
 from repro.service.client import ServiceClient
 from repro.service.daemon import ServiceConfig, ServiceDaemon
+from repro.service.federation import (
+    FederatedCluster,
+    FederationCheckReport,
+    RingGateway,
+    cross_ring_check,
+)
 from repro.service.frames import (
+    SCOPE_GLOBAL,
+    SCOPE_LOCAL,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_RETRY,
@@ -33,9 +47,18 @@ from repro.service.frames import (
     ClientResponse,
 )
 from repro.service.harness import ServiceCluster
-from repro.service.loadgen import ChurnSpec, LoadConfig, LoadReport, run_service_load
+from repro.service.lightweight import LightweightMember
+from repro.service.loadgen import (
+    ChurnSpec,
+    LoadConfig,
+    LoadReport,
+    run_federated_load,
+    run_service_load,
+)
 
 __all__ = [
+    "SCOPE_GLOBAL",
+    "SCOPE_LOCAL",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_RETRY",
@@ -43,11 +66,17 @@ __all__ = [
     "ChurnSpec",
     "ClientRequest",
     "ClientResponse",
+    "FederatedCluster",
+    "FederationCheckReport",
+    "LightweightMember",
     "LoadConfig",
     "LoadReport",
+    "RingGateway",
     "ServiceClient",
     "ServiceCluster",
     "ServiceConfig",
     "ServiceDaemon",
+    "cross_ring_check",
+    "run_federated_load",
     "run_service_load",
 ]

@@ -85,9 +85,15 @@ class ServiceClient:
     # -- request/response --------------------------------------------------
 
     async def request(
-        self, app: str, op: Dict[str, Any], read_only: bool = False
+        self,
+        app: str,
+        op: Dict[str, Any],
+        read_only: bool = False,
+        scope: str = "",
     ) -> ClientResponse:
-        """Send one op and await its response (any status)."""
+        """Send one op and await its response (any status).  ``scope``
+        selects federation semantics for writes (see
+        :data:`repro.service.frames.SCOPE_GLOBAL`)."""
         if self._writer is None or self.closed:
             raise ServiceError("client is not connected")
         self._next_id += 1
@@ -96,7 +102,11 @@ class ServiceClient:
         self._waiting[request_id] = future
         frame = encode_frame(
             ClientRequest(
-                request_id=request_id, app=app, op=op, read_only=read_only
+                request_id=request_id,
+                app=app,
+                op=op,
+                read_only=read_only,
+                scope=scope,
             ),
             self.wire_format,
         )
@@ -115,13 +125,16 @@ class ServiceClient:
         read_only: bool = False,
         max_retries: int = 64,
         backoff: float = 0.005,
+        scope: str = "",
     ) -> Tuple[ClientResponse, int]:
         """Like :meth:`request`, but resubmit on ``retry`` with a capped
         linear backoff.  Returns ``(final response, retries used)``.
         ``view-change`` is NOT retried - the op may have applied."""
         retries = 0
         while True:
-            response = await self.request(app, op, read_only=read_only)
+            response = await self.request(
+                app, op, read_only=read_only, scope=scope
+            )
             if response.status != STATUS_RETRY or retries >= max_retries:
                 return response, retries
             retries += 1

@@ -37,17 +37,22 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.configuration import Configuration, Delivery, Listener
 from repro.net import codec
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NO_TRACE
 from repro.service.frames import (
+    SCOPE_GLOBAL,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_RETRY,
     STATUS_VIEW_CHANGE,
     ClientRequest,
     ClientResponse,
+    EvsConfigFrame,
+    EvsDeliverFrame,
     ServiceBatch,
+    SubscribeRequest,
     encode_frame,
     encode_ring_payload,
     read_frame,
@@ -89,6 +94,21 @@ class _PendingOp:
     op: Dict[str, Any]
     request_id: int
     conn: "_Connection"
+    scope: str = ""
+
+
+class _ReplicaTap(Listener):
+    """Bridges the replica's raw EVS event stream to the daemon's
+    light-weight subscribers (see :meth:`ServiceDaemon._push_config`)."""
+
+    def __init__(self, daemon: "ServiceDaemon") -> None:
+        self.daemon = daemon
+
+    def on_configuration_change(self, config: Configuration) -> None:
+        self.daemon._push_config(config)
+
+    def on_deliver(self, delivery: Delivery) -> None:
+        self.daemon._push_deliver(delivery)
 
 
 class _Connection:
@@ -131,6 +151,9 @@ class ServiceDaemon:
         self._batch_seq = 0
         self._flush_handle: Optional[asyncio.TimerHandle] = None
         self._alive = False
+        #: Light-weight member connections receiving the EVS push stream.
+        self._subscribers: List[_Connection] = []
+        self._tap: Optional[_ReplicaTap] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -152,6 +175,10 @@ class ServiceDaemon:
             self._close_conn(conn)
         self._pending.clear()
         self._inflight.clear()
+        self._subscribers.clear()
+        if self._tap is not None:
+            self.replica.remove_tap(self._tap)
+            self._tap = None
 
     async def kill(self) -> None:
         """Fail this member: crash the EVS process and drop every client
@@ -192,9 +219,12 @@ class ServiceDaemon:
                     break  # daemon shutting down
                 except Exception:
                     break  # malformed frame: drop the connection
-                if not isinstance(message, ClientRequest):
+                if isinstance(message, SubscribeRequest):
+                    self._handle_subscribe(conn, message)
+                elif isinstance(message, ClientRequest):
+                    self._handle_request(conn, message)
+                else:
                     break
-                self._handle_request(conn, message)
                 await asyncio.sleep(0)  # let responses interleave
         finally:
             self._close_conn(conn)
@@ -219,21 +249,29 @@ class ServiceDaemon:
             self.metrics.counter("svc.reads").inc()
             self._respond(conn, request.request_id, STATUS_OK, result=result)
             return
-        # Write path: bounded admission, then batch onto the ring.
-        if (
-            conn.outstanding >= self.config.max_pending_per_conn
-            or self.pending_ops >= self.config.max_pending_total
-        ):
+        # Write path: bounded admission, then batch onto the ring.  The
+        # two caps are counted apart so overload diagnosis can tell "one
+        # hot client" from "the whole daemon is saturated".
+        rejected = None
+        if conn.outstanding >= self.config.max_pending_per_conn:
+            rejected = "conn"
+        elif self.pending_ops >= self.config.max_pending_total:
+            rejected = "daemon"
+        if rejected is not None:
             self.metrics.counter("svc.retries").inc()
+            self.metrics.counter(f"svc.backpressure.{rejected}").inc()
+            self.metrics.counter(f"svc.backpressure.by_pid.{self.pid}").inc()
             if self.tracer:
                 self.tracer.emit(self.pid, "svc.request",
                                  app=request.app, admitted=False)
             self._respond(conn, request.request_id, STATUS_RETRY,
-                          detail="backpressure: queue full")
+                          detail=f"backpressure: {rejected} queue full")
             return
         conn.outstanding += 1
+        scope = SCOPE_GLOBAL if request.scope == SCOPE_GLOBAL else ""
         self._pending.append(
-            _PendingOp(request.app, dict(request.op), request.request_id, conn)
+            _PendingOp(request.app, dict(request.op), request.request_id,
+                       conn, scope)
         )
         self.metrics.counter("svc.writes").inc()
         if self.tracer:
@@ -246,6 +284,80 @@ class ServiceDaemon:
                 self.config.batch_interval, self._flush
             )
 
+    # -- light-weight members ----------------------------------------------
+
+    def _handle_subscribe(self, conn: _Connection, request: SubscribeRequest) -> None:
+        """Attach ``conn`` as a light-weight member: acknowledge, then
+        stream every EVS event the local replica observes.  The current
+        configuration is replayed first so a mid-stream subscriber can
+        resume with the final view (the filter's Rule 4)."""
+        if self._tap is None:
+            self._tap = _ReplicaTap(self)
+            self.replica.add_tap(self._tap)
+        self._subscribers.append(conn)
+        self.metrics.counter("svc.subscribers").inc()
+        if self.tracer:
+            self.tracer.emit(self.pid, "svc.subscribe",
+                             subscriber=request.subscriber)
+        self._respond(conn, request.request_id, STATUS_OK,
+                      result={"member": self.pid})
+        if self.replica.config is not None:
+            self._push_to(conn, self._config_frame(self.replica.config))
+
+    @staticmethod
+    def _config_frame(config: Configuration) -> EvsConfigFrame:
+        old_ring = (
+            config.preceding_regular.ring
+            if config.is_transitional and config.preceding_regular is not None
+            else None
+        )
+        return EvsConfigFrame(
+            ring_seq=config.ring.seq,
+            ring_rep=config.ring.rep,
+            members=tuple(sorted(config.members)),
+            transitional=config.is_transitional,
+            old_ring_seq=0 if old_ring is None else old_ring.seq,
+            old_ring_rep="" if old_ring is None else old_ring.rep,
+        )
+
+    def _push_config(self, config: Configuration) -> None:
+        if not self._subscribers:
+            return
+        frame = self._config_frame(config)
+        for conn in list(self._subscribers):
+            self._push_to(conn, frame)
+
+    def _push_deliver(self, delivery: Delivery) -> None:
+        if not self._subscribers:
+            return
+        frame = EvsDeliverFrame(
+            ring_seq=delivery.message_id.ring.seq,
+            ring_rep=delivery.message_id.ring.rep,
+            seq=delivery.message_id.seq,
+            sender=delivery.sender,
+            origin_seq=delivery.origin_seq,
+            requirement=int(delivery.requirement),
+            config_transitional=delivery.config_id.is_transitional,
+            payload=delivery.payload,
+        )
+        for conn in list(self._subscribers):
+            self._push_to(conn, frame)
+
+    def _push_to(self, conn: _Connection, frame: Any) -> None:
+        if conn.closed:
+            self._drop_subscriber(conn)
+            return
+        try:
+            conn.writer.write(encode_frame(frame, self.config.wire_format))
+            self.metrics.counter("svc.pushed").inc()
+        except (ConnectionError, RuntimeError):
+            self._drop_subscriber(conn)
+            self._close_conn(conn)
+
+    def _drop_subscriber(self, conn: _Connection) -> None:
+        if conn in self._subscribers:
+            self._subscribers.remove(conn)
+
     # -- batching ----------------------------------------------------------
 
     def _flush(self) -> None:
@@ -253,17 +365,24 @@ class ServiceDaemon:
         if not self._alive:
             return
         while self._pending:
-            take = len(self._pending)
+            # A batch carries exactly one scope: take the longest prefix
+            # of same-scope ops (the ring orders batches whole, and the
+            # gateways relay whole batches, so scopes cannot mix).
+            scope = self._pending[0].scope
+            take = 1
             if self.config.batching:
-                take = min(take, self.config.max_batch)
-            else:
-                take = 1
+                limit = min(len(self._pending), self.config.max_batch)
+                while (
+                    take < limit and self._pending[take].scope == scope
+                ):
+                    take += 1
             ops, self._pending = self._pending[:take], self._pending[take:]
             self._batch_seq += 1
             batch = ServiceBatch(
                 origin=self.pid,
                 batch_seq=self._batch_seq,
                 ops=tuple((p.app, p.op) for p in ops),
+                scope=scope,
             )
             self._inflight[self._batch_seq] = ops
             self.process.send(
@@ -352,6 +471,7 @@ class ServiceDaemon:
         conn.closed = True
         if conn in self._conns:
             self._conns.remove(conn)
+        self._drop_subscriber(conn)
         # Forget queued ops owned by this connection (not yet flushed).
         # In-flight ops stay: their list indices are the batch slots, so
         # results still align; _respond skips closed connections.

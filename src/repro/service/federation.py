@@ -1,0 +1,473 @@
+"""Multi-ring federation: gateways, the federated harness, and the
+cross-ring differential check.
+
+A single Totem ring totally orders every message with one circulating
+token, so its throughput is capped by one token rotation over *all* n
+members - and every member pays the per-message receive/decode/apply
+cost for every op anywhere in the group.  The federation tier breaks
+that cap by sharding membership into several independent rings
+(disjoint :attr:`~repro.totem.timers.TotemConfig.ring_id` keys, so the
+membership protocol can never merge them) and relaying only the traffic
+that must cross rings:
+
+* **Local-scope** batches order and apply within their origin ring only
+  - the common case, and the source of the aggregate speedup: k rings
+  run k token rotations concurrently, each over a fraction of the
+  membership.
+* **Global-scope** batches additionally traverse **gateways**: processes
+  holding full membership (EVS process + replica + daemon) in two rings.
+  A gateway that applies a global batch on one ring re-originates it on
+  the other wrapped in a :class:`~repro.service.frames.GatewayForward`,
+  which is itself a totally ordered ring message there.
+
+Cross-ring ordering contract (docs/SERVICE.md maps this to the paper's
+Specifications):
+
+* within every ring, all Specs 1-7 hold unchanged - per ring the
+  protocol *is* the single-ring protocol;
+* forwarded batches are delivered in the destination ring's total order
+  (they are ordinary ring messages there) and exactly once per replica
+  (dedup key ``(src_ring, origin, batch_seq)``);
+* relays from one gateway preserve FIFO order per source ring
+  (Totem's sender order + the gateway's ``fwd_seq``);
+* there is **no global total order across rings**: two global batches
+  originated on different rings may apply in opposite relative orders
+  on different rings.  Applications needing cross-ring agreement must
+  use commutative/mergeable ops (the same contract ServiceSync's
+  snapshot merge already imposes within a partitioned ring).
+
+:func:`cross_ring_check` is the differential oracle a federated load run
+is judged by, alongside the per-ring Spec 1-7 conformance reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.configuration import Configuration, Listener
+from repro.errors import ServiceError
+from repro.net import codec
+from repro.obs.trace import NO_TRACE
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceDaemon
+from repro.service.frames import GatewayForward, ServiceBatch, encode_ring_payload
+from repro.service.harness import ServiceCluster
+from repro.service.lightweight import LightweightMember
+from repro.spec.report import ConformanceReport
+from repro.totem.timers import TotemConfig
+from repro.types import ProcessId
+
+#: Port-block stride between rings: each ring's UDP and TCP ports live in
+#: their own window so federated clusters never collide on one loop.
+RING_PORT_STRIDE = 64
+
+
+class RingGateway:
+    """One process relaying global-scope batches between its rings.
+
+    The gateway holds an already-started daemon per ring (built by
+    :class:`FederatedCluster`); this class only adds the relay logic:
+
+    * when any of its replicas applies a global batch whose provenance
+      (``seen_rings``) does not include the other ring, re-originate it
+      there as a :class:`~repro.service.frames.GatewayForward`;
+    * remember recent forwards per destination, and re-send them when
+      the destination ring's regular membership grows (a remerge) - the
+      receiving replicas deduplicate, so re-forwarding is idempotent,
+      and members that were partitioned away get the ops they missed
+      even before a snapshot sync lands.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        daemons: Dict[str, ServiceDaemon],
+        recent_limit: int = 256,
+    ) -> None:
+        if len(daemons) < 2:
+            raise ServiceError(f"gateway {pid} needs at least two rings")
+        self.pid = pid
+        self.daemons = dict(daemons)
+        self.recent_limit = recent_limit
+        self.forwarded = 0
+        self.re_forwarded = 0
+        self._fwd_seq: Dict[str, int] = {ring: 0 for ring in daemons}
+        #: Keys already relayed into each destination ring (dedup of the
+        #: gateway's own relays; receivers dedup again defensively).
+        self._relayed: Dict[str, Set[Tuple[str, str, int]]] = {
+            ring: set() for ring in daemons
+        }
+        #: Recent forwards per destination, for remerge re-sends.
+        self._recent: Dict[str, List[GatewayForward]] = {
+            ring: [] for ring in daemons
+        }
+        self._members: Dict[str, frozenset] = {}
+        for ring, daemon in self.daemons.items():
+            daemon.replica.on_global_applied = self._make_relay(ring)
+            daemon.replica.add_tap(_GatewayViewTap(self, ring))
+
+    def _make_relay(self, src: str):
+        def relay(src_ring, batch, seen_rings, delivery) -> None:
+            self.on_global_applied(src, src_ring, batch, seen_rings)
+
+        return relay
+
+    def on_global_applied(
+        self,
+        applied_on: str,
+        src_ring: str,
+        batch: ServiceBatch,
+        seen_rings: Tuple[str, ...],
+    ) -> None:
+        seen = set(seen_rings)
+        seen.add(applied_on)
+        targets = [
+            ring
+            for ring in self.daemons
+            if ring != applied_on and ring not in seen
+        ]
+        if not targets:
+            return
+        # Stamp every sibling target into the provenance before sending,
+        # so a hub gateway's fan-out does not bounce between its spokes.
+        seen.update(targets)
+        key = (src_ring, batch.origin, batch.batch_seq)
+        for ring in targets:
+            if key in self._relayed[ring]:
+                continue
+            self._relayed[ring].add(key)
+            self._fwd_seq[ring] += 1
+            fwd = GatewayForward(
+                gateway=self.pid,
+                src_ring=src_ring,
+                fwd_seq=self._fwd_seq[ring],
+                batch=batch,
+                seen_rings=tuple(sorted(seen)),
+            )
+            self._send(ring, fwd)
+            self.forwarded += 1
+            recent = self._recent[ring]
+            recent.append(fwd)
+            if len(recent) > self.recent_limit:
+                del recent[: len(recent) - self.recent_limit]
+
+    def _send(self, ring: str, fwd: GatewayForward) -> None:
+        daemon = self.daemons[ring]
+        daemon.process.send(
+            encode_ring_payload(fwd, daemon.config.wire_format),
+            daemon.config.requirement,
+        )
+        daemon.metrics.counter("svc.gw.forwarded").inc()
+
+    # -- remerge path ------------------------------------------------------
+
+    def on_ring_view(self, ring: str, config: Configuration) -> None:
+        """A regular configuration installed on ``ring``: if membership
+        grew, re-send the recent forwards - newly (re)joined members may
+        have missed them, and dedup makes this idempotent for everyone
+        else."""
+        if not config.is_regular:
+            return
+        members = frozenset(config.members)
+        prev = self._members.get(ring)
+        self._members[ring] = members
+        if prev is None or not (members - prev):
+            return
+        for fwd in list(self._recent[ring]):
+            self._send(ring, fwd)
+            self.re_forwarded += 1
+            self.daemons[ring].metrics.counter("svc.gw.re_forwarded").inc()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def rings(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.daemons))
+
+    def pending_forwards(self, ring: str) -> int:
+        """Recent forwards buffered for ``ring`` (remerge re-send pool)."""
+        return len(self._recent[ring])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingGateway({self.pid}, rings={self.rings})"
+
+
+class _GatewayViewTap(Listener):
+    """Feeds one ring's configuration stream to the gateway's remerge
+    logic without stealing the daemon's ``on_view_change`` slot."""
+
+    def __init__(self, gateway: RingGateway, ring: str) -> None:
+        self.gateway = gateway
+        self.ring = ring
+
+    def on_configuration_change(self, config: Configuration) -> None:
+        self.gateway.on_ring_view(self.ring, config)
+
+
+@dataclass
+class FederationCheckReport:
+    """Outcome of the cross-ring differential check."""
+
+    ok: bool = True
+    #: Global batch keys per source ring, as observed at the sources.
+    originated: Dict[str, int] = field(default_factory=dict)
+    issues: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        head = "cross-ring check: " + ("OK" if self.ok else "FAILED")
+        lines = [head]
+        for ring in sorted(self.originated):
+            lines.append(f"  {ring}: {self.originated[ring]} global batches")
+        lines.extend(f"  ISSUE: {issue}" for issue in self.issues)
+        return "\n".join(lines)
+
+
+class FederatedCluster:
+    """Several :class:`ServiceCluster` rings joined by gateways.
+
+    ``rings`` maps each ring key to its ordinary member pids; ``gateways``
+    maps each gateway pid to the ring keys it bridges (the gateway pid is
+    added to each of those rings' membership automatically).  All pids
+    must be unique across the federation - the cross-ring batch key
+    relies on it.
+    """
+
+    def __init__(
+        self,
+        rings: Dict[str, Iterable[ProcessId]],
+        gateways: Optional[Dict[ProcessId, Tuple[str, ...]]] = None,
+        base_port: int = 43000,
+        client_base_port: int = 44000,
+        totem_config: Optional[TotemConfig] = None,
+        service_config=None,
+        wire_format: str = codec.FORMAT_BINARY,
+        tracer=NO_TRACE,
+    ) -> None:
+        if not rings:
+            raise ServiceError("a federation needs at least one ring")
+        gateways = dict(gateways or {})
+        members: Dict[str, List[ProcessId]] = {
+            key: sorted(pids) for key, pids in rings.items()
+        }
+        seen: Set[ProcessId] = set()
+        for key, pids in members.items():
+            for pid in pids:
+                if pid in seen:
+                    raise ServiceError(
+                        f"pid {pid!r} appears in more than one ring; "
+                        "federation pids must be unique"
+                    )
+                seen.add(pid)
+        for gw, gw_rings in gateways.items():
+            if gw in seen:
+                raise ServiceError(
+                    f"gateway {gw!r} also listed as a ring member"
+                )
+            seen.add(gw)
+            if len(set(gw_rings)) < 2:
+                raise ServiceError(f"gateway {gw!r} must bridge >= 2 rings")
+            for key in gw_rings:
+                if key not in members:
+                    raise ServiceError(
+                        f"gateway {gw!r} names unknown ring {key!r}"
+                    )
+                members[key].append(gw)
+
+        base_config = totem_config or TotemConfig.service_loopback()
+        self.ring_keys: List[str] = sorted(members)
+        self.gateway_specs = gateways
+        self.rings: Dict[str, ServiceCluster] = {}
+        for i, key in enumerate(self.ring_keys):
+            if len(members[key]) > RING_PORT_STRIDE:
+                raise ServiceError(
+                    f"ring {key!r} exceeds {RING_PORT_STRIDE} members"
+                )
+            self.rings[key] = ServiceCluster(
+                members[key],
+                base_port=base_port + i * RING_PORT_STRIDE,
+                client_base_port=client_base_port + i * RING_PORT_STRIDE,
+                totem_config=base_config.for_ring(key),
+                service_config=service_config,
+                wire_format=wire_format,
+                tracer=tracer,
+            )
+        self.gateways: Dict[ProcessId, RingGateway] = {}
+        self.wire_format = wire_format
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, timeout: float = 15.0) -> None:
+        """Boot every ring concurrently, then wire the gateways."""
+        await asyncio.gather(
+            *(ring.start(timeout=timeout) for ring in self.rings.values())
+        )
+        for gw, gw_rings in self.gateway_specs.items():
+            self.gateways[gw] = RingGateway(
+                gw,
+                {key: self.rings[key].daemons[gw] for key in set(gw_rings)},
+            )
+
+    async def stop(self) -> None:
+        await asyncio.gather(*(ring.stop() for ring in self.rings.values()))
+
+    # -- clients and subscribers -------------------------------------------
+
+    async def client(self, ring: str, pid: ProcessId) -> ServiceClient:
+        return await self.rings[ring].client(pid)
+
+    async def subscribe(
+        self, ring: str, pid: ProcessId, name: str
+    ) -> LightweightMember:
+        """Attach a light-weight member observing ``ring`` via member
+        ``pid``'s daemon."""
+        return await self.rings[ring].subscribe(pid, name)
+
+    # -- fault injection ---------------------------------------------------
+
+    def partition(self, ring: str, *groups: Iterable[ProcessId]) -> None:
+        self.rings[ring].partition(*groups)
+
+    def merge_all(self, ring: Optional[str] = None) -> None:
+        for key in [ring] if ring is not None else self.ring_keys:
+            self.rings[key].merge_all()
+
+    # -- progress ----------------------------------------------------------
+
+    async def settle_all(self, timeout: float = 20.0) -> bool:
+        results = await asyncio.gather(
+            *(ring.settle(timeout=timeout) for ring in self.rings.values())
+        )
+        if not all(results):
+            return False
+        # Forwards hop rings after the source ring settles; wait for the
+        # relay pipeline to drain (no replica should be mid-forward).
+        await asyncio.sleep(0.2)
+        results = await asyncio.gather(
+            *(ring.settle(timeout=timeout) for ring in self.rings.values())
+        )
+        return all(results)
+
+    # -- oracles -----------------------------------------------------------
+
+    def conformance(self) -> Dict[str, ConformanceReport]:
+        """Per-ring Spec 1-7 reports (each ring is its own history)."""
+        return {key: ring.conformance() for key, ring in self.rings.items()}
+
+    def cross_ring_check(self) -> FederationCheckReport:
+        return cross_ring_check(self)
+
+    def describe(self) -> str:
+        """Topology, per-ring state, and the backpressure/relay counters."""
+        lines = [f"federation: {len(self.ring_keys)} rings"]
+        for key in self.ring_keys:
+            ring = self.rings[key]
+            snap = ring.metrics.snapshot()
+            lines.append(
+                f"  ring {key}: members={','.join(ring.pids)} "
+                f"requests={snap.get('svc.requests', 0)} "
+                f"backpressure(conn={snap.get('svc.backpressure.conn', 0)} "
+                f"daemon={snap.get('svc.backpressure.daemon', 0)}) "
+                f"forwarded={snap.get('svc.gw.forwarded', 0)} "
+                f"re_forwarded={snap.get('svc.gw.re_forwarded', 0)}"
+            )
+        for gw in sorted(self.gateways):
+            gateway = self.gateways[gw]
+            lines.append(
+                f"  gateway {gw}: rings={','.join(gateway.rings)} "
+                f"forwarded={gateway.forwarded} "
+                f"re_forwarded={gateway.re_forwarded}"
+            )
+        return "\n".join(lines)
+
+
+def cross_ring_check(fed: FederatedCluster) -> FederationCheckReport:
+    """The federation's differential oracle, run after ``settle_all``.
+
+    For every global batch originated on some ring, check at every
+    replica of every *other* ring reachable through gateways:
+
+    1. **exactly-once**: no replica applied any global key twice;
+    2. **completeness**: the key was applied - or learned through a
+       snapshot sync - at every replica of every reachable ring;
+    3. **per-origin FIFO**: where a replica applied several batches of
+       one ``(src_ring, origin)``, their batch_seqs are increasing;
+    4. **within-ring agreement**: two replicas of one ring agree on the
+       relative order of the global keys they both applied.
+
+    Deliberately *not* checked: cross-source global order across rings -
+    the federation does not promise it (see the module docstring).
+    """
+    report = FederationCheckReport()
+
+    def fail(issue: str) -> None:
+        report.ok = False
+        report.issues.append(issue)
+
+    # Which rings can reach which through gateways (undirected closure).
+    reach: Dict[str, Set[str]] = {k: {k} for k in fed.ring_keys}
+    changed = True
+    while changed:
+        changed = False
+        for gateway in fed.gateways.values():
+            linked: Set[str] = set()
+            for ring in gateway.rings:
+                linked |= reach[ring]
+            for ring in linked:
+                if linked - reach[ring]:
+                    reach[ring] |= linked
+                    changed = True
+
+    # Global keys originated per ring = keys every member of that ring
+    # applied natively (src_ring == own ring).
+    originated: Dict[str, Set[Tuple[str, str, int]]] = {}
+    for key, ring in fed.rings.items():
+        keys: Set[Tuple[str, str, int]] = set()
+        for replica in ring.replicas.values():
+            keys |= {k for k in replica.global_order if k[0] == key}
+        originated[key] = keys
+        report.originated[key] = len(keys)
+
+    for key, ring in fed.rings.items():
+        for pid, replica in ring.replicas.items():
+            order = replica.global_order
+            # 1. exactly-once
+            if len(order) != len(set(order)):
+                dupes = sorted(
+                    {k for k in order if order.count(k) > 1}
+                )
+                fail(f"{key}/{pid} applied keys twice: {dupes[:5]}")
+            # 3. per-origin FIFO
+            last: Dict[Tuple[str, str], int] = {}
+            for src_ring, origin, batch_seq in order:
+                prev = last.get((src_ring, origin), 0)
+                if batch_seq <= prev:
+                    fail(
+                        f"{key}/{pid} FIFO violation for {src_ring}/{origin}: "
+                        f"{batch_seq} after {prev}"
+                    )
+                last[(src_ring, origin)] = batch_seq
+            # 2. completeness: every reachable foreign ring's batches are
+            # known here (applied, or folded in via a snapshot sync).
+            for src in reach[key] - {key}:
+                missing = originated[src] - replica.applied_forwards
+                if missing:
+                    fail(
+                        f"{key}/{pid} missing {len(missing)} global "
+                        f"batches from {src}: {sorted(missing)[:5]}"
+                    )
+        # 4. within-ring agreement on common applied keys.
+        replicas = list(ring.replicas.items())
+        for i in range(len(replicas) - 1):
+            pid_a, rep_a = replicas[i]
+            pid_b, rep_b = replicas[i + 1]
+            common = set(rep_a.global_order) & set(rep_b.global_order)
+            seq_a = [k for k in rep_a.global_order if k in common]
+            seq_b = [k for k in rep_b.global_order if k in common]
+            if seq_a != seq_b:
+                fail(
+                    f"{key}: {pid_a} and {pid_b} disagree on the order of "
+                    f"their common global batches"
+                )
+    return report

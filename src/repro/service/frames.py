@@ -52,16 +52,27 @@ STATUS_RETRY = "retry"
 STATUS_VIEW_CHANGE = "view-change"
 STATUS_ERROR = "error"
 
+#: Batch scopes.  ``local`` ops order and apply only on the origin ring;
+#: ``global`` ops additionally relay through the federation gateways
+#: (docs/SERVICE.md, "Cross-ring ordering").
+SCOPE_LOCAL = "local"
+SCOPE_GLOBAL = "global"
+
 
 @codec.register
 @dataclass(frozen=True)
 class ClientRequest:
-    """One client operation."""
+    """One client operation.
+
+    ``scope`` selects :data:`SCOPE_LOCAL` (default; "" is treated as
+    local) or :data:`SCOPE_GLOBAL` federation semantics for writes.
+    """
 
     request_id: int
     app: str
     op: Dict[str, Any] = field(default_factory=dict)
     read_only: bool = False
+    scope: str = ""
 
 
 @codec.register
@@ -90,21 +101,136 @@ class ServiceBatch:
     ``ops`` is a tuple of ``(app, op)`` pairs in submission order; the
     pair's index is the op's *slot*, which keeps intra-batch ordering
     deterministic at every replica.
+
+    ``scope`` is :data:`SCOPE_LOCAL` (or "", equivalent) for ring-local
+    batches, :data:`SCOPE_GLOBAL` for batches the federation gateways
+    relay to every other ring.
     """
 
     origin: str
     batch_seq: int
     ops: Tuple = ()
+    scope: str = ""
 
 
 @codec.register
 @dataclass(frozen=True)
 class ServiceSync:
-    """Ring message: per-app snapshots offered for reconciliation."""
+    """Ring message: per-app snapshots offered for reconciliation.
+
+    ``forwards`` carries the sender's applied-forward keys
+    (``(src_ring, origin, batch_seq)`` triples, see
+    :class:`GatewayForward`) so a remerging member also learns which
+    cross-ring batches are already folded into the snapshots it is about
+    to merge - without it, a gateway's post-merge re-forward would
+    double-apply them.
+
+    ``global_batches`` carries the sender's recently applied
+    global-scope batches as ``(src_ring, seen_rings, batch)`` triples.
+    Keys alone are not enough for a *gateway* that remerges: global
+    batches ordered in a component the gateway was partitioned away from
+    are never EVS-redelivered to it, so without the payloads it could
+    learn the keys yet have nothing to relay into its other rings.
+    Receivers fire the relay hook for every carried batch whose key is
+    new to them; dedup everywhere keeps this idempotent.
+    """
 
     origin: str
     nr: int
     snapshots: Dict[str, Any] = field(default_factory=dict)
+    forwards: Tuple = ()
+    global_batches: Tuple = ()
+
+
+@codec.register
+@dataclass(frozen=True)
+class GatewayForward:
+    """Ring message: a global-scope batch relayed from another ring.
+
+    A gateway that delivered a :data:`SCOPE_GLOBAL` :class:`ServiceBatch`
+    on one of its rings re-originates it on its other ring wrapped in
+    this frame.  The receiving replicas apply ``batch`` exactly once,
+    deduplicated by ``(src_ring, batch.origin, batch.batch_seq)`` - a
+    gateway pid runs one daemon per ring, each with its own batch
+    counter, so the source ring is part of the global batch key.
+
+    ``gateway``    the relaying member's pid.
+    ``src_ring``   the federation ring key the batch *originated* on
+                   (preserved across multi-hop relays, so a chain
+                   ``r0 -> g01 -> r1 -> g12 -> r2`` still attributes the
+                   batch to r0).
+    ``fwd_seq``    the gateway's per-destination-ring forward counter;
+                   together with Totem's per-sender FIFO this gives
+                   per-gateway FIFO relay order.
+    ``seen_rings`` every ring key the batch has already been originated
+                   on; gateways never forward into a ring in this set
+                   (the loop guard for cyclic topologies).
+    """
+
+    gateway: str
+    src_ring: str
+    fwd_seq: int
+    batch: Any = None
+    seen_rings: Tuple = ()
+
+
+@codec.register
+@dataclass(frozen=True)
+class SubscribeRequest:
+    """Client frame: attach as a light-weight member.
+
+    The connection switches from request/response to a push stream: the
+    daemon answers with one :class:`ClientResponse` (``ok``) and then
+    streams :class:`EvsConfigFrame` / :class:`EvsDeliverFrame` for every
+    EVS event its local process observes, letting the subscriber run its
+    own virtual-synchrony filter without holding ring membership.
+    """
+
+    subscriber: str
+    request_id: int = 0
+
+
+@codec.register
+@dataclass(frozen=True)
+class EvsConfigFrame:
+    """Push frame: one ``deliver_conf`` event, mirrored to subscribers.
+
+    Field-by-field image of :class:`repro.core.configuration.Configuration`
+    flattened to wire-friendly scalars; ``old_ring_seq``/``old_ring_rep``
+    carry the transitional configuration's preceding regular ring (unused
+    for regular configurations, where ``preceding`` is implied by the
+    stream order).
+    """
+
+    ring_seq: int
+    ring_rep: str
+    members: Tuple = ()
+    transitional: bool = False
+    old_ring_seq: int = 0
+    old_ring_rep: str = ""
+
+
+@codec.register
+@dataclass(frozen=True)
+class EvsDeliverFrame:
+    """Push frame: one EVS delivery, mirrored to subscribers.
+
+    ``ring_seq``/``ring_rep``/``seq`` identify the message
+    (:class:`repro.types.MessageId`); ``requirement`` is the
+    :class:`repro.types.DeliveryRequirement` integer value;
+    ``config_transitional`` tells the subscriber whether the delivery
+    occurred in the transitional configuration.  ``payload`` is the raw
+    EVS payload bytes.
+    """
+
+    ring_seq: int
+    ring_rep: str
+    seq: int
+    sender: str = ""
+    origin_seq: int = 0
+    requirement: int = 3
+    config_transitional: bool = False
+    payload: bytes = b""
 
 
 def encode_frame(message: Any, wire_format: str = FORMAT_BINARY) -> bytes:

@@ -113,6 +113,19 @@ class ServiceCluster:
             host, port, wire_format=self.evs.wire_format
         ).connect()
 
+    async def subscribe(self, pid: ProcessId, name: str):
+        """A connected light-weight member observing the ring through
+        member ``pid``'s daemon (no ring membership; see
+        :mod:`repro.service.lightweight`)."""
+        from repro.service.lightweight import LightweightMember
+
+        host, port = self.client_addrs[pid]
+        member = LightweightMember(
+            name, host, port, universe=self.pids,
+            wire_format=self.evs.wire_format,
+        )
+        return await member.connect()
+
     # -- fault injection ---------------------------------------------------
 
     def partition(self, *groups: Iterable[ProcessId]) -> None:
@@ -173,6 +186,40 @@ class ServiceCluster:
     def conformance(self, quiescent: bool = True) -> ConformanceReport:
         """Judge the recorded run against Specifications 1-7."""
         return run_conformance(self.history, quiescent=quiescent)
+
+    def describe(self) -> str:
+        """Per-member daemon state plus the cluster's admission and
+        backpressure counters (split per rejection cause and member)."""
+        snap = self.metrics.snapshot()
+        lines = [f"service cluster: {len(self.pids)} members"]
+        for pid in self.pids:
+            daemon = self.daemons.get(pid)
+            state = (
+                "not started"
+                if daemon is None
+                else f"pending={daemon.pending_ops} "
+                f"subscribers={len(daemon._subscribers)} "
+                f"state={self.evs.processes[pid].protocol_state.value}"
+            )
+            rejected = snap.get(f"svc.backpressure.by_pid.{pid}", 0)
+            lines.append(f"  {pid}: {state} backpressured={rejected}")
+        lines.append(
+            "  totals: "
+            + self.metrics.render_compact(
+                [
+                    "svc.requests",
+                    "svc.writes",
+                    "svc.reads",
+                    "svc.retries",
+                    "svc.backpressure.conn",
+                    "svc.backpressure.daemon",
+                    "svc.batches",
+                    "svc.acked",
+                    "svc.view_failed",
+                ]
+            )
+        )
+        return "\n".join(lines)
 
     def _history_size(self) -> int:
         return sum(len(v) for v in self.history.per_process.values())

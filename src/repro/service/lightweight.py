@@ -1,0 +1,221 @@
+"""Light-weight members: virtual synchrony without ring membership.
+
+A :class:`LightweightMember` is a client-side participant in the
+federation's weaker tier: it never joins a Totem ring, never appears in
+any configuration, and never handles the token - so adding light-weight
+members costs the ring nothing.  Instead it subscribes to one daemon's
+EVS event stream (:class:`~repro.service.frames.SubscribeRequest`) and
+runs its *own* :class:`~repro.vs.filter.VirtualSynchronyFilter` over the
+pushed events.  Because the daemon mirrors the replica's event stream
+verbatim and in order, the subscriber's filter observes exactly the view
+sequence a co-located ring member's filter observes (pinned by
+``tests/asyncio_net/test_lightweight.py``).
+
+What a light-weight member gives up relative to a ring member:
+
+* no sends - it observes; writes go through the ordinary client path;
+* its guarantees are only as live as its daemon: if the daemon fails the
+  subscriber must resubscribe elsewhere and resume with the final view
+  (which is precisely the filter's Rule 4 behavior on reattach).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Tuple
+
+from repro.core.configuration import (
+    Configuration,
+    Delivery,
+    regular_configuration,
+    transitional_configuration,
+)
+from repro.errors import ServiceError
+from repro.net import codec
+from repro.service.frames import (
+    STATUS_OK,
+    ClientResponse,
+    EvsConfigFrame,
+    EvsDeliverFrame,
+    SubscribeRequest,
+    encode_frame,
+    read_frame,
+)
+from repro.types import ConfigurationId, DeliveryRequirement, MessageId, RingId
+from repro.vs.filter import VirtualSynchronyFilter, VsListener
+from repro.vs.primary import MajorityStrategy, PrimaryStrategy
+from repro.vs.views import View, VsDeliverEvent
+
+
+class _Collector(VsListener):
+    """Records the VS events the filter emits, in order."""
+
+    def __init__(self) -> None:
+        self.views: List[View] = []
+        self.deliveries: List[Tuple[VsDeliverEvent, bytes]] = []
+
+    def on_view(self, view: View) -> None:
+        self.views.append(view)
+
+    def on_deliver(self, event: VsDeliverEvent, payload: bytes) -> None:
+        self.deliveries.append((event, payload))
+
+
+class LightweightMember:
+    """A subscriber observing one ring's VS views and deliveries."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        universe,
+        strategy: Optional[PrimaryStrategy] = None,
+        wire_format: str = codec.FORMAT_BINARY,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.wire_format = wire_format
+        self.collector = _Collector()
+        #: The subscriber-side filter must run the same primary strategy
+        #: as the checker judging the ring, or the view sequences
+        #: diverge by construction; default to the paper's static
+        #: majority over the ring's member universe.
+        self._strategy = (
+            strategy if strategy is not None else MajorityStrategy(universe)
+        )
+        #: The ring member whose daemon we subscribed through.  The
+        #: filter runs *as* that member (its pid is the one inside the
+        #: configurations; ours never is, by design), so the emitted
+        #: view sequence is exactly the host member's - created on
+        #: :meth:`connect`, once the daemon identifies itself.
+        self.host_member: Optional[str] = None
+        self.filter: Optional[VirtualSynchronyFilter] = None
+        #: Raw event counts (before the filter's rules 1-2 drop/mask).
+        self.raw_configs = 0
+        self.raw_deliveries = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pump: Optional[asyncio.Task] = None
+        self._current: Optional[Configuration] = None
+        self.closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def connect(self) -> "LightweightMember":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._writer.write(
+            encode_frame(
+                SubscribeRequest(subscriber=self.name, request_id=1),
+                self.wire_format,
+            )
+        )
+        await self._writer.drain()
+        ack = await read_frame(self._reader)
+        if not isinstance(ack, ClientResponse) or ack.status != STATUS_OK:
+            raise ServiceError(f"subscribe rejected: {ack!r}")
+        # The ack names the daemon's ring member; the filter must run as
+        # that pid or Rule 2's membership guard ("not-a-member") blocks
+        # every configuration - subscribers are never in config.members.
+        self.host_member = (ack.result or {}).get("member", self.name)
+        self.filter = VirtualSynchronyFilter(
+            self.host_member, self._strategy, vs_listener=self.collector
+        )
+        self.closed = False
+        self._pump = asyncio.ensure_future(self._read_stream())
+        return self
+
+    async def close(self) -> None:
+        self.closed = True
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._pump = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, Exception):
+                pass
+            self._writer = None
+
+    async def __aenter__(self) -> "LightweightMember":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- observations ------------------------------------------------------
+
+    @property
+    def views(self) -> List[View]:
+        return self.collector.views
+
+    @property
+    def current_view(self) -> Optional[View]:
+        return self.filter.current_view if self.filter is not None else None
+
+    async def wait_for_view(self, predicate, timeout: float = 10.0) -> bool:
+        """Poll until ``predicate(current_view)`` is true."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            view = self.current_view
+            if view is not None and predicate(view):
+                return True
+            await asyncio.sleep(0.02)
+        return False
+
+    # -- stream pump -------------------------------------------------------
+
+    async def _read_stream(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if isinstance(frame, EvsConfigFrame):
+                    self.raw_configs += 1
+                    self.filter.on_configuration_change(
+                        self._to_configuration(frame)
+                    )
+                elif isinstance(frame, EvsDeliverFrame):
+                    self.raw_deliveries += 1
+                    self.filter.on_deliver(self._to_delivery(frame))
+                # anything else (late ClientResponses) is ignored
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            self.closed = True  # daemon died: resubscribe elsewhere
+
+    def _to_configuration(self, frame: EvsConfigFrame) -> Configuration:
+        ring = RingId(seq=frame.ring_seq, rep=frame.ring_rep)
+        if frame.transitional:
+            old_ring = RingId(seq=frame.old_ring_seq, rep=frame.old_ring_rep)
+            config = transitional_configuration(
+                ring, old_ring, frame.members, ConfigurationId.regular(old_ring)
+            )
+        else:
+            config = regular_configuration(ring, frame.members)
+        self._current = config
+        return config
+
+    def _to_delivery(self, frame: EvsDeliverFrame) -> Delivery:
+        ring = RingId(seq=frame.ring_seq, rep=frame.ring_rep)
+        config_id = (
+            self._current.id
+            if self._current is not None
+            else ConfigurationId.regular(ring)
+        )
+        return Delivery(
+            message_id=MessageId(ring=ring, seq=frame.seq),
+            sender=frame.sender,
+            payload=frame.payload,
+            requirement=DeliveryRequirement(frame.requirement),
+            config_id=config_id,
+            origin_seq=frame.origin_seq,
+        )

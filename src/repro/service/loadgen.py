@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ServiceError
 from repro.obs.registry import Histogram
 from repro.service.frames import (
+    SCOPE_GLOBAL,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_RETRY,
@@ -54,6 +55,9 @@ class ChurnSpec:
     #: Ops per client session before it departs and a fresh session
     #: arrives on another member (None = sessions live the whole run).
     session_ops: Optional[int] = None
+    #: Federated runs: the ring the kill/partition events apply to
+    #: (None = the federation's first ring; ignored for single-ring runs).
+    ring: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -71,13 +75,39 @@ class LoadConfig:
     max_retries: int = 64
     backoff: float = 0.005
     seed: int = 1
+    #: Seconds at the start of the run excluded from the latency
+    #: percentiles and the sustained op/s (connection setup, view
+    #: convergence and cold batching paths would otherwise pollute the
+    #: steady-state numbers).  Status counts still cover the whole run.
+    warmup: float = 0.0
+    #: Federated runs: fraction of *write* ops submitted with global
+    #: scope, i.e. relayed to every ring through the gateways.
+    global_fraction: float = 0.0
+    #: Pad write values to roughly this many bytes (0 = tiny values).
+    #: Larger values shift the per-op cost toward receiver-side
+    #: decode/apply - the O(membership) term federation shrinks.
+    value_size: int = 0
+    #: Latency SLO in seconds (0 = disabled).  Ops completing within
+    #: the deadline count toward ``LoadReport.goodput_per_sec``.  A
+    #: closed-loop pipelined ring can absorb almost any offered load by
+    #: letting queueing delay grow, so capacity comparisons are only
+    #: meaningful at a fixed latency budget.
+    deadline: float = 0.0
 
 
 @dataclass
 class LoadReport:
-    """What the run sustained, and how the tail behaved."""
+    """What the run sustained, and how the tail behaved.
+
+    When a warmup window is configured, ``completed``, ``ops_per_sec``
+    and the percentiles cover only the measured (post-warmup) window;
+    ``statuses`` and the outcome counters cover the whole run.
+    """
 
     duration: float = 0.0
+    warmup: float = 0.0
+    #: Ops that completed inside the warmup window (excluded above).
+    warmup_excluded: int = 0
     completed: int = 0
     ok: int = 0
     view_change: int = 0
@@ -86,6 +116,10 @@ class LoadReport:
     reconnects: int = 0
     departures: int = 0
     ops_per_sec: float = 0.0
+    #: Latency SLO the run was judged against (0 = none configured).
+    deadline_ms: float = 0.0
+    #: Measured ops per second completing within the deadline.
+    goodput_per_sec: float = 0.0
     p50_ms: float = 0.0
     p99_ms: float = 0.0
     p999_ms: float = 0.0
@@ -95,6 +129,8 @@ class LoadReport:
     def to_json(self) -> Dict[str, Any]:
         return {
             "duration_s": round(self.duration, 4),
+            "warmup_s": round(self.warmup, 4),
+            "warmup_excluded": self.warmup_excluded,
             "completed": self.completed,
             "ok": self.ok,
             "view_change": self.view_change,
@@ -103,6 +139,8 @@ class LoadReport:
             "reconnects": self.reconnects,
             "departures": self.departures,
             "ops_per_sec": round(self.ops_per_sec, 2),
+            "deadline_ms": round(self.deadline_ms, 3),
+            "goodput_per_sec": round(self.goodput_per_sec, 2),
             "latency_ms": {
                 "p50": round(self.p50_ms, 3),
                 "p99": round(self.p99_ms, 3),
@@ -123,31 +161,48 @@ class LoadReport:
 
 
 class _RunState:
-    """Shared mutable state of one load run."""
+    """Shared mutable state of one load run (or of one federated ring's
+    share of a run - then ``hist``/``statuses`` are injected so every
+    ring lands in the same report)."""
 
-    def __init__(self, cluster: ServiceCluster, rng: random.Random) -> None:
+    def __init__(
+        self,
+        cluster: ServiceCluster,
+        rng: random.Random,
+        hist: Optional[Histogram] = None,
+        statuses: Optional[Dict[str, int]] = None,
+    ) -> None:
         self.cluster = cluster
         self.rng = rng
         self.alive: List[str] = list(cluster.pids)
-        self.hist = Histogram()
-        self.statuses: Dict[str, int] = {}
+        self.hist = hist if hist is not None else Histogram()
+        self.statuses = statuses if statuses is not None else {}
+        #: Op starts at/after this loop time count toward the measured
+        #: window (warmup exclusion); 0.0 measures everything.
+        self.measure_after = 0.0
+        self.warmup_excluded = 0
         self.retries = 0
         self.reconnects = 0
         self.departures = 0
+        #: Global-scope ops submitted (federated runs).
+        self.global_ops = 0
 
 
 def _make_op(config: LoadConfig, rng: random.Random, session: str, n: int):
     """One (op, read_only) pair for the configured app."""
     read = rng.random() < config.read_fraction
     key = f"k{rng.randrange(config.key_space)}"
+    value = f"{session}:{n}"
+    if config.value_size > len(value):
+        value += "x" * (config.value_size - len(value))
     if config.app == "kvstore":
         if read:
             return {"op": "get", "key": key}, True
-        return {"op": "set", "key": key, "value": f"{session}:{n}"}, False
+        return {"op": "set", "key": key, "value": value}, False
     if config.app == "log":
         if read:
             return {"op": "len"}, True
-        return {"op": "append", "entry": f"{session}:{n}"}, False
+        return {"op": "append", "entry": value}, False
     if config.app == "counter":
         if read:
             return {"op": "balance"}, True
@@ -163,6 +218,10 @@ def _make_op(config: LoadConfig, rng: random.Random, session: str, n: int):
 async def _one_op(client, config: LoadConfig, state: _RunState,
                   session: str, n: int) -> None:
     op, read_only = _make_op(config, state.rng, session, n)
+    scope = ""
+    if not read_only and state.rng.random() < config.global_fraction:
+        scope = SCOPE_GLOBAL
+        state.global_ops += 1
     loop = asyncio.get_running_loop()
     start = loop.time()
     response, retries = await client.submit(
@@ -171,8 +230,12 @@ async def _one_op(client, config: LoadConfig, state: _RunState,
         read_only=read_only,
         max_retries=config.max_retries,
         backoff=config.backoff,
+        scope=scope,
     )
-    state.hist.observe((loop.time() - start) * 1000.0)
+    if start >= state.measure_after:
+        state.hist.observe((loop.time() - start) * 1000.0)
+    else:
+        state.warmup_excluded += 1
     state.retries += retries
     state.statuses[response.status] = state.statuses.get(response.status, 0) + 1
 
@@ -264,6 +327,8 @@ async def run_service_load(
     loop = asyncio.get_running_loop()
     start = loop.time()
     stop_at = start + config.duration
+    warmup = min(max(config.warmup, 0.0), config.duration)
+    state.measure_after = start + warmup
     tasks = [
         asyncio.ensure_future(_session(i, config, state, churn, stop_at))
         for i in range(config.clients)
@@ -277,22 +342,7 @@ async def run_service_load(
         pass
     elapsed = loop.time() - start
 
-    report = LoadReport(
-        duration=elapsed,
-        completed=state.hist.count,
-        ok=state.statuses.get(STATUS_OK, 0),
-        view_change=state.statuses.get(STATUS_VIEW_CHANGE, 0),
-        errors=state.statuses.get(STATUS_ERROR, 0)
-        + state.statuses.get(STATUS_RETRY, 0),
-        retries=state.retries,
-        reconnects=state.reconnects,
-        departures=state.departures,
-        ops_per_sec=state.hist.count / elapsed if elapsed > 0 else 0.0,
-        p50_ms=state.hist.percentile(0.50),
-        p99_ms=state.hist.percentile(0.99),
-        p999_ms=state.hist.percentile(0.999),
-        statuses=dict(state.statuses),
-    )
+    report = _build_report([state], elapsed, warmup, config.deadline)
     # Feed the tails into the cluster's shared registry too, so
     # ``metrics.render()`` tells the whole story in one place.
     latency = cluster.metrics.histogram("load.latency_ms")
@@ -303,3 +353,105 @@ async def run_service_load(
         await cluster.settle(pids=state.alive, timeout=settle_timeout)
         conformance = cluster.conformance()
     return report, conformance
+
+
+def _build_report(
+    states: List[_RunState],
+    elapsed: float,
+    warmup: float,
+    deadline: float = 0.0,
+) -> LoadReport:
+    """Summarize one run.  In federated mode the states share one
+    histogram and one status map, so both are read from the first."""
+    hist = states[0].hist
+    statuses = states[0].statuses
+    measured = max(elapsed - warmup, 1e-9)
+    within = (
+        sum(1 for s in hist.samples if s <= deadline * 1000.0)
+        if deadline > 0
+        else 0
+    )
+    return LoadReport(
+        duration=elapsed,
+        warmup=warmup,
+        warmup_excluded=sum(s.warmup_excluded for s in states),
+        completed=hist.count,
+        ok=statuses.get(STATUS_OK, 0),
+        view_change=statuses.get(STATUS_VIEW_CHANGE, 0),
+        errors=statuses.get(STATUS_ERROR, 0) + statuses.get(STATUS_RETRY, 0),
+        retries=sum(s.retries for s in states),
+        reconnects=sum(s.reconnects for s in states),
+        departures=sum(s.departures for s in states),
+        ops_per_sec=hist.count / measured if elapsed > 0 else 0.0,
+        deadline_ms=deadline * 1000.0,
+        goodput_per_sec=within / measured if deadline > 0 else 0.0,
+        p50_ms=hist.percentile(0.50),
+        p99_ms=hist.percentile(0.99),
+        p999_ms=hist.percentile(0.999),
+        statuses=dict(statuses),
+    )
+
+
+async def run_federated_load(
+    fed,
+    config: Optional[LoadConfig] = None,
+    churn: Optional[ChurnSpec] = None,
+    check_conformance: bool = True,
+    settle_timeout: float = 20.0,
+):
+    """Drive a started :class:`~repro.service.federation.FederatedCluster`
+    with client sessions spread round-robin over its rings.
+
+    Writes carry global scope with probability
+    :attr:`LoadConfig.global_fraction`; kill/partition churn applies to
+    :attr:`ChurnSpec.ring` (default: the first ring).  Returns
+    ``(report, per_ring_conformance, cross_ring_report)`` - the run is
+    judged both per ring (Specs 1-7) and across rings (the federation's
+    differential check).
+    """
+    config = config or LoadConfig()
+    churn = churn or ChurnSpec()
+    hist = Histogram()
+    statuses: Dict[str, int] = {}
+    states: Dict[str, _RunState] = {
+        key: _RunState(
+            fed.rings[key],
+            random.Random(config.seed * 1000 + i),
+            hist=hist,
+            statuses=statuses,
+        )
+        for i, key in enumerate(fed.ring_keys)
+    }
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    stop_at = start + config.duration
+    warmup = min(max(config.warmup, 0.0), config.duration)
+    for state in states.values():
+        state.measure_after = start + warmup
+    keys = fed.ring_keys
+    tasks = [
+        asyncio.ensure_future(
+            _session(i, config, states[keys[i % len(keys)]], churn, stop_at)
+        )
+        for i in range(config.clients)
+    ]
+    churn_ring = churn.ring if churn.ring is not None else keys[0]
+    churn_task = asyncio.ensure_future(
+        _inject_churn(states[churn_ring], churn, start)
+    )
+    await asyncio.gather(*tasks, return_exceptions=True)
+    churn_task.cancel()
+    try:
+        await churn_task
+    except (asyncio.CancelledError, Exception):
+        pass
+    elapsed = loop.time() - start
+
+    report = _build_report(list(states.values()), elapsed, warmup, config.deadline)
+    conformance = None
+    cross = None
+    if check_conformance:
+        await fed.settle_all(timeout=settle_timeout)
+        conformance = fed.conformance()
+        cross = fed.cross_ring_check()
+    return report, conformance, cross

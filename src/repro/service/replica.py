@@ -15,16 +15,36 @@ after a delivered batch mutated the local replicas (the daemon answers
 the waiting clients if the batch was its own), ``on_view_change`` fires
 on every regular configuration install (the daemon fails or re-stamps
 its in-flight batches).
+
+Federation (docs/SERVICE.md, "Multi-ring federation"):
+
+* *Taps* are extra :class:`~repro.core.configuration.Listener` objects
+  that receive the raw EVS events verbatim, before the replica
+  interprets them.  The daemon's light-weight-member push stream is one
+  tap; tests attach reference virtual-synchrony filters as another.
+* A delivered :class:`~repro.service.frames.GatewayForward` applies its
+  wrapped batch exactly once, deduplicated by
+  ``(src_ring, origin, batch_seq)`` across re-forwards and redundant
+  gateways.
+* ``on_global_applied(src_ring, batch, seen_rings, delivery)`` fires
+  after any global-scope application (native or forwarded) - the
+  gateway's relay hook.
+* Syncs carry the sender's applied-forward keys so remerging members
+  learn which cross-ring batches the snapshots already contain - plus
+  the recent global batch *payloads*, so a remerging gateway can relay
+  onward the batches ordered while it was partitioned away.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.apps.adapter import ServiceAdapter, build_adapters
 from repro.core.configuration import Configuration, Delivery, Listener
 from repro.obs.trace import NO_TRACE
 from repro.service.frames import (
+    SCOPE_GLOBAL,
+    GatewayForward,
     ServiceBatch,
     ServiceSync,
     decode_ring_payload,
@@ -63,18 +83,68 @@ class ServiceReplica(Listener):
         self.batches_applied = 0
         self.syncs_sent = 0
         self.syncs_merged = 0
+        self.forwards_applied = 0
+        self.forwards_deduped = 0
         self._prev_regular_members: Optional[frozenset] = None
         self._sync_nr = 0
+        #: Cross-ring batch keys ``(src_ring, origin, batch_seq)`` this
+        #: replica has applied - or learned (via a sync's ``forwards``)
+        #: are already folded into its merged snapshots.  The
+        #: exactly-once filter.  ``src_ring`` is part of the key because
+        #: a gateway pid runs one daemon per ring, each with its own
+        #: batch counter, so ``(origin, batch_seq)`` alone can collide.
+        self.applied_forwards: Set[Tuple[str, str, int]] = set()
+        #: Recently applied global batches as ``(src_ring, seen_rings,
+        #: batch)``, bounded; shipped inside syncs so a remerging
+        #: gateway gets the *payloads* of batches ordered while it was
+        #: partitioned away (it only ever learns their keys otherwise,
+        #: and a key cannot be relayed onward).
+        self.recent_globals: List[Tuple[str, Tuple, ServiceBatch]] = []
+        self.recent_globals_limit = 256
+        #: Caps on the tail of those riding along in each outgoing
+        #: sync.  Ring payloads are single UDP datagrams, so the tail
+        #: must stay well under the ~64KB datagram cap even with fat
+        #: batches; a partition that outlives the tail still converges
+        #: on state (snapshots) and keys (``forwards``), only the
+        #: onward relay of the over-budget batches is lost.
+        self.sync_globals_limit = 32
+        self.sync_globals_budget = 24 * 1024
+        #: Every global-scope application in local order, as
+        #: ``(src_ring, origin, batch_seq)`` - the record the federation
+        #: harness's cross-ring differential check audits.
+        self.global_order: List[Tuple[str, str, int]] = []
+        #: Extra listeners receiving the raw EVS events verbatim (the
+        #: light-weight-member push path and test probes).
+        self.taps: List[Listener] = []
         #: Daemon callbacks (batch, results, delivery) and (config).
         self.on_batch_applied: Optional[Callable] = None
         self.on_view_change: Optional[Callable] = None
+        #: Gateway callback: (src_ring, batch, seen_rings, delivery)
+        #: after a global-scope batch (native or forwarded) applied.
+        self.on_global_applied: Optional[Callable] = None
 
     def bind(self, process) -> None:
         self.process = process
 
+    def add_tap(self, tap: Listener) -> None:
+        """Attach an extra listener that observes the raw EVS event
+        stream (same order, same objects) without ring membership."""
+        self.taps.append(tap)
+
+    def remove_tap(self, tap: Listener) -> None:
+        if tap in self.taps:
+            self.taps.remove(tap)
+
+    @property
+    def ring_id(self) -> str:
+        """The federation ring key this replica orders within."""
+        return "" if self.process is None else self.process.ring_id
+
     # -- Listener ----------------------------------------------------------
 
     def on_configuration_change(self, config: Configuration) -> None:
+        for tap in self.taps:
+            tap.on_configuration_change(config)
         self.config = config
         for adapter in self.adapters.values():
             adapter.on_config(config)
@@ -88,7 +158,8 @@ class ServiceReplica(Listener):
             and members != self._prev_regular_members
             and len(members) > 1
         ):
-            # Membership changed: offer every app's state for merge.
+            # Membership changed: offer every app's state for merge,
+            # plus the cross-ring batch keys that state already covers.
             self._sync_nr += 1
             sync = ServiceSync(
                 origin=self.pid,
@@ -97,6 +168,8 @@ class ServiceReplica(Listener):
                     name: adapter.snapshot()
                     for name, adapter in self.adapters.items()
                 },
+                forwards=tuple(sorted(self.applied_forwards)),
+                global_batches=self._sync_globals_tail(),
             )
             self.process.send(
                 encode_ring_payload(sync, self.wire_format), self.requirement
@@ -107,6 +180,8 @@ class ServiceReplica(Listener):
             self.on_view_change(config)
 
     def on_deliver(self, delivery: Delivery) -> None:
+        for tap in self.taps:
+            tap.on_deliver(delivery)
         message = decode_ring_payload(delivery.payload)
         if isinstance(message, ServiceSync):
             if message.origin != self.pid:
@@ -114,28 +189,125 @@ class ServiceReplica(Listener):
                     adapter = self.adapters.get(name)
                     if adapter is not None:
                         adapter.merge(snapshot)
+                # Batches this replica never saw (ordered while it was
+                # in another component): the state effects arrive via
+                # the snapshots above, but a gateway still needs the
+                # payloads to relay them onward - fire the hook for
+                # each newly learned key, before the key merge below
+                # masks which ones are new.
+                for entry in message.global_batches:
+                    src_ring, seen_rings, batch = entry
+                    if not isinstance(batch, ServiceBatch):
+                        continue
+                    key = (src_ring, batch.origin, batch.batch_seq)
+                    if key in self.applied_forwards:
+                        continue
+                    self.applied_forwards.add(key)
+                    self._remember_global(src_ring, tuple(seen_rings), batch)
+                    if self.on_global_applied is not None:
+                        self.on_global_applied(
+                            src_ring, batch, tuple(seen_rings), delivery
+                        )
+                # The merged snapshots already contain these cross-ring
+                # batches; a gateway's post-merge re-forward must not
+                # apply them a second time here.
+                for key in message.forwards:
+                    self.applied_forwards.add((key[0], key[1], key[2]))
             self.syncs_merged += 1
             return
+        if isinstance(message, GatewayForward):
+            self._apply_forward(message, delivery)
+            return
         if isinstance(message, ServiceBatch):
-            results = [
-                self._apply_one(app, op, delivery, slot)
-                for slot, (app, op) in enumerate(message.ops)
-            ]
-            self.ops_applied += len(results)
-            self.batches_applied += 1
-            if self.tracer:
-                self.tracer.emit(
-                    self.pid,
-                    "svc.deliver",
-                    ring=str(delivery.message_id.ring),
-                    origin=message.origin,
-                    batch_seq=message.batch_seq,
-                    ops=len(results),
+            self._apply_batch(message, delivery)
+
+    def _apply_batch(self, message: ServiceBatch, delivery: Delivery) -> None:
+        results = [
+            self._apply_one(app, op, delivery, slot)
+            for slot, (app, op) in enumerate(message.ops)
+        ]
+        self.ops_applied += len(results)
+        self.batches_applied += 1
+        if self.tracer:
+            self.tracer.emit(
+                self.pid,
+                "svc.deliver",
+                ring=str(delivery.message_id.ring),
+                origin=message.origin,
+                batch_seq=message.batch_seq,
+                ops=len(results),
+            )
+        if message.scope == SCOPE_GLOBAL:
+            src_ring = self.ring_id
+            self.applied_forwards.add(
+                (src_ring, message.origin, message.batch_seq)
+            )
+            self.global_order.append(
+                (src_ring, message.origin, message.batch_seq)
+            )
+            self._remember_global(src_ring, (src_ring,), message)
+            if self.on_global_applied is not None:
+                self.on_global_applied(
+                    src_ring, message, (src_ring,), delivery
                 )
-            if self.on_batch_applied is not None:
-                self.on_batch_applied(message, results, delivery)
+        if self.on_batch_applied is not None:
+            self.on_batch_applied(message, results, delivery)
+
+    def _apply_forward(self, fwd: GatewayForward, delivery: Delivery) -> None:
+        batch = fwd.batch
+        if not isinstance(batch, ServiceBatch):
+            return  # malformed relay; drop deterministically
+        key = (fwd.src_ring, batch.origin, batch.batch_seq)
+        if key in self.applied_forwards:
+            self.forwards_deduped += 1
+            return
+        self.applied_forwards.add(key)
+        for slot, (app, op) in enumerate(batch.ops):
+            self._apply_one(app, op, delivery, slot)
+        self.ops_applied += len(batch.ops)
+        self.forwards_applied += 1
+        self.global_order.append((fwd.src_ring, batch.origin, batch.batch_seq))
+        if self.tracer:
+            self.tracer.emit(
+                self.pid,
+                "svc.forward",
+                src_ring=fwd.src_ring,
+                gateway=fwd.gateway,
+                origin=batch.origin,
+                batch_seq=batch.batch_seq,
+            )
+        seen = tuple(fwd.seen_rings)
+        if self.ring_id not in seen:
+            seen = seen + (self.ring_id,)
+        self._remember_global(fwd.src_ring, seen, batch)
+        if self.on_global_applied is not None:
+            self.on_global_applied(fwd.src_ring, batch, seen, delivery)
 
     # -- internals ---------------------------------------------------------
+
+    def _remember_global(
+        self, src_ring: str, seen_rings: Tuple, batch: ServiceBatch
+    ) -> None:
+        self.recent_globals.append((src_ring, seen_rings, batch))
+        if len(self.recent_globals) > self.recent_globals_limit:
+            del self.recent_globals[
+                : len(self.recent_globals) - self.recent_globals_limit
+            ]
+
+    def _sync_globals_tail(self) -> Tuple:
+        """Newest recent globals that fit the sync's count and byte
+        caps, oldest-first (per-origin FIFO holds for the relayed
+        tail)."""
+        budget = self.sync_globals_budget
+        tail: List[Tuple[str, Tuple, ServiceBatch]] = []
+        for entry in reversed(self.recent_globals):
+            budget -= len(encode_ring_payload(entry[2], self.wire_format))
+            if tail and budget < 0:
+                break
+            tail.append(entry)
+            if len(tail) >= self.sync_globals_limit:
+                break
+        return tuple(reversed(tail))
 
     def _apply_one(
         self, app: str, op: Any, delivery: Delivery, slot: int

@@ -129,6 +129,7 @@ class ControllerStats:
     installs: int = 0
     recovery_rebroadcasts: int = 0
     messages_gc: int = 0
+    foreign_ring_dropped: int = 0
 
 
 @dataclass
@@ -198,7 +199,9 @@ class TotemController:
         start looking for peers.  The engine must already have delivered
         the boot configuration change for ``boot_ring``."""
         self.state = ControllerState.OPERATIONAL
-        self.ring = RingState(boot_ring, (self.me,), self.me)
+        self.ring = RingState(
+            boot_ring, (self.me,), self.me, ring_id=self.config.ring_id
+        )
         self.max_ring_seq_seen = max(self.max_ring_seq_seen, boot_ring.seq)
         self._enter_gather(reason="boot")
 
@@ -519,11 +522,17 @@ class TotemController:
                     sender=self.me,
                     ring=ring.ring,
                     members=frozenset(ring.members),
+                    ring_id=self.config.ring_id,
                 )
             )
             self.host.set_timer(T_BEACON, self.config.beacon_interval)
 
     def _on_beacon(self, src: ProcessId, beacon: Beacon) -> None:
+        if beacon.ring_id != self.config.ring_id:
+            # Another federation ring's presence traffic: not merge
+            # evidence (rings federate through gateways, never by fusing).
+            self.stats.foreign_ring_dropped += 1
+            return
         self._note_ring_seq(beacon.ring.seq)
         ring = self.ring
         assert ring is not None
@@ -595,6 +604,7 @@ class TotemController:
             proc_set=set(ring.members) | set(extra_candidates),
             max_ring_seq=self.max_ring_seq_seen,
             started_at=self.host.now,
+            ring_id=self.config.ring_id,
         )
         if self.tracer:
             self._trace_gather = self.tracer.emit(
@@ -628,6 +638,11 @@ class TotemController:
         return threshold
 
     def _on_join(self, src: ProcessId, join: JoinMessage) -> None:
+        if join.ring_id != self.config.ring_id:
+            # A foreign federation ring is (re)forming membership; its
+            # consensus must never include us.
+            self.stats.foreign_ring_dropped += 1
+            return
         self._note_ring_seq(join.ring_seq)
         assert self.ring is not None
         if join.ring_seq < self._join_threshold():
@@ -979,7 +994,9 @@ class TotemController:
         self._commit_token_seqs = {
             r: s for r, s in self._commit_token_seqs.items() if r.seq > new_ring.seq
         }
-        self.ring = RingState(new_ring, new_members, self.me)
+        self.ring = RingState(
+            new_ring, new_members, self.me, ring_id=self.config.ring_id
+        )
         self.max_ring_seq_seen = max(self.max_ring_seq_seen, new_ring.seq)
         self.obligation.clear()  # Step 1: no obligations in a regular conf
         self.state = ControllerState.OPERATIONAL

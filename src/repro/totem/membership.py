@@ -37,6 +37,8 @@ class GatherState:
     #: Highest ring sequence number seen anywhere (drives new ring ids).
     max_ring_seq: int = 0
     started_at: float = 0.0
+    #: Federation ring key stamped on every Join this round proposes.
+    ring_id: str = ""
 
     def __post_init__(self) -> None:
         self.proc_set = set(self.proc_set)
@@ -52,6 +54,7 @@ class GatherState:
             proc_set=frozenset(self.proc_set),
             fail_set=frozenset(self.fail_set),
             ring_seq=self.max_ring_seq,
+            ring_id=self.ring_id,
         )
 
     def absorb(self, join: JoinMessage) -> bool:

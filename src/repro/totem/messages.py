@@ -105,11 +105,17 @@ class Beacon:
     not belong to starts the membership algorithm, which is how partitions
     remerge (Transis and Totem behave equivalently through their multicast
     traffic and periodic retransmissions).
+
+    ``ring_id`` is the federation ring key (:attr:`TotemConfig.ring_id`):
+    beacons from a different federation ring are ignored rather than
+    treated as merge evidence, which is what keeps multiple Totem rings
+    independent on a shared medium.
     """
 
     sender: ProcessId
     ring: RingId
     members: frozenset
+    ring_id: str = ""
 
 
 @register
@@ -123,12 +129,16 @@ class JoinMessage:
     ``proc_set - fail_set`` has broadcast an identical (proc_set,
     fail_set) pair.  ``ring_seq`` carries the highest ring sequence number
     the sender has ever seen so the new ring id exceeds all predecessors.
+    ``ring_id`` keys the Join to one federation ring: a controller only
+    folds in Joins carrying its own ring_id, so federated rings never
+    reach membership consensus with each other's members.
     """
 
     sender: ProcessId
     proc_set: frozenset
     fail_set: frozenset
     ring_seq: int
+    ring_id: str = ""
 
 
 @register

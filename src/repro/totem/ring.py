@@ -34,12 +34,20 @@ from repro.types import DeliveryRequirement, ProcessId, RingId
 class RingState:
     """Mutable per-ring protocol state for one process."""
 
-    def __init__(self, ring: RingId, members: Iterable[ProcessId], me: ProcessId) -> None:
+    def __init__(
+        self,
+        ring: RingId,
+        members: Iterable[ProcessId],
+        me: ProcessId,
+        ring_id: str = "",
+    ) -> None:
         self.ring = ring
         self.members: Tuple[ProcessId, ...] = tuple(sorted(set(members)))
         if me not in self.members:
             raise ValueError(f"{me} not a member of {ring}")
         self.me = me
+        #: Federation ring key this configuration was formed under.
+        self.ring_id = ring_id
         #: Received messages of this ring, keyed by ordinal.
         self.messages: Dict[int, RegularMessage] = {}
         #: Contiguous received prefix: every ordinal <= my_aru is held (or

@@ -65,6 +65,12 @@ class TotemConfig:
     #: network speed.  Set to 0 to disable.  Must stay well below
     #: ``token_loss_timeout`` times the ring size.
     token_idle_pace: float = 0.004
+    #: Federation ring key.  Processes only merge with peers whose Joins
+    #: and Beacons carry the same ``ring_id``, so multiple independent
+    #: Totem rings can share a broadcast domain (or a port space) without
+    #: ever folding into one configuration.  The empty string is the
+    #: default, standalone ring.
+    ring_id: str = ""
 
     @classmethod
     def lan(cls) -> "TotemConfig":
@@ -107,6 +113,13 @@ class TotemConfig:
             beacon_interval=0.400,
             token_idle_pace=0.004,
         )
+
+    def for_ring(self, ring_id: str) -> "TotemConfig":
+        """This profile keyed to one federation ring (see
+        :mod:`repro.service.federation`)."""
+        from dataclasses import replace
+
+        return replace(self, ring_id=ring_id)
 
     @classmethod
     def wan(cls) -> "TotemConfig":

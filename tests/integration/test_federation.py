@@ -1,0 +1,154 @@
+"""Integration: cross-ring reconciliation across partition and remerge.
+
+Two complementary directions of the same failure - a gateway separated
+from the members it relays for:
+
+* the gateway *holds* forwards its destination ring's members missed
+  (they were partitioned away while the forward was ordered): the
+  remerge re-send path (``RingGateway.on_ring_view``) delivers them,
+  and receiver dedup keeps it exactly-once;
+* the gateway itself *missed* global batches ordered in the component
+  it was partitioned away from: EVS never redelivers those to it, so
+  the payloads ride the reconciliation sync
+  (``ServiceSync.global_batches``) and the gateway relays them onward
+  from there.
+
+Both runs must end with the cross-ring differential check green.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import STATUS_OK, FederatedCluster, ServiceConfig
+
+pytestmark = pytest.mark.asyncio_net
+
+RINGS = {"r0": ["a", "b"], "r1": ["c", "d"]}
+GATEWAYS = {"g01": ("r0", "r1")}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _global_write(fed, ring, pid, key, value):
+    client = await fed.client(ring, pid)
+    try:
+        response, _ = await client.submit(
+            "kvstore",
+            {"op": "set", "key": key, "value": value},
+            scope="global",
+        )
+        assert response.status == STATUS_OK, response
+    finally:
+        await client.close()
+
+
+def test_remerge_redelivers_forwards_held_by_gateway():
+    """Destination members partitioned away while forwards were ordered
+    get them on remerge, exactly once."""
+
+    async def main():
+        fed = FederatedCluster(
+            RINGS,
+            GATEWAYS,
+            base_port=47000,
+            client_base_port=47400,
+            service_config=ServiceConfig(batching=False),
+        )
+        await fed.start()
+        try:
+            r1 = fed.rings["r1"]
+            fed.partition("r1", ["c", "d"], ["g01"])
+            assert await r1.wait_until(
+                lambda: r1.converged(["c", "d"]) and r1.converged(["g01"]),
+                timeout=15.0,
+            )
+
+            # Ordered on r0, relayed into r1 - but the gateway's r1
+            # component is a singleton, so c and d never see the relay.
+            await _global_write(fed, "r0", "a", "held", "1")
+            gateway = fed.gateways["g01"]
+            assert await r1.wait_until(
+                lambda: gateway.pending_forwards("r1") >= 1, timeout=10.0
+            )
+            for pid in ("c", "d"):
+                assert not any(
+                    k[0] == "r0" for k in r1.replicas[pid].applied_forwards
+                )
+
+            fed.merge_all("r1")
+            assert await fed.settle_all(timeout=25.0)
+
+            # Membership grew -> the gateway re-sent its recent
+            # forwards; everyone ends with the batch applied once.
+            assert gateway.re_forwarded > 0
+            for pid, replica in r1.replicas.items():
+                from_r0 = [k for k in replica.global_order if k[0] == "r0"]
+                assert len(from_r0) == 1, (pid, replica.global_order)
+            for conf in fed.conformance().values():
+                assert conf.passed, conf.render()
+            cross = fed.cross_ring_check()
+            assert cross.ok, cross.render()
+        finally:
+            await fed.stop()
+
+    run(main())
+
+
+def test_sync_carries_missed_globals_to_partitioned_gateway():
+    """Global batches ordered while the gateway was partitioned away
+    reach the other ring after remerge, via the sync's batch payloads."""
+
+    async def main():
+        fed = FederatedCluster(
+            RINGS,
+            GATEWAYS,
+            base_port=47800,
+            client_base_port=48200,
+            service_config=ServiceConfig(batching=False),
+        )
+        await fed.start()
+        try:
+            r1 = fed.rings["r1"]
+            fed.partition("r1", ["c", "d"], ["g01"])
+            assert await r1.wait_until(
+                lambda: r1.converged(["c", "d"]) and r1.converged(["g01"]),
+                timeout=15.0,
+            )
+
+            # Ordered in {c, d}; EVS will never redeliver these to the
+            # gateway, so only the sync path can carry them out.
+            await _global_write(fed, "r1", "c", "missed.1", "x")
+            await _global_write(fed, "r1", "c", "missed.2", "y")
+            keys = {
+                k
+                for k in r1.replicas["c"].global_order
+                if k[0] == "r1"
+            }
+            assert len(keys) == 2
+            assert not keys & fed.rings["r0"].replicas["a"].applied_forwards
+
+            fed.merge_all("r1")
+            assert await fed.settle_all(timeout=25.0)
+
+            # The gateway learned the payloads from the remerge sync and
+            # relayed them into r0, where every replica applied them
+            # exactly once.
+            for pid, replica in fed.rings["r0"].replicas.items():
+                assert keys <= replica.applied_forwards, (
+                    pid,
+                    keys - replica.applied_forwards,
+                )
+                from_r1 = [k for k in replica.global_order if k in keys]
+                assert sorted(from_r1) == sorted(keys), pid
+            assert fed.gateways["g01"].forwarded >= 2
+            for conf in fed.conformance().values():
+                assert conf.passed, conf.render()
+            cross = fed.cross_ring_check()
+            assert cross.ok, cross.render()
+        finally:
+            await fed.stop()
+
+    run(main())

@@ -1,0 +1,111 @@
+"""Integration: light-weight members (ISSUE 8 acceptance criteria).
+
+A light-weight member must (a) never appear in any ring configuration
+or token rotation - it costs the ring nothing - while (b) observing
+exactly the view sequence a co-located ring member's virtual-synchrony
+filter emits, across a partition and remerge.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.configuration import Listener
+from repro.service import ServiceCluster
+from repro.vs.filter import VirtualSynchronyFilter
+from repro.vs.primary import MajorityStrategy
+
+pytestmark = pytest.mark.asyncio_net
+
+PIDS = ["a", "b", "c"]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class _Views:
+    def __init__(self):
+        self.views = []
+
+    def on_view(self, view):
+        self.views.append(view)
+
+    def on_deliver(self, event, payload):
+        pass
+
+
+class _ConfigLog(Listener):
+    def __init__(self):
+        self.member_sets = []
+
+    def on_configuration_change(self, config):
+        self.member_sets.append(frozenset(config.members))
+
+    def on_deliver(self, delivery):
+        pass
+
+
+def test_lightweight_matches_host_views_without_membership():
+    async def main():
+        cluster = ServiceCluster(PIDS, base_port=48600, client_base_port=48900)
+        await cluster.start()
+        observer = None
+        try:
+            # Reference: the co-located member's own filter, attached as
+            # a replica tap so it sees the raw EVS stream verbatim.  The
+            # daemon replays the current configuration to a fresh
+            # subscriber, so the reference gets the same replay by hand.
+            replica = cluster.replicas["a"]
+            ref_views = _Views()
+            reference = VirtualSynchronyFilter(
+                "a", MajorityStrategy(cluster.pids), vs_listener=ref_views
+            )
+            configs = _ConfigLog()
+            if replica.config is not None:
+                reference.on_configuration_change(replica.config)
+            replica.add_tap(reference)
+            replica.add_tap(configs)
+
+            observer = await cluster.subscribe("a", "obs")
+            assert observer.host_member == "a"
+            assert await observer.wait_for_view(
+                lambda v: set(v.members) == set(PIDS)
+            )
+
+            # Force view changes: majority keeps the primary, then the
+            # minority member rejoins.
+            cluster.partition(["a", "b"], ["c"])
+            assert await cluster.wait_until(
+                lambda: cluster.converged(["a", "b"])
+                and cluster.converged(["c"]),
+                timeout=15.0,
+            )
+            cluster.merge_all()
+            assert await cluster.settle(timeout=20.0)
+
+            # The subscriber's stream is pushed over TCP; let it drain.
+            assert await cluster.wait_until(
+                lambda: len(observer.views) >= len(ref_views.views),
+                timeout=10.0,
+            )
+
+            # (b) identical view sequence, object-for-object.
+            assert observer.views == ref_views.views
+            assert len(observer.views) >= 3  # initial, shrink, regrow
+
+            # (a) never a member: not in any EVS configuration, not in
+            # any VS view, and not a token-handling ring process.
+            assert configs.member_sets, "no configurations recorded"
+            for members in configs.member_sets:
+                assert "obs" not in members
+            for view in observer.views:
+                assert "obs" not in view.members
+            assert "obs" not in cluster.evs.processes
+            assert set(cluster.evs.processes) == set(PIDS)
+        finally:
+            if observer is not None:
+                await observer.close()
+            await cluster.stop()
+
+    run(main())

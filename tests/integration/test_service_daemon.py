@@ -165,6 +165,80 @@ def test_backpressure_returns_retry():
     run(main())
 
 
+def test_backpressure_counters_split_conn_from_daemon():
+    """Overload diagnosis needs "one hot client" and "daemon saturated"
+    counted apart; ``describe()`` surfaces both."""
+
+    async def main():
+        async def flood(cluster, n=8):
+            client = await cluster.client("a")
+            pending = [
+                asyncio.ensure_future(
+                    client.request(
+                        "kvstore", {"op": "set", "key": f"k{i}", "value": "v"}
+                    )
+                )
+                for i in range(n)
+            ]
+            await asyncio.gather(*pending)
+            await client.close()
+
+        # One hot connection: the per-conn cap trips, the daemon cap
+        # never does.
+        cluster = ServiceCluster(
+            ["a", "b"],
+            base_port=41340,
+            client_base_port=42340,
+            service_config=ServiceConfig(
+                batching=True,
+                max_batch=256,
+                batch_interval=0.5,
+                max_pending_per_conn=2,
+                max_pending_total=1000,
+            ),
+        )
+        await cluster.start()
+        try:
+            await flood(cluster)
+            snap = cluster.metrics.snapshot()
+            assert snap.get("svc.backpressure.conn", 0) >= 4
+            assert snap.get("svc.backpressure.daemon", 0) == 0
+            assert snap.get("svc.backpressure.by_pid.a", 0) >= 4
+            # describe() surfaces the tripped cause (zero counters are
+            # elided from the compact rendering).
+            description = cluster.describe()
+            assert "svc.backpressure.conn" in description
+            assert "svc.backpressure.daemon" not in description
+        finally:
+            await cluster.stop()
+
+        # Daemon-wide saturation: the total cap trips first because the
+        # per-conn cap is out of reach.
+        cluster = ServiceCluster(
+            ["a", "b"],
+            base_port=41350,
+            client_base_port=42350,
+            service_config=ServiceConfig(
+                batching=True,
+                max_batch=256,
+                batch_interval=0.5,
+                max_pending_per_conn=1000,
+                max_pending_total=2,
+            ),
+        )
+        await cluster.start()
+        try:
+            await flood(cluster)
+            snap = cluster.metrics.snapshot()
+            assert snap.get("svc.backpressure.daemon", 0) >= 4
+            assert snap.get("svc.backpressure.conn", 0) == 0
+            assert "svc.backpressure.daemon" in cluster.describe()
+        finally:
+            await cluster.stop()
+
+    run(main())
+
+
 def test_unknown_app_and_malformed_op_are_errors():
     async def main():
         cluster = ServiceCluster(

@@ -1,0 +1,176 @@
+"""Property: both wire codecs round-trip every service-tier and
+federation frame type, including the nested shapes the federation
+leans on (a :class:`GatewayForward` wrapping a :class:`ServiceBatch`,
+a :class:`ServiceSync` carrying forward keys *and* batch payloads),
+and the TCP framing layer round-trips whatever the codec produced."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import codec
+from repro.service.frames import (
+    SCOPE_GLOBAL,
+    SCOPE_LOCAL,
+    ClientRequest,
+    ClientResponse,
+    EvsConfigFrame,
+    EvsDeliverFrame,
+    GatewayForward,
+    ServiceBatch,
+    ServiceSync,
+    SubscribeRequest,
+    decode_frame,
+    encode_frame,
+)
+
+pids = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+rings = st.text(alphabet="rst0123", min_size=1, max_size=4)
+seqs = st.integers(min_value=0, max_value=1_000_000)
+scopes = st.sampled_from(["", SCOPE_LOCAL, SCOPE_GLOBAL])
+# App op dicts as the client path ships them: JSON-safe scalar values.
+op_values = st.one_of(st.integers(-1000, 1000), st.text(max_size=16), st.booleans())
+ops_dicts = st.dictionaries(st.text(max_size=8), op_values, max_size=4)
+ops_tuples = st.lists(
+    st.tuples(st.sampled_from(["kvstore", "log", "lock"]), ops_dicts), max_size=4
+).map(lambda pairs: tuple((app, op) for app, op in pairs))
+
+client_requests = st.builds(
+    ClientRequest,
+    request_id=seqs,
+    app=st.sampled_from(["kvstore", "log", "lock"]),
+    op=ops_dicts,
+    read_only=st.booleans(),
+    scope=scopes,
+)
+
+client_responses = st.builds(
+    ClientResponse,
+    request_id=seqs,
+    status=st.sampled_from(["ok", "retry", "view-change", "error"]),
+    view=st.text(max_size=12),
+    view_seq=seqs,
+    result=st.one_of(st.none(), ops_dicts),
+    detail=st.text(max_size=24),
+)
+
+service_batches = st.builds(
+    ServiceBatch, origin=pids, batch_seq=seqs, ops=ops_tuples, scope=scopes
+)
+
+forward_keys = st.lists(
+    st.tuples(rings, pids, seqs), max_size=5, unique=True
+).map(tuple)
+
+global_batch_entries = st.lists(
+    st.tuples(rings, st.lists(rings, max_size=3, unique=True).map(tuple), service_batches),
+    max_size=3,
+).map(tuple)
+
+service_syncs = st.builds(
+    ServiceSync,
+    origin=pids,
+    nr=seqs,
+    snapshots=st.dictionaries(
+        st.sampled_from(["kvstore", "log", "lock"]), ops_dicts, max_size=3
+    ),
+    forwards=forward_keys,
+    global_batches=global_batch_entries,
+)
+
+gateway_forwards = st.builds(
+    GatewayForward,
+    gateway=pids,
+    src_ring=rings,
+    fwd_seq=seqs,
+    batch=service_batches,
+    seen_rings=st.lists(rings, max_size=4, unique=True).map(tuple),
+)
+
+subscribe_requests = st.builds(SubscribeRequest, subscriber=pids, request_id=seqs)
+
+config_frames = st.builds(
+    EvsConfigFrame,
+    ring_seq=seqs,
+    ring_rep=pids,
+    members=st.lists(pids, max_size=6, unique=True).map(tuple),
+    transitional=st.booleans(),
+    old_ring_seq=seqs,
+    old_ring_rep=pids,
+)
+
+deliver_frames = st.builds(
+    EvsDeliverFrame,
+    ring_seq=seqs,
+    ring_rep=pids,
+    seq=seqs,
+    sender=pids,
+    origin_seq=seqs,
+    requirement=st.integers(1, 4),
+    config_transitional=st.booleans(),
+    payload=st.binary(max_size=256),
+)
+
+any_service_frame = st.one_of(
+    client_requests,
+    client_responses,
+    service_batches,
+    service_syncs,
+    gateway_forwards,
+    subscribe_requests,
+    config_frames,
+    deliver_frames,
+)
+
+FORMATS = (codec.FORMAT_JSON, codec.FORMAT_BINARY)
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@given(any_service_frame)
+@settings(max_examples=300)
+def test_service_frame_roundtrip_identity(fmt, message):
+    assert codec.decode(codec.encode(message, fmt)) == message
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@given(gateway_forwards)
+@settings(max_examples=100)
+def test_forward_nested_batch_survives(fmt, fwd):
+    decoded = codec.decode(codec.encode(fwd, fmt))
+    assert isinstance(decoded.batch, ServiceBatch)
+    assert decoded.batch == fwd.batch
+    assert decoded.seen_rings == fwd.seen_rings
+    assert isinstance(decoded.seen_rings, tuple)
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@given(service_syncs)
+@settings(max_examples=100)
+def test_sync_forward_keys_and_batches_survive(fmt, sync):
+    decoded = codec.decode(codec.encode(sync, fmt))
+    assert decoded.forwards == sync.forwards
+    for got, want in zip(decoded.global_batches, sync.global_batches):
+        src_ring, seen_rings, batch = got
+        assert (src_ring, seen_rings) == (want[0], want[1])
+        assert isinstance(batch, ServiceBatch) and batch == want[2]
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@given(any_service_frame)
+@settings(max_examples=150)
+def test_tcp_framing_roundtrip(fmt, message):
+    frame = encode_frame(message, fmt)
+    decoded, rest = decode_frame(frame)
+    assert decoded == message
+    assert rest == b""
+
+
+@given(any_service_frame)
+@settings(max_examples=100)
+def test_formats_interoperate_on_one_stream(message):
+    json_frame = encode_frame(message, codec.FORMAT_JSON)
+    binary_frame = encode_frame(message, codec.FORMAT_BINARY)
+    first, rest = decode_frame(json_frame + binary_frame)
+    second, rest = decode_frame(rest)
+    assert first == second == message
+    assert rest == b""
