@@ -1,0 +1,109 @@
+"""Experiment X7 (added; the paper reports no performance numbers):
+chaos-soak sustainability - the soak harness must hold its simulated-
+event throughput and its memory bound while the transient-fault
+injector and the live invariant monitors are both on.
+
+Two gates back docs/SOAK.md's claims:
+
+* **throughput**: a transient soak must sustain at least 5,000
+  simulated events per wall-clock second (a regression here means soaks
+  stop covering hours of simulated time in CI-sized wall time);
+* **bounded memory**: the rolling checker must truncate - retained
+  events at the end stay far below the total drained, the peak checked
+  window stays bounded, and peak RSS stays under a hard ceiling.
+
+Both runs must pass Specs 1-7 (a fast soak that misses violations is
+not a soak).  Machine-readable output:
+``benchmarks/results/BENCH_soak.json``.
+"""
+
+import resource
+
+from _util import emit, emit_json
+
+from repro.harness.metrics import BenchRow, render_table
+from repro.soak.driver import SoakConfig, run_soak
+
+#: Simulated minutes per measured soak (CI-sized; the real harness runs
+#: for hours with the same per-window costs).
+MINUTES = 1.0
+EVENTS_PER_SEC_GATE = 5_000.0
+PEAK_RSS_KB_GATE = 512 * 1024  # 512 MiB, far above normal (~40 MiB)
+#: Retained events must be a small fraction of total drained events.
+RETENTION_FRACTION_GATE = 0.25
+
+
+def run_one(seed, transient):
+    config = SoakConfig(
+        seed=seed,
+        processes=5,
+        minutes=MINUTES,
+        window=8.0,
+        transient=transient,
+        loss=0.01,
+    )
+    report = run_soak(config)
+    assert report.passed, report.render()
+    return report
+
+
+def test_soak_sustained_throughput_and_memory(benchmark):
+    results = {}
+
+    def sweep():
+        results["plain"] = run_one(1, transient=False)
+        results["transient"] = run_one(1, transient=True)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    payload = {"minutes": MINUTES, "rows": []}
+    for label, report in sorted(results.items()):
+        rows.append(
+            BenchRow(
+                label,
+                {
+                    "sim": f"{report.sim_seconds:.0f}s",
+                    "wall": f"{report.wall_seconds:.2f}s",
+                    "rate": f"{report.events_per_sec:,.0f} ev/s",
+                    "transients": report.transients_injected,
+                    "repairs": report.state_repairs + report.stable_repairs,
+                    "fail_stops": report.fail_stops,
+                    "peak win": report.peak_window_events,
+                    "retained": report.retained_events,
+                },
+            )
+        )
+        payload["rows"].append({"label": label, **report.to_json()})
+
+    soaked = results["transient"]
+    assert soaked.events_per_sec >= EVENTS_PER_SEC_GATE, (
+        f"transient soak sustained {soaked.events_per_sec:,.0f} sim "
+        f"events/s, below the {EVENTS_PER_SEC_GATE:,.0f} gate"
+    )
+    # The monitors must actually have been exercised.
+    assert soaked.transients_injected > 0
+    assert soaked.events > 0 and soaked.windows_run == soaked.windows_planned
+
+    # Memory bound: truncation keeps retained state a small fraction of
+    # everything drained, and the process RSS stays under the ceiling.
+    retention = soaked.retained_events / max(1, soaked.events)
+    assert retention <= RETENTION_FRACTION_GATE, (
+        f"rolling checker retained {soaked.retained_events} of "
+        f"{soaked.events} events ({retention:.0%}), above the "
+        f"{RETENTION_FRACTION_GATE:.0%} gate - truncation is broken"
+    )
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    assert peak_rss_kb <= PEAK_RSS_KB_GATE, (
+        f"peak RSS {peak_rss_kb}KB above the {PEAK_RSS_KB_GATE}KB ceiling"
+    )
+    payload["gates"] = {
+        "events_per_sec": EVENTS_PER_SEC_GATE,
+        "retention_fraction": RETENTION_FRACTION_GATE,
+        "peak_rss_kb": PEAK_RSS_KB_GATE,
+        "observed_rss_kb": peak_rss_kb,
+    }
+
+    emit("soak", render_table("chaos soak sustainability", rows))
+    emit_json("soak", payload)

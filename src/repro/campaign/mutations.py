@@ -74,9 +74,9 @@ def duplicate_delivery(history: History) -> History:
     return out
 
 
-def swap_deliveries(history: History) -> History:
-    """Swap the last two adjacent deliveries at one process: violates
-    total order when other processes delivered them in program order."""
+def _swap_target(history: History) -> Optional[Tuple[str, int, int]]:
+    """(pid, a, b) of the last two adjacent deliveries at the first
+    process (sorted order) that has an adjacent pair."""
     for pid in sorted(history.processes):
         events = history.events_of(pid)
         positions: List[int] = [
@@ -85,12 +85,45 @@ def swap_deliveries(history: History) -> History:
         for j in range(len(positions) - 1, 0, -1):
             a, b = positions[j - 1], positions[j]
             if b == a + 1:
-                out = _clone(history)
-                seq = out.per_process[pid]
-                seq[a], seq[b] = seq[b], seq[a]
-                out.invalidate()
-                return out
-    return history
+                return pid, a, b
+    return None
+
+
+def swap_deliveries(history: History) -> History:
+    """Swap the last two adjacent deliveries at one process: violates
+    total order when other processes delivered them in program order."""
+    target = _swap_target(history)
+    if target is None:
+        return history
+    pid, a, b = target
+    out = _clone(history)
+    seq = out.per_process[pid]
+    seq[a], seq[b] = seq[b], seq[a]
+    out.invalidate()
+    return out
+
+
+def mutation_victims(name: str, history: History) -> List[Tuple[str, int]]:
+    """(pid, index) positions of the events a mutation would touch, empty
+    when it would be a no-op.  Mutations are position-based, so applying
+    one to two different *views* of an execution (say, a soak's final
+    window versus its whole history) only corrupts the same event when
+    the victims coincide; this lets callers check that precondition."""
+    if name in ("drop-delivery", "duplicate-delivery"):
+        pos = _last_delivery(history)
+        return [pos] if pos is not None else []
+    if name == "swap-deliveries":
+        target = _swap_target(history)
+        if target is None:
+            return []
+        pid, a, b = target
+        return [(pid, a), (pid, b)]
+    if name == "none":
+        return []
+    raise CampaignError(
+        f"unknown mutation {name!r} (expected one of "
+        f"{', '.join(sorted(MUTATIONS))})"
+    )
 
 
 MUTATIONS: Dict[str, Callable[[History], History]] = {

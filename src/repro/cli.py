@@ -12,6 +12,11 @@ Commands:
 * ``fuzz``        - parallel fuzzing campaign: fan seeded scenarios
   across worker processes, write a repro bundle per failing seed
   (docs/FUZZING.md);
+* ``soak``        - long-running chaos soak: hours of simulated time
+  under a continuous weighted fault schedule (optionally with the
+  transient-fault injector corrupting live state mid-run), checked
+  window-by-window by live invariant monitors with bounded memory;
+  violations are bundled and shrunk automatically (docs/SOAK.md);
 * ``shrink``      - delta-debug a bundle's failing scenario down to a
   local minimum that still violates the same spec clause;
 * ``replay``      - deterministically re-execute a bundle's scenario and
@@ -84,7 +89,7 @@ from repro.explore.driver import (
 from repro.explore.scenarios import partition_merge_scenario
 from repro.explore.schedule import ReplayPolicy
 from repro.harness.cluster import ClusterOptions, SimCluster
-from repro.harness.faults import random_scenario
+from repro.harness.faults import FaultProfile, random_scenario
 from repro.harness.figures import figure6_scenario, render_timeline
 from repro.harness.scenario import ScenarioRunner
 from repro.net.codec import FORMAT_BINARY, WIRE_FORMATS
@@ -245,6 +250,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         workers=args.workers,
         bundle_dir=args.bundle_dir,
         mutation=args.mutate,
+        profile=FaultProfile.parse(args.profile),
         trace=args.trace,
     )
 
@@ -263,6 +269,35 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             if outcome.bundle is not None:
                 print()
                 _shrink_bundle(outcome.bundle, args.max_executions)
+    return 0 if report.passed else 1
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    from repro.soak.driver import SoakConfig, run_soak
+
+    config = SoakConfig(
+        seed=args.seed,
+        processes=args.processes,
+        minutes=args.minutes,
+        window=args.window,
+        loss=args.loss,
+        profile=FaultProfile.parse(args.profile),
+        transient=args.transient,
+        mutation=args.mutate,
+        bundle_dir=args.bundle_dir or None,
+        max_shrink_executions=args.max_executions,
+        stop_on_violation=not args.keep_going,
+        recycle_threshold=args.recycle_threshold,
+        compact_min=args.compact_min,
+    )
+    progress = None if args.json else print
+    report = run_soak(config, progress=progress)
+    if args.json:
+        json.dump(report.to_json(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print()
+        print(report.render())
     return 0 if report.passed else 1
 
 
@@ -852,16 +887,29 @@ def cmd_load(args: argparse.Namespace) -> int:
         partition = tuple(
             tuple(_parse_members(group)) for group in args.partition.split("|")
         )
-    churn = ChurnSpec(
-        kill=args.kill,
-        kill_at=args.kill_at,
-        restart_at=args.restart_at,
-        partition=partition,
-        partition_at=args.partition_at,
-        merge_at=args.merge_at,
-        session_ops=args.session_ops,
-        ring=args.partition_ring,
-    )
+    if args.churn_profile is not None and args.rings:
+        print("--churn-profile is not supported with --rings", file=sys.stderr)
+        return 2
+    if args.churn_profile is not None:
+        churn = ChurnSpec.from_profile(
+            FaultProfile.parse(args.churn_profile),
+            _parse_members(args.members),
+            duration=args.duration,
+            seed=args.seed,
+            session_ops=args.session_ops,
+            ring=args.partition_ring,
+        )
+    else:
+        churn = ChurnSpec(
+            kill=args.kill,
+            kill_at=args.kill_at,
+            restart_at=args.restart_at,
+            partition=partition,
+            partition_at=args.partition_at,
+            merge_at=args.merge_at,
+            session_ops=args.session_ops,
+            ring=args.partition_ring,
+        )
     if args.rings:
         return _cmd_load_federated(args, config, load, churn)
     members = _parse_members(args.members)
@@ -996,6 +1044,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(pipeline self-test; see docs/FUZZING.md)",
     )
     fuzz.add_argument(
+        "--profile",
+        default="",
+        metavar="WEIGHTS",
+        help="fault-schedule weights, e.g. 'partition=3,corrupt=1' "
+        "(shared vocabulary with soak/load; see docs/SOAK.md)",
+    )
+    fuzz.add_argument(
         "--trace",
         action="store_true",
         help="capture a ring-buffered protocol trace per seed and attach "
@@ -1008,6 +1063,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--max-executions", type=int, default=400)
     fuzz.set_defaults(fn=cmd_fuzz)
+
+    soak = sub.add_parser(
+        "soak",
+        help="long-running chaos soak with live windowed invariant "
+        "monitors and shrink-on-violation (docs/SOAK.md)",
+    )
+    soak.add_argument(
+        "--minutes",
+        type=float,
+        default=60.0,
+        help="simulated minutes of continuous chaos",
+    )
+    soak.add_argument("--processes", type=int, default=5)
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument(
+        "--window",
+        type=float,
+        default=8.0,
+        help="simulated seconds per chaos window (check granularity)",
+    )
+    soak.add_argument("--loss", type=float, default=0.0)
+    soak.add_argument(
+        "--profile",
+        default="",
+        metavar="WEIGHTS",
+        help="fault-schedule weights, e.g. 'partition=3,corrupt=1.5'",
+    )
+    soak.add_argument(
+        "--transient",
+        action="store_true",
+        help="enable the transient-fault injector: stable-storage "
+        "corruption and live counter wraps (docs/SOAK.md)",
+    )
+    soak.add_argument(
+        "--mutate",
+        choices=sorted(MUTATIONS),
+        default="none",
+        help="inject a deterministic known bug into the final window "
+        "(self-test that the live monitors catch it)",
+    )
+    soak.add_argument(
+        "--bundle-dir",
+        default="repro-bundles",
+        help="directory for repro bundles on violation",
+    )
+    soak.add_argument("--max-executions", type=int, default=200,
+                      help="shrink budget per violation")
+    soak.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="continue soaking after a violation instead of stopping",
+    )
+    soak.add_argument(
+        "--recycle-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override TotemConfig.seq_recycle_threshold (tiny values "
+        "stress counter recycling)",
+    )
+    soak.add_argument(
+        "--compact-min",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the scheduler's timer-heap compaction threshold",
+    )
+    soak.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON (suppresses progress lines)",
+    )
+    soak.set_defaults(fn=cmd_soak)
 
     shr = sub.add_parser(
         "shrink", help="minimize a repro bundle's failing scenario"
@@ -1294,6 +1422,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ld.add_argument("--partition-at", type=float, default=0.4)
     ld.add_argument("--merge-at", type=float, default=None)
+    ld.add_argument("--churn-profile", default=None, metavar="WEIGHTS",
+                    help="continuous weighted churn from a fault profile, "
+                    "e.g. 'crash=2,partition=1' - the same schedule "
+                    "vocabulary as repro fuzz/soak (replaces the --kill/"
+                    "--partition one-shot flags; docs/SOAK.md)")
     ld.add_argument("--session-ops", type=int, default=None,
                     help="ops per session before the client departs and a "
                     "fresh one arrives (default: sessions live the whole run)")

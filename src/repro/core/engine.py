@@ -34,6 +34,7 @@ from repro.core.configuration import (
     transitional_configuration,
 )
 from repro.core.recovery import RecoveryPlan
+from repro.errors import CounterWrapError
 from repro.net.transport import Host
 from repro.obs.trace import NO_TRACE
 from repro.spec.history import History
@@ -73,27 +74,129 @@ class EvsEngine(EngineHooks):
         self.ring_id: str = self.controller.config.ring_id
         self.current_config: Optional[Configuration] = None
         self.started = False
+        #: Stable-storage fields healed by :meth:`_sanitize_stable` over
+        #: this engine's lifetime (soak observability).
+        self.stable_repairs = 0
         # SimHost and AsyncioHost both expose bind(); other Hosts must
         # wire the controller themselves.
         bind = getattr(host, "bind", None)
         if bind is not None:
             bind(self.controller.on_packet, self.controller.on_timer)
 
+    # --------------------------------------------- stable-storage hygiene
+
+    #: Suffix of the redundant copy kept for every engine counter.  A
+    #: single-field transient (bit flip, rollback, truncation) leaves the
+    #: other copy intact; sanitization takes the maximum valid copy -
+    #: counters are monotone, so max is always the safe direction.
+    SHADOW_SUFFIX = "_shadow"
+
+    def _persist_counters(self, **fields) -> None:
+        """Write engine counters with their shadow copies in one save."""
+        payload = {}
+        for key, value in fields.items():
+            payload[key] = value
+            payload[key + self.SHADOW_SUFFIX] = (
+                list(value) if isinstance(value, list) else value
+            )
+        self.stable.update(**payload)
+
+    def _read_counter(self, state, key: str, limit: int, repairs: list) -> int:
+        """Recover one monotone counter from its two persisted copies."""
+
+        def valid(v) -> bool:
+            return (
+                isinstance(v, int)
+                and not isinstance(v, bool)
+                and 0 <= v <= limit
+            )
+
+        primary = state.get(key, 0)
+        shadow = state.get(key + self.SHADOW_SUFFIX, primary)
+        candidates = [v for v in (primary, shadow) if valid(v)]
+        if not candidates:
+            repairs.append(f"{key} reset ({primary!r})")
+            return 0
+        value = max(candidates)
+        if not valid(primary) or primary != value:
+            repairs.append(f"{key} {primary!r}->{value}")
+        return value
+
+    def _read_last_ring(self, state, limit: int, repairs: list):
+        """Recover the last-installed-ring record (stale configuration
+        ids re-injected on recovery are detected against it)."""
+
+        def parse(v):
+            if (
+                isinstance(v, (list, tuple))
+                and len(v) == 2
+                and isinstance(v[0], int)
+                and not isinstance(v[0], bool)
+                and 0 < v[0] <= limit
+                and isinstance(v[1], str)
+            ):
+                return (v[0], v[1])
+            return None
+
+        primary = state.get("last_ring")
+        shadow = state.get("last_ring" + self.SHADOW_SUFFIX, primary)
+        best = None
+        for candidate in (parse(primary), parse(shadow)):
+            if candidate is not None and (best is None or candidate[0] > best[0]):
+                best = candidate
+        if primary is None:
+            if best is not None:
+                repairs.append(f"last_ring restored {best!r}")
+        elif parse(primary) != best:
+            repairs.append(f"last_ring {primary!r}->{best!r}")
+        return best
+
     # ------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
         """Boot (first start or restart after a crash): install the
-        singleton boot configuration and begin membership."""
+        singleton boot configuration and begin membership.
+
+        Stable storage is *sanitized*, not trusted: each counter is
+        recovered from its primary/shadow pair, a corrupted or rolled-back
+        ``max_ring_seq`` is raised back to the last installed ring, and a
+        ring-sequence space too close to ``counter_limit`` fails the boot
+        with :class:`~repro.errors.CounterWrapError` instead of wrapping
+        silently (the bounded-counter discipline of the
+        practically-self-stabilizing refinement)."""
+        limit = self.controller.config.counter_limit
         state = self.stable.load()
-        boot_epoch = int(state.get("boot_epoch", 0)) + 1
-        max_ring_seq = int(state.get("max_ring_seq", 0))
+        repairs: list = []
+        boot_epoch = self._read_counter(state, "boot_epoch", limit, repairs) + 1
+        max_ring_seq = self._read_counter(state, "max_ring_seq", limit, repairs)
+        origin_counter = self._read_counter(state, "origin_counter", limit, repairs)
+        last_ring = self._read_last_ring(state, limit, repairs)
+        if last_ring is not None and last_ring[0] > max_ring_seq:
+            repairs.append(f"max_ring_seq raised to last_ring {last_ring[0]}")
+            max_ring_seq = last_ring[0]
+        if repairs:
+            self.stable_repairs += len(repairs)
+            if self.tracer:
+                self.tracer.emit(self.pid, "evs.stable_repair", repairs=repairs)
         boot_seq = max(max_ring_seq, boot_epoch) + 1
-        origin_counter = int(state.get("origin_counter", 0))
-        state.update(
-            boot_epoch=boot_epoch,
-            max_ring_seq=boot_seq,
-            origin_counter=origin_counter,
-        )
+        if boot_seq >= limit - 64:
+            raise CounterWrapError(
+                f"{self.pid}: ring-sequence space exhausted "
+                f"(boot_seq={boot_seq}, counter_limit={limit})"
+            )
+        for key, value in (
+            ("boot_epoch", boot_epoch),
+            ("max_ring_seq", boot_seq),
+            ("origin_counter", origin_counter),
+        ):
+            state[key] = value
+            state[key + self.SHADOW_SUFFIX] = value
+        if last_ring is not None:
+            state["last_ring"] = list(last_ring)
+            state["last_ring" + self.SHADOW_SUFFIX] = list(last_ring)
+        else:
+            state.pop("last_ring", None)
+            state.pop("last_ring" + self.SHADOW_SUFFIX, None)
         self.stable.save(state)
 
         boot_ring = RingId(seq=boot_seq, rep=self.pid)
@@ -117,7 +220,7 @@ class EvsEngine(EngineHooks):
                     ring=str(self.current_config.ring),
                     config=str(self.current_config.id),
                 )
-        self.stable.put("origin_counter", self.controller.origin_counter)
+        self._persist_counters(origin_counter=self.controller.origin_counter)
         self.controller.crash()
         self.current_config = None
         self.started = False
@@ -154,7 +257,7 @@ class EvsEngine(EngineHooks):
             message.origin_seq,
             self.host.now,
         )
-        self.stable.put("origin_counter", self.controller.origin_counter)
+        self._persist_counters(origin_counter=self.controller.origin_counter)
 
     def on_operational_deliver(self, message: RegularMessage) -> None:
         config = self.current_config
@@ -184,7 +287,7 @@ class EvsEngine(EngineHooks):
         # Step 6.e: install the new regular configuration.
         regular = regular_configuration(new_ring, new_members)
         self._deliver_conf(regular)
-        self.stable.update(
+        self._persist_counters(
             max_ring_seq=new_ring.seq,
             last_ring=[new_ring.seq, new_ring.rep],
             origin_counter=self.controller.origin_counter,
@@ -192,6 +295,17 @@ class EvsEngine(EngineHooks):
 
     def on_state_change(self, state: ControllerState) -> None:  # pragma: no cover
         pass
+
+    def on_fail_stop(self, reason: str) -> None:
+        """Controller-detected unrepairable corruption: crash cleanly.
+        The failure is an ordinary ``fail_p(c)`` event for the spec
+        checkers; a later ``recover()`` reboots from sanitized stable
+        storage with a fresh ring-sequence space."""
+        if not self.started:
+            return
+        if self.tracer:
+            self.tracer.emit(self.pid, "evs.fail_stop", reason=reason)
+        self.crash()
 
     # ------------------------------------------------------- fingerprinting
 

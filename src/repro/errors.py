@@ -39,6 +39,14 @@ class StableStorageError(ReproError):
     """Stable storage could not be read or written."""
 
 
+class CounterWrapError(StableStorageError):
+    """A persistent counter (ring sequence, boot epoch) is about to
+    exhaust its bounded range.  The paper's counters are unbounded; the
+    practically-self-stabilizing refinement bounds them and requires the
+    process to fail cleanly (and restart with recycled counters) instead
+    of wrapping silently."""
+
+
 class CampaignError(ReproError):
     """A fuzzing-campaign artifact (scenario file, repro bundle) is
     malformed, or a campaign was misconfigured."""

@@ -79,6 +79,11 @@ class ClusterOptions:
     scheduler (the explorer's choice-point seam, docs/EXPLORATION.md).
     ``None`` - the default - keeps the built-in FIFO fast path.  A
     policy is stateful per run: hand a fresh one to every cluster.
+
+    ``compact_min`` tunes the scheduler's timer-heap compaction
+    threshold (minimum cancelled entries before a rebuild is considered;
+    ``None`` keeps :attr:`EventScheduler.COMPACT_MIN`).  Soak runs cancel
+    retransmit timers at a rate where this knob matters.
     """
 
     seed: int = 0
@@ -89,6 +94,7 @@ class ClusterOptions:
     trace_net: bool = True
     trace_capacity: int = 65536
     schedule_policy: Optional[SchedulePolicy] = None
+    compact_min: Optional[int] = None
 
 
 class SimCluster:
@@ -105,7 +111,10 @@ class SimCluster:
         self.options = options or ClusterOptions()
         if self.options.wire_format is not None:
             self.options.network.wire_format = self.options.wire_format
-        self.scheduler = EventScheduler(policy=self.options.schedule_policy)
+        self.scheduler = EventScheduler(
+            policy=self.options.schedule_policy,
+            compact_min=self.options.compact_min,
+        )
         self.rng = random.Random(self.options.seed)
         self.network = Network(self.scheduler, self.rng, self.options.network)
         self.trace_sink: Optional[RingBufferSink] = None
@@ -206,6 +215,16 @@ class SimCluster:
 
     def recover(self, pid: ProcessId) -> None:
         self.processes[pid].recover()
+
+    def corrupt(self, pid: ProcessId, op: str, arg: int = 0) -> Optional[str]:
+        """Apply one named transient-fault operator to ``pid``'s state
+        (stable storage or live totem counters; see
+        :mod:`repro.soak.transient`).  Returns a description of the
+        corruption applied, or ``None`` when the operator had nothing to
+        act on (e.g. a live-state op against a crashed process)."""
+        from repro.soak.transient import apply_corruption
+
+        return apply_corruption(self, pid, op, arg)
 
     # -- traffic ------------------------------------------------------------
 
@@ -332,6 +351,11 @@ class SimCluster:
         registry.gauge("sim.now").set(self.scheduler.now)
         registry.counter("sim.events_processed").inc(self.scheduler.events_processed)
         registry.gauge("sim.pending").set(self.scheduler.pending)
+        registry.counter("sim.compactions").inc(self.scheduler.compactions)
+        stable_repairs = sum(
+            p.engine.stable_repairs for p in self.processes.values()
+        )
+        registry.counter("evs.stable_repairs").inc(stable_repairs)
         registry.counter("trace.emitted").inc(self.tracer.emitted)
         if self.trace_sink is not None:
             registry.gauge("trace.buffered").set(len(self.trace_sink.events))

@@ -14,30 +14,63 @@ parameters) and by the Figure 1-5 conformance benchmarks.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, fields, replace
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.harness.scenario import Action, Scenario
 from repro.types import DeliveryRequirement, ProcessId
 
+#: Names of the transient-fault operators a ``corrupt`` action may carry
+#: (implementations live in :mod:`repro.soak.transient`; the name tuple
+#: lives here so schedule generation never imports the soak package).
+TRANSIENT_OPS: Tuple[str, ...] = (
+    "stable-flip-bit",
+    "stable-truncate",
+    "stable-rollback",
+    "stable-garbage",
+    "aru-wrap",
+    "high-seq-wrap",
+    "delivered-wrap",
+    "ack-inflate",
+    "token-wrap",
+    "ring-seq-wrap",
+)
+
 
 @dataclass(frozen=True)
 class FaultProfile:
-    """Relative weights of the fault/traffic actions in a campaign."""
+    """Relative weights of the fault/traffic actions in a campaign.
+
+    This is the *single* fault-weighting vocabulary of the repo: the
+    fuzz campaign generator (:func:`random_scenario`), the soak
+    scheduler (:class:`FaultScheduleBuilder`) and the service-tier load
+    harness (:meth:`repro.service.loadgen.ChurnSpec.from_profile`) all
+    draw from the same weighted kinds, so ``partition=2`` means the same
+    thing under ``repro fuzz``, ``repro soak`` and ``repro load``.
+
+    ``corrupt`` weights the transient-fault injector (state corruption
+    mid-run; docs/SOAK.md).  It defaults to zero so existing seeds and
+    serialized profiles keep their exact historical action streams.
+    """
 
     partition: float = 2.0
     merge: float = 2.0
     crash: float = 1.0
     recover: float = 1.5
     burst: float = 4.0
+    corrupt: float = 0.0
 
     def choices(self) -> Tuple[Tuple[str, float], ...]:
+        # ``corrupt`` stays last: appending a zero-weight candidate
+        # leaves every draw of random.choices() unchanged, which keeps
+        # pre-existing seeds reproducing byte-identical scenarios.
         return (
             ("partition", self.partition),
             ("merge", self.merge),
             ("crash", self.crash),
             ("recover", self.recover),
             ("burst", self.burst),
+            ("corrupt", self.corrupt),
         )
 
     def validate(self) -> None:
@@ -54,6 +87,49 @@ class FaultProfile:
                 "kind must have positive weight"
             )
 
+    def pick(self, rng: random.Random) -> str:
+        """Draw one action kind from the weighted distribution (exactly
+        one ``rng.choices`` call, the schedule generators' contract)."""
+        names, weights = zip(*self.choices())
+        return rng.choices(names, weights=weights)[0]
+
+    def with_transients(self, weight: float = 1.5) -> "FaultProfile":
+        """This profile with the transient-fault injector enabled (no-op
+        when a corrupt weight is already set)."""
+        if self.corrupt > 0:
+            return self
+        return replace(self, corrupt=weight)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultProfile":
+        """Parse ``"partition=2,burst=4,corrupt=1.5"``; unlisted kinds
+        keep their default weights.  This is the CLI wire format shared
+        by ``repro fuzz --profile``, ``repro soak --profile`` and
+        ``repro load --churn-profile``."""
+        known = {f.name for f in fields(cls)}
+        weights = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, value = part.partition("=")
+            name = name.strip()
+            if not sep or name not in known:
+                raise ValueError(
+                    f"bad fault weight {part!r} (expected one of "
+                    f"{', '.join(sorted(known))} as name=value)"
+                )
+            try:
+                weights[name] = float(value)
+            except ValueError as exc:
+                raise ValueError(f"bad fault weight {part!r}: {exc}") from exc
+        profile = cls(**weights)
+        profile.validate()
+        return profile
+
+    def describe(self) -> str:
+        return " ".join(f"{n}={w:g}" for n, w in self.choices())
+
 
 def random_partition(
     rng: random.Random, pids: Sequence[ProcessId]
@@ -68,6 +144,95 @@ def random_partition(
     return tuple(tuple(g) for g in groups if g)
 
 
+#: Default requirement mix for generated traffic.
+DEFAULT_REQUIREMENTS: Tuple[DeliveryRequirement, ...] = (
+    DeliveryRequirement.SAFE,
+    DeliveryRequirement.AGREED,
+    DeliveryRequirement.CAUSAL,
+)
+
+
+class FaultScheduleBuilder:
+    """Stateful weighted fault-step generator.
+
+    One builder produces an open-ended stream of :class:`Action` steps
+    from a shared :class:`random.Random`, tracking crash bookkeeping so
+    ``recover`` actions always target genuinely crashed processes and at
+    least one process stays alive.  :func:`random_scenario` consumes a
+    fixed number of steps for fuzz campaigns; the soak driver keeps one
+    builder alive across chaos windows so the crash set and traffic
+    counters carry over window boundaries.
+
+    Draw discipline: every ``step()`` makes exactly one weighted-kind
+    draw followed by the chosen kind's own draws, in a fixed order -
+    changing this would silently re-map every existing campaign seed.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        pids: Sequence[ProcessId],
+        profile: Optional[FaultProfile] = None,
+        max_crashed: Optional[int] = None,
+        requirements: Sequence[DeliveryRequirement] = DEFAULT_REQUIREMENTS,
+    ) -> None:
+        self.rng = rng
+        self.pids: Tuple[ProcessId, ...] = tuple(pids)
+        self.profile = profile or FaultProfile()
+        self.profile.validate()
+        if max_crashed is None:
+            max_crashed = max(0, len(self.pids) - 2)
+        self.max_crashed = max_crashed
+        self.requirements = tuple(requirements)
+        #: Processes the script has crashed and not yet recovered.  The
+        #: soak driver resets this at each heal barrier (and reconciles
+        #: it with fail-stopped processes, which crash outside the
+        #: script's control).
+        self.crashed: Set[ProcessId] = set()
+        self.counter = 0
+
+    def step(self, t: float) -> Optional[Action]:
+        """One weighted draw; returns the action for time ``t``, or
+        ``None`` when the drawn kind is inapplicable in the current
+        crash state (the draw is still consumed, preserving streams)."""
+        rng = self.rng
+        kind = self.profile.pick(rng)
+        alive = [p for p in self.pids if p not in self.crashed]
+        if kind == "partition" and len(alive) >= 2:
+            return Action(
+                at=t, kind="partition", groups=random_partition(rng, alive)
+            )
+        if kind == "merge":
+            return Action(at=t, kind="merge_all")
+        if kind == "crash" and len(self.crashed) < self.max_crashed:
+            victim = rng.choice(alive)
+            self.crashed.add(victim)
+            return Action(at=t, kind="crash", pid=victim)
+        if kind == "recover" and self.crashed:
+            victim = rng.choice(sorted(self.crashed))
+            self.crashed.discard(victim)
+            return Action(at=t, kind="recover", pid=victim)
+        if kind == "burst":
+            sender = rng.choice(alive)
+            self.counter += 1
+            return Action(
+                at=t,
+                kind="burst",
+                pid=sender,
+                count=rng.randint(1, 6),
+                payload=f"b{self.counter}".encode(),
+                requirement=rng.choice(list(self.requirements)),
+            )
+        if kind == "corrupt":
+            victim = rng.choice(self.pids)
+            op = rng.choice(TRANSIENT_OPS)
+            arg = rng.randint(0, 1 << 20)
+            return Action(
+                at=t, kind="corrupt", pid=victim, payload=op.encode(), count=arg
+            )
+        return None
+
+
 def random_scenario(
     seed: int,
     pids: Sequence[ProcessId],
@@ -75,19 +240,15 @@ def random_scenario(
     step_gap: Tuple[float, float] = (0.05, 0.35),
     profile: Optional[FaultProfile] = None,
     max_crashed: Optional[int] = None,
-    requirements: Sequence[DeliveryRequirement] = (
-        DeliveryRequirement.SAFE,
-        DeliveryRequirement.AGREED,
-        DeliveryRequirement.CAUSAL,
-    ),
+    requirements: Sequence[DeliveryRequirement] = DEFAULT_REQUIREMENTS,
     rng: Optional[random.Random] = None,
 ) -> Scenario:
     """Generate one seeded random fault campaign.
 
-    The generated script tracks its own crash bookkeeping so ``recover``
-    actions always target genuinely crashed processes and at least one
-    process stays alive (the paper permits total failure, but a campaign
-    that kills everyone exercises nothing).
+    A thin wrapper over :class:`FaultScheduleBuilder` (the code path
+    shared with the soak scheduler and the loadgen churn builder) that
+    consumes ``steps`` draws and closes the script with a final heal so
+    the quiescent specification clauses are decidable.
 
     Pass ``rng`` to draw from an existing :class:`random.Random` stream
     instead of seeding a fresh one from ``seed`` - the campaign driver
@@ -95,47 +256,20 @@ def random_scenario(
     """
     if rng is None:
         rng = random.Random(seed)
-    profile = profile or FaultProfile()
-    profile.validate()
-    if max_crashed is None:
-        max_crashed = max(0, len(pids) - 2)
-    names, weights = zip(*profile.choices())
-
+    builder = FaultScheduleBuilder(
+        rng,
+        pids,
+        profile=profile,
+        max_crashed=max_crashed,
+        requirements=requirements,
+    )
     actions: List[Action] = []
     t = 0.4  # give the initial configuration time to form
-    crashed: set = set()
-    counter = 0
     for _ in range(steps):
         t += rng.uniform(*step_gap)
-        kind = rng.choices(names, weights=weights)[0]
-        alive = [p for p in pids if p not in crashed]
-        if kind == "partition" and len(alive) >= 2:
-            actions.append(
-                Action(at=t, kind="partition", groups=random_partition(rng, alive))
-            )
-        elif kind == "merge":
-            actions.append(Action(at=t, kind="merge_all"))
-        elif kind == "crash" and len(crashed) < max_crashed:
-            victim = rng.choice(alive)
-            crashed.add(victim)
-            actions.append(Action(at=t, kind="crash", pid=victim))
-        elif kind == "recover" and crashed:
-            victim = rng.choice(sorted(crashed))
-            crashed.discard(victim)
-            actions.append(Action(at=t, kind="recover", pid=victim))
-        elif kind == "burst":
-            sender = rng.choice(alive)
-            counter += 1
-            actions.append(
-                Action(
-                    at=t,
-                    kind="burst",
-                    pid=sender,
-                    count=rng.randint(1, 6),
-                    payload=f"b{counter}".encode(),
-                    requirement=rng.choice(list(requirements)),
-                )
-            )
+        action = builder.step(t)
+        if action is not None:
+            actions.append(action)
     return Scenario(
         pids=tuple(pids),
         actions=tuple(actions),

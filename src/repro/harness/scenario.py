@@ -16,7 +16,7 @@ benchmarks all share one execution path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.harness.cluster import ClusterOptions, SimCluster
@@ -35,10 +35,11 @@ ACTION_KINDS = (
     "recover",
     "send",
     "burst",
+    "corrupt",
 )
 
 #: Kinds that require ``Action.pid`` to be set.
-_PID_KINDS = frozenset({"crash", "recover", "send", "burst"})
+_PID_KINDS = frozenset({"crash", "recover", "send", "burst", "corrupt"})
 
 
 @dataclass(frozen=True)
@@ -48,7 +49,9 @@ class Action:
     ``kind`` is one of ``partition`` (args: groups, a tuple of tuples of
     pids), ``merge_all``, ``merge`` (args: groups), ``crash`` (args: pid),
     ``recover`` (args: pid), ``send`` (args: pid, payload, requirement),
-    ``burst`` (args: pid, count, requirement).
+    ``burst`` (args: pid, count, requirement), ``corrupt`` (args: pid,
+    payload = the transient-fault operator name as UTF-8, count = the
+    operator's deterministic argument; see :mod:`repro.soak.transient`).
     """
 
     at: float
@@ -107,6 +110,10 @@ class Scenario:
                 )
             if a.kind == "burst" and a.count < 0:
                 raise SimulationError(f"{where}: negative burst count {a.count}")
+            if a.kind == "corrupt" and not a.payload:
+                raise SimulationError(
+                    f"{where}: requires an operator name in payload"
+                )
             for g in a.groups:
                 for pid in g:
                     if pid not in known:
@@ -140,8 +147,14 @@ class ScenarioRunner:
     def run(self, scenario: Scenario) -> ScenarioResult:
         scenario.validate()
         cluster = SimCluster(list(scenario.pids), options=self.options)
-        crashed: Dict[ProcessId, bool] = {p: False for p in scenario.pids}
         submitted = [0]
+
+        # Liveness is decided from engine state, not script bookkeeping:
+        # the hardened recovery path may fail-stop a process between
+        # script actions (transient corruption beyond repair), and the
+        # script's crash/recover guards must agree with reality.
+        def up(pid: ProcessId) -> bool:
+            return cluster.processes[pid].engine.started
 
         def apply(action: Action) -> None:
             if action.kind == "partition":
@@ -155,22 +168,20 @@ class ScenarioRunner:
                 cluster.network.merge([list(g) for g in action.groups])
             elif action.kind == "crash":
                 assert action.pid is not None
-                if not crashed[action.pid]:
+                if up(action.pid):
                     cluster.crash(action.pid)
-                    crashed[action.pid] = True
             elif action.kind == "recover":
                 assert action.pid is not None
-                if crashed[action.pid]:
+                if not up(action.pid):
                     cluster.recover(action.pid)
-                    crashed[action.pid] = False
             elif action.kind == "send":
                 assert action.pid is not None
-                if not crashed[action.pid]:
+                if up(action.pid):
                     cluster.send(action.pid, action.payload, action.requirement)
                     submitted[0] += 1
             elif action.kind == "burst":
                 assert action.pid is not None
-                if not crashed[action.pid]:
+                if up(action.pid):
                     for i in range(action.count):
                         cluster.send(
                             action.pid,
@@ -178,6 +189,11 @@ class ScenarioRunner:
                             action.requirement,
                         )
                         submitted[0] += 1
+            elif action.kind == "corrupt":
+                assert action.pid is not None
+                cluster.corrupt(
+                    action.pid, action.payload.decode("utf-8"), action.count
+                )
             else:
                 raise SimulationError(f"unknown action kind {action.kind!r}")
 
@@ -193,10 +209,9 @@ class ScenarioRunner:
 
         quiescent = False
         if scenario.final_heal:
-            for pid, is_crashed in crashed.items():
-                if is_crashed:
+            for pid in scenario.pids:
+                if not up(pid):
                     cluster.recover(pid)
-                    crashed[pid] = False
             cluster.merge_all()
             quiescent = cluster.wait_until(
                 lambda: cluster.converged(list(scenario.pids)),

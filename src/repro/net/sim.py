@@ -113,10 +113,18 @@ class EventScheduler:
     """
 
     #: Minimum cancelled entries before compaction is considered (tiny
-    #: heaps are cheaper to drain lazily than to rebuild).
+    #: heaps are cheaper to drain lazily than to rebuild).  Class-level
+    #: default; per-instance tuning via the ``compact_min`` constructor
+    #: knob (soak runs cancel timers at a rate where the right threshold
+    #: depends on cluster size and fault tempo).
     COMPACT_MIN = 32
 
-    def __init__(self, policy: Optional[SchedulePolicy] = None) -> None:
+    def __init__(
+        self,
+        policy: Optional[SchedulePolicy] = None,
+        *,
+        compact_min: Optional[int] = None,
+    ) -> None:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Timer, Callable[[], None]]] = []
         self._counter = itertools.count()
@@ -124,6 +132,14 @@ class EventScheduler:
         self._cancelled_pending = 0
         self._compactions = 0
         self._policy = policy
+        if compact_min is None:
+            self.compact_min = self.COMPACT_MIN
+        else:
+            if compact_min < 1:
+                raise SimulationError(
+                    f"compact_min must be >= 1, got {compact_min}"
+                )
+            self.compact_min = compact_min
 
     @property
     def policy(self) -> Optional[SchedulePolicy]:
@@ -158,7 +174,7 @@ class EventScheduler:
         with every cancelled retransmit until the run ends."""
         self._cancelled_pending += 1
         if (
-            self._cancelled_pending > self.COMPACT_MIN
+            self._cancelled_pending > self.compact_min
             and self._cancelled_pending * 2 > len(self._heap)
         ):
             self._heap = [e for e in self._heap if not e[2].cancelled]

@@ -23,7 +23,7 @@ from __future__ import annotations
 import asyncio
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServiceError
 from repro.obs.registry import Histogram
@@ -58,6 +58,58 @@ class ChurnSpec:
     #: Federated runs: the ring the kill/partition events apply to
     #: (None = the federation's first ring; ignored for single-ring runs).
     ring: Optional[str] = None
+    #: Extra timed churn events ``(at, action, arg)`` merged with the
+    #: field-derived ones above; actions are ``kill``/``restart`` (arg:
+    #: member), ``partition`` (arg: groups) and ``merge`` (arg ignored).
+    #: :meth:`from_profile` builds these from a weighted
+    #: :class:`~repro.harness.faults.FaultProfile`, the same schedule
+    #: vocabulary ``repro fuzz`` and ``repro soak`` use.
+    events: Tuple[Tuple[float, str, object], ...] = ()
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile,
+        members: Sequence[str],
+        duration: float,
+        seed: int = 1,
+        step_gap: Tuple[float, float] = (0.2, 0.6),
+        session_ops: Optional[int] = None,
+        ring: Optional[str] = None,
+    ) -> "ChurnSpec":
+        """Weighted continuous churn from a :class:`FaultProfile`.
+
+        Reuses :class:`~repro.harness.faults.FaultScheduleBuilder` - the
+        exact code path behind ``repro fuzz`` and ``repro soak`` - so
+        ``crash=2`` weights member kills here the same way it weights
+        process crashes there.  ``burst`` draws are skipped (the load
+        generator is the traffic source) and ``corrupt`` draws are
+        skipped (transient injection needs the simulator's state seam),
+        but both still consume their draws, keeping seeds portable
+        across the three harnesses.
+        """
+        from repro.harness.faults import FaultScheduleBuilder
+
+        rng = random.Random(f"churn-{seed}")
+        builder = FaultScheduleBuilder(rng, tuple(members), profile=profile)
+        events: List[Tuple[float, str, object]] = []
+        t = 0.0
+        while True:
+            t += rng.uniform(*step_gap)
+            if t >= duration:
+                break
+            action = builder.step(t)
+            if action is None:
+                continue
+            if action.kind == "crash":
+                events.append((t, "kill", action.pid))
+            elif action.kind == "recover":
+                events.append((t, "restart", action.pid))
+            elif action.kind == "partition":
+                events.append((t, "partition", action.groups))
+            elif action.kind == "merge_all":
+                events.append((t, "merge", None))
+        return cls(events=tuple(events), session_ops=session_ops, ring=ring)
 
 
 @dataclass(frozen=True)
@@ -287,7 +339,7 @@ async def _session(
 
 async def _inject_churn(state: _RunState, churn: ChurnSpec, start: float) -> None:
     loop = asyncio.get_running_loop()
-    events = []
+    events = list(churn.events)
     if churn.kill is not None:
         events.append((churn.kill_at, "kill", churn.kill))
         if churn.restart_at is not None:
@@ -296,7 +348,7 @@ async def _inject_churn(state: _RunState, churn: ChurnSpec, start: float) -> Non
         events.append((churn.partition_at, "partition", churn.partition))
         if churn.merge_at is not None:
             events.append((churn.merge_at, "merge", None))
-    for at, action, arg in sorted(events):
+    for at, action, arg in sorted(events, key=lambda e: e[0]):
         delay = start + at - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
@@ -305,7 +357,7 @@ async def _inject_churn(state: _RunState, churn: ChurnSpec, start: float) -> Non
             state.alive = [p for p in state.alive if p != arg]
         elif action == "restart":
             await state.cluster.restart(arg)
-            state.alive = sorted(state.alive + [arg])
+            state.alive = sorted(set(state.alive) | {arg})
         elif action == "partition":
             state.cluster.partition(*arg)
         elif action == "merge":

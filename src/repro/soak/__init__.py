@@ -1,0 +1,14 @@
+"""Chaos soak harness: long-running fault campaigns with transient-state
+corruption and live windowed invariant monitors (docs/SOAK.md)."""
+
+from repro.soak.driver import SoakConfig, SoakReport, run_soak
+from repro.soak.monitor import RollingChecker
+from repro.soak.transient import apply_corruption
+
+__all__ = [
+    "SoakConfig",
+    "SoakReport",
+    "run_soak",
+    "RollingChecker",
+    "apply_corruption",
+]

@@ -1,0 +1,554 @@
+"""The chaos soak driver: hours of simulated time under continuous fault
+pressure, checked window-by-window by live invariant monitors.
+
+One :class:`~repro.harness.cluster.SimCluster` runs for the whole soak.
+Simulated time is cut into *chaos windows*: each window schedules a
+stream of weighted fault actions (one persistent
+:class:`~repro.harness.faults.FaultScheduleBuilder`, so crash bookkeeping
+and traffic counters carry across windows), runs the simulation, then
+executes a *heal barrier* - recover everything, merge the network, wait
+for convergence and drain.  At the barrier the
+:class:`~repro.soak.monitor.RollingChecker` drains the shared history,
+evaluates Specs 1-7 on the window, and truncates (bounded memory).  A
+barrier that never settles is itself a violation (the liveness
+watchdog), and its window is retained and re-checked at the next
+barrier rather than dropped.
+
+Shrink-on-violation: the offending window's action list is lifted into a
+standalone :class:`~repro.harness.scenario.Scenario` (times rebased to
+the window start, final heal on) and re-executed from a fresh cluster.
+If the violation reproduces standalone, the existing campaign machinery
+takes over - :func:`~repro.campaign.bundle.write_bundle` emits a
+standard repro bundle and :func:`~repro.campaign.shrink.shrink_scenario`
+minimizes it, so ``repro replay`` works on soak findings exactly as on
+fuzz findings.  A violation that depends on accumulated state (and so
+does not reproduce from a fresh cluster) still gets a bundle, built from
+the live window history, marked ``reproduced_standalone: false``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import resource
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.bundle import attach_shrunk, write_bundle
+from repro.campaign.runner import execute_scenario
+from repro.campaign.shrink import shrink_scenario
+from repro.errors import CampaignError, CounterWrapError
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.harness.faults import FaultProfile, FaultScheduleBuilder
+from repro.harness.scenario import Action, Scenario
+from repro.net.network import NetworkParams
+from repro.soak.monitor import LIVENESS_CLAUSE, RollingChecker, WindowVerdict
+from repro.spec.history import History
+from repro.totem.timers import TotemConfig
+from repro.types import ProcessId
+
+Progress = Optional[Callable[[str], None]]
+
+
+@dataclass
+class SoakConfig:
+    """Shape of one soak run (``repro soak`` maps flags onto this)."""
+
+    seed: int = 0
+    processes: int = 5
+    #: Simulated minutes of chaos (the soak's length).
+    minutes: float = 60.0
+    #: Simulated seconds per chaos window (check/truncate granularity).
+    window: float = 8.0
+    #: Gap range between scheduled fault actions, in simulated seconds.
+    step_gap: Tuple[float, float] = (0.05, 0.35)
+    loss: float = 0.0
+    profile: Optional[FaultProfile] = None
+    #: Enable the transient-fault injector (state corruption mid-run).
+    transient: bool = False
+    #: Deterministic history mutation applied to the *final* window's
+    #: check - the seeded-known-bug mode the CI smoke job uses to prove
+    #: the live monitors actually catch injected violations.
+    mutation: str = "none"
+    bundle_dir: Optional[str] = None
+    max_shrink_executions: int = 200
+    stop_on_violation: bool = True
+    settle_timeout: float = 30.0
+    #: Override TotemConfig.seq_recycle_threshold (tiny values force
+    #: frequent counter recycling, the wrap-hardening stress mode).
+    recycle_threshold: Optional[int] = None
+    #: Override the scheduler's timer-heap compaction threshold.
+    compact_min: Optional[int] = None
+    #: Retain the full history alongside the rolling windows (property
+    #: tests' oracle; unbounded memory - never for real soaks).
+    keep_full: bool = False
+
+    def validate(self) -> None:
+        if self.processes < 2:
+            raise ValueError("soak needs at least 2 processes")
+        if self.minutes <= 0:
+            raise ValueError("soak minutes must be positive")
+        if self.window <= 0:
+            raise ValueError("soak window must be positive")
+        if self.profile is not None:
+            self.profile.validate()
+
+
+@dataclass
+class SoakViolation:
+    """One window that failed the live monitors."""
+
+    window: int
+    clauses: Tuple[str, ...]
+    quiescent: bool
+    #: Repro bundle directory (None when no bundle_dir was configured).
+    bundle: Optional[str] = None
+    #: True when the lifted window scenario reproduced the violation
+    #: from a fresh cluster (the bundle is then independently replayable
+    #: and was shrunk).
+    reproduced_standalone: bool = False
+    shrunk: bool = False
+    cross_window: Tuple[str, ...] = ()
+
+    def to_json(self) -> Dict:
+        return {
+            "window": self.window,
+            "clauses": list(self.clauses),
+            "quiescent": self.quiescent,
+            "bundle": self.bundle,
+            "reproduced_standalone": self.reproduced_standalone,
+            "shrunk": self.shrunk,
+            "cross_window": list(self.cross_window),
+        }
+
+
+@dataclass
+class SoakReport:
+    """Everything a soak run measured."""
+
+    seed: int
+    processes: int
+    windows_planned: int
+    windows_run: int = 0
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    #: History events drained through the rolling checker.
+    events: int = 0
+    #: Simulator events processed (the throughput gate's numerator).
+    sim_events: int = 0
+    submitted: int = 0
+    transients_injected: int = 0
+    #: Live-state/stable repairs the hardened recovery path performed.
+    state_repairs: int = 0
+    stable_repairs: int = 0
+    fail_stops: int = 0
+    counter_recycles: int = 0
+    counter_wraps: int = 0
+    installs: int = 0
+    timer_compactions: int = 0
+    #: Largest single checked window, in events (bounded-memory gate).
+    peak_window_events: int = 0
+    #: Events still retained (un-truncated windows + carry) at the end.
+    retained_events: int = 0
+    peak_rss_kb: int = 0
+    #: Simulated time at which each chaos window began (the previous
+    #: barrier's end); window w's drained events all have time >=
+    #: window_starts[w-1].
+    window_starts: List[float] = field(default_factory=list)
+    violations: List[SoakViolation] = field(default_factory=list)
+    #: The complete retained history (only with SoakConfig.keep_full).
+    full_history: Optional[History] = None
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.sim_events / self.wall_seconds
+
+    def to_json(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "processes": self.processes,
+            "windows_planned": self.windows_planned,
+            "windows_run": self.windows_run,
+            "sim_seconds": round(self.sim_seconds, 3),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "events": self.events,
+            "sim_events": self.sim_events,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "submitted": self.submitted,
+            "transients_injected": self.transients_injected,
+            "state_repairs": self.state_repairs,
+            "stable_repairs": self.stable_repairs,
+            "fail_stops": self.fail_stops,
+            "counter_recycles": self.counter_recycles,
+            "counter_wraps": self.counter_wraps,
+            "installs": self.installs,
+            "timer_compactions": self.timer_compactions,
+            "peak_window_events": self.peak_window_events,
+            "retained_events": self.retained_events,
+            "peak_rss_kb": self.peak_rss_kb,
+            "window_starts": [round(t, 3) for t in self.window_starts],
+            "passed": self.passed,
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+    def render(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"soak {verdict}: {self.windows_run}/{self.windows_planned} "
+            f"windows, {self.sim_seconds:.0f}s simulated in "
+            f"{self.wall_seconds:.1f}s wall "
+            f"({self.events_per_sec:,.0f} sim events/s)",
+            f"  history events={self.events} submitted={self.submitted} "
+            f"installs={self.installs}",
+            f"  transients={self.transients_injected} "
+            f"repairs={self.state_repairs}+{self.stable_repairs}(stable) "
+            f"fail_stops={self.fail_stops} recycles={self.counter_recycles} "
+            f"wraps={self.counter_wraps}",
+            f"  memory: peak window={self.peak_window_events} events, "
+            f"retained={self.retained_events}, peak rss={self.peak_rss_kb}KB, "
+            f"timer compactions={self.timer_compactions}",
+        ]
+        for v in self.violations:
+            repro = (
+                "replayable, shrunk"
+                if v.shrunk
+                else (
+                    "replayable"
+                    if v.reproduced_standalone
+                    else "state-dependent (not standalone-reproducible)"
+                )
+            )
+            lines.append(
+                f"  VIOLATION window {v.window}: {', '.join(v.clauses)} "
+                f"[{repro}]"
+                + (f" bundle={v.bundle}" if v.bundle else "")
+            )
+            for finding in v.cross_window:
+                lines.append(f"      {finding}")
+        return "\n".join(lines)
+
+
+def _window_scenario(
+    pids: Tuple[ProcessId, ...],
+    actions: List[Action],
+    window_start: float,
+    duration: float,
+    settle_timeout: float,
+) -> Scenario:
+    """Lift one window's live actions into a standalone scenario with
+    times rebased to the window start."""
+    rebased = tuple(
+        replace(a, at=max(0.0, a.at - window_start)) for a in actions
+    )
+    return Scenario(
+        pids=pids,
+        actions=rebased,
+        duration=duration,
+        final_heal=True,
+        settle_timeout=settle_timeout,
+    )
+
+
+def run_soak(config: SoakConfig, progress: Progress = None) -> SoakReport:
+    """Run one chaos soak; returns the report (never raises on spec
+    violations - they are findings, recorded with bundles)."""
+    config.validate()
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    profile = config.profile or FaultProfile()
+    if config.transient:
+        profile = profile.with_transients()
+    totem = TotemConfig()
+    if config.recycle_threshold is not None:
+        totem = replace(totem, seq_recycle_threshold=config.recycle_threshold)
+    cluster = SimCluster.of_size(
+        config.processes,
+        options=ClusterOptions(
+            seed=config.seed,
+            network=NetworkParams(loss_rate=config.loss),
+            totem=totem,
+            compact_min=config.compact_min,
+        ),
+    )
+    pids = tuple(cluster.pids)
+    # The schedule stream is seeded independently of the cluster's
+    # network rng so loss draws never perturb the fault schedule.
+    rng = random.Random(f"soak-{config.seed}")
+    builder = FaultScheduleBuilder(rng, pids, profile=profile)
+    checker = RollingChecker(cluster.history, keep_full=config.keep_full)
+
+    total = config.minutes * 60.0
+    windows_planned = max(1, math.ceil(total / config.window))
+    report = SoakReport(
+        seed=config.seed,
+        processes=config.processes,
+        windows_planned=windows_planned,
+    )
+    wall_start = _time.perf_counter()
+
+    def up(pid: ProcessId) -> bool:
+        return cluster.processes[pid].engine.started
+
+    def apply(action: Action) -> None:
+        # Mirrors ScenarioRunner.apply: engine state decides liveness
+        # because fail-stops crash processes outside the schedule's
+        # control.
+        if action.kind == "partition":
+            cluster.partition(*[tuple(g) for g in action.groups if g])
+        elif action.kind == "merge_all":
+            cluster.merge_all()
+        elif action.kind == "crash":
+            if up(action.pid):
+                cluster.crash(action.pid)
+        elif action.kind == "recover":
+            if not up(action.pid):
+                _recover(action.pid)
+        elif action.kind == "burst":
+            if up(action.pid):
+                for i in range(action.count):
+                    cluster.send(
+                        action.pid,
+                        action.payload + b"#" + str(i).encode(),
+                        action.requirement,
+                    )
+                    report.submitted += 1
+        elif action.kind == "corrupt":
+            desc = cluster.corrupt(
+                action.pid, action.payload.decode("utf-8"), action.count
+            )
+            if desc is not None:
+                report.transients_injected += 1
+
+    def _recover(pid: ProcessId) -> None:
+        try:
+            cluster.recover(pid)
+        except CounterWrapError:
+            # Bounded-counter exhaustion at boot is the *correct*
+            # fail-stop for unrecyclable stable counters; the soak
+            # models the operator response (wipe and rejoin fresh).
+            report.counter_wraps += 1
+            cluster.stores[pid].save({})
+            cluster.recover(pid)
+
+    def heal_barrier() -> bool:
+        # A transient injected just before the barrier can fail-stop a
+        # process *during* the barrier (the audit fires on its next
+        # token visit), so the readiness predicate keeps re-healing
+        # rather than recovering once up front.  The settle conditions
+        # mirror SimCluster.settle: converged, drained, and everyone
+        # delivered up to the group-wide high mark.
+        cluster.merge_all()
+
+        def ready() -> bool:
+            for pid in pids:
+                if not up(pid):
+                    _recover(pid)
+            if not cluster.converged(list(pids)):
+                return False
+            if not cluster.drained(list(pids)):
+                return False
+            rings = [cluster.processes[p].engine.controller.ring for p in pids]
+            if any(r is None for r in rings):
+                return False
+            high = max(r.high_seq for r in rings)
+            return all(r.delivered_seq == high for r in rings)
+
+        settled = cluster.wait_until(ready, timeout=config.settle_timeout)
+        builder.crashed.clear()  # barrier reconciliation: everyone is up
+        return settled
+
+    cluster.start_all()
+    if not heal_barrier():
+        # The liveness watchdog applies to boot too: a cluster that
+        # cannot even form its first configuration is a finding.
+        report.violations.append(
+            SoakViolation(window=0, clauses=(LIVENESS_CLAUSE,), quiescent=False)
+        )
+        report.wall_seconds = _time.perf_counter() - wall_start
+        report.sim_seconds = cluster.now
+        return report
+
+    for w in range(1, windows_planned + 1):
+        window_start = cluster.now
+        report.window_starts.append(window_start)
+        remaining = max(0.0, total - (w - 1) * config.window)
+        span = min(config.window, remaining) or config.window
+        actions: List[Action] = []
+        t = window_start
+        while True:
+            t += rng.uniform(*config.step_gap)
+            if t >= window_start + span:
+                break
+            action = builder.step(t)
+            if action is not None:
+                actions.append(action)
+        for action in actions:
+            cluster.scheduler.call_at(
+                action.at, lambda a=action: apply(a), kind="action", detail=action
+            )
+        cluster.run_for(span)
+
+        settled = heal_barrier()
+        checker.drain()
+        is_final = w == windows_planned
+        mutation = config.mutation if is_final else "none"
+        verdict = checker.check(quiescent=settled, mutation=mutation)
+        violated = list(verdict.violated)
+        if not settled:
+            violated.append(LIVENESS_CLAUSE)
+        report.windows_run = w
+        say(
+            f"window {w}/{windows_planned}: {len(actions)} actions, "
+            f"{verdict.events} events, "
+            + ("ok" if not violated else "VIOLATION " + ",".join(violated))
+        )
+        if violated:
+            violation = _handle_violation(
+                config,
+                report,
+                verdict,
+                w,
+                tuple(sorted(violated)),
+                settled,
+                mutation,
+                _window_scenario(
+                    pids, actions, window_start, span, config.settle_timeout
+                ),
+                say,
+            )
+            report.violations.append(violation)
+            if config.stop_on_violation:
+                break
+        if settled:
+            checker.truncate()
+
+    report.sim_seconds = cluster.now
+    report.wall_seconds = _time.perf_counter() - wall_start
+    report.events = checker.total_events
+    report.sim_events = cluster.scheduler.events_processed
+    report.peak_window_events = checker.peak_window_events
+    report.retained_events = checker.window_size() + len(checker.carry)
+    report.peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    report.timer_compactions = cluster.scheduler.compactions
+    for proc in cluster.processes.values():
+        stats = proc.engine.controller.stats
+        report.state_repairs += stats.state_repairs
+        report.fail_stops += stats.fail_stops
+        report.counter_recycles += stats.counter_recycles
+        report.installs += stats.installs
+        report.stable_repairs += proc.engine.stable_repairs
+    if config.keep_full:
+        report.full_history = checker.full_history()
+    return report
+
+
+def _handle_violation(
+    config: SoakConfig,
+    report: SoakReport,
+    verdict: WindowVerdict,
+    window: int,
+    clauses: Tuple[str, ...],
+    settled: bool,
+    mutation: str,
+    scenario: Scenario,
+    say: Callable[[str], None],
+) -> SoakViolation:
+    """Shrink-on-violation: re-execute the offending window standalone;
+    if it reproduces, bundle + shrink through the campaign machinery."""
+    violation = SoakViolation(
+        window=window,
+        clauses=clauses,
+        quiescent=settled,
+        cross_window=verdict.cross_window,
+    )
+    say(f"re-executing window {window} standalone for a repro bundle")
+    try:
+        outcome = execute_scenario(
+            scenario,
+            cluster_seed=config.seed,
+            loss=config.loss,
+            mutation=mutation,
+        )
+    except Exception as exc:  # pragma: no cover - defensive
+        say(f"standalone re-execution failed: {exc}")
+        outcome = None
+    reproduced = outcome is not None and bool(outcome.violated)
+    violation.reproduced_standalone = reproduced
+
+    if config.bundle_dir is None:
+        return violation
+    path = os.path.join(
+        config.bundle_dir, f"soak-seed{config.seed}-w{window:04d}"
+    )
+    if reproduced:
+        write_bundle(
+            path,
+            scenario=scenario,
+            history=outcome.history,
+            report=outcome.report,
+            seed=config.seed,
+            cluster_seed=config.seed,
+            loss=config.loss,
+            mutation=mutation,
+            quiescent=outcome.quiescent,
+        )
+        violation.bundle = path
+        target = sorted(outcome.violated)[0]
+        try:
+            shrunk = shrink_scenario(
+                scenario,
+                cluster_seed=config.seed,
+                loss=config.loss,
+                mutation=mutation,
+                target=target,
+                max_executions=config.max_shrink_executions,
+                progress=say,
+            )
+            # Same meta shape as `repro shrink` so `repro replay
+            # --shrunk` works on soak bundles unchanged.
+            attach_shrunk(
+                path,
+                shrunk.scenario,
+                {
+                    "target": shrunk.target,
+                    "violated": list(shrunk.violated),
+                    "executions": shrunk.executions,
+                    "original_actions": shrunk.original_actions,
+                    "final_actions": shrunk.final_actions,
+                    "original_pids": shrunk.original_pids,
+                    "final_pids": shrunk.final_pids,
+                    "source": "soak",
+                },
+            )
+            violation.shrunk = True
+        except CampaignError as exc:
+            say(f"shrink skipped: {exc}")
+    else:
+        # State-dependent finding: bundle the *live* window history so
+        # the evidence survives, marked as not standalone-reproducible.
+        if verdict.report is not None and verdict.view is not None:
+            write_bundle(
+                path,
+                scenario=scenario,
+                history=verdict.view,
+                report=verdict.report,
+                seed=config.seed,
+                cluster_seed=config.seed,
+                loss=config.loss,
+                mutation=mutation,
+                quiescent=settled,
+                explore_meta={"soak": {"reproduced_standalone": False}},
+            )
+            violation.bundle = path
+    return violation

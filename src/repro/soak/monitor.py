@@ -1,0 +1,218 @@
+"""Live invariant monitors: windowed Specs 1-7 over a rolling history.
+
+A multi-hour soak records far too many events to keep the whole history
+in memory and re-check it from scratch at every barrier.  The
+:class:`RollingChecker` instead *drains* the cluster's shared
+:class:`~repro.spec.history.History` into a bounded window at each heal
+barrier, evaluates all seven specification groups on just that window,
+and then truncates - keeping only the carry state the next window needs:
+
+* each process's most recent configuration-change event (so deliveries
+  at the start of the next window resolve to a known configuration and
+  the Spec 2 adjacency chain stays unbroken across the cut), and
+* per ``(process, configuration, sender)`` delivery floors (max
+  ``origin_seq`` delivered), so a message *re*-delivered in a later
+  window - invisible to any single-window check - is still caught.
+
+Why windowing is sound here: truncation happens only at *quiescent*
+barriers (everyone recovered, merged, converged, drained, delivered to
+the group-wide high mark), so every window is self-contained - a
+message's send and all its deliveries land in the same window, and the
+causal checker (Spec 5) only relates send pairs that are both present.
+The soundness claim is not taken on faith: the property suite asserts
+windowed verdicts match whole-history verdicts on fuzz corpora
+(tests/property/test_rolling_window.py).  When a barrier fails to
+settle, the window is checked with ``quiescent=False`` (safety clauses
+only) and **not** truncated - it keeps growing until a later barrier
+settles, so no event is ever dropped unchecked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.mutations import apply_mutation
+from repro.spec.history import ConfChangeEvent, DeliverEvent, Event, History
+from repro.spec.report import ConformanceReport, run_conformance
+from repro.types import ConfigurationId, ProcessId
+
+#: Clause name for the cross-window duplicate-delivery monitor (styled
+#: after the checker names in ``repro.spec.evs_checker.CHECKS``).
+REDELIVERY_CLAUSE = "cross-window redelivery (soak monitor)"
+
+#: Clause name the driver reports when a heal barrier never settles.
+LIVENESS_CLAUSE = "liveness watchdog (soak monitor)"
+
+
+@dataclass
+class WindowVerdict:
+    """Outcome of checking one rolling window."""
+
+    index: int
+    quiescent: bool
+    events: int
+    violated: Tuple[str, ...]
+    report: Optional[ConformanceReport]
+    #: Human-readable cross-window redelivery findings (empty normally).
+    cross_window: Tuple[str, ...] = ()
+    #: The checked window history (one window's worth - bounded; the
+    #: driver bundles it when a violation is not standalone-reproducible).
+    view: Optional[History] = None
+
+    @property
+    def passed(self) -> bool:
+        return not self.violated
+
+
+class RollingChecker:
+    """Windowed conformance checking with bounded carry state."""
+
+    #: Windows a ``(pid, config, sender)`` delivery floor survives
+    #: without being touched before it is pruned.  Two quiescent
+    #: barriers after a configuration stops delivering, nothing can
+    #: legitimately deliver in it again - every member has since
+    #: installed (and settled in) a successor.
+    FLOOR_RETENTION = 2
+
+    def __init__(self, history: History, keep_full: bool = False) -> None:
+        self.history = history
+        #: Events drained but not yet truncated, per process.
+        self.window: Dict[ProcessId, List[Event]] = {}
+        #: Per-process carried configuration seed for the next window.
+        self.carry: Dict[ProcessId, ConfChangeEvent] = {}
+        #: ``(pid, config, sender) -> (max origin_seq delivered, window)``.
+        self.floors: Dict[
+            Tuple[ProcessId, ConfigurationId, ProcessId], Tuple[int, int]
+        ] = {}
+        self.windows_checked = 0
+        self.total_events = 0
+        self.truncated_events = 0
+        self.peak_window_events = 0
+        #: Debug/validation mode: additionally retain every drained
+        #: event so whole-history checking can be compared against the
+        #: windowed verdicts (the property suite's oracle).  Unbounded -
+        #: never enabled on a real soak.
+        self.keep_full = keep_full
+        self._full: Optional[History] = History() if keep_full else None
+
+    # -- ingest ----------------------------------------------------------
+
+    def drain(self) -> int:
+        """Move every event recorded since the last drain out of the
+        shared history and into the current window; returns the count.
+        The shared history is left empty (and invalidated) so its
+        memory footprint stays flat no matter how long the soak runs."""
+        moved = 0
+        for pid, events in self.history.per_process.items():
+            if not events:
+                continue
+            self.window.setdefault(pid, []).extend(events)
+            if self._full is not None:
+                self._full.per_process.setdefault(pid, []).extend(events)
+            moved += len(events)
+            events.clear()
+        if moved:
+            self.history.invalidate()
+            if self._full is not None:
+                self._full.invalidate()
+            self.total_events += moved
+        return moved
+
+    def window_size(self) -> int:
+        return sum(len(v) for v in self.window.values())
+
+    def full_history(self) -> History:
+        """The complete retained history (requires ``keep_full``)."""
+        if self._full is None:
+            raise ValueError("RollingChecker(keep_full=True) required")
+        return self._full
+
+    # -- check -----------------------------------------------------------
+
+    def _window_history(self) -> History:
+        """The current window as a standalone History: each process's
+        carried configuration seed followed by its window events."""
+        view = History()
+        for pid in sorted(set(self.window) | set(self.carry)):
+            seq: List[Event] = []
+            carried = self.carry.get(pid)
+            if carried is not None:
+                seq.append(carried)
+            seq.extend(self.window.get(pid, ()))
+            if seq:
+                view.per_process[pid] = seq
+        view.invalidate()
+        return view
+
+    def _cross_window(self) -> List[str]:
+        """Deliveries at or below a prior window's floor: duplicates
+        that no single-window check can see."""
+        findings: List[str] = []
+        for pid in sorted(self.window):
+            for e in self.window[pid]:
+                if not isinstance(e, DeliverEvent):
+                    continue
+                prior = self.floors.get((pid, e.config_id, e.sender))
+                if prior is not None and e.origin_seq <= prior[0]:
+                    findings.append(
+                        f"{pid} redelivered {e.sender}#{e.origin_seq} in "
+                        f"{e.config_id} (prior-window floor {prior[0]})"
+                    )
+        return findings
+
+    def check(
+        self, quiescent: bool = True, mutation: str = "none"
+    ) -> WindowVerdict:
+        """Evaluate Specs 1-7 plus the cross-window monitors on the
+        current window.  ``mutation`` optionally applies a deterministic
+        history corruption first (the seeded-bug validation mode)."""
+        self.windows_checked += 1
+        view = self._window_history()
+        if mutation != "none":
+            view = apply_mutation(mutation, view)
+        events = sum(len(v) for v in view.per_process.values())
+        self.peak_window_events = max(self.peak_window_events, events)
+        report = run_conformance(view, quiescent=quiescent)
+        violated = list(report.violated_specs)
+        cross = tuple(self._cross_window())
+        if cross:
+            violated.append(REDELIVERY_CLAUSE)
+        return WindowVerdict(
+            index=self.windows_checked,
+            quiescent=quiescent,
+            events=events,
+            violated=tuple(sorted(violated)),
+            report=report,
+            cross_window=cross,
+            view=view,
+        )
+
+    # -- truncate ----------------------------------------------------------
+
+    def truncate(self) -> int:
+        """Drop the checked window, keeping only carry state.  Call only
+        after a *quiescent* barrier - truncating a non-settled window
+        would split in-flight messages' sends from their deliveries."""
+        wnum = self.windows_checked
+        dropped = 0
+        for pid, events in self.window.items():
+            for e in events:
+                if isinstance(e, ConfChangeEvent):
+                    self.carry[pid] = e
+                elif isinstance(e, DeliverEvent):
+                    key = (pid, e.config_id, e.sender)
+                    prior = self.floors.get(key)
+                    floor = e.origin_seq
+                    if prior is not None:
+                        floor = max(prior[0], floor)
+                    self.floors[key] = (floor, wnum)
+            dropped += len(events)
+        self.window = {}
+        self.truncated_events += dropped
+        self.floors = {
+            k: v
+            for k, v in self.floors.items()
+            if wnum - v[1] < self.FLOOR_RETENTION
+        }
+        return dropped

@@ -1,0 +1,112 @@
+"""Transient-fault operators over live cluster state.
+
+The self-stabilization fault model ("Practically-Self-Stabilizing
+Virtual Synchrony", "Self-stabilizing Total-order Broadcast"; PAPERS.md)
+permits a transient to leave *any* single state component arbitrary:
+persisted counters after a torn write, live ordinals pushed next to the
+bounded-counter limit, a stale configuration id resurfacing on recovery.
+:func:`apply_corruption` is the single dispatch point for those
+operators - ``corrupt`` scenario actions, the soak scheduler and the
+parametrized recovery tests all go through it.
+
+Operator names are declared in
+:data:`repro.harness.faults.TRANSIENT_OPS` (schedule generation must not
+import this module; the cluster resolves the name lazily).  The
+``stable-*`` operators delegate to :mod:`repro.stable.faults`; the rest
+corrupt the live totem counters that :meth:`fingerprint_state` exposes,
+driving each one toward the edge the hardened recovery path defends:
+
+``aru-wrap`` / ``high-seq-wrap``
+    Force ``my_aru`` / ``high_seq`` next to ``counter_limit``.  The ring
+    audit recomputes/clamps both from held messages, so a hardened run
+    self-stabilizes without reconfiguration.
+``delivered-wrap``
+    Force ``delivered_seq`` out of ``[gc_floor, my_aru]``.  Delivered
+    state is not derivable, so the audit must fail-stop the process
+    (clean crash, never a Spec-violating delivery).
+``ack-inflate``
+    Inflate one ack_vector entry far above the flow-control ceiling;
+    the audit resets it to 0 (monotone maxima re-converge).
+``token-wrap``
+    Push ``last_token_seq`` beyond the limit.  The audit quarantines
+    (never lowers - that would re-admit duplicate ordinals) and the
+    token-loss timeout reconfigures.
+``ring-seq-wrap``
+    Push ``max_ring_seq_seen`` beyond the limit: a corrupt ring-id
+    generation counter is unrepairable (fail-stop; recovery reboots
+    from sanitized stable storage).
+
+Every operator is deterministic in ``(current state, arg)`` so replayed
+scenarios stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SimulationError
+from repro.harness.faults import TRANSIENT_OPS
+from repro.stable.faults import STABLE_OPS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.cluster import SimCluster
+
+__all__ = ["apply_corruption"]
+
+
+def apply_corruption(
+    cluster: "SimCluster", pid: str, op: str, arg: int = 0
+) -> Optional[str]:
+    """Apply transient-fault operator ``op`` to ``pid``'s state.
+
+    Returns a short description of the corruption performed, or ``None``
+    when the operator had nothing to act on (a live-state operator
+    against a crashed process, a ring operator before any ring formed).
+    Unknown names raise - a schedule carrying a bad operator is a bug,
+    not a fault to inject.
+    """
+    if op not in TRANSIENT_OPS:
+        raise SimulationError(
+            f"unknown transient-fault operator {op!r} "
+            f"(expected one of {', '.join(TRANSIENT_OPS)})"
+        )
+    if op in STABLE_OPS:
+        # Stable storage can be corrupted whether or not the process is
+        # running: the damage surfaces at the next recovery's sanitize.
+        return STABLE_OPS[op](cluster.stores[pid], arg)
+
+    proc = cluster.processes[pid]
+    if not proc.engine.started:
+        return None
+    controller = proc.engine.controller
+    limit = controller.config.counter_limit
+
+    if op == "ring-seq-wrap":
+        value = limit + 1 + (arg % 997)
+        controller.max_ring_seq_seen = value
+        return f"{pid}: max_ring_seq_seen->{value}"
+
+    ring = controller.ring
+    if ring is None:
+        return None
+    if op == "aru-wrap":
+        ring.my_aru = limit - (arg % 64)
+        return f"{pid}: my_aru->{ring.my_aru}"
+    if op == "high-seq-wrap":
+        ring.high_seq = limit - (arg % 64)
+        return f"{pid}: high_seq->{ring.high_seq}"
+    if op == "delivered-wrap":
+        ring.delivered_seq = limit - (arg % 64)
+        return f"{pid}: delivered_seq->{ring.delivered_seq}"
+    if op == "ack-inflate":
+        members = sorted(ring.members)
+        member = members[arg % len(members)]
+        window = controller.config.window_size
+        value = min(limit, ring.my_aru + window + 1000 + arg % 100000)
+        ring.ack_vector[member] = value
+        return f"{pid}: ack[{member}]->{value}"
+    if op == "token-wrap":
+        value = limit + 1 + (arg % 997)
+        ring.last_token_seq = value
+        return f"{pid}: last_token_seq->{value}"
+    raise SimulationError(f"unhandled transient-fault operator {op!r}")

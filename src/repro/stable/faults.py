@@ -1,0 +1,107 @@
+"""Transient-fault injection seam for stable storage.
+
+The self-stabilization literature ("Practically-Self-Stabilizing Virtual
+Synchrony", "Self-stabilizing Total-order Broadcast"; see PAPERS.md)
+models transient faults as arbitrary corruption of a *single* state
+component between two program steps: a bit flip in a persisted counter, a
+truncated record after a torn write, a rollback to a stale snapshot.  The
+operators here apply exactly that fault model to any
+:class:`~repro.stable.storage.StableStore` through its public
+``load()``/``save()`` interface, so they work identically for the
+in-memory harness store and the JSON file store.
+
+Every operator is deterministic in ``(store contents, arg)`` - the soak
+scheduler threads a seed-derived ``arg`` through, which keeps replayed
+scenarios byte-identical.  Each returns a short human-readable
+description of what it did (or ``None`` when the store offered nothing to
+corrupt), which the soak report aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.stable.storage import StableStore
+
+__all__ = [
+    "flip_counter_bit",
+    "truncate_record",
+    "rollback_counters",
+    "scramble_types",
+    "STABLE_OPS",
+]
+
+
+def _counter_keys(state: Dict[str, Any]) -> List[str]:
+    """Engine counter fields, primaries before shadows, sorted for
+    determinism."""
+    keys = [
+        k
+        for k, v in state.items()
+        if isinstance(v, int) and not isinstance(v, bool)
+    ]
+    return sorted(keys)
+
+
+def flip_counter_bit(store: StableStore, arg: int = 0) -> Optional[str]:
+    """Flip one bit of one persisted counter (a classic transient)."""
+    state = store.load()
+    keys = _counter_keys(state)
+    if not keys:
+        return None
+    key = keys[arg % len(keys)]
+    bit = (arg // max(1, len(keys))) % 62
+    state[key] = state[key] ^ (1 << bit)
+    store.save(state)
+    return f"flip bit {bit} of {key}"
+
+
+def truncate_record(store: StableStore, arg: int = 0) -> Optional[str]:
+    """Drop one key, as a torn write that lost part of the record."""
+    state = store.load()
+    keys = sorted(state)
+    if not keys:
+        return None
+    key = keys[arg % len(keys)]
+    del state[key]
+    store.save(state)
+    return f"truncate {key}"
+
+
+def rollback_counters(store: StableStore, arg: int = 0) -> Optional[str]:
+    """Roll one counter back toward zero: recovery from a stale disk
+    snapshot.  Rolling ``max_ring_seq``/``last_ring`` back is exactly the
+    stale-configuration-id fault the sanitizer's shadow copies and
+    last-ring cross-check exist to detect."""
+    state = store.load()
+    keys = _counter_keys(state)
+    if not keys:
+        return None
+    key = keys[arg % len(keys)]
+    state[key] = state[key] // (2 + arg % 7)
+    store.save(state)
+    return f"rollback {key}->{state[key]}"
+
+
+def scramble_types(store: StableStore, arg: int = 0) -> Optional[str]:
+    """Replace one value with garbage of the wrong type (corrupted
+    serialization)."""
+    garbage: List[Any] = ["corrupt", -1, [None], True, 2**80]
+    state = store.load()
+    keys = sorted(state)
+    if not keys:
+        return None
+    key = keys[arg % len(keys)]
+    state[key] = garbage[arg % len(garbage)]
+    store.save(state)
+    return f"scramble {key}"
+
+
+#: Operator registry used by the soak transient injector; names are the
+#: wire form carried in ``corrupt`` scenario actions.
+STABLE_OPS = {
+    "stable-flip-bit": flip_counter_bit,
+    "stable-truncate": truncate_record,
+    "stable-rollback": rollback_counters,
+    "stable-garbage": scramble_types,
+}

@@ -112,6 +112,12 @@ class EngineHooks:
     def on_state_change(self, state: ControllerState) -> None:
         """Protocol-state transition (diagnostics only)."""
 
+    def on_fail_stop(self, reason: str) -> None:
+        """The controller detected local state corrupted beyond safe
+        repair (or counter exhaustion) and must fail-stop.  The engine
+        crashes the process cleanly; a later recover() reboots it from
+        sanitized stable storage with recycled counters."""
+
 
 @dataclass
 class ControllerStats:
@@ -130,6 +136,15 @@ class ControllerStats:
     recovery_rebroadcasts: int = 0
     messages_gc: int = 0
     foreign_ring_dropped: int = 0
+    #: Self-stabilization hardening (docs/SOAK.md): derivable-state
+    #: repairs applied by the ring audit, wire evidence dropped for
+    #: carrying out-of-bound counters, proactive reconfigurations forced
+    #: by the ordinal recycling threshold, and clean fail-stops on
+    #: unrepairable corruption.
+    state_repairs: int = 0
+    corrupt_evidence_dropped: int = 0
+    counter_recycles: int = 0
+    fail_stops: int = 0
 
 
 @dataclass
@@ -280,6 +295,67 @@ class TotemController:
             "pending_new_ring": self._pending_new_ring,
         }
 
+    # ----------------------------------------------- self-stabilization
+
+    def _valid_seq(self, seq: Any) -> bool:
+        """A protocol counter is legitimate only within ``[0,
+        counter_limit]``; anything else is transient corruption by
+        definition (the bounded-counter fault model)."""
+        return (
+            isinstance(seq, int)
+            and not isinstance(seq, bool)
+            and 0 <= seq <= self.config.counter_limit
+        )
+
+    def fail_stop(self, reason: str) -> None:
+        """Stop cleanly instead of running on state corrupted beyond
+        safe local repair.  The self-stabilizing refinement's answer to
+        an unrepairable counter: crash, then restart from (sanitized)
+        stable storage with fresh per-ring ordinals."""
+        if self.state is ControllerState.CRASHED:
+            return
+        self.stats.fail_stops += 1
+        if self.tracer:
+            self.tracer.emit(self.me, "totem.fail_stop", reason=reason)
+        self.engine.on_fail_stop(reason)
+        if self.state is not ControllerState.CRASHED:
+            # The default hook is a no-op; guarantee silence regardless.
+            self.crash()
+
+    def _audit_ring(self) -> bool:
+        """Run the ring's self-stabilization audit before acting on its
+        state (token handling, MemberInfo construction).  Returns False
+        when the process fail-stopped and the caller must not proceed."""
+        ring = self.ring
+        if ring is None:
+            return False
+        if not self._valid_seq(self.max_ring_seq_seen):
+            self.fail_stop(
+                f"max_ring_seq_seen corrupt ({self.max_ring_seq_seen!r})"
+            )
+            return False
+        repairs, fatal = ring.audit(
+            self.config.window_size, self.config.counter_limit
+        )
+        if repairs:
+            self.stats.state_repairs += len(repairs)
+            if self.tracer:
+                self.tracer.emit(
+                    self.me,
+                    "totem.state_repair",
+                    ring=str(ring.ring),
+                    repairs=repairs,
+                )
+        if fatal is not None:
+            self.fail_stop(fatal)
+            return False
+        return True
+
+    def _drop_corrupt(self, what: str) -> None:
+        self.stats.corrupt_evidence_dropped += 1
+        if self.tracer:
+            self.tracer.emit(self.me, "totem.corrupt_dropped", what=what)
+
     # ----------------------------------------------------------- dispatch
 
     def on_packet(self, src: ProcessId, packet: Any) -> None:
@@ -327,6 +403,9 @@ class TotemController:
     # ----------------------------------------------------- regular messages
 
     def _on_regular(self, src: ProcessId, msg: RegularMessage) -> None:
+        if not self._valid_seq(msg.seq) or not self._valid_seq(msg.ring.seq):
+            self._drop_corrupt("regular")
+            return
         self._note_ring_seq(msg.ring.seq)
         ring = self.ring
         assert ring is not None
@@ -363,10 +442,22 @@ class TotemController:
     # ----------------------------------------------------------- the token
 
     def _on_token(self, src: ProcessId, token: Token) -> None:
+        if (
+            not self._valid_seq(token.token_seq)
+            or not self._valid_seq(token.seq)
+            or not self._valid_seq(token.ring.seq)
+            or not all(self._valid_seq(a) for a in token.aru.values())
+        ):
+            # A corrupt token is dropped, not repaired: the token-loss
+            # timeout regenerates ring liveness through reconfiguration.
+            self._drop_corrupt("token")
+            return
         self._note_ring_seq(token.ring.seq)
         ring = self.ring
         assert ring is not None
         if self.state is ControllerState.OPERATIONAL and token.ring == ring.ring:
+            if not self._audit_ring():
+                return
             self._handle_token(token)
             return
         if (
@@ -459,14 +550,34 @@ class TotemController:
             aru=vector,
             rtr=tuple(sorted(rtr)),
         )
+        # Bounded-counter recycling: per-ring ordinals approaching the
+        # counter bound force a reconfiguration, which installs a fresh
+        # ring whose ordinals restart at zero.  The token is forwarded
+        # first so the rest of the ring stays live while membership
+        # re-forms around our Join.
+        recycle = (
+            next_token.seq >= self.config.seq_recycle_threshold
+            or next_token.token_seq >= self.config.seq_recycle_threshold
+        )
         idle = not worked and not rtr and vector == dict(token.aru)
-        if idle and self.config.token_idle_pace > 0:
+        if idle and not recycle and self.config.token_idle_pace > 0:
             # Token hold: pace an idle ring instead of spinning the token
             # at network speed.
             self._held_token = next_token
             self.host.set_timer(T_TOKEN_HOLD, self.config.token_idle_pace)
         else:
             self._forward_token(next_token)
+        if recycle:
+            self.stats.counter_recycles += 1
+            if self.tracer:
+                self.tracer.emit(
+                    self.me,
+                    "totem.counter_recycle",
+                    ring=str(ring.ring),
+                    seq=next_token.seq,
+                    token_seq=next_token.token_seq,
+                )
+            self._enter_gather(reason="counter-recycle")
 
     def _forward_token(self, token: Token) -> None:
         ring = self.ring
@@ -532,6 +643,9 @@ class TotemController:
             # Another federation ring's presence traffic: not merge
             # evidence (rings federate through gateways, never by fusing).
             self.stats.foreign_ring_dropped += 1
+            return
+        if not self._valid_seq(beacon.ring.seq):
+            self._drop_corrupt("beacon")
             return
         self._note_ring_seq(beacon.ring.seq)
         ring = self.ring
@@ -643,6 +757,11 @@ class TotemController:
             # consensus must never include us.
             self.stats.foreign_ring_dropped += 1
             return
+        if not self._valid_seq(join.ring_seq):
+            # Absorbing an out-of-bound ring_seq would propagate the
+            # corruption into every future ring id cluster-wide.
+            self._drop_corrupt("join")
+            return
         self._note_ring_seq(join.ring_seq)
         assert self.ring is not None
         if join.ring_seq < self._join_threshold():
@@ -703,6 +822,11 @@ class TotemController:
             if self.host.now - gather.started_at < self.config.join_timeout:
                 return
         members = tuple(sorted(gather.candidates))
+        # Recovery Steps 2-6 act on the old-ring state we are about to
+        # ship in our MemberInfo; audit (and repair) it first so a
+        # transient never leaks into the shared recovery table.
+        if not self._audit_ring():
+            return
         self.host.cancel_timer(T_JOIN)
         self.host.cancel_timer(T_CONSENSUS)
         self.state = ControllerState.COMMIT
@@ -749,6 +873,9 @@ class TotemController:
         )
 
     def _on_commit_token(self, src: ProcessId, ct: CommitToken) -> None:
+        if not self._valid_seq(ct.ring.seq) or not self._valid_seq(ct.token_seq):
+            self._drop_corrupt("commit-token")
+            return
         self._note_ring_seq(ct.ring.seq)
         ring = self.ring
         assert ring is not None
@@ -764,6 +891,8 @@ class TotemController:
         self._commit_token_seqs[ct.ring] = ct.token_seq
         if self.state not in (ControllerState.GATHER, ControllerState.COMMIT):
             return
+        if not self._audit_ring():
+            return  # our MemberInfo would have shipped corrupted state
         self.host.cancel_timer(T_JOIN)
         self.host.cancel_timer(T_CONSENSUS)
         if self.state is not ControllerState.COMMIT:

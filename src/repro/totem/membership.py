@@ -70,7 +70,18 @@ class GatherState:
         before = (frozenset(self.proc_set), frozenset(self.fail_set))
         self.proc_set |= set(join.proc_set)
         self.proc_set.add(join.sender)
-        self.fail_set |= set(join.fail_set) - {self.me}
+        # A Join is direct evidence its sender is alive and participating
+        # in this round, so a fail claim about any process we have heard
+        # from is stale and is not absorbed, and a Join resurrects its
+        # sender from the local fail set.  Absorbed claims otherwise carry
+        # silence verdicts from concurrent rounds across a merge: each
+        # component escalates the other's members while they are phase-
+        # delayed on a dying ring, and the merged cluster livelocks,
+        # endlessly installing pair rings that the excluded (live)
+        # processes tear straight back down.  Fresh fail decisions come
+        # only from the local escalate() deadline.
+        self.fail_set |= set(join.fail_set) - {self.me} - set(self.joins)
+        self.fail_set.discard(join.sender)
         if join.ring_seq > self.max_ring_seq:
             self.max_ring_seq = join.ring_seq
         return (frozenset(self.proc_set), frozenset(self.fail_set)) != before

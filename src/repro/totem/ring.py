@@ -169,6 +169,99 @@ class RingState:
             self.gc_floor = seq
         return dropped
 
+    # -- self-stabilization audit -------------------------------------------
+
+    def audit(self, window: int, limit: int) -> Tuple[List[str], Optional[str]]:
+        """Detect and (where provably safe) repair transient corruption.
+
+        The self-stabilizing refinements of virtual synchrony treat the
+        local state as redundant: most counters are *derivable* from the
+        message store plus protocol invariants, so a corrupted copy can be
+        recomputed.  Returns ``(repairs, fatal)``: the list of repairs
+        applied, and a reason string when the state is corrupted beyond
+        safe local repair (caller must fail-stop; a restart with recycled
+        counters is the only sound continuation).
+
+        Repair rules, each justified by an invariant of the clean
+        protocol:
+
+        * ``my_aru`` is by definition the end of the contiguous received
+          prefix - recomputed by walking ``messages`` from ``gc_floor``.
+        * ``high_seq`` is bounded below by every stored ordinal and above
+          by ``my_aru + window`` (flow control never admits an ordinal
+          further ahead of the global aru, and the global aru is <= ours).
+          An out-of-range value is *recomputed down to the derivable
+          floor* (max stored ordinal), not clamped to the ceiling: a
+          within-ceiling inflated value would persist forever - the ring
+          would wait on ordinals that were never sent - whereas lowering
+          is safe because ``high_seq`` is only a retransmission hint and
+          the next token's seq field restores the true high.
+        * ``ack_vector`` entries are monotone maxima, so a corrupted-high
+          entry would never heal on its own; invalid entries reset to 0
+          (the safe direction - acks only delay safe delivery, never
+          permit an early one) and the next token rotation restores truth.
+        * ``last_token_seq`` above ``limit`` is flagged but *not* lowered:
+          lowering it could re-admit an already-handled token and assign
+          duplicate ordinals.  The token-loss timeout self-stabilizes it
+          through reconfiguration.
+        * ``delivered_seq`` outside ``[gc_floor, my_aru]`` is fatal: the
+          messages below ``gc_floor`` are gone, so the true delivery
+          frontier is no longer derivable locally and any guess risks
+          redelivery or a permanent gap.
+        """
+        repairs: List[str] = []
+        delivered = self.delivered_seq
+        if (
+            not isinstance(delivered, int)
+            or isinstance(delivered, bool)
+            or delivered > limit
+        ):
+            return repairs, f"delivered_seq corrupt ({delivered!r})"
+        aru = self.gc_floor
+        while (aru + 1) in self.messages:
+            aru += 1
+        if self.my_aru != aru:
+            repairs.append(f"my_aru {self.my_aru!r}->{aru}")
+            self.my_aru = aru
+        if not self.gc_floor <= delivered <= aru:
+            return repairs, (
+                f"delivered_seq {delivered} outside [{self.gc_floor}, {aru}]"
+            )
+        floor_high = max([aru] + list(self.messages))
+        ceil_high = aru + window
+        high = self.high_seq
+        if (
+            not isinstance(high, int)
+            or isinstance(high, bool)
+            or not floor_high <= high <= ceil_high
+        ):
+            repairs.append(f"high_seq {self.high_seq!r}->{floor_high}")
+            self.high_seq = floor_high
+        acks = self.ack_vector
+        if set(acks) != set(self.members):
+            repairs.append("ack_vector members rebuilt")
+            acks = {m: acks.get(m, 0) for m in self.members}
+        fixed_acks: Dict[ProcessId, int] = {}
+        for member, ack in acks.items():
+            if (
+                not isinstance(ack, int)
+                or isinstance(ack, bool)
+                or ack < 0
+                or ack > ceil_high
+            ):
+                repairs.append(f"ack_vector[{member}] {ack!r}->0")
+                ack = 0
+            fixed_acks[member] = ack
+        if fixed_acks[self.me] > aru:
+            repairs.append(f"ack_vector[{self.me}] {fixed_acks[self.me]}->{aru}")
+            fixed_acks[self.me] = aru
+        self.ack_vector = fixed_acks
+        if isinstance(self.last_token_seq, int) and self.last_token_seq > limit:
+            # Detect-only: the token-loss timeout reconfigures the ring,
+            # which resets per-ring token counters to zero.
+            repairs.append(f"last_token_seq {self.last_token_seq} quarantined")
+        return repairs, None
+
     # -- state fingerprinting ---------------------------------------------------
 
     def fingerprint_state(self) -> Dict[str, object]:

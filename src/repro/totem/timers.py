@@ -71,6 +71,20 @@ class TotemConfig:
     #: ever folding into one configuration.  The empty string is the
     #: default, standalone ring.
     ring_id: str = ""
+    #: Hard bound on every protocol counter (ring sequence numbers,
+    #: message ordinals, token rotation counts).  The paper assumes
+    #: unbounded counters; the practically-self-stabilizing refinement
+    #: bounds them so a transiently corrupted counter is *detectable*:
+    #: any value outside [0, counter_limit] is corrupt by definition and
+    #: is dropped or repaired instead of propagated.
+    counter_limit: int = 2**62
+    #: Proactive recycling threshold: once a ring's per-ring ordinals
+    #: (message seq or token rotation count) cross this mark the process
+    #: forces a reconfiguration, which installs a fresh ring whose
+    #: ordinals restart at zero - the bounded-counter recycling step of
+    #: the self-stabilizing refinement.  Must stay well below
+    #: ``counter_limit`` so legitimate counters never approach the bound.
+    seq_recycle_threshold: int = 2**53
 
     @classmethod
     def lan(cls) -> "TotemConfig":
@@ -155,6 +169,12 @@ class TotemConfig:
             raise ValueError("max_messages_per_token must be >= 1")
         if self.window_size < self.max_messages_per_token:
             raise ValueError("window_size must cover at least one token burst")
+        if self.counter_limit < 1:
+            raise ValueError("counter_limit must be >= 1")
+        if not 0 < self.seq_recycle_threshold < self.counter_limit:
+            raise ValueError(
+                "seq_recycle_threshold must be positive and below counter_limit"
+            )
         if min(
             self.token_loss_timeout,
             self.token_retransmit_interval,

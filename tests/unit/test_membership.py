@@ -61,6 +61,43 @@ def test_absorb_merges_fail_sets():
     assert g.candidates == {"p", "q"}
 
 
+def test_absorb_ignores_fail_claims_about_joined_processes():
+    # r has already sent a Join this round: it is demonstrably alive and
+    # participating, so q's fail claim about it is stale evidence from a
+    # concurrent round and must not be absorbed.
+    g = GatherState(me="p", proc_set={"p", "q", "r"})
+    g.absorb(join("r", {"p", "q", "r"}))
+    g.absorb(join("q", {"p", "q", "r"}, fails={"r"}))
+    assert "r" not in g.fail_set
+    assert g.candidates == {"p", "q", "r"}
+
+
+def test_join_resurrects_its_sender_from_fail_set():
+    # The reverse arrival order: the stale claim lands first, then the
+    # "failed" process itself joins.  Without resurrection, merging
+    # components phase-lock: each carries silence verdicts about the
+    # other's members, agrees on a pair ring excluding live processes,
+    # and the excluded processes tear it straight back down, forever.
+    g = GatherState(me="p", proc_set={"p", "q", "r"})
+    g.absorb(join("q", {"p", "q", "r"}, fails={"r"}))
+    assert "r" in g.fail_set
+    changed = g.absorb(join("r", {"p", "q", "r"}))
+    assert changed
+    assert "r" not in g.fail_set
+    assert g.candidates == {"p", "q", "r"}
+
+
+def test_local_escalation_can_refail_a_resurrected_process():
+    # Resurrection only cancels absorbed (second-hand) claims; the local
+    # consensus deadline remains the source of fresh fail decisions.
+    g = GatherState(me="p", proc_set={"p", "q"})
+    g.absorb(join("q", {"p", "q"}, fails={"p"}))
+    assert g.joins["q"].fail_set == frozenset({"p"})
+    failed = g.escalate()  # q spoke but permanently disagrees
+    assert failed == {"q"}
+    assert g.candidates == {"p"}
+
+
 def test_absorb_tracks_max_ring_seq():
     g = GatherState(me="p", proc_set={"p"}, max_ring_seq=4)
     g.absorb(join("q", {"q"}, ring_seq=12))

@@ -1,0 +1,321 @@
+"""Hardened recovery under transient state corruption.
+
+The self-stabilization contract (docs/SOAK.md): after any single
+transient fault - a corrupted stable-storage record, a live counter
+forced next to the bounded-counter limit, a stale configuration id
+resurfacing on recovery - the system either *self-stabilizes* (audits
+repair the derivable state, or a forced reconfiguration recycles the
+counters) or *fails cleanly* (the corrupted process fail-stops and can
+rejoin from sanitized stable storage).  What it must never do is keep
+running and deliver a specification-violating message.
+
+Each transient operator from :data:`repro.harness.faults.TRANSIENT_OPS`
+is driven against a live cluster mid-traffic; the verdict is always the
+full Specs 1-7 battery on the recorded history.
+"""
+
+import pytest
+
+from repro.errors import CounterWrapError, SimulationError
+from repro.harness.cluster import ClusterOptions, SimCluster
+from repro.harness.faults import TRANSIENT_OPS
+from repro.soak.transient import apply_corruption
+from repro.totem.timers import TotemConfig
+from repro.types import DeliveryRequirement
+
+
+def converged_cluster(n=4, seed=0, totem=None):
+    options = ClusterOptions(seed=seed)
+    if totem is not None:
+        options = ClusterOptions(seed=seed, totem=totem)
+    cluster = SimCluster.of_size(n, options=options)
+    cluster.start_all()
+    assert cluster.wait_until(
+        lambda: cluster.converged(cluster.pids), timeout=10.0
+    )
+    return cluster
+
+
+def traffic(cluster, rounds=6):
+    for i in range(rounds):
+        pid = cluster.pids[i % len(cluster.pids)]
+        if cluster.processes[pid].engine.started:
+            cluster.send(pid, f"t{i}".encode(), DeliveryRequirement.SAFE)
+        cluster.run_for(0.1)
+
+
+def heal_and_check(cluster):
+    """Recover everything (the corrupted process may have fail-stopped),
+    settle, and judge the whole history."""
+    for pid in cluster.pids:
+        if not cluster.processes[pid].engine.started:
+            cluster.recover(pid)
+    cluster.merge_all()
+    assert cluster.wait_until(
+        lambda: cluster.converged(cluster.pids), timeout=20.0
+    ), cluster.describe()
+    assert cluster.settle(timeout=20.0), cluster.describe()
+    report = cluster.conformance(quiescent=True)
+    assert report.passed, report.render()
+    return report
+
+
+@pytest.mark.parametrize("op", TRANSIENT_OPS)
+@pytest.mark.parametrize("arg", [0, 17, 999_983])
+def test_every_transient_self_stabilizes_or_fails_clean(op, arg):
+    """The core contract, one operator at a time: corrupt mid-traffic,
+    keep the traffic coming, heal, and demand a clean Specs 1-7 pass."""
+    cluster = converged_cluster(seed=arg % 7)
+    traffic(cluster, rounds=4)
+    victim = cluster.pids[arg % len(cluster.pids)]
+    apply_corruption(cluster, victim, op, arg)
+    traffic(cluster, rounds=6)
+    heal_and_check(cluster)
+
+
+@pytest.mark.parametrize("op", TRANSIENT_OPS)
+def test_transients_against_crashed_process(op):
+    """Stable-storage operators bite a crashed process at its next
+    recovery; live-state operators are no-ops against one.  Either way
+    the system must come back clean."""
+    cluster = converged_cluster()
+    victim = cluster.pids[0]
+    cluster.crash(victim)
+    cluster.run_for(0.5)
+    desc = apply_corruption(cluster, victim, op, 42)
+    if op.startswith("stable-"):
+        assert desc is not None  # stable stores are always corruptible
+    else:
+        assert desc is None  # no live state to corrupt
+    traffic(cluster, rounds=4)
+    heal_and_check(cluster)
+
+
+def test_unknown_operator_rejected():
+    cluster = converged_cluster(n=2)
+    with pytest.raises(SimulationError):
+        apply_corruption(cluster, cluster.pids[0], "no-such-op")
+
+
+# -- per-operator expected mechanism ------------------------------------------
+
+
+def stats_of(cluster, pid):
+    return cluster.processes[pid].engine.controller.stats
+
+
+def test_aru_wrap_repaired_in_place():
+    """my_aru is derivable from held messages: the audit recomputes it
+    without any reconfiguration or fail-stop."""
+    cluster = converged_cluster()
+    traffic(cluster)
+    victim = cluster.pids[1]
+    apply_corruption(cluster, victim, "aru-wrap", 5)
+    cluster.run_for(1.0)
+    assert stats_of(cluster, victim).state_repairs >= 1
+    assert stats_of(cluster, victim).fail_stops == 0
+    heal_and_check(cluster)
+
+
+def test_ack_inflate_reset():
+    """A corrupted-high ack entry (above the flow-control ceiling) is
+    reset to 0; the monotone ack maxima re-converge from the token."""
+    cluster = converged_cluster()
+    traffic(cluster)
+    victim = cluster.pids[2]
+    apply_corruption(cluster, victim, "ack-inflate", 3)
+    cluster.run_for(1.0)
+    assert stats_of(cluster, victim).state_repairs >= 1
+    heal_and_check(cluster)
+
+
+def test_delivered_wrap_fail_stops():
+    """delivered_seq is NOT derivable: continuing could deliver a
+    duplicate or skip an ordinal, so the only safe move is fail-stop."""
+    cluster = converged_cluster()
+    traffic(cluster)
+    victim = cluster.pids[0]
+    apply_corruption(cluster, victim, "delivered-wrap", 0)
+    cluster.run_for(2.0)
+    assert stats_of(cluster, victim).fail_stops == 1
+    assert not cluster.processes[victim].engine.started
+    heal_and_check(cluster)
+
+
+def test_ring_seq_wrap_fail_stops():
+    """A ring-id generation counter beyond the bound is unrepairable in
+    place; the process fail-stops and reboots from sanitized storage."""
+    cluster = converged_cluster()
+    traffic(cluster)
+    victim = cluster.pids[3]
+    apply_corruption(cluster, victim, "ring-seq-wrap", 1)
+    cluster.run_for(2.0)
+    assert stats_of(cluster, victim).fail_stops == 1
+    heal_and_check(cluster)
+
+
+def test_token_wrap_quarantined_then_reconfigured():
+    """last_token_seq is never lowered (that would re-admit duplicate
+    token ordinals); the quarantine starves the ring until the
+    token-loss timeout reconfigures it."""
+    cluster = converged_cluster()
+    traffic(cluster)
+    victim = cluster.pids[1]
+    installs_before = stats_of(cluster, victim).installs
+    apply_corruption(cluster, victim, "token-wrap", 2)
+    cluster.run_for(5.0)
+    assert stats_of(cluster, victim).state_repairs >= 1  # the quarantine note
+    heal_and_check(cluster)
+    assert stats_of(cluster, victim).installs > installs_before
+
+
+# -- counter recycling ---------------------------------------------------------
+
+
+def test_tiny_recycle_threshold_forces_reconfigurations():
+    """With seq_recycle_threshold shrunk to a handful of messages, the
+    ring must proactively reconfigure (resetting per-ring ordinals to 0)
+    and still pass every spec - the bounded-counter discipline at
+    time-lapse speed."""
+    totem = TotemConfig(seq_recycle_threshold=8)
+    cluster = converged_cluster(totem=totem)
+    for i in range(40):
+        cluster.send(
+            cluster.pids[i % 4], f"r{i}".encode(), DeliveryRequirement.AGREED
+        )
+        cluster.run_for(0.15)
+    recycles = sum(stats_of(cluster, p).counter_recycles for p in cluster.pids)
+    assert recycles >= 1, "no counter recycle despite threshold=8"
+    heal_and_check(cluster)
+    for pid in cluster.pids:
+        ring = cluster.processes[pid].engine.controller.ring
+        assert ring is not None and ring.delivered_seq < 40  # ordinals reset
+
+
+# -- stable-storage sanitize ----------------------------------------------------
+
+
+def test_shadow_key_restores_primary():
+    """A corrupted primary counter is restored from its shadow copy at
+    the next boot (max of the valid copies - counters are monotone)."""
+    cluster = converged_cluster()
+    traffic(cluster)
+    victim = cluster.pids[0]
+    cluster.crash(victim)
+    store = cluster.stores[victim]
+    state = store.load()
+    good = state["max_ring_seq"]
+    state["max_ring_seq"] = "garbage"
+    store.save(state)
+    cluster.recover(victim)
+    assert cluster.processes[victim].engine.stable_repairs >= 1
+    after = store.load()
+    assert after["max_ring_seq"] > good  # restored from shadow, then bumped
+    heal_and_check(cluster)
+
+
+def test_both_copies_corrupt_resets_to_zero():
+    """With primary and shadow both invalid the counter resets to 0 -
+    and boot_epoch still guarantees a fresh ring id."""
+    cluster = converged_cluster()
+    traffic(cluster)
+    victim = cluster.pids[0]
+    cluster.crash(victim)
+    store = cluster.stores[victim]
+    state = store.load()
+    state["origin_counter"] = None
+    state["origin_counter_shadow"] = -5
+    store.save(state)
+    cluster.recover(victim)
+    assert cluster.processes[victim].engine.stable_repairs >= 1
+    heal_and_check(cluster)
+
+
+def test_near_limit_boot_refuses_with_counter_wrap_error():
+    """Booting with stable counters inside the last 64 ring ids of the
+    bound must raise CounterWrapError - a clean refusal, not a wrap.
+    The survivors keep operating; rejoining would require a fresh
+    process identity (wiping the store and reusing the name would
+    legitimately break the total order over configurations)."""
+    cluster = converged_cluster()
+    victim = cluster.pids[0]
+    cluster.crash(victim)
+    store = cluster.stores[victim]
+    limit = cluster.options.totem.counter_limit
+    state = store.load()
+    state["max_ring_seq"] = limit - 10
+    state["max_ring_seq_shadow"] = limit - 10
+    store.save(state)
+    with pytest.raises(CounterWrapError):
+        cluster.recover(victim)
+    assert not cluster.processes[victim].engine.started
+    survivors = cluster.pids[1:]
+    for i, pid in enumerate(survivors):
+        cluster.send(pid, f"s{i}".encode(), DeliveryRequirement.SAFE)
+        cluster.run_for(0.1)
+    assert cluster.wait_until(
+        lambda: cluster.converged(survivors), timeout=20.0
+    ), cluster.describe()
+    assert cluster.settle(survivors, timeout=20.0)
+    report = cluster.conformance(quiescent=True)
+    assert report.passed, report.render()
+
+
+def test_stale_last_ring_detected():
+    """A last_ring record newer than max_ring_seq (a stale/forged
+    configuration id) is reconciled upward, so the rebooted process can
+    never reuse a ring id at or below one it already installed."""
+    cluster = converged_cluster()
+    traffic(cluster)
+    victim = cluster.pids[0]
+    cluster.crash(victim)
+    store = cluster.stores[victim]
+    state = store.load()
+    state["max_ring_seq"] = 1
+    state["max_ring_seq_shadow"] = 1
+    store.save(state)
+    last_ring_seq = state["last_ring"][0]
+    cluster.recover(victim)
+    assert cluster.processes[victim].engine.stable_repairs >= 1
+    assert store.load()["max_ring_seq"] > last_ring_seq
+    heal_and_check(cluster)
+
+
+# -- scheduler compaction knob ---------------------------------------------------
+
+
+def test_compact_min_knob_under_timer_churn():
+    """Soak-scale cancelled-timer churn: an aggressive compaction
+    threshold must compact more often, keep the heap tight, and change
+    nothing about delivery (same history verdict)."""
+    def run(compact_min):
+        cluster = SimCluster.of_size(
+            3, options=ClusterOptions(seed=9, compact_min=compact_min)
+        )
+        cluster.start_all()
+        assert cluster.wait_until(
+            lambda: cluster.converged(cluster.pids), timeout=10.0
+        )
+        # Retransmit/token timers arm and cancel continuously under
+        # traffic; partitions multiply the churn.
+        for i in range(10):
+            cluster.send(cluster.pids[i % 3], b"x%d" % i, DeliveryRequirement.SAFE)
+            cluster.run_for(0.2)
+        cluster.partition([cluster.pids[0]], cluster.pids[1:])
+        cluster.run_for(2.0)
+        cluster.merge_all()
+        assert cluster.settle(timeout=20.0)
+        report = cluster.conformance(quiescent=True)
+        assert report.passed, report.render()
+        return cluster.scheduler.compactions, cluster.delivery_orders()
+
+    eager_compactions, eager_orders = run(compact_min=2)
+    lazy_compactions, lazy_orders = run(compact_min=1_000_000)
+    assert eager_compactions > lazy_compactions
+    assert lazy_compactions == 0
+    assert eager_orders == lazy_orders  # the knob is perf-only
+
+
+def test_compact_min_validation():
+    with pytest.raises(SimulationError):
+        SimCluster.of_size(2, options=ClusterOptions(compact_min=0))
